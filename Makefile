@@ -1,0 +1,48 @@
+# delaydefense — reproduction of "Using Delay to Defend Against Database
+# Extraction" (SDM @ VLDB 2004).
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench repro repro-fast examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper at full scale.
+repro:
+	$(GO) run ./cmd/extractbench -exp all -scale 1
+
+# The same at 1/20 scale — seconds instead of minutes.
+repro-fast:
+	$(GO) run ./cmd/extractbench -exp all -scale 20
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/webtrace
+	$(GO) run ./examples/boxoffice
+	$(GO) run ./examples/freshness
+	$(GO) run ./examples/frontdoor
+	$(GO) run ./examples/adaptive
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/sqlmini/
+
+clean:
+	$(GO) clean ./...

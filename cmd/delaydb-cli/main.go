@@ -1,0 +1,86 @@
+// Command delaydb-cli is an interactive client for a delaydb server.
+//
+// Usage:
+//
+//	delaydb-cli -addr http://localhost:8080 -identity alice
+//
+// Lines are sent as SQL through the shielded /query endpoint. Backslash
+// commands:
+//
+//	\stats        server statistics
+//	\register     register this identity
+//	\q            quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "server base URL")
+		identity = flag.String("identity", "cli", "identity presented to the shield")
+	)
+	flag.Parse()
+	client := server.NewClient(*addr, *identity)
+
+	fmt.Printf("delaydb-cli: connected to %s as %q (\\q to quit)\n", *addr, *identity)
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("delaydb> ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == `\quit`:
+			return
+		case line == `\stats`:
+			stats, err := client.Stats()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Printf("tables: %s\n", strings.Join(stats.Tables, ", "))
+			fmt.Printf("observations: %d over %d distinct tuples; %d updates; window %.1fs\n",
+				stats.Observations, stats.DistinctIDs, stats.Updates, stats.WindowSecs)
+		case line == `\register`:
+			if err := client.Register(); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Println("registered")
+		case strings.HasPrefix(line, `\`):
+			fmt.Fprintf(os.Stderr, "unknown command %q\n", line)
+		default:
+			resp, err := client.Query(line)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			printResult(resp)
+		}
+	}
+}
+
+func printResult(resp *server.QueryResponse) {
+	if len(resp.Columns) > 0 {
+		fmt.Println(strings.Join(resp.Columns, " | "))
+		for _, row := range resp.Rows {
+			fmt.Println(strings.Join(row, " | "))
+		}
+		fmt.Printf("(%d rows, delayed %.2f ms)\n", len(resp.Rows), resp.DelayMillis)
+		return
+	}
+	fmt.Printf("OK, %d rows affected\n", resp.Affected)
+}

@@ -1,0 +1,97 @@
+// Command delaydb serves a delay-defended database over HTTP — the
+// paper's front door as a runnable server.
+//
+// Usage:
+//
+//	delaydb -dir ./data -addr :8080 -n 100000 [-alpha 1.0] [-beta 2.0]
+//	        [-cap 10s] [-decay 1.0] [-policy popularity|updaterate]
+//	        [-rate 0] [-burst 10] [-subnets] [-reginterval 0]
+//
+// Endpoints: POST /query {"sql": "..."} (identity from X-Identity header
+// or client address), POST /register {"identity": "..."}, GET /stats,
+// GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	delaydefense "repro"
+)
+
+func main() {
+	var (
+		dir         = flag.String("dir", "./delaydb-data", "database directory")
+		addr        = flag.String("addr", ":8080", "listen address")
+		n           = flag.Int("n", 100_000, "dataset size used by the delay formulas")
+		alpha       = flag.Float64("alpha", 1.0, "assumed workload skew (Zipf parameter)")
+		beta        = flag.Float64("beta", 2.0, "extraction penalty exponent")
+		capDur      = flag.Duration("cap", 10*time.Second, "maximum delay per tuple (dmax)")
+		decay       = flag.Float64("decay", 1.0, "access-count decay rate (1 = keep full history)")
+		policy      = flag.String("policy", "popularity", "delay policy: popularity or updaterate")
+		c           = flag.Float64("c", 1.0, "update-rate policy constant (Eq 9)")
+		rate        = flag.Float64("rate", 0, "per-identity queries/second (0 = unlimited)")
+		burst       = flag.Float64("burst", 10, "per-identity burst")
+		subnets     = flag.Bool("subnets", false, "aggregate identities by /24 (IPv4) or /48 (IPv6)")
+		regInterval = flag.Duration("reginterval", 0, "minimum interval between new registrations (0 = off)")
+		wal         = flag.Bool("wal", false, "enable write-ahead logging with crash recovery")
+		walSync     = flag.Bool("walsync", false, "fsync the WAL on every commit (implies -wal)")
+		initFile    = flag.String("init", "", "SQL script (semicolon-separated) executed on the admin path at startup")
+	)
+	flag.Parse()
+
+	cfg := delaydefense.Config{
+		N:                    *n,
+		Alpha:                *alpha,
+		Beta:                 *beta,
+		C:                    *c,
+		Cap:                  *capDur,
+		DecayRate:            *decay,
+		QueryRate:            *rate,
+		QueryBurst:           *burst,
+		SubnetAggregation:    *subnets,
+		RegistrationInterval: *regInterval,
+	}
+	switch *policy {
+	case "popularity":
+		cfg.Kind = delaydefense.ByPopularity
+	case "updaterate":
+		cfg.Kind = delaydefense.ByUpdateRate
+	default:
+		log.Fatalf("delaydb: unknown policy %q", *policy)
+	}
+
+	var opts []delaydefense.EngineOption
+	if *wal || *walSync {
+		opts = append(opts, delaydefense.WithWAL(*walSync))
+	}
+	db, err := delaydefense.Open(*dir, cfg, opts...)
+	if err != nil {
+		log.Fatalf("delaydb: %v", err)
+	}
+	defer db.Close()
+
+	if *initFile != "" {
+		script, err := os.ReadFile(*initFile)
+		if err != nil {
+			log.Fatalf("delaydb: reading init script: %v", err)
+		}
+		results, err := db.ExecScript(string(script))
+		if err != nil {
+			log.Fatalf("delaydb: init script: %v", err)
+		}
+		fmt.Printf("delaydb: init script ran %d statements\n", len(results))
+	}
+
+	h, err := db.Handler()
+	if err != nil {
+		log.Fatalf("delaydb: %v", err)
+	}
+	fmt.Printf("delaydb: serving %s on %s (policy=%s, cap=%v, N=%d)\n",
+		*dir, *addr, *policy, *capDur, *n)
+	log.Fatal(http.ListenAndServe(*addr, h))
+}

@@ -1,0 +1,224 @@
+// Command extractbench regenerates every table and figure of the paper's
+// evaluation (§4) and prints them in the paper's format.
+//
+// Usage:
+//
+//	extractbench [-exp all|fig1|fig2|fig3|fig4|fig5|fig6|table1|table2|table3|table4|table5|ablation]
+//	             [-scale N] [-seed S]
+//
+// -scale divides the Calgary-shaped workload sizes for quick runs
+// (scale 1 = paper scale: 12,179 objects, 725,091 requests, synthetic
+// databases up to 1M tuples).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment to run (all, fig1..fig6, table1..table5, model, ablation, sybil, storefront)")
+		scale     = flag.Int("scale", 1, "divide Calgary-shaped workload sizes by this factor")
+		seed      = flag.Int64("seed", 2004, "random seed for synthetic workloads")
+		traceFile = flag.String("tracefile", "", "replay this trace file (cmd/tracegen format) for fig1/table3 instead of the synthetic Calgary workload")
+	)
+	flag.Parse()
+	if err := run(strings.ToLower(*exp), *scale, *seed, *traceFile); err != nil {
+		fmt.Fprintf(os.Stderr, "extractbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadTrace(f)
+}
+
+func run(exp string, scale int, seed int64, traceFile string) error {
+	cal := experiments.DefaultCalgaryParams()
+	cal.Scale = scale
+	cal.Seed = seed
+	box := experiments.DefaultBoxOfficeParams()
+	box.Seed = seed
+	dyn := experiments.DefaultDynamicParams()
+	if scale > 1 {
+		dyn.N /= scale
+		if dyn.N < 1000 {
+			dyn.N = 1000
+		}
+	}
+
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("fig1") {
+		var tab *experiments.Table
+		var err error
+		if traceFile != "" {
+			tr, lerr := loadTrace(traceFile)
+			if lerr != nil {
+				return lerr
+			}
+			tab, err = experiments.Fig1FromTrace(tr)
+		} else {
+			tab, err = experiments.Fig1(cal)
+		}
+		if err != nil {
+			return err
+		}
+		tab.Print(os.Stdout)
+		ran = true
+	}
+	if want("table1") {
+		tab, _, err := experiments.Table1(cal)
+		if err != nil {
+			return err
+		}
+		tab.Print(os.Stdout)
+		ran = true
+	}
+	if want("table2") {
+		tab, _, err := experiments.Table2(cal)
+		if err != nil {
+			return err
+		}
+		tab.Print(os.Stdout)
+		ran = true
+	}
+	if want("table3") {
+		var tab *experiments.Table
+		var err error
+		if traceFile != "" {
+			tr, lerr := loadTrace(traceFile)
+			if lerr != nil {
+				return lerr
+			}
+			decays := []float64{1.000000, 1.000001, 1.000002, 1.000005, 1.000010, 1.000020}
+			tab, _, err = experiments.Table3FromTrace(tr, cal, decays)
+		} else {
+			tab, _, err = experiments.Table3(cal)
+		}
+		if err != nil {
+			return err
+		}
+		tab.Print(os.Stdout)
+		ran = true
+	}
+	if want("fig2") {
+		tab, err := experiments.Fig2(box)
+		if err != nil {
+			return err
+		}
+		tab.Print(os.Stdout)
+		ran = true
+	}
+	if want("fig3") {
+		tab, err := experiments.Fig3(box)
+		if err != nil {
+			return err
+		}
+		tab.Print(os.Stdout)
+		ran = true
+	}
+	if want("table4") {
+		tab, _, err := experiments.Table4(box)
+		if err != nil {
+			return err
+		}
+		tab.Print(os.Stdout)
+		ran = true
+	}
+	if want("fig4") || want("fig5") || want("fig6") {
+		fig4, fig5, fig6, _, err := experiments.DynamicSweep(dyn)
+		if err != nil {
+			return err
+		}
+		if want("fig4") {
+			fig4.Print(os.Stdout)
+		}
+		if want("fig5") {
+			fig5.Print(os.Stdout)
+		}
+		if want("fig6") {
+			fig6.Print(os.Stdout)
+		}
+		ran = true
+	}
+	if want("table5") {
+		dir, err := os.MkdirTemp("", "extractbench-table5-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		tab, _, err := experiments.Table5(experiments.DefaultOverheadParams(dir))
+		if err != nil {
+			return err
+		}
+		tab.Print(os.Stdout)
+		ran = true
+	}
+	if exp == "sybil" {
+		sp := experiments.DefaultSybilParams()
+		sp.Scale = scale
+		sp.Seed = seed
+		tab, err := experiments.SybilAnalysis(sp)
+		if err != nil {
+			return err
+		}
+		tab.Print(os.Stdout)
+		ran = true
+	}
+	if exp == "storefront" {
+		fp := experiments.DefaultStorefrontParams()
+		if scale > 1 {
+			fp.N /= scale
+			fp.Queries /= scale
+		}
+		tab, err := experiments.StorefrontCoverage(fp)
+		if err != nil {
+			return err
+		}
+		tab.Print(os.Stdout)
+		ran = true
+	}
+	if exp == "model" {
+		mp := experiments.DefaultModelParams()
+		if scale > 1 {
+			mp.N /= scale
+			mp.Requests /= scale
+		}
+		tab, err := experiments.ModelValidation(mp)
+		if err != nil {
+			return err
+		}
+		tab.Print(os.Stdout)
+		ran = true
+	}
+	if exp == "ablation" || exp == "ablations" {
+		dir, err := os.MkdirTemp("", "extractbench-ablation-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		tab, err := experiments.Ablations(experiments.DefaultAblationParams(dir))
+		if err != nil {
+			return err
+		}
+		tab.Print(os.Stdout)
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Command tracegen synthesizes workload traces in the repository's
+// binary trace format and prints their rank-frequency summary.
+//
+// Usage:
+//
+//	tracegen -kind calgary|boxoffice|zipf|uniform -out trace.bin
+//	         [-objects 12179] [-requests 725091] [-alpha 1.5] [-seed 1]
+//	         [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "calgary", "trace kind: calgary, boxoffice, zipf, uniform")
+		out      = flag.String("out", "", "output file (empty = summary only)")
+		objects  = flag.Int("objects", trace.CalgaryObjects, "object count (zipf/uniform)")
+		requests = flag.Int("requests", trace.CalgaryRequests, "request count (zipf/uniform)")
+		alpha    = flag.Float64("alpha", trace.CalgaryAlpha, "Zipf parameter (zipf)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		top      = flag.Int("top", 10, "ranks to print in the summary")
+	)
+	flag.Parse()
+
+	tr, err := generate(*kind, *objects, *requests, *alpha, *seed)
+	if err != nil {
+		log.Fatalf("tracegen: %v", err)
+	}
+
+	fmt.Printf("trace %q: %d objects, %d requests", tr.Name, tr.NumObjects, len(tr.Requests))
+	if tr.Weeks > 0 {
+		fmt.Printf(", %d weeks", tr.Weeks)
+	}
+	fmt.Println()
+	ids, counts := tr.TopK(*top)
+	for i := range ids {
+		fmt.Printf("  rank %2d: object %6d  %8d requests\n", i+1, ids[i], counts[i])
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("tracegen: %v", err)
+		}
+		n, err := tr.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("tracegen: writing %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %d bytes to %s\n", n, *out)
+	}
+}
+
+func generate(kind string, objects, requests int, alpha float64, seed int64) (*trace.Trace, error) {
+	switch kind {
+	case "calgary":
+		return trace.SyntheticCalgary(seed)
+	case "boxoffice":
+		return trace.BoxOffice2002(seed).Trace, nil
+	case "zipf":
+		return trace.Synthetic("zipf", objects, requests, alpha, seed)
+	case "uniform":
+		return trace.Uniform("uniform", objects, requests, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}

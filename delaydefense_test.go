@@ -1,0 +1,162 @@
+package delaydefense
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func openTestDB(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.NewSimulated(time.Date(2004, 8, 1, 0, 0, 0, 0, time.UTC))
+	}
+	db, err := Open(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestOpenQueryRoundTrip(t *testing.T) {
+	db := openTestDB(t, Config{N: 100, Alpha: 1, Beta: 2, Cap: time.Second})
+	if _, err := db.Exec(`CREATE TABLE items (id INT PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO items VALUES (1, 'hello'), (2, 'world')`); err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := db.Query("alice", `SELECT v FROM items WHERE id = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "world" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if stats.Delay <= 0 {
+		t.Fatal("no delay imposed on cold tuple")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(t.TempDir(), Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestExecBypassesShield(t *testing.T) {
+	clk := vclock.NewSimulated(time.Unix(0, 0))
+	db := openTestDB(t, Config{N: 10, Alpha: 1, Beta: 1, Cap: time.Hour, Clock: clk})
+	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	db.Exec(`INSERT INTO t VALUES (1)`)
+	if _, err := db.Exec(`SELECT * FROM t WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Slept() != 0 {
+		t.Fatal("admin Exec slept")
+	}
+}
+
+func TestQuoteExtraction(t *testing.T) {
+	db := openTestDB(t, Config{N: 20, Alpha: 1, Beta: 1, Cap: time.Second})
+	ids := make([]uint64, 20)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	if got := db.QuoteExtraction(ids); got != 20*time.Second {
+		t.Fatalf("cold extraction quote = %v", got)
+	}
+}
+
+func TestRegisterAndRateLimitSentinels(t *testing.T) {
+	clk := vclock.NewSimulated(time.Unix(0, 0))
+	db := openTestDB(t, Config{
+		N: 10, Alpha: 1, Beta: 1, Cap: time.Millisecond, Clock: clk,
+		QueryRate: 0.001, QueryBurst: 1, RegistrationInterval: time.Hour,
+	})
+	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	db.Exec(`INSERT INTO t VALUES (1)`)
+	if err := db.Register("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register("b"); !errors.Is(err, ErrRegistrationThrottled) {
+		t.Fatalf("err = %v", err)
+	}
+	db.Query("u", `SELECT * FROM t WHERE id = 1`)
+	if _, _, err := db.Query("u", `SELECT * FROM t WHERE id = 1`); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandlerServesQueries(t *testing.T) {
+	db := openTestDB(t, Config{N: 10, Alpha: 1, Beta: 1, Cap: time.Millisecond})
+	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+	db.Exec(`INSERT INTO t VALUES (1, 'x')`)
+	h, err := db.Handler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"sql":"SELECT * FROM t WHERE id = 1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestUpdateRatePolicyThroughFacade(t *testing.T) {
+	clk := vclock.NewSimulated(time.Unix(0, 0))
+	db := openTestDB(t, Config{
+		Kind: ByUpdateRate, N: 100, Alpha: 1, C: 1, Cap: 10 * time.Second, Clock: clk,
+	})
+	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	for i := 0; i < 100; i++ {
+		db.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 0)`, i))
+	}
+	for i := 0; i < 30; i++ {
+		if _, _, err := db.Query("w", `UPDATE t SET v = 1 WHERE id = 5`); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(time.Second)
+	}
+	_, hot, _ := db.Query("r", `SELECT * FROM t WHERE id = 5`)
+	_, cold, _ := db.Query("r", `SELECT * FROM t WHERE id = 50`)
+	if hot.Delay >= cold.Delay {
+		t.Fatalf("hot-update %v not below never-updated %v", hot.Delay, cold.Delay)
+	}
+}
+
+func TestPersistenceThroughFacade(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{N: 10, Alpha: 1, Beta: 1, Cap: time.Second,
+		Clock: vclock.NewSimulated(time.Unix(0, 0))}
+	db, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+	db.Exec(`INSERT INTO t VALUES (7, 'persists')`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, err := db2.Exec(`SELECT v FROM t WHERE id = 7`)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Str != "persists" {
+		t.Fatalf("res = %v, %v", res, err)
+	}
+}

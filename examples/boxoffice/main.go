@@ -1,0 +1,74 @@
+// Boxoffice: the paper's §4.2 scenario — a workload whose popularity
+// shifts every week (film releases) — showing why decayed counts matter.
+// The same trace is replayed with no decay, mild weekly decay, and
+// aggressive weekly decay; decay keeps the median legitimate delay low
+// because it lets newly released (newly hot) films climb the popularity
+// ranking quickly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/delay"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	b := trace.BoxOffice2002(2002)
+	fmt.Printf("synthetic 2002 box office: %d films, %d requests over %d weeks\n\n",
+		b.Trace.NumObjects, len(b.Trace.Requests), b.Trace.Weeks)
+
+	// Fig 2 / Fig 3 flavor: annual skew is mild, weekly skew is sharp.
+	_, annual := b.TopAnnual(10)
+	_, weekly := b.TopWeek(26, 10)
+	fmt.Printf("annual top-1/top-10 sales ratio: %5.1f (mild skew)\n", annual[0]/annual[9])
+	fmt.Printf("weekly top-1/top-10 sales ratio: %5.1f (sharp skew)\n\n", weekly[0]/weekly[9])
+
+	// β tuned once from the full-history counts.
+	pre, err := experimentsLearn(b.Trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const cap = 10 * time.Second
+	beta, err := delay.TuneBeta(b.Trace.NumObjects, 1.0, pre, cap, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("decay rate (applied weekly)   median user delay   adversary delay")
+	for _, rate := range []float64{1.0, 1.2, 5.0} {
+		res, err := experiments.ReplayPopularity(b.Trace, rate, delay.PopularityConfig{
+			N: b.Trace.NumObjects, Alpha: 1.0, Beta: beta, Cap: cap,
+		}, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4.1f                        %9.2f ms        %6.2f hours\n",
+			rate,
+			float64(res.MedianDelay)/float64(time.Millisecond),
+			res.AdversaryDelay.Hours())
+	}
+	fmt.Printf("\nadversary ceiling: %.2f hours (%d films × %v cap)\n",
+		(time.Duration(b.Trace.NumObjects) * cap).Hours(), b.Trace.NumObjects, cap)
+	fmt.Println("decay lowers the median on this shifting workload while the")
+	fmt.Println("adversary keeps paying nearly the full ceiling — §2.3 in action.")
+}
+
+// experimentsLearn returns fmax (the top film's total request count)
+// from a no-decay pre-pass.
+func experimentsLearn(tr *trace.Trace) (float64, error) {
+	counts := tr.Counts()
+	var fmax float64
+	for _, c := range counts {
+		if float64(c) > fmax {
+			fmax = float64(c)
+		}
+	}
+	if fmax == 0 {
+		return 0, fmt.Errorf("empty trace")
+	}
+	return fmax, nil
+}

@@ -1,0 +1,92 @@
+// Quickstart: open a delay-defended database, load a small catalogue,
+// and watch the defense learn — popular tuples get cheap, the long tail
+// stays expensive, and a full extraction is priced out of reach.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	delaydefense "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "delaydefense-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A simulated clock so the demo finishes instantly; drop it (or pass
+	// nil) to impose real delays.
+	clock := delaydefense.NewSimulatedClock(time.Now())
+
+	const n = 10_000
+	db, err := delaydefense.Open(dir, delaydefense.Config{
+		N:     n,                // dataset size the delay formulas use
+		Alpha: 1.0,              // assumed workload skew
+		Beta:  2.5,              // extraction penalty exponent
+		Cap:   10 * time.Second, // dmax: the most any single tuple costs
+		Clock: clock,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Load data through the administrative path (no delays).
+	if _, err := db.Exec(`CREATE TABLE listings (id INT PRIMARY KEY, city TEXT, price FLOAT)`); err != nil {
+		log.Fatal(err)
+	}
+	for lo := 0; lo < n; lo += 500 {
+		stmt := "INSERT INTO listings VALUES "
+		for i := lo; i < lo+500; i++ {
+			if i > lo {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(%d, 'city-%d', %d.0)", i, i%100, 100+i%900)
+		}
+		if _, err := db.Exec(stmt); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A brand-new database knows nothing: every query pays the cap.
+	_, stats, err := db.Query("alice", `SELECT * FROM listings WHERE id = 42`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold query for tuple 42:   delay %v (the cap — nothing learned yet)\n", stats.Delay)
+
+	// Simulate a legitimate, skewed workload: a handful of hot listings.
+	for i := 0; i < 5000; i++ {
+		id := (i * i) % 50 // hot head
+		if _, _, err := db.Query("alice", fmt.Sprintf(`SELECT * FROM listings WHERE id = %d`, id)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	_, stats, err = db.Query("alice", `SELECT * FROM listings WHERE id = 42`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hot query for tuple 42:    delay %v (learned popular)\n", stats.Delay)
+
+	_, stats, err = db.Query("alice", `SELECT * FROM listings WHERE id = 9321`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold query for tuple 9321: delay %v (long tail stays expensive)\n", stats.Delay)
+
+	// Price a full extraction without running one.
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	total := db.QuoteExtraction(ids)
+	fmt.Printf("\nfull extraction of %d tuples would cost %v (~%.1f hours)\n",
+		n, total, total.Hours())
+	fmt.Printf("total simulated delay imposed on this session: %v\n", clock.Slept())
+}

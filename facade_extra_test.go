@@ -1,0 +1,120 @@
+package delaydefense
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestFacadeWithWALRecovers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{N: 50, Alpha: 1, Beta: 1, Cap: time.Second,
+		Clock: NewSimulatedClock(time.Unix(0, 0))}
+	db, err := Open(dir, cfg, WithWAL(false), WithPoolPages(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+	for i := 0; i < 50; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 'v%d')`, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: abandon without Close.
+	db = nil
+
+	db2, err := Open(dir, cfg, WithWAL(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, err := db2.Exec(`SELECT COUNT(*) FROM t`)
+	if err != nil || res.Rows[0][0].Int != 50 {
+		t.Fatalf("recovered count = %v, %v", res.Rows, err)
+	}
+}
+
+func TestFacadeFlush(t *testing.T) {
+	db := openTestDB(t, Config{N: 10, Alpha: 1, Beta: 1, Cap: time.Second})
+	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	db.Exec(`INSERT INTO t VALUES (1)`)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeShieldAccessor(t *testing.T) {
+	db := openTestDB(t, Config{N: 10, Alpha: 1, Beta: 1, Cap: time.Second})
+	if db.Shield() == nil {
+		t.Fatal("nil shield")
+	}
+	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	db.Exec(`INSERT INTO t VALUES (1), (2)`)
+	db.Query("u", `SELECT * FROM t WHERE id = 1`)
+	ids, counts := db.Shield().TopK(1)
+	if len(ids) != 1 || ids[0] != 1 || counts[0] != 1 {
+		t.Fatalf("TopK = %v %v", ids, counts)
+	}
+}
+
+func TestFacadeAdaptiveConfig(t *testing.T) {
+	db := openTestDB(t, Config{
+		N: 10, Alpha: 1, Beta: 1, Cap: time.Second,
+		AdaptiveDecayRates: []float64{1, 1.01},
+	})
+	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	db.Exec(`INSERT INTO t VALUES (1)`)
+	if _, _, err := db.Query("u", `SELECT * FROM t WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Shield().ActiveDecayRate(); got != 1.0 {
+		t.Fatalf("active rate = %v", got)
+	}
+}
+
+func TestFacadeSQLSurface(t *testing.T) {
+	// The extended dialect is reachable through the facade: ORDER BY,
+	// aggregates, secondary indexes.
+	db := openTestDB(t, Config{N: 100, Alpha: 1, Beta: 1, Cap: time.Millisecond})
+	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY, grp TEXT, v FLOAT)`)
+	for i := 0; i < 30; i++ {
+		db.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 'g%d', %d.5)`, i, i%3, i))
+	}
+	if _, err := db.Exec(`CREATE INDEX by_grp ON t (grp)`); err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := db.Query("u", `SELECT COUNT(*), AVG(v) FROM t WHERE grp = 'g1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 10 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	// The aggregate touched 10 tuples; all are charged.
+	if stats.Tuples != 10 {
+		t.Fatalf("charged tuples = %d", stats.Tuples)
+	}
+	ordered, _, err := db.Query("u", `SELECT id FROM t WHERE grp = 'g1' ORDER BY v DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ordered.Rows) != 2 || ordered.Rows[0][0].Int != 28 {
+		t.Fatalf("ordered = %v", ordered.Rows)
+	}
+}
+
+func TestFacadeOpenFailsOnBadEngineDir(t *testing.T) {
+	// A file where the directory should be.
+	dir := t.TempDir() + "/file"
+	if err := writeFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Config{N: 10, Alpha: 1, Cap: time.Second}); err == nil {
+		t.Fatal("open over a file accepted")
+	}
+}
+
+func writeFile(path string) error {
+	return os.WriteFile(path, []byte("not a directory"), 0o644)
+}

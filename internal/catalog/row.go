@@ -1,0 +1,177 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Value is one typed cell of a row.
+type Value struct {
+	Type  Type
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// IntValue, FloatValue and TextValue construct Values.
+func IntValue(v int64) Value     { return Value{Type: Int, Int: v} }
+func FloatValue(v float64) Value { return Value{Type: Float, Float: v} }
+func TextValue(v string) Value   { return Value{Type: Text, Str: v} }
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.Type {
+	case Int:
+		return fmt.Sprintf("%d", v.Int)
+	case Float:
+		return fmt.Sprintf("%g", v.Float)
+	case Text:
+		return v.Str
+	default:
+		return "<invalid>"
+	}
+}
+
+// Equal reports deep equality of two values (types must match).
+func (v Value) Equal(o Value) bool {
+	if v.Type != o.Type {
+		return false
+	}
+	switch v.Type {
+	case Int:
+		return v.Int == o.Int
+	case Float:
+		return v.Float == o.Float
+	case Text:
+		return v.Str == o.Str
+	default:
+		return false
+	}
+}
+
+// Compare orders two values of the same type: -1, 0, or +1. It returns an
+// error on type mismatch.
+func (v Value) Compare(o Value) (int, error) {
+	if v.Type != o.Type {
+		return 0, fmt.Errorf("catalog: comparing %v with %v", v.Type, o.Type)
+	}
+	switch v.Type {
+	case Int:
+		switch {
+		case v.Int < o.Int:
+			return -1, nil
+		case v.Int > o.Int:
+			return 1, nil
+		}
+		return 0, nil
+	case Float:
+		switch {
+		case v.Float < o.Float:
+			return -1, nil
+		case v.Float > o.Float:
+			return 1, nil
+		}
+		return 0, nil
+	case Text:
+		switch {
+		case v.Str < o.Str:
+			return -1, nil
+		case v.Str > o.Str:
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 0, errors.New("catalog: comparing invalid values")
+	}
+}
+
+// Row is an ordered list of values matching a schema's columns.
+type Row []Value
+
+// EncodeRow serializes a row for the given schema. Layout: for each
+// column, Int → 8-byte little-endian two's complement; Float → 8-byte
+// IEEE-754 bits; Text → uvarint length + bytes.
+func EncodeRow(s Schema, r Row) ([]byte, error) {
+	if len(r) != len(s.Columns) {
+		return nil, fmt.Errorf("catalog: row has %d values, schema %q has %d columns",
+			len(r), s.Table, len(s.Columns))
+	}
+	buf := make([]byte, 0, 16*len(r))
+	var scratch [binary.MaxVarintLen64]byte
+	for i, col := range s.Columns {
+		if r[i].Type != col.Type {
+			return nil, fmt.Errorf("catalog: column %q expects %v, got %v",
+				col.Name, col.Type, r[i].Type)
+		}
+		switch col.Type {
+		case Int:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(r[i].Int))
+			buf = append(buf, b[:]...)
+		case Float:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(r[i].Float))
+			buf = append(buf, b[:]...)
+		case Text:
+			n := binary.PutUvarint(scratch[:], uint64(len(r[i].Str)))
+			buf = append(buf, scratch[:n]...)
+			buf = append(buf, r[i].Str...)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeRow deserializes a row encoded by EncodeRow.
+func DecodeRow(s Schema, data []byte) (Row, error) {
+	row := make(Row, 0, len(s.Columns))
+	off := 0
+	for _, col := range s.Columns {
+		switch col.Type {
+		case Int:
+			if off+8 > len(data) {
+				return nil, fmt.Errorf("catalog: truncated INT column %q", col.Name)
+			}
+			row = append(row, IntValue(int64(binary.LittleEndian.Uint64(data[off:off+8]))))
+			off += 8
+		case Float:
+			if off+8 > len(data) {
+				return nil, fmt.Errorf("catalog: truncated FLOAT column %q", col.Name)
+			}
+			row = append(row, FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(data[off:off+8]))))
+			off += 8
+		case Text:
+			l, n := binary.Uvarint(data[off:])
+			if n <= 0 {
+				return nil, fmt.Errorf("catalog: bad TEXT length for column %q", col.Name)
+			}
+			off += n
+			if off+int(l) > len(data) {
+				return nil, fmt.Errorf("catalog: truncated TEXT column %q", col.Name)
+			}
+			row = append(row, TextValue(string(data[off:off+int(l)])))
+			off += int(l)
+		default:
+			return nil, fmt.Errorf("catalog: invalid type in schema column %q", col.Name)
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("catalog: %d trailing bytes after row", len(data)-off)
+	}
+	return row, nil
+}
+
+// Key returns the row's primary key value as the tuple id used by the
+// delay defense. Keys are INT by schema invariant; negative keys map via
+// two's complement.
+func (s Schema) RowKey(r Row) (uint64, error) {
+	if len(r) != len(s.Columns) {
+		return 0, errors.New("catalog: row/schema arity mismatch")
+	}
+	v := r[s.Key]
+	if v.Type != Int {
+		return 0, errors.New("catalog: primary key value is not INT")
+	}
+	return uint64(v.Int), nil
+}

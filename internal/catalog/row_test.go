@@ -1,0 +1,190 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndString(t *testing.T) {
+	if IntValue(5).String() != "5" {
+		t.Fatal("IntValue string")
+	}
+	if FloatValue(2.5).String() != "2.5" {
+		t.Fatal("FloatValue string")
+	}
+	if TextValue("hi").String() != "hi" {
+		t.Fatal("TextValue string")
+	}
+	if (Value{}).String() != "<invalid>" {
+		t.Fatal("invalid string")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !IntValue(3).Equal(IntValue(3)) {
+		t.Fatal("equal ints")
+	}
+	if IntValue(3).Equal(IntValue(4)) {
+		t.Fatal("unequal ints")
+	}
+	if IntValue(3).Equal(FloatValue(3)) {
+		t.Fatal("cross-type equal")
+	}
+	if !TextValue("a").Equal(TextValue("a")) {
+		t.Fatal("equal strings")
+	}
+	if !FloatValue(1.5).Equal(FloatValue(1.5)) {
+		t.Fatal("equal floats")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntValue(1), IntValue(2), -1},
+		{IntValue(2), IntValue(2), 0},
+		{IntValue(3), IntValue(2), 1},
+		{FloatValue(1.5), FloatValue(2.5), -1},
+		{FloatValue(2.5), FloatValue(2.5), 0},
+		{TextValue("a"), TextValue("b"), -1},
+		{TextValue("b"), TextValue("b"), 0},
+		{TextValue("c"), TextValue("b"), 1},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, %v", c.a, c.b, got, err)
+		}
+	}
+	if _, err := IntValue(1).Compare(TextValue("x")); err == nil {
+		t.Fatal("cross-type compare accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSchema()
+	row := Row{IntValue(42), TextValue("Spider-Man"), FloatValue(403706375)}
+	data, err := EncodeRow(s, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRow(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if !got[i].Equal(row[i]) {
+			t.Fatalf("column %d: %v != %v", i, got[i], row[i])
+		}
+	}
+}
+
+func TestEncodeRowValidation(t *testing.T) {
+	s := testSchema()
+	if _, err := EncodeRow(s, Row{IntValue(1)}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := EncodeRow(s, Row{TextValue("x"), TextValue("y"), FloatValue(1)}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestDecodeRowErrors(t *testing.T) {
+	s := testSchema()
+	row := Row{IntValue(1), TextValue("abc"), FloatValue(2)}
+	data, _ := EncodeRow(s, row)
+	// Truncations at every boundary must error, not panic.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeRow(s, data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage.
+	if _, err := DecodeRow(s, append(append([]byte{}, data...), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestEncodeNegativeAndExtremes(t *testing.T) {
+	s := Schema{Table: "t", Columns: []Column{{Name: "id", Type: Int}, {Name: "f", Type: Float}}, Key: 0}
+	row := Row{IntValue(-12345), FloatValue(math.Inf(-1))}
+	data, err := EncodeRow(s, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRow(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Int != -12345 || !math.IsInf(got[1].Float, -1) {
+		t.Fatalf("extremes lost: %v", got)
+	}
+}
+
+func TestRowKey(t *testing.T) {
+	s := testSchema()
+	row := Row{IntValue(77), TextValue("x"), FloatValue(0)}
+	k, err := s.RowKey(row)
+	if err != nil || k != 77 {
+		t.Fatalf("RowKey = %d, %v", k, err)
+	}
+	// Negative keys map through two's complement, stable and unique.
+	row[0] = IntValue(-1)
+	k, err = s.RowKey(row)
+	if err != nil || k != math.MaxUint64 {
+		t.Fatalf("negative RowKey = %d, %v", k, err)
+	}
+	if _, err := s.RowKey(Row{IntValue(1)}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestRowCodecProperty(t *testing.T) {
+	s := Schema{
+		Table: "p",
+		Columns: []Column{
+			{Name: "id", Type: Int},
+			{Name: "name", Type: Text},
+			{Name: "score", Type: Float},
+			{Name: "note", Type: Text},
+		},
+		Key: 0,
+	}
+	f := func(id int64, name string, score float64, note string) bool {
+		row := Row{IntValue(id), TextValue(name), FloatValue(score), TextValue(note)}
+		data, err := EncodeRow(s, row)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRow(s, data)
+		if err != nil {
+			return false
+		}
+		if got[0].Int != id || got[1].Str != name || got[3].Str != note {
+			return false
+		}
+		// NaN compares unequal to itself; compare bit patterns.
+		return math.Float64bits(got[2].Float) == math.Float64bits(score)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyStringsAndUnicode(t *testing.T) {
+	s := Schema{Table: "t", Columns: []Column{{Name: "id", Type: Int}, {Name: "s", Type: Text}}, Key: 0}
+	for _, str := range []string{"", "héllo wörld", "日本語", string([]byte{0, 1, 2})} {
+		row := Row{IntValue(1), TextValue(str)}
+		data, err := EncodeRow(s, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRow(s, data)
+		if err != nil || got[1].Str != str {
+			t.Fatalf("string %q: got %q, %v", str, got[1].Str, err)
+		}
+	}
+}

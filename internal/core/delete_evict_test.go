@@ -1,0 +1,57 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDeleteEvictsFromTracker(t *testing.T) {
+	db := testDB(t, 20)
+	s, _ := New(db, Config{N: 20, Alpha: 1, Beta: 1, Cap: time.Second, Clock: simClock()})
+	for i := 0; i < 10; i++ {
+		s.Query("u", `SELECT * FROM items WHERE id = 3`)
+	}
+	if s.Tracker().Count(3) != 10 {
+		t.Fatalf("count = %v", s.Tracker().Count(3))
+	}
+	if _, _, err := s.Query("u", `DELETE FROM items WHERE id = 3`); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracker().Count(3) != 0 {
+		t.Fatalf("deleted tuple still tracked: %v", s.Tracker().Count(3))
+	}
+	// Deleting does not bump versions (nothing left to be stale against).
+	if s.Versions().Version(3) != 0 {
+		t.Fatalf("delete bumped version: %v", s.Versions().Version(3))
+	}
+}
+
+func TestDeleteEvictsFromAdaptiveTrackers(t *testing.T) {
+	db := testDB(t, 20)
+	s, _ := New(db, Config{
+		N: 20, Alpha: 1, Beta: 1, Cap: time.Second, Clock: simClock(),
+		AdaptiveDecayRates: []float64{1, 1.1},
+	})
+	for i := 0; i < 5; i++ {
+		s.Query("u", `SELECT * FROM items WHERE id = 2`)
+	}
+	s.Query("u", `DELETE FROM items WHERE id = 2`)
+	if s.Tracker().Count(2) != 0 {
+		t.Fatal("adaptive tracker kept deleted tuple")
+	}
+}
+
+func TestExplainBlockedThroughShield(t *testing.T) {
+	db := testDB(t, 10)
+	s, _ := New(db, Config{N: 10, Alpha: 1, Beta: 1, Cap: time.Second, Clock: simClock()})
+	_, _, err := s.Query("u", `EXPLAIN SELECT * FROM items WHERE id = 1`)
+	if !errors.Is(err, ErrExplainBlocked) {
+		t.Fatalf("err = %v", err)
+	}
+	// EXPLAIN remains available on the administrative path.
+	res, err := s.DB().Exec(`EXPLAIN SELECT * FROM items WHERE id = 1`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("admin explain: %v, %v", res, err)
+	}
+}

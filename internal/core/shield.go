@@ -1,0 +1,479 @@
+// Package core assembles the paper's defense into a single front door:
+// the Shield wraps the embedded relational engine with access counting
+// (§2.3), popularity- or update-rate-keyed delay (§2, §3), per-principal
+// and subnet-aggregated rate limiting, and a registration throttle
+// (§2.4), plus tuple version tracking for the staleness guarantee (§3).
+//
+// Every query enters through Shield.Query: the statement runs against the
+// engine, the returned tuples are priced by the delay policy, the shield
+// sleeps for the total on its clock (a simulated clock in experiments),
+// the access counts are updated, and only then does the result leave the
+// building.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/delay"
+	"repro/internal/engine"
+	"repro/internal/freshness"
+	"repro/internal/ratelimit"
+	"repro/internal/sqlmini"
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// ErrRateLimited is returned when a principal exceeds its query rate.
+var ErrRateLimited = errors.New("core: rate limited")
+
+// ErrRegistrationThrottled is returned when a new identity cannot be
+// registered yet.
+var ErrRegistrationThrottled = errors.New("core: registration throttled")
+
+// PolicyKind selects how delays are keyed.
+type PolicyKind int
+
+// Available policy kinds.
+const (
+	// ByPopularity keys delay to access popularity (§2); it requires
+	// skewed access patterns.
+	ByPopularity PolicyKind = iota + 1
+	// ByUpdateRate keys delay to update rate (§3); it works even with
+	// uniform access patterns, provided updates are skewed.
+	ByUpdateRate
+)
+
+// Config parameterizes a Shield.
+type Config struct {
+	// Kind selects the delay policy. Default ByPopularity.
+	Kind PolicyKind
+	// N is the dataset size the delay formulas use. Required.
+	N int
+	// Alpha is the assumed or estimated skew parameter.
+	Alpha float64
+	// Beta is the popularity policy's penalty exponent (ByPopularity).
+	Beta float64
+	// C is the update-rate policy's delay constant (ByUpdateRate).
+	C float64
+	// Cap bounds any single tuple's delay (dmax). Strongly recommended;
+	// without it cold tuples are delayed effectively forever.
+	Cap time.Duration
+	// DecayRate is the access-count decay δ ≥ 1 (1 = no decay).
+	DecayRate float64
+	// AdaptiveDecayRates, when non-empty, tracks counts under every
+	// listed rate simultaneously and serves delays from whichever tracker
+	// best predicts the live request stream — §2.3's answer to unknown
+	// popularity dynamics ("one can simultaneously track counts with more
+	// than one decay term, switching to the appropriate set as the
+	// request pattern warrants"). Overrides DecayRate. ByPopularity only.
+	AdaptiveDecayRates []float64
+	// AdaptiveWarmup is the observation count before the adaptive
+	// selector may switch trackers (default 1000).
+	AdaptiveWarmup int
+	// Clock defaults to the wall clock; experiments inject a simulated
+	// clock so adversary delays accumulate instantly.
+	Clock vclock.Clock
+
+	// QueryRate/QueryBurst enable per-principal rate limiting when
+	// QueryRate > 0.
+	QueryRate  float64
+	QueryBurst float64
+	// MaxPrincipals bounds limiter memory (default 65536).
+	MaxPrincipals int
+	// SubnetAggregation treats all addresses in one /24 (IPv4) or /48
+	// (IPv6) as a single principal, the paper's Sybil defense.
+	SubnetAggregation bool
+	// RegistrationInterval enables the one-identity-per-interval
+	// registration throttle when positive.
+	RegistrationInterval time.Duration
+}
+
+func (c *Config) fill() error {
+	if c.Kind == 0 {
+		c.Kind = ByPopularity
+	}
+	if c.N < 1 {
+		return errors.New("core: config N < 1")
+	}
+	if c.DecayRate == 0 {
+		c.DecayRate = 1
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real{}
+	}
+	if c.MaxPrincipals == 0 {
+		c.MaxPrincipals = 65536
+	}
+	if c.Kind == ByUpdateRate && c.C == 0 {
+		c.C = 1
+	}
+	if c.AdaptiveWarmup == 0 {
+		c.AdaptiveWarmup = 1000
+	}
+	if len(c.AdaptiveDecayRates) > 0 && c.Kind != ByPopularity {
+		return errors.New("core: adaptive decay applies to the popularity policy only")
+	}
+	return nil
+}
+
+// QueryStats describes what one query cost.
+type QueryStats struct {
+	// Delay is the total pause imposed before results were released.
+	Delay time.Duration
+	// Tuples is the number of tuples the query returned (and was charged
+	// for).
+	Tuples int
+}
+
+// Shield is the delay-defended front door to a database. It is safe for
+// concurrent use.
+type Shield struct {
+	cfg       Config
+	db        *engine.Database
+	tracker   *counters.Decayed
+	multi     *counters.MultiDecay // non-nil in adaptive mode
+	multiMu   sync.Mutex           // serializes MultiDecay.Observe/Active
+	adaptive  *adaptivePolicy
+	updPolicy *delay.UpdateRate
+	gate      *delay.Gate
+	limiter   *ratelimit.IdentityLimiter
+	registrar *ratelimit.RegistrationThrottle
+	versions  *freshness.Store
+	delays    *stats.Reservoir
+	started   time.Time
+}
+
+// adaptivePolicy serves delays from whichever tracker the multi-decay
+// selector currently trusts.
+type adaptivePolicy struct {
+	shield *Shield
+	pols   []*delay.Popularity // one per tracker, same order as multi.Trackers()
+}
+
+// Delay implements delay.Policy.
+func (a *adaptivePolicy) Delay(id uint64) time.Duration {
+	a.shield.multiMu.Lock()
+	_, idx := a.shield.multi.Active()
+	a.shield.multiMu.Unlock()
+	return a.pols[idx].Delay(id)
+}
+
+// New wraps db in a Shield.
+func New(db *engine.Database, cfg Config) (*Shield, error) {
+	if db == nil {
+		return nil, errors.New("core: nil database")
+	}
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	tracker, err := counters.NewDecayed(cfg.DecayRate)
+	if err != nil {
+		return nil, err
+	}
+	s := &Shield{
+		cfg:      cfg,
+		db:       db,
+		tracker:  tracker,
+		versions: freshness.NewStore(),
+		delays:   stats.NewReservoir(4096, 1),
+		started:  cfg.Clock.Now(),
+	}
+
+	var policy delay.Policy
+	switch cfg.Kind {
+	case ByPopularity:
+		if len(cfg.AdaptiveDecayRates) > 0 {
+			multi, err := counters.NewMultiDecay(cfg.AdaptiveDecayRates, 0.995, cfg.AdaptiveWarmup)
+			if err != nil {
+				return nil, err
+			}
+			s.multi = multi
+			ap := &adaptivePolicy{shield: s}
+			for _, tr := range multi.Trackers() {
+				p, err := delay.NewPopularity(delay.PopularityConfig{
+					N: cfg.N, Alpha: cfg.Alpha, Beta: cfg.Beta, Cap: cfg.Cap,
+				}, tr)
+				if err != nil {
+					return nil, err
+				}
+				ap.pols = append(ap.pols, p)
+			}
+			s.adaptive = ap
+			policy = ap
+			break
+		}
+		p, err := delay.NewPopularity(delay.PopularityConfig{
+			N: cfg.N, Alpha: cfg.Alpha, Beta: cfg.Beta, Cap: cfg.Cap,
+		}, tracker)
+		if err != nil {
+			return nil, err
+		}
+		policy = p
+	case ByUpdateRate:
+		upd, err := counters.NewDecayed(cfg.DecayRate)
+		if err != nil {
+			return nil, err
+		}
+		u, err := delay.NewUpdateRate(delay.UpdateRateConfig{
+			N: cfg.N, Alpha: cfg.Alpha, C: cfg.C, Cap: cfg.Cap,
+		}, upd)
+		if err != nil {
+			return nil, err
+		}
+		s.updPolicy = u
+		policy = u
+	default:
+		return nil, fmt.Errorf("core: unknown policy kind %d", cfg.Kind)
+	}
+
+	observe := func(id uint64) { tracker.Observe(id) }
+	if s.multi != nil {
+		observe = func(id uint64) {
+			s.multiMu.Lock()
+			s.multi.Observe(id)
+			s.multiMu.Unlock()
+		}
+	}
+	gate, err := delay.NewGate(policy, cfg.Clock, observe)
+	if err != nil {
+		return nil, err
+	}
+	s.gate = gate
+
+	if cfg.QueryRate > 0 {
+		burst := cfg.QueryBurst
+		if burst < 1 {
+			burst = 1
+		}
+		lim, err := ratelimit.NewIdentityLimiter(cfg.QueryRate, burst, cfg.MaxPrincipals, cfg.Clock)
+		if err != nil {
+			return nil, err
+		}
+		s.limiter = lim
+	}
+	if cfg.RegistrationInterval > 0 {
+		reg, err := ratelimit.NewRegistrationThrottle(cfg.RegistrationInterval, cfg.Clock)
+		if err != nil {
+			return nil, err
+		}
+		s.registrar = reg
+	}
+	return s, nil
+}
+
+// DB returns the wrapped database — the unprotected back door, used by
+// loaders and experiments. Production front ends expose only the Shield.
+func (s *Shield) DB() *engine.Database { return s.db }
+
+// Tracker returns the access-count tracker. In adaptive mode it is the
+// currently selected tracker.
+func (s *Shield) Tracker() *counters.Decayed {
+	if s.multi != nil {
+		s.multiMu.Lock()
+		defer s.multiMu.Unlock()
+		tr, _ := s.multi.Active()
+		return tr
+	}
+	return s.tracker
+}
+
+// ActiveDecayRate returns the decay rate the shield is currently keying
+// delays to — interesting in adaptive mode, where it may switch.
+func (s *Shield) ActiveDecayRate() float64 {
+	return s.Tracker().DecayRate()
+}
+
+// TopK returns the k most popular tuple ids with their decayed counts,
+// per the current tracker.
+func (s *Shield) TopK(k int) (ids []uint64, counts []float64) {
+	s.Tracker().Ascend(func(rank int, id uint64, count float64) bool {
+		if rank > k {
+			return false
+		}
+		ids = append(ids, id)
+		counts = append(counts, count)
+		return true
+	})
+	return ids, counts
+}
+
+// Versions returns the tuple version store.
+func (s *Shield) Versions() *freshness.Store { return s.versions }
+
+// UpdatePolicy returns the update-rate policy, or nil when the shield is
+// popularity-keyed.
+func (s *Shield) UpdatePolicy() *delay.UpdateRate { return s.updPolicy }
+
+// Gate returns the delay gate (experiments use Quote for non-invasive
+// measurement).
+func (s *Shield) Gate() *delay.Gate { return s.gate }
+
+// principalKey maps an identity to its rate-limiting principal.
+func (s *Shield) principalKey(identity string) string {
+	if s.cfg.SubnetAggregation {
+		return ratelimit.SubnetKey(identity)
+	}
+	return identity
+}
+
+// Register admits a new identity through the registration throttle. With
+// no throttle configured it always succeeds.
+func (s *Shield) Register(identity string) error {
+	if s.registrar == nil {
+		return nil
+	}
+	if wait, ok := s.registrar.TryRegister(); !ok {
+		return fmt.Errorf("%w: next slot in %v", ErrRegistrationThrottled, wait)
+	}
+	return nil
+}
+
+// ErrExplainBlocked is returned for EXPLAIN through the shielded front
+// door: plans reveal index candidate counts without paying any delay.
+var ErrExplainBlocked = errors.New("core: EXPLAIN is not available through the shielded front door")
+
+// Query executes sql on behalf of identity, imposing the policy delay on
+// returned tuples before the result is released. Write statements bump
+// tuple versions (and feed the update-rate policy) instead of being
+// delayed; DELETE additionally evicts the tuples from the popularity
+// tracking so dead tuples stop occupying ranks.
+func (s *Shield) Query(identity, sql string) (*engine.Result, QueryStats, error) {
+	if s.limiter != nil && !s.limiter.Allow(s.principalKey(identity)) {
+		return nil, QueryStats{}, fmt.Errorf("%w: principal %q", ErrRateLimited, s.principalKey(identity))
+	}
+	stmt, err := sqlmini.Parse(sql)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	if sel, ok := stmt.(*sqlmini.Select); ok && sel.Explain {
+		return nil, QueryStats{}, ErrExplainBlocked
+	}
+	res, err := s.db.ExecStmt(stmt)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	if res.Columns != nil {
+		// SELECT: charge delay for every returned tuple.
+		d := s.gate.Charge(res.Keys...)
+		s.delays.Add(d.Seconds())
+		return res, QueryStats{Delay: d, Tuples: len(res.Keys)}, nil
+	}
+	// Write statement: record updates; evict deleted tuples from the
+	// popularity tracking.
+	if _, isDelete := stmt.(*sqlmini.Delete); isDelete {
+		for _, key := range res.Keys {
+			s.forgetTuple(key)
+		}
+		return res, QueryStats{}, nil
+	}
+	now := s.cfg.Clock.Now()
+	for _, key := range res.Keys {
+		s.versions.Bump(key, now)
+		if s.updPolicy != nil {
+			s.updPolicy.RecordUpdate(key)
+		}
+	}
+	if s.updPolicy != nil {
+		s.updPolicy.SetWindow(s.Window())
+	}
+	return res, QueryStats{}, nil
+}
+
+// DelayQuantile estimates the q-quantile of the per-query delays this
+// shield has imposed (from a uniform reservoir sample). ok is false
+// before any query has been served.
+func (s *Shield) DelayQuantile(q float64) (d time.Duration, ok bool) {
+	sec, err := s.delays.Quantile(q)
+	if err != nil {
+		return 0, false
+	}
+	return delay.SecondsToDuration(sec), true
+}
+
+// QueriesServed returns the number of SELECT queries the shield has
+// priced.
+func (s *Shield) QueriesServed() int64 { return s.delays.N() }
+
+// forgetTuple drops a deleted tuple from every tracker so dead tuples do
+// not keep occupying popularity ranks.
+func (s *Shield) forgetTuple(id uint64) {
+	if s.multi != nil {
+		s.multiMu.Lock()
+		for _, tr := range s.multi.Trackers() {
+			tr.Remove(id)
+		}
+		s.multiMu.Unlock()
+	} else {
+		s.tracker.Remove(id)
+	}
+	if s.updPolicy != nil {
+		s.updPolicy.Tracker().Remove(id)
+	}
+}
+
+// Window returns the seconds elapsed on the shield's clock since it was
+// created — the observation window used to turn update counts into rates.
+func (s *Shield) Window() float64 {
+	return s.cfg.Clock.Now().Sub(s.started).Seconds()
+}
+
+// SaveCounts persists the current tracker's learned counts to store —
+// the paper's design point that counts live with the data. Pair with
+// LoadCounts at startup so the defense does not relearn from scratch
+// (and re-expose the start-up transient) after every restart.
+func (s *Shield) SaveCounts(store counters.Store) error {
+	ids, counts := s.Tracker().Export()
+	for i, id := range ids {
+		if err := store.PutCount(id, counts[i]); err != nil {
+			return fmt.Errorf("core: saving count for %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// LoadCounts restores learned counts previously written by SaveCounts.
+// In adaptive mode every tracker is seeded with the same counts.
+func (s *Shield) LoadCounts(all func() (ids []uint64, counts []float64, err error)) error {
+	ids, counts, err := all()
+	if err != nil {
+		return err
+	}
+	if s.multi != nil {
+		s.multiMu.Lock()
+		defer s.multiMu.Unlock()
+		for _, tr := range s.multi.Trackers() {
+			if err := tr.Import(ids, counts); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return s.tracker.Import(ids, counts)
+}
+
+// QuoteExtraction returns, without sleeping or perturbing counts, the
+// total delay an adversary would face extracting the given tuple ids
+// one query at a time under the current learned state.
+func (s *Shield) QuoteExtraction(ids []uint64) time.Duration {
+	return s.gate.Quote(ids...)
+}
+
+// Snapshot extracts the current version vector for the given ids, as an
+// adversary's stolen copy; pair with StaleFraction after time passes.
+func (s *Shield) Snapshot(ids []uint64) []freshness.Extracted {
+	out := make([]freshness.Extracted, len(ids))
+	for i, id := range ids {
+		out[i] = s.versions.Observe(id)
+	}
+	return out
+}
+
+// StaleFraction reports how much of an extracted snapshot is already
+// obsolete.
+func (s *Shield) StaleFraction(snap []freshness.Extracted) float64 {
+	return s.versions.StaleFraction(snap)
+}

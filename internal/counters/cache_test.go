@@ -1,0 +1,171 @@
+package counters
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNewCountCacheValidation(t *testing.T) {
+	if _, err := NewCountCache(0, NewMapStore()); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := NewCountCache(10, nil); err == nil {
+		t.Fatal("nil store accepted")
+	}
+}
+
+func TestCacheAddAndGet(t *testing.T) {
+	c, _ := NewCountCache(4, NewMapStore())
+	if got, err := c.Add(1, 2); err != nil || got != 2 {
+		t.Fatalf("Add = %v, %v", got, err)
+	}
+	if got, err := c.Add(1, 3); err != nil || got != 5 {
+		t.Fatalf("Add = %v, %v", got, err)
+	}
+	if got, err := c.Get(1); err != nil || got != 5 {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if got, err := c.Get(2); err != nil || got != 0 {
+		t.Fatalf("Get unseen = %v, %v", got, err)
+	}
+}
+
+func TestCacheEvictionWritesBack(t *testing.T) {
+	store := NewMapStore()
+	c, _ := NewCountCache(2, store)
+	c.Add(1, 10)
+	c.Add(2, 20)
+	c.Add(3, 30) // evicts id 1 (LRU)
+	if c.Resident() != 2 {
+		t.Fatalf("Resident = %d", c.Resident())
+	}
+	if v, ok, _ := store.GetCount(1); !ok || v != 10 {
+		t.Fatalf("store count for evicted id = %v, %v", v, ok)
+	}
+	// Faulting id 1 back finds the persisted count.
+	if got, _ := c.Get(1); got != 10 {
+		t.Fatalf("refaulted count = %v", got)
+	}
+	_, misses, evicts := func() (int64, int64, int64) { return c.Stats() }()
+	if misses < 4 || evicts < 1 {
+		t.Fatalf("stats: misses=%d evicts=%d", misses, evicts)
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	store := NewMapStore()
+	c, _ := NewCountCache(2, store)
+	c.Add(1, 1)
+	c.Add(2, 1)
+	c.Get(1)    // touch 1, so 2 is now LRU
+	c.Add(3, 1) // must evict 2
+	if v, ok, _ := store.GetCount(2); !ok || v != 1 {
+		t.Fatalf("id 2 not written back: %v, %v", v, ok)
+	}
+	if v, ok, _ := store.GetCount(1); ok && v != 0 {
+		t.Fatalf("id 1 unexpectedly written back: %v", v)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	store := NewMapStore()
+	c, _ := NewCountCache(8, store)
+	c.Add(1, 5)
+	c.Add(2, 6)
+	if store.Len() != 0 {
+		t.Fatal("counts persisted before flush")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("store len = %d", store.Len())
+	}
+	// Second flush with no new writes must not re-put.
+	_, puts := store.Ops()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, puts2 := store.Ops(); puts2 != puts {
+		t.Fatal("clean entries re-flushed")
+	}
+}
+
+func TestCacheCleanEvictionSkipsWrite(t *testing.T) {
+	store := NewMapStore()
+	c, _ := NewCountCache(1, store)
+	c.Add(1, 5)
+	c.Flush()
+	_, putsBefore := store.Ops()
+	c.Get(2) // evicts clean id 1
+	if _, puts := store.Ops(); puts != putsBefore {
+		t.Fatal("clean eviction wrote back")
+	}
+}
+
+type failingStore struct{ failGet, failPut bool }
+
+func (f *failingStore) GetCount(uint64) (float64, bool, error) {
+	if f.failGet {
+		return 0, false, errors.New("boom get")
+	}
+	return 0, false, nil
+}
+func (f *failingStore) PutCount(uint64, float64) error {
+	if f.failPut {
+		return errors.New("boom put")
+	}
+	return nil
+}
+
+func TestCachePropagatesStoreErrors(t *testing.T) {
+	c, _ := NewCountCache(1, &failingStore{failGet: true})
+	if _, err := c.Get(1); err == nil {
+		t.Fatal("get error swallowed")
+	}
+	c2, _ := NewCountCache(1, &failingStore{failPut: true})
+	c2.Add(1, 1)
+	if _, err := c2.Add(2, 1); err == nil {
+		t.Fatal("eviction writeback error swallowed")
+	}
+	c3, _ := NewCountCache(4, &failingStore{failPut: true})
+	c3.Add(1, 1)
+	if err := c3.Flush(); err == nil {
+		t.Fatal("flush error swallowed")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	store := NewMapStore()
+	c, _ := NewCountCache(16, store)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if _, err := c.Add(uint64(i%64), 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Total across store + zero lost updates.
+	var total float64
+	for id := uint64(0); id < 64; id++ {
+		v, err := c.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += v
+	}
+	if total != 8*500 {
+		t.Fatalf("total = %v, want %d (lost updates)", total, 8*500)
+	}
+}

@@ -1,0 +1,297 @@
+package counters
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDecayedValidation(t *testing.T) {
+	for _, bad := range []float64{0.5, 0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewDecayed(bad); err == nil {
+			t.Errorf("decay %v accepted", bad)
+		}
+	}
+	d, err := NewDecayed(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DecayRate() != 1 {
+		t.Fatalf("DecayRate = %v", d.DecayRate())
+	}
+}
+
+func TestNoDecayCountsExactly(t *testing.T) {
+	d, _ := NewDecayed(1)
+	for i := 0; i < 10; i++ {
+		d.Observe(1)
+	}
+	for i := 0; i < 3; i++ {
+		d.Observe(2)
+	}
+	if got := d.Count(1); got != 10 {
+		t.Fatalf("Count(1) = %v", got)
+	}
+	if got := d.Count(2); got != 3 {
+		t.Fatalf("Count(2) = %v", got)
+	}
+	if got := d.Count(99); got != 0 {
+		t.Fatalf("Count(unseen) = %v", got)
+	}
+	if got := d.Observations(); got != 13 {
+		t.Fatalf("Observations = %v", got)
+	}
+	if got := d.Len(); got != 2 {
+		t.Fatalf("Len = %v", got)
+	}
+}
+
+func TestPopularityNormalized(t *testing.T) {
+	d, _ := NewDecayed(1)
+	if d.Popularity(1) != 0 || d.MaxPopularity() != 0 {
+		t.Fatal("popularity before observations nonzero")
+	}
+	for i := 0; i < 8; i++ {
+		d.Observe(1)
+	}
+	for i := 0; i < 2; i++ {
+		d.Observe(2)
+	}
+	if got := d.Popularity(1); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("Popularity(1) = %v", got)
+	}
+	if got := d.MaxPopularity(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("MaxPopularity = %v", got)
+	}
+	// Sum of popularities is 1.
+	sum := d.Popularity(1) + d.Popularity(2)
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("popularities sum to %v", sum)
+	}
+}
+
+func TestRankOrdering(t *testing.T) {
+	d, _ := NewDecayed(1)
+	for i := 0; i < 5; i++ {
+		d.Observe(100)
+	}
+	for i := 0; i < 3; i++ {
+		d.Observe(200)
+	}
+	d.Observe(300)
+	if d.Rank(100) != 1 || d.Rank(200) != 2 || d.Rank(300) != 3 {
+		t.Fatalf("ranks = %d, %d, %d", d.Rank(100), d.Rank(200), d.Rank(300))
+	}
+	// Unseen id ranks after everything — the start-up transient rule.
+	if got := d.Rank(999); got != 4 {
+		t.Fatalf("unseen rank = %d, want 4", got)
+	}
+}
+
+func TestDecayForgetsOldAccesses(t *testing.T) {
+	// Item 1 is hammered early, item 2 recently; with aggressive decay the
+	// recent item must outrank the old one despite fewer total accesses.
+	d, _ := NewDecayed(1.5)
+	for i := 0; i < 50; i++ {
+		d.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		d.Observe(2)
+	}
+	if d.Rank(2) != 1 {
+		t.Fatalf("recent item rank = %d, want 1 (old=%v new=%v)",
+			d.Rank(2), d.Count(1), d.Count(2))
+	}
+	// Without decay the totals would have kept item 1 on top.
+	nd, _ := NewDecayed(1)
+	for i := 0; i < 50; i++ {
+		nd.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		nd.Observe(2)
+	}
+	if nd.Rank(1) != 1 {
+		t.Fatal("no-decay control: old item should stay rank 1")
+	}
+}
+
+func TestObserveNoDecayPlusTickEquivalence(t *testing.T) {
+	// Observe == ObserveNoDecay followed by Tick.
+	a, _ := NewDecayed(1.01)
+	b, _ := NewDecayed(1.01)
+	ids := []uint64{1, 2, 1, 3, 1, 2}
+	for _, id := range ids {
+		a.Observe(id)
+		b.ObserveNoDecay(id)
+		b.Tick()
+	}
+	for _, id := range []uint64{1, 2, 3} {
+		if math.Abs(a.Count(id)-b.Count(id)) > 1e-9 {
+			t.Fatalf("id %d: %v vs %v", id, a.Count(id), b.Count(id))
+		}
+	}
+}
+
+func TestTickN(t *testing.T) {
+	a, _ := NewDecayed(2)
+	b, _ := NewDecayed(2)
+	a.ObserveNoDecay(1)
+	b.ObserveNoDecay(1)
+	a.TickN(5)
+	for i := 0; i < 5; i++ {
+		b.Tick()
+	}
+	if math.Abs(a.Count(1)-b.Count(1)) > 1e-12 {
+		t.Fatalf("TickN mismatch: %v vs %v", a.Count(1), b.Count(1))
+	}
+	// Count decays by 2^5.
+	if want := 1.0 / 32; math.Abs(a.Count(1)-want) > 1e-12 {
+		t.Fatalf("Count = %v, want %v", a.Count(1), want)
+	}
+}
+
+func TestRenormalizationPreservesSemantics(t *testing.T) {
+	// Huge decay rate forces renormalization quickly.
+	d, _ := NewDecayed(1e20)
+	for i := 0; i < 40; i++ {
+		d.Observe(uint64(i % 4))
+	}
+	if d.Renormalizations() == 0 {
+		t.Fatal("expected at least one renormalization")
+	}
+	// Popularities still sum to 1 and ranks are still well defined.
+	var sum float64
+	for i := uint64(0); i < 4; i++ {
+		sum += d.Popularity(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("popularities sum to %v after renorm", sum)
+	}
+	seen := map[int]bool{}
+	for i := uint64(0); i < 4; i++ {
+		r := d.Rank(i)
+		if r < 1 || r > 4 || seen[r] {
+			t.Fatalf("bad rank %d for id %d", r, i)
+		}
+		seen[r] = true
+	}
+}
+
+func TestRenormalizationKeepsRelativeCounts(t *testing.T) {
+	d, _ := NewDecayed(1e30)
+	d.ObserveNoDecay(1)
+	d.ObserveNoDecay(1)
+	d.ObserveNoDecay(2)
+	for i := 0; i < 20; i++ {
+		d.Tick()
+	}
+	// Relative popularity must be exactly 2:1 regardless of renorms.
+	p1, p2 := d.Popularity(1), d.Popularity(2)
+	if math.Abs(p1/p2-2) > 1e-9 {
+		t.Fatalf("popularity ratio = %v, want 2", p1/p2)
+	}
+}
+
+func TestAscendAndSnapshot(t *testing.T) {
+	d, _ := NewDecayed(1)
+	for i := 0; i < 3; i++ {
+		d.Observe(7)
+	}
+	d.Observe(8)
+	var order []uint64
+	d.Ascend(func(rank int, id uint64, count float64) bool {
+		order = append(order, id)
+		return true
+	})
+	if len(order) != 2 || order[0] != 7 || order[1] != 8 {
+		t.Fatalf("Ascend order = %v", order)
+	}
+	ids, pops := d.Snapshot()
+	if len(ids) != 2 || ids[0] != 7 {
+		t.Fatalf("Snapshot ids = %v", ids)
+	}
+	if math.Abs(pops[0]-0.75) > 1e-12 || math.Abs(pops[1]-0.25) > 1e-12 {
+		t.Fatalf("Snapshot pops = %v", pops)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	d, _ := NewDecayed(1)
+	ids, pops := d.Snapshot()
+	if len(ids) != 0 || len(pops) != 0 {
+		t.Fatal("empty snapshot nonempty")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	d, _ := NewDecayed(1)
+	var wg sync.WaitGroup
+	const workers = 8
+	const per = 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d.Observe(uint64(w % 4))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := d.Observations(); got != workers*per {
+		t.Fatalf("Observations = %d", got)
+	}
+	var total float64
+	for i := uint64(0); i < 4; i++ {
+		total += d.Count(i)
+	}
+	if math.Abs(total-workers*per) > 1e-6 {
+		t.Fatalf("total counts = %v", total)
+	}
+}
+
+func TestPopularitySumProperty(t *testing.T) {
+	f := func(accesses []uint8) bool {
+		d, _ := NewDecayed(1.001)
+		seen := map[uint64]bool{}
+		for _, a := range accesses {
+			d.Observe(uint64(a))
+			seen[uint64(a)] = true
+		}
+		if len(seen) == 0 {
+			return true
+		}
+		var sum float64
+		for id := range seen {
+			sum += d.Popularity(id)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanksArePermutationProperty(t *testing.T) {
+	f := func(accesses []uint8) bool {
+		d, _ := NewDecayed(1.1)
+		seen := map[uint64]bool{}
+		for _, a := range accesses {
+			d.Observe(uint64(a))
+			seen[uint64(a)] = true
+		}
+		ranks := map[int]bool{}
+		for id := range seen {
+			r := d.Rank(id)
+			if r < 1 || r > len(seen) || ranks[r] {
+				return false
+			}
+			ranks[r] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

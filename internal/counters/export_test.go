@@ -1,0 +1,102 @@
+package counters
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	d, _ := NewDecayed(1)
+	for i := 0; i < 7; i++ {
+		d.Observe(1)
+	}
+	for i := 0; i < 3; i++ {
+		d.Observe(2)
+	}
+	ids, counts := d.Export()
+	if len(ids) != 2 || ids[0] != 1 || counts[0] != 7 || counts[1] != 3 {
+		t.Fatalf("export = %v %v", ids, counts)
+	}
+
+	fresh, _ := NewDecayed(1)
+	if err := fresh.Import(ids, counts); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Count(1) != 7 || fresh.Count(2) != 3 {
+		t.Fatalf("imported counts = %v, %v", fresh.Count(1), fresh.Count(2))
+	}
+	if fresh.Rank(1) != 1 || fresh.Rank(2) != 2 {
+		t.Fatal("imported ranks wrong")
+	}
+	if fresh.MaxCount() != 7 {
+		t.Fatalf("imported MaxCount = %v", fresh.MaxCount())
+	}
+	// Popularities normalized.
+	if math.Abs(fresh.Popularity(1)-0.7) > 1e-12 {
+		t.Fatalf("imported popularity = %v", fresh.Popularity(1))
+	}
+}
+
+func TestExportAfterDecayGivesDecayedCounts(t *testing.T) {
+	d, _ := NewDecayed(2)
+	d.ObserveNoDecay(1)
+	d.Tick() // count halves
+	_, counts := d.Export()
+	if counts[0] != 0.5 {
+		t.Fatalf("decayed export = %v", counts[0])
+	}
+}
+
+func TestImportValidation(t *testing.T) {
+	d, _ := NewDecayed(1)
+	if err := d.Import([]uint64{1}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	// Bad values skipped, not fatal.
+	if err := d.Import([]uint64{1, 2, 3, 4}, []float64{5, -1, math.NaN(), math.Inf(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.Count(1) != 5 {
+		t.Fatalf("after import: len=%d count=%v", d.Len(), d.Count(1))
+	}
+}
+
+func TestRemove(t *testing.T) {
+	d, _ := NewDecayed(1)
+	for i := 0; i < 4; i++ {
+		d.Observe(1)
+	}
+	d.Observe(2)
+	if !d.Remove(1) {
+		t.Fatal("Remove(tracked) = false")
+	}
+	if d.Remove(1) || d.Remove(99) {
+		t.Fatal("Remove(untracked) = true")
+	}
+	if d.Count(1) != 0 || d.Len() != 1 {
+		t.Fatalf("after remove: count=%v len=%d", d.Count(1), d.Len())
+	}
+	// Remaining tuple now holds all popularity mass and rank 1.
+	if d.Popularity(2) != 1 || d.Rank(2) != 1 {
+		t.Fatalf("pop=%v rank=%d", d.Popularity(2), d.Rank(2))
+	}
+}
+
+func TestImportReplacesPriorState(t *testing.T) {
+	d, _ := NewDecayed(1)
+	d.Observe(42)
+	if err := d.Import([]uint64{7}, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Count(42) != 0 {
+		t.Fatal("old state survived import")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	// Tracker remains usable after import.
+	d.Observe(7)
+	if d.Count(7) != 3 {
+		t.Fatalf("count after import+observe = %v", d.Count(7))
+	}
+}

@@ -1,0 +1,106 @@
+package counters
+
+import (
+	"errors"
+	"math"
+)
+
+// MultiDecay simultaneously tracks access counts under several decay rates
+// and selects the rate whose popularity estimates best predict the
+// observed request stream. The paper (§2.3) suggests exactly this when the
+// dynamics of the popularity distribution are unknown: "one can
+// simultaneously track counts with more than one decay term, switching to
+// the appropriate set as the request pattern warrants", citing the agile
+// estimators used in wireless networking and energy management.
+//
+// Selection uses an exponentially weighted average of per-request
+// predictive log-likelihood: just before an access to id is recorded, each
+// tracker's smoothed probability estimate for id is scored; higher average
+// log-likelihood means that tracker's notion of "current popularity"
+// matches reality better. MultiDecay is safe for concurrent use through
+// the underlying trackers but Observe itself must not race with Active;
+// callers serialize externally (the Shield does).
+type MultiDecay struct {
+	trackers []*Decayed
+	scores   []float64
+	// scoreDecay smooths the log-likelihood scores (a second-order decay,
+	// which also lets the selector track non-stationary second-order
+	// dynamics, as the paper notes).
+	scoreDecay float64
+	warmup     int64
+	seen       int64
+}
+
+// NewMultiDecay builds trackers for each rate in rates. scoreDecay in
+// (0, 1] smooths the selection signal (values near 1 react slowly);
+// warmup is the number of observations before Active may switch away from
+// the first tracker.
+func NewMultiDecay(rates []float64, scoreDecay float64, warmup int) (*MultiDecay, error) {
+	if len(rates) == 0 {
+		return nil, errors.New("counters: no decay rates")
+	}
+	if scoreDecay <= 0 || scoreDecay > 1 {
+		return nil, errors.New("counters: scoreDecay out of (0,1]")
+	}
+	m := &MultiDecay{
+		scoreDecay: scoreDecay,
+		warmup:     int64(warmup),
+		scores:     make([]float64, len(rates)),
+	}
+	for _, r := range rates {
+		d, err := NewDecayed(r)
+		if err != nil {
+			return nil, err
+		}
+		m.trackers = append(m.trackers, d)
+	}
+	return m, nil
+}
+
+// Observe scores every tracker's prediction for id, then records the
+// access (with one decay step) in all of them.
+func (m *MultiDecay) Observe(id uint64) {
+	for i, tr := range m.trackers {
+		p := m.smoothedProb(tr, id)
+		m.scores[i] = m.scoreDecay*m.scores[i] + (1-m.scoreDecay)*math.Log(p)
+	}
+	for _, tr := range m.trackers {
+		tr.Observe(id)
+	}
+	m.seen++
+}
+
+// smoothedProb is a Laplace-smoothed popularity estimate so unseen ids do
+// not produce log(0).
+func (m *MultiDecay) smoothedProb(tr *Decayed, id uint64) float64 {
+	n := float64(tr.Len()) + 1
+	// Popularity is weight/total; smooth with one pseudo-count spread over
+	// the observed universe.
+	p := tr.Popularity(id)
+	return (p*float64(tr.Observations()) + 1) / (float64(tr.Observations()) + n)
+}
+
+// Active returns the currently best tracker and its index. During warmup
+// the first tracker wins unconditionally.
+func (m *MultiDecay) Active() (*Decayed, int) {
+	if m.seen < m.warmup {
+		return m.trackers[0], 0
+	}
+	best := 0
+	for i := 1; i < len(m.scores); i++ {
+		if m.scores[i] > m.scores[best] {
+			best = i
+		}
+	}
+	return m.trackers[best], best
+}
+
+// Trackers returns the underlying trackers, one per configured rate.
+func (m *MultiDecay) Trackers() []*Decayed { return m.trackers }
+
+// Scores returns a copy of the current per-tracker scores.
+func (m *MultiDecay) Scores() []float64 {
+	out := make([]float64, len(m.scores))
+	copy(out, m.scores)
+	return out
+}

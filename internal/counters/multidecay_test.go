@@ -1,0 +1,101 @@
+package counters
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewMultiDecayValidation(t *testing.T) {
+	if _, err := NewMultiDecay(nil, 0.9, 10); err == nil {
+		t.Fatal("empty rates accepted")
+	}
+	if _, err := NewMultiDecay([]float64{1}, 0, 10); err == nil {
+		t.Fatal("scoreDecay 0 accepted")
+	}
+	if _, err := NewMultiDecay([]float64{1}, 1.5, 10); err == nil {
+		t.Fatal("scoreDecay > 1 accepted")
+	}
+	if _, err := NewMultiDecay([]float64{0.5}, 0.9, 10); err == nil {
+		t.Fatal("bad decay rate accepted")
+	}
+}
+
+func TestMultiDecayWarmupUsesFirst(t *testing.T) {
+	m, err := NewMultiDecay([]float64{1, 2}, 0.9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(1)
+	_, idx := m.Active()
+	if idx != 0 {
+		t.Fatalf("Active during warmup = %d, want 0", idx)
+	}
+	if len(m.Trackers()) != 2 {
+		t.Fatalf("Trackers len = %d", len(m.Trackers()))
+	}
+}
+
+func TestMultiDecayPrefersNoDecayOnStaticWorkload(t *testing.T) {
+	// Static Zipf-ish workload: the no-decay tracker predicts best, as the
+	// paper observes for the Calgary trace ("it is best to use the full
+	// history of prior accesses").
+	m, err := NewMultiDecay([]float64{1.0, 1.5}, 0.99, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		// 3 hot ids dominating, static.
+		var id uint64
+		switch r := rng.Float64(); {
+		case r < 0.5:
+			id = 0
+		case r < 0.8:
+			id = 1
+		case r < 0.95:
+			id = 2
+		default:
+			id = uint64(3 + rng.Intn(50))
+		}
+		m.Observe(id)
+	}
+	_, idx := m.Active()
+	if idx != 0 {
+		t.Fatalf("Active on static workload = %d (scores %v), want 0", idx, m.Scores())
+	}
+}
+
+func TestMultiDecayPrefersDecayOnShiftingWorkload(t *testing.T) {
+	// Popularity shifts entirely every phase: a decaying tracker adapts,
+	// the no-decay tracker keeps predicting stale favorites.
+	m, err := NewMultiDecay([]float64{1.0, 1.05}, 0.995, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for phase := 0; phase < 30; phase++ {
+		hot := uint64(phase * 10)
+		for i := 0; i < 400; i++ {
+			var id uint64
+			if rng.Float64() < 0.9 {
+				id = hot + uint64(rng.Intn(2))
+			} else {
+				id = uint64(rng.Intn(1000))
+			}
+			m.Observe(id)
+		}
+	}
+	_, idx := m.Active()
+	if idx != 1 {
+		t.Fatalf("Active on shifting workload = %d (scores %v), want 1", idx, m.Scores())
+	}
+}
+
+func TestMultiDecayScoresCopied(t *testing.T) {
+	m, _ := NewMultiDecay([]float64{1, 2}, 0.9, 0)
+	s := m.Scores()
+	s[0] = 12345
+	if m.Scores()[0] == 12345 {
+		t.Fatal("Scores returned internal slice")
+	}
+}

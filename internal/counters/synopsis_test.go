@@ -1,0 +1,101 @@
+package counters
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSynopsisExactWhileSmall(t *testing.T) {
+	s := NewSynopsis(100, 1.5, 1)
+	for i := 0; i < 10; i++ {
+		s.Observe(1)
+	}
+	for i := 0; i < 4; i++ {
+		s.Observe(2)
+	}
+	// tau is still 1 ⇒ exact counts.
+	if got := s.Estimate(1); got != 10 {
+		t.Fatalf("Estimate(1) = %v", got)
+	}
+	if got := s.Estimate(2); got != 4 {
+		t.Fatalf("Estimate(2) = %v", got)
+	}
+	if got := s.Estimate(3); got != 0 {
+		t.Fatalf("Estimate(unseen) = %v", got)
+	}
+	if s.Tau() != 1 {
+		t.Fatalf("Tau = %v", s.Tau())
+	}
+	if s.Total() != 14 {
+		t.Fatalf("Total = %v", s.Total())
+	}
+}
+
+func TestSynopsisBoundedMemory(t *testing.T) {
+	s := NewSynopsis(50, 1.5, 2)
+	for i := 0; i < 100000; i++ {
+		s.Observe(uint64(i % 5000))
+	}
+	if got := s.Tracked(); got > 50 {
+		t.Fatalf("Tracked = %d exceeds capacity", got)
+	}
+	if s.Tau() <= 1 {
+		t.Fatal("tau never raised despite overflow")
+	}
+}
+
+func TestSynopsisHeavyHittersSurvive(t *testing.T) {
+	s := NewSynopsis(64, 1.5, 3)
+	rng := rand.New(rand.NewSource(5))
+	const n = 200000
+	// id 1 gets 30% of traffic; the rest spread over 10k ids.
+	var trueCount1 float64
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.3 {
+			s.Observe(1)
+			trueCount1++
+		} else {
+			s.Observe(uint64(2 + rng.Intn(10000)))
+		}
+	}
+	est := s.Estimate(1)
+	if est == 0 {
+		t.Fatal("heavy hitter evicted from synopsis")
+	}
+	if math.Abs(est-trueCount1)/trueCount1 > 0.1 {
+		t.Fatalf("heavy-hitter estimate %v vs true %v", est, trueCount1)
+	}
+}
+
+func TestSynopsisEstimateRoughlyUnbiased(t *testing.T) {
+	// Average estimate across many seeds for a mid-frequency item should
+	// be near its true count.
+	const trials = 60
+	const trueCount = 500
+	var sum float64
+	for seed := int64(0); seed < trials; seed++ {
+		s := NewSynopsis(32, 1.5, seed)
+		rng := rand.New(rand.NewSource(seed + 1000))
+		for i := 0; i < trueCount; i++ {
+			s.Observe(7)
+			// Interleave noise to force thinning.
+			for j := 0; j < 40; j++ {
+				s.Observe(uint64(100 + rng.Intn(5000)))
+			}
+		}
+		sum += s.Estimate(7)
+	}
+	avg := sum / trials
+	if math.Abs(avg-trueCount)/trueCount > 0.25 {
+		t.Fatalf("mean estimate %v vs true %v", avg, trueCount)
+	}
+}
+
+func TestSynopsisDefensiveParams(t *testing.T) {
+	s := NewSynopsis(0, 0.5, 1) // both invalid; clamped
+	s.Observe(1)
+	if s.Tracked() > 1 {
+		t.Fatal("capacity clamp failed")
+	}
+}

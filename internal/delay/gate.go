@@ -1,0 +1,64 @@
+package delay
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Gate meters tuple retrievals: it computes the policy delay for the
+// tuples a query returns, sleeps for it on the configured clock, and
+// feeds the access observations back to the learner. A query returning
+// multiple tuples is charged the sum of per-tuple delays, per §2.1's
+// aggregation rule ("a query that returns multiple tuples can simply be
+// considered the aggregate of multiple simple queries").
+type Gate struct {
+	policy  Policy
+	clock   vclock.Clock
+	observe func(id uint64)
+}
+
+// NewGate builds a gate. observe may be nil if the policy learns through
+// some other path (e.g. update-rate policies observe writes, not reads).
+func NewGate(policy Policy, clock vclock.Clock, observe func(id uint64)) (*Gate, error) {
+	if policy == nil {
+		return nil, errors.New("delay: nil policy")
+	}
+	if clock == nil {
+		return nil, errors.New("delay: nil clock")
+	}
+	return &Gate{policy: policy, clock: clock, observe: observe}, nil
+}
+
+// Charge computes the total delay for the given result tuples, sleeps it,
+// records the accesses, and returns the imposed delay.
+func (g *Gate) Charge(ids ...uint64) time.Duration {
+	total := g.Quote(ids...)
+	g.clock.Sleep(total)
+	if g.observe != nil {
+		for _, id := range ids {
+			g.observe(id)
+		}
+	}
+	return total
+}
+
+// Quote returns the delay Charge would impose right now, without sleeping
+// or recording observations. Experiments use it to measure the policy
+// non-invasively, mirroring the paper's method of computing adversary
+// delay "by examining the access counts after the trace was replayed".
+func (g *Gate) Quote(ids ...uint64) time.Duration {
+	var total time.Duration
+	for _, id := range ids {
+		d := g.policy.Delay(id)
+		if total > maxDuration-d {
+			return maxDuration
+		}
+		total += d
+	}
+	return total
+}
+
+// Policy returns the gate's policy.
+func (g *Gate) Policy() Policy { return g.policy }

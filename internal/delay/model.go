@@ -1,0 +1,153 @@
+package delay
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/zipf"
+)
+
+// Model is the closed-form Zipf analysis of §2.1–§2.2. It computes, for an
+// idealized workload with Zipf parameter Alpha over N tuples, the per-rank
+// delay (Eq 1), the adversary's total extraction delay (Eq 2 uncapped,
+// Eq 6 capped), the median legitimate delay, and their ratio (Eq 4, 7).
+// The experiment harness uses it to predict shapes; tests use it to verify
+// that the learned policies converge to the analysis.
+type Model struct {
+	N     int
+	Alpha float64
+	Beta  float64
+	// Fmax is the effective request count (or rate) of the most popular
+	// item; delays scale as 1/Fmax.
+	Fmax float64
+	// Cap is dmax; zero means the uncapped simple scheme of §2.1.
+	Cap time.Duration
+}
+
+// Validate reports whether the model's parameters are usable.
+func (m Model) Validate() error {
+	switch {
+	case m.N < 1:
+		return errors.New("delay: model N < 1")
+	case m.Alpha < 0 || math.IsNaN(m.Alpha) || math.IsInf(m.Alpha, 0):
+		return errors.New("delay: model invalid alpha")
+	case m.Beta < 0 || math.IsNaN(m.Beta) || math.IsInf(m.Beta, 0):
+		return errors.New("delay: model invalid beta")
+	case m.Fmax <= 0 || math.IsNaN(m.Fmax) || math.IsInf(m.Fmax, 0):
+		return errors.New("delay: model fmax must be positive")
+	case m.Cap < 0:
+		return errors.New("delay: model negative cap")
+	}
+	return nil
+}
+
+// DelaySecondsAtRank is Eq 1 with the §2.2 cap applied:
+// d(i) = min(dmax, (1/N)·i^(α+β)/fmax).
+func (m Model) DelaySecondsAtRank(i int) float64 {
+	if i < 1 {
+		i = 1
+	}
+	sec := math.Pow(float64(i), m.Alpha+m.Beta) / (float64(m.N) * m.Fmax)
+	if m.Cap > 0 && sec > m.Cap.Seconds() {
+		return m.Cap.Seconds()
+	}
+	return sec
+}
+
+// CapRank is Eq 5: the rank M at which the computed delay first reaches
+// dmax. Returns N when uncapped or when no rank caps.
+func (m Model) CapRank() int {
+	if m.Cap <= 0 {
+		return m.N
+	}
+	exp := m.Alpha + m.Beta
+	if exp <= 0 {
+		return m.N
+	}
+	r := math.Pow(m.Cap.Seconds()*float64(m.N)*m.Fmax, 1/exp)
+	switch {
+	case r < 1:
+		return 1
+	case r >= float64(m.N):
+		return m.N
+	default:
+		return int(math.Ceil(r))
+	}
+}
+
+// TotalExtractionSeconds is the adversary's cumulative delay for a full
+// extraction: Eq 2 uncapped, Eq 6 capped:
+//
+//	dtotal = (1/(N·fmax)) · (Σ_{i=1..M} i^(α+β)) + (N−M)·dmax.
+func (m Model) TotalExtractionSeconds() float64 {
+	capRank := m.CapRank()
+	head := stats.PowerSum(capRank, m.Alpha+m.Beta) / (float64(m.N) * m.Fmax)
+	if m.Cap <= 0 || capRank >= m.N {
+		return head
+	}
+	// Ranks M..N all pay dmax; the head sum above already slightly
+	// overcounts rank M (its uncapped value can exceed dmax), so clamp.
+	headCapped := head
+	if over := math.Pow(float64(capRank), m.Alpha+m.Beta)/(float64(m.N)*m.Fmax) - m.Cap.Seconds(); over > 0 {
+		headCapped -= over
+	}
+	return headCapped + float64(m.N-capRank)*m.Cap.Seconds()
+}
+
+// TotalExtraction returns TotalExtractionSeconds as a saturating Duration.
+func (m Model) TotalExtraction() time.Duration {
+	return SecondsToDuration(m.TotalExtractionSeconds())
+}
+
+// MedianRank is the rank of the tuple a median legitimate request touches
+// under the Zipf(α) workload (exact, not asymptotic).
+func (m Model) MedianRank() (int, error) {
+	d, err := zipf.New(m.N, m.Alpha)
+	if err != nil {
+		return 0, err
+	}
+	return d.MedianRank(), nil
+}
+
+// MedianDelaySeconds is dmed: the delay of the median-rank tuple.
+func (m Model) MedianDelaySeconds() (float64, error) {
+	r, err := m.MedianRank()
+	if err != nil {
+		return 0, err
+	}
+	return m.DelaySecondsAtRank(r), nil
+}
+
+// Ratio is Eq 4 / Eq 7: dtotal/dmed, the factor by which an adversary's
+// total delay exceeds a legitimate user's typical delay.
+func (m Model) Ratio() (float64, error) {
+	med, err := m.MedianDelaySeconds()
+	if err != nil {
+		return 0, err
+	}
+	if med <= 0 {
+		return math.Inf(1), nil
+	}
+	return m.TotalExtractionSeconds() / med, nil
+}
+
+// AsymptoticRatio returns the Θ-class dominant term of Eq 4 for the
+// uncapped scheme, by α regime:
+//
+//	α < 1: 2^((α+β)/(1−α)) · N
+//	α = 1: N^((β+3)/2)
+//	α > 1: N · (N / log N)^(α+β)
+func (m Model) AsymptoticRatio() float64 {
+	n := float64(m.N)
+	ab := m.Alpha + m.Beta
+	switch {
+	case math.Abs(m.Alpha-1) < 1e-9:
+		return math.Pow(n, (m.Beta+3)/2)
+	case m.Alpha < 1:
+		return math.Pow(2, ab/(1-m.Alpha)) * n
+	default:
+		return n * math.Pow(n/math.Log(n), ab)
+	}
+}

@@ -1,0 +1,213 @@
+package delay
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestModelValidate(t *testing.T) {
+	good := Model{N: 100, Alpha: 1, Beta: 1, Fmax: 10, Cap: time.Second}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{N: 0, Alpha: 1, Fmax: 1},
+		{N: 10, Alpha: -1, Fmax: 1},
+		{N: 10, Alpha: 1, Beta: -1, Fmax: 1},
+		{N: 10, Alpha: 1, Fmax: 0},
+		{N: 10, Alpha: 1, Fmax: 1, Cap: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestModelDelayAtRankEq1(t *testing.T) {
+	m := Model{N: 1000, Alpha: 1, Beta: 2, Fmax: 100}
+	// d(i) = i^3 / (1000·100)
+	if got, want := m.DelaySecondsAtRank(1), 1e-5; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("d(1) = %v, want %v", got, want)
+	}
+	if got, want := m.DelaySecondsAtRank(10), 1e-2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("d(10) = %v, want %v", got, want)
+	}
+	// Rank below 1 clamps to 1.
+	if m.DelaySecondsAtRank(0) != m.DelaySecondsAtRank(1) {
+		t.Fatal("rank 0 not clamped")
+	}
+}
+
+func TestModelCapApplied(t *testing.T) {
+	m := Model{N: 1000, Alpha: 1, Beta: 2, Fmax: 100, Cap: time.Second}
+	// Uncapped d(1000) = 1e9/1e5 = 1e4 s ≫ cap.
+	if got := m.DelaySecondsAtRank(1000); got != 1 {
+		t.Fatalf("capped delay = %v, want 1", got)
+	}
+	mRank := m.CapRank()
+	// d(M) ≥ cap > d(M−1).
+	un := func(i int) float64 {
+		return math.Pow(float64(i), 3) / (1000 * 100)
+	}
+	if un(mRank) < 1 {
+		t.Fatalf("uncapped d(M=%d) = %v below cap", mRank, un(mRank))
+	}
+	if mRank > 1 && un(mRank-1) >= 1 {
+		t.Fatalf("d(M-1) = %v already at cap", un(mRank-1))
+	}
+}
+
+func TestModelCapRankEdges(t *testing.T) {
+	// Cap so small everything is capped: M = 1.
+	m := Model{N: 100, Alpha: 1, Beta: 1, Fmax: 1, Cap: time.Nanosecond}
+	if got := m.CapRank(); got != 1 {
+		t.Fatalf("tiny cap M = %d", got)
+	}
+	// Cap so large nothing is capped: M = N.
+	m2 := Model{N: 100, Alpha: 1, Beta: 1, Fmax: 1, Cap: 24 * 365 * time.Hour}
+	if got := m2.CapRank(); got != 100 {
+		t.Fatalf("huge cap M = %d", got)
+	}
+	// Uncapped: M = N.
+	m3 := Model{N: 100, Alpha: 1, Beta: 1, Fmax: 1}
+	if got := m3.CapRank(); got != 100 {
+		t.Fatalf("uncapped M = %d", got)
+	}
+}
+
+func TestModelTotalExtractionUncappedEq2(t *testing.T) {
+	m := Model{N: 100, Alpha: 1, Beta: 1, Fmax: 10}
+	// dtotal = Σ i^2 / (100·10) = (100·101·201/6)/1000
+	want := float64(100*101*201) / 6 / 1000
+	if got := m.TotalExtractionSeconds(); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("dtotal = %v, want %v", got, want)
+	}
+}
+
+func TestModelTotalExtractionCappedEq6(t *testing.T) {
+	m := Model{N: 1000, Alpha: 1, Beta: 1, Fmax: 1, Cap: 10 * time.Second}
+	// Brute force.
+	var want float64
+	for i := 1; i <= m.N; i++ {
+		d := math.Pow(float64(i), 2) / (1000 * 1)
+		if d > 10 {
+			d = 10
+		}
+		want += d
+	}
+	got := m.TotalExtractionSeconds()
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("capped dtotal = %v, want %v", got, want)
+	}
+	if d := m.TotalExtraction(); math.Abs(d.Seconds()-want)/want > 1e-6 {
+		t.Fatalf("TotalExtraction duration = %v", d)
+	}
+}
+
+func TestModelCappedBelowUncapped(t *testing.T) {
+	capped := Model{N: 10000, Alpha: 1.5, Beta: 2, Fmax: 100, Cap: 10 * time.Second}
+	uncapped := capped
+	uncapped.Cap = 0
+	if capped.TotalExtractionSeconds() >= uncapped.TotalExtractionSeconds() {
+		t.Fatal("cap did not reduce adversary total")
+	}
+}
+
+func TestModelMedianAndRatio(t *testing.T) {
+	m := Model{N: 100000, Alpha: 1.5, Beta: 2.5, Fmax: 1000, Cap: 10 * time.Second}
+	rank, err := m.MedianRank()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong skew ⇒ tiny median rank.
+	if rank > 10 {
+		t.Fatalf("median rank = %d", rank)
+	}
+	med, err := m.MedianDelaySeconds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med <= 0 || med > 0.001 {
+		t.Fatalf("median delay = %v s, want sub-ms", med)
+	}
+	ratio, err := m.Ratio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 1e6 {
+		t.Fatalf("ratio = %v, want ≥ 1e6 for α=1.5", ratio)
+	}
+}
+
+func TestModelRatioGrowsWithBeta(t *testing.T) {
+	// "an adversary must face longer delays with higher β values"
+	base := Model{N: 10000, Alpha: 1.2, Fmax: 100}
+	prev := 0.0
+	for _, beta := range []float64{0.5, 1, 2, 3} {
+		m := base
+		m.Beta = beta
+		r, err := m.Ratio()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r <= prev {
+			t.Fatalf("ratio did not grow with beta: %v at β=%v", r, beta)
+		}
+		prev = r
+	}
+}
+
+func TestModelRatioGrowsWithN(t *testing.T) {
+	// The core scaling claim: the adversary/median ratio grows
+	// superlinearly in N for α ≥ 1.
+	prev := 0.0
+	for _, n := range []int{1000, 10000, 100000} {
+		m := Model{N: n, Alpha: 1.5, Beta: 2, Fmax: 100}
+		r, err := m.Ratio()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r <= prev*10 { // superlinear: 10x N ⇒ ≫10x ratio
+			t.Fatalf("ratio at N=%d is %v, not superlinear over %v", n, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestModelAsymptoticRatioRegimes(t *testing.T) {
+	n := 10000
+	lt := Model{N: n, Alpha: 0.5, Beta: 1, Fmax: 1}
+	eq := Model{N: n, Alpha: 1, Beta: 1, Fmax: 1}
+	gt := Model{N: n, Alpha: 1.5, Beta: 1, Fmax: 1}
+	// α<1 regime is linear in N; α=1 polynomial; α>1 nearly N^(1+α+β).
+	if lt.AsymptoticRatio() >= eq.AsymptoticRatio() {
+		t.Fatal("α<1 class should be smallest here")
+	}
+	if eq.AsymptoticRatio() >= gt.AsymptoticRatio() {
+		t.Fatal("α=1 class should be below α>1 class")
+	}
+	// α=1: N^((β+3)/2) = N^2 for β=1.
+	if got, want := eq.AsymptoticRatio(), math.Pow(float64(n), 2); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("α=1 asymptotic = %v, want %v", got, want)
+	}
+}
+
+func TestModelCappedKeepsAsymptoticOrdering(t *testing.T) {
+	// §2.2: "This approach retains the benefits of the simple scheme; the
+	// asymptotic relationships between adversary and median query remain
+	// the same." Verify the capped ratio still grows strongly with N.
+	var prev float64
+	for _, n := range []int{1000, 10000, 100000} {
+		m := Model{N: n, Alpha: 1.5, Beta: 2, Fmax: 100, Cap: 10 * time.Second}
+		r, err := m.Ratio()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r <= prev {
+			t.Fatalf("capped ratio not increasing at N=%d: %v vs %v", n, r, prev)
+		}
+		prev = r
+	}
+}

@@ -1,0 +1,271 @@
+package delay
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/zipf"
+)
+
+func mustTracker(t *testing.T, decay float64) *counters.Decayed {
+	t.Helper()
+	tr, err := counters.NewDecayed(decay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestPopularityConfigValidation(t *testing.T) {
+	tr := mustTracker(t, 1)
+	bad := []PopularityConfig{
+		{N: 0, Alpha: 1},
+		{N: 10, Alpha: -1},
+		{N: 10, Alpha: math.NaN()},
+		{N: 10, Alpha: 1, Beta: -1},
+		{N: 10, Alpha: 1, Cap: -time.Second},
+		{N: 10, Alpha: 1, Fmax: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewPopularity(cfg, tr); err == nil {
+			t.Errorf("case %d: bad config accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewPopularity(PopularityConfig{N: 10, Alpha: 1}, nil); err == nil {
+		t.Error("nil tracker accepted")
+	}
+	good := PopularityConfig{N: 10, Alpha: 1.5, Beta: 2, Cap: time.Second}
+	p, err := NewPopularity(good, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config() != good {
+		t.Error("Config round trip failed")
+	}
+	if p.Tracker() != tr {
+		t.Error("Tracker accessor wrong")
+	}
+}
+
+func TestStartupTransientChargesCap(t *testing.T) {
+	// Before anything is learned, every query pays the cap — the paper's
+	// §2.3 start-up rule.
+	tr := mustTracker(t, 1)
+	p, _ := NewPopularity(PopularityConfig{N: 1000, Alpha: 1.5, Beta: 2, Cap: 10 * time.Second}, tr)
+	if got := p.Delay(42); got != 10*time.Second {
+		t.Fatalf("cold delay = %v, want cap", got)
+	}
+	// Uncapped cold policy charges "forever" (saturated duration).
+	p2, _ := NewPopularity(PopularityConfig{N: 1000, Alpha: 1.5, Beta: 2}, tr)
+	if got := p2.Delay(42); got != maxDuration {
+		t.Fatalf("uncapped cold delay = %v", got)
+	}
+}
+
+func TestPopularDelayFallsAfterLearning(t *testing.T) {
+	tr := mustTracker(t, 1)
+	cap := 10 * time.Second
+	p, _ := NewPopularity(PopularityConfig{N: 1000, Alpha: 1.0, Beta: 2, Cap: cap}, tr)
+	for i := 0; i < 1000; i++ {
+		tr.Observe(7)
+	}
+	// "The delay associated with popular items falls rapidly thereafter."
+	if got := p.Delay(7); got >= cap/100 {
+		t.Fatalf("hot tuple delay = %v, want tiny", got)
+	}
+	// Cold tuple still pays the cap.
+	if got := p.Delay(999); got != cap {
+		t.Fatalf("cold tuple delay = %v, want cap", got)
+	}
+}
+
+func TestDelayMonotoneInRank(t *testing.T) {
+	tr := mustTracker(t, 1)
+	// Learn a strict ordering: id k accessed (100-k) times.
+	for id := uint64(0); id < 50; id++ {
+		for n := 0; n < int(100-id); n++ {
+			tr.Observe(id)
+		}
+	}
+	p, _ := NewPopularity(PopularityConfig{N: 100, Alpha: 1.0, Beta: 1.5, Cap: time.Hour}, tr)
+	prev := time.Duration(-1)
+	for id := uint64(0); id < 50; id++ {
+		d := p.Delay(id)
+		if d < prev {
+			t.Fatalf("delay not monotone: id %d has %v < prev %v", id, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestDelayUsesFixedFmax(t *testing.T) {
+	tr := mustTracker(t, 1)
+	tr.Observe(1)
+	p, _ := NewPopularity(PopularityConfig{N: 100, Alpha: 1, Beta: 1, Fmax: 1000}, tr)
+	// Rank of id 1 is 1; delay = 1^2/(100·1000) = 1e-5 s.
+	want := SecondsToDuration(1e-5)
+	if got := p.Delay(1); got != want {
+		t.Fatalf("Delay = %v, want %v", got, want)
+	}
+	// DelayForRank agrees.
+	if got := p.DelayForRank(1); got != want {
+		t.Fatalf("DelayForRank = %v, want %v", got, want)
+	}
+}
+
+func TestCapRank(t *testing.T) {
+	tr := mustTracker(t, 1)
+	cfg := PopularityConfig{N: 10000, Alpha: 1, Beta: 1, Fmax: 100, Cap: time.Second}
+	p, _ := NewPopularity(cfg, tr)
+	m := p.CapRank()
+	// Check M is the first rank at or past the cap.
+	if d := p.DelayForRank(m); d < cfg.Cap {
+		t.Fatalf("rank M=%d delay %v below cap", m, d)
+	}
+	if m > 1 {
+		if d := p.DelayForRank(m - 1); d >= cfg.Cap {
+			t.Fatalf("rank M-1=%d delay %v already at cap", m-1, d)
+		}
+	}
+	// Uncapped: CapRank = N.
+	p2, _ := NewPopularity(PopularityConfig{N: 10000, Alpha: 1, Beta: 1, Fmax: 100}, tr)
+	if p2.CapRank() != 10000 {
+		t.Fatalf("uncapped CapRank = %d", p2.CapRank())
+	}
+}
+
+func TestExtractionDelayMatchesModel(t *testing.T) {
+	tr := mustTracker(t, 1)
+	cfg := PopularityConfig{N: 5000, Alpha: 1.2, Beta: 1.3, Fmax: 500, Cap: 2 * time.Second}
+	p, _ := NewPopularity(cfg, tr)
+	m := Model{N: cfg.N, Alpha: cfg.Alpha, Beta: cfg.Beta, Fmax: cfg.Fmax, Cap: cfg.Cap}
+	got := p.ExtractionDelay().Seconds()
+	want := m.TotalExtractionSeconds()
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("ExtractionDelay = %v, model = %v", got, want)
+	}
+}
+
+func TestAdversaryOrdersOfMagnitudeAboveMedian(t *testing.T) {
+	// End-to-end shape check of the core claim: learn a Zipf(1.5)
+	// workload, then compare an adversary's total extraction delay to the
+	// median legitimate delay.
+	const n = 20000
+	tr := mustTracker(t, 1)
+	d, err := zipf.New(n, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := zipf.NewSampler(d, 42)
+	for i := 0; i < 300000; i++ {
+		tr.Observe(uint64(s.Next()))
+	}
+	cap := 10 * time.Second
+	fmax := tr.MaxCount()
+	beta, err := TuneBeta(n, 1.5, fmax, cap, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPopularity(PopularityConfig{N: n, Alpha: 1.5, Beta: beta, Cap: cap}, tr)
+
+	// Median legitimate delay: quote the delay of fresh samples.
+	var delays []float64
+	for i := 0; i < 10001; i++ {
+		delays = append(delays, p.Delay(uint64(s.Next())).Seconds())
+	}
+	med := medianOf(delays)
+	adv := p.ExtractionDelay().Seconds()
+	if med <= 0 {
+		// Median could be truly zero-rounded; use a floor of one ns.
+		med = 1e-9
+	}
+	ratio := adv / med
+	if ratio < 1e5 {
+		t.Fatalf("adversary/median ratio = %v, want ≥ 1e5 (adv=%vs med=%vs)", ratio, adv, med)
+	}
+	// Adversary must be within [50%, 100%] of the naive N·cap bound, and
+	// the paper reports ≈90%.
+	naive := float64(n) * cap.Seconds()
+	if adv < 0.5*naive || adv > naive {
+		t.Fatalf("adversary delay %v not in [0.5, 1.0]·N·cap (%v)", adv, naive)
+	}
+}
+
+func medianOf(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func TestRankClampWhenObservedExceedsN(t *testing.T) {
+	tr := mustTracker(t, 1)
+	for id := uint64(0); id < 20; id++ {
+		tr.Observe(id)
+	}
+	p, _ := NewPopularity(PopularityConfig{N: 10, Alpha: 1, Beta: 1, Fmax: 10, Cap: time.Minute}, tr)
+	// id 19 has rank 20 > N; clamped to N=10.
+	want := p.DelayForRank(10)
+	if got := p.Delay(19); got != want {
+		t.Fatalf("clamped delay = %v, want %v", got, want)
+	}
+}
+
+func TestTuneBeta(t *testing.T) {
+	const n = 100000
+	fmax := 50000.0
+	cap := 10 * time.Second
+	beta, err := TuneBeta(n, 1.5, fmax, cap, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{N: n, Alpha: 1.5, Beta: beta, Fmax: fmax, Cap: cap}
+	got := m.CapRank()
+	if math.Abs(float64(got)-0.1*n) > 0.02*n {
+		t.Fatalf("tuned cap rank = %d, want ≈ %d", got, n/10)
+	}
+}
+
+func TestTuneBetaErrors(t *testing.T) {
+	cases := []struct {
+		n           int
+		alpha, fmax float64
+		cap         time.Duration
+		frac        float64
+	}{
+		{1, 1, 10, time.Second, 0.5},
+		{100, 1, 0, time.Second, 0.5},
+		{100, 1, 10, 0, 0.5},
+		{100, 1, 10, time.Second, 0},
+		{100, 1, 10, time.Second, 1},
+		{100, 9, 10, time.Second, 0.5}, // requires negative beta
+	}
+	for i, c := range cases {
+		if _, err := TuneBeta(c.n, c.alpha, c.fmax, c.cap, c.frac); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSecondsToDuration(t *testing.T) {
+	if SecondsToDuration(-1) != 0 {
+		t.Error("negative seconds")
+	}
+	if SecondsToDuration(math.NaN()) != 0 {
+		t.Error("NaN seconds")
+	}
+	if SecondsToDuration(1e300) != maxDuration {
+		t.Error("no saturation")
+	}
+	if got := SecondsToDuration(1.5); got != 1500*time.Millisecond {
+		t.Errorf("1.5s = %v", got)
+	}
+	if Seconds(2*time.Second) != 2 {
+		t.Error("Seconds round trip")
+	}
+}

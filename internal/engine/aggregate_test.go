@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func aggDB(t *testing.T) *Database {
+	t.Helper()
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE sales (id INT PRIMARY KEY, region TEXT, amount FLOAT, units INT)`)
+	rows := []string{
+		`(1, 'east', 100.5, 10)`,
+		`(2, 'west', 200.25, 20)`,
+		`(3, 'east', 50.25, 5)`,
+		`(4, 'north', 400.0, 40)`,
+		`(5, 'east', 150.0, 15)`,
+	}
+	for _, r := range rows {
+		mustExec(t, db, "INSERT INTO sales VALUES "+r)
+	}
+	return db
+}
+
+func TestCountStar(t *testing.T) {
+	db := aggDB(t)
+	res := mustExec(t, db, `SELECT COUNT(*) FROM sales`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 5 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Columns[0] != "count(*)" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	// Every aggregated tuple is charged.
+	if len(res.Keys) != 5 {
+		t.Fatalf("keys = %v", res.Keys)
+	}
+}
+
+func TestCountWithWhere(t *testing.T) {
+	db := aggDB(t)
+	res := mustExec(t, db, `SELECT COUNT(*) FROM sales WHERE region = 'east'`)
+	if res.Rows[0][0].Int != 3 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	if len(res.Keys) != 3 {
+		t.Fatalf("keys = %v", res.Keys)
+	}
+}
+
+func TestSumAvgMinMax(t *testing.T) {
+	db := aggDB(t)
+	res := mustExec(t, db, `SELECT SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM sales`)
+	row := res.Rows[0]
+	if math.Abs(row[0].Float-901.0) > 1e-9 {
+		t.Fatalf("sum = %v", row[0])
+	}
+	if math.Abs(row[1].Float-180.2) > 1e-9 {
+		t.Fatalf("avg = %v", row[1])
+	}
+	if row[2].Float != 50.25 || row[3].Float != 400.0 {
+		t.Fatalf("min/max = %v/%v", row[2], row[3])
+	}
+	if res.Columns[0] != "sum(amount)" || res.Columns[2] != "min(amount)" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestAggregateOverIntColumn(t *testing.T) {
+	db := aggDB(t)
+	res := mustExec(t, db, `SELECT SUM(units), MIN(units), MAX(units), COUNT(units) FROM sales`)
+	row := res.Rows[0]
+	if row[0].Float != 90 {
+		t.Fatalf("sum units = %v", row[0])
+	}
+	if row[1].Int != 5 || row[2].Int != 40 {
+		t.Fatalf("min/max = %v/%v", row[1], row[2])
+	}
+	if row[3].Int != 5 {
+		t.Fatalf("count = %v", row[3])
+	}
+}
+
+func TestMinMaxOverText(t *testing.T) {
+	db := aggDB(t)
+	res := mustExec(t, db, `SELECT MIN(region), MAX(region) FROM sales`)
+	row := res.Rows[0]
+	if row[0].Str != "east" || row[1].Str != "west" {
+		t.Fatalf("min/max text = %v/%v", row[0], row[1])
+	}
+}
+
+func TestAggregateEmptyMatch(t *testing.T) {
+	db := aggDB(t)
+	res := mustExec(t, db, `SELECT COUNT(*), SUM(amount), AVG(amount), MIN(amount) FROM sales WHERE id > 100`)
+	row := res.Rows[0]
+	if row[0].Int != 0 || row[1].Float != 0 || row[2].Float != 0 {
+		t.Fatalf("empty aggregates = %v", row)
+	}
+	if len(res.Keys) != 0 {
+		t.Fatal("keys on empty aggregate")
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	db := aggDB(t)
+	if _, err := db.Exec(`SELECT SUM(region) FROM sales`); err == nil {
+		t.Fatal("SUM over TEXT accepted")
+	}
+	if _, err := db.Exec(`SELECT AVG(region) FROM sales`); err == nil {
+		t.Fatal("AVG over TEXT accepted")
+	}
+	if _, err := db.Exec(`SELECT SUM(nope) FROM sales`); err == nil {
+		t.Fatal("unknown aggregate column accepted")
+	}
+}
+
+func TestOrderByAsc(t *testing.T) {
+	db := aggDB(t)
+	res := mustExec(t, db, `SELECT id FROM sales ORDER BY amount`)
+	want := []int64{3, 1, 5, 2, 4}
+	for i, row := range res.Rows {
+		if row[0].Int != want[i] {
+			t.Fatalf("order = %v", res.Rows)
+		}
+	}
+	// Keys follow row order.
+	if res.Keys[0] != 3 || res.Keys[4] != 4 {
+		t.Fatalf("keys = %v", res.Keys)
+	}
+}
+
+func TestOrderByDescWithLimit(t *testing.T) {
+	db := aggDB(t)
+	res := mustExec(t, db, `SELECT id, amount FROM sales ORDER BY amount DESC LIMIT 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Int != 4 || res.Rows[1][0].Int != 2 {
+		t.Fatalf("order = %v", res.Rows)
+	}
+}
+
+func TestOrderByTextAndWhere(t *testing.T) {
+	db := aggDB(t)
+	res := mustExec(t, db, `SELECT region FROM sales WHERE amount >= 100 ORDER BY region ASC`)
+	var got []string
+	for _, r := range res.Rows {
+		got = append(got, r[0].Str)
+	}
+	want := []string{"east", "east", "north", "west"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestOrderByUnknownColumn(t *testing.T) {
+	db := aggDB(t)
+	if _, err := db.Exec(`SELECT id FROM sales ORDER BY nope`); err == nil {
+		t.Fatal("unknown ORDER BY column accepted")
+	}
+}
+
+func TestOrderByStableOnTies(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	for i := 1; i <= 6; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO t VALUES (%d, %d)`, i, i%2))
+	}
+	res := mustExec(t, db, `SELECT id FROM t ORDER BY v`)
+	// Ties keep scan (id) order: 2,4,6 then 1,3,5.
+	want := []int64{2, 4, 6, 1, 3, 5}
+	for i, row := range res.Rows {
+		if row[0].Int != want[i] {
+			t.Fatalf("order = %v", res.Rows)
+		}
+	}
+}
+
+func TestAggregateParsing(t *testing.T) {
+	db := aggDB(t)
+	// Aggregates mixed with plain columns are rejected at parse time.
+	if _, err := db.Exec(`SELECT id, COUNT(*) FROM sales`); err == nil {
+		t.Fatal("mixed select accepted")
+	}
+	// SUM(*) invalid.
+	if _, err := db.Exec(`SELECT SUM(*) FROM sales`); err == nil {
+		t.Fatal("SUM(*) accepted")
+	}
+	// ORDER BY with aggregates invalid.
+	if _, err := db.Exec(`SELECT COUNT(*) FROM sales ORDER BY id`); err == nil {
+		t.Fatal("ORDER BY with aggregate accepted")
+	}
+	// A column named like a function without parens is a plain column.
+	mustExec(t, db, `CREATE TABLE funcs (id INT PRIMARY KEY, count INT)`)
+	mustExec(t, db, `INSERT INTO funcs VALUES (1, 9)`)
+	res := mustExec(t, db, `SELECT count FROM funcs`)
+	if res.Rows[0][0].Int != 9 {
+		t.Fatalf("plain column shadowing func name: %v", res.Rows)
+	}
+}

@@ -1,0 +1,437 @@
+// Package engine is the embedded relational database the delay defense
+// wraps: heap files behind an LRU buffer pool, a B+tree per table on the
+// INT primary key, and an executor for the sqlmini statement set. It
+// stands in for the "commercial relational database" of the paper's
+// evaluation so that the Table 5 overhead experiment measures a real
+// disk-backed query path.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/index"
+	"repro/internal/sqlmini"
+	"repro/internal/storage"
+)
+
+// DefaultPoolPages is the per-table buffer pool capacity when none is
+// configured.
+const DefaultPoolPages = 256
+
+// Option configures a Database.
+type Option func(*Database)
+
+// WithPoolPages sets the per-table buffer pool capacity in pages.
+func WithPoolPages(n int) Option {
+	return func(db *Database) { db.poolPages = n }
+}
+
+// WithIOCost installs a hook invoked on every physical page read/write,
+// used by experiments to model 2004-era I/O latency.
+func WithIOCost(fn func()) Option {
+	return func(db *Database) { db.ioCost = fn }
+}
+
+// WithWAL enables per-statement write-ahead logging: every mutating
+// statement appends the pages it dirtied plus a commit record to
+// <table>.wal before returning, and recovery replays committed batches
+// at open. synced additionally fsyncs the log on every commit (durable
+// against power loss, not just process crash).
+func WithWAL(synced bool) Option {
+	return func(db *Database) {
+		db.useWAL = true
+		db.walSynced = synced
+	}
+}
+
+// walCheckpointBytes is the log size past which a mutation triggers a
+// checkpoint (flush data pages, sync, truncate the log).
+const walCheckpointBytes = 8 << 20
+
+// Database is an embedded relational database rooted at a directory: one
+// page file per table plus a JSON catalog. It is safe for concurrent use;
+// statements execute atomically with respect to each other per table.
+type Database struct {
+	dir       string
+	cat       *catalog.Catalog
+	poolPages int
+	ioCost    func()
+	useWAL    bool
+	walSynced bool
+
+	mu     sync.RWMutex
+	tables map[string]*table
+	closed bool
+}
+
+type table struct {
+	mu     sync.Mutex // serializes mutations
+	schema catalog.Schema
+	pager  *storage.Pager
+	pool   *storage.Pool
+	heap   *storage.HeapFile
+	pk     *index.BTree[int64, storage.RID]
+	wal    *storage.WAL // nil unless WithWAL
+	// secondaries parallel schema.Indexes, same order.
+	secondaries []*secondary
+}
+
+// Open opens (creating if needed) the database in dir.
+func Open(dir string, opts ...Option) (*Database, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: creating %s: %w", dir, err)
+	}
+	cat, err := catalog.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{
+		dir:       dir,
+		cat:       cat,
+		poolPages: DefaultPoolPages,
+		tables:    make(map[string]*table),
+	}
+	for _, opt := range opts {
+		opt(db)
+	}
+	if db.poolPages < 1 {
+		return nil, errors.New("engine: pool pages < 1")
+	}
+	for _, name := range cat.Tables() {
+		schema, err := cat.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := db.loadTable(schema); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func (db *Database) tablePath(name string) string {
+	return filepath.Join(db.dir, strings.ToLower(name)+".tbl")
+}
+
+// loadTable opens the table's page file and rebuilds its primary key
+// index from the heap.
+func (db *Database) loadTable(schema catalog.Schema) (*table, error) {
+	pager, err := storage.OpenPager(db.tablePath(schema.Table))
+	if err != nil {
+		return nil, err
+	}
+	if db.ioCost != nil {
+		pager.SetIOCost(db.ioCost)
+	}
+	var wal *storage.WAL
+	if db.useWAL {
+		wal, err = storage.OpenWAL(db.tablePath(schema.Table)+".wal", db.walSynced)
+		if err != nil {
+			pager.Close()
+			return nil, err
+		}
+		// Recover: reapply committed batches, then checkpoint so the log
+		// starts empty.
+		if _, err := wal.Replay(func(im storage.PageImage) error {
+			return pager.WriteImage(im.ID, im.Image)
+		}); err != nil {
+			wal.Close()
+			pager.Close()
+			return nil, fmt.Errorf("engine: recovering %q: %w", schema.Table, err)
+		}
+		if err := pager.Sync(); err != nil {
+			wal.Close()
+			pager.Close()
+			return nil, err
+		}
+		if err := wal.Truncate(); err != nil {
+			wal.Close()
+			pager.Close()
+			return nil, err
+		}
+	}
+	pool, err := storage.NewPool(pager, db.poolPages)
+	if err != nil {
+		pager.Close()
+		return nil, err
+	}
+	heap, err := storage.NewHeapFile(pool)
+	if err != nil {
+		pager.Close()
+		return nil, err
+	}
+	t := &table{
+		schema: schema,
+		pager:  pager,
+		pool:   pool,
+		heap:   heap,
+		pk:     index.NewBTree[int64, storage.RID](),
+		wal:    wal,
+	}
+	for _, def := range schema.Indexes {
+		sec, serr := newSecondary(def, schema)
+		if serr != nil {
+			pager.Close()
+			return nil, serr
+		}
+		t.secondaries = append(t.secondaries, sec)
+	}
+	var scanErr error
+	err = heap.Scan(func(rid storage.RID, rec []byte) bool {
+		row, derr := catalog.DecodeRow(schema, rec)
+		if derr != nil {
+			scanErr = fmt.Errorf("engine: rebuilding index for %q at %v: %w", schema.Table, rid, derr)
+			return false
+		}
+		t.pk.Put(row[schema.Key].Int, rid)
+		for _, sec := range t.secondaries {
+			sec.insert(row, rid)
+		}
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		pager.Close()
+		return nil, err
+	}
+	db.mu.Lock()
+	db.tables[strings.ToLower(schema.Table)] = t
+	db.mu.Unlock()
+	return t, nil
+}
+
+func (db *Database) getTable(name string) (*table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, errors.New("engine: database closed")
+	}
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Tables returns the names of all tables.
+func (db *Database) Tables() []string { return db.cat.Tables() }
+
+// Schema returns the schema of the named table.
+func (db *Database) Schema(name string) (catalog.Schema, error) { return db.cat.Get(name) }
+
+// CreateTable registers a new table.
+func (db *Database) CreateTable(schema catalog.Schema) error {
+	if err := db.cat.Create(schema); err != nil {
+		return err
+	}
+	if _, err := db.loadTable(schema); err != nil {
+		db.cat.Drop(schema.Table)
+		return err
+	}
+	return nil
+}
+
+// DropTable removes a table and deletes its data file.
+func (db *Database) DropTable(name string) error {
+	t, err := db.getTable(name)
+	if err != nil {
+		return err
+	}
+	if err := db.cat.Drop(name); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	delete(db.tables, strings.ToLower(name))
+	db.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wal != nil {
+		if err := t.wal.Close(); err != nil {
+			return err
+		}
+		if err := os.Remove(db.tablePath(name) + ".wal"); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("engine: removing table wal: %w", err)
+		}
+	}
+	if err := t.pager.Close(); err != nil {
+		return err
+	}
+	if err := os.Remove(db.tablePath(name)); err != nil {
+		return fmt.Errorf("engine: removing table file: %w", err)
+	}
+	return nil
+}
+
+// Flush writes all dirty pages of all tables to disk.
+func (db *Database) Flush() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for name, t := range db.tables {
+		if err := t.pool.FlushAll(); err != nil {
+			return fmt.Errorf("engine: flushing %q: %w", name, err)
+		}
+		if err := t.pager.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropCaches flushes and empties every table's buffer pool, simulating a
+// cold start for the Table 5 base-cost measurement.
+func (db *Database) DropCaches() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for name, t := range db.tables {
+		if err := t.pool.DropAll(); err != nil {
+			return fmt.Errorf("engine: dropping caches of %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// PoolStats aggregates buffer pool statistics across tables.
+func (db *Database) PoolStats() (hits, misses, evicts int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, t := range db.tables {
+		h, m, e := t.pool.Stats()
+		hits += h
+		misses += m
+		evicts += e
+	}
+	return hits, misses, evicts
+}
+
+// Close flushes and closes every table.
+func (db *Database) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errors.New("engine: already closed")
+	}
+	db.closed = true
+	var first error
+	for _, t := range db.tables {
+		if err := t.pool.FlushAll(); err != nil && first == nil {
+			first = err
+		}
+		if t.wal != nil {
+			// Data pages are down; the log is no longer needed.
+			if err := t.pager.Sync(); err != nil && first == nil {
+				first = err
+			}
+			if err := t.wal.Truncate(); err != nil && first == nil {
+				first = err
+			}
+			if err := t.wal.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if err := t.pager.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// logMutation appends the table's dirty pages plus a commit record to its
+// WAL (when enabled), checkpointing once the log grows large. Mutating
+// statement paths call it before returning success.
+func (t *table) logMutation() error {
+	if t.wal == nil {
+		return nil
+	}
+	if err := t.wal.AppendBatch(t.pool.DirtyImages()); err != nil {
+		return err
+	}
+	if t.wal.Size() < walCheckpointBytes {
+		return nil
+	}
+	if err := t.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := t.pager.Sync(); err != nil {
+		return err
+	}
+	return t.wal.Truncate()
+}
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	// Columns names the projected columns for SELECT results.
+	Columns []string
+	// Rows holds SELECT output.
+	Rows []catalog.Row
+	// Keys holds the primary keys of the tuples the statement touched:
+	// for SELECT, one per output row in row order (the tuple ids the
+	// delay defense charges for); for UPDATE and DELETE, the keys of the
+	// affected rows (which the freshness tracker bumps).
+	Keys []uint64
+	// Affected is the number of rows inserted, updated, or deleted.
+	Affected int
+}
+
+// Exec parses and executes one SQL statement.
+func (db *Database) Exec(sql string) (*Result, error) {
+	stmt, err := sqlmini.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated statement sequence (e.g. a
+// schema/load file), stopping at the first error. It returns one result
+// per executed statement; on error the results of the statements that
+// already ran are returned alongside it.
+func (db *Database) ExecScript(src string) ([]*Result, error) {
+	stmts, err := sqlmini.ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, 0, len(stmts))
+	for i, stmt := range stmts {
+		res, err := db.ExecStmt(stmt)
+		if err != nil {
+			return results, fmt.Errorf("engine: statement %d: %w", i+1, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// ExecStmt executes a parsed statement.
+func (db *Database) ExecStmt(stmt sqlmini.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sqlmini.CreateTable:
+		return db.execCreate(s)
+	case *sqlmini.DropTable:
+		if err := db.DropTable(s.Table); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlmini.CreateIndex:
+		return db.execCreateIndex(s)
+	case *sqlmini.DropIndex:
+		return db.execDropIndex(s)
+	case *sqlmini.Insert:
+		return db.execInsert(s)
+	case *sqlmini.Select:
+		return db.execSelect(s)
+	case *sqlmini.Update:
+		return db.execUpdate(s)
+	case *sqlmini.Delete:
+		return db.execDelete(s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}

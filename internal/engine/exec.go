@@ -1,0 +1,425 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlmini"
+	"repro/internal/storage"
+)
+
+func (db *Database) execCreate(s *sqlmini.CreateTable) (*Result, error) {
+	schema := catalog.Schema{Table: s.Table, Key: -1}
+	for i, col := range s.Columns {
+		typ, err := catalog.ParseType(col.TypeName)
+		if err != nil {
+			return nil, err
+		}
+		schema.Columns = append(schema.Columns, catalog.Column{Name: col.Name, Type: typ})
+		if col.PrimaryKey {
+			if schema.Key >= 0 {
+				return nil, fmt.Errorf("engine: table %q has multiple primary keys", s.Table)
+			}
+			schema.Key = i
+		}
+	}
+	if schema.Key < 0 {
+		return nil, fmt.Errorf("engine: table %q needs an INT PRIMARY KEY column", s.Table)
+	}
+	if err := db.CreateTable(schema); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// literalToValue coerces a literal to the column type. INT literals widen
+// to FLOAT columns; everything else must match exactly.
+func literalToValue(lit sqlmini.Literal, col catalog.Column) (catalog.Value, error) {
+	switch col.Type {
+	case catalog.Int:
+		if lit.Kind == sqlmini.IntLit {
+			return catalog.IntValue(lit.Int), nil
+		}
+	case catalog.Float:
+		switch lit.Kind {
+		case sqlmini.FloatLit:
+			return catalog.FloatValue(lit.Float), nil
+		case sqlmini.IntLit:
+			return catalog.FloatValue(float64(lit.Int)), nil
+		}
+	case catalog.Text:
+		if lit.Kind == sqlmini.StringLit {
+			return catalog.TextValue(lit.Str), nil
+		}
+	}
+	return catalog.Value{}, fmt.Errorf("engine: literal %v does not fit column %q (%v)",
+		lit, col.Name, col.Type)
+}
+
+func (db *Database) execInsert(s *sqlmini.Insert) (*Result, error) {
+	t, err := db.getTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	inserted := 0
+	for _, litRow := range s.Rows {
+		if len(litRow) != len(t.schema.Columns) {
+			return nil, fmt.Errorf("engine: INSERT has %d values, table %q has %d columns",
+				len(litRow), s.Table, len(t.schema.Columns))
+		}
+		row := make(catalog.Row, len(litRow))
+		for i, lit := range litRow {
+			v, err := literalToValue(lit, t.schema.Columns[i])
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		key := row[t.schema.Key].Int
+		if _, exists := t.pk.Get(key); exists {
+			return nil, fmt.Errorf("engine: duplicate primary key %d in table %q", key, s.Table)
+		}
+		rec, err := catalog.EncodeRow(t.schema, row)
+		if err != nil {
+			return nil, err
+		}
+		rid, err := t.heap.Insert(rec)
+		if err != nil {
+			return nil, err
+		}
+		t.pk.Put(key, rid)
+		for _, sec := range t.secondaries {
+			sec.insert(row, rid)
+		}
+		inserted++
+	}
+	if err := t.logMutation(); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: inserted}, nil
+}
+
+func (db *Database) execSelect(s *sqlmini.Select) (*Result, error) {
+	t, err := db.getTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if s.Explain {
+		p, err := db.choosePlan(t, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Columns: []string{"plan"},
+			Rows:    []catalog.Row{{catalog.TextValue(p.Describe(t))}},
+		}, nil
+	}
+	if len(s.Aggregates) > 0 {
+		return db.execAggregate(t, s)
+	}
+	proj, err := projection(t.schema, s.Columns)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: projColumns(t.schema, proj)}
+	project := func(row catalog.Row) catalog.Row {
+		out := make(catalog.Row, len(proj))
+		for i, ci := range proj {
+			out[i] = row[ci]
+		}
+		return out
+	}
+
+	if s.Order != nil {
+		oi := t.schema.ColumnIndex(s.Order.Column)
+		if oi < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q in ORDER BY", s.Order.Column)
+		}
+		// Materialize, sort, then project and apply the limit.
+		var rows []catalog.Row
+		err = db.planAndScan(t, s.Where, func(_ storage.RID, row catalog.Row) (bool, error) {
+			rows = append(rows, append(catalog.Row(nil), row...))
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(rows, func(a, b int) bool {
+			c, _ := rows[a][oi].Compare(rows[b][oi])
+			if s.Order.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		for _, row := range rows {
+			if s.Limit >= 0 && len(res.Rows) >= s.Limit {
+				break
+			}
+			res.Rows = append(res.Rows, project(row))
+			res.Keys = append(res.Keys, uint64(row[t.schema.Key].Int))
+		}
+		return res, nil
+	}
+
+	limit := s.Limit
+	err = db.planAndScan(t, s.Where, func(rid storage.RID, row catalog.Row) (bool, error) {
+		res.Rows = append(res.Rows, project(row))
+		res.Keys = append(res.Keys, uint64(row[t.schema.Key].Int))
+		if limit >= 0 && len(res.Rows) >= limit {
+			return false, nil
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// execAggregate evaluates COUNT/SUM/AVG/MIN/MAX over the matching rows,
+// returning one summary row. Keys lists every tuple included in the
+// aggregate: the delay defense treats an aggregate as "the aggregate of
+// multiple simple queries" (§2.1), so an adversary cannot cheaply walk
+// the database through SUMs.
+func (db *Database) execAggregate(t *table, s *sqlmini.Select) (*Result, error) {
+	type accum struct {
+		col   int // -1 for COUNT(*)
+		count int64
+		sum   float64
+		min   catalog.Value
+		max   catalog.Value
+		seen  bool
+	}
+	accs := make([]accum, len(s.Aggregates))
+	cols := make([]string, len(s.Aggregates))
+	for i, agg := range s.Aggregates {
+		accs[i].col = -1
+		if agg.Column != "" {
+			ci := t.schema.ColumnIndex(agg.Column)
+			if ci < 0 {
+				return nil, fmt.Errorf("engine: unknown column %q in %v", agg.Column, agg.Func)
+			}
+			colType := t.schema.Columns[ci].Type
+			if (agg.Func == sqlmini.AggSum || agg.Func == sqlmini.AggAvg) && colType == catalog.Text {
+				return nil, fmt.Errorf("engine: %v over TEXT column %q", agg.Func, agg.Column)
+			}
+			accs[i].col = ci
+			cols[i] = fmt.Sprintf("%s(%s)", strings.ToLower(agg.Func.String()), agg.Column)
+		} else {
+			cols[i] = "count(*)"
+		}
+	}
+
+	res := &Result{Columns: cols}
+	err := db.planAndScan(t, s.Where, func(_ storage.RID, row catalog.Row) (bool, error) {
+		res.Keys = append(res.Keys, uint64(row[t.schema.Key].Int))
+		for i := range accs {
+			a := &accs[i]
+			a.count++
+			if a.col < 0 {
+				continue
+			}
+			v := row[a.col]
+			switch v.Type {
+			case catalog.Int:
+				a.sum += float64(v.Int)
+			case catalog.Float:
+				a.sum += v.Float
+			}
+			if !a.seen {
+				a.min, a.max, a.seen = v, v, true
+				continue
+			}
+			if c, _ := v.Compare(a.min); c < 0 {
+				a.min = v
+			}
+			if c, _ := v.Compare(a.max); c > 0 {
+				a.max = v
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(catalog.Row, len(s.Aggregates))
+	for i, agg := range s.Aggregates {
+		a := accs[i]
+		switch agg.Func {
+		case sqlmini.AggCount:
+			out[i] = catalog.IntValue(a.count)
+		case sqlmini.AggSum:
+			out[i] = catalog.FloatValue(a.sum)
+		case sqlmini.AggAvg:
+			if a.count == 0 {
+				out[i] = catalog.FloatValue(0)
+			} else {
+				out[i] = catalog.FloatValue(a.sum / float64(a.count))
+			}
+		case sqlmini.AggMin:
+			if !a.seen {
+				out[i] = catalog.IntValue(0)
+			} else {
+				out[i] = a.min
+			}
+		case sqlmini.AggMax:
+			if !a.seen {
+				out[i] = catalog.IntValue(0)
+			} else {
+				out[i] = a.max
+			}
+		default:
+			return nil, fmt.Errorf("engine: unsupported aggregate %v", agg.Func)
+		}
+	}
+	res.Rows = append(res.Rows, out)
+	return res, nil
+}
+
+func (db *Database) execUpdate(s *sqlmini.Update) (*Result, error) {
+	t, err := db.getTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve SET columns up front.
+	type setOp struct {
+		col int
+		val catalog.Value
+	}
+	var sets []setOp
+	for _, a := range s.Set {
+		ci := t.schema.ColumnIndex(a.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q in UPDATE", a.Column)
+		}
+		v, err := literalToValue(a.Value, t.schema.Columns[ci])
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, setOp{col: ci, val: v})
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Collect matches first: mutating the heap during its own scan would
+	// risk visiting relocated rows twice.
+	type match struct {
+		rid storage.RID
+		row catalog.Row
+	}
+	var matches []match
+	err = db.planAndScan(t, s.Where, func(rid storage.RID, row catalog.Row) (bool, error) {
+		matches = append(matches, match{rid, row})
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range matches {
+		oldKey := m.row[t.schema.Key].Int
+		newRow := append(catalog.Row(nil), m.row...)
+		for _, so := range sets {
+			newRow[so.col] = so.val
+		}
+		newKey := newRow[t.schema.Key].Int
+		if newKey != oldKey {
+			if _, exists := t.pk.Get(newKey); exists {
+				return nil, fmt.Errorf("engine: UPDATE would duplicate primary key %d", newKey)
+			}
+		}
+		rec, err := catalog.EncodeRow(t.schema, newRow)
+		if err != nil {
+			return nil, err
+		}
+		nrid, err := t.heap.Update(m.rid, rec)
+		if err != nil {
+			return nil, err
+		}
+		if newKey != oldKey {
+			t.pk.Delete(oldKey)
+		}
+		t.pk.Put(newKey, nrid)
+		for _, sec := range t.secondaries {
+			sec.remove(m.row, m.rid)
+			sec.insert(newRow, nrid)
+		}
+	}
+	if err := t.logMutation(); err != nil {
+		return nil, err
+	}
+	res := &Result{Affected: len(matches)}
+	for _, m := range matches {
+		res.Keys = append(res.Keys, uint64(m.row[t.schema.Key].Int))
+	}
+	return res, nil
+}
+
+func (db *Database) execDelete(s *sqlmini.Delete) (*Result, error) {
+	t, err := db.getTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	type match struct {
+		rid storage.RID
+		key int64
+		row catalog.Row
+	}
+	var matches []match
+	err = db.planAndScan(t, s.Where, func(rid storage.RID, row catalog.Row) (bool, error) {
+		matches = append(matches, match{rid, row[t.schema.Key].Int, row})
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Affected: len(matches)}
+	for _, m := range matches {
+		if err := t.heap.Delete(m.rid); err != nil {
+			return nil, err
+		}
+		t.pk.Delete(m.key)
+		for _, sec := range t.secondaries {
+			sec.remove(m.row, m.rid)
+		}
+		res.Keys = append(res.Keys, uint64(m.key))
+	}
+	if err := t.logMutation(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// projection resolves a column name list to schema indices; nil means *.
+func projection(schema catalog.Schema, cols []string) ([]int, error) {
+	if cols == nil {
+		out := make([]int, len(schema.Columns))
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	out := make([]int, 0, len(cols))
+	for _, name := range cols {
+		ci := schema.ColumnIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q", name)
+		}
+		out = append(out, ci)
+	}
+	return out, nil
+}
+
+func projColumns(schema catalog.Schema, proj []int) []string {
+	out := make([]string, len(proj))
+	for i, ci := range proj {
+		out[i] = schema.Columns[ci].Name
+	}
+	return out
+}

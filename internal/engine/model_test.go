@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEngineAgainstMapModel drives the engine with random statements and
+// mirrors them into a plain map, then verifies full agreement — both
+// through point lookups (index path) and full scans.
+func TestEngineAgainstMapModel(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runEngineModel(t, seed, false)
+		})
+	}
+}
+
+// TestEngineAgainstMapModelWithWAL repeats the model test on the WAL
+// configuration: logging must not change semantics.
+func TestEngineAgainstMapModelWithWAL(t *testing.T) {
+	runEngineModel(t, 99, true)
+}
+
+func runEngineModel(t *testing.T, seed int64, wal bool) {
+	t.Helper()
+	opts := []Option{WithPoolPages(4)} // tiny pool: force eviction traffic
+	if wal {
+		opts = append(opts, WithWAL(false))
+	}
+	db, err := Open(t.TempDir(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE m (id INT PRIMARY KEY, v INT, s TEXT)`)
+
+	type rowVal struct {
+		v int64
+		s string
+	}
+	model := map[int64]rowVal{}
+	rng := rand.New(rand.NewSource(seed))
+
+	for op := 0; op < 1500; op++ {
+		id := int64(rng.Intn(120))
+		switch rng.Intn(5) {
+		case 0, 1: // insert
+			v := int64(rng.Intn(1000))
+			s := fmt.Sprintf("s-%d", rng.Intn(50))
+			_, err := db.Exec(fmt.Sprintf(`INSERT INTO m VALUES (%d, %d, '%s')`, id, v, s))
+			if _, exists := model[id]; exists {
+				if err == nil {
+					t.Fatalf("op %d: duplicate insert of %d accepted", op, id)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("op %d: insert %d: %v", op, id, err)
+				}
+				model[id] = rowVal{v, s}
+			}
+		case 2: // update
+			v := int64(rng.Intn(1000))
+			res, err := db.Exec(fmt.Sprintf(`UPDATE m SET v = %d WHERE id = %d`, v, id))
+			if err != nil {
+				t.Fatalf("op %d: update: %v", op, err)
+			}
+			if _, exists := model[id]; exists {
+				if res.Affected != 1 {
+					t.Fatalf("op %d: update affected %d", op, res.Affected)
+				}
+				model[id] = rowVal{v, model[id].s}
+			} else if res.Affected != 0 {
+				t.Fatalf("op %d: phantom update", op)
+			}
+		case 3: // delete
+			res, err := db.Exec(fmt.Sprintf(`DELETE FROM m WHERE id = %d`, id))
+			if err != nil {
+				t.Fatalf("op %d: delete: %v", op, err)
+			}
+			_, exists := model[id]
+			if exists != (res.Affected == 1) {
+				t.Fatalf("op %d: delete affected %d, model has=%v", op, res.Affected, exists)
+			}
+			delete(model, id)
+		case 4: // point read
+			res, err := db.Exec(fmt.Sprintf(`SELECT v, s FROM m WHERE id = %d`, id))
+			if err != nil {
+				t.Fatalf("op %d: select: %v", op, err)
+			}
+			want, exists := model[id]
+			if exists != (len(res.Rows) == 1) {
+				t.Fatalf("op %d: select rows=%d, model has=%v", op, len(res.Rows), exists)
+			}
+			if exists {
+				if res.Rows[0][0].Int != want.v || res.Rows[0][1].Str != want.s {
+					t.Fatalf("op %d: row mismatch %v vs %+v", op, res.Rows[0], want)
+				}
+			}
+		}
+	}
+
+	// Full reconciliation: scan path.
+	res := mustExec(t, db, `SELECT id, v, s FROM m ORDER BY id`)
+	if len(res.Rows) != len(model) {
+		t.Fatalf("scan rows = %d, model = %d", len(res.Rows), len(model))
+	}
+	var ids []int64
+	for id := range model {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for i, id := range ids {
+		row := res.Rows[i]
+		want := model[id]
+		if row[0].Int != id || row[1].Int != want.v || row[2].Str != want.s {
+			t.Fatalf("row %d: %v vs id=%d %+v", i, row, id, want)
+		}
+	}
+	// Aggregates agree.
+	var wantSum int64
+	for _, rv := range model {
+		wantSum += rv.v
+	}
+	agg := mustExec(t, db, `SELECT COUNT(*), SUM(v) FROM m`)
+	if agg.Rows[0][0].Int != int64(len(model)) {
+		t.Fatalf("count = %v", agg.Rows[0][0])
+	}
+	if int64(agg.Rows[0][1].Float) != wantSum {
+		t.Fatalf("sum = %v, want %d", agg.Rows[0][1], wantSum)
+	}
+}
+
+// TestEngineModelWithSecondaryIndex repeats reconciliation with a
+// secondary index active, comparing index-path and scan-path answers
+// after heavy churn.
+func TestEngineModelWithSecondaryIndex(t *testing.T) {
+	db := testDB(t, WithPoolPages(4))
+	mustExec(t, db, `CREATE TABLE m (id INT PRIMARY KEY, tag TEXT)`)
+	mustExec(t, db, `CREATE INDEX by_tag ON m (tag)`)
+	rng := rand.New(rand.NewSource(7))
+	model := map[int64]string{}
+	for op := 0; op < 1200; op++ {
+		id := int64(rng.Intn(80))
+		tag := fmt.Sprintf("t%d", rng.Intn(6))
+		switch rng.Intn(3) {
+		case 0:
+			if _, exists := model[id]; !exists {
+				mustExec(t, db, fmt.Sprintf(`INSERT INTO m VALUES (%d, '%s')`, id, tag))
+				model[id] = tag
+			}
+		case 1:
+			if _, exists := model[id]; exists {
+				mustExec(t, db, fmt.Sprintf(`UPDATE m SET tag = '%s' WHERE id = %d`, tag, id))
+				model[id] = tag
+			}
+		case 2:
+			if _, exists := model[id]; exists {
+				mustExec(t, db, fmt.Sprintf(`DELETE FROM m WHERE id = %d`, id))
+				delete(model, id)
+			}
+		}
+	}
+	for tagN := 0; tagN < 6; tagN++ {
+		tag := fmt.Sprintf("t%d", tagN)
+		want := 0
+		for _, v := range model {
+			if v == tag {
+				want++
+			}
+		}
+		res := mustExec(t, db, fmt.Sprintf(`SELECT COUNT(*) FROM m WHERE tag = '%s'`, tag))
+		if res.Rows[0][0].Int != int64(want) {
+			t.Fatalf("tag %s: index count %v, model %d", tag, res.Rows[0][0], want)
+		}
+	}
+}

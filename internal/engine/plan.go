@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlmini"
+	"repro/internal/storage"
+)
+
+// planKind enumerates access paths.
+type planKind int
+
+const (
+	planImpossible planKind = iota + 1
+	planPKPoint
+	planPKRange
+	planSecondaryEq
+	planFullScan
+)
+
+// queryPlan is the chosen access path for a WHERE clause.
+type queryPlan struct {
+	kind    planKind
+	eq      *int64
+	lo, hi  *int64
+	sec     *secondary
+	secRIDs []storage.RID
+}
+
+// Describe renders the plan for EXPLAIN output.
+func (p queryPlan) Describe(t *table) string {
+	keyCol := t.schema.Columns[t.schema.Key].Name
+	switch p.kind {
+	case planImpossible:
+		return "no-op (contradictory equality predicates)"
+	case planPKPoint:
+		return fmt.Sprintf("primary key point lookup on %q = %d", keyCol, *p.eq)
+	case planPKRange:
+		lo, hi := "-inf", "+inf"
+		if p.lo != nil {
+			lo = fmt.Sprintf("%d", *p.lo)
+		}
+		if p.hi != nil {
+			hi = fmt.Sprintf("%d", *p.hi)
+		}
+		return fmt.Sprintf("primary key range scan on %q in [%s, %s]", keyCol, lo, hi)
+	case planSecondaryEq:
+		return fmt.Sprintf("secondary index %q equality on %q (%d candidate rows)",
+			p.sec.def.Name, p.sec.def.Column, len(p.secRIDs))
+	default:
+		return "full table scan"
+	}
+}
+
+// choosePlan picks an access path for the WHERE clause. Paths, in
+// preference order: primary key point lookup, secondary index equality,
+// primary key range scan, full scan.
+func (db *Database) choosePlan(t *table, where *sqlmini.Where) (queryPlan, error) {
+	keyCol := t.schema.Columns[t.schema.Key].Name
+
+	// Validate referenced columns up front so malformed queries fail even
+	// when no row would be visited.
+	if where != nil {
+		for _, c := range where.Conjuncts {
+			if t.schema.ColumnIndex(c.Column) < 0 {
+				return queryPlan{}, fmt.Errorf("engine: unknown column %q in WHERE", c.Column)
+			}
+		}
+	}
+
+	var p queryPlan
+	impossible := false
+	if where != nil {
+		for _, c := range where.Conjuncts {
+			if !strings.EqualFold(c.Column, keyCol) || c.Value.Kind != sqlmini.IntLit {
+				continue
+			}
+			v := c.Value.Int
+			switch c.Op {
+			case sqlmini.OpEq:
+				if p.eq != nil && *p.eq != v {
+					impossible = true
+				}
+				p.eq = &v
+			case sqlmini.OpGe:
+				if p.lo == nil || v > *p.lo {
+					p.lo = &v
+				}
+			case sqlmini.OpGt:
+				w := v + 1
+				if p.lo == nil || w > *p.lo {
+					p.lo = &w
+				}
+			case sqlmini.OpLe:
+				if p.hi == nil || v < *p.hi {
+					p.hi = &v
+				}
+			case sqlmini.OpLt:
+				w := v - 1
+				if p.hi == nil || w < *p.hi {
+					p.hi = &w
+				}
+			}
+		}
+	}
+	switch {
+	case impossible:
+		p.kind = planImpossible
+		return p, nil
+	case p.eq != nil:
+		p.kind = planPKPoint
+		return p, nil
+	}
+
+	// Secondary index path: an equality conjunct on an indexed non-key
+	// column, considered only when the primary key gives no point handle.
+	if where != nil {
+		for _, c := range where.Conjuncts {
+			if c.Op != sqlmini.OpEq || strings.EqualFold(c.Column, keyCol) {
+				continue
+			}
+			sec := t.findSecondary(c.Column)
+			if sec == nil {
+				continue
+			}
+			if rids, ok := sec.lookupLiteral(c.Value); ok {
+				p.kind = planSecondaryEq
+				p.sec = sec
+				p.secRIDs = rids
+				return p, nil
+			}
+		}
+	}
+
+	if p.lo != nil || p.hi != nil {
+		p.kind = planPKRange
+		return p, nil
+	}
+	p.kind = planFullScan
+	return p, nil
+}
+
+// planAndScan picks an access path for the WHERE clause and streams
+// matching rows to fn. fn returns (continue, error); scanning stops on
+// either signal.
+func (db *Database) planAndScan(t *table, where *sqlmini.Where, fn func(storage.RID, catalog.Row) (bool, error)) error {
+	p, err := db.choosePlan(t, where)
+	if err != nil {
+		return err
+	}
+
+	emit := func(rid storage.RID) (bool, error) {
+		rec, err := t.heap.Get(rid)
+		if err != nil {
+			return false, err
+		}
+		row, err := catalog.DecodeRow(t.schema, rec)
+		if err != nil {
+			return false, err
+		}
+		ok, err := matches(t.schema, row, where)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		return fn(rid, row)
+	}
+
+	switch p.kind {
+	case planImpossible:
+		return nil
+	case planPKPoint:
+		rid, found := t.pk.Get(*p.eq)
+		if !found {
+			return nil
+		}
+		_, err := emit(rid)
+		return err
+	case planSecondaryEq:
+		for _, rid := range p.secRIDs {
+			cont, err := emit(rid)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+		return nil
+	case planPKRange:
+		var scanErr error
+		t.pk.AscendRange(p.lo, p.hi, func(key int64, rid storage.RID) bool {
+			cont, err := emit(rid)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			return cont
+		})
+		return scanErr
+	default:
+		var scanErr error
+		err := t.heap.Scan(func(rid storage.RID, rec []byte) bool {
+			row, derr := catalog.DecodeRow(t.schema, rec)
+			if derr != nil {
+				scanErr = derr
+				return false
+			}
+			ok, merr := matches(t.schema, row, where)
+			if merr != nil {
+				scanErr = merr
+				return false
+			}
+			if !ok {
+				return true
+			}
+			cont, ferr := fn(rid, append(catalog.Row(nil), row...))
+			if ferr != nil {
+				scanErr = ferr
+				return false
+			}
+			return cont
+		})
+		if err != nil {
+			return err
+		}
+		return scanErr
+	}
+}
+
+// matches evaluates a conjunction against a row.
+func matches(schema catalog.Schema, row catalog.Row, where *sqlmini.Where) (bool, error) {
+	if where == nil {
+		return true, nil
+	}
+	for _, c := range where.Conjuncts {
+		ci := schema.ColumnIndex(c.Column)
+		if ci < 0 {
+			return false, fmt.Errorf("engine: unknown column %q in WHERE", c.Column)
+		}
+		cmp, err := compareValueLiteral(row[ci], c.Value)
+		if err != nil {
+			return false, err
+		}
+		var ok bool
+		switch c.Op {
+		case sqlmini.OpEq:
+			ok = cmp == 0
+		case sqlmini.OpNe:
+			ok = cmp != 0
+		case sqlmini.OpLt:
+			ok = cmp < 0
+		case sqlmini.OpLe:
+			ok = cmp <= 0
+		case sqlmini.OpGt:
+			ok = cmp > 0
+		case sqlmini.OpGe:
+			ok = cmp >= 0
+		default:
+			return false, fmt.Errorf("engine: invalid operator %v", c.Op)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// compareValueLiteral compares a column value with a literal, coercing
+// numerics to float when the types differ.
+func compareValueLiteral(v catalog.Value, lit sqlmini.Literal) (int, error) {
+	switch v.Type {
+	case catalog.Int:
+		switch lit.Kind {
+		case sqlmini.IntLit:
+			return cmpInt(v.Int, lit.Int), nil
+		case sqlmini.FloatLit:
+			return cmpFloat(float64(v.Int), lit.Float), nil
+		}
+	case catalog.Float:
+		switch lit.Kind {
+		case sqlmini.FloatLit:
+			return cmpFloat(v.Float, lit.Float), nil
+		case sqlmini.IntLit:
+			return cmpFloat(v.Float, float64(lit.Int)), nil
+		}
+	case catalog.Text:
+		if lit.Kind == sqlmini.StringLit {
+			return strings.Compare(v.Str, lit.Str), nil
+		}
+	}
+	return 0, fmt.Errorf("engine: cannot compare %v column with literal %v", v.Type, lit)
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

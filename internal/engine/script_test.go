@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExecScript(t *testing.T) {
+	db := testDB(t)
+	results, err := db.ExecScript(`
+		CREATE TABLE t (id INT PRIMARY KEY, v TEXT);
+		INSERT INTO t VALUES (1, 'a'), (2, 'b');
+		CREATE INDEX by_v ON t (v);
+		SELECT * FROM t WHERE v = 'b';
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[1].Affected != 2 {
+		t.Fatalf("insert affected = %d", results[1].Affected)
+	}
+	if len(results[3].Rows) != 1 || results[3].Rows[0][0].Int != 2 {
+		t.Fatalf("select rows = %v", results[3].Rows)
+	}
+}
+
+func TestExecScriptStraySemicolonsAndNoTrailing(t *testing.T) {
+	db := testDB(t)
+	results, err := db.ExecScript(`;;CREATE TABLE t (id INT PRIMARY KEY);; INSERT INTO t VALUES (1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+}
+
+func TestExecScriptEmpty(t *testing.T) {
+	db := testDB(t)
+	results, err := db.ExecScript("  \n ; ; ")
+	if err != nil || len(results) != 0 {
+		t.Fatalf("%v, %v", results, err)
+	}
+}
+
+func TestExecScriptStopsAtFirstError(t *testing.T) {
+	db := testDB(t)
+	results, err := db.ExecScript(`
+		CREATE TABLE t (id INT PRIMARY KEY);
+		INSERT INTO t VALUES (1);
+		INSERT INTO t VALUES (1);
+		INSERT INTO t VALUES (2);
+	`)
+	if err == nil {
+		t.Fatal("duplicate key in script accepted")
+	}
+	if !strings.Contains(err.Error(), "statement 3") {
+		t.Fatalf("err = %v", err)
+	}
+	// First two ran; the fourth did not.
+	if len(results) != 2 {
+		t.Fatalf("partial results = %d", len(results))
+	}
+	res := mustExec(t, db, `SELECT COUNT(*) FROM t`)
+	if res.Rows[0][0].Int != 1 {
+		t.Fatalf("rows after failed script = %v", res.Rows[0][0])
+	}
+}
+
+func TestExecScriptParseErrorRunsNothing(t *testing.T) {
+	db := testDB(t)
+	_, err := db.ExecScript(`CREATE TABLE t (id INT PRIMARY KEY); NONSENSE;`)
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Parse failure is detected before execution: table must not exist.
+	if _, err := db.Exec(`SELECT * FROM t`); err == nil {
+		t.Fatal("script partially executed despite parse error")
+	}
+}
+
+func TestExecScriptMissingSeparator(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.ExecScript(`SELECT * FROM t SELECT * FROM t`); err == nil {
+		t.Fatal("missing semicolon accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+)
+
+// bars renders values as ASCII bars of at most width characters, scaled
+// linearly from zero to the maximum value. It gives the Fig-style
+// experiments chart-like output in a terminal.
+func bars(values []float64, width int) []string {
+	if width < 1 {
+		width = 1
+	}
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]string, len(values))
+	for i, v := range values {
+		n := 0
+		if max > 0 && v > 0 {
+			n = int(math.Round(v / max * float64(width)))
+			if n == 0 {
+				n = 1 // visible trace for nonzero values
+			}
+		}
+		out[i] = strings.Repeat("#", n)
+	}
+	return out
+}
+
+// logBars renders values on a log scale, for series spanning orders of
+// magnitude (the paper's Figs 4 and 5 use log axes).
+func logBars(values []float64, width int) []string {
+	logs := make([]float64, len(values))
+	var min, max float64
+	first := true
+	for i, v := range values {
+		if v <= 0 {
+			logs[i] = math.Inf(-1)
+			continue
+		}
+		logs[i] = math.Log10(v)
+		if first || logs[i] < min {
+			min = logs[i]
+		}
+		if first || logs[i] > max {
+			max = logs[i]
+		}
+		first = false
+	}
+	out := make([]string, len(values))
+	span := max - min
+	for i, l := range logs {
+		if math.IsInf(l, -1) {
+			out[i] = ""
+			continue
+		}
+		frac := 1.0
+		if span > 0 {
+			frac = (l - min) / span
+		}
+		n := 1 + int(math.Round(frac*float64(width-1)))
+		out[i] = strings.Repeat("#", n)
+	}
+	return out
+}
+
+// addBarColumn appends a bar column to a table given the numeric series
+// backing one of its columns.
+func addBarColumn(t *Table, values []float64, width int, logScale bool) {
+	var rendered []string
+	if logScale {
+		rendered = logBars(values, width)
+	} else {
+		rendered = bars(values, width)
+	}
+	t.Header = append(t.Header, "")
+	for i := range t.Rows {
+		if i < len(rendered) {
+			t.Rows[i] = append(t.Rows[i], rendered[i])
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarsLinear(t *testing.T) {
+	out := bars([]float64{10, 5, 0, 1}, 10)
+	if out[0] != strings.Repeat("#", 10) {
+		t.Fatalf("max bar = %q", out[0])
+	}
+	if out[1] != strings.Repeat("#", 5) {
+		t.Fatalf("half bar = %q", out[1])
+	}
+	if out[2] != "" {
+		t.Fatalf("zero bar = %q", out[2])
+	}
+	if out[3] != "#" {
+		t.Fatalf("trace bar = %q", out[3])
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	out := bars([]float64{0, 0}, 5)
+	if out[0] != "" || out[1] != "" {
+		t.Fatalf("zero series = %v", out)
+	}
+	// Width clamp.
+	if got := bars([]float64{1}, 0); got[0] != "#" {
+		t.Fatalf("clamped = %v", got)
+	}
+}
+
+func TestLogBarsSpanOrders(t *testing.T) {
+	out := logBars([]float64{1, 100, 10000}, 21)
+	l0, l1, l2 := len(out[0]), len(out[1]), len(out[2])
+	if l0 >= l1 || l1 >= l2 {
+		t.Fatalf("log bars not increasing: %d, %d, %d", l0, l1, l2)
+	}
+	// Log spacing is even for even exponent steps.
+	if (l1-l0)-(l2-l1) > 1 || (l2-l1)-(l1-l0) > 1 {
+		t.Fatalf("log spacing uneven: %d, %d, %d", l0, l1, l2)
+	}
+	// Zeros render empty.
+	out2 := logBars([]float64{0, 10}, 10)
+	if out2[0] != "" || out2[1] == "" {
+		t.Fatalf("zero handling: %v", out2)
+	}
+	// Constant series renders full bars without division by zero.
+	out3 := logBars([]float64{5, 5}, 10)
+	if len(out3[0]) != 10 || len(out3[1]) != 10 {
+		t.Fatalf("constant series: %v", out3)
+	}
+}
+
+func TestAddBarColumn(t *testing.T) {
+	tab := &Table{
+		Title:  "x",
+		Header: []string{"a"},
+		Rows:   [][]string{{"1"}, {"2"}},
+	}
+	addBarColumn(tab, []float64{1, 2}, 8, false)
+	if len(tab.Header) != 2 {
+		t.Fatalf("header = %v", tab.Header)
+	}
+	if len(tab.Rows[0]) != 2 || tab.Rows[1][1] != strings.Repeat("#", 8) {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+}

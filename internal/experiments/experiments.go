@@ -1,0 +1,160 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4). Each experiment has paper-scale defaults and a Scale
+// knob so the test suite can run the same code at reduced size; the
+// extractbench command and the bench_test.go benchmarks run them at full
+// scale and print rows in the paper's format.
+//
+// The experiment ↔ module map lives in DESIGN.md; measured-vs-paper
+// numbers are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/delay"
+	"repro/internal/trace"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry methodology remarks printed under the table.
+	Notes []string
+}
+
+// Print renders the table in aligned plain text.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Formatting helpers matching the paper's units.
+
+// Millis renders a duration in milliseconds.
+func Millis(d time.Duration) string {
+	return fmt.Sprintf("%.4f", float64(d)/float64(time.Millisecond))
+}
+
+// Hours renders a duration in hours.
+func Hours(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Hours())
+}
+
+// WeeksStr renders a duration in weeks.
+func WeeksStr(d time.Duration) string {
+	return fmt.Sprintf("%.1f", d.Hours()/(24*7))
+}
+
+// SecondsStr renders a duration in seconds.
+func SecondsStr(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}
+
+// medianSeconds returns the median of xs (seconds); 0 for empty.
+func medianSeconds(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// ReplayResult is the outcome of replaying a trace through a popularity
+// policy: the learned tracker plus the per-request delays a legitimate
+// user would have experienced.
+type ReplayResult struct {
+	// MedianDelay is the median per-request delay over the replay.
+	MedianDelay time.Duration
+	// AdversaryDelay is the post-replay full-extraction delay (Eq 6
+	// under the learned counts).
+	AdversaryDelay time.Duration
+	// MaxPossible is N·cap, the delay ceiling for a full extraction.
+	MaxPossible time.Duration
+	// Requests is the number of requests replayed.
+	Requests int
+}
+
+// ReplayPopularity replays tr through a fresh tracker with the given
+// decay rate and a popularity policy with the given parameters, learning
+// the distribution online exactly as §2.3 describes: each request is
+// quoted the delay implied by the counts so far, then counted.
+//
+// weeklyDecay selects the §4.2 cadence (decay applied at week boundaries)
+// instead of the §4.1 per-request cadence.
+func ReplayPopularity(tr *trace.Trace, decayRate float64, cfg delay.PopularityConfig, weeklyDecay bool) (ReplayResult, error) {
+	tracker, err := counters.NewDecayed(decayRate)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	pol, err := delay.NewPopularity(cfg, tracker)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	delays := make([]float64, 0, len(tr.Requests))
+	week := 0
+	for i, id := range tr.Requests {
+		if weeklyDecay && tr.WeekOf != nil && tr.WeekOf[i] != week {
+			for w := week; w < tr.WeekOf[i]; w++ {
+				tracker.Tick()
+			}
+			week = tr.WeekOf[i]
+		}
+		delays = append(delays, pol.Delay(id).Seconds())
+		if weeklyDecay {
+			tracker.ObserveNoDecay(id)
+		} else {
+			tracker.Observe(id)
+		}
+	}
+	return ReplayResult{
+		MedianDelay:    delay.SecondsToDuration(medianSeconds(delays)),
+		AdversaryDelay: pol.ExtractionDelay(),
+		MaxPossible:    time.Duration(cfg.N) * cfg.Cap,
+		Requests:       len(tr.Requests),
+	}, nil
+}

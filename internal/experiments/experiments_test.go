@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testCalgaryParams runs the Calgary experiments at 1/20 scale.
+func testCalgaryParams() CalgaryParams {
+	p := DefaultCalgaryParams()
+	p.Scale = 20
+	return p
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"T\n", "a", "bb", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if Millis(1500*time.Microsecond) != "1.5000" {
+		t.Fatal(Millis(1500 * time.Microsecond))
+	}
+	if Hours(90*time.Minute) != "1.50" {
+		t.Fatal(Hours(90 * time.Minute))
+	}
+	if WeeksStr(7*24*time.Hour) != "1.0" {
+		t.Fatal(WeeksStr(7 * 24 * time.Hour))
+	}
+	if SecondsStr(1500*time.Millisecond) != "1.50" {
+		t.Fatal(SecondsStr(1500 * time.Millisecond))
+	}
+}
+
+func TestFig1ShowsSkew(t *testing.T) {
+	tab, err := Fig1(testCalgaryParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Frequencies strictly ordered and heavily skewed: rank 1 ≫ rank 10.
+	first := atoiOrFail(t, tab.Rows[0][1])
+	last := atoiOrFail(t, tab.Rows[9][1])
+	if first < 5*last {
+		t.Fatalf("rank 1 freq %d not ≫ rank 10 freq %d", first, last)
+	}
+}
+
+func atoiOrFail(t *testing.T, s string) int {
+	t.Helper()
+	var n int
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab, rows, err := Table1(testCalgaryParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		// Median user delay ≈ 0 ms (paper: 0.0).
+		if r.MedianDelay > 5*time.Millisecond {
+			t.Errorf("size %d: median %v not ≈0", r.N, r.MedianDelay)
+		}
+		// Adversary within [80%, 100%] of N·cap.
+		maxPossible := time.Duration(r.N) * 10 * time.Second
+		if r.AdversaryDelay < maxPossible*8/10 || r.AdversaryDelay > maxPossible {
+			t.Errorf("size %d: adversary %v vs max %v", r.N, r.AdversaryDelay, maxPossible)
+		}
+		// Monotone growth with N.
+		if i > 0 && r.AdversaryDelay <= rows[i-1].AdversaryDelay {
+			t.Error("adversary delay not growing with N")
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	_, rows, err := Table2(testCalgaryParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	p := testCalgaryParams()
+	n := p.objects()
+	for i, r := range rows {
+		maxPossible := time.Duration(n) * r.Cap
+		if r.AdversaryDelay > maxPossible {
+			t.Errorf("cap %v: adversary %v exceeds N·cap %v", r.Cap, r.AdversaryDelay, maxPossible)
+		}
+		// Adversary delay should be a large fraction of the ceiling —
+		// larger for small caps (more ranks capped).
+		frac := float64(r.AdversaryDelay) / float64(maxPossible)
+		if frac < 0.5 {
+			t.Errorf("cap %v: adversary only %.2f of ceiling", r.Cap, frac)
+		}
+		if i > 0 {
+			if r.AdversaryDelay <= rows[i-1].AdversaryDelay {
+				t.Error("adversary delay not growing with cap")
+			}
+			prevFrac := float64(rows[i-1].AdversaryDelay) / float64(time.Duration(n)*rows[i-1].Cap)
+			if frac > prevFrac+1e-9 {
+				t.Errorf("ceiling fraction should fall as cap grows: %.3f then %.3f", prevFrac, frac)
+			}
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	_, rows, err := Table3(testCalgaryParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Median rises with decay (weakly monotone; allow tiny noise at the
+	// flat head).
+	if rows[len(rows)-1].MedianDelay <= rows[0].MedianDelay {
+		t.Errorf("median did not rise with decay: %v → %v",
+			rows[0].MedianDelay, rows[len(rows)-1].MedianDelay)
+	}
+	// Adversary rises toward the ceiling with decay and stays below it.
+	p := testCalgaryParams()
+	ceiling := time.Duration(p.objects()) * p.Cap
+	if rows[len(rows)-1].AdversaryDelay < rows[0].AdversaryDelay {
+		t.Error("adversary delay fell with decay")
+	}
+	for _, r := range rows {
+		if r.AdversaryDelay > ceiling {
+			t.Errorf("decay %v: adversary above ceiling", r.DecayRate)
+		}
+		if r.AdversaryDelay < ceiling/2 {
+			t.Errorf("decay %v: adversary %v below half ceiling %v", r.DecayRate, r.AdversaryDelay, ceiling)
+		}
+	}
+}
+
+func TestFig2Fig3SkewContrast(t *testing.T) {
+	p := DefaultBoxOfficeParams()
+	f2, err := Fig2(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := Fig3(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Rows) != 10 || len(f3.Rows) != 10 {
+		t.Fatalf("rows: %d, %d", len(f2.Rows), len(f3.Rows))
+	}
+	ratio := func(tab *Table) float64 {
+		first := parseFloat(t, tab.Rows[0][1])
+		last := parseFloat(t, tab.Rows[9][1])
+		return first / last
+	}
+	annual, weekly := ratio(f2), ratio(f3)
+	if weekly <= annual {
+		t.Fatalf("weekly skew %.1f not sharper than annual %.1f", weekly, annual)
+	}
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	var frac, div float64 = 0, 1
+	inFrac := false
+	for _, c := range s {
+		switch {
+		case c == '.':
+			inFrac = true
+		case c >= '0' && c <= '9':
+			if inFrac {
+				frac = frac*10 + float64(c-'0')
+				div *= 10
+			} else {
+				v = v*10 + float64(c-'0')
+			}
+		default:
+			t.Fatalf("not a float: %q", s)
+		}
+	}
+	return v + frac/div
+}
+
+func TestTable4Shape(t *testing.T) {
+	_, rows, err := Table4(DefaultBoxOfficeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// On this fast-shifting workload decay lowers the median (see the
+	// divergence note on Table4): strong decay must beat no decay by a
+	// wide margin, and the decayed medians must be small in absolute
+	// terms.
+	first, last := rows[0], rows[len(rows)-1]
+	if float64(last.MedianDelay) > float64(first.MedianDelay)/5 {
+		t.Errorf("decay did not lower median: %v → %v", first.MedianDelay, last.MedianDelay)
+	}
+	if last.MedianDelay > 5*time.Millisecond {
+		t.Errorf("high-decay median %v not small", last.MedianDelay)
+	}
+	// Adversary approaches the ceiling at high decay and never exceeds it.
+	ceiling := time.Duration(634) * 10 * time.Second
+	if last.AdversaryDelay > ceiling {
+		t.Fatalf("adversary above ceiling")
+	}
+	if float64(last.AdversaryDelay) < 0.9*float64(ceiling) {
+		t.Errorf("high-decay adversary %v below 90%% of ceiling %v", last.AdversaryDelay, ceiling)
+	}
+	if float64(first.AdversaryDelay) < 0.75*float64(ceiling) {
+		t.Errorf("no-decay adversary %v below 75%% of ceiling %v", first.AdversaryDelay, ceiling)
+	}
+	// Monotone rise across the sweep.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].AdversaryDelay < rows[i-1].AdversaryDelay {
+			t.Error("adversary delay fell with decay")
+		}
+	}
+}
+
+func testDynamicParams() DynamicParams {
+	p := DefaultDynamicParams()
+	p.N = 5000
+	return p
+}
+
+func TestDynamicSweepShapes(t *testing.T) {
+	fig4, fig5, fig6, rows, err := DynamicSweep(testDynamicParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if len(fig4.Rows) != 10 || len(fig5.Rows) != 10 || len(fig6.Rows) != 10 {
+		t.Fatal("figure row counts")
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// Fig 4: median rises with skew by orders of magnitude.
+	if float64(last.MedianDelay) < 100*float64(first.MedianDelay) {
+		t.Errorf("median barely rose: %v → %v", first.MedianDelay, last.MedianDelay)
+	}
+	// Fig 5: adversary delay rises by orders of magnitude.
+	if float64(last.AdversaryDelay) < 1000*float64(first.AdversaryDelay) {
+		t.Errorf("adversary barely rose: %v → %v", first.AdversaryDelay, last.AdversaryDelay)
+	}
+	// Fig 6: staleness near-total at modest skew, falling at high skew.
+	if first.StaleFraction < 0.8 {
+		t.Errorf("low-skew staleness = %v, want ≈1", first.StaleFraction)
+	}
+	if last.StaleFraction > first.StaleFraction/2 {
+		t.Errorf("staleness did not fall: %v → %v", first.StaleFraction, last.StaleFraction)
+	}
+}
+
+func TestDynamicSweepValidation(t *testing.T) {
+	p := testDynamicParams()
+	p.N = 0
+	if _, _, _, _, err := DynamicSweep(p); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestTable5Overhead(t *testing.T) {
+	p := DefaultOverheadParams(t.TempDir())
+	// Shrink for test speed; keep the I/O-bound character.
+	p.Rows = 3000
+	p.Queries = 40
+	p.IOCost = 100 * time.Microsecond
+	tab, res, err := Table5(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatal("table shape")
+	}
+	if res.BaseAvg <= 0 || res.TotalAvg <= 0 {
+		t.Fatalf("non-positive timings: %+v", res)
+	}
+	if res.TotalAvg < res.BaseAvg {
+		t.Fatalf("scheme faster than base: %+v", res)
+	}
+	// Overhead modest: the paper reports 20%; allow a generous band but
+	// fail if the scheme multiplies the query cost.
+	if res.OverheadPercent > 150 {
+		t.Fatalf("overhead %.1f%% is not modest", res.OverheadPercent)
+	}
+}
+
+func TestTable5Validation(t *testing.T) {
+	p := DefaultOverheadParams(t.TempDir())
+	p.Rows = 0
+	if _, _, err := Table5(p); err == nil {
+		t.Fatal("rows=0 accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestModelValidationAgreement(t *testing.T) {
+	p := DefaultModelParams()
+	p.N = 5000
+	p.Requests = 200_000
+	tab, err := ModelValidation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var prevRatio float64
+	for _, row := range tab.Rows {
+		analyticTotal := mustFloat(t, row[1])
+		measuredTotal := mustFloat(t, row[2])
+		if relDiff(analyticTotal, measuredTotal) > 0.05 {
+			t.Errorf("α=%s: dtotal disagreement %s vs %s", row[0], row[1], row[2])
+		}
+		analyticRatio := mustFloat(t, row[3])
+		measuredRatio := mustFloat(t, row[4])
+		// Median ranks differ slightly between ideal and learned
+		// distributions; a factor-3 band still separates the α regimes,
+		// which differ by orders of magnitude.
+		if measuredRatio < analyticRatio/3 || measuredRatio > analyticRatio*3 {
+			t.Errorf("α=%s: ratio disagreement %s vs %s", row[0], row[3], row[4])
+		}
+		// The paper's central claim: the ratio explodes as α grows.
+		if analyticRatio <= prevRatio*10 {
+			t.Errorf("ratio not growing strongly: %v after %v", analyticRatio, prevRatio)
+		}
+		prevRatio = analyticRatio
+	}
+}
+
+func TestModelValidationParams(t *testing.T) {
+	p := DefaultModelParams()
+	p.N = 0
+	if _, err := ModelValidation(p); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func relDiff(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d / m
+}

@@ -1,0 +1,98 @@
+// Package freshness tracks tuple versions so the §3 staleness guarantee
+// can be measured: after an adversary finishes extracting the dataset,
+// what fraction of the copy is already obsolete?
+//
+// "An item in the dataset is considered stale if its value changes at
+// least once during the execution of the adversary's query, i.e., its
+// value is no longer the same as that obtained via the query."
+package freshness
+
+import (
+	"sync"
+	"time"
+)
+
+// Store records a monotonically increasing version per tuple id, bumped on
+// every update. It is safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	versions map[uint64]uint64
+	updates  int64
+	lastAt   map[uint64]time.Time
+}
+
+// NewStore returns an empty version store.
+func NewStore() *Store {
+	return &Store{
+		versions: make(map[uint64]uint64),
+		lastAt:   make(map[uint64]time.Time),
+	}
+}
+
+// Bump records an update to id at the given instant and returns the new
+// version. Version 0 means "never updated"; the first Bump yields 1.
+func (s *Store) Bump(id uint64, at time.Time) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.versions[id]++
+	s.updates++
+	s.lastAt[id] = at
+	return s.versions[id]
+}
+
+// Version returns id's current version (0 if never updated).
+func (s *Store) Version(id uint64) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.versions[id]
+}
+
+// LastUpdated returns when id was last updated; ok=false if never.
+func (s *Store) LastUpdated(id uint64) (time.Time, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	at, ok := s.lastAt[id]
+	return at, ok
+}
+
+// Updates returns the total number of Bump calls.
+func (s *Store) Updates() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.updates
+}
+
+// Extracted is one tuple in an adversary's stolen snapshot: the id and the
+// version the adversary saw at extraction time.
+type Extracted struct {
+	ID      uint64
+	Version uint64
+}
+
+// Observe returns the Extracted record for id right now.
+func (s *Store) Observe(id uint64) Extracted {
+	return Extracted{ID: id, Version: s.Version(id)}
+}
+
+// StaleCount returns how many snapshot entries are stale: their current
+// version differs from the extracted one.
+func (s *Store) StaleCount(snapshot []Extracted) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, e := range snapshot {
+		if s.versions[e.ID] != e.Version {
+			n++
+		}
+	}
+	return n
+}
+
+// StaleFraction returns StaleCount normalized by the snapshot size, or 0
+// for an empty snapshot.
+func (s *Store) StaleFraction(snapshot []Extracted) float64 {
+	if len(snapshot) == 0 {
+		return 0
+	}
+	return float64(s.StaleCount(snapshot)) / float64(len(snapshot))
+}

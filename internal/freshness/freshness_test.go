@@ -1,0 +1,111 @@
+package freshness
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2004, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func TestBumpAndVersion(t *testing.T) {
+	s := NewStore()
+	if s.Version(1) != 0 {
+		t.Fatal("fresh store has nonzero version")
+	}
+	if got := s.Bump(1, t0); got != 1 {
+		t.Fatalf("first bump = %d", got)
+	}
+	if got := s.Bump(1, t0.Add(time.Second)); got != 2 {
+		t.Fatalf("second bump = %d", got)
+	}
+	if s.Version(1) != 2 {
+		t.Fatalf("Version = %d", s.Version(1))
+	}
+	if s.Updates() != 2 {
+		t.Fatalf("Updates = %d", s.Updates())
+	}
+}
+
+func TestLastUpdated(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.LastUpdated(5); ok {
+		t.Fatal("never-updated id has LastUpdated")
+	}
+	at := t0.Add(3 * time.Hour)
+	s.Bump(5, at)
+	got, ok := s.LastUpdated(5)
+	if !ok || !got.Equal(at) {
+		t.Fatalf("LastUpdated = %v, %v", got, ok)
+	}
+}
+
+func TestObserveAndStaleness(t *testing.T) {
+	s := NewStore()
+	s.Bump(1, t0)
+	s.Bump(2, t0)
+
+	// Adversary extracts ids 1, 2, 3 (3 never updated: version 0).
+	snap := []Extracted{s.Observe(1), s.Observe(2), s.Observe(3)}
+	if got := s.StaleFraction(snap); got != 0 {
+		t.Fatalf("staleness immediately after extraction = %v", got)
+	}
+
+	// Tuple 1 changes after extraction ⇒ 1/3 stale.
+	s.Bump(1, t0.Add(time.Minute))
+	if got := s.StaleCount(snap); got != 1 {
+		t.Fatalf("StaleCount = %d", got)
+	}
+	if got := s.StaleFraction(snap); got != 1.0/3 {
+		t.Fatalf("StaleFraction = %v", got)
+	}
+
+	// Tuple 3 gets its first ever update ⇒ 2/3 stale.
+	s.Bump(3, t0.Add(2*time.Minute))
+	if got := s.StaleFraction(snap); got != 2.0/3 {
+		t.Fatalf("StaleFraction = %v", got)
+	}
+}
+
+func TestStaleFractionEmptySnapshot(t *testing.T) {
+	s := NewStore()
+	if got := s.StaleFraction(nil); got != 0 {
+		t.Fatalf("empty snapshot staleness = %v", got)
+	}
+}
+
+func TestMultipleUpdatesStillOneStaleEntry(t *testing.T) {
+	s := NewStore()
+	snap := []Extracted{s.Observe(9)}
+	s.Bump(9, t0)
+	s.Bump(9, t0)
+	s.Bump(9, t0)
+	if got := s.StaleCount(snap); got != 1 {
+		t.Fatalf("StaleCount = %d, want 1", got)
+	}
+}
+
+func TestConcurrentBumps(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Bump(uint64(i%16), t0)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Updates() != 8000 {
+		t.Fatalf("Updates = %d", s.Updates())
+	}
+	var total uint64
+	for id := uint64(0); id < 16; id++ {
+		total += s.Version(id)
+	}
+	if total != 8000 {
+		t.Fatalf("version total = %d (lost updates)", total)
+	}
+}

@@ -1,0 +1,336 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeEmptyGet(t *testing.T) {
+	tr := NewBTree[int64, string]()
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("empty tree returned a value")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("empty Min ok")
+	}
+}
+
+func TestBTreePutGet(t *testing.T) {
+	tr := NewBTree[int64, string]()
+	if _, existed := tr.Put(1, "one"); existed {
+		t.Fatal("fresh key existed")
+	}
+	prev, existed := tr.Put(1, "uno")
+	if !existed || prev != "one" {
+		t.Fatalf("replace: %q, %v", prev, existed)
+	}
+	if v, ok := tr.Get(1); !ok || v != "uno" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestBTreeManyKeysAndSplits(t *testing.T) {
+	tr := NewBTree[int64, int64]()
+	const n = 100000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.Put(int64(k), int64(k*2))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for k := int64(0); k < n; k += 997 {
+		v, ok := tr.Get(k)
+		if !ok || v != k*2 {
+			t.Fatalf("Get(%d) = %d, %v", k, v, ok)
+		}
+	}
+	if _, ok := tr.Get(n + 1); ok {
+		t.Fatal("absent key found")
+	}
+	min, ok := tr.Min()
+	if !ok || min != 0 {
+		t.Fatalf("Min = %d, %v", min, ok)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	tr := NewBTree[int64, int]()
+	for i := int64(0); i < 1000; i++ {
+		tr.Put(i, int(i))
+	}
+	for i := int64(0); i < 1000; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := int64(0); i < 1000; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+	if tr.Delete(0) {
+		t.Fatal("double delete true")
+	}
+	if tr.Delete(5000) {
+		t.Fatal("absent delete true")
+	}
+}
+
+func TestBTreeAscendRangeBounded(t *testing.T) {
+	tr := NewBTree[int64, int64]()
+	for i := int64(0); i < 500; i++ {
+		tr.Put(i, i)
+	}
+	lo, hi := int64(100), int64(199)
+	var got []int64
+	tr.AscendRange(&lo, &hi, func(k, v int64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 100 || got[0] != 100 || got[99] != 199 {
+		t.Fatalf("range scan: len=%d first=%d last=%d", len(got), got[0], got[len(got)-1])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+1 {
+			t.Fatal("range scan not in key order")
+		}
+	}
+}
+
+func TestBTreeAscendRangeUnbounded(t *testing.T) {
+	tr := NewBTree[string, int]()
+	words := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for i, w := range words {
+		tr.Put(w, i)
+	}
+	var got []string
+	tr.AscendRange(nil, nil, func(k string, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := append([]string(nil), words...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: %v", got)
+		}
+	}
+	// lo only.
+	lo := "charlie"
+	got = nil
+	tr.AscendRange(&lo, nil, func(k string, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 3 || got[0] != "charlie" {
+		t.Fatalf("lo-only: %v", got)
+	}
+	// hi only.
+	hi := "bravo"
+	got = nil
+	tr.AscendRange(nil, &hi, func(k string, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2 || got[1] != "bravo" {
+		t.Fatalf("hi-only: %v", got)
+	}
+}
+
+func TestBTreeAscendRangeEarlyStop(t *testing.T) {
+	tr := NewBTree[int64, int]()
+	for i := int64(0); i < 1000; i++ {
+		tr.Put(i, 0)
+	}
+	n := 0
+	tr.AscendRange(nil, nil, func(int64, int) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestBTreeRangeAfterDeletions(t *testing.T) {
+	tr := NewBTree[int64, int]()
+	for i := int64(0); i < 300; i++ {
+		tr.Put(i, 0)
+	}
+	for i := int64(0); i < 300; i += 3 {
+		tr.Delete(i)
+	}
+	var got []int64
+	tr.AscendRange(nil, nil, func(k int64, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 200 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for _, k := range got {
+		if k%3 == 0 {
+			t.Fatalf("deleted key %d in scan", k)
+		}
+	}
+}
+
+func TestBTreeAgainstMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewBTree[int64, int]()
+		model := map[int64]int{}
+		for op := 0; op < 2000; op++ {
+			k := int64(rng.Intn(300))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Int()
+				_, existedTree := tr.Put(k, v)
+				_, existedModel := model[k]
+				if existedTree != existedModel {
+					return false
+				}
+				model[k] = v
+			case 2:
+				delTree := tr.Delete(k)
+				_, inModel := model[k]
+				if delTree != inModel {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		// Ordered scan matches sorted model keys.
+		var keys []int64
+		tr.AscendRange(nil, nil, func(k int64, v int) bool {
+			keys = append(keys, k)
+			return true
+		})
+		if len(keys) != len(model) {
+			return false
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeConcurrentReaders(t *testing.T) {
+	tr := NewBTree[int64, int64]()
+	for i := int64(0); i < 10000; i++ {
+		tr.Put(i, i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 2000; i++ {
+				k := (i*7 + int64(w)) % 10000
+				if v, ok := tr.Get(k); !ok || v != k {
+					t.Errorf("Get(%d) = %d, %v", k, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestHashIndexBasics(t *testing.T) {
+	h := NewHash[uint64, string]()
+	if _, ok := h.Get(1); ok {
+		t.Fatal("empty hash had value")
+	}
+	h.Put(1, "a")
+	prev, existed := h.Put(1, "b")
+	if !existed || prev != "a" {
+		t.Fatalf("replace: %q, %v", prev, existed)
+	}
+	if v, ok := h.Get(1); !ok || v != "b" {
+		t.Fatalf("Get = %q", v)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if !h.Delete(1) || h.Delete(1) {
+		t.Fatal("delete semantics")
+	}
+}
+
+func TestHashEach(t *testing.T) {
+	h := NewHash[uint64, int]()
+	for i := uint64(0); i < 10; i++ {
+		h.Put(i, int(i))
+	}
+	seen := map[uint64]bool{}
+	h.Each(func(k uint64, v int) bool {
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 10 {
+		t.Fatalf("Each visited %d", len(seen))
+	}
+	n := 0
+	h.Each(func(uint64, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestHashConcurrent(t *testing.T) {
+	h := NewHash[uint64, uint64]()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * 1000
+			for i := uint64(0); i < 1000; i++ {
+				h.Put(base+i, i)
+			}
+			for i := uint64(0); i < 1000; i++ {
+				if v, ok := h.Get(base + i); !ok || v != i {
+					t.Errorf("Get(%d) = %d, %v", base+i, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Len() != 8000 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}

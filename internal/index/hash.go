@@ -1,0 +1,64 @@
+package index
+
+import "sync"
+
+// Hash is a point-lookup index. It trades range-scan support for O(1)
+// lookups; the engine uses it for equality-only access paths and the
+// ablation benchmarks compare it against the B+tree.
+type Hash[K comparable, V any] struct {
+	mu sync.RWMutex
+	m  map[K]V
+}
+
+// NewHash returns an empty hash index.
+func NewHash[K comparable, V any]() *Hash[K, V] {
+	return &Hash[K, V]{m: make(map[K]V)}
+}
+
+// Get returns the value for key.
+func (h *Hash[K, V]) Get(key K) (V, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	v, ok := h.m[key]
+	return v, ok
+}
+
+// Put inserts or replaces the value for key, returning the previous value
+// if one existed.
+func (h *Hash[K, V]) Put(key K, val V) (prev V, existed bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	prev, existed = h.m[key]
+	h.m[key] = val
+	return prev, existed
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *Hash[K, V]) Delete(key K) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.m[key]; !ok {
+		return false
+	}
+	delete(h.m, key)
+	return true
+}
+
+// Len returns the number of keys stored.
+func (h *Hash[K, V]) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.m)
+}
+
+// Each calls fn for every entry in unspecified order until fn returns
+// false. The lock is held; fn must not mutate the index.
+func (h *Hash[K, V]) Each(fn func(key K, val V) bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for k, v := range h.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}

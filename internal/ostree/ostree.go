@@ -1,0 +1,246 @@
+// Package ostree implements an order-statistics treap keyed by
+// (weight, id), ordered by descending weight. It answers, in O(log n),
+// the question the delay policy asks on every query: "what is the
+// popularity rank of this tuple right now?"
+//
+// Rank 1 is the item with the greatest weight; ties are broken by
+// ascending id so ranks are total and deterministic.
+package ostree
+
+import "math/rand"
+
+type node struct {
+	weight float64
+	id     uint64
+	prio   uint32
+	size   int
+	left   *node
+	right  *node
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) update() {
+	n.size = 1 + size(n.left) + size(n.right)
+}
+
+// before reports whether (w1,id1) sorts before (w2,id2): higher weight
+// first, then lower id.
+func before(w1 float64, id1 uint64, w2 float64, id2 uint64) bool {
+	if w1 != w2 {
+		return w1 > w2
+	}
+	return id1 < id2
+}
+
+// Tree is an order-statistics treap. The zero value is not usable; call
+// New. Tree is not safe for concurrent use.
+type Tree struct {
+	root    *node
+	weights map[uint64]float64
+	rng     *rand.Rand
+}
+
+// New returns an empty tree. seed fixes the treap priorities so structure
+// (and therefore performance) is reproducible.
+func New(seed int64) *Tree {
+	return &Tree{
+		weights: make(map[uint64]float64),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Len returns the number of ids in the tree.
+func (t *Tree) Len() int { return size(t.root) }
+
+// Contains reports whether id is present.
+func (t *Tree) Contains(id uint64) bool {
+	_, ok := t.weights[id]
+	return ok
+}
+
+// Weight returns the stored weight for id and whether it is present.
+func (t *Tree) Weight(id uint64) (float64, bool) {
+	w, ok := t.weights[id]
+	return w, ok
+}
+
+// split partitions n into nodes sorting before (w,id) and the rest.
+func split(n *node, w float64, id uint64) (l, r *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if before(n.weight, n.id, w, id) {
+		n.right, r = split(n.right, w, id)
+		n.update()
+		return n, r
+	}
+	l, n.left = split(n.left, w, id)
+	n.update()
+	return l, n
+}
+
+func merge(l, r *node) *node {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	default:
+		r.left = merge(l, r.left)
+		r.update()
+		return r
+	}
+}
+
+// Upsert sets id's weight, inserting it if absent.
+func (t *Tree) Upsert(id uint64, weight float64) {
+	if old, ok := t.weights[id]; ok {
+		if old == weight {
+			return
+		}
+		t.root = remove(t.root, old, id)
+	}
+	t.weights[id] = weight
+	n := &node{weight: weight, id: id, prio: t.rng.Uint32(), size: 1}
+	l, r := split(t.root, weight, id)
+	t.root = merge(merge(l, n), r)
+}
+
+// Delete removes id if present and reports whether it was found.
+func (t *Tree) Delete(id uint64) bool {
+	w, ok := t.weights[id]
+	if !ok {
+		return false
+	}
+	delete(t.weights, id)
+	t.root = remove(t.root, w, id)
+	return true
+}
+
+func remove(n *node, w float64, id uint64) *node {
+	if n == nil {
+		return nil
+	}
+	if n.weight == w && n.id == id {
+		return merge(n.left, n.right)
+	}
+	if before(w, id, n.weight, n.id) {
+		n.left = remove(n.left, w, id)
+	} else {
+		n.right = remove(n.right, w, id)
+	}
+	n.update()
+	return n
+}
+
+// Rank returns the 1-based rank of id (rank 1 = greatest weight) and
+// whether id is present. Absent ids report rank Len()+1: they sort after
+// everything tracked, which is exactly how the delay policy treats a
+// never-accessed tuple.
+func (t *Tree) Rank(id uint64) (int, bool) {
+	w, ok := t.weights[id]
+	if !ok {
+		return t.Len() + 1, false
+	}
+	rank := 1
+	n := t.root
+	for n != nil {
+		if n.weight == w && n.id == id {
+			return rank + size(n.left), true
+		}
+		if before(w, id, n.weight, n.id) {
+			n = n.left
+		} else {
+			rank += size(n.left) + 1
+			n = n.right
+		}
+	}
+	// Unreachable if weights map and tree are consistent.
+	return t.Len() + 1, false
+}
+
+// KthID returns the id at rank k (1-based) and whether k is in range.
+func (t *Tree) KthID(k int) (uint64, bool) {
+	if k < 1 || k > t.Len() {
+		return 0, false
+	}
+	n := t.root
+	for n != nil {
+		ls := size(n.left)
+		switch {
+		case k == ls+1:
+			return n.id, true
+		case k <= ls:
+			n = n.left
+		default:
+			k -= ls + 1
+			n = n.right
+		}
+	}
+	return 0, false
+}
+
+// Ascend calls fn for each id in rank order (rank 1 first) until fn
+// returns false.
+func (t *Tree) Ascend(fn func(rank int, id uint64, weight float64) bool) {
+	rank := 0
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n == nil {
+			return true
+		}
+		if !walk(n.left) {
+			return false
+		}
+		rank++
+		if !fn(rank, n.id, n.weight) {
+			return false
+		}
+		return walk(n.right)
+	}
+	walk(t.root)
+}
+
+// ScaleAll multiplies every weight by f (> 0), preserving order. It is
+// used when the decayed-counter increment is renormalized to avoid
+// overflow. O(n).
+func (t *Tree) ScaleAll(f float64) {
+	if f <= 0 {
+		panic("ostree: non-positive scale")
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		n.weight *= f
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	for id, w := range t.weights {
+		t.weights[id] = w * f
+	}
+}
+
+// MaxWeight returns the greatest weight in the tree (0, false if empty).
+func (t *Tree) MaxWeight() (float64, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	n := t.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.weight, true
+}

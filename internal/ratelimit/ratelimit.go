@@ -1,0 +1,268 @@
+// Package ratelimit implements the paper's §2.4 defenses against
+// parallelized extraction: per-identity query rate limiting, subnet-level
+// aggregation (so a Sybil adversary squatting on one subnet is treated as
+// a single principal), a registration throttle that lower-bounds the time
+// needed to accumulate identities, and the closed-form cost model that
+// says when a parallel attack has been "rendered moot".
+package ratelimit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// TokenBucket is a standard token-bucket limiter driven by an injected
+// clock. It is safe for concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	clock  vclock.Clock
+}
+
+// NewTokenBucket returns a bucket that refills at rate tokens/second up to
+// burst. The bucket starts full.
+func NewTokenBucket(rate, burst float64, clock vclock.Clock) (*TokenBucket, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, errors.New("ratelimit: rate must be positive and finite")
+	}
+	if burst < 1 {
+		return nil, errors.New("ratelimit: burst must be at least 1")
+	}
+	if clock == nil {
+		return nil, errors.New("ratelimit: nil clock")
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: clock.Now(), clock: clock}, nil
+}
+
+// Allow consumes one token if available and reports whether it succeeded.
+func (b *TokenBucket) Allow() bool { return b.AllowN(1) }
+
+// AllowN consumes n tokens if available.
+func (b *TokenBucket) AllowN(n float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Wait reports the duration until one token will be available (0 if one is
+// available now). It does not consume.
+func (b *TokenBucket) Wait() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens >= 1 {
+		return 0
+	}
+	need := 1 - b.tokens
+	return time.Duration(need / b.rate * float64(time.Second))
+}
+
+func (b *TokenBucket) refillLocked() {
+	now := b.clock.Now()
+	el := now.Sub(b.last).Seconds()
+	if el > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+el*b.rate)
+		b.last = now
+	}
+}
+
+// Tokens returns the current token count (after refill).
+func (b *TokenBucket) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	return b.tokens
+}
+
+// IdentityLimiter keeps one TokenBucket per principal. Principals are
+// free-form strings — account names, or subnet keys from SubnetKey when
+// defending against address forgery. It is safe for concurrent use.
+type IdentityLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	clock   vclock.Clock
+	buckets map[string]*TokenBucket
+	max     int
+}
+
+// NewIdentityLimiter returns a limiter granting each principal rate
+// queries/second with the given burst. maxPrincipals bounds memory; when
+// exceeded, the limiter evicts an arbitrary bucket (a full bucket loses
+// nothing; a throttled principal regains burst, an acceptable trade the
+// paper's scheme tolerates since per-query delay is the primary defense).
+func NewIdentityLimiter(rate, burst float64, maxPrincipals int, clock vclock.Clock) (*IdentityLimiter, error) {
+	if maxPrincipals < 1 {
+		return nil, errors.New("ratelimit: maxPrincipals < 1")
+	}
+	if _, err := NewTokenBucket(rate, burst, clock); err != nil {
+		return nil, err
+	}
+	return &IdentityLimiter{
+		rate: rate, burst: burst, clock: clock,
+		buckets: make(map[string]*TokenBucket),
+		max:     maxPrincipals,
+	}, nil
+}
+
+// Allow consumes one query credit for the principal.
+func (l *IdentityLimiter) Allow(principal string) bool {
+	l.mu.Lock()
+	b, ok := l.buckets[principal]
+	if !ok {
+		if len(l.buckets) >= l.max {
+			for k := range l.buckets {
+				delete(l.buckets, k)
+				break
+			}
+		}
+		b, _ = NewTokenBucket(l.rate, l.burst, l.clock)
+		l.buckets[principal] = b
+	}
+	l.mu.Unlock()
+	return b.Allow()
+}
+
+// Principals returns the number of tracked principals.
+func (l *IdentityLimiter) Principals() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// SubnetKey maps an IP address to its aggregation key: the /24 for IPv4
+// and the /48 for IPv6. The paper's Sybil defense: "any given subnet can
+// be treated as an aggregate, with responses rate-limited across all
+// users in that subnet." Non-IP inputs are returned unchanged so opaque
+// account names still work as principals.
+func SubnetKey(addr string) string {
+	host := addr
+	if h, _, err := net.SplitHostPort(addr); err == nil {
+		host = h
+	}
+	ip := net.ParseIP(host)
+	if ip == nil {
+		return addr
+	}
+	if v4 := ip.To4(); v4 != nil {
+		return fmt.Sprintf("%d.%d.%d.0/24", v4[0], v4[1], v4[2])
+	}
+	masked := ip.Mask(net.CIDRMask(48, 128))
+	return masked.String() + "/48"
+}
+
+// RegistrationThrottle admits at most one new identity every Interval, the
+// paper's "If only one new user every t seconds is given an account"
+// defense. It is safe for concurrent use.
+type RegistrationThrottle struct {
+	mu       sync.Mutex
+	interval time.Duration
+	clock    vclock.Clock
+	nextAt   time.Time
+	granted  int64
+}
+
+// NewRegistrationThrottle returns a throttle admitting one registration
+// per interval.
+func NewRegistrationThrottle(interval time.Duration, clock vclock.Clock) (*RegistrationThrottle, error) {
+	if interval <= 0 {
+		return nil, errors.New("ratelimit: non-positive registration interval")
+	}
+	if clock == nil {
+		return nil, errors.New("ratelimit: nil clock")
+	}
+	return &RegistrationThrottle{interval: interval, clock: clock}, nil
+}
+
+// TryRegister attempts to register a new identity now. On success it
+// returns (0, true); otherwise it returns how long until the next slot.
+func (r *RegistrationThrottle) TryRegister() (time.Duration, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock.Now()
+	if now.Before(r.nextAt) {
+		return r.nextAt.Sub(now), false
+	}
+	r.nextAt = now.Add(r.interval)
+	r.granted++
+	return 0, true
+}
+
+// Granted returns the number of identities registered so far.
+func (r *RegistrationThrottle) Granted() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.granted
+}
+
+// ParallelAttackTime models the wall-clock cost of a k-identity parallel
+// extraction against a registration throttle of one identity per t:
+// the adversary spends k·t accumulating identities, then the extraction's
+// total delay dtotal is divided across k parallel streams (the paper's
+// observation that the adversary "pays only the maximum among individual
+// penalties" — with an even split, dtotal/k).
+func ParallelAttackTime(dtotal, t time.Duration, k int) time.Duration {
+	if k < 1 {
+		k = 1
+	}
+	reg := time.Duration(k) * t
+	return reg + dtotal/time.Duration(k)
+}
+
+// OptimalParallelism returns the identity count k* minimizing
+// ParallelAttackTime, k* = √(dtotal/t), and the resulting minimum attack
+// time 2·√(dtotal·t).
+func OptimalParallelism(dtotal, t time.Duration) (k int, attack time.Duration) {
+	if t <= 0 || dtotal <= 0 {
+		return 1, dtotal
+	}
+	kf := math.Sqrt(dtotal.Seconds() / t.Seconds())
+	if kf < 1 {
+		kf = 1
+	}
+	k = int(math.Round(kf))
+	best := ParallelAttackTime(dtotal, t, k)
+	// Integer neighbourhood check.
+	for _, cand := range []int{k - 1, k + 1} {
+		if cand >= 1 {
+			if at := ParallelAttackTime(dtotal, t, cand); at < best {
+				best, k = at, cand
+			}
+		}
+	}
+	return k, best
+}
+
+// RegistrationIntervalToNeutralize returns the registration interval t
+// that makes the *optimal* parallel attack take at least the single-
+// identity extraction time dtotal: from 2·√(dtotal·t) ≥ dtotal,
+// t ≥ dtotal/4.
+func RegistrationIntervalToNeutralize(dtotal time.Duration) time.Duration {
+	return dtotal / 4
+}
+
+// FeeToNeutralize returns the per-registration fee that makes a k-way
+// parallel adversary spend at least dataValue in fees, the paper's
+// alternative: "charge a small fee for registration, computed so that a
+// parallel adversary would have to spend as much in registration fees as
+// to collect the data separately."
+func FeeToNeutralize(dataValue float64, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	return dataValue / float64(k)
+}

@@ -1,0 +1,292 @@
+package ratelimit
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func simClock() *vclock.Simulated {
+	return vclock.NewSimulated(time.Date(2004, 8, 1, 0, 0, 0, 0, time.UTC))
+}
+
+func TestNewTokenBucketValidation(t *testing.T) {
+	clk := simClock()
+	if _, err := NewTokenBucket(0, 1, clk); err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+	if _, err := NewTokenBucket(-1, 1, clk); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := NewTokenBucket(math.Inf(1), 1, clk); err == nil {
+		t.Fatal("inf rate accepted")
+	}
+	if _, err := NewTokenBucket(1, 0.5, clk); err == nil {
+		t.Fatal("burst < 1 accepted")
+	}
+	if _, err := NewTokenBucket(1, 1, nil); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+}
+
+func TestTokenBucketBurstThenThrottle(t *testing.T) {
+	clk := simClock()
+	b, err := NewTokenBucket(1, 3, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("request beyond burst allowed")
+	}
+	if w := b.Wait(); w <= 0 || w > time.Second {
+		t.Fatalf("Wait = %v", w)
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("refilled token denied")
+	}
+	if b.Allow() {
+		t.Fatal("second token granted after only 1s refill")
+	}
+}
+
+func TestTokenBucketRefillCapsAtBurst(t *testing.T) {
+	clk := simClock()
+	b, _ := NewTokenBucket(10, 5, clk)
+	clk.Advance(time.Hour)
+	if got := b.Tokens(); got != 5 {
+		t.Fatalf("Tokens = %v, want burst cap 5", got)
+	}
+}
+
+func TestTokenBucketAllowN(t *testing.T) {
+	clk := simClock()
+	b, _ := NewTokenBucket(1, 10, clk)
+	if !b.AllowN(7) {
+		t.Fatal("AllowN(7) denied with 10 tokens")
+	}
+	if b.AllowN(4) {
+		t.Fatal("AllowN(4) allowed with 3 tokens")
+	}
+	if !b.AllowN(3) {
+		t.Fatal("AllowN(3) denied with 3 tokens")
+	}
+}
+
+func TestTokenBucketWaitZeroWhenAvailable(t *testing.T) {
+	clk := simClock()
+	b, _ := NewTokenBucket(1, 1, clk)
+	if w := b.Wait(); w != 0 {
+		t.Fatalf("Wait with full bucket = %v", w)
+	}
+}
+
+func TestTokenBucketConcurrentNoOverissue(t *testing.T) {
+	clk := simClock()
+	b, _ := NewTokenBucket(0.001, 100, clk)
+	var granted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < 100; i++ {
+				if b.Allow() {
+					local++
+				}
+			}
+			mu.Lock()
+			granted += int64(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if granted > 100 {
+		t.Fatalf("granted %d from burst of 100", granted)
+	}
+}
+
+func TestIdentityLimiterIsolatesPrincipals(t *testing.T) {
+	clk := simClock()
+	l, err := NewIdentityLimiter(1, 2, 100, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Allow("alice") || !l.Allow("alice") {
+		t.Fatal("alice burst denied")
+	}
+	if l.Allow("alice") {
+		t.Fatal("alice over-burst allowed")
+	}
+	// bob unaffected by alice's exhaustion.
+	if !l.Allow("bob") {
+		t.Fatal("bob denied")
+	}
+	if l.Principals() != 2 {
+		t.Fatalf("Principals = %d", l.Principals())
+	}
+}
+
+func TestIdentityLimiterEvictsAtCapacity(t *testing.T) {
+	clk := simClock()
+	l, _ := NewIdentityLimiter(1, 1, 3, clk)
+	for _, p := range []string{"a", "b", "c", "d", "e"} {
+		l.Allow(p)
+	}
+	if got := l.Principals(); got > 3 {
+		t.Fatalf("Principals = %d exceeds max", got)
+	}
+}
+
+func TestIdentityLimiterValidation(t *testing.T) {
+	if _, err := NewIdentityLimiter(1, 1, 0, simClock()); err == nil {
+		t.Fatal("maxPrincipals 0 accepted")
+	}
+	if _, err := NewIdentityLimiter(0, 1, 10, simClock()); err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+}
+
+func TestSubnetKeyIPv4(t *testing.T) {
+	cases := map[string]string{
+		"192.168.1.57":       "192.168.1.0/24",
+		"192.168.1.200:8080": "192.168.1.0/24",
+		"10.0.0.1":           "10.0.0.0/24",
+		"10.0.0.99":          "10.0.0.0/24",
+	}
+	for in, want := range cases {
+		if got := SubnetKey(in); got != want {
+			t.Errorf("SubnetKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// Two hosts on one subnet share a key; different subnets do not.
+	if SubnetKey("1.2.3.4") != SubnetKey("1.2.3.250") {
+		t.Error("same-/24 hosts got different keys")
+	}
+	if SubnetKey("1.2.3.4") == SubnetKey("1.2.4.4") {
+		t.Error("different /24s share a key")
+	}
+}
+
+func TestSubnetKeyIPv6(t *testing.T) {
+	a := SubnetKey("2001:db8:abcd:12::1")
+	b := SubnetKey("2001:db8:abcd:99::2")
+	if a != b {
+		t.Errorf("same /48 differ: %q vs %q", a, b)
+	}
+	c := SubnetKey("2001:db9::1")
+	if a == c {
+		t.Error("different /48s share a key")
+	}
+}
+
+func TestSubnetKeyOpaque(t *testing.T) {
+	if got := SubnetKey("account-1234"); got != "account-1234" {
+		t.Errorf("opaque principal mangled: %q", got)
+	}
+}
+
+func TestRegistrationThrottle(t *testing.T) {
+	clk := simClock()
+	r, err := NewRegistrationThrottle(time.Minute, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait, ok := r.TryRegister(); !ok || wait != 0 {
+		t.Fatalf("first registration denied: %v, %v", wait, ok)
+	}
+	wait, ok := r.TryRegister()
+	if ok {
+		t.Fatal("immediate second registration allowed")
+	}
+	if wait <= 0 || wait > time.Minute {
+		t.Fatalf("wait = %v", wait)
+	}
+	clk.Advance(time.Minute)
+	if _, ok := r.TryRegister(); !ok {
+		t.Fatal("registration after interval denied")
+	}
+	if r.Granted() != 2 {
+		t.Fatalf("Granted = %d", r.Granted())
+	}
+}
+
+func TestRegistrationThrottleValidation(t *testing.T) {
+	if _, err := NewRegistrationThrottle(0, simClock()); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := NewRegistrationThrottle(time.Second, nil); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+}
+
+func TestParallelAttackTime(t *testing.T) {
+	dtotal := 100 * time.Hour
+	reg := time.Hour
+	// k=1: no parallel benefit.
+	if got := ParallelAttackTime(dtotal, reg, 1); got != reg+dtotal {
+		t.Fatalf("k=1: %v", got)
+	}
+	// k=10: 10h registering + 10h extracting.
+	if got := ParallelAttackTime(dtotal, reg, 10); got != 20*time.Hour {
+		t.Fatalf("k=10: %v", got)
+	}
+	// k<1 clamps.
+	if got := ParallelAttackTime(dtotal, reg, 0); got != reg+dtotal {
+		t.Fatalf("k=0: %v", got)
+	}
+}
+
+func TestOptimalParallelism(t *testing.T) {
+	dtotal := 100 * time.Hour
+	reg := time.Hour
+	k, attack := OptimalParallelism(dtotal, reg)
+	if k != 10 {
+		t.Fatalf("k* = %d, want 10", k)
+	}
+	if attack != 20*time.Hour {
+		t.Fatalf("attack = %v, want 20h", attack)
+	}
+	// Check it is genuinely minimal over a sweep.
+	for cand := 1; cand <= 100; cand++ {
+		if at := ParallelAttackTime(dtotal, reg, cand); at < attack {
+			t.Fatalf("k=%d beats optimal: %v < %v", cand, at, attack)
+		}
+	}
+	// Degenerate throttle.
+	if k, at := OptimalParallelism(dtotal, 0); k != 1 || at != dtotal {
+		t.Fatalf("no-throttle optimal = %d, %v", k, at)
+	}
+}
+
+func TestRegistrationIntervalToNeutralize(t *testing.T) {
+	dtotal := 40 * time.Hour
+	tReg := RegistrationIntervalToNeutralize(dtotal)
+	if tReg != 10*time.Hour {
+		t.Fatalf("interval = %v", tReg)
+	}
+	// With that interval, the optimal attack takes at least dtotal.
+	_, attack := OptimalParallelism(dtotal, tReg)
+	if attack < dtotal {
+		t.Fatalf("neutralized attack %v still beats single-identity %v", attack, dtotal)
+	}
+}
+
+func TestFeeToNeutralize(t *testing.T) {
+	if got := FeeToNeutralize(1000, 10); got != 100 {
+		t.Fatalf("fee = %v", got)
+	}
+	if got := FeeToNeutralize(1000, 0); got != 1000 {
+		t.Fatalf("fee k=0 = %v", got)
+	}
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestAdminTopK(t *testing.T) {
+	ts, _ := testServer(t, core.Config{Alpha: 1, Beta: 1, Cap: time.Millisecond})
+	c := NewClient(ts.URL, "u")
+	for i := 0; i < 5; i++ {
+		c.Query(`SELECT * FROM items WHERE id = 2`)
+	}
+	c.Query(`SELECT * FROM items WHERE id = 1`)
+
+	resp, err := http.Get(ts.URL + "/admin/topk?k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out []TopKEntry
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].ID != 2 || out[0].Count != 5 {
+		t.Fatalf("topk = %+v", out)
+	}
+}
+
+func TestAdminTopKValidation(t *testing.T) {
+	ts, _ := testServer(t, core.Config{Alpha: 1, Beta: 1, Cap: time.Millisecond})
+	for _, q := range []string{"k=0", "k=abc", "k=99999"} {
+		resp, err := http.Get(ts.URL + "/admin/topk?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d", q, resp.StatusCode)
+		}
+	}
+	// Default k works with no traffic.
+	resp, err := http.Get(ts.URL + "/admin/topk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsReportsDelayPercentiles(t *testing.T) {
+	ts, _ := testServer(t, core.Config{Alpha: 1, Beta: 1, Cap: 50 * time.Millisecond})
+	c := NewClient(ts.URL, "u")
+	// No queries yet: percentiles absent.
+	s0, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0.QueriesServed != 0 || s0.DelayP50Ms != 0 {
+		t.Fatalf("pre-query stats = %+v", s0)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := c.Query(`SELECT * FROM items WHERE id = 1`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.QueriesServed != 20 {
+		t.Fatalf("served = %d", s1.QueriesServed)
+	}
+	if s1.DelayP50Ms <= 0 || s1.DelayP99Ms < s1.DelayP50Ms {
+		t.Fatalf("percentiles = %v / %v", s1.DelayP50Ms, s1.DelayP99Ms)
+	}
+}
+
+func TestAdminQuote(t *testing.T) {
+	ts, _ := testServer(t, core.Config{N: 3, Alpha: 1, Beta: 1, Cap: time.Second})
+	resp, err := http.Post(ts.URL+"/admin/quote", "application/json",
+		strings.NewReader(`{"ids":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out QuoteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	// Three cold tuples at 1 s cap.
+	if out.Tuples != 3 || out.DelayMillis != 3000 {
+		t.Fatalf("quote = %+v", out)
+	}
+	// Malformed body.
+	bad, _ := http.Post(ts.URL+"/admin/quote", "application/json", strings.NewReader("{"))
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status = %d", bad.StatusCode)
+	}
+}

@@ -1,0 +1,313 @@
+// Package server exposes a Shield-protected database over HTTP — the
+// "front door" of §1.1 that legitimate users and extraction robots alike
+// must come through. Identities are taken from the X-Identity header when
+// present (an account name) and otherwise from the client address, which
+// combined with the Shield's subnet aggregation implements the paper's
+// Sybil posture.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+// Server is the HTTP front end. Create with New, mount via Handler.
+type Server struct {
+	shield *core.Shield
+	mux    *http.ServeMux
+}
+
+// New returns a server fronting shield.
+func New(shield *core.Shield) (*Server, error) {
+	if shield == nil {
+		return nil, errors.New("server: nil shield")
+	}
+	s := &Server{shield: shield, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /register", s.handleRegister)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Admin endpoints: deploy behind an internal listener — TopK reveals
+	// the popularity ranking and Quote prices an extraction plan.
+	s.mux.HandleFunc("GET /admin/topk", s.handleTopK)
+	s.mux.HandleFunc("POST /admin/quote", s.handleQuote)
+	return s, nil
+}
+
+// Handler returns the HTTP handler for mounting.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// QueryRequest is the /query request body.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// QueryResponse is the /query response body.
+type QueryResponse struct {
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	// Affected counts rows changed by write statements.
+	Affected int `json:"affected"`
+	// DelayMillis is the pause the shield imposed before answering.
+	DelayMillis float64 `json:"delay_millis"`
+}
+
+// ErrorResponse is any endpoint's error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// identity resolves the principal for a request.
+func identity(r *http.Request) string {
+	if id := r.Header.Get("X-Identity"); id != "" {
+		return id
+	}
+	return r.RemoteAddr
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.SQL == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("empty sql"))
+		return
+	}
+	res, stats, err := s.shield.Query(identity(r), req.SQL)
+	switch {
+	case errors.Is(err, core.ErrRateLimited):
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := QueryResponse{
+		Columns:     res.Columns,
+		Affected:    res.Affected,
+		DelayMillis: float64(stats.Delay) / float64(time.Millisecond),
+	}
+	for _, row := range res.Rows {
+		out := make([]string, len(row))
+		for i, v := range row {
+			out[i] = v.String()
+		}
+		resp.Rows = append(resp.Rows, out)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RegisterRequest is the /register request body.
+type RegisterRequest struct {
+	Identity string `json:"identity"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Identity == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("empty identity"))
+		return
+	}
+	if err := s.shield.Register(req.Identity); err != nil {
+		if errors.Is(err, core.ErrRegistrationThrottled) {
+			writeErr(w, http.StatusTooManyRequests, err)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "registered"})
+}
+
+// StatsResponse summarizes shield state.
+type StatsResponse struct {
+	Tables       []string `json:"tables"`
+	Observations int64    `json:"observations"`
+	DistinctIDs  int      `json:"distinct_ids"`
+	Updates      int64    `json:"updates"`
+	WindowSecs   float64  `json:"window_secs"`
+	// Delay percentiles over served queries, milliseconds; present once
+	// at least one query has been priced.
+	QueriesServed int64   `json:"queries_served"`
+	DelayP50Ms    float64 `json:"delay_p50_ms,omitempty"`
+	DelayP99Ms    float64 `json:"delay_p99_ms,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		Tables:        s.shield.DB().Tables(),
+		Observations:  s.shield.Tracker().Observations(),
+		DistinctIDs:   s.shield.Tracker().Len(),
+		Updates:       s.shield.Versions().Updates(),
+		WindowSecs:    s.shield.Window(),
+		QueriesServed: s.shield.QueriesServed(),
+	}
+	if p50, ok := s.shield.DelayQuantile(0.5); ok {
+		resp.DelayP50Ms = float64(p50) / float64(time.Millisecond)
+		if p99, ok := s.shield.DelayQuantile(0.99); ok {
+			resp.DelayP99Ms = float64(p99) / float64(time.Millisecond)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// TopKEntry is one row of the /admin/topk response.
+type TopKEntry struct {
+	ID    uint64  `json:"id"`
+	Count float64 `json:"count"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if q := r.URL.Query().Get("k"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 || n > 10000 {
+			writeErr(w, http.StatusBadRequest, errors.New("k must be in [1, 10000]"))
+			return
+		}
+		k = n
+	}
+	ids, counts := s.shield.TopK(k)
+	out := make([]TopKEntry, len(ids))
+	for i := range ids {
+		out[i] = TopKEntry{ID: ids[i], Count: counts[i]}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// QuoteRequest is the /admin/quote request body.
+type QuoteRequest struct {
+	IDs []uint64 `json:"ids"`
+}
+
+// QuoteResponse prices the retrieval of the requested tuples under the
+// current learned state, without perturbing it.
+type QuoteResponse struct {
+	DelayMillis float64 `json:"delay_millis"`
+	Tuples      int     `json:"tuples"`
+}
+
+func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
+	var req QuoteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	d := s.shield.QuoteExtraction(req.IDs)
+	writeJSON(w, http.StatusOK, QuoteResponse{
+		DelayMillis: float64(d) / float64(time.Millisecond),
+		Tuples:      len(req.IDs),
+	})
+}
+
+// Client is a minimal client for the server, used by examples and tests.
+type Client struct {
+	base     string
+	identity string
+	http     *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://localhost:8080") acting as the given identity.
+func NewClient(base, identity string) *Client {
+	return &Client{base: base, identity: identity, http: &http.Client{Timeout: 5 * time.Minute}}
+}
+
+// Query runs sql through the front door.
+func (c *Client) Query(sql string) (*QueryResponse, error) {
+	body, err := json.Marshal(QueryRequest{SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-Identity", c.identity)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Register registers the client's identity.
+func (c *Client) Register() error {
+	body, _ := json.Marshal(RegisterRequest{Identity: c.identity})
+	resp, err := c.http.Post(c.base+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return nil
+}
+
+// Stats fetches shield statistics.
+func (c *Client) Stats() (*StatsResponse, error) {
+	resp, err := c.http.Get(c.base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RowStrings converts catalog rows for display; the CLI tool reuses it.
+func RowStrings(rows []catalog.Row) [][]string {
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		out[i] = make([]string, len(row))
+		for j, v := range row {
+			out[i][j] = v.String()
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package sqlmini
+
+import "testing"
+
+func TestParseAggregates(t *testing.T) {
+	s := mustParse(t, `SELECT COUNT(*), SUM(amount), AVG(x), MIN(y), MAX(z) FROM t`)
+	sel := s.(*Select)
+	if len(sel.Aggregates) != 5 || sel.Columns != nil {
+		t.Fatalf("%+v", sel)
+	}
+	want := []struct {
+		fn  AggFunc
+		col string
+	}{
+		{AggCount, ""}, {AggSum, "amount"}, {AggAvg, "x"}, {AggMin, "y"}, {AggMax, "z"},
+	}
+	for i, w := range want {
+		if sel.Aggregates[i].Func != w.fn || sel.Aggregates[i].Column != w.col {
+			t.Fatalf("agg %d = %+v", i, sel.Aggregates[i])
+		}
+	}
+}
+
+func TestParseAggregateCaseInsensitive(t *testing.T) {
+	s := mustParse(t, `SELECT count(id) FROM t`)
+	sel := s.(*Select)
+	if len(sel.Aggregates) != 1 || sel.Aggregates[0].Func != AggCount || sel.Aggregates[0].Column != "id" {
+		t.Fatalf("%+v", sel.Aggregates)
+	}
+}
+
+func TestParseAggregateWithWhereAndLimit(t *testing.T) {
+	s := mustParse(t, `SELECT COUNT(*) FROM t WHERE x > 5 LIMIT 1`)
+	sel := s.(*Select)
+	if sel.Where == nil || sel.Limit != 1 {
+		t.Fatalf("%+v", sel)
+	}
+}
+
+func TestParseOrderBy(t *testing.T) {
+	s := mustParse(t, `SELECT a, b FROM t ORDER BY b`)
+	sel := s.(*Select)
+	if sel.Order == nil || sel.Order.Column != "b" || sel.Order.Desc {
+		t.Fatalf("%+v", sel.Order)
+	}
+	s2 := mustParse(t, `SELECT a FROM t WHERE a > 1 ORDER BY a DESC LIMIT 3`)
+	sel2 := s2.(*Select)
+	if sel2.Order == nil || !sel2.Order.Desc || sel2.Limit != 3 {
+		t.Fatalf("%+v", sel2)
+	}
+	s3 := mustParse(t, `SELECT a FROM t ORDER BY a ASC`)
+	if s3.(*Select).Order.Desc {
+		t.Fatal("ASC parsed as DESC")
+	}
+}
+
+func TestParseOrderByAndAggregateErrors(t *testing.T) {
+	bad := []string{
+		`SELECT id, COUNT(*) FROM t`,
+		`SELECT SUM(*) FROM t`,
+		`SELECT COUNT(*) FROM t ORDER BY id`,
+		`SELECT a FROM t ORDER`,
+		`SELECT a FROM t ORDER BY`,
+		`SELECT COUNT( FROM t`,
+		`SELECT COUNT(a FROM t`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseFuncNameAsPlainColumn(t *testing.T) {
+	// No parenthesis ⇒ ordinary column even if it matches a function.
+	s := mustParse(t, `SELECT count FROM t`)
+	sel := s.(*Select)
+	if len(sel.Aggregates) != 0 || len(sel.Columns) != 1 || sel.Columns[0] != "count" {
+		t.Fatalf("%+v", sel)
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	s := mustParse(t, `EXPLAIN SELECT * FROM t WHERE id = 1`)
+	sel := s.(*Select)
+	if !sel.Explain {
+		t.Fatal("Explain flag not set")
+	}
+	plain := mustParse(t, `SELECT * FROM t`).(*Select)
+	if plain.Explain {
+		t.Fatal("Explain set without keyword")
+	}
+	for _, bad := range []string{`EXPLAIN`, `EXPLAIN UPDATE t SET a = 1`, `EXPLAIN DELETE FROM t`} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	names := map[AggFunc]string{
+		AggCount: "COUNT", AggSum: "SUM", AggAvg: "AVG", AggMin: "MIN", AggMax: "MAX",
+	}
+	for fn, want := range names {
+		if fn.String() != want {
+			t.Fatalf("%v != %s", fn, want)
+		}
+	}
+	if AggFunc(0).String() != "<invalid agg>" {
+		t.Fatal("invalid agg name")
+	}
+}

@@ -1,0 +1,208 @@
+package sqlmini
+
+import "fmt"
+
+// Statement is the interface all parsed statements implement.
+type Statement interface{ stmt() }
+
+// LiteralKind distinguishes literal value types.
+type LiteralKind int
+
+// Literal kinds.
+const (
+	IntLit LiteralKind = iota + 1
+	FloatLit
+	StringLit
+)
+
+// Literal is a constant value appearing in a statement.
+type Literal struct {
+	Kind  LiteralKind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// String implements fmt.Stringer.
+func (l Literal) String() string {
+	switch l.Kind {
+	case IntLit:
+		return fmt.Sprintf("%d", l.Int)
+	case FloatLit:
+		return fmt.Sprintf("%g", l.Float)
+	case StringLit:
+		return fmt.Sprintf("'%s'", l.Str)
+	default:
+		return "<invalid literal>"
+	}
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String implements fmt.Stringer.
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "<invalid op>"
+	}
+}
+
+// Comparison is one predicate: column op literal.
+type Comparison struct {
+	Column string
+	Op     CmpOp
+	Value  Literal
+}
+
+// Where is a conjunction of comparisons (BETWEEN desugars to two).
+type Where struct {
+	Conjuncts []Comparison
+}
+
+// ColumnDef defines one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	TypeName   string
+	PrimaryKey bool
+}
+
+// CreateTable is CREATE TABLE name (col TYPE [PRIMARY KEY], ...).
+type CreateTable struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct {
+	Table string
+}
+
+// CreateIndex is CREATE INDEX name ON table (column).
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+// DropIndex is DROP INDEX name ON table.
+type DropIndex struct {
+	Name  string
+	Table string
+}
+
+// Insert is INSERT INTO name VALUES (...), (...).
+type Insert struct {
+	Table string
+	Rows  [][]Literal
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota + 1
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String implements fmt.Stringer.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return "<invalid agg>"
+	}
+}
+
+// Aggregate is one aggregate expression in a SELECT list. Column is
+// empty for COUNT(*).
+type Aggregate struct {
+	Func   AggFunc
+	Column string
+}
+
+// OrderBy is an ORDER BY clause (single column).
+type OrderBy struct {
+	Column string
+	Desc   bool
+}
+
+// Select is SELECT cols|aggs FROM name [WHERE ...] [ORDER BY col [DESC]]
+// [LIMIT n]. Aggregates and plain columns cannot mix (no GROUP BY).
+type Select struct {
+	Table string
+	// Columns is nil for SELECT * (and when Aggregates is set).
+	Columns []string
+	// Aggregates, when non-empty, makes this an aggregate query
+	// returning a single row.
+	Aggregates []Aggregate
+	Where      *Where
+	Order      *OrderBy
+	// Limit is -1 when absent.
+	Limit int
+	// Explain makes the statement return its access plan instead of rows.
+	Explain bool
+}
+
+// Assignment is one SET clause of UPDATE.
+type Assignment struct {
+	Column string
+	Value  Literal
+}
+
+// Update is UPDATE name SET col = v [, ...] [WHERE ...].
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where *Where
+}
+
+// Delete is DELETE FROM name [WHERE ...].
+type Delete struct {
+	Table string
+	Where *Where
+}
+
+func (*CreateTable) stmt() {}
+func (*DropTable) stmt()   {}
+func (*CreateIndex) stmt() {}
+func (*DropIndex) stmt()   {}
+func (*Insert) stmt()      {}
+func (*Select) stmt()      {}
+func (*Update) stmt()      {}
+func (*Delete) stmt()      {}

@@ -1,0 +1,36 @@
+package sqlmini
+
+import "testing"
+
+// FuzzParse is a native fuzz target; `go test` runs the seed corpus, and
+// `go test -fuzz=FuzzParse ./internal/sqlmini` explores further. Parse
+// must never panic, and anything it accepts must be a non-nil statement.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT * FROM t",
+		"SELECT a, b FROM t WHERE a = 1 AND b BETWEEN 2 AND 3 ORDER BY a DESC LIMIT 5",
+		"SELECT COUNT(*), SUM(v) FROM t WHERE s = 'x''y'",
+		"INSERT INTO t VALUES (1, 'a', -2.5), (2, '', 0)",
+		"UPDATE t SET a = 1, b = 'x' WHERE id >= -9",
+		"DELETE FROM t WHERE id <> 0",
+		"CREATE TABLE t (id INT PRIMARY KEY, v TEXT)",
+		"CREATE INDEX i ON t (v)",
+		"DROP INDEX i ON t",
+		"DROP TABLE t;",
+		"EXPLAIN SELECT * FROM t WHERE id = 1",
+		"SELECT * FROM t WHERE a = 1.2.3",
+		"SELECT * FROM t WHERE a = '",
+		"\x00\x01\x02",
+		"SELECT (((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err == nil && stmt == nil {
+			t.Fatalf("nil statement without error for %q", src)
+		}
+	})
+}

@@ -1,0 +1,209 @@
+// Package sqlmini implements the SQL subset the embedded engine speaks:
+//
+//	CREATE TABLE t (col TYPE [PRIMARY KEY], ...)
+//	INSERT INTO t VALUES (v, ...), (v, ...)
+//	SELECT * | col, ... FROM t [WHERE pred [AND pred ...]] [LIMIT n]
+//	UPDATE t SET col = v [, ...] [WHERE ...]
+//	DELETE FROM t [WHERE ...]
+//	DROP TABLE t
+//
+// Predicates are conjunctions of column/literal comparisons with
+// =, !=, <>, <, <=, >, >= and BETWEEN lo AND hi. This covers the paper's
+// workload — "a query load comprised purely of selection queries" — plus
+// the updates §3 needs.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token kinds.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , ; *
+	tokOp     // = != <> < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer produces tokens from a SQL string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src fully, returning an error with position on invalid
+// input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			l.pos++
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+			last := &l.toks[len(l.toks)-1]
+			last.text = "-" + last.text
+			last.pos = start
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("(),;*", rune(c)):
+			l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+			l.pos++
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("sqlmini: invalid character %q at position %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r := rune(l.src[l.pos])
+		if !isIdentStart(r) && !isDigit(l.src[l.pos]) {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				return fmt.Errorf("sqlmini: malformed number at position %d", start)
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if !isDigit(c) {
+			break
+		}
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if text == "." || strings.HasSuffix(text, ".") {
+		return fmt.Errorf("sqlmini: malformed number %q at position %d", text, start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, pos: start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlmini: unterminated string at position %d", start)
+}
+
+func (l *lexer) lexOp() error {
+	start := l.pos
+	c := l.src[l.pos]
+	l.pos++
+	two := func(second byte) bool {
+		if l.pos < len(l.src) && l.src[l.pos] == second {
+			l.pos++
+			return true
+		}
+		return false
+	}
+	var text string
+	switch c {
+	case '=':
+		text = "="
+	case '!':
+		if !two('=') {
+			return fmt.Errorf("sqlmini: stray '!' at position %d", start)
+		}
+		text = "!="
+	case '<':
+		switch {
+		case two('='):
+			text = "<="
+		case two('>'):
+			text = "<>"
+		default:
+			text = "<"
+		}
+	case '>':
+		if two('=') {
+			text = ">="
+		} else {
+			text = ">"
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokOp, text: text, pos: start})
+	return nil
+}

@@ -1,0 +1,124 @@
+package sqlmini
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsOnRandomBytes feeds arbitrary strings to Parse; it
+// may reject them but must never panic.
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on %q: %v", src, r)
+			}
+		}()
+		Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNeverPanicsOnMangledSQL mutates valid statements and checks
+// crash-freedom on near-miss inputs, which exercise deeper parser paths
+// than pure noise.
+func TestParseNeverPanicsOnMangledSQL(t *testing.T) {
+	seeds := []string{
+		`CREATE TABLE movies (id INT PRIMARY KEY, title TEXT, gross FLOAT)`,
+		`INSERT INTO t VALUES (1, 'a', 1.5), (2, 'b', -3)`,
+		`SELECT id, title FROM movies WHERE id = 7 AND gross >= 1000.5 LIMIT 10`,
+		`SELECT COUNT(*), SUM(x) FROM t WHERE a BETWEEN 1 AND 2 ORDER BY b DESC`,
+		`UPDATE t SET a = 1, b = 'x' WHERE id = 5`,
+		`DELETE FROM t WHERE id > 100`,
+		`CREATE INDEX i ON t (col)`,
+		`DROP INDEX i ON t`,
+	}
+	rng := rand.New(rand.NewSource(17))
+	mutate := func(s string) string {
+		b := []byte(s)
+		switch rng.Intn(4) {
+		case 0: // delete a byte
+			if len(b) > 1 {
+				i := rng.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			}
+		case 1: // flip a byte
+			if len(b) > 0 {
+				b[rng.Intn(len(b))] = byte(rng.Intn(256))
+			}
+		case 2: // duplicate a chunk
+			if len(b) > 4 {
+				i := rng.Intn(len(b) - 3)
+				b = append(b[:i], append([]byte(string(b[i:i+3])), b[i:]...)...)
+			}
+		case 3: // truncate
+			b = b[:rng.Intn(len(b)+1)]
+		}
+		return string(b)
+	}
+	for i := 0; i < 20000; i++ {
+		src := mutate(seeds[rng.Intn(len(seeds))])
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			Parse(src)
+		}()
+	}
+}
+
+// TestParseDeepNesting guards against stack issues on pathological input.
+func TestParseDeepNesting(t *testing.T) {
+	// Very long conjunction.
+	var sb strings.Builder
+	sb.WriteString("SELECT * FROM t WHERE a = 1")
+	for i := 0; i < 5000; i++ {
+		sb.WriteString(" AND a = 1")
+	}
+	if _, err := Parse(sb.String()); err != nil {
+		t.Fatalf("long conjunction rejected: %v", err)
+	}
+	// Very long insert list.
+	sb.Reset()
+	sb.WriteString("INSERT INTO t VALUES (0)")
+	for i := 1; i < 5000; i++ {
+		sb.WriteString(", (1)")
+	}
+	if _, err := Parse(sb.String()); err != nil {
+		t.Fatalf("long values list rejected: %v", err)
+	}
+}
+
+// TestLexerEdgeCases covers corner tokens directly.
+func TestLexerEdgeCases(t *testing.T) {
+	cases := []struct {
+		src string
+		ok  bool
+	}{
+		{"SELECT * FROM t WHERE a = 1.5", true},
+		{"SELECT * FROM t WHERE a = -1.5", true},
+		{"SELECT * FROM t WHERE a = .5", false},
+		{"SELECT * FROM t WHERE a = 1..5", false},
+		{"SELECT * FROM t WHERE a = 'it''s fine'", true},
+		{"SELECT * FROM t WHERE a = ''", true},
+		{"SELECT * FROM t WHERE a = '", false},
+		{"SELECT * FROM _t WHERE _a = 1", true},
+		{"SELECT * FROM t WHERE a = 1 ; ", true},
+		{"SELECT * FROM t WHERE a <> 1", true},
+		{"SELECT * FROM t WHERE a ! 1", false},
+		{"\tSELECT\n*\nFROM\tt\n", true},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if (err == nil) != c.ok {
+			t.Errorf("Parse(%q) err=%v, want ok=%v", c.src, err, c.ok)
+		}
+	}
+}

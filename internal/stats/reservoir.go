@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Reservoir maintains a fixed-size uniform random sample of a stream
+// (Vitter's algorithm R), from which stream quantiles can be estimated
+// with O(k) memory. It is safe for concurrent use.
+type Reservoir struct {
+	mu     sync.Mutex
+	k      int
+	n      int64
+	sample []float64
+	rng    *rand.Rand
+}
+
+// NewReservoir returns a reservoir keeping at most k samples. k < 1 is
+// clamped to 1.
+func NewReservoir(k int, seed int64) *Reservoir {
+	if k < 1 {
+		k = 1
+	}
+	return &Reservoir{k: k, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	if len(r.sample) < r.k {
+		r.sample = append(r.sample, x)
+		return
+	}
+	if j := r.rng.Int63n(r.n); j < int64(r.k) {
+		r.sample[j] = x
+	}
+}
+
+// N returns how many observations have been offered.
+func (r *Reservoir) N() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Quantile estimates the stream's q-quantile from the sample.
+func (r *Reservoir) Quantile(q float64) (float64, error) {
+	r.mu.Lock()
+	cp := append([]float64(nil), r.sample...)
+	r.mu.Unlock()
+	return Quantile(cp, q)
+}

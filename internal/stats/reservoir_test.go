@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestReservoirExactWhileSmall(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 1; i <= 10; i++ {
+		r.Add(float64(i))
+	}
+	if r.N() != 10 {
+		t.Fatalf("N = %d", r.N())
+	}
+	med, err := r.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 5.5 {
+		t.Fatalf("median = %v", med)
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	r := NewReservoir(10, 1)
+	if _, err := r.Quantile(0.5); err == nil {
+		t.Fatal("empty reservoir quantile succeeded")
+	}
+}
+
+func TestReservoirClampsK(t *testing.T) {
+	r := NewReservoir(0, 1)
+	r.Add(7)
+	v, err := r.Quantile(0.5)
+	if err != nil || v != 7 {
+		t.Fatalf("%v, %v", v, err)
+	}
+}
+
+func TestReservoirApproximatesStreamQuantiles(t *testing.T) {
+	r := NewReservoir(2048, 3)
+	// Uniform 0..9999 stream.
+	for i := 0; i < 100_000; i++ {
+		r.Add(float64(i % 10000))
+	}
+	med, err := r.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(med-5000) > 500 {
+		t.Fatalf("median estimate = %v", med)
+	}
+	p99, _ := r.Quantile(0.99)
+	if math.Abs(p99-9900) > 300 {
+		t.Fatalf("p99 estimate = %v", p99)
+	}
+}
+
+func TestReservoirConcurrent(t *testing.T) {
+	r := NewReservoir(512, 5)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.N() != 8000 {
+		t.Fatalf("N = %d", r.N())
+	}
+}

@@ -1,0 +1,259 @@
+// Package stats provides the small statistical toolkit the delay-defense
+// analysis needs: quantiles, moments, log–log regression for Zipf-parameter
+// estimation, generalized harmonic sums, and fixed-bucket histograms.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stdev returns the sample standard deviation (n−1 denominator) of xs.
+// It returns 0 for fewer than two samples.
+func Stdev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between closest ranks. xs need not be sorted; it is not
+// modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of range")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, q), nil
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// LinearFit holds the result of an ordinary least-squares line fit
+// y = Slope·x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// FitLine fits y = a·x + b by least squares. It needs at least two points
+// with distinct x values.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched lengths")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, ErrEmpty
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}, errors.New("stats: degenerate x values")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// FitPowerLaw fits y = C·x^(−alpha) by regressing log y on log x and
+// returns the estimated alpha (as a positive skew value when the data is
+// decreasing) and the fit. Points with non-positive x or y are skipped.
+func FitPowerLaw(xs, ys []float64) (alpha float64, fit LinearFit, err error) {
+	if len(xs) != len(ys) {
+		return 0, LinearFit{}, errors.New("stats: mismatched lengths")
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	fit, err = FitLine(lx, ly)
+	if err != nil {
+		return 0, LinearFit{}, err
+	}
+	return -fit.Slope, fit, nil
+}
+
+// Harmonic returns the generalized harmonic number H(n, s) = Σ_{i=1..n} i^(−s).
+// For large n it switches to the Euler–Maclaurin approximation to stay O(1).
+func Harmonic(n int, s float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	const exactLimit = 1 << 16
+	if n <= exactLimit {
+		var sum float64
+		for i := 1; i <= n; i++ {
+			sum += math.Pow(float64(i), -s)
+		}
+		return sum
+	}
+	// Exact head plus integral tail with midpoint correction.
+	var sum float64
+	for i := 1; i <= exactLimit; i++ {
+		sum += math.Pow(float64(i), -s)
+	}
+	a, b := float64(exactLimit), float64(n)
+	var tail float64
+	if s == 1 {
+		tail = math.Log(b) - math.Log(a)
+	} else {
+		tail = (math.Pow(b, 1-s) - math.Pow(a, 1-s)) / (1 - s)
+	}
+	// Trapezoidal end corrections.
+	tail += 0.5 * (math.Pow(b, -s) - math.Pow(a, -s))
+	return sum + tail
+}
+
+// PowerSum returns Σ_{i=1..n} i^p for real p ≥ 0, using exact summation for
+// small n and the integral approximation for large n.
+func PowerSum(n int, p float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	const exactLimit = 1 << 16
+	if n <= exactLimit {
+		var sum float64
+		for i := 1; i <= n; i++ {
+			sum += math.Pow(float64(i), p)
+		}
+		return sum
+	}
+	var sum float64
+	for i := 1; i <= exactLimit; i++ {
+		sum += math.Pow(float64(i), p)
+	}
+	a, b := float64(exactLimit), float64(n)
+	tail := (math.Pow(b, p+1) - math.Pow(a, p+1)) / (p + 1)
+	tail += 0.5 * (math.Pow(b, p) - math.Pow(a, p))
+	return sum + tail
+}
+
+// Histogram is a fixed-width bucket histogram over [Min, Max). Values
+// outside the range are clamped into the first or last bucket.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int64
+	n        int64
+}
+
+// NewHistogram creates a histogram with nbuckets buckets spanning
+// [min, max). It panics if nbuckets < 1 or max ≤ min.
+func NewHistogram(min, max float64, nbuckets int) *Histogram {
+	if nbuckets < 1 {
+		panic("stats: nbuckets < 1")
+	}
+	if max <= min {
+		panic("stats: max <= min")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int64, nbuckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	b := int(float64(len(h.Counts)) * (x - h.Min) / (h.Max - h.Min))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.n++
+}
+
+// N returns the number of observations recorded.
+func (h *Histogram) N() int64 { return h.n }
+
+// Bucket returns the lower bound of bucket i.
+func (h *Histogram) Bucket(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + float64(i)*w
+}
+
+// Quantile returns an approximate q-quantile from the bucket counts, using
+// the midpoint of the bucket containing the target rank.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if h.n == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of range")
+	}
+	target := int64(q * float64(h.n-1))
+	var cum int64
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			return h.Min + (float64(i)+0.5)*w, nil
+		}
+	}
+	return h.Max, nil
+}

@@ -1,0 +1,284 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestStdev(t *testing.T) {
+	if got := Stdev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEqual(got, 2.13809, 1e-4) {
+		t.Errorf("Stdev = %v", got)
+	}
+	if got := Stdev([]float64{1}); got != 0 {
+		t.Errorf("Stdev of single = %v, want 0", got)
+	}
+	if got := Stdev(nil); got != 0 {
+		t.Errorf("Stdev(nil) = %v, want 0", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 5, 4}
+	med, err := Median(xs)
+	if err != nil || med != 3 {
+		t.Fatalf("Median = %v, %v", med, err)
+	}
+	q0, _ := Quantile(xs, 0)
+	q1, _ := Quantile(xs, 1)
+	if q0 != 1 || q1 != 5 {
+		t.Fatalf("extremes = %v, %v", q0, q1)
+	}
+	q25, _ := Quantile(xs, 0.25)
+	if q25 != 2 {
+		t.Fatalf("q25 = %v, want 2", q25)
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Fatalf("empty quantile err = %v", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("out-of-range q accepted")
+	}
+	// Input unmodified.
+	if xs[0] != 3 {
+		t.Fatal("Quantile modified its input")
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	q, _ := Quantile(xs, 0.5)
+	if !almostEqual(q, 5, 1e-12) {
+		t.Fatalf("interpolated median = %v, want 5", q)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-12) || !almostEqual(fit.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := FitLine([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+func TestFitPowerLawRecoversAlpha(t *testing.T) {
+	// y = 100 · x^(−1.5)
+	var xs, ys []float64
+	for i := 1; i <= 100; i++ {
+		xs = append(xs, float64(i))
+		ys = append(ys, 100*math.Pow(float64(i), -1.5))
+	}
+	alpha, fit, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(alpha, 1.5, 1e-9) {
+		t.Fatalf("alpha = %v, want 1.5", alpha)
+	}
+	if fit.R2 < 0.999 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitPowerLawSkipsNonPositive(t *testing.T) {
+	xs := []float64{0, -1, 1, 2, 4}
+	ys := []float64{5, 5, 8, 4, 2}
+	if _, _, err := FitPowerLaw(xs, ys); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHarmonicSmall(t *testing.T) {
+	// H(4,1) = 1 + 1/2 + 1/3 + 1/4 = 2.08333...
+	if got := Harmonic(4, 1); !almostEqual(got, 25.0/12.0, 1e-12) {
+		t.Fatalf("Harmonic(4,1) = %v", got)
+	}
+	if got := Harmonic(0, 1); got != 0 {
+		t.Fatalf("Harmonic(0,1) = %v", got)
+	}
+	// H(3,2) = 1 + 1/4 + 1/9
+	if got := Harmonic(3, 2); !almostEqual(got, 1+0.25+1.0/9, 1e-12) {
+		t.Fatalf("Harmonic(3,2) = %v", got)
+	}
+}
+
+func TestHarmonicLargeApproximation(t *testing.T) {
+	// Compare the approximation path (n > 2^16) against brute force.
+	n := 1 << 17
+	var brute float64
+	for i := 1; i <= n; i++ {
+		brute += 1 / float64(i)
+	}
+	got := Harmonic(n, 1)
+	if math.Abs(got-brute)/brute > 1e-6 {
+		t.Fatalf("Harmonic(%d,1) = %v, brute = %v", n, got, brute)
+	}
+}
+
+func TestPowerSum(t *testing.T) {
+	// Σ i^2 for 1..4 = 30
+	if got := PowerSum(4, 2); !almostEqual(got, 30, 1e-12) {
+		t.Fatalf("PowerSum(4,2) = %v", got)
+	}
+	if got := PowerSum(0, 2); got != 0 {
+		t.Fatalf("PowerSum(0,2) = %v", got)
+	}
+	// Approximation path vs brute force for p = 1.5.
+	n := 1 << 17
+	var brute float64
+	for i := 1; i <= n; i++ {
+		brute += math.Pow(float64(i), 1.5)
+	}
+	got := PowerSum(n, 1.5)
+	if math.Abs(got-brute)/brute > 1e-6 {
+		t.Fatalf("PowerSum approx = %v, brute = %v", got, brute)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bucket %d count = %d", i, c)
+		}
+	}
+	if h.N() != 10 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if b := h.Bucket(3); !almostEqual(b, 3, 1e-12) {
+		t.Fatalf("Bucket(3) = %v", b)
+	}
+}
+
+func TestHistogramClamps(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(1e9)
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	med, err := h.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med < 40 || med > 60 {
+		t.Fatalf("histogram median = %v", med)
+	}
+	if _, err := NewHistogram(0, 1, 1).Quantile(0.5); err != ErrEmpty {
+		t.Fatalf("empty histogram quantile err = %v", err)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	assertPanics := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	assertPanics(func() { NewHistogram(0, 10, 0) })
+	assertPanics(func() { NewHistogram(10, 10, 4) })
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v, err := Quantile(xs, q)
+			if err != nil {
+				return false
+			}
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitPowerLawPropertyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		trueAlpha := 0.25 + 2.25*rng.Float64()
+		scale := 1 + 1000*rng.Float64()
+		var xs, ys []float64
+		for i := 1; i <= 200; i++ {
+			xs = append(xs, float64(i))
+			ys = append(ys, scale*math.Pow(float64(i), -trueAlpha))
+		}
+		alpha, _, err := FitPowerLaw(xs, ys)
+		return err == nil && math.Abs(alpha-trueAlpha) < 1e-6
+	}
+	for i := 0; i < 50; i++ {
+		if !f() {
+			t.Fatal("power-law recovery failed")
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// RID addresses a record: page id plus slot within the page.
+type RID struct {
+	Page PageID
+	Slot int
+}
+
+// String implements fmt.Stringer.
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// HeapFile stores records of a single table across the pages of one file,
+// through a buffer pool. It is safe for concurrent use.
+type HeapFile struct {
+	mu   sync.Mutex
+	pool *Pool
+	// lastWithSpace remembers the most recent page an insert succeeded
+	// on, the classic "last page" heuristic to avoid O(pages) scans.
+	lastWithSpace PageID
+	hasPages      bool
+}
+
+// NewHeapFile returns a heap over the pool's entire page file.
+func NewHeapFile(pool *Pool) (*HeapFile, error) {
+	if pool == nil {
+		return nil, errors.New("storage: nil pool")
+	}
+	h := &HeapFile{pool: pool}
+	if pool.pager.NumPages() > 0 {
+		h.hasPages = true
+		h.lastWithSpace = pool.pager.NumPages() - 1
+	}
+	return h, nil
+}
+
+// Insert stores rec and returns its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.hasPages {
+		// Try the cached page first, then fall back to allocation. (We do
+		// not scan all pages: deleted space is reused when updates and
+		// inserts land on the cached page, which is enough for the
+		// mostly-append workloads the experiments run.)
+		pg, err := h.pool.Fetch(h.lastWithSpace)
+		if err != nil {
+			return RID{}, err
+		}
+		slot, ierr := pg.Insert(rec)
+		if ierr == nil {
+			if err := h.pool.Unpin(h.lastWithSpace, true); err != nil {
+				return RID{}, err
+			}
+			return RID{Page: h.lastWithSpace, Slot: slot}, nil
+		}
+		if err := h.pool.Unpin(h.lastWithSpace, false); err != nil {
+			return RID{}, err
+		}
+		if !errors.Is(ierr, ErrPageFull) {
+			return RID{}, ierr
+		}
+	}
+	id, pg, err := h.pool.Allocate()
+	if err != nil {
+		return RID{}, err
+	}
+	slot, err := pg.Insert(rec)
+	if err != nil {
+		h.pool.Unpin(id, false)
+		return RID{}, err
+	}
+	if err := h.pool.Unpin(id, true); err != nil {
+		return RID{}, err
+	}
+	h.hasPages = true
+	h.lastWithSpace = id
+	return RID{Page: id, Slot: slot}, nil
+}
+
+// Get returns a copy of the record at rid.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	pg, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, rerr := pg.Record(rid.Slot)
+	var out []byte
+	if rerr == nil {
+		out = append([]byte(nil), rec...)
+	}
+	if err := h.pool.Unpin(rid.Page, false); err != nil {
+		return nil, err
+	}
+	if rerr != nil {
+		return nil, fmt.Errorf("storage: get %v: %w", rid, rerr)
+	}
+	return out, nil
+}
+
+// Delete removes the record at rid.
+func (h *HeapFile) Delete(rid RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	pg, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	derr := pg.Delete(rid.Slot)
+	if err := h.pool.Unpin(rid.Page, derr == nil); err != nil {
+		return err
+	}
+	if derr != nil {
+		return fmt.Errorf("storage: delete %v: %w", rid, derr)
+	}
+	return nil
+}
+
+// Update replaces the record at rid in place when it fits; when the page
+// cannot hold the new version, the record moves and the new RID is
+// returned. Callers must treat the returned RID as authoritative.
+func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
+	h.mu.Lock()
+	pg, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		h.mu.Unlock()
+		return RID{}, err
+	}
+	uerr := pg.Update(rid.Slot, rec)
+	if uerr == nil {
+		err := h.pool.Unpin(rid.Page, true)
+		h.mu.Unlock()
+		if err != nil {
+			return RID{}, err
+		}
+		return rid, nil
+	}
+	if !errors.Is(uerr, ErrPageFull) {
+		h.pool.Unpin(rid.Page, false)
+		h.mu.Unlock()
+		return RID{}, fmt.Errorf("storage: update %v: %w", rid, uerr)
+	}
+	// Relocate: delete here, insert elsewhere.
+	derr := pg.Delete(rid.Slot)
+	if err := h.pool.Unpin(rid.Page, derr == nil); err != nil {
+		h.mu.Unlock()
+		return RID{}, err
+	}
+	h.mu.Unlock()
+	if derr != nil {
+		return RID{}, fmt.Errorf("storage: relocating %v: %w", rid, derr)
+	}
+	return h.Insert(rec)
+}
+
+// Scan calls fn for every live record in page order until fn returns
+// false or an error occurs. The record slice passed to fn is only valid
+// during the call.
+func (h *HeapFile) Scan(fn func(rid RID, rec []byte) bool) error {
+	n := h.pool.pager.NumPages()
+	for id := PageID(0); id < n; id++ {
+		pg, err := h.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		stop := false
+		pg.Records(func(slot int, rec []byte) bool {
+			if !fn(RID{Page: id, Slot: slot}, rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err := h.pool.Unpin(id, false); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Pool returns the underlying buffer pool (for stats and cache control).
+func (h *HeapFile) Pool() *Pool { return h.pool }

@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func tempHeap(t *testing.T, capacity int) *HeapFile {
+	t.Helper()
+	pool := tempPool(t, capacity)
+	h, err := NewHeapFile(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHeapInsertGet(t *testing.T) {
+	h := tempHeap(t, 8)
+	rid, err := h.Insert([]byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(rid)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if rid.String() == "" {
+		t.Fatal("RID String empty")
+	}
+}
+
+func TestHeapSpansPages(t *testing.T) {
+	h := tempHeap(t, 8)
+	rec := make([]byte, 1000)
+	var rids []RID
+	for i := 0; i < 20; i++ { // ~3 records/page ⇒ several pages
+		rec[0] = byte(i)
+		rid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	pages := map[PageID]bool{}
+	for i, rid := range rids {
+		pages[rid.Page] = true
+		got, err := h.Get(rid)
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("record %d: %v, %v", i, got[0], err)
+		}
+	}
+	if len(pages) < 2 {
+		t.Fatalf("all records on %d page(s)", len(pages))
+	}
+}
+
+func TestHeapDelete(t *testing.T) {
+	h := tempHeap(t, 4)
+	rid, _ := h.Insert([]byte("bye"))
+	if err := h.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(rid); err == nil {
+		t.Fatal("deleted record readable")
+	}
+	if err := h.Delete(rid); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestHeapUpdateInPlace(t *testing.T) {
+	h := tempHeap(t, 4)
+	rid, _ := h.Insert([]byte("aaaa"))
+	nrid, err := h.Update(rid, []byte("bbbb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrid != rid {
+		t.Fatalf("same-size update moved record: %v → %v", rid, nrid)
+	}
+	got, _ := h.Get(nrid)
+	if string(got) != "bbbb" {
+		t.Fatalf("update lost: %q", got)
+	}
+}
+
+func TestHeapUpdateRelocates(t *testing.T) {
+	h := tempHeap(t, 8)
+	// Fill a page almost completely.
+	var rid RID
+	var err error
+	filler := make([]byte, 1900)
+	if rid, err = h.Insert([]byte("victim")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = h.Insert(filler); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = h.Insert(filler); err != nil {
+		t.Fatal(err)
+	}
+	// Grow victim beyond what its page can hold.
+	big := bytes.Repeat([]byte{9}, 3000)
+	nrid, err := h.Update(rid, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrid == rid {
+		t.Fatal("record should have moved pages")
+	}
+	got, err := h.Get(nrid)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatal("relocated record corrupted")
+	}
+	if _, err := h.Get(rid); err == nil {
+		t.Fatal("old location still live")
+	}
+}
+
+func TestHeapScan(t *testing.T) {
+	h := tempHeap(t, 8)
+	want := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		s := fmt.Sprintf("row-%02d", i)
+		if _, err := h.Insert([]byte(s)); err != nil {
+			t.Fatal(err)
+		}
+		want[s] = true
+	}
+	got := map[string]bool{}
+	err := h.Scan(func(rid RID, rec []byte) bool {
+		got[string(rec)] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d, want %d", len(got), len(want))
+	}
+	// Early stop.
+	n := 0
+	h.Scan(func(RID, []byte) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestHeapScanSkipsDeleted(t *testing.T) {
+	h := tempHeap(t, 4)
+	r1, _ := h.Insert([]byte("keep"))
+	r2, _ := h.Insert([]byte("drop"))
+	_ = r1
+	h.Delete(r2)
+	var seen []string
+	h.Scan(func(rid RID, rec []byte) bool {
+		seen = append(seen, string(rec))
+		return true
+	})
+	if len(seen) != 1 || seen[0] != "keep" {
+		t.Fatalf("Scan = %v", seen)
+	}
+}
+
+func TestHeapNilPool(t *testing.T) {
+	if _, err := NewHeapFile(nil); err == nil {
+		t.Fatal("nil pool accepted")
+	}
+}
+
+func TestHeapManyRecordsThroughTinyPool(t *testing.T) {
+	// Pool of 2 frames forces constant eviction; data must survive.
+	h := tempHeap(t, 2)
+	const n = 500
+	rids := make([]RID, n)
+	for i := 0; i < n; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d-padding-padding", i))
+		rid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	for i, rid := range rids {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("record-%04d-padding-padding", i); string(got) != want {
+			t.Fatalf("record %d = %q", i, got)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPageEmpty(t *testing.T) {
+	p := NewPage()
+	if p.NumSlots() != 0 {
+		t.Fatalf("NumSlots = %d", p.NumSlots())
+	}
+	if p.FreeSpace() != PageSize-headerSize-slotSize {
+		t.Fatalf("FreeSpace = %d", p.FreeSpace())
+	}
+}
+
+func TestInsertAndRecord(t *testing.T) {
+	p := NewPage()
+	s1, err := p.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Insert([]byte("world!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("duplicate slots")
+	}
+	r1, err := p.Record(s1)
+	if err != nil || string(r1) != "hello" {
+		t.Fatalf("Record(s1) = %q, %v", r1, err)
+	}
+	r2, err := p.Record(s2)
+	if err != nil || string(r2) != "world!" {
+		t.Fatalf("Record(s2) = %q, %v", r2, err)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	p := NewPage()
+	if _, err := p.Insert(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if _, err := p.Insert(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+	if _, err := p.Insert(make([]byte, MaxRecordSize)); err != nil {
+		t.Fatalf("max-size record rejected: %v", err)
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	p := NewPage()
+	rec := make([]byte, 100)
+	var n int
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		n++
+	}
+	// 4096-6 bytes usable, 104 per record+slot ⇒ ~39 records.
+	if n < 35 || n > 40 {
+		t.Fatalf("inserted %d 100-byte records", n)
+	}
+}
+
+func TestDeleteAndSlotReuse(t *testing.T) {
+	p := NewPage()
+	s1, _ := p.Insert([]byte("aaaa"))
+	s2, _ := p.Insert([]byte("bbbb"))
+	if err := p.Delete(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Record(s1); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("deleted record readable: %v", err)
+	}
+	// s2 unaffected.
+	if r, _ := p.Record(s2); string(r) != "bbbb" {
+		t.Fatalf("neighbor damaged: %q", r)
+	}
+	// New insert reuses the dead slot.
+	s3, _ := p.Insert([]byte("cccc"))
+	if s3 != s1 {
+		t.Fatalf("dead slot not reused: got %d, want %d", s3, s1)
+	}
+	if err := p.Delete(s1); err != nil {
+		t.Fatal("reused slot not deletable")
+	}
+	if err := p.Delete(s1); !errors.Is(err, ErrBadSlot) {
+		t.Fatal("double delete accepted")
+	}
+	if err := p.Delete(99); !errors.Is(err, ErrBadSlot) {
+		t.Fatal("out-of-range delete accepted")
+	}
+}
+
+func TestCompactionReclaimsSpace(t *testing.T) {
+	p := NewPage()
+	rec := make([]byte, 400)
+	var slots []int
+	for {
+		s, err := p.Insert(rec)
+		if err != nil {
+			break
+		}
+		slots = append(slots, s)
+	}
+	// Delete every other record; freed space is fragmented.
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A large record only fits after compaction.
+	big := make([]byte, 900)
+	for i := range big {
+		big[i] = 0xAB
+	}
+	s, err := p.Insert(big)
+	if err != nil {
+		t.Fatalf("insert after fragmentation: %v", err)
+	}
+	r, err := p.Record(s)
+	if err != nil || !bytes.Equal(r, big) {
+		t.Fatal("compacted record corrupted")
+	}
+	// Survivors intact.
+	for i := 1; i < len(slots); i += 2 {
+		r, err := p.Record(slots[i])
+		if err != nil || len(r) != 400 {
+			t.Fatalf("survivor %d damaged: %v", slots[i], err)
+		}
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	p := NewPage()
+	s, _ := p.Insert([]byte("abcdef"))
+	if err := p.Update(s, []byte("ABCDEF")); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := p.Record(s); string(r) != "ABCDEF" {
+		t.Fatalf("update lost: %q", r)
+	}
+	// Shrink.
+	if err := p.Update(s, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := p.Record(s); string(r) != "xy" {
+		t.Fatalf("shrink lost: %q", r)
+	}
+}
+
+func TestUpdateGrow(t *testing.T) {
+	p := NewPage()
+	s, _ := p.Insert([]byte("tiny"))
+	other, _ := p.Insert([]byte("other"))
+	big := bytes.Repeat([]byte{7}, 2000)
+	if err := p.Update(s, big); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := p.Record(s); !bytes.Equal(r, big) {
+		t.Fatal("grown record corrupted")
+	}
+	if r, _ := p.Record(other); string(r) != "other" {
+		t.Fatal("neighbor damaged by grow")
+	}
+	// Grow beyond capacity fails cleanly.
+	if err := p.Update(s, make([]byte, MaxRecordSize)); !errors.Is(err, ErrPageFull) {
+		t.Fatalf("impossible grow: %v", err)
+	}
+}
+
+func TestUpdateGrowUnderFragmentation(t *testing.T) {
+	p := NewPage()
+	rec := make([]byte, 500)
+	var slots []int
+	for {
+		s, err := p.Insert(rec)
+		if err != nil {
+			break
+		}
+		slots = append(slots, s)
+	}
+	for i := 0; i < len(slots)-1; i++ {
+		p.Delete(slots[i])
+	}
+	keep := slots[len(slots)-1]
+	// Needs compaction to fit.
+	big := make([]byte, 2500)
+	if err := p.Update(keep, big); err != nil {
+		t.Fatalf("grow with compaction: %v", err)
+	}
+	if r, _ := p.Record(keep); len(r) != 2500 {
+		t.Fatal("record wrong after compacting grow")
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	p := NewPage()
+	s, _ := p.Insert([]byte("x"))
+	if err := p.Update(s, nil); err == nil {
+		t.Fatal("empty update accepted")
+	}
+	if err := p.Update(99, []byte("y")); !errors.Is(err, ErrBadSlot) {
+		t.Fatal("bad slot update accepted")
+	}
+	p.Delete(s)
+	if err := p.Update(s, []byte("y")); !errors.Is(err, ErrBadSlot) {
+		t.Fatal("dead slot update accepted")
+	}
+}
+
+func TestRecordsIteration(t *testing.T) {
+	p := NewPage()
+	s0, _ := p.Insert([]byte("zero"))
+	p.Insert([]byte("one"))
+	p.Insert([]byte("two"))
+	p.Delete(s0)
+	var seen []string
+	p.Records(func(slot int, rec []byte) bool {
+		seen = append(seen, string(rec))
+		return true
+	})
+	if len(seen) != 2 || seen[0] != "one" || seen[1] != "two" {
+		t.Fatalf("Records = %v", seen)
+	}
+	// Early stop.
+	n := 0
+	p.Records(func(slot int, rec []byte) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestLoadBytesRoundTrip(t *testing.T) {
+	p := NewPage()
+	p.Insert([]byte("persist me"))
+	q := NewPage()
+	if err := q.LoadBytes(p.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := q.Record(0)
+	if err != nil || string(r) != "persist me" {
+		t.Fatalf("round trip: %q, %v", r, err)
+	}
+	if err := q.LoadBytes(make([]byte, 10)); err == nil {
+		t.Fatal("short LoadBytes accepted")
+	}
+}
+
+// TestPageModelProperty runs random insert/delete/update against a map
+// model and verifies every live record.
+func TestPageModelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPage()
+		model := map[int][]byte{}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				rec := make([]byte, 1+rng.Intn(200))
+				rng.Read(rec)
+				s, err := p.Insert(rec)
+				if err == nil {
+					if _, exists := model[s]; exists {
+						return false // live slot reissued
+					}
+					model[s] = append([]byte(nil), rec...)
+				}
+			case 1:
+				for s := range model {
+					if err := p.Delete(s); err != nil {
+						return false
+					}
+					delete(model, s)
+					break
+				}
+			case 2:
+				for s := range model {
+					rec := make([]byte, 1+rng.Intn(300))
+					rng.Read(rec)
+					if err := p.Update(s, rec); err == nil {
+						model[s] = append([]byte(nil), rec...)
+					} else if !errors.Is(err, ErrPageFull) {
+						return false
+					}
+					break
+				}
+			}
+		}
+		for s, want := range model {
+			got, err := p.Record(s)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManySmallRecordsFillAndRead(t *testing.T) {
+	p := NewPage()
+	var want []string
+	for i := 0; ; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d", i))
+		if _, err := p.Insert(rec); err != nil {
+			break
+		}
+		want = append(want, string(rec))
+	}
+	var got []string
+	p.Records(func(_ int, rec []byte) bool {
+		got = append(got, string(rec))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

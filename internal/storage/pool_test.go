@@ -1,0 +1,231 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func osCreate(path string) (*os.File, error) { return os.Create(path) }
+
+func tempPool(t *testing.T, capacity int) *Pool {
+	t.Helper()
+	pager := tempPager(t)
+	pool, err := NewPool(pager, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(nil, 4); err == nil {
+		t.Fatal("nil pager accepted")
+	}
+	pager := tempPager(t)
+	if _, err := NewPool(pager, 0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+func TestPoolAllocateFetchUnpin(t *testing.T) {
+	pool := tempPool(t, 4)
+	id, pg, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.Insert([]byte("cached"))
+	if err := pool.Unpin(id, true); err != nil {
+		t.Fatal(err)
+	}
+	// Fetch hits cache.
+	got, err := pool.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := got.Record(0); string(r) != "cached" {
+		t.Fatalf("fetched: %q", r)
+	}
+	pool.Unpin(id, false)
+	hits, misses, _ := pool.Stats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestPoolEvictionWritesBackDirty(t *testing.T) {
+	pool := tempPool(t, 2)
+	// Fill three pages through a pool of two frames.
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, pg, err := pool.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Insert([]byte(fmt.Sprintf("page-%d", i)))
+		if err := pool.Unpin(id, true); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if pool.Resident() > 2 {
+		t.Fatalf("Resident = %d", pool.Resident())
+	}
+	// All three pages readable with correct content (evicted ones were
+	// written back).
+	for i, id := range ids {
+		pg, err := pool.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := pg.Record(0)
+		if err != nil || string(r) != fmt.Sprintf("page-%d", i) {
+			t.Fatalf("page %d: %q, %v", id, r, err)
+		}
+		pool.Unpin(id, false)
+	}
+	_, _, evicts := pool.Stats()
+	if evicts == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestPoolPinnedPagesNotEvicted(t *testing.T) {
+	pool := tempPool(t, 2)
+	id0, _, _ := pool.Allocate() // stays pinned
+	id1, _, _ := pool.Allocate()
+	pool.Unpin(id1, false)
+	// Allocating a third page must evict id1, not pinned id0.
+	id2, _, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(id2, false)
+	// id0 still resident and usable.
+	pg, err := pool.Fetch(id0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pg
+	pool.Unpin(id0, false)
+	pool.Unpin(id0, false) // release original pin
+	hits, _, _ := pool.Stats()
+	if hits == 0 {
+		t.Fatal("pinned page was not cached")
+	}
+}
+
+func TestPoolAllFramesPinnedErrors(t *testing.T) {
+	pool := tempPool(t, 1)
+	pool.Allocate() // pinned
+	if _, _, err := pool.Allocate(); err == nil {
+		t.Fatal("allocation with all frames pinned succeeded")
+	}
+}
+
+func TestPoolUnpinErrors(t *testing.T) {
+	pool := tempPool(t, 2)
+	if err := pool.Unpin(42, false); err == nil {
+		t.Fatal("unpin of non-resident page accepted")
+	}
+	id, _, _ := pool.Allocate()
+	pool.Unpin(id, false)
+	if err := pool.Unpin(id, false); err == nil {
+		t.Fatal("double unpin accepted")
+	}
+}
+
+func TestPoolFlushAllPersists(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.db")
+	pager, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, _ := NewPool(pager, 4)
+	id, pg, _ := pool.Allocate()
+	pg.Insert([]byte("flushed"))
+	pool.Unpin(id, true)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	pager.Close()
+
+	pager2, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pager2.Close()
+	got := NewPage()
+	if err := pager2.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := got.Record(0); string(r) != "flushed" {
+		t.Fatalf("lost flush: %q", r)
+	}
+}
+
+func TestPoolDropAllColdCache(t *testing.T) {
+	pool := tempPool(t, 8)
+	id, pg, _ := pool.Allocate()
+	pg.Insert([]byte("x"))
+	pool.Unpin(id, true)
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Resident() != 0 {
+		t.Fatalf("Resident after DropAll = %d", pool.Resident())
+	}
+	// Next fetch is a miss but data survives.
+	got, err := pool.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := got.Record(0); string(r) != "x" {
+		t.Fatal("DropAll lost dirty data")
+	}
+	pool.Unpin(id, false)
+	_, misses, _ := pool.Stats()
+	if misses == 0 {
+		t.Fatal("fetch after DropAll was not a miss")
+	}
+}
+
+func TestPoolConcurrentFetch(t *testing.T) {
+	pool := tempPool(t, 4)
+	var ids []PageID
+	for i := 0; i < 8; i++ {
+		id, pg, err := pool.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Insert([]byte{byte(i)})
+		pool.Unpin(id, true)
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ids[(w+i)%len(ids)]
+				pg, err := pool.Fetch(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if r, _ := pg.Record(0); r[0] != byte(id) {
+					t.Errorf("page %d content %v", id, r)
+				}
+				if err := pool.Unpin(id, false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

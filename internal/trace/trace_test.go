@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/zipf"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	tr, err := Synthetic("s", 1000, 50000, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 50000 || tr.NumObjects != 1000 {
+		t.Fatalf("shape: %d reqs, %d objects", len(tr.Requests), tr.NumObjects)
+	}
+	// Object 0 (rank 1) must dominate.
+	counts := tr.Counts()
+	if counts[0] < 10*counts[500] {
+		t.Fatalf("insufficient skew: c0=%d c500=%d", counts[0], counts[500])
+	}
+	// Estimated alpha close to 1.5.
+	fc := make([]float64, len(counts))
+	for i, c := range counts {
+		fc[i] = float64(c)
+	}
+	alpha, err := zipf.EstimateAlpha(fc, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha-1.5) > 0.3 {
+		t.Fatalf("estimated alpha = %v", alpha)
+	}
+}
+
+func TestSyntheticErrors(t *testing.T) {
+	if _, err := Synthetic("s", 0, 10, 1, 1); err == nil {
+		t.Fatal("0 objects accepted")
+	}
+	if _, err := Synthetic("s", 10, 10, -1, 1); err == nil {
+		t.Fatal("bad alpha accepted")
+	}
+}
+
+func TestSyntheticCalgaryConstants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size Calgary trace in -short mode")
+	}
+	tr, err := SyntheticCalgary(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumObjects != 12179 || len(tr.Requests) != 725091 {
+		t.Fatalf("shape: %d objects, %d requests", tr.NumObjects, len(tr.Requests))
+	}
+	if tr.Weeks != 0 || tr.WeekOf != nil {
+		t.Fatal("calgary trace should be weekless")
+	}
+}
+
+func TestUniformTrace(t *testing.T) {
+	tr := Uniform("u", 100, 100000, 3)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.Counts()
+	for id, c := range counts {
+		if math.Abs(float64(c)-1000) > 250 {
+			t.Fatalf("object %d count %d far from uniform 1000", id, c)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	tr := &Trace{
+		Name: "tiny", NumObjects: 5,
+		Requests: []uint64{0, 0, 0, 2, 2, 4},
+	}
+	ids, counts := tr.TopK(3)
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 2 || ids[2] != 4 {
+		t.Fatalf("TopK ids = %v", ids)
+	}
+	if counts[0] != 3 || counts[1] != 2 || counts[2] != 1 {
+		t.Fatalf("TopK counts = %v", counts)
+	}
+	// k larger than touched objects.
+	ids, _ = tr.TopK(10)
+	if len(ids) != 3 {
+		t.Fatalf("TopK(10) len = %d", len(ids))
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	bad := &Trace{Name: "b", NumObjects: 2, Requests: []uint64{5}}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	bad2 := &Trace{Name: "b", NumObjects: 0}
+	if bad2.Validate() == nil {
+		t.Fatal("0 objects accepted")
+	}
+	bad3 := &Trace{Name: "b", NumObjects: 2, Requests: []uint64{0, 1}, WeekOf: []int{0}}
+	if bad3.Validate() == nil {
+		t.Fatal("week length mismatch accepted")
+	}
+	bad4 := &Trace{Name: "b", NumObjects: 2, Requests: []uint64{0}, WeekOf: []int{5}, Weeks: 2}
+	if bad4.Validate() == nil {
+		t.Fatal("week out of range accepted")
+	}
+}
+
+func TestBoxOffice2002Shape(t *testing.T) {
+	b := BoxOffice2002(42)
+	if err := b.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Trace.NumObjects != BoxOfficeFilms || b.Trace.Weeks != BoxOfficeWeeks {
+		t.Fatalf("films=%d weeks=%d", b.Trace.NumObjects, b.Trace.Weeks)
+	}
+	if len(b.Trace.Requests) < 10000 {
+		t.Fatalf("suspiciously few requests: %d", len(b.Trace.Requests))
+	}
+	// Weeks must be non-decreasing in replay order.
+	for i := 1; i < len(b.Trace.WeekOf); i++ {
+		if b.Trace.WeekOf[i] < b.Trace.WeekOf[i-1] {
+			t.Fatal("weeks out of order")
+		}
+	}
+	// Annual sales consistent with weekly sales.
+	var weeklyTotal float64
+	for w := range b.WeeklySales {
+		for _, s := range b.WeeklySales[w] {
+			weeklyTotal += s
+		}
+	}
+	var annualTotal float64
+	for _, s := range b.AnnualSales {
+		annualTotal += s
+	}
+	if math.Abs(weeklyTotal-annualTotal) > 1 {
+		t.Fatalf("weekly %v != annual %v", weeklyTotal, annualTotal)
+	}
+}
+
+func TestBoxOfficeWeeklySkewSharperThanAnnual(t *testing.T) {
+	// The paper's Fig 2 vs Fig 3: each week is more sharply skewed than
+	// the year as a whole. Compare top-1/top-10 ratios.
+	b := BoxOffice2002(42)
+	_, annual := b.TopAnnual(10)
+	if len(annual) < 10 {
+		t.Fatal("fewer than 10 films with sales")
+	}
+	annualRatio := annual[0] / annual[9]
+
+	// Average the weekly ratio over mid-year weeks (all have full release
+	// history).
+	var sum float64
+	var weeks int
+	for w := 20; w < 40; w++ {
+		_, week := b.TopWeek(w, 10)
+		if len(week) < 10 || week[9] <= 0 {
+			continue
+		}
+		sum += week[0] / week[9]
+		weeks++
+	}
+	if weeks == 0 {
+		t.Fatal("no usable weeks")
+	}
+	weeklyRatio := sum / float64(weeks)
+	if weeklyRatio <= annualRatio {
+		t.Fatalf("weekly skew %.1f not sharper than annual %.1f", weeklyRatio, annualRatio)
+	}
+}
+
+func TestBoxOfficePopularityShifts(t *testing.T) {
+	// §4.2: "new movies are released all the time, become immensely
+	// popular for a while, and then rapidly fade away". The week-1 top
+	// film should not still top week 40.
+	b := BoxOffice2002(42)
+	top1, _ := b.TopWeek(1, 1)
+	top40, _ := b.TopWeek(40, 1)
+	if top1[0] == top40[0] {
+		t.Fatalf("week-1 leader %d still leads week 40", top1[0])
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr, err := Synthetic("round-trip", 50, 1000, 1.0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.NumObjects != tr.NumObjects || len(got.Requests) != len(tr.Requests) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range tr.Requests {
+		if got.Requests[i] != tr.Requests[i] {
+			t.Fatalf("request %d mismatch", i)
+		}
+	}
+}
+
+func TestTraceRoundTripWithWeeks(t *testing.T) {
+	b := BoxOffice2002(1)
+	var buf bytes.Buffer
+	if _, err := b.Trace.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Weeks != b.Trace.Weeks || len(got.WeekOf) != len(b.Trace.WeekOf) {
+		t.Fatal("weeks lost in round trip")
+	}
+	for i := range got.WeekOf {
+		if got.WeekOf[i] != b.Trace.WeekOf[i] {
+			t.Fatalf("week %d mismatch", i)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+	// Truncated valid prefix.
+	tr, _ := Synthetic("x", 10, 100, 1, 1)
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	b := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(b[:len(b)/2])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestDeterministicGenerators(t *testing.T) {
+	a, _ := Synthetic("a", 100, 1000, 1.2, 5)
+	b, _ := Synthetic("a", 100, 1000, 1.2, 5)
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatal("synthetic not deterministic")
+		}
+	}
+	x := BoxOffice2002(5)
+	y := BoxOffice2002(5)
+	if len(x.Trace.Requests) != len(y.Trace.Requests) {
+		t.Fatal("box office not deterministic")
+	}
+	for f := range x.AnnualSales {
+		if x.AnnualSales[f] != y.AnnualSales[f] {
+			t.Fatal("box office sales not deterministic")
+		}
+	}
+}

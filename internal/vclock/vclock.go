@@ -1,0 +1,96 @@
+// Package vclock provides a clock abstraction so that experiments which
+// accumulate hours or weeks of imposed delay can run in microseconds of
+// real time. The delay defense only ever adds delay and reads the current
+// time, so a discrete-event simulated clock is behaviourally identical to
+// the wall clock for every quantity the paper reports.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time interface used throughout the library.
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current instant on this clock.
+	Now() time.Time
+	// Sleep blocks the caller for d on this clock's timeline. Negative or
+	// zero durations return immediately.
+	Sleep(d time.Duration)
+}
+
+// Real is the wall clock. The zero value is ready to use.
+type Real struct{}
+
+// Now returns time.Now().
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep calls time.Sleep.
+func (Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Simulated is a discrete-event clock. Sleep advances the clock instantly;
+// Now reports the accumulated virtual instant. It additionally tracks the
+// total slept duration, which the experiment harness reads as "imposed
+// delay" without waiting for it.
+type Simulated struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept time.Duration
+}
+
+// NewSimulated returns a simulated clock starting at the given epoch.
+func NewSimulated(epoch time.Time) *Simulated {
+	return &Simulated{now: epoch}
+}
+
+// Now returns the current virtual instant.
+func (c *Simulated) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the virtual clock by d without blocking.
+func (c *Simulated) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.slept += d
+	c.mu.Unlock()
+}
+
+// Advance moves the clock forward by d without counting it as slept time.
+// It models the passage of background time (e.g. a week of box-office
+// sales) as opposed to imposed delay.
+func (c *Simulated) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Slept reports the total duration passed to Sleep so far.
+func (c *Simulated) Slept() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slept
+}
+
+// ResetSlept zeroes the slept accumulator and returns its prior value.
+// Experiments use it to separate the delay charged to distinct phases.
+func (c *Simulated) ResetSlept() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.slept
+	c.slept = 0
+	return s
+}

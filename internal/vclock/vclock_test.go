@@ -1,0 +1,106 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowMonotonicEnough(t *testing.T) {
+	var c Real
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealSleepNonPositive(t *testing.T) {
+	var c Real
+	start := time.Now()
+	c.Sleep(0)
+	c.Sleep(-time.Hour)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("non-positive sleep blocked")
+	}
+}
+
+func TestSimulatedSleepAdvances(t *testing.T) {
+	epoch := time.Date(2004, 8, 1, 0, 0, 0, 0, time.UTC)
+	c := NewSimulated(epoch)
+	if got := c.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", got, epoch)
+	}
+	c.Sleep(3 * time.Hour)
+	if got := c.Now(); !got.Equal(epoch.Add(3 * time.Hour)) {
+		t.Fatalf("Now after sleep = %v", got)
+	}
+	if got := c.Slept(); got != 3*time.Hour {
+		t.Fatalf("Slept = %v, want 3h", got)
+	}
+}
+
+func TestSimulatedSleepIgnoresNonPositive(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	c.Sleep(0)
+	c.Sleep(-time.Second)
+	if c.Slept() != 0 {
+		t.Fatalf("Slept = %v, want 0", c.Slept())
+	}
+}
+
+func TestSimulatedAdvanceDoesNotCountAsSlept(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	c.Advance(time.Hour)
+	if c.Slept() != 0 {
+		t.Fatalf("Advance counted as slept: %v", c.Slept())
+	}
+	if got := c.Now(); !got.Equal(time.Unix(0, 0).Add(time.Hour)) {
+		t.Fatalf("Now = %v", got)
+	}
+	c.Advance(-time.Minute) // ignored
+	if got := c.Now(); !got.Equal(time.Unix(0, 0).Add(time.Hour)) {
+		t.Fatalf("negative advance moved clock: %v", got)
+	}
+}
+
+func TestSimulatedResetSlept(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	c.Sleep(time.Minute)
+	if got := c.ResetSlept(); got != time.Minute {
+		t.Fatalf("ResetSlept = %v, want 1m", got)
+	}
+	if got := c.Slept(); got != 0 {
+		t.Fatalf("Slept after reset = %v, want 0", got)
+	}
+	c.Sleep(2 * time.Second)
+	if got := c.Slept(); got != 2*time.Second {
+		t.Fatalf("Slept = %v, want 2s", got)
+	}
+}
+
+func TestSimulatedConcurrentSleep(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Duration(workers*perWorker) * time.Millisecond
+	if got := c.Slept(); got != want {
+		t.Fatalf("Slept = %v, want %v", got, want)
+	}
+}
+
+func TestClockInterfaceSatisfied(t *testing.T) {
+	var _ Clock = Real{}
+	var _ Clock = NewSimulated(time.Now())
+}

@@ -1,0 +1,179 @@
+// Package zipf implements the Zipf (power-law) distribution machinery the
+// paper's analysis rests on: a seedable rank sampler, exact and asymptotic
+// median-rank computation (Eq 3), and skew estimation from observed
+// rank-frequency data.
+//
+// In a Zipf distribution with parameter alpha over N ranks, the i-th most
+// popular item is requested with probability proportional to i^(−alpha).
+package zipf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Dist describes a Zipf distribution over ranks 1..N with skew Alpha ≥ 0.
+// Alpha = 0 degenerates to the uniform distribution.
+type Dist struct {
+	N     int
+	Alpha float64
+	// h is the normalizing constant H(N, Alpha) = Σ i^(−Alpha).
+	h float64
+}
+
+// New returns a Dist over ranks 1..n with the given skew. It returns an
+// error if n < 1 or alpha is negative or not finite.
+func New(n int, alpha float64) (*Dist, error) {
+	if n < 1 {
+		return nil, errors.New("zipf: n < 1")
+	}
+	if alpha < 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, errors.New("zipf: invalid alpha")
+	}
+	return &Dist{N: n, Alpha: alpha, h: stats.Harmonic(n, alpha)}, nil
+}
+
+// Prob returns the probability of rank i (1-based). Ranks outside 1..N have
+// probability 0.
+func (d *Dist) Prob(i int) float64 {
+	if i < 1 || i > d.N {
+		return 0
+	}
+	return math.Pow(float64(i), -d.Alpha) / d.h
+}
+
+// Freq returns the request frequency of rank i given total request rate
+// `total` (requests per unit time): total · Prob(i).
+func (d *Dist) Freq(i int, total float64) float64 {
+	return total * d.Prob(i)
+}
+
+// MedianRank returns the smallest rank m such that the cumulative
+// probability of ranks 1..m is at least 1/2. This is the rank of the item a
+// median legitimate request touches.
+func (d *Dist) MedianRank() int {
+	return d.QuantileRank(0.5)
+}
+
+// QuantileRank returns the smallest rank m whose cumulative probability
+// reaches q (0 < q ≤ 1).
+func (d *Dist) QuantileRank(q float64) int {
+	if q <= 0 {
+		return 1
+	}
+	target := q * d.h
+	var cum float64
+	// For large N with small alpha the loop is long; use doubling +
+	// refinement via the integral approximation first.
+	if d.N > 1<<20 {
+		lo, hi := 1, d.N
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if stats.Harmonic(mid, d.Alpha) >= target {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}
+	for i := 1; i <= d.N; i++ {
+		cum += math.Pow(float64(i), -d.Alpha)
+		if cum >= target {
+			return i
+		}
+	}
+	return d.N
+}
+
+// AsymptoticMedianRank returns the Θ-class value for the median rank from
+// the paper's Eq 3:
+//
+//	α < 1: Θ(2^(1/(α−1)) · N)  — a constant fraction of N
+//	α = 1: Θ(√N)
+//	α > 1: Θ(log N)
+//
+// The returned value is the dominant term without hidden constants; tests
+// verify it tracks MedianRank within a constant factor.
+func (d *Dist) AsymptoticMedianRank() float64 {
+	n := float64(d.N)
+	switch {
+	case math.Abs(d.Alpha-1) < 1e-9:
+		return math.Sqrt(n)
+	case d.Alpha < 1:
+		return math.Pow(2, 1/(d.Alpha-1)) * n
+	default:
+		return math.Log(n)
+	}
+}
+
+// Sampler draws ranks from a Dist using a precomputed CDF and binary
+// search. It is deterministic for a fixed seed and safe for use from a
+// single goroutine; create one per goroutine for concurrency.
+type Sampler struct {
+	dist *Dist
+	cdf  []float64
+	rng  *rand.Rand
+}
+
+// NewSampler builds a sampler for d seeded with seed. Building is O(N).
+func NewSampler(d *Dist, seed int64) *Sampler {
+	cdf := make([]float64, d.N)
+	var cum float64
+	for i := 1; i <= d.N; i++ {
+		cum += math.Pow(float64(i), -d.Alpha)
+		cdf[i-1] = cum
+	}
+	// Normalize so the last entry is exactly 1.
+	for i := range cdf {
+		cdf[i] /= cum
+	}
+	cdf[d.N-1] = 1
+	return &Sampler{dist: d, cdf: cdf, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next sampled rank in 1..N.
+func (s *Sampler) Next() int {
+	u := s.rng.Float64()
+	return sort.SearchFloat64s(s.cdf, u) + 1
+}
+
+// Dist returns the distribution this sampler draws from.
+func (s *Sampler) Dist() *Dist { return s.dist }
+
+// EstimateAlpha fits a power law to observed per-item request counts and
+// returns the estimated skew. counts need not be sorted. Items with zero
+// count are ignored. topK limits the fit to the topK most frequent items
+// (0 means all); the head of the distribution is where real traces are most
+// power-law-like.
+func EstimateAlpha(counts []float64, topK int) (float64, error) {
+	s := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		if c > 0 {
+			s = append(s, c)
+		}
+	}
+	if len(s) < 2 {
+		return 0, errors.New("zipf: need at least two nonzero counts")
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	if topK > 0 && topK < len(s) {
+		s = s[:topK]
+	}
+	xs := make([]float64, len(s))
+	for i := range s {
+		xs[i] = float64(i + 1)
+	}
+	alpha, _, err := stats.FitPowerLaw(xs, s)
+	return alpha, err
+}
+
+// Uniform reports whether the distribution is (near) uniform, i.e. the
+// skew is too small for the popularity-based defense to help (paper §2:
+// "If the legitimate query workload has a uniform distribution over the
+// data elements, then the core proposal described here will not work").
+func (d *Dist) Uniform() bool { return d.Alpha < 0.05 }

@@ -1,0 +1,296 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := New(10, -1); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	if _, err := New(10, math.NaN()); err == nil {
+		t.Fatal("NaN alpha accepted")
+	}
+	if _, err := New(10, math.Inf(1)); err == nil {
+		t.Fatal("Inf alpha accepted")
+	}
+	if _, err := New(10, 0); err != nil {
+		t.Fatal("alpha=0 rejected")
+	}
+}
+
+func TestProbSumsToOne(t *testing.T) {
+	for _, alpha := range []float64{0, 0.5, 1, 1.5, 2.5} {
+		d, err := New(1000, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := 1; i <= d.N; i++ {
+			sum += d.Prob(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%v: probs sum to %v", alpha, sum)
+		}
+	}
+}
+
+func TestProbOutOfRange(t *testing.T) {
+	d, _ := New(10, 1)
+	if d.Prob(0) != 0 || d.Prob(11) != 0 || d.Prob(-3) != 0 {
+		t.Fatal("out-of-range rank has nonzero probability")
+	}
+}
+
+func TestProbMonotoneDecreasing(t *testing.T) {
+	d, _ := New(100, 1.2)
+	for i := 2; i <= d.N; i++ {
+		if d.Prob(i) > d.Prob(i-1) {
+			t.Fatalf("Prob(%d) > Prob(%d)", i, i-1)
+		}
+	}
+}
+
+func TestFreq(t *testing.T) {
+	d, _ := New(10, 1)
+	if got, want := d.Freq(1, 100), 100*d.Prob(1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Freq = %v, want %v", got, want)
+	}
+}
+
+func TestUniformDetection(t *testing.T) {
+	u, _ := New(10, 0)
+	if !u.Uniform() {
+		t.Fatal("alpha=0 not detected as uniform")
+	}
+	z, _ := New(10, 1.5)
+	if z.Uniform() {
+		t.Fatal("alpha=1.5 detected as uniform")
+	}
+}
+
+func TestMedianRankUniform(t *testing.T) {
+	d, _ := New(100, 0)
+	m := d.MedianRank()
+	if m != 50 {
+		t.Fatalf("uniform median rank = %d, want 50", m)
+	}
+}
+
+func TestMedianRankSkewed(t *testing.T) {
+	// With strong skew the median request lands on a very early rank.
+	d, _ := New(100000, 1.5)
+	m := d.MedianRank()
+	if m > 100 {
+		t.Fatalf("alpha=1.5 median rank = %d, expected small", m)
+	}
+	// Weak skew: median rank is a large fraction of N.
+	d2, _ := New(100000, 0.5)
+	m2 := d2.MedianRank()
+	if m2 < 10000 {
+		t.Fatalf("alpha=0.5 median rank = %d, expected large", m2)
+	}
+	if m2 <= m {
+		t.Fatal("median rank should grow as skew falls")
+	}
+}
+
+func TestQuantileRankBounds(t *testing.T) {
+	d, _ := New(1000, 1)
+	if d.QuantileRank(0) != 1 {
+		t.Fatal("q=0 rank != 1")
+	}
+	if d.QuantileRank(1) != 1000 {
+		t.Fatalf("q=1 rank = %d, want N", d.QuantileRank(1))
+	}
+	// Monotone in q.
+	prev := 0
+	for q := 0.1; q <= 1.0; q += 0.1 {
+		r := d.QuantileRank(q)
+		if r < prev {
+			t.Fatalf("QuantileRank not monotone at q=%v", q)
+		}
+		prev = r
+	}
+}
+
+func TestQuantileRankLargeNBinarySearch(t *testing.T) {
+	// Exercise the binary-search path (N > 2^20) and check against the
+	// loop path on a distribution where both are feasible... instead use
+	// consistency: cumulative prob at returned rank must straddle q.
+	d, _ := New(1<<21, 1.0)
+	m := d.MedianRank()
+	if m < 1 || m > d.N {
+		t.Fatalf("median rank out of bounds: %d", m)
+	}
+	// For alpha=1, median rank ≈ sqrt(N) asymptotically.
+	want := math.Sqrt(float64(d.N))
+	if float64(m) < want/100 || float64(m) > want*100 {
+		t.Fatalf("median rank %d far from Θ(√N)=%v", m, want)
+	}
+}
+
+func TestAsymptoticMedianRankRegimes(t *testing.T) {
+	n := 1 << 16
+	lt, _ := New(n, 0.5)
+	eq, _ := New(n, 1.0)
+	gt, _ := New(n, 1.5)
+	if lt.AsymptoticMedianRank() <= eq.AsymptoticMedianRank() {
+		t.Fatal("alpha<1 asymptotic median should exceed alpha=1")
+	}
+	if eq.AsymptoticMedianRank() <= gt.AsymptoticMedianRank() {
+		t.Fatal("alpha=1 asymptotic median should exceed alpha>1")
+	}
+	if got := gt.AsymptoticMedianRank(); math.Abs(got-math.Log(float64(n))) > 1e-9 {
+		t.Fatalf("alpha>1 asymptotic = %v, want log N", got)
+	}
+}
+
+func TestAsymptoticTracksExactForAlphaGT1(t *testing.T) {
+	// Exact median rank should be within a constant factor of log N.
+	for _, n := range []int{1000, 10000, 100000} {
+		d, _ := New(n, 1.5)
+		exact := float64(d.MedianRank())
+		asym := d.AsymptoticMedianRank()
+		if exact > 20*asym || asym > 20*exact {
+			t.Fatalf("n=%d: exact=%v asym=%v diverge", n, exact, asym)
+		}
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	d, _ := New(1000, 1.2)
+	a := NewSampler(d, 7)
+	b := NewSampler(d, 7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if a.Dist() != d {
+		t.Fatal("Dist accessor wrong")
+	}
+}
+
+func TestSamplerRange(t *testing.T) {
+	d, _ := New(50, 2)
+	s := NewSampler(d, 1)
+	for i := 0; i < 10000; i++ {
+		r := s.Next()
+		if r < 1 || r > 50 {
+			t.Fatalf("sample out of range: %d", r)
+		}
+	}
+}
+
+func TestSamplerMatchesDistribution(t *testing.T) {
+	d, _ := New(100, 1.0)
+	s := NewSampler(d, 99)
+	const n = 200000
+	counts := make([]int, d.N+1)
+	for i := 0; i < n; i++ {
+		counts[s.Next()]++
+	}
+	// Empirical frequency of rank 1 should be close to Prob(1).
+	for _, rank := range []int{1, 2, 5, 10} {
+		emp := float64(counts[rank]) / n
+		want := d.Prob(rank)
+		if math.Abs(emp-want) > 0.02+0.2*want {
+			t.Errorf("rank %d: empirical %v vs theoretical %v", rank, emp, want)
+		}
+	}
+	// Rank 1 must dominate rank 100 heavily.
+	if counts[1] < 10*counts[100] {
+		t.Errorf("rank 1 count %d not ≫ rank 100 count %d", counts[1], counts[100])
+	}
+}
+
+func TestSamplerUniformAlphaZero(t *testing.T) {
+	d, _ := New(10, 0)
+	s := NewSampler(d, 3)
+	counts := make([]int, 11)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Next()]++
+	}
+	for r := 1; r <= 10; r++ {
+		emp := float64(counts[r]) / n
+		if math.Abs(emp-0.1) > 0.01 {
+			t.Fatalf("rank %d empirical %v, want ~0.1", r, emp)
+		}
+	}
+}
+
+func TestEstimateAlphaRecovers(t *testing.T) {
+	for _, trueAlpha := range []float64{0.5, 1.0, 1.5, 2.0} {
+		counts := make([]float64, 500)
+		for i := range counts {
+			counts[i] = 1e6 * math.Pow(float64(i+1), -trueAlpha)
+		}
+		got, err := EstimateAlpha(counts, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-trueAlpha) > 0.01 {
+			t.Errorf("EstimateAlpha = %v, want %v", got, trueAlpha)
+		}
+	}
+}
+
+func TestEstimateAlphaFromSamples(t *testing.T) {
+	d, _ := New(2000, 1.5)
+	s := NewSampler(d, 5)
+	counts := make([]float64, d.N)
+	for i := 0; i < 2_000_000; i++ {
+		counts[s.Next()-1]++
+	}
+	got, err := EstimateAlpha(counts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.5) > 0.15 {
+		t.Fatalf("EstimateAlpha from samples = %v, want ≈1.5", got)
+	}
+}
+
+func TestEstimateAlphaErrors(t *testing.T) {
+	if _, err := EstimateAlpha(nil, 0); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := EstimateAlpha([]float64{5, 0, 0}, 0); err == nil {
+		t.Fatal("single nonzero accepted")
+	}
+}
+
+func TestQuantileRankProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		alpha := math.Mod(math.Abs(float64(seed%100))/40.0, 2.5)
+		d, err := New(500, alpha)
+		if err != nil {
+			return false
+		}
+		// CDF at QuantileRank(q) must be ≥ q and CDF at rank−1 < q.
+		for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			r := d.QuantileRank(q)
+			var cum float64
+			for i := 1; i <= r; i++ {
+				cum += d.Prob(i)
+			}
+			if cum < q-1e-9 {
+				return false
+			}
+			if r > 1 && cum-d.Prob(r) >= q+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

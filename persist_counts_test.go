@@ -1,0 +1,104 @@
+package delaydefense
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestLearnedCountsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{N: 100, Alpha: 1, Beta: 2, Cap: 10 * time.Second,
+		Clock: NewSimulatedClock(time.Unix(0, 0))}
+	db, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	for i := 0; i < 100; i++ {
+		db.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i))
+	}
+	// Learn: tuple 7 is hot.
+	for i := 0; i < 500; i++ {
+		if _, _, err := db.Query("u", `SELECT * FROM t WHERE id = 7`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, hotBefore, _ := db.Query("u", `SELECT * FROM t WHERE id = 7`)
+	if hotBefore.Delay >= time.Second {
+		t.Fatalf("hot delay before restart = %v", hotBefore.Delay)
+	}
+	if err := db.SaveLearnedCounts(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: without loading, the tuple would be cold (cap). With
+	// LoadLearnedCounts it stays cheap.
+	db2, err := Open(dir, Config{N: 100, Alpha: 1, Beta: 2, Cap: 10 * time.Second,
+		Clock: NewSimulatedClock(time.Unix(0, 0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.LoadLearnedCounts(); err != nil {
+		t.Fatal(err)
+	}
+	_, hotAfter, err := db2.Query("u", `SELECT * FROM t WHERE id = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hotAfter.Delay >= time.Second {
+		t.Fatalf("hot tuple cold after restart: %v", hotAfter.Delay)
+	}
+	// A never-seen tuple still pays the cap.
+	_, cold, _ := db2.Query("u", `SELECT * FROM t WHERE id = 99`)
+	if cold.Delay != 10*time.Second {
+		t.Fatalf("cold delay = %v", cold.Delay)
+	}
+}
+
+func TestLoadLearnedCountsColdStartIsFine(t *testing.T) {
+	db := openTestDB(t, Config{N: 10, Alpha: 1, Beta: 1, Cap: time.Second})
+	if err := db.LoadLearnedCounts(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Shield().Tracker().Len(); got != 0 {
+		t.Fatalf("tracker len = %d after empty load", got)
+	}
+}
+
+func TestLearnedCountsAdaptiveRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{N: 50, Alpha: 1, Beta: 1, Cap: time.Second,
+		Clock:              NewSimulatedClock(time.Unix(0, 0)),
+		AdaptiveDecayRates: []float64{1, 1.05}}
+	db, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	db.Exec(`INSERT INTO t VALUES (1), (2)`)
+	for i := 0; i < 50; i++ {
+		db.Query("u", `SELECT * FROM t WHERE id = 1`)
+	}
+	if err := db.SaveLearnedCounts(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.LoadLearnedCounts(); err != nil {
+		t.Fatal(err)
+	}
+	// Every adaptive tracker was seeded.
+	if db2.Shield().Tracker().Count(1) != 50 {
+		t.Fatalf("imported count = %v", db2.Shield().Tracker().Count(1))
+	}
+}
