@@ -3,9 +3,19 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench repro repro-fast examples fuzz clean
+.PHONY: all check build vet test race cover bench repro repro-fast examples fuzz clean
 
 all: build vet test
+
+# What CI runs: everything that must pass before a merge. The targeted
+# -race pass covers the packages with real concurrency (the shield's
+# cancellable query path and the rate limiter) without the cost of racing
+# the whole tree.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/core/... ./internal/ratelimit/...
 
 build:
 	$(GO) build ./...

@@ -7,6 +7,7 @@ package delaydefense
 // paper-scale numbers recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -318,6 +319,65 @@ func BenchmarkShieldQueryParallel(b *testing.B) {
 	})
 }
 
+func openAdaptiveBenchDB(b *testing.B) *DB {
+	b.Helper()
+	db, err := Open(b.TempDir(), Config{
+		N: 1000, Alpha: 1, Beta: 2, Cap: 10 * time.Second,
+		Clock:              benchClock{},
+		AdaptiveDecayRates: []float64{1, 1.02, 1.05},
+		AdaptiveWarmup:     10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(`CREATE TABLE items (id INT PRIMARY KEY, v TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO items VALUES (%d, 'v')`, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm the adaptive selector so quoting happens in steady state.
+	for i := 0; i < 200; i++ {
+		db.Query("warm", fmt.Sprintf(`SELECT * FROM items WHERE id = %d`, i%50))
+	}
+	return db
+}
+
+// BenchmarkAdaptiveQuoteBatch prices a 1000-tuple extraction in one call:
+// the gate pins the active adaptive policy once for the whole batch, so
+// the rate-selection lock is taken once per 1000 tuples.
+func BenchmarkAdaptiveQuoteBatch(b *testing.B) {
+	db := openAdaptiveBenchDB(b)
+	ids := make([]uint64, 1000)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = db.QuoteExtraction(ids)
+	}
+}
+
+// BenchmarkAdaptiveQuotePerTuple prices the same 1000 tuples one call at
+// a time — each call re-resolves the active policy, the per-tuple lock
+// churn the batch path eliminates. The gap against
+// BenchmarkAdaptiveQuoteBatch is the win (normalize by the 1000:1 batch
+// ratio when comparing per-op times).
+func BenchmarkAdaptiveQuotePerTuple(b *testing.B) {
+	db := openAdaptiveBenchDB(b)
+	one := make([]uint64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for id := uint64(0); id < 1000; id++ {
+			one[0] = id
+			_ = db.QuoteExtraction(one)
+		}
+	}
+}
+
 // BenchmarkEngineSelect measures the bare engine point lookup for
 // comparison with BenchmarkShieldQuery — the per-query cost of the
 // defense is the difference.
@@ -368,6 +428,7 @@ type benchClock struct{}
 
 func (benchClock) Now() time.Time        { return time.Unix(0, 0) }
 func (benchClock) Sleep(_ time.Duration) {}
+func (benchClock) SleepCtx(ctx context.Context, _ time.Duration) error { return ctx.Err() }
 
 // Replay benchmark: the §2.3 learning path at trace speed.
 func BenchmarkTraceReplayLearning(b *testing.B) {

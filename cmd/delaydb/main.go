@@ -6,10 +6,16 @@
 //	delaydb -dir ./data -addr :8080 -n 100000 [-alpha 1.0] [-beta 2.0]
 //	        [-cap 10s] [-decay 1.0] [-policy popularity|updaterate]
 //	        [-rate 0] [-burst 10] [-subnets] [-reginterval 0]
+//	        [-deadline 0]
 //
 // Endpoints: POST /query {"sql": "..."} (identity from X-Identity header
 // or client address), POST /register {"identity": "..."}, GET /stats,
-// GET /healthz.
+// GET /metrics (instrument snapshot as JSON, including the delay-seconds
+// histogram and rejection counters), GET /healthz.
+//
+// With -deadline set, a query whose policy delay outlives the budget is
+// cancelled and answered with HTTP 504; the delay is still charged, so
+// impatient clients cannot probe prices for free.
 package main
 
 import (
@@ -38,6 +44,7 @@ func main() {
 		burst       = flag.Float64("burst", 10, "per-identity burst")
 		subnets     = flag.Bool("subnets", false, "aggregate identities by /24 (IPv4) or /48 (IPv6)")
 		regInterval = flag.Duration("reginterval", 0, "minimum interval between new registrations (0 = off)")
+		deadline    = flag.Duration("deadline", 0, "per-request query deadline; exceeding it returns 504 with the delay still charged (0 = none)")
 		wal         = flag.Bool("wal", false, "enable write-ahead logging with crash recovery")
 		walSync     = flag.Bool("walsync", false, "fsync the WAL on every commit (implies -wal)")
 		initFile    = flag.String("init", "", "SQL script (semicolon-separated) executed on the admin path at startup")
@@ -87,11 +94,12 @@ func main() {
 		fmt.Printf("delaydb: init script ran %d statements\n", len(results))
 	}
 
-	h, err := db.Handler()
+	h, err := db.HandlerWithDeadline(*deadline)
 	if err != nil {
 		log.Fatalf("delaydb: %v", err)
 	}
-	fmt.Printf("delaydb: serving %s on %s (policy=%s, cap=%v, N=%d)\n",
-		*dir, *addr, *policy, *capDur, *n)
+	fmt.Printf("delaydb: serving %s on %s (policy=%s, cap=%v, N=%d, deadline=%v)\n",
+		*dir, *addr, *policy, *capDur, *n, *deadline)
+	fmt.Printf("delaydb: instrument snapshot at GET /metrics\n")
 	log.Fatal(http.ListenAndServe(*addr, h))
 }

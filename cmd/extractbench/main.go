@@ -12,18 +12,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	delaydefense "repro"
 	"repro/internal/experiments"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (all, fig1..fig6, table1..table5, model, ablation, sybil, storefront)")
+		exp       = flag.String("exp", "all", "experiment to run (all, fig1..fig6, table1..table5, model, ablation, sybil, storefront, metrics)")
 		scale     = flag.Int("scale", 1, "divide Calgary-shaped workload sizes by this factor")
 		seed      = flag.Int64("seed", 2004, "random seed for synthetic workloads")
 		traceFile = flag.String("tracefile", "", "replay this trace file (cmd/tracegen format) for fig1/table3 instead of the synthetic Calgary workload")
@@ -204,6 +207,12 @@ func run(exp string, scale int, seed int64, traceFile string) error {
 		tab.Print(os.Stdout)
 		ran = true
 	}
+	if exp == "metrics" {
+		if err := metricsDemo(scale); err != nil {
+			return err
+		}
+		ran = true
+	}
 	if exp == "ablation" || exp == "ablations" {
 		dir, err := os.MkdirTemp("", "extractbench-ablation-*")
 		if err != nil {
@@ -221,4 +230,52 @@ func run(exp string, scale int, seed int64, traceFile string) error {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+// metricsDemo runs a skewed front-door workload with a fraction of
+// abandoned (cancelled) queries through a shielded database and prints
+// the resulting instrument snapshot — the delay-seconds histogram, the
+// served/cancelled split, and the rejection counters — as JSON.
+func metricsDemo(scale int) error {
+	n := 1000 / scale
+	if n < 100 {
+		n = 100
+	}
+	dir, err := os.MkdirTemp("", "extractbench-metrics-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	db, err := delaydefense.Open(dir, delaydefense.Config{
+		N: n, Alpha: 1, Beta: 2, Cap: 10 * time.Second,
+		Clock:     delaydefense.NewSimulatedClock(time.Unix(0, 0)),
+		QueryRate: 50, QueryBurst: 100,
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE items (id INT PRIMARY KEY, v TEXT)`); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO items VALUES (%d, 'v%d')`, i, i)); err != nil {
+			return err
+		}
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel() // pre-cancelled: these queries abandon at the gate, still charged
+	for i := 0; i < 4*n; i++ {
+		// Harmonic-ish skew: low ids dominate, the tail stays cold.
+		id := (i * i) % n
+		sql := fmt.Sprintf(`SELECT * FROM items WHERE id = %d`, id)
+		ctx := context.Background()
+		if i%5 == 4 {
+			ctx = cancelled
+		}
+		// Rate-limit rejections and cancellations are the point, not errors.
+		db.QueryCtx(ctx, fmt.Sprintf("robot-%d", i%3), sql)
+	}
+	fmt.Println("instrument snapshot after the workload (GET /metrics serves the same):")
+	return db.Metrics().WriteJSON(os.Stdout)
 }

@@ -32,11 +32,13 @@
 package delaydefense
 
 import (
+	"context"
 	"net/http"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/vclock"
 )
@@ -120,6 +122,19 @@ func (d *DB) Query(identity, sql string) (*Result, QueryStats, error) {
 	return d.shield.Query(identity, sql)
 }
 
+// QueryCtx is Query with cancellation: when ctx is cancelled or its
+// deadline passes mid-delay, the call returns promptly with the context's
+// error. The attempt is still charged — access observations are recorded
+// and the rate-limit token is burned — so cancellation cannot be used to
+// probe delays for free.
+func (d *DB) QueryCtx(ctx context.Context, identity, sql string) (*Result, QueryStats, error) {
+	return d.shield.QueryCtx(ctx, identity, sql)
+}
+
+// Metrics returns the shield's instrument registry (counters, gauges and
+// the delay histogram); Metrics().Handler() serves it as JSON.
+func (d *DB) Metrics() *metrics.Registry { return d.shield.Metrics() }
+
 // Exec executes sql directly against the engine, bypassing the shield.
 // It is the administrative path for loading data and schema changes; do
 // not expose it to untrusted clients.
@@ -143,9 +158,20 @@ func (d *DB) QuoteExtraction(ids []uint64) time.Duration {
 func (d *DB) Shield() *core.Shield { return d.shield }
 
 // Handler returns an http.Handler serving the shielded query API
-// (POST /query, POST /register, GET /stats, GET /healthz).
+// (POST /query, POST /register, GET /stats, GET /metrics, GET /healthz).
 func (d *DB) Handler() (http.Handler, error) {
 	srv, err := server.New(d.shield)
+	if err != nil {
+		return nil, err
+	}
+	return srv.Handler(), nil
+}
+
+// HandlerWithDeadline is Handler with a per-request query deadline: a
+// query whose policy delay outlives d is cancelled and answered with
+// HTTP 504 — still charged. Zero means no deadline.
+func (d *DB) HandlerWithDeadline(deadline time.Duration) (http.Handler, error) {
+	srv, err := server.New(d.shield, server.WithQueryDeadline(deadline))
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -108,3 +109,4 @@ type noopClock struct{}
 
 func (noopClock) Now() time.Time        { return time.Unix(0, 0) }
 func (noopClock) Sleep(_ time.Duration) {}
+func (noopClock) SleepCtx(ctx context.Context, _ time.Duration) error { return ctx.Err() }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// TestCancelledQueryStillCharges is the anti-free-probe invariant on a
+// real clock: a cancelled QueryCtx must return context.Canceled promptly
+// (far sooner than the quoted delay), yet the access observations, the
+// rate-limit token, and the cancellation metric must all reflect the
+// attempt as if it had been served.
+func TestCancelledQueryStillCharges(t *testing.T) {
+	db := testDB(t, 50)
+	// Real clock: a cold tuple quotes the full 30s cap, which the test
+	// must not wait out.
+	s, err := New(db, Config{
+		N: 50, Alpha: 1, Beta: 2, Cap: 30 * time.Second, Clock: vclock.Real{},
+		QueryRate: 1e-9, QueryBurst: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		stats QueryStats
+		err   error
+	}
+	done := make(chan result, 1)
+	start := time.Now()
+	go func() {
+		_, stats, err := s.QueryCtx(ctx, "robot", `SELECT * FROM items WHERE id = 7`)
+		done <- result{stats, err}
+	}()
+	// Give the goroutine a moment to reach the sleep, then cancel.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	var res result
+	select {
+	case res = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled query never returned")
+	}
+	elapsed := time.Since(start)
+	if !errors.Is(res.err, context.Canceled) {
+		t.Fatalf("err = %v", res.err)
+	}
+	// Prompt: well under the 30s quote.
+	if elapsed >= 5*time.Second {
+		t.Fatalf("cancellation took %v against a 30s quote", elapsed)
+	}
+	if res.stats.Delay != 30*time.Second || res.stats.Tuples != 1 {
+		t.Fatalf("stats = %+v, want full 30s quote for 1 tuple", res.stats)
+	}
+
+	// 1. The access observation was recorded: the tuple is now tracked.
+	if s.Tracker().Count(7) != 1 {
+		t.Fatalf("tracker count = %v; cancellation was a free probe", s.Tracker().Count(7))
+	}
+	// 2. The rate-limit token was burned: with burst 1 and a glacial
+	// refill rate, the same principal is now rejected outright.
+	if _, _, err := s.QueryCtx(context.Background(), "robot", `SELECT * FROM items WHERE id = 8`); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("second query err = %v, want rate limited", err)
+	}
+	// 3. The cancellation metric reflects the attempt, and nothing was
+	// counted as served.
+	if got := s.Metrics().Counter("shield_queries_cancelled_total").Value(); got != 1 {
+		t.Fatalf("cancelled metric = %d", got)
+	}
+	if got := s.Metrics().Counter("shield_queries_served_total").Value(); got != 0 {
+		t.Fatalf("served metric = %d", got)
+	}
+	if s.QueriesServed() != 0 {
+		t.Fatalf("QueriesServed = %d after a cancelled query", s.QueriesServed())
+	}
+}
+
+// TestCancelledQueryDeterministic exercises the same invariant on a
+// blocking simulated clock: the sleeper parks, the test cancels, and the
+// wake-up is deterministic — no real time involved.
+func TestCancelledQueryDeterministic(t *testing.T) {
+	db := testDB(t, 20)
+	clk := simClock()
+	clk.SetBlocking(true)
+	s, err := New(db, Config{N: 20, Alpha: 1, Beta: 1, Cap: time.Hour, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := s.QueryCtx(ctx, "u", `SELECT * FROM items WHERE id = 5`)
+		errc <- err
+	}()
+	// Wait until the query goroutine is parked in the delay sleep.
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.Waiters() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never reached the delay gate")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	if got := s.Metrics().Gauge("shield_inflight_delays").Value(); got != 1 {
+		t.Fatalf("inflight gauge = %d while parked", got)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Tracker().Count(5) != 1 {
+		t.Fatal("cancelled query did not record its observation")
+	}
+	if got := s.Metrics().Gauge("shield_inflight_delays").Value(); got != 0 {
+		t.Fatalf("inflight gauge = %d after cancel", got)
+	}
+	// The clock never advanced: the cancelled sleep was not served.
+	if clk.Slept() != 0 {
+		t.Fatalf("slept = %v", clk.Slept())
+	}
+
+	// A deadline-expired context is charged the same way.
+	clk.SetBlocking(false)
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	_, _, err = s.QueryCtx(dctx, "u", `SELECT * FROM items WHERE id = 6`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Tracker().Count(6) != 1 {
+		t.Fatal("deadline-expired query did not record its observation")
+	}
+	if got := s.Metrics().Counter("shield_queries_cancelled_total").Value(); got != 2 {
+		t.Fatalf("cancelled metric = %d", got)
+	}
+}
+
+// TestQueryDelegatesToQueryCtx: the legacy path still serves, uncancelled.
+func TestQueryDelegatesToQueryCtx(t *testing.T) {
+	db := testDB(t, 10)
+	clk := simClock()
+	s, err := New(db, Config{N: 10, Alpha: 1, Beta: 1, Cap: time.Second, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := s.Query("u", `SELECT * FROM items WHERE id = 1`)
+	if err != nil || res == nil || stats.Tuples != 1 {
+		t.Fatalf("res=%v stats=%+v err=%v", res, stats, err)
+	}
+	if got := s.Metrics().Counter("shield_queries_served_total").Value(); got != 1 {
+		t.Fatalf("served metric = %d", got)
+	}
+	if h := s.Metrics().Histogram("shield_query_delay_seconds", nil); h.Count() != 1 {
+		t.Fatalf("delay histogram count = %d", h.Count())
+	}
+}

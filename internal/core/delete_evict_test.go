@@ -21,9 +21,32 @@ func TestDeleteEvictsFromTracker(t *testing.T) {
 	if s.Tracker().Count(3) != 0 {
 		t.Fatalf("deleted tuple still tracked: %v", s.Tracker().Count(3))
 	}
-	// Deleting does not bump versions (nothing left to be stale against).
-	if s.Versions().Version(3) != 0 {
-		t.Fatalf("delete bumped version: %v", s.Versions().Version(3))
+	// Deleting bumps the version (a tombstone): a tuple removed after
+	// extraction is maximally stale, and StaleFraction must say so.
+	if s.Versions().Version(3) == 0 {
+		t.Fatal("delete left no tombstone version")
+	}
+}
+
+// TestDeleteMakesExtractedCopyStale is the staleness-undercount
+// regression: an adversary snapshots a tuple, the tuple is deleted, and
+// the snapshot must now count as stale rather than fresh.
+func TestDeleteMakesExtractedCopyStale(t *testing.T) {
+	db := testDB(t, 20)
+	s, _ := New(db, Config{N: 20, Alpha: 1, Beta: 1, Cap: time.Second, Clock: simClock()})
+	snap := s.Snapshot([]uint64{3, 4})
+	if got := s.StaleFraction(snap); got != 0 {
+		t.Fatalf("fresh snapshot already stale: %v", got)
+	}
+	if _, _, err := s.Query("u", `DELETE FROM items WHERE id = 3`); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.StaleFraction(snap); got != 0.5 {
+		t.Fatalf("StaleFraction after delete = %v, want 0.5", got)
+	}
+	// The tombstone survives even though the tuple left every tracker.
+	if s.Tracker().Count(3) != 0 {
+		t.Fatal("deleted tuple still tracked")
 	}
 }
 

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/vclock"
+)
+
+// TestRaceQueryCtxSaveCountsTopK races the paths that share the tracker
+// and the delays reservoir and had never been exercised together:
+// concurrent QueryCtx (some cancelled mid-delay), SaveCounts snapshots,
+// and TopK rank scans, on one adaptive shield under -race.
+func TestRaceQueryCtxSaveCountsTopK(t *testing.T) {
+	db := testDB(t, 100)
+	s, err := New(db, Config{
+		// Real clock with a microscopic cap: delays are genuinely slept
+		// (so cancellation can land mid-sleep) but the test stays fast.
+		N: 100, Alpha: 1, Beta: 1, Cap: 200 * time.Microsecond, Clock: vclock.Real{},
+		AdaptiveDecayRates: []float64{1, 1.05},
+		AdaptiveWarmup:     10,
+		QueryRate:          1e6, QueryBurst: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		queriers = 4
+		perG     = 60
+	)
+	var wg sync.WaitGroup
+	// Query workers: even iterations run to completion, odd ones get a
+	// context that may expire mid-delay.
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sql := fmt.Sprintf(`SELECT * FROM items WHERE id = %d`, (g*perG+i)%100)
+				if i%2 == 0 {
+					if _, _, err := s.QueryCtx(context.Background(), "u", sql); err != nil {
+						t.Errorf("query: %v", err)
+						return
+					}
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Microsecond)
+				s.QueryCtx(ctx, "u", sql) // cancellation is an expected outcome
+				cancel()
+			}
+		}(g)
+	}
+	// Snapshot worker: SaveCounts exports the live tracker repeatedly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		store := counters.NewMapStore()
+		for i := 0; i < 40; i++ {
+			if err := s.SaveCounts(store); err != nil {
+				t.Errorf("save: %v", err)
+				return
+			}
+		}
+	}()
+	// Rank worker: TopK walks the tracker's order statistics.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			ids, countsOut := s.TopK(10)
+			if len(ids) != len(countsOut) {
+				t.Errorf("TopK lengths diverge: %d vs %d", len(ids), len(countsOut))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	served := s.Metrics().Counter("shield_queries_served_total").Value()
+	cancelled := s.Metrics().Counter("shield_queries_cancelled_total").Value()
+	if served+cancelled != queriers*perG {
+		t.Fatalf("served %d + cancelled %d != %d issued", served, cancelled, queriers*perG)
+	}
+	if served < queriers*perG/2 {
+		t.Fatalf("served %d < the %d uncancellable queries issued", served, queriers*perG/2)
+	}
+	if s.Metrics().Gauge("shield_inflight_delays").Value() != 0 {
+		t.Fatal("inflight gauge nonzero after quiescence")
+	}
+}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/delay"
 	"repro/internal/engine"
 	"repro/internal/freshness"
+	"repro/internal/metrics"
 	"repro/internal/ratelimit"
 	"repro/internal/sqlmini"
 	"repro/internal/stats"
@@ -145,6 +147,20 @@ type Shield struct {
 	versions  *freshness.Store
 	delays    *stats.Reservoir
 	started   time.Time
+	met       shieldMetrics
+}
+
+// shieldMetrics is the shield's operational instrumentation, exported as
+// JSON through Metrics().Handler() (the server mounts it at /metrics).
+type shieldMetrics struct {
+	registry *metrics.Registry
+	// served counts SELECTs whose full delay was paid; cancelled counts
+	// SELECTs whose sleep was cut short by context cancellation or
+	// deadline (their tokens and observations are charged regardless).
+	served    *metrics.Counter
+	cancelled *metrics.Counter
+	writes    *metrics.Counter
+	tuples    *metrics.Counter
 }
 
 // adaptivePolicy serves delays from whichever tracker the multi-decay
@@ -156,10 +172,17 @@ type adaptivePolicy struct {
 
 // Delay implements delay.Policy.
 func (a *adaptivePolicy) Delay(id uint64) time.Duration {
+	return a.ResolveBatch().Delay(id)
+}
+
+// ResolveBatch implements delay.BatchResolver: the active tracker index
+// is resolved under multiMu once per Quote/Charge batch, not once per
+// tuple — a 10k-tuple SELECT costs one lock round-trip instead of 10k.
+func (a *adaptivePolicy) ResolveBatch() delay.Policy {
 	a.shield.multiMu.Lock()
 	_, idx := a.shield.multi.Active()
 	a.shield.multiMu.Unlock()
-	return a.pols[idx].Delay(id)
+	return a.pols[idx]
 }
 
 // New wraps db in a Shield.
@@ -244,6 +267,29 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 	}
 	s.gate = gate
 
+	reg := metrics.NewRegistry()
+	s.met = shieldMetrics{
+		registry:  reg,
+		served:    reg.Counter("shield_queries_served_total"),
+		cancelled: reg.Counter("shield_queries_cancelled_total"),
+		writes:    reg.Counter("shield_write_statements_total"),
+		tuples:    reg.Counter("shield_tuples_charged_total"),
+	}
+	// Rejection counters exist (at zero) even when the corresponding
+	// defense is off, so dashboards see a stable schema.
+	reg.Counter("shield_rate_limit_rejections_total")
+	reg.Counter("shield_registration_rejections_total")
+	gate.Instrument(
+		reg.Gauge("shield_inflight_delays"),
+		reg.Histogram("shield_query_delay_seconds", metrics.DefaultDelayBuckets()),
+	)
+	reg.GaugeFunc("shield_tracker_size", func() float64 { return float64(s.Tracker().Len()) })
+	if s.updPolicy != nil {
+		reg.GaugeFunc("shield_update_tracker_size", func() float64 {
+			return float64(s.updPolicy.Tracker().Len())
+		})
+	}
+
 	if cfg.QueryRate > 0 {
 		burst := cfg.QueryBurst
 		if burst < 1 {
@@ -253,17 +299,27 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 		if err != nil {
 			return nil, err
 		}
+		lim.SetRejectionCounter(reg.Counter("shield_rate_limit_rejections_total"))
+		reg.GaugeFunc("shield_limiter_principals", func() float64 { return float64(lim.Principals()) })
 		s.limiter = lim
 	}
 	if cfg.RegistrationInterval > 0 {
-		reg, err := ratelimit.NewRegistrationThrottle(cfg.RegistrationInterval, cfg.Clock)
+		regThrottle, err := ratelimit.NewRegistrationThrottle(cfg.RegistrationInterval, cfg.Clock)
 		if err != nil {
 			return nil, err
 		}
-		s.registrar = reg
+		regThrottle.SetRejectionCounter(reg.Counter("shield_registration_rejections_total"))
+		reg.GaugeFunc("shield_registrations_granted", func() float64 {
+			return float64(regThrottle.Granted())
+		})
+		s.registrar = regThrottle
 	}
 	return s, nil
 }
+
+// Metrics returns the shield's instrument registry; serve its Handler at
+// GET /metrics (internal/server does).
+func (s *Shield) Metrics() *metrics.Registry { return s.met.registry }
 
 // DB returns the wrapped database — the unprotected back door, used by
 // loaders and experiments. Production front ends expose only the Shield.
@@ -337,11 +393,27 @@ func (s *Shield) Register(identity string) error {
 var ErrExplainBlocked = errors.New("core: EXPLAIN is not available through the shielded front door")
 
 // Query executes sql on behalf of identity, imposing the policy delay on
-// returned tuples before the result is released. Write statements bump
-// tuple versions (and feed the update-rate policy) instead of being
-// delayed; DELETE additionally evicts the tuples from the popularity
-// tracking so dead tuples stop occupying ranks.
+// returned tuples before the result is released. It is QueryCtx with an
+// uncancellable context.
 func (s *Shield) Query(identity, sql string) (*engine.Result, QueryStats, error) {
+	return s.QueryCtx(context.Background(), identity, sql)
+}
+
+// QueryCtx is Query with cancellation: if ctx is cancelled or its
+// deadline passes while the policy delay is being served, the call
+// returns ctx's error promptly (on a real clock, without waiting out the
+// remaining delay) and the result is withheld.
+//
+// Cancellation is NOT a refund. The rate-limit token is burned at entry,
+// and the access observations are recorded even when the sleep is cut
+// short — otherwise an adversary could quote the delay oracle for free by
+// issuing queries and cancelling them the moment the response failed to
+// arrive. QueryStats still carries the full quoted delay, but the caller
+// never sees the tuples.
+func (s *Shield) QueryCtx(ctx context.Context, identity, sql string) (*engine.Result, QueryStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if s.limiter != nil && !s.limiter.Allow(s.principalKey(identity)) {
 		return nil, QueryStats{}, fmt.Errorf("%w: principal %q", ErrRateLimited, s.principalKey(identity))
 	}
@@ -357,20 +429,33 @@ func (s *Shield) Query(identity, sql string) (*engine.Result, QueryStats, error)
 		return nil, QueryStats{}, err
 	}
 	if res.Columns != nil {
-		// SELECT: charge delay for every returned tuple.
-		d := s.gate.Charge(res.Keys...)
+		// SELECT: charge delay for every returned tuple. ChargeCtx
+		// records the access observations even on cancellation.
+		d, cerr := s.gate.ChargeCtx(ctx, res.Keys...)
+		qs := QueryStats{Delay: d, Tuples: len(res.Keys)}
+		s.met.tuples.Add(int64(len(res.Keys)))
+		if cerr != nil {
+			s.met.cancelled.Inc()
+			return nil, qs, cerr
+		}
 		s.delays.Add(d.Seconds())
-		return res, QueryStats{Delay: d, Tuples: len(res.Keys)}, nil
+		s.met.served.Inc()
+		return res, qs, nil
 	}
 	// Write statement: record updates; evict deleted tuples from the
 	// popularity tracking.
+	s.met.writes.Inc()
+	now := s.cfg.Clock.Now()
 	if _, isDelete := stmt.(*sqlmini.Delete); isDelete {
 		for _, key := range res.Keys {
+			// A deleted tuple is the most stale a tuple can be: bump its
+			// version (a tombstone) so an adversary's extracted copy of
+			// it counts as stale, then evict it from the trackers.
+			s.versions.Bump(key, now)
 			s.forgetTuple(key)
 		}
 		return res, QueryStats{}, nil
 	}
-	now := s.cfg.Clock.Now()
 	for _, key := range res.Keys {
 		s.versions.Bump(key, now)
 		if s.updPolicy != nil {
@@ -425,8 +510,20 @@ func (s *Shield) Window() float64 {
 // the paper's design point that counts live with the data. Pair with
 // LoadCounts at startup so the defense does not relearn from scratch
 // (and re-expose the start-up transient) after every restart.
+//
+// When store implements counters.BatchStore (the engine's CountStore
+// does), the snapshot is written as one atomic clear-and-replace: a crash
+// mid-save recovers to the previous complete snapshot, and stale rows
+// from an earlier, larger save cannot shadow the current state. The
+// row-by-row fallback offers neither property.
 func (s *Shield) SaveCounts(store counters.Store) error {
 	ids, counts := s.Tracker().Export()
+	if bs, ok := store.(counters.BatchStore); ok {
+		if err := bs.ReplaceAllCounts(ids, counts); err != nil {
+			return fmt.Errorf("core: saving counts: %w", err)
+		}
+		return nil
+	}
 	for i, id := range ids {
 		if err := store.PutCount(id, counts[i]); err != nil {
 			return fmt.Errorf("core: saving count for %d: %w", id, err)

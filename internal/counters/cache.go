@@ -18,6 +18,18 @@ type Store interface {
 	PutCount(id uint64, count float64) error
 }
 
+// BatchStore is a Store that can atomically replace its entire contents.
+// Snapshot writers (Shield.SaveCounts) prefer it over row-by-row
+// PutCount, which can fail midway and leave a torn snapshot — and which
+// never removes rows from a previous, larger save.
+type BatchStore interface {
+	Store
+	// ReplaceAllCounts clears every persisted count and writes the given
+	// pairs as one atomic unit: a reader (or a crash-recovered store)
+	// sees either the complete old contents or the complete new ones.
+	ReplaceAllCounts(ids []uint64, counts []float64) error
+}
+
 // MapStore is an in-memory Store for tests and examples. It is safe for
 // concurrent use.
 type MapStore struct {
@@ -45,6 +57,23 @@ func (s *MapStore) PutCount(id uint64, count float64) error {
 	defer s.mu.Unlock()
 	s.puts++
 	s.m[id] = count
+	return nil
+}
+
+// ReplaceAllCounts implements BatchStore: the map is swapped wholesale
+// under the lock.
+func (s *MapStore) ReplaceAllCounts(ids []uint64, counts []float64) error {
+	if len(ids) != len(counts) {
+		return errors.New("counters: ids/counts length mismatch")
+	}
+	m := make(map[uint64]float64, len(ids))
+	for i, id := range ids {
+		m[id] = counts[i]
+	}
+	s.mu.Lock()
+	s.m = m
+	s.puts += int64(len(ids))
+	s.mu.Unlock()
 	return nil
 }
 

@@ -1,9 +1,11 @@
 package delay
 
 import (
+	"context"
 	"errors"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/vclock"
 )
 
@@ -17,6 +19,19 @@ type Gate struct {
 	policy  Policy
 	clock   vclock.Clock
 	observe func(id uint64)
+
+	// Optional instrumentation, set via Instrument.
+	inflight  *metrics.Gauge
+	delayHist *metrics.Histogram
+}
+
+// BatchResolver is implemented by policies that serve delays through a
+// mutable indirection (e.g. an adaptive tracker selector): ResolveBatch
+// pins the policy to use for one Quote/Charge batch, so the gate pays the
+// resolution cost (typically a lock) once per query instead of once per
+// tuple.
+type BatchResolver interface {
+	ResolveBatch() Policy
 }
 
 // NewGate builds a gate. observe may be nil if the policy learns through
@@ -31,17 +46,53 @@ func NewGate(policy Policy, clock vclock.Clock, observe func(id uint64)) (*Gate,
 	return &Gate{policy: policy, clock: clock, observe: observe}, nil
 }
 
+// Instrument attaches optional metrics: inflight counts goroutines
+// currently sleeping in the gate; delayHist records each completed
+// charge's imposed delay in seconds. Either may be nil. Call before the
+// gate is shared between goroutines.
+func (g *Gate) Instrument(inflight *metrics.Gauge, delayHist *metrics.Histogram) {
+	g.inflight = inflight
+	g.delayHist = delayHist
+}
+
 // Charge computes the total delay for the given result tuples, sleeps it,
 // records the accesses, and returns the imposed delay.
 func (g *Gate) Charge(ids ...uint64) time.Duration {
+	d, _ := g.ChargeCtx(context.Background(), ids...)
+	return d
+}
+
+// ChargeCtx is Charge with cancellation: the sleep ends early with
+// ctx.Err() if ctx is cancelled or its deadline passes. The returned
+// duration is always the full quoted delay.
+//
+// The access observations are recorded even when the sleep is cut short —
+// a cancelled query has still revealed its result tuples' existence to
+// the client's timing view, and more importantly, skipping the learning
+// step would let an adversary probe the delay oracle for free by
+// cancelling every query. Callers must likewise charge rate-limit tokens
+// before calling (the Shield does).
+func (g *Gate) ChargeCtx(ctx context.Context, ids ...uint64) (time.Duration, error) {
 	total := g.Quote(ids...)
-	g.clock.Sleep(total)
+	if g.inflight != nil {
+		g.inflight.Inc()
+	}
+	err := g.clock.SleepCtx(ctx, total)
+	if g.inflight != nil {
+		g.inflight.Dec()
+	}
 	if g.observe != nil {
 		for _, id := range ids {
 			g.observe(id)
 		}
 	}
-	return total
+	if err != nil {
+		return total, err
+	}
+	if g.delayHist != nil {
+		g.delayHist.Observe(total.Seconds())
+	}
+	return total, nil
 }
 
 // Quote returns the delay Charge would impose right now, without sleeping
@@ -49,9 +100,13 @@ func (g *Gate) Charge(ids ...uint64) time.Duration {
 // non-invasively, mirroring the paper's method of computing adversary
 // delay "by examining the access counts after the trace was replayed".
 func (g *Gate) Quote(ids ...uint64) time.Duration {
+	pol := g.policy
+	if r, ok := pol.(BatchResolver); ok {
+		pol = r.ResolveBatch()
+	}
 	var total time.Duration
 	for _, id := range ids {
-		d := g.policy.Delay(id)
+		d := pol.Delay(id)
 		if total > maxDuration-d {
 			return maxDuration
 		}

@@ -1,0 +1,103 @@
+package delay
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/vclock"
+)
+
+// constPolicy charges a fixed delay per tuple.
+type constPolicy struct{ d time.Duration }
+
+func (p constPolicy) Delay(uint64) time.Duration { return p.d }
+
+func TestChargeCtxRecordsObservationsOnCancel(t *testing.T) {
+	clk := vclock.NewSimulated(time.Unix(0, 0))
+	var seen []uint64
+	g, err := NewGate(constPolicy{time.Second}, clk, func(id uint64) { seen = append(seen, id) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d, err := g.ChargeCtx(ctx, 1, 2, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if d != 3*time.Second {
+		t.Fatalf("quoted = %v", d)
+	}
+	// The anti-free-probe invariant: cancellation still charges the
+	// learner, so repeated cancelled probes inflate the tuples'
+	// popularity just like served queries would.
+	if len(seen) != 3 {
+		t.Fatalf("observations on cancel = %v", seen)
+	}
+	// And the cancelled sleep did not advance the simulated clock.
+	if clk.Slept() != 0 {
+		t.Fatalf("slept = %v", clk.Slept())
+	}
+}
+
+func TestChargeCtxInstrumented(t *testing.T) {
+	clk := vclock.NewSimulated(time.Unix(0, 0))
+	g, err := NewGate(constPolicy{time.Second}, clk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	hist := reg.Histogram("delay_seconds", metrics.DefaultDelayBuckets())
+	g.Instrument(reg.Gauge("inflight"), hist)
+
+	if d := g.Charge(7); d != time.Second {
+		t.Fatalf("charge = %v", d)
+	}
+	if hist.Count() != 1 {
+		t.Fatalf("histogram count = %d", hist.Count())
+	}
+	if reg.Gauge("inflight").Value() != 0 {
+		t.Fatalf("inflight = %d after charge", reg.Gauge("inflight").Value())
+	}
+
+	// A cancelled charge bumps nothing in the delay histogram.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g.ChargeCtx(ctx, 7)
+	if hist.Count() != 1 {
+		t.Fatalf("cancelled charge reached histogram: %d", hist.Count())
+	}
+}
+
+// switchPolicy counts how many times the gate resolves it per batch.
+type switchPolicy struct {
+	resolves int
+	inner    Policy
+}
+
+func (s *switchPolicy) Delay(id uint64) time.Duration { return s.inner.Delay(id) }
+func (s *switchPolicy) ResolveBatch() Policy {
+	s.resolves++
+	return s.inner
+}
+
+func TestQuoteResolvesBatchPolicyOnce(t *testing.T) {
+	sp := &switchPolicy{inner: constPolicy{time.Millisecond}}
+	g, err := NewGate(sp, vclock.NewSimulated(time.Unix(0, 0)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, 1000)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	if d := g.Quote(ids...); d != time.Second {
+		t.Fatalf("quote = %v", d)
+	}
+	if sp.resolves != 1 {
+		t.Fatalf("policy resolved %d times for one batch", sp.resolves)
+	}
+}

@@ -1,6 +1,7 @@
 package delay
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -208,4 +209,11 @@ func (f *fakeClock) Sleep(d time.Duration) {
 		f.slept += d
 		f.now = f.now.Add(d)
 	}
+}
+func (f *fakeClock) SleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.Sleep(d)
+	return nil
 }

@@ -94,6 +94,74 @@ func (s *CountStore) PutCount(id uint64, count float64) error {
 	return t.logMutation()
 }
 
+// ReplaceAllCounts implements counters.BatchStore: it clears the side
+// table and writes the new snapshot under one table lock and — crucially
+// — one WAL commit record, so a crash mid-save recovers to the previous
+// complete snapshot instead of a torn mix, and rows from an earlier,
+// larger save cannot survive a smaller one. (Without a WAL the swap is
+// still all-or-nothing with respect to concurrent readers, though crash
+// atomicity then depends on page flush ordering, as for any mutation.)
+func (s *CountStore) ReplaceAllCounts(ids []uint64, counts []float64) error {
+	if len(ids) != len(counts) {
+		return fmt.Errorf("engine: ids/counts length mismatch (%d vs %d)", len(ids), len(counts))
+	}
+	t, err := s.db.getTable(s.table)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Encode every new row first: an encoding error must not leave the
+	// table half-cleared.
+	recs := make([][]byte, len(ids))
+	for i, id := range ids {
+		row := catalog.Row{catalog.IntValue(int64(id)), catalog.FloatValue(counts[i])}
+		rec, err := catalog.EncodeRow(t.schema, row)
+		if err != nil {
+			return err
+		}
+		recs[i] = rec
+	}
+	// Clear the old snapshot.
+	type victim struct {
+		rid storage.RID
+		key int64
+	}
+	var victims []victim
+	var scanErr error
+	err = t.heap.Scan(func(rid storage.RID, rec []byte) bool {
+		row, derr := catalog.DecodeRow(t.schema, rec)
+		if derr != nil {
+			scanErr = derr
+			return false
+		}
+		victims = append(victims, victim{rid: rid, key: row[0].Int})
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return fmt.Errorf("engine: scanning counts for replace: %w", err)
+	}
+	for _, v := range victims {
+		if err := t.heap.Delete(v.rid); err != nil {
+			return fmt.Errorf("engine: clearing count row: %w", err)
+		}
+		t.pk.Delete(v.key)
+	}
+	// Write the new snapshot.
+	for i, rec := range recs {
+		rid, err := t.heap.Insert(rec)
+		if err != nil {
+			return fmt.Errorf("engine: writing count row: %w", err)
+		}
+		t.pk.Put(int64(ids[i]), rid)
+	}
+	// One commit record for the whole clear-and-write.
+	return t.logMutation()
+}
+
 // AllCounts returns every persisted (id, count) pair, in key order. It
 // lets a restarted shield reload its learned distribution.
 func (s *CountStore) AllCounts() (ids []uint64, counts []float64, err error) {
@@ -124,4 +192,5 @@ func (s *CountStore) AllCounts() (ids []uint64, counts []float64, err error) {
 var _ interface {
 	GetCount(uint64) (float64, bool, error)
 	PutCount(uint64, float64) error
+	ReplaceAllCounts([]uint64, []float64) error
 } = (*CountStore)(nil)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -160,6 +161,7 @@ type noSleepClock struct{}
 
 func (noSleepClock) Now() time.Time        { return time.Unix(0, 0) }
 func (noSleepClock) Sleep(_ time.Duration) {}
+func (noSleepClock) SleepCtx(ctx context.Context, _ time.Duration) error { return ctx.Err() }
 
 // zeroQuoter prices everything at zero — storefront coverage does not
 // depend on delay.

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("reqs") != c {
+		t.Fatal("counter not memoized")
+	}
+	g := r.Gauge("inflight")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatalf("gauge after set = %d", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 1, 2, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 4 || snap.Sum != 103.5 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Cumulative: ≤1 holds {0.5, 1}, ≤10 adds {2}, +Inf adds {100}.
+	want := []int64{2, 3, 4}
+	for i, b := range snap.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d (le=%s) = %d, want %d", i, b.LE, b.Count, want[i])
+		}
+	}
+	if snap.Buckets[2].LE != "+Inf" {
+		t.Fatalf("last bucket le = %s", snap.Buckets[2].LE)
+	}
+}
+
+func TestRegistryExportAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.GaugeFunc("derived", func() float64 { return 2.5 })
+	r.Histogram("lat", DefaultDelayBuckets()).Observe(0.02)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["hits"].(float64) != 3 || out["derived"].(float64) != 2.5 {
+		t.Fatalf("export = %v", out)
+	}
+	hist, ok := out["lat"].(map[string]any)
+	if !ok || hist["count"].(float64) != 1 {
+		t.Fatalf("histogram export = %v", out["lat"])
+	}
+	if _, ok := hist["buckets"].([]any); !ok {
+		t.Fatalf("buckets missing: %v", hist)
+	}
+}
+
+func TestInstrumentsRace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Inc()
+				h.Observe(float64(j))
+			}
+			_ = r.Export()
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("c = %d, h = %d", r.Counter("c").Value(), h.Count())
+	}
+}

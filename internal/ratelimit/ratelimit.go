@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/vclock"
 )
 
@@ -98,13 +99,16 @@ type IdentityLimiter struct {
 	clock   vclock.Clock
 	buckets map[string]*TokenBucket
 	max     int
+	rejects *metrics.Counter // optional, set via SetRejectionCounter
 }
 
 // NewIdentityLimiter returns a limiter granting each principal rate
 // queries/second with the given burst. maxPrincipals bounds memory; when
-// exceeded, the limiter evicts an arbitrary bucket (a full bucket loses
-// nothing; a throttled principal regains burst, an acceptable trade the
-// paper's scheme tolerates since per-query delay is the primary defense).
+// exceeded, the limiter evicts the bucket holding the most tokens — the
+// principal closest to a fresh, unthrottled state, who therefore loses
+// the least by being forgotten. Evicting arbitrarily would let a Sybil
+// adversary wash out their own throttled bucket (and regain full burst)
+// just by registering maxPrincipals fresh identities.
 func NewIdentityLimiter(rate, burst float64, maxPrincipals int, clock vclock.Clock) (*IdentityLimiter, error) {
 	if maxPrincipals < 1 {
 		return nil, errors.New("ratelimit: maxPrincipals < 1")
@@ -119,22 +123,45 @@ func NewIdentityLimiter(rate, burst float64, maxPrincipals int, clock vclock.Clo
 	}, nil
 }
 
+// SetRejectionCounter attaches an optional counter bumped on every
+// rejected Allow. Call before the limiter is shared between goroutines.
+func (l *IdentityLimiter) SetRejectionCounter(c *metrics.Counter) { l.rejects = c }
+
 // Allow consumes one query credit for the principal.
 func (l *IdentityLimiter) Allow(principal string) bool {
 	l.mu.Lock()
 	b, ok := l.buckets[principal]
 	if !ok {
 		if len(l.buckets) >= l.max {
-			for k := range l.buckets {
-				delete(l.buckets, k)
-				break
-			}
+			l.evictFullestLocked()
 		}
 		b, _ = NewTokenBucket(l.rate, l.burst, l.clock)
 		l.buckets[principal] = b
 	}
 	l.mu.Unlock()
-	return b.Allow()
+	ok = b.Allow()
+	if !ok && l.rejects != nil {
+		l.rejects.Inc()
+	}
+	return ok
+}
+
+// evictFullestLocked drops the bucket with the most tokens. Ties (e.g.
+// several full buckets) break arbitrarily; what matters is that a
+// throttled, near-empty bucket is never the victim while fuller ones
+// exist. Callers hold l.mu.
+func (l *IdentityLimiter) evictFullestLocked() {
+	var victim string
+	found := false
+	most := math.Inf(-1)
+	for k, b := range l.buckets {
+		if t := b.Tokens(); t > most {
+			most, victim, found = t, k, true
+		}
+	}
+	if found {
+		delete(l.buckets, victim)
+	}
 }
 
 // Principals returns the number of tracked principals.
@@ -174,6 +201,7 @@ type RegistrationThrottle struct {
 	clock    vclock.Clock
 	nextAt   time.Time
 	granted  int64
+	rejects  *metrics.Counter // optional, set via SetRejectionCounter
 }
 
 // NewRegistrationThrottle returns a throttle admitting one registration
@@ -188,6 +216,11 @@ func NewRegistrationThrottle(interval time.Duration, clock vclock.Clock) (*Regis
 	return &RegistrationThrottle{interval: interval, clock: clock}, nil
 }
 
+// SetRejectionCounter attaches an optional counter bumped on every
+// throttled TryRegister. Call before the throttle is shared between
+// goroutines.
+func (r *RegistrationThrottle) SetRejectionCounter(c *metrics.Counter) { r.rejects = c }
+
 // TryRegister attempts to register a new identity now. On success it
 // returns (0, true); otherwise it returns how long until the next slot.
 func (r *RegistrationThrottle) TryRegister() (time.Duration, bool) {
@@ -195,6 +228,9 @@ func (r *RegistrationThrottle) TryRegister() (time.Duration, bool) {
 	defer r.mu.Unlock()
 	now := r.clock.Now()
 	if now.Before(r.nextAt) {
+		if r.rejects != nil {
+			r.rejects.Inc()
+		}
 		return r.nextAt.Sub(now), false
 	}
 	r.nextAt = now.Add(r.interval)

@@ -1,11 +1,13 @@
 package ratelimit
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/vclock"
 )
 
@@ -145,6 +147,64 @@ func TestIdentityLimiterEvictsAtCapacity(t *testing.T) {
 	}
 	if got := l.Principals(); got > 3 {
 		t.Fatalf("Principals = %d exceeds max", got)
+	}
+}
+
+// TestThrottledPrincipalSurvivesEvictionStorm is the Sybil-wash
+// regression: an adversary who floods maxPrincipals fresh identities
+// must not be able to evict their own throttled bucket and regain full
+// burst. Eviction picks the fullest bucket, so the drained "sybil"
+// principal outlives every fresher arrival.
+func TestThrottledPrincipalSurvivesEvictionStorm(t *testing.T) {
+	clk := simClock()
+	// Rate so slow nothing refills during the test; burst 10.
+	l, _ := NewIdentityLimiter(1e-9, 10, 8, clk)
+	// The adversary drains their primary identity to zero tokens.
+	for i := 0; i < 10; i++ {
+		if !l.Allow("sybil") {
+			t.Fatalf("burst query %d denied", i)
+		}
+	}
+	if l.Allow("sybil") {
+		t.Fatal("sybil over-burst allowed")
+	}
+	// Eviction storm: far more fresh identities than the table holds,
+	// each spending one token (so they sit at 9 tokens — far fuller than
+	// sybil's 0).
+	for i := 0; i < 100; i++ {
+		l.Allow(fmt.Sprintf("fresh-%d", i))
+	}
+	if got := l.Principals(); got > 8 {
+		t.Fatalf("Principals = %d exceeds max", got)
+	}
+	// The wash must have failed: sybil is still the throttled principal,
+	// not a forgotten one with a fresh burst.
+	if l.Allow("sybil") {
+		t.Fatal("eviction storm washed out the throttled bucket")
+	}
+}
+
+func TestIdentityLimiterRejectionCounter(t *testing.T) {
+	clk := simClock()
+	l, _ := NewIdentityLimiter(1e-9, 1, 8, clk)
+	var c metrics.Counter
+	l.SetRejectionCounter(&c)
+	l.Allow("p")
+	l.Allow("p")
+	l.Allow("p")
+	if c.Value() != 2 {
+		t.Fatalf("rejections = %d", c.Value())
+	}
+}
+
+func TestRegistrationThrottleRejectionCounter(t *testing.T) {
+	r, _ := NewRegistrationThrottle(time.Hour, simClock())
+	var c metrics.Counter
+	r.SetRejectionCounter(&c)
+	r.TryRegister()
+	r.TryRegister()
+	if c.Value() != 1 {
+		t.Fatalf("rejections = %d", c.Value())
 	}
 }
 

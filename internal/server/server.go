@@ -8,6 +8,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,20 +22,35 @@ import (
 
 // Server is the HTTP front end. Create with New, mount via Handler.
 type Server struct {
-	shield *core.Shield
-	mux    *http.ServeMux
+	shield   *core.Shield
+	mux      *http.ServeMux
+	deadline time.Duration // 0 = no per-request deadline
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithQueryDeadline bounds each /query request: a query whose policy
+// delay outlives d is cancelled (charged, but unanswered — HTTP 504).
+// Zero means no deadline; the client's own disconnection still cancels.
+func WithQueryDeadline(d time.Duration) Option {
+	return func(s *Server) { s.deadline = d }
 }
 
 // New returns a server fronting shield.
-func New(shield *core.Shield) (*Server, error) {
+func New(shield *core.Shield, opts ...Option) (*Server, error) {
 	if shield == nil {
 		return nil, errors.New("server: nil shield")
 	}
 	s := &Server{shield: shield, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /register", s.handleRegister)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", shield.Metrics().Handler())
 	// Admin endpoints: deploy behind an internal listener — TopK reveals
 	// the popularity ranking and Quote prices an extraction plan.
 	s.mux.HandleFunc("GET /admin/topk", s.handleTopK)
@@ -93,10 +109,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("empty sql"))
 		return
 	}
-	res, stats, err := s.shield.Query(identity(r), req.SQL)
+	// The request context propagates into the delay gate: a client that
+	// disconnects releases its goroutine immediately instead of pinning
+	// it for the remaining policy delay (the query stays charged).
+	ctx := r.Context()
+	if s.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.deadline)
+		defer cancel()
+	}
+	res, stats, err := s.shield.QueryCtx(ctx, identity(r), req.SQL)
 	switch {
 	case errors.Is(err, core.ErrRateLimited):
 		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, fmt.Errorf("query exceeded the per-request deadline (the delay was still charged): %w", err))
+		return
+	case errors.Is(err, context.Canceled):
+		// Client gone; nothing useful can be written.
 		return
 	case err != nil:
 		writeErr(w, http.StatusBadRequest, err)
@@ -298,6 +329,20 @@ func (c *Client) Stats() (*StatsResponse, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Metrics fetches the shield's instrument snapshot from /metrics.
+func (c *Client) Metrics() (map[string]any, error) {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // RowStrings converts catalog rows for display; the CLI tool reuses it.

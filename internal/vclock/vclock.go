@@ -6,6 +6,7 @@
 package vclock
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -18,6 +19,11 @@ type Clock interface {
 	// Sleep blocks the caller for d on this clock's timeline. Negative or
 	// zero durations return immediately.
 	Sleep(d time.Duration)
+	// SleepCtx blocks the caller for d on this clock's timeline, waking
+	// early with ctx.Err() if ctx is cancelled first. Negative or zero
+	// durations return immediately (after an initial cancellation check,
+	// so an already-dead context never sleeps at all).
+	SleepCtx(ctx context.Context, d time.Duration) error
 }
 
 // Real is the wall clock. The zero value is ready to use.
@@ -33,19 +39,58 @@ func (Real) Sleep(d time.Duration) {
 	}
 }
 
+// SleepCtx sleeps for d or until ctx is cancelled, whichever comes first.
+func (Real) SleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	if ctx.Done() == nil {
+		// Uncancellable context (e.g. context.Background()): skip the
+		// timer allocation and behave exactly like Sleep.
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Simulated is a discrete-event clock. Sleep advances the clock instantly;
 // Now reports the accumulated virtual instant. It additionally tracks the
 // total slept duration, which the experiment harness reads as "imposed
 // delay" without waiting for it.
+//
+// In the default mode SleepCtx is as instantaneous as Sleep. SetBlocking
+// switches SleepCtx to discrete-event waiting: callers park until Advance
+// (or another goroutine's Sleep) moves the clock past their wake time, or
+// until their context is cancelled — whichever happens first — so tests
+// can cancel a sleeper and observe the wake-up deterministically, with no
+// real time involved.
 type Simulated struct {
-	mu    sync.Mutex
-	now   time.Time
-	slept time.Duration
+	mu       sync.Mutex
+	now      time.Time
+	slept    time.Duration
+	blocking bool
+	waiters  map[*simWaiter]struct{}
+}
+
+// simWaiter is one goroutine parked in a blocking SleepCtx.
+type simWaiter struct {
+	deadline time.Time
+	wake     chan struct{}
 }
 
 // NewSimulated returns a simulated clock starting at the given epoch.
 func NewSimulated(epoch time.Time) *Simulated {
-	return &Simulated{now: epoch}
+	return &Simulated{now: epoch, waiters: make(map[*simWaiter]struct{})}
 }
 
 // Now returns the current virtual instant.
@@ -55,27 +100,94 @@ func (c *Simulated) Now() time.Time {
 	return c.now
 }
 
+// SetBlocking switches SleepCtx between instant advance (false, the
+// default) and discrete-event waiting (true). Plain Sleep always advances
+// instantly regardless of mode.
+func (c *Simulated) SetBlocking(b bool) {
+	c.mu.Lock()
+	c.blocking = b
+	c.mu.Unlock()
+}
+
+// Waiters reports how many goroutines are parked in a blocking SleepCtx —
+// tests use it to know a sleeper has actually gone to sleep before
+// cancelling or advancing.
+func (c *Simulated) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
 // Sleep advances the virtual clock by d without blocking.
 func (c *Simulated) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	c.mu.Lock()
-	c.now = c.now.Add(d)
 	c.slept += d
+	c.advanceLocked(d)
 	c.mu.Unlock()
+}
+
+// SleepCtx sleeps for d on the virtual timeline. With blocking disabled it
+// advances the clock instantly, like Sleep. With blocking enabled the
+// caller parks until the clock reaches now+d (via Advance or another
+// goroutine's Sleep) or ctx is cancelled; a cancelled sleep neither
+// advances the clock nor counts toward Slept.
+func (c *Simulated) SleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	if !c.blocking {
+		c.slept += d
+		c.advanceLocked(d)
+		c.mu.Unlock()
+		return nil
+	}
+	w := &simWaiter{deadline: c.now.Add(d), wake: make(chan struct{})}
+	c.waiters[w] = struct{}{}
+	c.mu.Unlock()
+	select {
+	case <-w.wake:
+		c.mu.Lock()
+		c.slept += d
+		c.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.waiters, w)
+		c.mu.Unlock()
+		return ctx.Err()
+	}
 }
 
 // Advance moves the clock forward by d without counting it as slept time.
 // It models the passage of background time (e.g. a week of box-office
-// sales) as opposed to imposed delay.
+// sales) as opposed to imposed delay, and wakes any blocking sleepers
+// whose deadlines it passes.
 func (c *Simulated) Advance(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	c.mu.Lock()
-	c.now = c.now.Add(d)
+	c.advanceLocked(d)
 	c.mu.Unlock()
+}
+
+// advanceLocked moves the clock and deterministically wakes every parked
+// sleeper whose deadline has been reached. Callers hold c.mu.
+func (c *Simulated) advanceLocked(d time.Duration) {
+	c.now = c.now.Add(d)
+	for w := range c.waiters {
+		if !c.now.Before(w.deadline) {
+			close(w.wake)
+			delete(c.waiters, w)
+		}
+	}
 }
 
 // Slept reports the total duration passed to Sleep so far.

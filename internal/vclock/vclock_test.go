@@ -1,6 +1,8 @@
 package vclock
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -103,4 +105,103 @@ func TestSimulatedConcurrentSleep(t *testing.T) {
 func TestClockInterfaceSatisfied(t *testing.T) {
 	var _ Clock = Real{}
 	var _ Clock = NewSimulated(time.Now())
+}
+
+func TestRealSleepCtxCancelWakesEarly(t *testing.T) {
+	var c Real
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := c.SleepCtx(ctx, time.Hour)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not wake the sleeper promptly")
+	}
+}
+
+func TestRealSleepCtxPreCancelled(t *testing.T) {
+	var c Real
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.SleepCtx(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// Background context takes the plain-sleep path.
+	if err := c.SleepCtx(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("background err = %v", err)
+	}
+}
+
+func TestSimulatedSleepCtxInstantByDefault(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	if err := c.SleepCtx(context.Background(), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if c.Slept() != time.Hour {
+		t.Fatalf("Slept = %v", c.Slept())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.SleepCtx(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// The cancelled sleep must not have advanced the clock.
+	if c.Slept() != time.Hour {
+		t.Fatalf("cancelled sleep advanced clock: %v", c.Slept())
+	}
+}
+
+// waitForWaiters spins until n goroutines are parked in SleepCtx.
+func waitForWaiters(t *testing.T, c *Simulated, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Waiters() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached %d waiters (have %d)", n, c.Waiters())
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func TestSimulatedBlockingSleepCtxWokenByAdvance(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	c.SetBlocking(true)
+	errc := make(chan error, 1)
+	go func() { errc <- c.SleepCtx(context.Background(), time.Minute) }()
+	waitForWaiters(t, c, 1)
+	c.Advance(30 * time.Second) // not enough: still parked
+	if c.Waiters() != 1 {
+		t.Fatal("waiter woke before its deadline")
+	}
+	c.Advance(30 * time.Second)
+	if err := <-errc; err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Slept() != time.Minute {
+		t.Fatalf("Slept = %v", c.Slept())
+	}
+}
+
+func TestSimulatedBlockingSleepCtxCancelWakesDeterministically(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	c.SetBlocking(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.SleepCtx(ctx, time.Hour) }()
+	waitForWaiters(t, c, 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Waiters() != 0 {
+		t.Fatal("cancelled waiter leaked")
+	}
+	if c.Slept() != 0 {
+		t.Fatalf("cancelled sleep counted as slept: %v", c.Slept())
+	}
 }

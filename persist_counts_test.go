@@ -70,6 +70,71 @@ func TestLoadLearnedCountsColdStartIsFine(t *testing.T) {
 	}
 }
 
+// TestSaveCountsCrashAtomic is the snapshot-atomicity regression: saving
+// a smaller snapshot over a larger one must clear and rewrite the count
+// table under a single WAL commit, so a crash right after the save
+// recovers exactly the new snapshot — never a merge of old and new rows
+// that would resurrect counts for tuples the tracker has since dropped.
+func TestSaveCountsCrashAtomic(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{N: 100, Alpha: 1, Beta: 1, Cap: time.Second,
+		Clock: NewSimulatedClock(time.Unix(0, 0))}
+	db, err := Open(dir, cfg, WithWAL(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Exec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	for i := 0; i < 10; i++ {
+		db.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i))
+	}
+	// First snapshot: five tracked tuples.
+	for id := 0; id < 5; id++ {
+		for i := 0; i < 3; i++ {
+			if _, _, err := db.Query("u", fmt.Sprintf(`SELECT * FROM t WHERE id = %d`, id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.SaveLearnedCounts(); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the tracker: deleting evicts the tuples from it.
+	for id := 2; id < 5; id++ {
+		if _, _, err := db.Query("u", fmt.Sprintf(`DELETE FROM t WHERE id = %d`, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Second, smaller snapshot — then crash (no Close, no flush): only the
+	// WAL carries the overwrite.
+	if err := db.SaveLearnedCounts(); err != nil {
+		t.Fatal(err)
+	}
+	db = nil
+
+	db2, err := Open(dir, cfg, WithWAL(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.LoadLearnedCounts(); err != nil {
+		t.Fatal(err)
+	}
+	tr := db2.Shield().Tracker()
+	if got := tr.Len(); got != 2 {
+		t.Fatalf("recovered %d tracked tuples, want exactly the 2 from the last snapshot", got)
+	}
+	for id := uint64(0); id < 2; id++ {
+		if tr.Count(id) != 3 {
+			t.Fatalf("count(%d) = %v, want 3", id, tr.Count(id))
+		}
+	}
+	for id := uint64(2); id < 5; id++ {
+		if tr.Count(id) != 0 {
+			t.Fatalf("stale row for deleted tuple %d resurrected: count = %v", id, tr.Count(id))
+		}
+	}
+}
+
 func TestLearnedCountsAdaptiveRestart(t *testing.T) {
 	dir := t.TempDir()
 	cfg := Config{N: 50, Alpha: 1, Beta: 1, Cap: time.Second,
