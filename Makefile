@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench repro repro-fast examples fuzz clean
+.PHONY: all check build vet test race cover bench bench-shield bench-smoke repro repro-fast examples fuzz clean
 
 all: build vet test
 
@@ -34,6 +34,17 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Full shield front-door benchmark run; writes BENCH_shield.json
+# (benchmark name -> ns/op).
+bench-shield:
+	./scripts/bench.sh
+
+# One iteration of each shield benchmark — catches benchmarks that broke
+# (and the in-benchmark regression assertions) without paying for a
+# measurement run. CI runs this.
+bench-smoke:
+	BENCH_ARGS="-benchtime=1x -count=1" ./scripts/bench.sh
 
 # Regenerate every table and figure of the paper at full scale.
 repro:

@@ -378,6 +378,66 @@ func BenchmarkAdaptiveQuotePerTuple(b *testing.B) {
 	}
 }
 
+// BenchmarkShieldQueryParallelScan measures front-door throughput for
+// range scans returning 10/100/1000 tuples under concurrent clients —
+// the workload the batch quote/observe path and the price cache exist
+// for. cache=off runs the batch path against the tracker every time;
+// cache=on adds a price cache with a bounded epoch lag (stale prices for
+// hot tuples stay near zero, see DESIGN.md). Before batching, every
+// tuple took the tracker mutex twice, so these collapsed onto one lock.
+func BenchmarkShieldQueryParallelScan(b *testing.B) {
+	for _, tuples := range []int{10, 100, 1000} {
+		for _, cached := range []bool{false, true} {
+			name := fmt.Sprintf("tuples=%d/cache=off", tuples)
+			if cached {
+				name = fmt.Sprintf("tuples=%d/cache=on", tuples)
+			}
+			b.Run(name, func(b *testing.B) {
+				db := openBenchDBCfg(b, func(cfg *Config) {
+					if cached {
+						cfg.PriceCacheSize = 4096
+						// Budget of tracker mutations a served price may
+						// trail by; ~1k-tuple queries mutate 1k epochs, so
+						// this lets prices survive a few hundred queries.
+						cfg.PriceCacheEpochLag = 1 << 20
+					}
+				})
+				q := fmt.Sprintf(`SELECT * FROM items WHERE id < %d`, tuples)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if _, _, err := db.Query("bench", q); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkAdaptiveObserveBatch is the regression benchmark for the
+// adaptive observe path: a 100-tuple scan is charged as ONE entry into
+// the selector's serialization section (verified below), where the
+// pre-batching code took the lock once per tuple. ns/op creeping toward
+// the per-tuple era is the regression signal.
+func BenchmarkAdaptiveObserveBatch(b *testing.B) {
+	db := openAdaptiveBenchDB(b)
+	base := db.Shield().ObserveLockAcquisitions()
+	q := `SELECT * FROM items WHERE id < 100`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.Query("bench", q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := db.Shield().ObserveLockAcquisitions() - base; got != int64(b.N) {
+		b.Fatalf("%d queries took %d observe lock acquisitions; want one per query", b.N, got)
+	}
+}
+
 // BenchmarkEngineSelect measures the bare engine point lookup for
 // comparison with BenchmarkShieldQuery — the per-query cost of the
 // defense is the difference.
@@ -396,11 +456,19 @@ func BenchmarkEngineSelect(b *testing.B) {
 }
 
 func openBenchDB(b *testing.B) *DB {
+	return openBenchDBCfg(b, nil)
+}
+
+func openBenchDBCfg(b *testing.B, mutate func(*Config)) *DB {
 	b.Helper()
-	db, err := Open(b.TempDir(), Config{
+	cfg := Config{
 		N: 1000, Alpha: 1, Beta: 2, Cap: 10 * time.Second,
 		Clock: benchClock{},
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	db, err := Open(b.TempDir(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -48,6 +48,8 @@ func main() {
 		wal         = flag.Bool("wal", false, "enable write-ahead logging with crash recovery")
 		walSync     = flag.Bool("walsync", false, "fsync the WAL on every commit (implies -wal)")
 		initFile    = flag.String("init", "", "SQL script (semicolon-separated) executed on the admin path at startup")
+		priceCache  = flag.Int("pricecache", 0, "delay price cache capacity in entries (0 = disabled)")
+		priceLag    = flag.Uint64("pricecachelag", 0, "tracker mutations a cached price may trail by (0 = exact)")
 	)
 	flag.Parse()
 
@@ -62,6 +64,8 @@ func main() {
 		QueryBurst:           *burst,
 		SubnetAggregation:    *subnets,
 		RegistrationInterval: *regInterval,
+		PriceCacheSize:       *priceCache,
+		PriceCacheEpochLag:   *priceLag,
 	}
 	switch *policy {
 	case "popularity":

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/counters"
@@ -92,6 +93,22 @@ type Config struct {
 	// RegistrationInterval enables the one-identity-per-interval
 	// registration throttle when positive.
 	RegistrationInterval time.Duration
+
+	// PriceCacheSize, when positive, enables the delay price cache: a
+	// sharded fixed-capacity map from tuple id to (delay, epoch) that
+	// serves repeat quotes for hot tuples without touching the rank tree.
+	// In adaptive mode every candidate tracker's policy gets its own
+	// cache of this size (epochs are per tracker).
+	PriceCacheSize int
+	// PriceCacheShards stripes the cache; rounded up to a power of two,
+	// default delay.DefaultPriceCacheShards.
+	PriceCacheShards int
+	// PriceCacheEpochLag bounds how many tracker mutations a cached
+	// price may be stale by. 0 (the default) means exact: any mutation
+	// invalidates. Positive values trade rank freshness for throughput,
+	// which is safe for hot tuples (their delays are pinned near zero by
+	// low rank) — see DESIGN.md.
+	PriceCacheEpochLag uint64
 }
 
 func (c *Config) fill() error {
@@ -148,6 +165,14 @@ type Shield struct {
 	delays    *stats.Reservoir
 	started   time.Time
 	met       shieldMetrics
+	// priceCaches holds every quote cache in use (one per candidate
+	// policy), for instrumentation and size reporting.
+	priceCaches []*delay.PriceCache
+	// observeLocks counts serialization-section entries on the observe
+	// path — one per charged query batch, not one per tuple. The
+	// regression test pins this down so per-tuple locking cannot creep
+	// back into the hot path.
+	observeLocks atomic.Int64
 }
 
 // shieldMetrics is the shield's operational instrumentation, exported as
@@ -185,6 +210,13 @@ func (a *adaptivePolicy) ResolveBatch() delay.Policy {
 	return a.pols[idx]
 }
 
+// DelayBatch implements delay.BatchPolicy for callers that hold the
+// adaptive policy directly (the gate resolves first and never takes this
+// path): resolve once, then price the batch through the active policy.
+func (a *adaptivePolicy) DelayBatch(ids []uint64) time.Duration {
+	return a.ResolveBatch().(delay.BatchPolicy).DelayBatch(ids)
+}
+
 // New wraps db in a Shield.
 func New(db *engine.Database, cfg Config) (*Shield, error) {
 	if db == nil {
@@ -206,6 +238,20 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 		started:  cfg.Clock.Now(),
 	}
 
+	// newPriceCache hands each candidate policy its own quote cache when
+	// the config enables one (epochs are per tracker, so caches are too).
+	newPriceCache := func() (*delay.PriceCache, error) {
+		if cfg.PriceCacheSize <= 0 {
+			return nil, nil
+		}
+		pc, err := delay.NewPriceCache(cfg.PriceCacheSize, cfg.PriceCacheShards, cfg.PriceCacheEpochLag)
+		if err != nil {
+			return nil, err
+		}
+		s.priceCaches = append(s.priceCaches, pc)
+		return pc, nil
+	}
+
 	var policy delay.Policy
 	switch cfg.Kind {
 	case ByPopularity:
@@ -223,6 +269,11 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 				if err != nil {
 					return nil, err
 				}
+				pc, err := newPriceCache()
+				if err != nil {
+					return nil, err
+				}
+				p.SetPriceCache(pc)
 				ap.pols = append(ap.pols, p)
 			}
 			s.adaptive = ap
@@ -235,6 +286,11 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 		if err != nil {
 			return nil, err
 		}
+		pc, err := newPriceCache()
+		if err != nil {
+			return nil, err
+		}
+		p.SetPriceCache(pc)
 		policy = p
 	case ByUpdateRate:
 		upd, err := counters.NewDecayed(cfg.DecayRate)
@@ -247,17 +303,35 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 		if err != nil {
 			return nil, err
 		}
+		pc, err := newPriceCache()
+		if err != nil {
+			return nil, err
+		}
+		u.SetPriceCache(pc)
 		s.updPolicy = u
 		policy = u
 	default:
 		return nil, fmt.Errorf("core: unknown policy kind %d", cfg.Kind)
 	}
 
+	// The gate keeps a per-tuple observer for completeness, but charges
+	// go through the batch observer: one serialization-section entry per
+	// query (tracked in observeLocks) instead of one per returned tuple.
 	observe := func(id uint64) { tracker.Observe(id) }
+	observeBatch := func(ids []uint64) {
+		s.observeLocks.Add(1)
+		tracker.ObserveBatch(ids)
+	}
 	if s.multi != nil {
 		observe = func(id uint64) {
 			s.multiMu.Lock()
 			s.multi.Observe(id)
+			s.multiMu.Unlock()
+		}
+		observeBatch = func(ids []uint64) {
+			s.observeLocks.Add(1)
+			s.multiMu.Lock()
+			s.multi.ObserveBatch(ids)
 			s.multiMu.Unlock()
 		}
 	}
@@ -265,6 +339,7 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 	if err != nil {
 		return nil, err
 	}
+	gate.SetBatchObserver(observeBatch)
 	s.gate = gate
 
 	reg := metrics.NewRegistry()
@@ -282,7 +357,28 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 	gate.Instrument(
 		reg.Gauge("shield_inflight_delays"),
 		reg.Histogram("shield_query_delay_seconds", metrics.DefaultDelayBuckets()),
+		// Cancelled charges get their own histogram so total imposed
+		// delay is fully accounted even when adversaries hang up early,
+		// while staying distinguishable from served-query latency.
+		reg.Histogram("shield_query_delay_cancelled_seconds", metrics.DefaultDelayBuckets()),
 	)
+	// Price cache instruments exist (at zero) even with the cache off, so
+	// dashboards see a stable schema. All caches share one set: hit rates
+	// are a property of the front door, not of one adaptive candidate.
+	cacheHits := reg.Counter("shield_price_cache_hits_total")
+	cacheMisses := reg.Counter("shield_price_cache_misses_total")
+	cacheStale := reg.Counter("shield_price_cache_stale_total")
+	cacheContention := reg.Gauge("shield_price_cache_shard_contention")
+	for _, pc := range s.priceCaches {
+		pc.Instrument(cacheHits, cacheMisses, cacheStale, cacheContention)
+	}
+	reg.GaugeFunc("shield_price_cache_entries", func() float64 {
+		n := 0
+		for _, pc := range s.priceCaches {
+			n += pc.Len()
+		}
+		return float64(n)
+	})
 	reg.GaugeFunc("shield_tracker_size", func() float64 { return float64(s.Tracker().Len()) })
 	if s.updPolicy != nil {
 		reg.GaugeFunc("shield_update_tracker_size", func() float64 {
@@ -326,7 +422,10 @@ func (s *Shield) Metrics() *metrics.Registry { return s.met.registry }
 func (s *Shield) DB() *engine.Database { return s.db }
 
 // Tracker returns the access-count tracker. In adaptive mode it is the
-// currently selected tracker.
+// tracker selected at the time of the call — a concurrent selector
+// switch may deactivate it at any moment, so multi-step reads that must
+// be consistent with the active selection go through withActiveTracker
+// instead (TopK and SaveCounts do).
 func (s *Shield) Tracker() *counters.Decayed {
 	if s.multi != nil {
 		s.multiMu.Lock()
@@ -337,6 +436,20 @@ func (s *Shield) Tracker() *counters.Decayed {
 	return s.tracker
 }
 
+// withActiveTracker runs fn on the active tracker; in adaptive mode the
+// selector lock is held for the duration, so a concurrent switch cannot
+// interleave with the read. fn must not call back into the shield.
+func (s *Shield) withActiveTracker(fn func(tr *counters.Decayed)) {
+	if s.multi != nil {
+		s.multiMu.Lock()
+		defer s.multiMu.Unlock()
+		tr, _ := s.multi.Active()
+		fn(tr)
+		return
+	}
+	fn(s.tracker)
+}
+
 // ActiveDecayRate returns the decay rate the shield is currently keying
 // delays to — interesting in adaptive mode, where it may switch.
 func (s *Shield) ActiveDecayRate() float64 {
@@ -344,18 +457,28 @@ func (s *Shield) ActiveDecayRate() float64 {
 }
 
 // TopK returns the k most popular tuple ids with their decayed counts,
-// per the current tracker.
+// per the current tracker. The snapshot is taken under the selector lock
+// in adaptive mode, so it is consistent with one selection even while
+// concurrent queries are switching trackers.
 func (s *Shield) TopK(k int) (ids []uint64, counts []float64) {
-	s.Tracker().Ascend(func(rank int, id uint64, count float64) bool {
-		if rank > k {
-			return false
-		}
-		ids = append(ids, id)
-		counts = append(counts, count)
-		return true
+	s.withActiveTracker(func(tr *counters.Decayed) {
+		tr.Ascend(func(rank int, id uint64, count float64) bool {
+			if rank > k {
+				return false
+			}
+			ids = append(ids, id)
+			counts = append(counts, count)
+			return true
+		})
 	})
 	return ids, counts
 }
+
+// ObserveLockAcquisitions returns how many times the observe path has
+// entered its serialization section. The batch-first invariant is one
+// entry per charged query, independent of the tuple count; the adaptive
+// regression test and benchmark pin this down.
+func (s *Shield) ObserveLockAcquisitions() int64 { return s.observeLocks.Load() }
 
 // Versions returns the tuple version store.
 func (s *Shield) Versions() *freshness.Store { return s.versions }
@@ -517,7 +640,9 @@ func (s *Shield) Window() float64 {
 // from an earlier, larger save cannot shadow the current state. The
 // row-by-row fallback offers neither property.
 func (s *Shield) SaveCounts(store counters.Store) error {
-	ids, counts := s.Tracker().Export()
+	var ids []uint64
+	var counts []float64
+	s.withActiveTracker(func(tr *counters.Decayed) { ids, counts = tr.Export() })
 	if bs, ok := store.(counters.BatchStore); ok {
 		if err := bs.ReplaceAllCounts(ids, counts); err != nil {
 			return fmt.Errorf("core: saving counts: %w", err)

@@ -1,0 +1,134 @@
+package counters
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ObserveBatch must leave the tracker in exactly the state a sequence of
+// per-tuple Observe calls produces: same counts bit for bit, same
+// observation totals, same ranks.
+func TestObserveBatchMatchesSequentialObserve(t *testing.T) {
+	for _, decay := range []float64{1, 1.000001, 1.05} {
+		seq, _ := NewDecayed(decay)
+		bat, _ := NewDecayed(decay)
+		rng := rand.New(rand.NewSource(7))
+		ids := make([]uint64, 500)
+		for i := range ids {
+			ids[i] = uint64(rng.Intn(40))
+		}
+		for _, id := range ids {
+			seq.Observe(id)
+		}
+		bat.ObserveBatch(ids)
+		if seq.Observations() != bat.Observations() {
+			t.Fatalf("decay %v: observations %d vs %d", decay, seq.Observations(), bat.Observations())
+		}
+		for id := uint64(0); id < 40; id++ {
+			if seq.Count(id) != bat.Count(id) {
+				t.Fatalf("decay %v: count(%d) %v vs %v", decay, id, seq.Count(id), bat.Count(id))
+			}
+			if seq.Rank(id) != bat.Rank(id) {
+				t.Fatalf("decay %v: rank(%d) %d vs %d", decay, id, seq.Rank(id), bat.Rank(id))
+			}
+		}
+	}
+}
+
+// RankBatch must agree with the per-id Count/Rank protocol the delay
+// policies used before batching: -1 exactly for never-observed ids, the
+// tree rank otherwise.
+func TestRankBatchMatchesPerIDRank(t *testing.T) {
+	d, _ := NewDecayed(1.0001)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		d.Observe(uint64(rng.Intn(100)))
+	}
+	ids := make([]uint64, 150)
+	for i := range ids {
+		ids[i] = uint64(i) // 100..149 never observed (probably); verified below
+	}
+	ranks := d.RankBatch(ids)
+	if len(ranks) != len(ids) {
+		t.Fatalf("len %d != %d", len(ranks), len(ids))
+	}
+	for i, id := range ids {
+		if d.Count(id) <= 0 {
+			if ranks[i] != -1 {
+				t.Fatalf("unseen id %d: rank %d, want -1", id, ranks[i])
+			}
+			continue
+		}
+		if want := d.Rank(id); ranks[i] != want {
+			t.Fatalf("id %d: rank %d, want %d", id, ranks[i], want)
+		}
+	}
+}
+
+// The epoch must advance on every state change and stay put when nothing
+// changes — including the decay-1 tick, which is a no-op.
+func TestEpochAdvancesOnMutation(t *testing.T) {
+	d, _ := NewDecayed(1)
+	e0 := d.Epoch()
+	d.Observe(1)
+	if d.Epoch() <= e0 {
+		t.Fatal("epoch did not advance on Observe")
+	}
+	e1 := d.Epoch()
+	d.Tick() // decay 1: a no-op, must not invalidate
+	if d.Epoch() != e1 {
+		t.Fatal("epoch advanced on a no-op tick")
+	}
+	if d.Count(1) != 1 || d.Rank(1) != 1 {
+		t.Fatal("reads changed state")
+	}
+	if d.Epoch() != e1 {
+		t.Fatal("epoch advanced on reads")
+	}
+	d.Remove(1)
+	if d.Epoch() <= e1 {
+		t.Fatal("epoch did not advance on Remove")
+	}
+	e2 := d.Epoch()
+	if err := d.Import([]uint64{5}, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() <= e2 {
+		t.Fatal("epoch did not advance on Import")
+	}
+
+	dd, _ := NewDecayed(1.5)
+	dd.Observe(1)
+	ed := dd.Epoch()
+	dd.Tick() // real decay changes all counts
+	if dd.Epoch() <= ed {
+		t.Fatal("epoch did not advance on an effective tick")
+	}
+}
+
+// MultiDecay.ObserveBatch must match per-id Observe exactly, scores
+// included.
+func TestMultiDecayObserveBatchMatchesSequential(t *testing.T) {
+	seq, _ := NewMultiDecay([]float64{1, 1.05}, 0.9, 5)
+	bat, _ := NewMultiDecay([]float64{1, 1.05}, 0.9, 5)
+	rng := rand.New(rand.NewSource(3))
+	ids := make([]uint64, 200)
+	for i := range ids {
+		ids[i] = uint64(rng.Intn(20))
+	}
+	for _, id := range ids {
+		seq.Observe(id)
+	}
+	bat.ObserveBatch(ids)
+	ss, bs := seq.Scores(), bat.Scores()
+	for i := range ss {
+		if ss[i] != bs[i] {
+			t.Fatalf("score[%d] %v vs %v", i, ss[i], bs[i])
+		}
+	}
+	_, si := seq.Active()
+	_, bi := bat.Active()
+	if si != bi {
+		t.Fatalf("active index %d vs %d", si, bi)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ostree"
 )
@@ -41,6 +42,12 @@ type Decayed struct {
 	// renorms counts how many times the inflation counter was reset; it is
 	// exposed for tests and the ablation benchmarks.
 	renorms int64
+	// epoch is a generation counter advanced on every mutation (each
+	// observation, decay tick, removal, and import). Readers use it to
+	// invalidate derived state — the delay price cache compares the epoch
+	// a price was computed at against the current one — so it is atomic
+	// and readable without taking mu.
+	epoch atomic.Uint64
 }
 
 // NewDecayed returns a tracker with decay rate decay (≥ 1). It returns an
@@ -60,7 +67,7 @@ func (d *Decayed) DecayRate() float64 { return d.decay }
 // paper applies decay "at each request, uniformly to all counts".
 func (d *Decayed) Observe(id uint64) {
 	d.mu.Lock()
-	d.observeLocked(id)
+	d.observeLocked(id, false)
 	d.tickLocked()
 	d.mu.Unlock()
 }
@@ -70,15 +77,43 @@ func (d *Decayed) Observe(id uint64) {
 // use this together with Tick.
 func (d *Decayed) ObserveNoDecay(id uint64) {
 	d.mu.Lock()
-	d.observeLocked(id)
+	d.observeLocked(id, false)
 	d.mu.Unlock()
 }
 
-func (d *Decayed) observeLocked(id uint64) {
+// observeLocked records one access. deferTree queues the rank-tree repair
+// for the next rank read instead of applying it in place; batch observes
+// use it so a k-tuple burst pays one amortized repair pass.
+func (d *Decayed) observeLocked(id uint64, deferTree bool) {
 	w, _ := d.tree.Weight(id)
-	d.tree.Upsert(id, w+d.inc)
+	if deferTree {
+		d.tree.UpsertDeferred(id, w+d.inc)
+	} else {
+		d.tree.Upsert(id, w+d.inc)
+	}
 	d.total += d.inc
 	d.obs++
+	d.epoch.Add(1)
+}
+
+// ObserveBatch records one access to every id in order, each followed by
+// one decay step — exactly the state sequence len(ids) Observe calls
+// would produce — under a single lock acquisition. It is the tracker
+// half of the batch-first quote/observe path: a k-tuple SELECT pays one
+// lock round-trip here instead of k.
+func (d *Decayed) ObserveBatch(ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	// A single-tuple batch keeps the eager treap write: deferring would
+	// only queue pending-map churn ahead of the very next rank read.
+	deferTree := len(ids) > 1
+	d.mu.Lock()
+	for _, id := range ids {
+		d.observeLocked(id, deferTree)
+		d.tickLocked()
+	}
+	d.mu.Unlock()
 }
 
 // Tick applies one decay step to all counts (via increment inflation).
@@ -98,6 +133,12 @@ func (d *Decayed) TickN(n int) {
 }
 
 func (d *Decayed) tickLocked() {
+	if d.decay == 1 {
+		// No decay: counts are unchanged, so the epoch must not advance
+		// (it would spuriously invalidate cached delay prices).
+		return
+	}
+	d.epoch.Add(1)
 	d.inc *= d.decay
 	if d.inc > renormThreshold {
 		scale := 1 / d.inc
@@ -122,8 +163,17 @@ func (d *Decayed) Remove(id uint64) bool {
 	if d.total < 0 {
 		d.total = 0
 	}
+	d.epoch.Add(1)
 	return true
 }
+
+// Epoch returns the tracker's mutation generation: it advances at least
+// once per state change (observation, effective decay tick, removal,
+// import). Consumers snapshot it before deriving state from the tracker
+// and compare later to decide whether the derivation is still fresh; the
+// delay price cache bounds staleness by an epoch lag. Epoch does not
+// take the tracker lock.
+func (d *Decayed) Epoch() uint64 { return d.epoch.Load() }
 
 // Count returns the decayed count of id: raw weight normalized by the
 // current increment. Unseen ids return 0.
@@ -182,6 +232,36 @@ func (d *Decayed) MaxPopularity() float64 {
 func (d *Decayed) Rank(id uint64) int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	r, _ := d.tree.Rank(id)
+	return r
+}
+
+// RankBatch returns the 1-based popularity rank of every id under one
+// lock acquisition — the batch counterpart of per-id Count+Rank calls on
+// the quote hot path. Ids never observed report -1; callers map that to
+// their policy's "maximally unpopular" rank (the delay policies use N).
+func (d *Decayed) RankBatch(ids []uint64) []int {
+	out := make([]int, len(ids))
+	d.mu.Lock()
+	for i, id := range ids {
+		if _, ok := d.tree.Weight(id); !ok {
+			out[i] = -1
+			continue
+		}
+		out[i], _ = d.tree.Rank(id)
+	}
+	d.mu.Unlock()
+	return out
+}
+
+// RankOne is RankBatch for a single id without the result-slice
+// allocation; the single-tuple quote path lives on it.
+func (d *Decayed) RankOne(id uint64) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.tree.Weight(id); !ok {
+		return -1
+	}
 	r, _ := d.tree.Rank(id)
 	return r
 }
@@ -258,6 +338,7 @@ func (d *Decayed) Import(ids []uint64, counts []float64) error {
 		d.total += c
 		d.obs++
 	}
+	d.epoch.Add(1)
 	return nil
 }
 

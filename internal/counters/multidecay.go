@@ -59,15 +59,36 @@ func NewMultiDecay(rates []float64, scoreDecay float64, warmup int) (*MultiDecay
 
 // Observe scores every tracker's prediction for id, then records the
 // access (with one decay step) in all of them.
-func (m *MultiDecay) Observe(id uint64) {
+func (m *MultiDecay) Observe(id uint64) { m.observe(id, false) }
+
+func (m *MultiDecay) observe(id uint64, deferTree bool) {
 	for i, tr := range m.trackers {
 		p := m.smoothedProb(tr, id)
 		m.scores[i] = m.scoreDecay*m.scores[i] + (1-m.scoreDecay)*math.Log(p)
 	}
 	for _, tr := range m.trackers {
-		tr.Observe(id)
+		tr.mu.Lock()
+		tr.observeLocked(id, deferTree)
+		tr.tickLocked()
+		tr.mu.Unlock()
 	}
 	m.seen++
+}
+
+// ObserveBatch records the ids in order with exactly the semantics of
+// len(ids) Observe calls (each id is scored against the pre-observation
+// state, then recorded in every tracker). It exists so the shield's
+// serialization section around MultiDecay is entered once per query
+// batch instead of once per tuple; like Observe, it must not race with
+// Active — the caller holds the same external lock for the whole batch.
+// The per-tracker rank-tree repairs are deferred for multi-tuple batches:
+// the selection scores read only decayed weights, never tree structure,
+// so deferral cannot change which tracker wins.
+func (m *MultiDecay) ObserveBatch(ids []uint64) {
+	deferTree := len(ids) > 1
+	for _, id := range ids {
+		m.observe(id, deferTree)
+	}
 }
 
 // smoothedProb is a Laplace-smoothed popularity estimate so unseen ids do

@@ -26,6 +26,26 @@ type Policy interface {
 	Delay(id uint64) time.Duration
 }
 
+// BatchPolicy is implemented by policies that can price a whole result
+// set in a bounded number of tracker lock acquisitions (and possibly a
+// price cache) instead of two lock round-trips per tuple. DelayBatch
+// returns the same saturating sum of per-tuple delays the gate would
+// compute by calling Delay per id.
+type BatchPolicy interface {
+	Policy
+	// DelayBatch returns the total delay for retrieving ids together.
+	DelayBatch(ids []uint64) time.Duration
+}
+
+// satAdd adds a per-tuple delay into a running total, saturating at the
+// maximum representable duration (the gate's aggregation rule).
+func satAdd(total, d time.Duration) time.Duration {
+	if total > maxDuration-d {
+		return maxDuration
+	}
+	return total + d
+}
+
 // maxDuration saturates conversions from analytic float seconds; adversary
 // totals with uncapped policies can exceed what int64 nanoseconds hold.
 const maxDuration = time.Duration(math.MaxInt64)

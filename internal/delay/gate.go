@@ -19,10 +19,18 @@ type Gate struct {
 	policy  Policy
 	clock   vclock.Clock
 	observe func(id uint64)
+	// observeBatch, when set via SetBatchObserver, replaces per-tuple
+	// observe calls with one call per charge.
+	observeBatch func(ids []uint64)
 
 	// Optional instrumentation, set via Instrument.
-	inflight  *metrics.Gauge
-	delayHist *metrics.Histogram
+	inflight *metrics.Gauge
+	// delayHist records charges whose full delay was served;
+	// cancelledHist records charges whose sleep was cut short. Keeping
+	// them apart means /metrics does not under-report imposed delay when
+	// adversaries hang up early, while served-query latency stays clean.
+	delayHist     *metrics.Histogram
+	cancelledHist *metrics.Histogram
 }
 
 // BatchResolver is implemented by policies that serve delays through a
@@ -47,12 +55,22 @@ func NewGate(policy Policy, clock vclock.Clock, observe func(id uint64)) (*Gate,
 }
 
 // Instrument attaches optional metrics: inflight counts goroutines
-// currently sleeping in the gate; delayHist records each completed
-// charge's imposed delay in seconds. Either may be nil. Call before the
-// gate is shared between goroutines.
-func (g *Gate) Instrument(inflight *metrics.Gauge, delayHist *metrics.Histogram) {
+// currently sleeping in the gate; delayHist records each fully served
+// charge's imposed delay in seconds; cancelledHist records the quoted
+// delay of charges whose sleep was cut short by cancellation. Any may be
+// nil. Call before the gate is shared between goroutines.
+func (g *Gate) Instrument(inflight *metrics.Gauge, delayHist, cancelledHist *metrics.Histogram) {
 	g.inflight = inflight
 	g.delayHist = delayHist
+	g.cancelledHist = cancelledHist
+}
+
+// SetBatchObserver replaces the per-tuple observe callback with one that
+// records a whole charge's accesses in a single call, so the learner's
+// serialization cost is paid once per query instead of once per tuple.
+// Call before the gate is shared between goroutines.
+func (g *Gate) SetBatchObserver(fn func(ids []uint64)) {
+	g.observeBatch = fn
 }
 
 // Charge computes the total delay for the given result tuples, sleeps it,
@@ -81,12 +99,18 @@ func (g *Gate) ChargeCtx(ctx context.Context, ids ...uint64) (time.Duration, err
 	if g.inflight != nil {
 		g.inflight.Dec()
 	}
-	if g.observe != nil {
+	switch {
+	case g.observeBatch != nil:
+		g.observeBatch(ids)
+	case g.observe != nil:
 		for _, id := range ids {
 			g.observe(id)
 		}
 	}
 	if err != nil {
+		if g.cancelledHist != nil {
+			g.cancelledHist.Observe(total.Seconds())
+		}
 		return total, err
 	}
 	if g.delayHist != nil {
@@ -104,13 +128,12 @@ func (g *Gate) Quote(ids ...uint64) time.Duration {
 	if r, ok := pol.(BatchResolver); ok {
 		pol = r.ResolveBatch()
 	}
+	if bp, ok := pol.(BatchPolicy); ok {
+		return bp.DelayBatch(ids)
+	}
 	var total time.Duration
 	for _, id := range ids {
-		d := pol.Delay(id)
-		if total > maxDuration-d {
-			return maxDuration
-		}
-		total += d
+		total = satAdd(total, pol.Delay(id))
 	}
 	return total
 }

@@ -51,7 +51,8 @@ func TestChargeCtxInstrumented(t *testing.T) {
 	}
 	reg := metrics.NewRegistry()
 	hist := reg.Histogram("delay_seconds", metrics.DefaultDelayBuckets())
-	g.Instrument(reg.Gauge("inflight"), hist)
+	cancelledHist := reg.Histogram("delay_cancelled_seconds", metrics.DefaultDelayBuckets())
+	g.Instrument(reg.Gauge("inflight"), hist, cancelledHist)
 
 	if d := g.Charge(7); d != time.Second {
 		t.Fatalf("charge = %v", d)
@@ -63,12 +64,40 @@ func TestChargeCtxInstrumented(t *testing.T) {
 		t.Fatalf("inflight = %d after charge", reg.Gauge("inflight").Value())
 	}
 
-	// A cancelled charge bumps nothing in the delay histogram.
+	// A cancelled charge lands in the cancelled histogram, not the served
+	// one — total imposed delay stays fully accounted while served-query
+	// latency stays clean.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	g.ChargeCtx(ctx, 7)
 	if hist.Count() != 1 {
-		t.Fatalf("cancelled charge reached histogram: %d", hist.Count())
+		t.Fatalf("cancelled charge reached served histogram: %d", hist.Count())
+	}
+	if cancelledHist.Count() != 1 {
+		t.Fatalf("cancelled histogram count = %d", cancelledHist.Count())
+	}
+}
+
+// batchObservePolicy asserts the gate prefers the batch observer.
+func TestChargeCtxUsesBatchObserver(t *testing.T) {
+	clk := vclock.NewSimulated(time.Unix(0, 0))
+	perTuple := 0
+	g, err := NewGate(constPolicy{time.Millisecond}, clk, func(uint64) { perTuple++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches [][]uint64
+	g.SetBatchObserver(func(ids []uint64) {
+		batches = append(batches, append([]uint64(nil), ids...))
+	})
+	if _, err := g.ChargeCtx(context.Background(), 4, 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if perTuple != 0 {
+		t.Fatalf("per-tuple observer called %d times despite batch observer", perTuple)
+	}
+	if len(batches) != 1 || len(batches[0]) != 3 {
+		t.Fatalf("batch observer calls = %v", batches)
 	}
 }
 

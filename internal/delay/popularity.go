@@ -50,6 +50,7 @@ func (c PopularityConfig) validate() error {
 type Popularity struct {
 	cfg     PopularityConfig
 	tracker *counters.Decayed
+	cache   *PriceCache // optional, set via SetPriceCache
 }
 
 // NewPopularity returns a popularity policy reading ranks from tracker.
@@ -70,6 +71,77 @@ func (p *Popularity) Config() PopularityConfig { return p.cfg }
 
 // Tracker returns the underlying access tracker.
 func (p *Popularity) Tracker() *counters.Decayed { return p.tracker }
+
+// SetPriceCache attaches a quote cache consulted (and filled) by
+// DelayBatch, keyed by the tracker's epoch. Call before the policy is
+// shared between goroutines; nil detaches.
+func (p *Popularity) SetPriceCache(c *PriceCache) { p.cache = c }
+
+// PriceCache returns the attached quote cache, or nil.
+func (p *Popularity) PriceCache() *PriceCache { return p.cache }
+
+// DelayBatch implements BatchPolicy: the whole batch is priced with one
+// tracker lock acquisition for fmax and one for the ranks — instead of
+// three per tuple — and, when a price cache is attached, cached tuples
+// skip the tracker entirely.
+func (p *Popularity) DelayBatch(ids []uint64) time.Duration {
+	if p.cache == nil {
+		return p.delayBatchUncached(ids)
+	}
+	epoch := p.tracker.Epoch()
+	perTuple := make([]time.Duration, len(ids))
+	if miss := p.cache.LookupBatch(ids, epoch, perTuple); len(miss) > 0 {
+		missIDs := make([]uint64, len(miss))
+		for j, i := range miss {
+			missIDs[j] = ids[i]
+		}
+		fmax := p.fmax()
+		ranks := p.tracker.RankBatch(missIDs)
+		prices := make([]time.Duration, len(miss))
+		for j, r := range ranks {
+			d := p.delayAt(p.clampRank(r), fmax)
+			prices[j] = d
+			perTuple[miss[j]] = d
+		}
+		// The unlearned state (fmax ≤ 0) prices everything at the cap
+		// regardless of rank; caching it would pin the start-up transient
+		// for up to lag mutations after the first real observation.
+		if fmax > 0 {
+			p.cache.StoreBatch(missIDs, prices, epoch)
+		}
+	}
+	// Sum in id order so totals are bit-identical to the per-tuple loop.
+	var total time.Duration
+	for _, d := range perTuple {
+		total = satAdd(total, d)
+	}
+	return total
+}
+
+func (p *Popularity) delayBatchUncached(ids []uint64) time.Duration {
+	if len(ids) == 1 {
+		// Point queries skip the batch slices: two lock round-trips, zero
+		// allocations, same arithmetic.
+		return p.delayAt(p.clampRank(p.tracker.RankOne(ids[0])), p.fmax())
+	}
+	fmax := p.fmax()
+	ranks := p.tracker.RankBatch(ids)
+	var total time.Duration
+	for _, r := range ranks {
+		total = satAdd(total, p.delayAt(p.clampRank(r), fmax))
+	}
+	return total
+}
+
+// clampRank maps a RankBatch rank to the policy's domain: never-observed
+// tuples (-1) and ranks past the configured dataset size are charged as
+// rank N, exactly as the per-tuple rank() does.
+func (p *Popularity) clampRank(r int) int {
+	if r < 0 || r > p.cfg.N {
+		return p.cfg.N
+	}
+	return r
+}
 
 // Delay implements Policy. The rank of a never-observed tuple is N; with
 // no observations at all (fmax unknown) every delay is the cap, which is

@@ -1,0 +1,237 @@
+package delay
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/metrics"
+)
+
+func newCachedAndUncached(t *testing.T, tr *counters.Decayed, lag uint64) (cached, uncached *Popularity) {
+	t.Helper()
+	cfg := PopularityConfig{N: 500, Alpha: 1, Beta: 2, Cap: 10 * time.Second}
+	var err error
+	cached, err = NewPopularity(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewPriceCache(256, 4, lag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached.SetPriceCache(pc)
+	uncached, err = NewPopularity(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cached, uncached
+}
+
+// With PriceCacheEpochLag=0, every quote served through the cache must be
+// bit-identical to the uncached batch path and to the original per-tuple
+// Delay loop — at any quiescent point, whatever history preceded it.
+func TestPriceCacheExactAtLagZero(t *testing.T) {
+	tr, err := counters.NewDecayed(1.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, uncached := newCachedAndUncached(t, tr, 0)
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 40; i++ {
+			tr.Observe(uint64(rng.Intn(300)))
+		}
+		ids := make([]uint64, 1+rng.Intn(64))
+		for i := range ids {
+			ids[i] = uint64(rng.Intn(600)) // half the range never observed
+		}
+		// Quote twice: the first fills the cache, the second must serve
+		// from it (no mutation in between) with the identical total.
+		first := cached.DelayBatch(ids)
+		second := cached.DelayBatch(ids)
+		want := uncached.DelayBatch(ids)
+		var perTuple time.Duration
+		for _, id := range ids {
+			perTuple = satAdd(perTuple, uncached.Delay(id))
+		}
+		if first != want || second != want || perTuple != want {
+			t.Fatalf("round %d: cached %v / %v, uncached batch %v, per-tuple %v",
+				round, first, second, want, perTuple)
+		}
+	}
+}
+
+// Under concurrent Observe/Quote, a cache with lag 0 must never serve a
+// price that the uncached path would not have produced at the same
+// epoch. Each quoter snapshots the epoch; when the epoch is unchanged
+// across both the cached and the uncached computation, the two totals
+// compare bit-for-bit. Run with -race.
+func TestPriceCacheConcurrentExactness(t *testing.T) {
+	tr, err := counters.NewDecayed(1.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, uncached := newCachedAndUncached(t, tr, 0)
+	stop := make(chan struct{})
+	var mutatorDone sync.WaitGroup
+	mutatorDone.Add(1)
+	go func() {
+		defer mutatorDone.Done()
+		rng := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.ObserveBatch([]uint64{uint64(rng.Intn(200)), uint64(rng.Intn(200))})
+		}
+	}()
+	var mismatches, checked atomic.Int64
+	var quoters sync.WaitGroup
+	for q := 0; q < 4; q++ {
+		quoters.Add(1)
+		go func(seed int64) {
+			defer quoters.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3000; i++ {
+				if i == 1500 && seed == 10 {
+					// Half way in, silence the mutator so quoters also get
+					// guaranteed stable-epoch windows to compare in.
+					close(stop)
+				}
+				ids := make([]uint64, 1+rng.Intn(16))
+				for j := range ids {
+					ids[j] = uint64(rng.Intn(400))
+				}
+				e0 := tr.Epoch()
+				got := cached.DelayBatch(ids)
+				if tr.Epoch() != e0 {
+					continue // mutated mid-quote; nothing to compare against
+				}
+				want := uncached.DelayBatch(ids)
+				if tr.Epoch() != e0 {
+					continue
+				}
+				checked.Add(1)
+				if got != want {
+					mismatches.Add(1)
+				}
+			}
+		}(int64(q + 10))
+	}
+	quoters.Wait()
+	mutatorDone.Wait()
+	if checked.Load() == 0 {
+		t.Fatal("no stable-epoch quote windows observed")
+	}
+	if mismatches.Load() != 0 {
+		t.Fatalf("%d/%d stable-epoch quotes mismatched the uncached path", mismatches.Load(), checked.Load())
+	}
+}
+
+// A positive epoch lag serves bounded-stale prices: within the lag the
+// cached (possibly stale) value is returned; past it the entry is
+// refused and recomputed.
+func TestPriceCacheEpochLagBoundsStaleness(t *testing.T) {
+	tr, err := counters.NewDecayed(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPopularity(PopularityConfig{N: 100, Alpha: 1, Beta: 1, Cap: time.Second}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewPriceCache(64, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	hits := reg.Counter("hits")
+	misses := reg.Counter("misses")
+	stale := reg.Counter("stale")
+	pc.Instrument(hits, misses, stale, reg.Gauge("contention"))
+	p.SetPriceCache(pc)
+
+	tr.Observe(7)
+	p.DelayBatch([]uint64{7}) // fill
+	if misses.Value() != 1 {
+		t.Fatalf("misses = %d", misses.Value())
+	}
+	tr.Observe(7) // 2 epoch ticks (observe + decay tick), within lag 4
+	if p.DelayBatch([]uint64{7}); hits.Value() != 1 {
+		t.Fatalf("hits = %d; in-lag lookup did not hit", hits.Value())
+	}
+	tr.Observe(7)
+	tr.Observe(7) // now 6 ticks past the fill epoch: beyond the lag
+	if p.DelayBatch([]uint64{7}); stale.Value() != 1 {
+		t.Fatalf("stale = %d; out-of-lag lookup served", stale.Value())
+	}
+}
+
+// The fixed capacity bounds residency no matter how many distinct ids
+// pass through.
+func TestPriceCacheCapacityBounded(t *testing.T) {
+	pc, err := NewPriceCache(32, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 10_000; id++ {
+		pc.Store(id, time.Millisecond, 0)
+	}
+	if n := pc.Len(); n > 32 {
+		t.Fatalf("cache holds %d entries, capacity 32", n)
+	}
+}
+
+func TestPriceCacheValidation(t *testing.T) {
+	if _, err := NewPriceCache(0, 4, 0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	// Shard count is rounded up to a power of two and capped by capacity.
+	pc, err := NewPriceCache(2, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pc.shards); got != 2 {
+		t.Fatalf("shards = %d, want 2", got)
+	}
+	pc, err = NewPriceCache(1024, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pc.shards); got != 8 {
+		t.Fatalf("shards = %d, want 8", got)
+	}
+}
+
+// A quote made before anything is learned prices at the cap, but must not
+// be cached: under a generous epoch lag the first real observation would
+// otherwise leave retries pinned at the startup cap for up to lag
+// mutations.
+func TestPriceCacheDoesNotPinStartupTransient(t *testing.T) {
+	tr, err := counters.NewDecayed(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPopularity(PopularityConfig{N: 1000, Alpha: 1, Beta: 2, Cap: time.Second}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewPriceCache(64, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetPriceCache(pc)
+	if d := p.DelayBatch([]uint64{7}); d != time.Second {
+		t.Fatalf("unlearned quote = %v, want the cap", d)
+	}
+	tr.Observe(7)
+	if d := p.DelayBatch([]uint64{7}); d >= time.Second {
+		t.Fatalf("post-observation quote = %v: the startup cap was cached", d)
+	}
+}

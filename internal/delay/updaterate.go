@@ -3,6 +3,7 @@ package delay
 import (
 	"errors"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/counters"
@@ -53,7 +54,15 @@ func (c UpdateRateConfig) validate() error {
 type UpdateRate struct {
 	cfg     UpdateRateConfig
 	tracker *counters.Decayed
-	window  float64 // seconds of update observation, for learned rmax
+	// window is the observation span in seconds (float64 bits), stored
+	// atomically: SetWindow runs on the write path while concurrent
+	// SELECTs read it through rmax.
+	window atomic.Uint64
+	// windowGen counts SetWindow calls; it folds into the price-cache
+	// epoch so a window change invalidates cached prices even though the
+	// tracker itself did not mutate.
+	windowGen atomic.Uint64
+	cache     *PriceCache // optional, set via SetPriceCache
 }
 
 // NewUpdateRate returns an update-rate policy. tracker must be fed one
@@ -79,16 +88,32 @@ func (u *UpdateRate) RecordUpdate(id uint64) { u.tracker.ObserveNoDecay(id) }
 
 // SetWindow tells the policy how many seconds of updates the tracker has
 // seen, so a learned rmax can be expressed in updates per second.
-func (u *UpdateRate) SetWindow(seconds float64) { u.window = seconds }
+func (u *UpdateRate) SetWindow(seconds float64) {
+	u.window.Store(math.Float64bits(seconds))
+	u.windowGen.Add(1)
+}
+
+// SetPriceCache attaches a quote cache consulted (and filled) by
+// DelayBatch. Call before the policy is shared; nil detaches.
+func (u *UpdateRate) SetPriceCache(c *PriceCache) { u.cache = c }
+
+// PriceCache returns the attached quote cache, or nil.
+func (u *UpdateRate) PriceCache() *PriceCache { return u.cache }
+
+// epoch is the cache-invalidation generation: tracker mutations and
+// window changes both advance it (the sum of two monotone counters is
+// monotone).
+func (u *UpdateRate) epoch() uint64 { return u.tracker.Epoch() + u.windowGen.Load() }
 
 func (u *UpdateRate) rmax() float64 {
 	if u.cfg.Rmax > 0 {
 		return u.cfg.Rmax
 	}
-	if u.window <= 0 {
+	window := math.Float64frombits(u.window.Load())
+	if window <= 0 {
 		return 0
 	}
-	return u.tracker.MaxCount() / u.window
+	return u.tracker.MaxCount() / window
 }
 
 // Delay implements Policy.
@@ -106,11 +131,70 @@ func (u *UpdateRate) Delay(id uint64) time.Duration {
 // rank.
 func (u *UpdateRate) DelayForRank(rank int) time.Duration { return u.delayAt(rank) }
 
+// DelayBatch implements BatchPolicy: one tracker lock acquisition for
+// rmax and one for the ranks price the whole batch, with cached tuples
+// skipping the tracker entirely.
+func (u *UpdateRate) DelayBatch(ids []uint64) time.Duration {
+	if u.cache == nil {
+		return u.delayBatchUncached(ids)
+	}
+	epoch := u.epoch()
+	perTuple := make([]time.Duration, len(ids))
+	if miss := u.cache.LookupBatch(ids, epoch, perTuple); len(miss) > 0 {
+		missIDs := make([]uint64, len(miss))
+		for j, i := range miss {
+			missIDs[j] = ids[i]
+		}
+		rmax := u.rmax()
+		ranks := u.tracker.RankBatch(missIDs)
+		prices := make([]time.Duration, len(miss))
+		for j, r := range ranks {
+			d := u.delayAtRmax(u.clampRank(r), rmax)
+			prices[j] = d
+			perTuple[miss[j]] = d
+		}
+		// Unlearned rmax prices at the cap; don't pin that transient.
+		if rmax > 0 {
+			u.cache.StoreBatch(missIDs, prices, epoch)
+		}
+	}
+	var total time.Duration
+	for _, d := range perTuple {
+		total = satAdd(total, d)
+	}
+	return total
+}
+
+func (u *UpdateRate) delayBatchUncached(ids []uint64) time.Duration {
+	if len(ids) == 1 {
+		return u.delayAtRmax(u.clampRank(u.tracker.RankOne(ids[0])), u.rmax())
+	}
+	rmax := u.rmax()
+	ranks := u.tracker.RankBatch(ids)
+	var total time.Duration
+	for _, r := range ranks {
+		total = satAdd(total, u.delayAtRmax(u.clampRank(r), rmax))
+	}
+	return total
+}
+
+// clampRank maps a RankBatch rank into the policy's domain: never-updated
+// tuples (-1) and ranks past N are charged as rank N, matching Delay.
+func (u *UpdateRate) clampRank(r int) int {
+	if r < 0 || r > u.cfg.N {
+		return u.cfg.N
+	}
+	return r
+}
+
 func (u *UpdateRate) delayAt(rank int) time.Duration {
+	return u.delayAtRmax(rank, u.rmax())
+}
+
+func (u *UpdateRate) delayAtRmax(rank int, rmax float64) time.Duration {
 	if rank < 1 {
 		rank = 1
 	}
-	rmax := u.rmax()
 	if rmax <= 0 {
 		if u.cfg.Cap > 0 {
 			return u.cfg.Cap

@@ -5,9 +5,21 @@
 //
 // Rank 1 is the item with the greatest weight; ties are broken by
 // ascending id so ranks are total and deterministic.
+//
+// Writes come in two flavours: Upsert repairs the treap in place, while
+// UpsertDeferred records the new weight in O(1) and leaves the repair to
+// the next rank-structure read (Rank, KthID, MaxWeight, Ascend), which
+// applies all queued repairs in one pass. Point reads (Weight, Contains,
+// Len) never touch the treap. Both flavours produce identical results;
+// deferral only pays off for write bursts between reads — the shape the
+// batched observe path produces — where it replaces a delete+reinsert
+// per write with one amortized repair pass.
 package ostree
 
-import "math/rand"
+import (
+	"math/rand"
+	"slices"
+)
 
 type node struct {
 	weight float64
@@ -39,11 +51,23 @@ func before(w1 float64, id1 uint64, w2 float64, id2 uint64) bool {
 }
 
 // Tree is an order-statistics treap. The zero value is not usable; call
-// New. Tree is not safe for concurrent use.
+// New. Tree is not safe for concurrent use (reads repair deferred
+// writes, so even read-read sharing needs external locking).
 type Tree struct {
 	root    *node
 	weights map[uint64]float64
+	// pending holds ids whose authoritative weight (weights) has not yet
+	// been applied to the treap, mapped to the weight their resident node
+	// still carries (inTree false when no node exists yet). flush drains
+	// it before any rank-structure read.
+	pending map[uint64]pendingNode
+	scratch []uint64 // reused by flush for the sorted drain order
 	rng     *rand.Rand
+}
+
+type pendingNode struct {
+	weight float64
+	inTree bool
 }
 
 // New returns an empty tree. seed fixes the treap priorities so structure
@@ -51,12 +75,13 @@ type Tree struct {
 func New(seed int64) *Tree {
 	return &Tree{
 		weights: make(map[uint64]float64),
+		pending: make(map[uint64]pendingNode),
 		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
 
 // Len returns the number of ids in the tree.
-func (t *Tree) Len() int { return size(t.root) }
+func (t *Tree) Len() int { return len(t.weights) }
 
 // Contains reports whether id is present.
 func (t *Tree) Contains(id uint64) bool {
@@ -102,18 +127,34 @@ func merge(l, r *node) *node {
 	}
 }
 
-// Upsert sets id's weight, inserting it if absent.
+// Upsert sets id's weight, inserting it if absent, and moves its node in
+// place — unless a repair for id is already queued, in which case the
+// queued repair simply picks up the new weight.
 func (t *Tree) Upsert(id uint64, weight float64) {
-	if old, ok := t.weights[id]; ok {
-		if old == weight {
-			return
-		}
-		t.root = remove(t.root, old, id)
+	old, ok := t.weights[id]
+	if ok && old == weight {
+		return
 	}
 	t.weights[id] = weight
-	n := &node{weight: weight, id: id, prio: t.rng.Uint32(), size: 1}
-	l, r := split(t.root, weight, id)
-	t.root = merge(merge(l, n), r)
+	if _, deferred := t.pending[id]; deferred {
+		return
+	}
+	t.apply(id, pendingNode{weight: old, inTree: ok})
+}
+
+// UpsertDeferred is Upsert with the treap repair queued for the next
+// structural read instead of applied in place — O(1) per call. Bulk
+// observe paths use it so a k-write burst costs k map updates plus one
+// amortized repair pass instead of k treap delete+reinserts.
+func (t *Tree) UpsertDeferred(id uint64, weight float64) {
+	old, ok := t.weights[id]
+	if ok && old == weight {
+		return
+	}
+	if _, deferred := t.pending[id]; !deferred {
+		t.pending[id] = pendingNode{weight: old, inTree: ok}
+	}
+	t.weights[id] = weight
 }
 
 // Delete removes id if present and reports whether it was found.
@@ -123,8 +164,53 @@ func (t *Tree) Delete(id uint64) bool {
 		return false
 	}
 	delete(t.weights, id)
+	if p, deferred := t.pending[id]; deferred {
+		delete(t.pending, id)
+		if p.inTree {
+			t.root = remove(t.root, p.weight, id)
+		}
+		return true
+	}
 	t.root = remove(t.root, w, id)
 	return true
+}
+
+// flush applies deferred Upserts to the treap. Ids are drained in sorted
+// order so the priorities drawn from the seeded rng — and therefore the
+// treap structure — stay reproducible across runs.
+func (t *Tree) flush() {
+	switch len(t.pending) {
+	case 0:
+		return
+	case 1:
+		// The point-query cadence: one deferred write per read. Apply it
+		// without the sort-and-drain machinery.
+		for id, p := range t.pending {
+			delete(t.pending, id)
+			t.apply(id, p)
+		}
+		return
+	}
+	ids := t.scratch[:0]
+	for id := range t.pending {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		t.apply(id, t.pending[id])
+	}
+	clear(t.pending)
+	t.scratch = ids
+}
+
+func (t *Tree) apply(id uint64, p pendingNode) {
+	if p.inTree {
+		t.root = remove(t.root, p.weight, id)
+	}
+	w := t.weights[id]
+	n := &node{weight: w, id: id, prio: t.rng.Uint32(), size: 1}
+	l, r := split(t.root, w, id)
+	t.root = merge(merge(l, n), r)
 }
 
 func remove(n *node, w float64, id uint64) *node {
@@ -152,6 +238,7 @@ func (t *Tree) Rank(id uint64) (int, bool) {
 	if !ok {
 		return t.Len() + 1, false
 	}
+	t.flush()
 	rank := 1
 	n := t.root
 	for n != nil {
@@ -174,6 +261,7 @@ func (t *Tree) KthID(k int) (uint64, bool) {
 	if k < 1 || k > t.Len() {
 		return 0, false
 	}
+	t.flush()
 	n := t.root
 	for n != nil {
 		ls := size(n.left)
@@ -193,6 +281,7 @@ func (t *Tree) KthID(k int) (uint64, bool) {
 // Ascend calls fn for each id in rank order (rank 1 first) until fn
 // returns false.
 func (t *Tree) Ascend(fn func(rank int, id uint64, weight float64) bool) {
+	t.flush()
 	rank := 0
 	var walk func(n *node) bool
 	walk = func(n *node) bool {
@@ -231,10 +320,19 @@ func (t *Tree) ScaleAll(f float64) {
 	for id, w := range t.weights {
 		t.weights[id] = w * f
 	}
+	// Deferred nodes scale in both views: the authoritative map above and
+	// the snapshot of the weight their resident node now carries.
+	for id, p := range t.pending {
+		if p.inTree {
+			p.weight *= f
+			t.pending[id] = p
+		}
+	}
 }
 
 // MaxWeight returns the greatest weight in the tree (0, false if empty).
 func (t *Tree) MaxWeight() (float64, bool) {
+	t.flush()
 	if t.root == nil {
 		return 0, false
 	}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Runs the shield front-door benchmarks and writes BENCH_shield.json,
+# a flat object mapping benchmark name to ns/op, for tracking the
+# batch/price-cache hot path across commits.
+#
+#   BENCH_ARGS  go test bench flags (default: -benchtime=2s -count=1;
+#               CI smoke passes -benchtime=1x -count=1)
+#   BENCH_OUT   output path (default: BENCH_shield.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${BENCH_OUT:-BENCH_shield.json}"
+args="${BENCH_ARGS:--benchtime=2s -count=1}"
+
+# shellcheck disable=SC2086  # $args is intentionally word-split
+go test -run '^$' -bench 'ShieldQuery|AdaptiveObserveBatch' $args . \
+  | tee /dev/stderr \
+  | awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)        # strip the GOMAXPROCS suffix
+	if (!(name in vals)) order[n++] = name
+	vals[name] = $3                  # with -count>1 the last run wins
+}
+END {
+	printf "{\n"
+	for (i = 0; i < n; i++)
+		printf "  \"%s\": %s%s\n", order[i], vals[order[i]], (i < n - 1 ? "," : "")
+	printf "}\n"
+}' > "$out"
+
+echo "wrote $out"
