@@ -3,19 +3,19 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench bench-shield bench-smoke repro repro-fast examples fuzz clean
+.PHONY: all check build vet test race cover bench bench-shield bench-smoke bench-detect repro repro-fast examples fuzz clean
 
 all: build vet test
 
 # What CI runs: everything that must pass before a merge. The targeted
 # -race pass covers the packages with real concurrency (the shield's
-# cancellable query path and the rate limiter) without the cost of racing
-# the whole tree.
+# cancellable query path, the rate limiter, the delay gate + price cache,
+# and the extraction detector) without the cost of racing the whole tree.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/ratelimit/...
+	$(GO) test -race ./internal/core/... ./internal/ratelimit/... ./internal/delay/... ./internal/detect/...
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,12 @@ bench-shield:
 # measurement run. CI runs this.
 bench-smoke:
 	BENCH_ARGS="-benchtime=1x -count=1" ./scripts/bench.sh
+
+# Detection benchmarks: sketch/cluster microbenchmarks plus the shield
+# front door with detection off vs on (off must stay zero-overhead).
+bench-detect:
+	$(GO) test -bench='Detector|Recluster' -benchmem ./internal/detect/
+	$(GO) test -bench=ShieldQueryDetect -benchmem .
 
 # Regenerate every table and figure of the paper at full scale.
 repro:

@@ -417,6 +417,34 @@ func BenchmarkShieldQueryParallelScan(b *testing.B) {
 	}
 }
 
+// BenchmarkShieldQueryDetect compares the front-door scan path with the
+// extraction detector off and on (`make bench-detect`). detect=off is
+// the zero-overhead baseline (no detector is constructed — a single nil
+// check per query); detect=on adds one sharded sketch update per query:
+// two O(1) sketch folds per tuple plus one shard lock round-trip. The
+// grace threshold is set high enough that the bench principal never
+// escalates, so the numbers isolate observation cost from surcharges.
+func BenchmarkShieldQueryDetect(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run("tuples=1000/detect="+mode, func(b *testing.B) {
+			db := openBenchDBCfg(b, func(cfg *Config) {
+				if mode == "on" {
+					cfg.Detect = &DetectConfig{
+						Policy: EscalationPolicy{Grace: 1.0, Cap: 64},
+					}
+				}
+			})
+			q := `SELECT * FROM items WHERE id < 1000`
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := db.Query("bench", q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAdaptiveObserveBatch is the regression benchmark for the
 // adaptive observe path: a 100-tuple scan is charged as ONE entry into
 // the selector's serialization section (verified below), where the
@@ -494,8 +522,8 @@ func openBenchDBCfg(b *testing.B, mutate func(*Config)) *DB {
 // benchClock never sleeps, so benchmarks measure mechanism cost only.
 type benchClock struct{}
 
-func (benchClock) Now() time.Time        { return time.Unix(0, 0) }
-func (benchClock) Sleep(_ time.Duration) {}
+func (benchClock) Now() time.Time                                      { return time.Unix(0, 0) }
+func (benchClock) Sleep(_ time.Duration)                               {}
 func (benchClock) SleepCtx(ctx context.Context, _ time.Duration) error { return ctx.Err() }
 
 // Replay benchmark: the §2.3 learning path at trace speed.

@@ -6,12 +6,14 @@
 //	delaydb -dir ./data -addr :8080 -n 100000 [-alpha 1.0] [-beta 2.0]
 //	        [-cap 10s] [-decay 1.0] [-policy popularity|updaterate]
 //	        [-rate 0] [-burst 10] [-subnets] [-reginterval 0]
-//	        [-deadline 0]
+//	        [-deadline 0] [-detect] [-detect-grace 0.08] [-detect-cap 64]
+//	        [-detect-jaccard 0.35]
 //
 // Endpoints: POST /query {"sql": "..."} (identity from X-Identity header
 // or client address), POST /register {"identity": "..."}, GET /stats,
 // GET /metrics (instrument snapshot as JSON, including the delay-seconds
-// histogram and rejection counters), GET /healthz.
+// histogram, rejection counters, and detection gauges), GET /healthz,
+// GET /admin/suspects (ranked extraction suspects when -detect is on).
 //
 // With -deadline set, a query whose policy delay outlives the budget is
 // cancelled and answered with HTTP 504; the delay is still charged, so
@@ -50,6 +52,11 @@ func main() {
 		initFile    = flag.String("init", "", "SQL script (semicolon-separated) executed on the admin path at startup")
 		priceCache  = flag.Int("pricecache", 0, "delay price cache capacity in entries (0 = disabled)")
 		priceLag    = flag.Uint64("pricecachelag", 0, "tracker mutations a cached price may trail by (0 = exact)")
+
+		detectOn      = flag.Bool("detect", false, "enable extraction detection (coverage sketches + escalating surcharges)")
+		detectGrace   = flag.Float64("detect-grace", 0.08, "coverage fraction below which no surcharge applies")
+		detectCap     = flag.Float64("detect-cap", 64, "maximum delay multiplier for detected extractors")
+		detectJaccard = flag.Float64("detect-jaccard", 0.35, "signature similarity threshold for coalition clustering")
 	)
 	flag.Parse()
 
@@ -66,6 +73,12 @@ func main() {
 		RegistrationInterval: *regInterval,
 		PriceCacheSize:       *priceCache,
 		PriceCacheEpochLag:   *priceLag,
+	}
+	if *detectOn {
+		cfg.Detect = &delaydefense.DetectConfig{
+			Policy:           delaydefense.EscalationPolicy{Grace: *detectGrace, Cap: *detectCap},
+			JaccardThreshold: *detectJaccard,
+		}
 	}
 	switch *policy {
 	case "popularity":

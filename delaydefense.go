@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/server"
@@ -58,6 +59,14 @@ func NewSimulatedClock(epoch time.Time) *SimulatedClock {
 
 // Config parameterizes the shield; see core.Config for field docs.
 type Config = core.Config
+
+// DetectConfig parameterizes the extraction detector; assign a pointer
+// to Config.Detect to enable it. See detect.Config for field docs.
+type DetectConfig = detect.Config
+
+// EscalationPolicy maps estimated extraction coverage to the delay
+// multiplier the detector applies; see detect.EscalationPolicy.
+type EscalationPolicy = detect.EscalationPolicy
 
 // QueryStats reports the delay imposed on one query.
 type QueryStats = core.QueryStats

@@ -107,6 +107,6 @@ func main() {
 // noopClock lets the gate quote without sleeping.
 type noopClock struct{}
 
-func (noopClock) Now() time.Time        { return time.Unix(0, 0) }
-func (noopClock) Sleep(_ time.Duration) {}
+func (noopClock) Now() time.Time                                      { return time.Unix(0, 0) }
+func (noopClock) Sleep(_ time.Duration)                               {}
 func (noopClock) SleepCtx(ctx context.Context, _ time.Duration) error { return ctx.Err() }

@@ -104,6 +104,49 @@ func Parallel(q Quoter, ids []uint64, k int, registrationInterval time.Duration)
 	}, nil
 }
 
+// CoordinatedStreams splits ids across k Sybil streams for a coordinated
+// extraction: each stream fetches a disjoint round-robin shard plus a
+// shared verification sample — a random verifyFraction of the catalog
+// every stream re-fetches to cross-check its peers' answers (a coalition
+// that never cross-checks cannot tell when the defender serves it
+// garbage, and a fixed popular head would be free to re-fetch but
+// useless for verifying the cold tail that extraction is about).
+//
+// The shared sample is also what makes the coalition visible to
+// signature clustering: disjoint shards alone have zero pairwise
+// overlap, while with a shared sample V the pairwise Jaccard is
+// |V| / (2n/k + |V|(1−2/k)) — about 0.4 at k=4 and rising with k.
+// Each stream's order is shuffled so verification interleaves with
+// extraction instead of trailing it. Deterministic in seed.
+func CoordinatedStreams(ids []uint64, k int, verifyFraction float64, seed int64) ([][]uint64, error) {
+	if k < 1 {
+		return nil, errors.New("adversary: k < 1")
+	}
+	if verifyFraction < 0 || verifyFraction >= 1 {
+		return nil, errors.New("adversary: verifyFraction outside [0, 1)")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sample []uint64
+	for _, id := range ids {
+		if rng.Float64() < verifyFraction {
+			sample = append(sample, id)
+		}
+	}
+	streams := make([][]uint64, k)
+	for i, id := range ids {
+		streams[i%k] = append(streams[i%k], id)
+	}
+	for i := range streams {
+		// The shard may already contain part of the sample; the re-fetch
+		// is intentional — verification is a second read.
+		streams[i] = append(streams[i], sample...)
+		rng.Shuffle(len(streams[i]), func(a, b int) {
+			streams[i][a], streams[i][b] = streams[i][b], streams[i][a]
+		})
+	}
+	return streams, nil
+}
+
 // OptimalParallel sweeps the identity count and returns the report of the
 // cheapest parallel attack under the given registration throttle,
 // together with the analytic optimum from the §2.4 cost model for

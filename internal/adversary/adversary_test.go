@@ -235,3 +235,82 @@ func TestExtractUnderChangeEarlyTuplesStaler(t *testing.T) {
 		t.Fatal("not deterministic")
 	}
 }
+
+func TestCoordinatedStreamsStructure(t *testing.T) {
+	const n, k = 10000, 4
+	const f = 0.25
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	streams, err := CoordinatedStreams(ids, k, f, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != k {
+		t.Fatalf("got %d streams, want %d", len(streams), k)
+	}
+	sets := make([]map[uint64]bool, k)
+	union := make(map[uint64]bool)
+	for i, s := range streams {
+		sets[i] = make(map[uint64]bool)
+		for _, id := range s {
+			sets[i][id] = true
+			union[id] = true
+		}
+	}
+	if len(union) != n {
+		t.Fatalf("streams cover %d of %d ids", len(union), n)
+	}
+	// Every stream holds its 1/k shard plus roughly the f·n sample.
+	for i, s := range sets {
+		cov := float64(len(s)) / n
+		want := 1.0/k + f*(1-1.0/k)
+		if cov < want-0.05 || cov > want+0.05 {
+			t.Errorf("stream %d coverage %.3f, want ≈%.3f", i, cov, want)
+		}
+	}
+	// Pairwise Jaccard ≈ |V| / (2n/k + |V|(1−2/k)) ≈ 0.4 — the overlap
+	// signature clustering keys on.
+	inter := 0
+	for id := range sets[0] {
+		if sets[1][id] {
+			inter++
+		}
+	}
+	both := len(sets[0]) + len(sets[1]) - inter
+	if j := float64(inter) / float64(both); j < 0.3 || j > 0.5 {
+		t.Errorf("pairwise Jaccard %.3f, want ≈0.4", j)
+	}
+}
+
+func TestCoordinatedStreamsDeterministicAndValidated(t *testing.T) {
+	ids := make([]uint64, 1000)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	a, err := CoordinatedStreams(ids, 3, 0.2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := CoordinatedStreams(ids, 3, 0.2, 42)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("not deterministic")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+	if _, err := CoordinatedStreams(ids, 0, 0.2, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := CoordinatedStreams(ids, 2, 1.0, 1); err == nil {
+		t.Fatal("verifyFraction=1 accepted")
+	}
+	if _, err := CoordinatedStreams(ids, 2, -0.1, 1); err == nil {
+		t.Fatal("negative verifyFraction accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/counters"
+	"repro/internal/detect"
 	"repro/internal/vclock"
 )
 
@@ -91,5 +92,53 @@ func TestRaceQueryCtxSaveCountsTopK(t *testing.T) {
 	}
 	if s.Metrics().Gauge("shield_inflight_delays").Value() != 0 {
 		t.Fatal("inflight gauge nonzero after quiescence")
+	}
+}
+
+// TestRaceDetectionOn races the full detection path: concurrent
+// principals scanning (sketch updates + escalation), cadence-driven
+// clustering sweeps, suspects/gauge reads, and metrics exports.
+func TestRaceDetectionOn(t *testing.T) {
+	db := testDB(t, 100)
+	s, err := New(db, Config{
+		N: 100, Alpha: 1, Beta: 1, Cap: 50 * time.Microsecond, Clock: vclock.Real{},
+		Detect: &detect.Config{
+			Policy:         detect.EscalationPolicy{Grace: 0.10, Cap: 8, RampWidth: 0.10, Hysteresis: 0.10},
+			ReclusterEvery: 16,
+			MaxPrincipals:  8, // force eviction churn under race
+			Shards:         2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			identity := fmt.Sprintf("p%d", g)
+			for i := 0; i < 40; i++ {
+				lo := (g*7 + i*13) % 90
+				sql := fmt.Sprintf(`SELECT * FROM items WHERE id >= %d AND id < %d`, lo, lo+10)
+				if _, _, err := s.QueryCtx(context.Background(), identity, sql); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			s.Detector().Recluster()
+			s.Detector().Suspects(5)
+			s.Metrics().Export()
+		}
+	}()
+	wg.Wait()
+	if n := s.Detector().TrackedPrincipals(); n > 8 {
+		t.Fatalf("tracked %d principals, cap 8", n)
 	}
 }

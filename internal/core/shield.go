@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/counters"
 	"repro/internal/delay"
+	"repro/internal/detect"
 	"repro/internal/engine"
 	"repro/internal/freshness"
 	"repro/internal/metrics"
@@ -109,6 +110,12 @@ type Config struct {
 	// which is safe for hot tuples (their delays are pinned near zero by
 	// low rank) — see DESIGN.md.
 	PriceCacheEpochLag uint64
+
+	// Detect, when non-nil, enables the extraction detector: every
+	// SELECT's returned tuple ids feed per-principal coverage sketches,
+	// and the escalation multiplier they produce scales the policy delay
+	// at charge time (DESIGN.md §10). A zero CatalogSize inherits N.
+	Detect *detect.Config
 }
 
 func (c *Config) fill() error {
@@ -161,6 +168,7 @@ type Shield struct {
 	gate      *delay.Gate
 	limiter   *ratelimit.IdentityLimiter
 	registrar *ratelimit.RegistrationThrottle
+	detector  *detect.Detector // nil unless Config.Detect set
 	versions  *freshness.Store
 	delays    *stats.Reservoir
 	started   time.Time
@@ -386,6 +394,46 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 		})
 	}
 
+	// Detection instruments exist (at zero) even with the detector off,
+	// matching the rejection-counter convention above.
+	escalations := reg.Counter("shield_detect_escalations_total")
+	reg.GaugeFunc("shield_detect_tracked_principals", func() float64 {
+		if s.detector == nil {
+			return 0
+		}
+		return float64(s.detector.TrackedPrincipals())
+	})
+	reg.GaugeFunc("shield_detect_sketch_bytes", func() float64 {
+		if s.detector == nil {
+			return 0
+		}
+		return float64(s.detector.SketchBytes())
+	})
+	reg.GaugeFunc("shield_detect_coalitions", func() float64 {
+		if s.detector == nil {
+			return 0
+		}
+		return float64(s.detector.Coalitions())
+	})
+	reg.GaugeFunc("shield_detect_max_coverage", func() float64 {
+		if s.detector == nil {
+			return 0
+		}
+		return s.detector.MaxCoverage()
+	})
+	if cfg.Detect != nil {
+		dcfg := *cfg.Detect
+		if dcfg.CatalogSize == 0 {
+			dcfg.CatalogSize = cfg.N
+		}
+		det, err := detect.NewDetector(dcfg)
+		if err != nil {
+			return nil, err
+		}
+		det.SetEscalationCounter(escalations)
+		s.detector = det
+	}
+
 	if cfg.QueryRate > 0 {
 		burst := cfg.QueryBurst
 		if burst < 1 {
@@ -491,6 +539,10 @@ func (s *Shield) UpdatePolicy() *delay.UpdateRate { return s.updPolicy }
 // measurement).
 func (s *Shield) Gate() *delay.Gate { return s.gate }
 
+// Detector returns the extraction detector, or nil when detection is
+// off. The server's suspects endpoint reads through it.
+func (s *Shield) Detector() *detect.Detector { return s.detector }
+
 // principalKey maps an identity to its rate-limiting principal.
 func (s *Shield) principalKey(identity string) string {
 	if s.cfg.SubnetAggregation {
@@ -554,7 +606,16 @@ func (s *Shield) QueryCtx(ctx context.Context, identity, sql string) (*engine.Re
 	if res.Columns != nil {
 		// SELECT: charge delay for every returned tuple. ChargeCtx
 		// records the access observations even on cancellation.
-		d, cerr := s.gate.ChargeCtx(ctx, res.Keys...)
+		//
+		// Detection observes first (one sharded batch update, before the
+		// sleep, so cancellation cannot dodge it) and returns the
+		// escalation multiplier including this query's own tuples — a
+		// single catalog-wide scan cannot finish inside its grace period.
+		mult := 1.0
+		if s.detector != nil {
+			mult = s.detector.ObserveBatch(s.principalKey(identity), res.Keys)
+		}
+		d, cerr := s.gate.ChargeCtxScaled(ctx, mult, res.Keys...)
 		qs := QueryStats{Delay: d, Tuples: len(res.Keys)}
 		s.met.tuples.Add(int64(len(res.Keys)))
 		if cerr != nil {

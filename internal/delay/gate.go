@@ -91,7 +91,15 @@ func (g *Gate) Charge(ids ...uint64) time.Duration {
 // cancelling every query. Callers must likewise charge rate-limit tokens
 // before calling (the Shield does).
 func (g *Gate) ChargeCtx(ctx context.Context, ids ...uint64) (time.Duration, error) {
-	total := g.Quote(ids...)
+	return g.ChargeCtxScaled(ctx, 1, ids...)
+}
+
+// ChargeCtxScaled is ChargeCtx with the quoted delay multiplied by
+// mult before sleeping — the surcharge hook the extraction detector
+// escalates suspected principals through. mult 1 is the unscaled path;
+// the product saturates at the maximum representable duration.
+func (g *Gate) ChargeCtxScaled(ctx context.Context, mult float64, ids ...uint64) (time.Duration, error) {
+	total := scaleDelay(g.Quote(ids...), mult)
 	if g.inflight != nil {
 		g.inflight.Inc()
 	}
@@ -136,6 +144,26 @@ func (g *Gate) Quote(ids ...uint64) time.Duration {
 		total = satAdd(total, pol.Delay(id))
 	}
 	return total
+}
+
+// QuoteScaled is Quote with the total multiplied by mult (saturating),
+// matching what ChargeCtxScaled would impose.
+func (g *Gate) QuoteScaled(mult float64, ids ...uint64) time.Duration {
+	return scaleDelay(g.Quote(ids...), mult)
+}
+
+// scaleDelay multiplies a delay by an escalation factor, saturating at
+// the maximum representable duration. Factors ≤ 1 leave the delay
+// untouched: the detector only ever surcharges, never discounts.
+func scaleDelay(d time.Duration, mult float64) time.Duration {
+	if mult <= 1 || d <= 0 {
+		return d
+	}
+	scaled := float64(d) * mult
+	if scaled >= float64(maxDuration) {
+		return maxDuration
+	}
+	return time.Duration(scaled)
 }
 
 // Policy returns the gate's policy.

@@ -130,3 +130,41 @@ func TestQuoteResolvesBatchPolicyOnce(t *testing.T) {
 		t.Fatalf("policy resolved %d times for one batch", sp.resolves)
 	}
 }
+
+func TestChargeCtxScaled(t *testing.T) {
+	clk := vclock.NewSimulated(time.Unix(0, 0))
+	g, err := NewGate(constPolicy{time.Second}, clk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mult 1 is exactly the unscaled path.
+	if d := g.QuoteScaled(1, 1, 2); d != g.Quote(1, 2) {
+		t.Fatalf("mult 1: %v != %v", d, g.Quote(1, 2))
+	}
+	d, err := g.ChargeCtxScaled(context.Background(), 8, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 16*time.Second {
+		t.Fatalf("×8 charge on 2s quote = %v", d)
+	}
+	if clk.Slept() != 16*time.Second {
+		t.Fatalf("slept %v, want the scaled delay", clk.Slept())
+	}
+	// Surcharge only: a sub-unity factor never discounts.
+	if d := g.QuoteScaled(0.25, 1); d != time.Second {
+		t.Fatalf("mult 0.25 discounted: %v", d)
+	}
+}
+
+func TestScaleDelaySaturates(t *testing.T) {
+	if got := scaleDelay(maxDuration/2, 1e9); got != maxDuration {
+		t.Fatalf("scaled overflow = %v, want saturation", got)
+	}
+	if got := scaleDelay(time.Second, 2.5); got != 2500*time.Millisecond {
+		t.Fatalf("×2.5 = %v", got)
+	}
+	if got := scaleDelay(0, 100); got != 0 {
+		t.Fatalf("zero delay scaled to %v", got)
+	}
+}

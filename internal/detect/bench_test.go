@@ -1,0 +1,69 @@
+package detect
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkDetectorObserveBatch measures the detector's observe path
+// for a 1000-tuple scan — two sketch updates per id plus one shard lock
+// round-trip per batch. This is the whole per-query cost detection adds
+// when enabled (`make bench-detect`).
+func BenchmarkDetectorObserveBatch(b *testing.B) {
+	d, err := NewDetector(Config{CatalogSize: 1_000_000, ReclusterEvery: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]uint64, 1000)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ObserveBatch("bench", ids)
+	}
+}
+
+// BenchmarkDetectorObserveBatchParallel is the same scan observed by
+// many principals at once, exercising the shard striping.
+func BenchmarkDetectorObserveBatchParallel(b *testing.B) {
+	d, err := NewDetector(Config{CatalogSize: 1_000_000, ReclusterEvery: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var goroutine atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		ids := make([]uint64, 1000)
+		for i := range ids {
+			ids[i] = uint64(i)
+		}
+		name := fmt.Sprintf("bench%d", goroutine.Add(1))
+		for pb.Next() {
+			d.ObserveBatch(name, ids)
+		}
+	})
+}
+
+// BenchmarkRecluster measures a full clustering sweep over a saturated
+// candidate set — the amortized cost paid every ReclusterEvery batches.
+func BenchmarkRecluster(b *testing.B) {
+	cfg := Config{CatalogSize: 100_000, ReclusterEvery: 1 << 30, MaxCandidates: 64, CandidateFloor: 1e-9}
+	d, err := NewDetector(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := 0; p < 64; p++ {
+		ids := make([]uint64, 500)
+		for i := range ids {
+			ids[i] = uint64(p*500 + i)
+		}
+		d.ObserveBatch(fmt.Sprintf("p%02d", p), ids)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Recluster()
+	}
+}

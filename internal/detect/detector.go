@@ -1,0 +1,525 @@
+// Package detect estimates, online and in bounded memory, how much of
+// the database each principal — or coalition of principals — has
+// already extracted, and prices continued extraction accordingly.
+//
+// The paper's delay defense is passive: a Sybil adversary who spreads a
+// scan over k identities divides the accumulated delay by k (§2.4).
+// The detector closes that gap from the defense side. Per principal it
+// maintains two sketches over the tuple ids the principal's queries
+// returned: a HyperLogLog giving a coverage estimate (fraction of the
+// catalog fetched), and a one-permutation MinHash signature of the
+// tuple-id set. Principals whose signatures exceed a Jaccard threshold
+// are periodically clustered into suspected coalitions, and the union
+// coverage of the coalition (merged HLLs) is attributed to every
+// member. An EscalationPolicy maps the effective coverage to a delay
+// multiplier the Shield applies at charge time, so the k-identity
+// advantage collapses once the streams become distinguishable from
+// legitimate traffic — by individual volume or by mutual overlap.
+//
+// Memory is bounded like the delay.PriceCache: principals live in
+// power-of-two lock-striped shards of fixed capacity, and when a shard
+// is full the coldest principal (least-recently observed) is evicted.
+package detect
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Config parameterizes a Detector. The zero value of every field but
+// CatalogSize is usable; CatalogSize must be the N the deployment's
+// delay formulas use, since coverage is estimated against it.
+type Config struct {
+	// CatalogSize is the number of tuples in the protected database.
+	CatalogSize int
+	// Policy maps effective coverage to a delay multiplier.
+	Policy EscalationPolicy
+	// JaccardThreshold is the signature similarity at or above which
+	// two principals are clustered into one coalition. 0 means
+	// DefaultJaccardThreshold.
+	JaccardThreshold float64
+	// MaxPrincipals bounds tracked principals across all shards; the
+	// coldest principal in a full shard is evicted. 0 means
+	// DefaultMaxPrincipals.
+	MaxPrincipals int
+	// Shards is the lock-stripe count, rounded up to a power of two.
+	// 0 means DefaultShards.
+	Shards int
+	// HLLPrecision is the coverage sketch precision p (2^p registers).
+	// 0 means DefaultHLLPrecision.
+	HLLPrecision uint8
+	// SignatureSlots is the MinHash width. 0 means DefaultSignatureSlots.
+	SignatureSlots int
+	// ReclusterEvery is how many observed batches pass between
+	// clustering sweeps. 0 means DefaultReclusterEvery.
+	ReclusterEvery int
+	// MaxCandidates bounds the clustering pass to the highest-coverage
+	// principals, keeping the sweep O(MaxCandidates²) regardless of how
+	// many principals are tracked. 0 means DefaultMaxCandidates.
+	MaxCandidates int
+	// CandidateFloor is the minimum own coverage for a principal to
+	// enter the clustering pass; principals below it cannot be part of
+	// a meaningful coalition yet. 0 means half the policy grace.
+	CandidateFloor float64
+}
+
+// Defaults for the tunables an operator rarely needs to touch.
+const (
+	DefaultJaccardThreshold = 0.35
+	DefaultMaxPrincipals    = 4096
+	DefaultShards           = 16
+	DefaultHLLPrecision     = 10
+	DefaultSignatureSlots   = 256
+	DefaultReclusterEvery   = 256
+	DefaultMaxCandidates    = 256
+)
+
+func (c *Config) fill() error {
+	if c.CatalogSize < 1 {
+		return errors.New("detect: CatalogSize must be ≥ 1")
+	}
+	c.Policy.fill()
+	if c.JaccardThreshold <= 0 || c.JaccardThreshold > 1 {
+		c.JaccardThreshold = DefaultJaccardThreshold
+	}
+	if c.MaxPrincipals <= 0 {
+		c.MaxPrincipals = DefaultMaxPrincipals
+	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.HLLPrecision == 0 {
+		c.HLLPrecision = DefaultHLLPrecision
+	}
+	if c.HLLPrecision < 4 || c.HLLPrecision > 16 {
+		return errors.New("detect: HLLPrecision out of [4,16]")
+	}
+	if c.SignatureSlots <= 0 {
+		c.SignatureSlots = DefaultSignatureSlots
+	}
+	if c.ReclusterEvery <= 0 {
+		c.ReclusterEvery = DefaultReclusterEvery
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = DefaultMaxCandidates
+	}
+	if c.CandidateFloor <= 0 {
+		c.CandidateFloor = c.Policy.Grace / 2
+	}
+	return nil
+}
+
+// principalState is one tracked principal. All fields are guarded by
+// the owning shard's lock.
+type principalState struct {
+	hll *HLL
+	sig *Signature
+	// lastSeen is the detector-wide batch sequence at the principal's
+	// most recent observation; eviction removes the minimum.
+	lastSeen uint64
+	// ownCov is the cached own coverage estimate, refreshed per batch.
+	ownCov float64
+	// Coalition attribution from the last clustering sweep. coalition
+	// is empty for singletons.
+	coalition    string
+	coalitionN   int
+	coalitionCov float64
+	// mult is the applied multiplier: escalates instantly with raw
+	// coverage, releases geometrically per sweep (policy hysteresis).
+	mult float64
+}
+
+type detectShard struct {
+	mu      sync.Mutex
+	entries map[string]*principalState
+	cap     int
+}
+
+// Detector tracks per-principal coverage sketches and coalition
+// attributions. All methods are safe for concurrent use.
+type Detector struct {
+	cfg    Config
+	shards []detectShard
+	mask   uint64
+
+	// seq is the global observation sequence, doubling as the
+	// recency stamp for evict-coldest.
+	seq atomic.Uint64
+	// clusterMu serializes clustering sweeps; observers skip the sweep
+	// if one is already running (TryLock) so the hot path never queues
+	// behind it.
+	clusterMu sync.Mutex
+
+	// Sweep results for the gauges.
+	coalitions atomic.Int64
+
+	// escalations counts principals crossing from 1× to >1×, set via
+	// SetEscalationCounter.
+	escalations *metrics.Counter
+
+	perPrincipalBytes int
+}
+
+// NewDetector builds a detector from cfg (zero fields filled with
+// defaults; CatalogSize is required).
+func NewDetector(cfg Config) (*Detector, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	if n > cfg.MaxPrincipals {
+		for n > 1 && n > cfg.MaxPrincipals {
+			n >>= 1
+		}
+	}
+	d := &Detector{cfg: cfg, shards: make([]detectShard, n), mask: uint64(n - 1)}
+	per := (cfg.MaxPrincipals + n - 1) / n
+	for i := range d.shards {
+		d.shards[i].cap = per
+		d.shards[i].entries = make(map[string]*principalState, per)
+	}
+	probe := newState(cfg)
+	d.perPrincipalBytes = probe.hll.SizeBytes() + probe.sig.SizeBytes()
+	return d, nil
+}
+
+func newState(cfg Config) *principalState {
+	return &principalState{
+		hll:  NewHLL(cfg.HLLPrecision),
+		sig:  NewSignature(cfg.SignatureSlots),
+		mult: 1,
+	}
+}
+
+// SetEscalationCounter attaches a counter incremented each time a
+// principal's applied multiplier first rises above 1×. May be nil.
+// Call before the detector is shared between goroutines.
+func (d *Detector) SetEscalationCounter(c *metrics.Counter) { d.escalations = c }
+
+// Config returns the filled configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+func (d *Detector) shard(principal string) *detectShard {
+	return &d.shards[hashString(principal)&d.mask]
+}
+
+// ObserveBatch folds one query's observed tuple ids into the
+// principal's sketches and returns the delay multiplier the query
+// should be charged at — including the effect of this batch, so a
+// single catalog-wide scan cannot finish inside its own grace period.
+// The caller passes ids before sleeping the delay; like the gate's
+// learner observations, detection must not be skippable by cancelling.
+func (d *Detector) ObserveBatch(principal string, ids []uint64) float64 {
+	seq := d.seq.Add(1)
+	s := d.shard(principal)
+	s.mu.Lock()
+	st, ok := s.entries[principal]
+	if !ok {
+		if len(s.entries) >= s.cap {
+			evictColdest(s)
+		}
+		st = newState(d.cfg)
+		s.entries[principal] = st
+	}
+	st.lastSeen = seq
+	for _, id := range ids {
+		h := mix64(id)
+		st.hll.Add(h)
+		st.sig.Add(h)
+	}
+	st.ownCov = clamp01(st.hll.Estimate() / float64(d.cfg.CatalogSize))
+	eff := st.ownCov
+	if st.coalitionCov > eff {
+		eff = st.coalitionCov
+	}
+	if raw := d.cfg.Policy.Multiplier(eff); raw > st.mult {
+		if st.mult <= 1 && raw > 1 && d.escalations != nil {
+			d.escalations.Inc()
+		}
+		st.mult = raw
+	}
+	mult := st.mult
+	s.mu.Unlock()
+
+	if seq%uint64(d.cfg.ReclusterEvery) == 0 {
+		d.tryRecluster()
+	}
+	return mult
+}
+
+// Multiplier returns the current applied multiplier for principal
+// without observing anything (1 for untracked principals).
+func (d *Detector) Multiplier(principal string) float64 {
+	s := d.shard(principal)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.entries[principal]; ok {
+		return st.mult
+	}
+	return 1
+}
+
+// evictColdest removes the least-recently observed principal from a
+// full shard. Called under the shard lock; O(shard size), paid only on
+// insertion into a full shard.
+func evictColdest(s *detectShard) {
+	var victim string
+	min := uint64(math.MaxUint64)
+	for name, st := range s.entries {
+		if st.lastSeen < min {
+			min = st.lastSeen
+			victim = name
+		}
+	}
+	delete(s.entries, victim)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// candidate is a clustering-pass snapshot of one principal, copied out
+// so Jaccard comparisons and HLL merges run without any shard lock.
+type candidate struct {
+	name string
+	cov  float64
+	sig  *Signature
+	hll  *HLL
+}
+
+// tryRecluster runs a sweep unless one is already in flight.
+func (d *Detector) tryRecluster() {
+	if !d.clusterMu.TryLock() {
+		return
+	}
+	defer d.clusterMu.Unlock()
+	d.reclusterLocked()
+}
+
+// Recluster forces a clustering sweep (blocking if one is running).
+// The server's suspects endpoint and the experiments call it for
+// deterministic, up-to-date attributions.
+func (d *Detector) Recluster() {
+	d.clusterMu.Lock()
+	defer d.clusterMu.Unlock()
+	d.reclusterLocked()
+}
+
+// reclusterLocked snapshots candidate sketches, greedily clusters them
+// by signature similarity, attributes merged-union coverage to each
+// coalition, and writes attributions (and hysteresis releases) back.
+//
+// Clustering is greedy star, not single-linkage: the highest-coverage
+// unassigned candidate becomes a centroid and absorbs every unassigned
+// candidate within the Jaccard threshold of *it*. Transitive chaining
+// (A~B, B~C, A≁C) could otherwise glue legitimate heavy users into an
+// adversary's coalition through a shared popular head.
+func (d *Detector) reclusterLocked() {
+	// Phase 1: snapshot candidates under each shard lock in turn.
+	var cands []candidate
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		for name, st := range s.entries {
+			if st.ownCov >= d.cfg.CandidateFloor {
+				cands = append(cands, candidate{
+					name: name,
+					cov:  st.ownCov,
+					sig:  st.sig.Clone(),
+					hll:  st.hll.Clone(),
+				})
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cov != cands[j].cov {
+			return cands[i].cov > cands[j].cov
+		}
+		return cands[i].name < cands[j].name
+	})
+	if len(cands) > d.cfg.MaxCandidates {
+		cands = cands[:d.cfg.MaxCandidates]
+	}
+
+	// Phase 2: cluster the snapshot without holding any lock.
+	type attribution struct {
+		coalition string
+		n         int
+		cov       float64
+	}
+	attr := make(map[string]attribution, len(cands))
+	assigned := make([]bool, len(cands))
+	var ncoal int64
+	for i := range cands {
+		if assigned[i] {
+			continue
+		}
+		members := []int{i}
+		for j := i + 1; j < len(cands); j++ {
+			if assigned[j] {
+				continue
+			}
+			if cands[i].sig.Jaccard(cands[j].sig) >= d.cfg.JaccardThreshold {
+				members = append(members, j)
+			}
+		}
+		if len(members) < 2 {
+			attr[cands[i].name] = attribution{}
+			continue
+		}
+		ncoal++
+		union := cands[members[0]].hll.Clone()
+		for _, m := range members[1:] {
+			union.Merge(cands[m].hll)
+		}
+		cov := clamp01(union.Estimate() / float64(d.cfg.CatalogSize))
+		a := attribution{coalition: cands[i].name, n: len(members), cov: cov}
+		for _, m := range members {
+			assigned[m] = true
+			attr[cands[m].name] = a
+		}
+	}
+	d.coalitions.Store(ncoal)
+
+	// Phase 3: write attributions back and apply hysteresis release.
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		for name, st := range s.entries {
+			a, isCand := attr[name]
+			if isCand {
+				st.coalition = a.coalition
+				st.coalitionN = a.n
+				st.coalitionCov = a.cov
+			} else {
+				st.coalition = ""
+				st.coalitionN = 0
+				st.coalitionCov = 0
+			}
+			eff := st.ownCov
+			if st.coalitionCov > eff {
+				eff = st.coalitionCov
+			}
+			raw := d.cfg.Policy.Multiplier(eff)
+			next := d.cfg.Policy.release(st.mult, raw)
+			if st.mult <= 1 && next > 1 && d.escalations != nil {
+				d.escalations.Inc()
+			}
+			st.mult = next
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Suspect is one entry of the ranked suspect list.
+type Suspect struct {
+	Principal string `json:"principal"`
+	// Coverage is the principal's own estimated catalog fraction.
+	Coverage float64 `json:"coverage"`
+	// Coalition names the suspected coalition (its highest-coverage
+	// member at the last sweep); empty for principals clustered alone.
+	Coalition string `json:"coalition,omitempty"`
+	// CoalitionSize and CoalitionCoverage describe the coalition's
+	// member count and merged union coverage.
+	CoalitionSize     int     `json:"coalition_size,omitempty"`
+	CoalitionCoverage float64 `json:"coalition_coverage,omitempty"`
+	// Multiplier is the delay multiplier currently applied.
+	Multiplier float64 `json:"multiplier"`
+}
+
+// effective returns the coverage the suspect is priced on.
+func (s Suspect) effective() float64 {
+	if s.CoalitionCoverage > s.Coverage {
+		return s.CoalitionCoverage
+	}
+	return s.Coverage
+}
+
+// Suspects returns the top k tracked principals ranked by effective
+// (own or coalition) coverage, ties broken by name for stable output.
+func (d *Detector) Suspects(k int) []Suspect {
+	var out []Suspect
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		for name, st := range s.entries {
+			out = append(out, Suspect{
+				Principal:         name,
+				Coverage:          st.ownCov,
+				Coalition:         st.coalition,
+				CoalitionSize:     st.coalitionN,
+				CoalitionCoverage: st.coalitionCov,
+				Multiplier:        st.mult,
+			})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ei, ej := out[i].effective(), out[j].effective()
+		if ei != ej {
+			return ei > ej
+		}
+		return out[i].Principal < out[j].Principal
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// TrackedPrincipals returns how many principals are currently tracked.
+func (d *Detector) TrackedPrincipals() int {
+	n := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// SketchBytes returns the sketch memory currently held, the product of
+// tracked principals and the fixed per-principal sketch footprint.
+func (d *Detector) SketchBytes() int {
+	return d.TrackedPrincipals() * d.perPrincipalBytes
+}
+
+// Coalitions returns the coalition count found by the last sweep.
+func (d *Detector) Coalitions() int { return int(d.coalitions.Load()) }
+
+// MaxCoverage returns the highest effective coverage across tracked
+// principals right now.
+func (d *Detector) MaxCoverage() float64 {
+	max := 0.0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		for _, st := range s.entries {
+			eff := st.ownCov
+			if st.coalitionCov > eff {
+				eff = st.coalitionCov
+			}
+			if eff > max {
+				max = eff
+			}
+		}
+		s.mu.Unlock()
+	}
+	return max
+}

@@ -1,0 +1,35 @@
+package detect
+
+// mix64 is the splitmix64 finalizer: a cheap, statistically strong
+// 64-bit mixer that turns the small sequential tuple ids real tables
+// hand out into uniformly distributed hashes. Both sketches in this
+// package consume the *same* hash per tuple, so one mix per observed id
+// feeds the HLL register update and the MinHash slot update.
+//
+// The golden-ratio pre-increment shifts the input so id 0 does not hash
+// to 0 (an all-zero hash would look like "64 leading zeros" to the HLL
+// and a suspiciously minimal value to the MinHash).
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// hashString is FNV-1a over a principal name, used only to pick the
+// detector shard a principal lives in.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

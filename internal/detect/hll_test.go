@@ -1,0 +1,93 @@
+package detect
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHLLEstimateAccuracy(t *testing.T) {
+	for _, n := range []int{100, 1000, 12179, 100000} {
+		h := NewHLL(10)
+		for i := 0; i < n; i++ {
+			h.Add(mix64(uint64(i)))
+		}
+		got := h.Estimate()
+		relErr := math.Abs(got-float64(n)) / float64(n)
+		// Standard error at p=10 is ~3.3%; 4σ ≈ 13%.
+		if relErr > 0.13 {
+			t.Errorf("n=%d: estimate %.0f, rel err %.1f%% > 13%%", n, got, 100*relErr)
+		}
+	}
+}
+
+func TestHLLDuplicatesDoNotInflate(t *testing.T) {
+	h := NewHLL(10)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 200; i++ {
+			h.Add(mix64(uint64(i)))
+		}
+	}
+	got := h.Estimate()
+	if got < 150 || got > 260 {
+		t.Errorf("200 distinct ids added 50× each: estimate %.0f", got)
+	}
+}
+
+func TestHLLIncrementalSumMatchesRecompute(t *testing.T) {
+	h := NewHLL(8)
+	for i := 0; i < 5000; i++ {
+		h.Add(mix64(uint64(i * 7)))
+	}
+	sum, zeros := 0.0, 0
+	for _, r := range h.reg {
+		sum += math.Exp2(-float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	if math.Abs(sum-h.sum) > 1e-9 {
+		t.Errorf("incremental sum %.12f, recomputed %.12f", h.sum, sum)
+	}
+	if zeros != h.zeros {
+		t.Errorf("incremental zeros %d, recomputed %d", h.zeros, zeros)
+	}
+}
+
+func TestHLLMergeEqualsUnion(t *testing.T) {
+	a, b, u := NewHLL(10), NewHLL(10), NewHLL(10)
+	for i := 0; i < 3000; i++ {
+		h := mix64(uint64(i))
+		a.Add(h)
+		u.Add(h)
+	}
+	for i := 2000; i < 6000; i++ {
+		h := mix64(uint64(i))
+		b.Add(h)
+		u.Add(h)
+	}
+	a.Merge(b)
+	if a.Estimate() != u.Estimate() {
+		t.Errorf("merged estimate %.2f != union estimate %.2f", a.Estimate(), u.Estimate())
+	}
+	if math.Abs(a.sum-u.sum) > 1e-9 || a.zeros != u.zeros {
+		t.Errorf("merged accumulators (%.12f, %d) != union (%.12f, %d)", a.sum, a.zeros, u.sum, u.zeros)
+	}
+}
+
+func TestHLLCloneIsIndependent(t *testing.T) {
+	h := NewHLL(10)
+	for i := 0; i < 1000; i++ {
+		h.Add(mix64(uint64(i)))
+	}
+	c := h.Clone()
+	before := h.Estimate()
+	for i := 1000; i < 4000; i++ {
+		c.Add(mix64(uint64(i)))
+	}
+	if h.Estimate() != before {
+		t.Error("adding to clone mutated the original")
+	}
+	if c.Estimate() <= before {
+		t.Error("clone did not grow")
+	}
+}

@@ -1,0 +1,110 @@
+package detect
+
+import (
+	"math"
+	"testing"
+)
+
+// addRange folds ids [lo, hi) into a signature.
+func addRange(s *Signature, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s.Add(mix64(uint64(i)))
+	}
+}
+
+func TestJaccardEstimates(t *testing.T) {
+	cases := []struct {
+		name     string
+		aLo, aHi int
+		bLo, bHi int
+		want     float64
+	}{
+		{"identical", 0, 4000, 0, 4000, 1.0},
+		{"disjoint", 0, 4000, 4000, 8000, 0.0},
+		{"half-overlap", 0, 4000, 2000, 6000, 1.0 / 3.0}, // |∩|=2000, |∪|=6000
+		{"third-overlap", 0, 3000, 2000, 5000, 0.2},      // |∩|=1000, |∪|=5000
+	}
+	for _, c := range cases {
+		a, b := NewSignature(256), NewSignature(256)
+		addRange(a, c.aLo, c.aHi)
+		addRange(b, c.bLo, c.bHi)
+		got := a.Jaccard(b)
+		// Standard error with 256 slots ≈ 1/16 ≈ 0.063; allow 4σ.
+		if math.Abs(got-c.want) > 0.25 {
+			t.Errorf("%s: Jaccard %.3f, want %.3f±0.25", c.name, got, c.want)
+		}
+	}
+}
+
+func TestJaccardEmptySignatures(t *testing.T) {
+	a, b := NewSignature(256), NewSignature(256)
+	if j := a.Jaccard(b); j != 0 {
+		t.Errorf("both empty: %v, want 0", j)
+	}
+	addRange(a, 0, 100)
+	if j := a.Jaccard(b); j != 0 {
+		t.Errorf("one empty: %v, want 0", j)
+	}
+	if j := a.Jaccard(NewSignature(64)); j != 0 {
+		t.Errorf("width mismatch: %v, want 0", j)
+	}
+}
+
+func TestJaccardSybilVerificationSample(t *testing.T) {
+	// The coalition signal the experiment relies on: k streams each own
+	// a disjoint 1/k shard but share a verification sample of fraction
+	// f, giving pairwise J = f/(2/k + f) between streams. With k=16,
+	// f=0.25: J ≈ 0.667, far above the 0.35 threshold, while two
+	// purely disjoint streams sit at 0.
+	const n, k = 16000, 16
+	shared := func(s *Signature) {
+		// Pseudo-random f ≈ 0.25 of the catalog. Membership is decided
+		// by a *salted* hash: picking by the low bits of mix64(i) would
+		// correlate the sample with the signature's slot index.
+		for i := 0; i < n; i++ {
+			if mix64(uint64(i)^0xC0FFEE)&3 == 0 {
+				s.Add(mix64(uint64(i)))
+			}
+		}
+	}
+	a, b := NewSignature(256), NewSignature(256)
+	for i := 0; i < n; i += k {
+		a.Add(mix64(uint64(i)))
+		b.Add(mix64(uint64(i + 1)))
+	}
+	disjoint := a.Jaccard(b)
+	shared(a)
+	shared(b)
+	withVerify := a.Jaccard(b)
+	if disjoint > 0.15 {
+		t.Errorf("disjoint streams: J=%.3f, want ~0", disjoint)
+	}
+	if withVerify < 0.45 {
+		t.Errorf("streams with shared verification sample: J=%.3f, want ≳0.6", withVerify)
+	}
+}
+
+func TestSignatureCloneIsIndependent(t *testing.T) {
+	a := NewSignature(256)
+	addRange(a, 0, 1000)
+	c := a.Clone()
+	if j := a.Jaccard(c); j != 1 {
+		t.Fatalf("clone should be identical, J=%v", j)
+	}
+	addRange(c, 5000, 9000)
+	if j := a.Jaccard(c); j == 1 {
+		t.Error("clone mutation should diverge from original")
+	}
+	if a.Jaccard(a) != 1 {
+		t.Error("original mutated by clone")
+	}
+}
+
+func TestSignatureWidthRounding(t *testing.T) {
+	if got := len(NewSignature(100).slots); got != 128 {
+		t.Errorf("k=100 rounded to %d, want 128", got)
+	}
+	if got := len(NewSignature(1).slots); got != 16 {
+		t.Errorf("k=1 floored to %d, want 16", got)
+	}
+}

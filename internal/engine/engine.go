@@ -221,6 +221,31 @@ func (db *Database) getTable(name string) (*table, error) {
 	return t, nil
 }
 
+// HasTuple reports whether any table holds a row whose primary key is
+// key — the existence check behind the admin quote endpoint's
+// unknown-tuple validation. Tuple ids in delay accounting are the
+// primary keys queries return, so a key unknown to every table can
+// never have been priced.
+func (db *Database) HasTuple(key uint64) bool {
+	db.mu.RLock()
+	tables := make([]*table, 0, len(db.tables))
+	if !db.closed {
+		for _, t := range db.tables {
+			tables = append(tables, t)
+		}
+	}
+	db.mu.RUnlock()
+	for _, t := range tables {
+		t.mu.Lock()
+		_, ok := t.pk.Get(int64(key))
+		t.mu.Unlock()
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
 // Tables returns the names of all tables.
 func (db *Database) Tables() []string { return db.cat.Tables() }
 

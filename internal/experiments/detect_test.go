@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// testSybilDetectionParams shrinks the experiment to test scale: a 608-
+// object catalogue with a grace wide enough that legitimate Zipf readers
+// (~25 distinct tuples each) stay under the candidate floor.
+func testSybilDetectionParams() SybilDetectionParams {
+	p := DefaultSybilDetectionParams()
+	p.Scale = 20
+	p.Ks = []int{1, 4, 16}
+	p.Grace = 0.15
+	p.LegitUsers = 8
+	p.LegitQueries = 40
+	return p
+}
+
+func TestSybilDetectionCollapsesAdvantage(t *testing.T) {
+	p := testSybilDetectionParams()
+	res, err := SybilDetection(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) != len(p.Ks) {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+	for i, k := range p.Ks {
+		// Without detection the k-identity adversary keeps its near-1/k
+		// advantage over the sequential baseline.
+		if k > 1 {
+			if limit := res.BaselineWall / time.Duration(k/2); res.NoDetectWall[i] > limit {
+				t.Errorf("k=%d no-detect wall %v, want < %v (≈baseline/k)",
+					k, res.NoDetectWall[i], limit)
+			}
+		}
+		// With detection the advantage collapses: the coalition's wall
+		// time stays at least half the single-identity baseline (the
+		// acceptance bar; in practice the surcharge puts it far above).
+		if res.DetectWall[i] < res.BaselineWall/2 {
+			t.Errorf("k=%d detect wall %v < 0.5×baseline %v — advantage survived",
+				k, res.DetectWall[i], res.BaselineWall)
+		}
+	}
+	// Coalition attribution recovers (most of) the union coverage even
+	// though each identity holds only a 1/k shard plus the sample.
+	last := len(p.Ks) - 1
+	if res.UnionCoverage[last] < 0.6 {
+		t.Errorf("k=%d union coverage %.3f, want ≥ 0.6 via coalition attribution",
+			p.Ks[last], res.UnionCoverage[last])
+	}
+	if res.PerIdentityCoverage[last] >= res.UnionCoverage[last] {
+		t.Errorf("per-identity coverage %.3f not below union %.3f at k=%d",
+			res.PerIdentityCoverage[last], res.UnionCoverage[last], p.Ks[last])
+	}
+	// Legitimate readers are collateral-free: median delay within 5% of
+	// the detection-off median.
+	if res.LegitMedianOn > res.LegitMedianOff+res.LegitMedianOff/20 {
+		t.Errorf("legit median %v with detection vs %v off — more than 5%% collateral",
+			res.LegitMedianOn, res.LegitMedianOff)
+	}
+}

@@ -159,8 +159,8 @@ func StorefrontCoverage(p StorefrontParams) (*Table, error) {
 // noSleepClock quotes without sleeping.
 type noSleepClock struct{}
 
-func (noSleepClock) Now() time.Time        { return time.Unix(0, 0) }
-func (noSleepClock) Sleep(_ time.Duration) {}
+func (noSleepClock) Now() time.Time                                      { return time.Unix(0, 0) }
+func (noSleepClock) Sleep(_ time.Duration)                               {}
 func (noSleepClock) SleepCtx(ctx context.Context, _ time.Duration) error { return ctx.Err() }
 
 // zeroQuoter prices everything at zero — storefront coverage does not

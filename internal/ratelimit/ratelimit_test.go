@@ -350,3 +350,47 @@ func TestFeeToNeutralize(t *testing.T) {
 		t.Fatalf("fee k=0 = %v", got)
 	}
 }
+
+// TestIdentityLimiterRegistrationStormChurn: a Sybil registration storm
+// must stay within the principal cap via fullest-bucket eviction, and
+// must not evict an active legitimate principal. The proof of the second
+// half is the legit bucket's token debt: if the storm evicted it, the
+// principal would be reborn with a full bucket and its next Allow would
+// wrongly succeed.
+func TestIdentityLimiterRegistrationStormChurn(t *testing.T) {
+	const maxPrincipals = 64
+	clk := simClock()
+	l, err := NewIdentityLimiter(1, 2, maxPrincipals, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The legitimate principal drains its burst; the clock never
+	// advances, so the bucket sits at zero tokens for the whole storm.
+	for i := 0; i < 2; i++ {
+		if !l.Allow("alice") {
+			t.Fatalf("alice denied within burst (query %d)", i)
+		}
+	}
+	if l.Allow("alice") {
+		t.Fatal("alice allowed past burst")
+	}
+	// 1000 fresh identities register and fire one query each. Every
+	// sybil bucket holds burst−1 tokens, so eviction always lands on a
+	// sybil, never on the drained legit bucket.
+	for i := 0; i < 1000; i++ {
+		if !l.Allow(fmt.Sprintf("sybil-%d", i)) {
+			t.Fatalf("sybil-%d first query denied (fresh bucket)", i)
+		}
+		if got := l.Principals(); got > maxPrincipals {
+			t.Fatalf("tracked %d principals mid-storm, cap %d", got, maxPrincipals)
+		}
+	}
+	if got := l.Principals(); got != maxPrincipals {
+		t.Fatalf("tracked %d principals after storm, want %d", got, maxPrincipals)
+	}
+	// Alice survived the churn: still the same drained bucket, not an
+	// evict-rebirth with fresh tokens.
+	if l.Allow("alice") {
+		t.Fatal("alice allowed after storm — her bucket was evicted and reborn full")
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/detect"
 )
 
 // Server is the HTTP front end. Create with New, mount via Handler.
@@ -52,9 +53,11 @@ func New(shield *core.Shield, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.Handle("GET /metrics", shield.Metrics().Handler())
 	// Admin endpoints: deploy behind an internal listener — TopK reveals
-	// the popularity ranking and Quote prices an extraction plan.
+	// the popularity ranking, Quote prices an extraction plan, and
+	// Suspects names the principals the detector is watching.
 	s.mux.HandleFunc("GET /admin/topk", s.handleTopK)
 	s.mux.HandleFunc("POST /admin/quote", s.handleQuote)
+	s.mux.HandleFunc("GET /admin/suspects", s.handleSuspects)
 	return s, nil
 }
 
@@ -246,17 +249,75 @@ type QuoteResponse struct {
 	Tuples      int     `json:"tuples"`
 }
 
+// maxQuoteIDs bounds one quote request, mirroring TopK's k ceiling.
+const maxQuoteIDs = 10000
+
 func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); ct != "" && ct != "application/json" {
+		writeErr(w, http.StatusUnsupportedMediaType, fmt.Errorf("content type %q; want application/json", ct))
+		return
+	}
 	var req QuoteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
+	}
+	if len(req.IDs) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no tuple ids to quote"))
+		return
+	}
+	if len(req.IDs) > maxQuoteIDs {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("%d ids exceed the %d per-request limit", len(req.IDs), maxQuoteIDs))
+		return
+	}
+	// Unknown tuples have no price: a quote for them would just echo
+	// the cold-tuple cap and imply the id exists.
+	for _, id := range req.IDs {
+		if !s.shield.DB().HasTuple(id) {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown tuple id %d", id))
+			return
+		}
 	}
 	d := s.shield.QuoteExtraction(req.IDs)
 	writeJSON(w, http.StatusOK, QuoteResponse{
 		DelayMillis: float64(d) / float64(time.Millisecond),
 		Tuples:      len(req.IDs),
 	})
+}
+
+// SuspectsResponse is the /admin/suspects response body.
+type SuspectsResponse struct {
+	// Enabled is false when the shield runs without a detector; the
+	// suspect list is then necessarily empty.
+	Enabled bool `json:"enabled"`
+	// Suspects ranks tracked principals by effective (own or coalition)
+	// coverage, highest first.
+	Suspects []detect.Suspect `json:"suspects"`
+}
+
+func (s *Server) handleSuspects(w http.ResponseWriter, r *http.Request) {
+	k := 20
+	if q := r.URL.Query().Get("k"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 || n > 10000 {
+			writeErr(w, http.StatusBadRequest, errors.New("k must be in [1, 10000]"))
+			return
+		}
+		k = n
+	}
+	det := s.shield.Detector()
+	if det == nil {
+		writeJSON(w, http.StatusOK, SuspectsResponse{Enabled: false, Suspects: []detect.Suspect{}})
+		return
+	}
+	// Refresh coalition attributions so the ranking reflects the
+	// present sketches, not the last cadence-driven sweep.
+	det.Recluster()
+	suspects := det.Suspects(k)
+	if suspects == nil {
+		suspects = []detect.Suspect{}
+	}
+	writeJSON(w, http.StatusOK, SuspectsResponse{Enabled: true, Suspects: suspects})
 }
 
 // Client is a minimal client for the server, used by examples and tests.
