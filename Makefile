@@ -3,19 +3,20 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench bench-shield bench-smoke bench-detect repro repro-fast examples fuzz clean
+.PHONY: all check build vet test race cover bench bench-shield bench-engine bench-smoke bench-detect repro repro-fast examples fuzz clean
 
 all: build vet test
 
 # What CI runs: everything that must pass before a merge. The targeted
 # -race pass covers the packages with real concurrency (the shield's
 # cancellable query path, the rate limiter, the delay gate + price cache,
-# and the extraction detector) without the cost of racing the whole tree.
+# the extraction detector, and the striped buffer pool + parallel scan
+# executor) without the cost of racing the whole tree.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/ratelimit/... ./internal/delay/... ./internal/detect/...
+	$(GO) test -race ./internal/core/... ./internal/ratelimit/... ./internal/delay/... ./internal/detect/... ./internal/engine/... ./internal/storage/...
 
 build:
 	$(GO) build ./...
@@ -40,11 +41,17 @@ bench:
 bench-shield:
 	./scripts/bench.sh
 
-# One iteration of each shield benchmark — catches benchmarks that broke
-# (and the in-benchmark regression assertions) without paying for a
-# measurement run. CI runs this.
+# Storage-layer benchmark run: striped pool vs the single-latch baseline
+# plus point-query and scan throughput at 1/4/16 goroutines; writes
+# BENCH_engine.json (benchmark name -> ns/op).
+bench-engine:
+	BENCH_SUITE=engine ./scripts/bench.sh
+
+# One iteration of each benchmark in both suites — catches benchmarks
+# that broke (and the in-benchmark regression assertions) without paying
+# for a measurement run. CI runs this.
 bench-smoke:
-	BENCH_ARGS="-benchtime=1x -count=1" ./scripts/bench.sh
+	BENCH_SUITE=all BENCH_ARGS="-benchtime=1x -count=1" ./scripts/bench.sh
 
 # Detection benchmarks: sketch/cluster microbenchmarks plus the shield
 # front door with detection off vs on (off must stay zero-overhead).

@@ -6,8 +6,8 @@
 //	delaydb -dir ./data -addr :8080 -n 100000 [-alpha 1.0] [-beta 2.0]
 //	        [-cap 10s] [-decay 1.0] [-policy popularity|updaterate]
 //	        [-rate 0] [-burst 10] [-subnets] [-reginterval 0]
-//	        [-deadline 0] [-detect] [-detect-grace 0.08] [-detect-cap 64]
-//	        [-detect-jaccard 0.35]
+//	        [-deadline 0] [-scanworkers 0] [-detect] [-detect-grace 0.08]
+//	        [-detect-cap 64] [-detect-jaccard 0.35]
 //
 // Endpoints: POST /query {"sql": "..."} (identity from X-Identity header
 // or client address), POST /register {"identity": "..."}, GET /stats,
@@ -47,6 +47,7 @@ func main() {
 		subnets     = flag.Bool("subnets", false, "aggregate identities by /24 (IPv4) or /48 (IPv6)")
 		regInterval = flag.Duration("reginterval", 0, "minimum interval between new registrations (0 = off)")
 		deadline    = flag.Duration("deadline", 0, "per-request query deadline; exceeding it returns 504 with the delay still charged (0 = none)")
+		scanWorkers = flag.Int("scanworkers", 0, "max goroutines per full table scan (0 = number of CPUs, 1 = sequential)")
 		wal         = flag.Bool("wal", false, "enable write-ahead logging with crash recovery")
 		walSync     = flag.Bool("walsync", false, "fsync the WAL on every commit (implies -wal)")
 		initFile    = flag.String("init", "", "SQL script (semicolon-separated) executed on the admin path at startup")
@@ -92,6 +93,9 @@ func main() {
 	var opts []delaydefense.EngineOption
 	if *wal || *walSync {
 		opts = append(opts, delaydefense.WithWAL(*walSync))
+	}
+	if *scanWorkers > 0 {
+		opts = append(opts, delaydefense.WithScanWorkers(*scanWorkers))
 	}
 	db, err := delaydefense.Open(*dir, cfg, opts...)
 	if err != nil {

@@ -110,6 +110,11 @@ func WithPoolPages(n int) EngineOption { return engine.WithPoolPages(n) }
 // synced additionally fsyncs the log on every commit.
 func WithWAL(synced bool) EngineOption { return engine.WithWAL(synced) }
 
+// WithScanWorkers caps the goroutines a full table scan may fan out to.
+// Zero or negative restores the default (GOMAXPROCS); 1 forces sequential
+// scans.
+func WithScanWorkers(n int) EngineOption { return engine.WithScanWorkers(n) }
+
 // Open opens (creating if needed) a delay-defended database in dir.
 func Open(dir string, cfg Config, opts ...EngineOption) (*DB, error) {
 	eng, err := engine.Open(dir, opts...)

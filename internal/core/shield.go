@@ -458,12 +458,49 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 		})
 		s.registrar = regThrottle
 	}
+
+	// Storage-layer instruments: aggregate pool counters plus the pin
+	// balance (nonzero between statements means a leak). Per-table gauges
+	// are synced here and again on each /metrics scrape, picking up tables
+	// created after the shield started.
+	reg.GaugeFunc("engine_pool_pinned", func() float64 { return float64(s.db.PinnedFrames()) })
+	reg.GaugeFunc("engine_pool_hits", func() float64 { h, _, _ := s.db.PoolStats(); return float64(h) })
+	reg.GaugeFunc("engine_pool_misses", func() float64 { _, m, _ := s.db.PoolStats(); return float64(m) })
+	reg.GaugeFunc("engine_pool_evicts", func() float64 { _, _, e := s.db.PoolStats(); return float64(e) })
+	s.SyncEngineMetrics()
 	return s, nil
 }
 
 // Metrics returns the shield's instrument registry; serve its Handler at
 // GET /metrics (internal/server does).
 func (s *Shield) Metrics() *metrics.Registry { return s.met.registry }
+
+// SyncEngineMetrics registers per-table buffer-pool gauges
+// (engine_pool_hits{table="x"} and friends) for every table currently in
+// the catalog. Registration overwrites, so re-syncing is idempotent; the
+// server calls it before serving each /metrics scrape so tables created
+// since startup appear without a restart.
+func (s *Shield) SyncEngineMetrics() {
+	reg := s.met.registry
+	for _, name := range s.db.Tables() {
+		name := name
+		stat := func(pick func(h, m, e int64) int64) func() float64 {
+			return func() float64 {
+				h, m, e, err := s.db.TablePoolStats(name)
+				if err != nil {
+					return 0 // table dropped since registration
+				}
+				return float64(pick(h, m, e))
+			}
+		}
+		reg.GaugeFunc(fmt.Sprintf("engine_pool_hits{table=%q}", name),
+			stat(func(h, _, _ int64) int64 { return h }))
+		reg.GaugeFunc(fmt.Sprintf("engine_pool_misses{table=%q}", name),
+			stat(func(_, m, _ int64) int64 { return m }))
+		reg.GaugeFunc(fmt.Sprintf("engine_pool_evicts{table=%q}", name),
+			stat(func(_, _, e int64) int64 { return e }))
+	}
+}
 
 // DB returns the wrapped database — the unprotected back door, used by
 // loaders and experiments. Production front ends expose only the Shield.

@@ -48,6 +48,8 @@ func (s *CountStore) GetCount(id uint64) (float64, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	rid, found := t.pk.Get(int64(id))
 	if !found {
 		return 0, false, nil
@@ -169,6 +171,8 @@ func (s *CountStore) AllCounts() (ids []uint64, counts []float64, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var scanErr error
 	err = t.heap.Scan(func(_ storage.RID, rec []byte) bool {
 		row, derr := catalog.DecodeRow(t.schema, rec)

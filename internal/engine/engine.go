@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -38,6 +39,14 @@ func WithIOCost(fn func()) Option {
 	return func(db *Database) { db.ioCost = fn }
 }
 
+// WithScanWorkers caps the goroutines a full table scan or aggregate may
+// fan out across. The default is GOMAXPROCS; 1 disables the parallel
+// scan executor. Values above GOMAXPROCS are honored — workers then
+// timeshare cores, which still overlaps page decode with pool I/O.
+func WithScanWorkers(n int) Option {
+	return func(db *Database) { db.scanWorkers = n }
+}
+
 // WithWAL enables per-statement write-ahead logging: every mutating
 // statement appends the pages it dirtied plus a commit record to
 // <table>.wal before returning, and recovery replays committed batches
@@ -58,20 +67,28 @@ const walCheckpointBytes = 8 << 20
 // page file per table plus a JSON catalog. It is safe for concurrent use;
 // statements execute atomically with respect to each other per table.
 type Database struct {
-	dir       string
-	cat       *catalog.Catalog
-	poolPages int
-	ioCost    func()
-	useWAL    bool
-	walSynced bool
+	dir         string
+	cat         *catalog.Catalog
+	poolPages   int
+	scanWorkers int
+	ioCost      func()
+	useWAL      bool
+	walSynced   bool
 
 	mu     sync.RWMutex
 	tables map[string]*table
 	closed bool
 }
 
+// table couples one heap file with its indexes under a reader/writer
+// lock: statements that only read (SELECT, aggregates, EXPLAIN, count
+// reads) hold mu shared and proceed concurrently — including the
+// parallel scan executor's workers — while INSERT/UPDATE/DELETE and
+// index DDL hold it exclusively. Page bytes are mutated only under the
+// exclusive lock while the frame is pinned, which is the contract the
+// buffer pool's write-back paths rely on (see storage.Pool).
 type table struct {
-	mu     sync.Mutex // serializes mutations
+	mu     sync.RWMutex
 	schema catalog.Schema
 	pager  *storage.Pager
 	pool   *storage.Pool
@@ -92,16 +109,20 @@ func Open(dir string, opts ...Option) (*Database, error) {
 		return nil, err
 	}
 	db := &Database{
-		dir:       dir,
-		cat:       cat,
-		poolPages: DefaultPoolPages,
-		tables:    make(map[string]*table),
+		dir:         dir,
+		cat:         cat,
+		poolPages:   DefaultPoolPages,
+		scanWorkers: runtime.GOMAXPROCS(0),
+		tables:      make(map[string]*table),
 	}
 	for _, opt := range opts {
 		opt(db)
 	}
 	if db.poolPages < 1 {
 		return nil, errors.New("engine: pool pages < 1")
+	}
+	if db.scanWorkers < 1 {
+		return nil, errors.New("engine: scan workers < 1")
 	}
 	for _, name := range cat.Tables() {
 		schema, err := cat.Get(name)
@@ -236,9 +257,9 @@ func (db *Database) HasTuple(key uint64) bool {
 	}
 	db.mu.RUnlock()
 	for _, t := range tables {
-		t.mu.Lock()
+		t.mu.RLock()
 		_, ok := t.pk.Get(int64(key))
-		t.mu.Unlock()
+		t.mu.RUnlock()
 		if ok {
 			return true
 		}
@@ -295,16 +316,20 @@ func (db *Database) DropTable(name string) error {
 	return nil
 }
 
-// Flush writes all dirty pages of all tables to disk.
+// Flush writes all dirty pages of all tables to disk. The table read
+// lock excludes in-flight mutators so no torn page image reaches disk.
 func (db *Database) Flush() error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	for name, t := range db.tables {
-		if err := t.pool.FlushAll(); err != nil {
-			return fmt.Errorf("engine: flushing %q: %w", name, err)
+		t.mu.RLock()
+		err := t.pool.FlushAll()
+		if err == nil {
+			err = t.pager.Sync()
 		}
-		if err := t.pager.Sync(); err != nil {
-			return err
+		t.mu.RUnlock()
+		if err != nil {
+			return fmt.Errorf("engine: flushing %q: %w", name, err)
 		}
 	}
 	return nil
@@ -316,7 +341,10 @@ func (db *Database) DropCaches() error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	for name, t := range db.tables {
-		if err := t.pool.DropAll(); err != nil {
+		t.mu.RLock()
+		err := t.pool.DropAll()
+		t.mu.RUnlock()
+		if err != nil {
 			return fmt.Errorf("engine: dropping caches of %q: %w", name, err)
 		}
 	}
@@ -336,6 +364,31 @@ func (db *Database) PoolStats() (hits, misses, evicts int64) {
 	return hits, misses, evicts
 }
 
+// TablePoolStats reports one table's buffer pool counters, for the
+// per-table engine_pool_* instruments at GET /metrics.
+func (db *Database) TablePoolStats(name string) (hits, misses, evicts int64, err error) {
+	t, err := db.getTable(name)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	hits, misses, evicts = t.pool.Stats()
+	return hits, misses, evicts, nil
+}
+
+// PinnedFrames returns the total buffer pool pin count across tables.
+// Between statements it must be zero — every fetch is balanced by an
+// unpin on all paths, including early-terminated scans — and the
+// leak-check tests assert exactly that.
+func (db *Database) PinnedFrames() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, t := range db.tables {
+		n += t.pool.Pinned()
+	}
+	return n
+}
+
 // Close flushes and closes every table.
 func (db *Database) Close() error {
 	db.mu.Lock()
@@ -346,6 +399,10 @@ func (db *Database) Close() error {
 	db.closed = true
 	var first error
 	for _, t := range db.tables {
+		// Exclusive table lock: in-flight statements that grabbed the
+		// table before closed was set finish before teardown.
+		t.mu.Lock()
+		defer t.mu.Unlock()
 		if err := t.pool.FlushAll(); err != nil && first == nil {
 			first = err
 		}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/catalog"
@@ -24,7 +25,44 @@ func mustExec(t *testing.T, db *Database, sql string) *Result {
 	if err != nil {
 		t.Fatalf("Exec(%q): %v", sql, err)
 	}
+	// Every statement must leave the buffer pool fully unpinned — a
+	// nonzero count here means some fetch path leaked a pin. Skip the
+	// check when another statement may be in flight on this db (the
+	// concurrency tests run their own goroutines through db.Exec).
+	if !concurrentUse(db) {
+		if n := db.PinnedFrames(); n != 0 {
+			t.Fatalf("Exec(%q): %d frames left pinned", sql, n)
+		}
+	}
 	return res
+}
+
+// concurrentUse reports whether the test registered db as having
+// statements in flight from other goroutines, which makes a
+// point-in-time PinnedFrames()==0 assertion meaningless.
+func concurrentUse(db *Database) bool {
+	concurrentDBs.RLock()
+	defer concurrentDBs.RUnlock()
+	return concurrentDBs.m[db]
+}
+
+var concurrentDBs = struct {
+	sync.RWMutex
+	m map[*Database]bool
+}{m: make(map[*Database]bool)}
+
+// markConcurrent exempts db from mustExec's pin-leak assertion for the
+// remainder of the test.
+func markConcurrent(t *testing.T, db *Database) {
+	t.Helper()
+	concurrentDBs.Lock()
+	concurrentDBs.m[db] = true
+	concurrentDBs.Unlock()
+	t.Cleanup(func() {
+		concurrentDBs.Lock()
+		delete(concurrentDBs.m, db)
+		concurrentDBs.Unlock()
+	})
 }
 
 func TestCreateInsertSelect(t *testing.T) {

@@ -108,6 +108,10 @@ func (db *Database) execSelect(s *sqlmini.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Shared lock for the whole statement: concurrent readers proceed
+	// together; writers (which mutate page bytes in place) are excluded.
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if s.Explain {
 		p, err := db.choosePlan(t, s.Where)
 		if err != nil {
@@ -180,32 +184,78 @@ func (db *Database) execSelect(s *sqlmini.Select) (*Result, error) {
 	return res, nil
 }
 
-// execAggregate evaluates COUNT/SUM/AVG/MIN/MAX over the matching rows,
-// returning one summary row. Keys lists every tuple included in the
-// aggregate: the delay defense treats an aggregate as "the aggregate of
-// multiple simple queries" (§2.1), so an adversary cannot cheaply walk
-// the database through SUMs.
-func (db *Database) execAggregate(t *table, s *sqlmini.Select) (*Result, error) {
-	type accum struct {
-		col   int // -1 for COUNT(*)
-		count int64
-		sum   float64
-		min   catalog.Value
-		max   catalog.Value
-		seen  bool
+// aggAccum accumulates one aggregate function over a subset of the
+// matching rows. Accumulators are mergeable so the parallel scan
+// executor can fold per-chunk partials into the final answer in page
+// order (deterministic float sums for a given heap layout).
+type aggAccum struct {
+	col   int // -1 for COUNT(*)
+	count int64
+	sum   float64
+	min   catalog.Value
+	max   catalog.Value
+	seen  bool
+}
+
+// observe folds one matching row into the accumulator.
+func (a *aggAccum) observe(row catalog.Row) {
+	a.count++
+	if a.col < 0 {
+		return
 	}
-	accs := make([]accum, len(s.Aggregates))
-	cols := make([]string, len(s.Aggregates))
-	for i, agg := range s.Aggregates {
+	v := row[a.col]
+	switch v.Type {
+	case catalog.Int:
+		a.sum += float64(v.Int)
+	case catalog.Float:
+		a.sum += v.Float
+	}
+	if !a.seen {
+		a.min, a.max, a.seen = v, v, true
+		return
+	}
+	if c, _ := v.Compare(a.min); c < 0 {
+		a.min = v
+	}
+	if c, _ := v.Compare(a.max); c > 0 {
+		a.max = v
+	}
+}
+
+// merge folds another accumulator (over later rows) into this one.
+func (a *aggAccum) merge(o aggAccum) {
+	a.count += o.count
+	a.sum += o.sum
+	if !o.seen {
+		return
+	}
+	if !a.seen {
+		a.min, a.max, a.seen = o.min, o.max, true
+		return
+	}
+	if c, _ := o.min.Compare(a.min); c < 0 {
+		a.min = o.min
+	}
+	if c, _ := o.max.Compare(a.max); c > 0 {
+		a.max = o.max
+	}
+}
+
+// newAggAccums resolves the aggregate list against the schema, returning
+// one accumulator per aggregate plus the result column names.
+func newAggAccums(t *table, aggs []sqlmini.Aggregate) ([]aggAccum, []string, error) {
+	accs := make([]aggAccum, len(aggs))
+	cols := make([]string, len(aggs))
+	for i, agg := range aggs {
 		accs[i].col = -1
 		if agg.Column != "" {
 			ci := t.schema.ColumnIndex(agg.Column)
 			if ci < 0 {
-				return nil, fmt.Errorf("engine: unknown column %q in %v", agg.Column, agg.Func)
+				return nil, nil, fmt.Errorf("engine: unknown column %q in %v", agg.Column, agg.Func)
 			}
 			colType := t.schema.Columns[ci].Type
 			if (agg.Func == sqlmini.AggSum || agg.Func == sqlmini.AggAvg) && colType == catalog.Text {
-				return nil, fmt.Errorf("engine: %v over TEXT column %q", agg.Func, agg.Column)
+				return nil, nil, fmt.Errorf("engine: %v over TEXT column %q", agg.Func, agg.Column)
 			}
 			accs[i].col = ci
 			cols[i] = fmt.Sprintf("%s(%s)", strings.ToLower(agg.Func.String()), agg.Column)
@@ -213,36 +263,38 @@ func (db *Database) execAggregate(t *table, s *sqlmini.Select) (*Result, error) 
 			cols[i] = "count(*)"
 		}
 	}
+	return accs, cols, nil
+}
 
+// execAggregate evaluates COUNT/SUM/AVG/MIN/MAX over the matching rows,
+// returning one summary row. Keys lists every tuple included in the
+// aggregate: the delay defense treats an aggregate as "the aggregate of
+// multiple simple queries" (§2.1), so an adversary cannot cheaply walk
+// the database through SUMs. Full scans fan out across the parallel
+// executor, each worker folding rows into private accumulators that are
+// merged in page order. Callers hold the table read lock.
+func (db *Database) execAggregate(t *table, s *sqlmini.Select) (*Result, error) {
+	accs, cols, err := newAggAccums(t, s.Aggregates)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Columns: cols}
-	err := db.planAndScan(t, s.Where, func(_ storage.RID, row catalog.Row) (bool, error) {
-		res.Keys = append(res.Keys, uint64(row[t.schema.Key].Int))
-		for i := range accs {
-			a := &accs[i]
-			a.count++
-			if a.col < 0 {
-				continue
+
+	p, err := db.choosePlan(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	if w := db.scanWorkersFor(t); p.kind == planFullScan && w > 1 {
+		err = db.parallelAggregate(t, s.Where, w, accs, res)
+	} else {
+		err = db.planAndScan(t, s.Where, func(_ storage.RID, row catalog.Row) (bool, error) {
+			res.Keys = append(res.Keys, uint64(row[t.schema.Key].Int))
+			for i := range accs {
+				accs[i].observe(row)
 			}
-			v := row[a.col]
-			switch v.Type {
-			case catalog.Int:
-				a.sum += float64(v.Int)
-			case catalog.Float:
-				a.sum += v.Float
-			}
-			if !a.seen {
-				a.min, a.max, a.seen = v, v, true
-				continue
-			}
-			if c, _ := v.Compare(a.min); c < 0 {
-				a.min = v
-			}
-			if c, _ := v.Compare(a.max); c > 0 {
-				a.max = v
-			}
-		}
-		return true, nil
-	})
+			return true, nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}

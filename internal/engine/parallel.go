@@ -1,0 +1,259 @@
+// Parallel scan executor: full table scans and aggregates partition the
+// heap's page range into fixed-size chunks that a small worker pool
+// claims through an atomic cursor. Workers fetch, decode, and filter
+// pages concurrently — the buffer pool's lock striping keeps them off
+// each other's latches — while the calling goroutine consumes chunk
+// results strictly in page order, so parallel execution is
+// indistinguishable from a sequential scan to everything above it
+// (row order, LIMIT semantics, Keys order, aggregate merge order).
+//
+// Early termination (LIMIT satisfied, callback false, first error)
+// raises a shared stop flag that workers poll between pages; per-chunk
+// result channels are buffered so no goroutine ever blocks on a
+// consumer that has already left.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlmini"
+	"repro/internal/storage"
+)
+
+// scanChunkPages is the claim unit: large enough that the atomic cursor
+// and channel round-trip amortize across many pages, small enough that
+// chunks stripe evenly across workers and LIMIT cancellation is prompt.
+const scanChunkPages = 16
+
+// minParallelScanPages gates the executor: below two chunks there is
+// nothing to overlap and goroutine setup would only add latency.
+const minParallelScanPages = 2 * scanChunkPages
+
+// scanWorkersFor resolves the worker count for a scan of t: the
+// configured ceiling (default GOMAXPROCS), further capped by the chunk
+// count so no worker starts without work. Returns 1 — sequential — for
+// small heaps.
+func (db *Database) scanWorkersFor(t *table) int {
+	n := t.heap.NumPages()
+	if n < minParallelScanPages || db.scanWorkers <= 1 {
+		return 1
+	}
+	w := db.scanWorkers
+	if chunks := int((n + scanChunkPages - 1) / scanChunkPages); w > chunks {
+		w = chunks
+	}
+	return w
+}
+
+// chunkResult carries one chunk's mapped value or the error that ended
+// its scan.
+type chunkResult[T any] struct {
+	val T
+	err error
+}
+
+// runChunkedScan partitions [0, n) pages into chunks, maps each chunk on
+// one of workers goroutines, and reduces results on the calling
+// goroutine in ascending chunk order. mapChunk should poll stop between
+// pages and return early when it is set; reduce returning false (or
+// either function erroring) cancels the remaining work. runChunkedScan
+// returns only after every worker has exited, so mapped state is never
+// touched after it returns.
+func runChunkedScan[T any](n storage.PageID, workers int,
+	mapChunk func(lo, hi storage.PageID, stop *atomic.Bool) (T, error),
+	reduce func(T) (bool, error),
+) error {
+	chunks := int((n + scanChunkPages - 1) / scanChunkPages)
+	if chunks == 0 {
+		return nil
+	}
+	// One buffered slot per chunk: a worker's send never blocks, so
+	// workers can drain to exit even when the reducer stopped early.
+	outs := make([]chan chunkResult[T], chunks)
+	for i := range outs {
+		outs[i] = make(chan chunkResult[T], 1)
+	}
+	var (
+		cursor atomic.Int64
+		stop   atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1) - 1)
+				if c >= chunks || stop.Load() {
+					return
+				}
+				lo := storage.PageID(c) * scanChunkPages
+				hi := lo + scanChunkPages
+				if hi > n {
+					hi = n
+				}
+				val, err := mapChunk(lo, hi, &stop)
+				if err != nil {
+					stop.Store(true)
+				}
+				outs[c] <- chunkResult[T]{val: val, err: err}
+				// Yield so the reducer can act on the chunk just sent:
+				// with few (or one) scheduler Ps a worker would otherwise
+				// run far ahead of the consumer, and a LIMIT that was
+				// satisfied chunks ago would keep scanning.
+				runtime.Gosched()
+			}
+		}()
+	}
+	// Workers claim chunks in ascending order, so the next unread chunk
+	// is always the earliest-claimed outstanding one: the reducer never
+	// waits on a chunk behind an unclaimed one, and once stop is set it
+	// stops reading entirely (buffered sends are simply dropped).
+	var err error
+	for c := 0; c < chunks && err == nil; c++ {
+		out := <-outs[c]
+		if out.err != nil {
+			err = out.err
+			break
+		}
+		cont, rerr := reduce(out.val)
+		if rerr != nil {
+			err = rerr
+		}
+		if rerr != nil || !cont {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	return err
+}
+
+// scannedRows is one chunk's matching rows, decoded and filtered by the
+// worker that scanned it.
+type scannedRows struct {
+	rids []storage.RID
+	rows []catalog.Row
+}
+
+// scanChunk scans heap pages [lo, hi), decoding every live record and
+// keeping the rows that match where. Decoded rows own their memory
+// (DecodeRow copies out of the pinned page), so they outlive the pin.
+func scanChunk(t *table, where *sqlmini.Where, lo, hi storage.PageID, stop *atomic.Bool) (scannedRows, error) {
+	var out scannedRows
+	for id := lo; id < hi; id++ {
+		if stop.Load() {
+			return out, nil
+		}
+		var innerErr error
+		_, err := t.heap.ScanPage(id, func(rid storage.RID, rec []byte) bool {
+			row, derr := catalog.DecodeRow(t.schema, rec)
+			if derr != nil {
+				innerErr = derr
+				return false
+			}
+			ok, merr := matches(t.schema, row, where)
+			if merr != nil {
+				innerErr = merr
+				return false
+			}
+			if ok {
+				out.rids = append(out.rids, rid)
+				out.rows = append(out.rows, row)
+			}
+			return true
+		})
+		if err == nil {
+			err = innerErr
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// parallelFullScan streams matching rows to fn in page order through the
+// chunked executor. fn runs on the calling goroutine only; fn returning
+// false cancels outstanding workers (LIMIT early-cancel). Callers hold
+// at least the table read lock.
+func (db *Database) parallelFullScan(t *table, where *sqlmini.Where, workers int, fn func(storage.RID, catalog.Row) (bool, error)) error {
+	return runChunkedScan(t.heap.NumPages(), workers,
+		func(lo, hi storage.PageID, stop *atomic.Bool) (scannedRows, error) {
+			return scanChunk(t, where, lo, hi, stop)
+		},
+		func(c scannedRows) (bool, error) {
+			for i := range c.rows {
+				cont, err := fn(c.rids[i], c.rows[i])
+				if err != nil || !cont {
+					return cont, err
+				}
+			}
+			return true, nil
+		})
+}
+
+// chunkAgg is one chunk's aggregate partial: private accumulators plus
+// the keys of the rows folded into them.
+type chunkAgg struct {
+	accs []aggAccum
+	keys []uint64
+}
+
+// parallelAggregate evaluates the accumulators over all matching rows of
+// a full scan: every worker folds its chunk's rows into private
+// accumulators, and the reducer merges the partials in page order —
+// deterministic for a given heap layout, bitwise-identical to the
+// sequential fold. Callers hold at least the table read lock.
+func (db *Database) parallelAggregate(t *table, where *sqlmini.Where, workers int, accs []aggAccum, res *Result) error {
+	return runChunkedScan(t.heap.NumPages(), workers,
+		func(lo, hi storage.PageID, stop *atomic.Bool) (chunkAgg, error) {
+			part := chunkAgg{accs: make([]aggAccum, len(accs))}
+			for i := range accs {
+				part.accs[i].col = accs[i].col
+			}
+			for id := lo; id < hi; id++ {
+				if stop.Load() {
+					return part, nil
+				}
+				var innerErr error
+				_, err := t.heap.ScanPage(id, func(_ storage.RID, rec []byte) bool {
+					row, derr := catalog.DecodeRow(t.schema, rec)
+					if derr != nil {
+						innerErr = derr
+						return false
+					}
+					ok, merr := matches(t.schema, row, where)
+					if merr != nil {
+						innerErr = merr
+						return false
+					}
+					if !ok {
+						return true
+					}
+					part.keys = append(part.keys, uint64(row[t.schema.Key].Int))
+					for i := range part.accs {
+						part.accs[i].observe(row)
+					}
+					return true
+				})
+				if err == nil {
+					err = innerErr
+				}
+				if err != nil {
+					return part, err
+				}
+			}
+			return part, nil
+		},
+		func(part chunkAgg) (bool, error) {
+			res.Keys = append(res.Keys, part.keys...)
+			for i := range accs {
+				accs[i].merge(part.accs[i])
+			}
+			return true, nil
+		})
+}

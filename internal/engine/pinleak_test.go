@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestNoPinLeaksAcrossStatementKinds audits pin/unpin balance on every
+// executor path that can terminate a scan early: LIMIT on full scans
+// (sequential and parallel), LIMIT on index ranges, mid-scan evaluation
+// errors, impossible plans, DML, and aggregates. mustExec already
+// asserts PinnedFrames()==0 after each statement; this test adds the
+// paths that exit through errors, which mustExec never sees.
+func TestNoPinLeaksAcrossStatementKinds(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			db := testDB(t, WithScanWorkers(workers))
+			loadWideTable(t, db, 1200)
+
+			stmts := []string{
+				`SELECT * FROM wide LIMIT 1`,
+				`SELECT id FROM wide WHERE grp = 4 LIMIT 3`,
+				`SELECT id FROM wide WHERE id BETWEEN 100 AND 110 LIMIT 2`,
+				`SELECT id FROM wide WHERE id = 7`,
+				`SELECT COUNT(*), AVG(id) FROM wide WHERE grp < 3`,
+				`SELECT id FROM wide WHERE id = 1 AND id = 2`,
+				`SELECT id FROM wide ORDER BY grp DESC LIMIT 9`,
+				`UPDATE wide SET grp = 99 WHERE id = 42`,
+				`DELETE FROM wide WHERE id = 43`,
+				`INSERT INTO wide VALUES (9999, 0, 'late')`,
+			}
+			for _, s := range stmts {
+				mustExec(t, db, s)
+			}
+
+			// Error exits: the scan aborts partway through a page with
+			// frames pinned; the abort path must still unpin them.
+			failing := []string{
+				`SELECT id FROM wide WHERE pad > 5`,
+				`SELECT SUM(pad) FROM wide`,
+				`SELECT nosuch FROM wide`,
+				`UPDATE wide SET grp = 1 WHERE pad < 10`,
+				`DELETE FROM wide WHERE pad >= 3`,
+			}
+			for _, s := range failing {
+				if _, err := db.Exec(s); err == nil {
+					t.Fatalf("%s: expected error", s)
+				}
+				if n := db.PinnedFrames(); n != 0 {
+					t.Fatalf("%s: %d frames left pinned after error", s, n)
+				}
+			}
+		})
+	}
+}

@@ -203,6 +203,11 @@ func (db *Database) planAndScan(t *table, where *sqlmini.Where, fn func(storage.
 		})
 		return scanErr
 	default:
+		// Full scan: fan out across the parallel executor when the heap
+		// is large enough; fn still sees rows in page order.
+		if w := db.scanWorkersFor(t); w > 1 {
+			return db.parallelFullScan(t, where, w, fn)
+		}
 		var scanErr error
 		err := t.heap.Scan(func(rid storage.RID, rec []byte) bool {
 			row, derr := catalog.DecodeRow(t.schema, rec)

@@ -71,6 +71,58 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestMetricsEnginePoolGauges checks the storage-layer instruments at
+// /metrics: aggregate pool counters, the pin-balance gauge, per-table
+// gauges for tables present at startup, and — via the scrape-time
+// re-sync — per-table gauges for tables created after the server came up.
+func TestMetricsEnginePoolGauges(t *testing.T) {
+	ts, shield := testServer(t, core.Config{Alpha: 1, Beta: 1, Cap: time.Millisecond})
+	c := NewClient(ts.URL, "pool")
+	if _, err := c.Query(`SELECT * FROM items WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"engine_pool_hits", "engine_pool_misses", "engine_pool_evicts",
+		`engine_pool_hits{table="items"}`,
+		`engine_pool_misses{table="items"}`,
+		`engine_pool_evicts{table="items"}`,
+	} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("%s missing from /metrics: %v", key, m)
+		}
+	}
+	if got := m["engine_pool_pinned"].(float64); got != 0 {
+		t.Fatalf("engine_pool_pinned = %v between statements", got)
+	}
+	// The warm table has been read at least once by the loader + query.
+	h, _, _, err := shield.DB().TablePoolStats("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m[`engine_pool_hits{table="items"}`].(float64); int64(got) > h {
+		t.Fatalf("exported hits %v exceed live hits %d", got, h)
+	}
+
+	// A table created after startup appears on the next scrape.
+	if _, err := shield.DB().Exec(`CREATE TABLE late (id INT PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shield.DB().Exec(`INSERT INTO late VALUES (1, 'x')`); err != nil {
+		t.Fatal(err)
+	}
+	m, err = c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m[`engine_pool_misses{table="late"}`]; !ok {
+		t.Fatal("late-created table missing from /metrics after re-scrape")
+	}
+}
+
 // TestQueryDeadlineReturns504 wires a per-request deadline on a real
 // clock: the cold query's multi-second quote blows the 30ms budget, the
 // handler answers 504 promptly, and the attempt stays charged.

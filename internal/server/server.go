@@ -51,7 +51,13 @@ func New(shield *core.Shield, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("POST /register", s.handleRegister)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.Handle("GET /metrics", shield.Metrics().Handler())
+	// Per-table pool gauges are re-synced on every scrape so tables
+	// created after startup show up without a restart.
+	metricsHandler := shield.Metrics().Handler()
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		shield.SyncEngineMetrics()
+		metricsHandler.ServeHTTP(w, r)
+	})
 	// Admin endpoints: deploy behind an internal listener — TopK reveals
 	// the popularity ranking, Quote prices an extraction plan, and
 	// Suspects names the principals the detector is watching.

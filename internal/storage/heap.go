@@ -158,28 +158,44 @@ func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
 	return h.Insert(rec)
 }
 
+// NumPages returns the heap's page count — the range a scan covers. The
+// parallel scan executor partitions [0, NumPages()) across its workers.
+func (h *HeapFile) NumPages() PageID { return h.pool.pager.NumPages() }
+
+// ScanPage calls fn for every live record on page id, in slot order,
+// until fn returns false. It reports whether the scan should continue to
+// the next page. The record slice passed to fn is only valid during the
+// call (it aliases the pinned page).
+func (h *HeapFile) ScanPage(id PageID, fn func(rid RID, rec []byte) bool) (cont bool, err error) {
+	pg, err := h.pool.Fetch(id)
+	if err != nil {
+		return false, err
+	}
+	cont = true
+	pg.Records(func(slot int, rec []byte) bool {
+		if !fn(RID{Page: id, Slot: slot}, rec) {
+			cont = false
+			return false
+		}
+		return true
+	})
+	if err := h.pool.Unpin(id, false); err != nil {
+		return false, err
+	}
+	return cont, nil
+}
+
 // Scan calls fn for every live record in page order until fn returns
 // false or an error occurs. The record slice passed to fn is only valid
 // during the call.
 func (h *HeapFile) Scan(fn func(rid RID, rec []byte) bool) error {
-	n := h.pool.pager.NumPages()
+	n := h.NumPages()
 	for id := PageID(0); id < n; id++ {
-		pg, err := h.pool.Fetch(id)
+		cont, err := h.ScanPage(id, fn)
 		if err != nil {
 			return err
 		}
-		stop := false
-		pg.Records(func(slot int, rec []byte) bool {
-			if !fn(RID{Page: id, Slot: slot}, rec) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		if err := h.pool.Unpin(id, false); err != nil {
-			return err
-		}
-		if stop {
+		if !cont {
 			return nil
 		}
 	}

@@ -5,23 +5,32 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a page within one file.
 type PageID uint32
 
 // Pager reads and writes fixed-size pages in a single file. It is safe
-// for concurrent use; callers wanting caching should go through Pool.
+// for concurrent use, and page reads and writes of already-allocated
+// pages run without any lock — os.File.ReadAt/WriteAt are pread/pwrite,
+// which the kernel handles concurrently — so misses on different buffer
+// pool shards overlap their I/O (and their simulated 2004-era latency)
+// instead of queueing on a pager latch. Only structural operations
+// (Allocate, WriteImage's file extension, Close) serialize on the
+// mutex. Close must not race in-flight I/O; the engine guarantees that
+// by holding each table's exclusive lock during teardown.
 type Pager struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // guards f replacement and file extension
 	f      *os.File
-	npages PageID
-	reads  int64
-	writes int64
-	// simulatedLatency optionally adds work per I/O so benchmarks on fast
-	// SSDs still show an I/O-bound base cost like the paper's 55 ms
-	// selections; see SetIOCost.
-	ioCost func()
+	npages atomic.Uint32
+	reads  atomic.Int64
+	writes atomic.Int64
+	// ioCost optionally adds work per I/O so benchmarks on fast SSDs
+	// still show an I/O-bound base cost like the paper's 55 ms
+	// selections; see SetIOCost. Installed at setup, before concurrent
+	// use.
+	ioCost atomic.Pointer[func()]
 }
 
 // OpenPager opens (creating if needed) the page file at path.
@@ -39,72 +48,76 @@ func OpenPager(path string) (*Pager, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: file size %d not page aligned", st.Size())
 	}
-	return &Pager{f: f, npages: PageID(st.Size() / PageSize)}, nil
+	p := &Pager{f: f}
+	p.npages.Store(uint32(st.Size() / PageSize))
+	return p, nil
 }
 
 // SetIOCost installs a hook invoked once per physical page read or write.
-// Experiments use it to model the paper's slower 2004-era I/O path.
+// Experiments use it to model the paper's slower 2004-era I/O path. The
+// hook runs outside the pager's lock, so concurrent I/O pays the cost
+// concurrently — exactly like the real disks it stands in for.
 func (p *Pager) SetIOCost(fn func()) {
-	p.mu.Lock()
-	p.ioCost = fn
-	p.mu.Unlock()
+	if fn == nil {
+		p.ioCost.Store(nil)
+		return
+	}
+	p.ioCost.Store(&fn)
+}
+
+func (p *Pager) payIOCost() {
+	if fn := p.ioCost.Load(); fn != nil {
+		(*fn)()
+	}
 }
 
 // NumPages returns the number of allocated pages.
 func (p *Pager) NumPages() PageID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.npages
+	return PageID(p.npages.Load())
 }
 
 // Allocate appends a fresh, initialized page and returns its id.
 func (p *Pager) Allocate() (PageID, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	id := p.npages
+	if p.f == nil {
+		return 0, errors.New("storage: pager closed")
+	}
+	id := PageID(p.npages.Load())
 	pg := NewPage()
 	if _, err := p.f.WriteAt(pg.Bytes(), int64(id)*PageSize); err != nil {
 		return 0, fmt.Errorf("storage: allocating page %d: %w", id, err)
 	}
-	p.npages++
-	p.writes++
-	if p.ioCost != nil {
-		p.ioCost()
-	}
+	p.npages.Add(1)
+	p.writes.Add(1)
+	p.payIOCost()
 	return id, nil
 }
 
-// Read fills dst with the contents of page id.
+// Read fills dst with the contents of page id. Lock-free: concurrent
+// reads (and writes to other pages) proceed in parallel.
 func (p *Pager) Read(id PageID, dst *Page) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if id >= p.npages {
+	if uint32(id) >= p.npages.Load() {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
 	if _, err := p.f.ReadAt(dst.Bytes(), int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: reading page %d: %w", id, err)
 	}
-	p.reads++
-	if p.ioCost != nil {
-		p.ioCost()
-	}
+	p.reads.Add(1)
+	p.payIOCost()
 	return nil
 }
 
-// Write persists the page contents to page id.
+// Write persists the page contents to page id. Lock-free, like Read.
 func (p *Pager) Write(id PageID, src *Page) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if id >= p.npages {
+	if uint32(id) >= p.npages.Load() {
 		return fmt.Errorf("storage: write of unallocated page %d", id)
 	}
 	if _, err := p.f.WriteAt(src.Bytes(), int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: writing page %d: %w", id, err)
 	}
-	p.writes++
-	if p.ioCost != nil {
-		p.ioCost()
-	}
+	p.writes.Add(1)
+	p.payIOCost()
 	return nil
 }
 
@@ -117,21 +130,23 @@ func (p *Pager) WriteImage(id PageID, image []byte) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for p.npages <= id {
+	if p.f == nil {
+		return errors.New("storage: pager closed")
+	}
+	for PageID(p.npages.Load()) <= id {
+		n := PageID(p.npages.Load())
 		pg := NewPage()
-		if _, err := p.f.WriteAt(pg.Bytes(), int64(p.npages)*PageSize); err != nil {
-			return fmt.Errorf("storage: extending to page %d: %w", p.npages, err)
+		if _, err := p.f.WriteAt(pg.Bytes(), int64(n)*PageSize); err != nil {
+			return fmt.Errorf("storage: extending to page %d: %w", n, err)
 		}
-		p.npages++
-		p.writes++
+		p.npages.Add(1)
+		p.writes.Add(1)
 	}
 	if _, err := p.f.WriteAt(image, int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: writing image %d: %w", id, err)
 	}
-	p.writes++
-	if p.ioCost != nil {
-		p.ioCost()
-	}
+	p.writes.Add(1)
+	p.payIOCost()
 	return nil
 }
 
@@ -139,6 +154,9 @@ func (p *Pager) WriteImage(id PageID, image []byte) error {
 func (p *Pager) Sync() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.f == nil {
+		return errors.New("storage: pager closed")
+	}
 	if err := p.f.Sync(); err != nil {
 		return fmt.Errorf("storage: sync: %w", err)
 	}
@@ -147,9 +165,7 @@ func (p *Pager) Sync() error {
 
 // Stats returns physical read and write counts.
 func (p *Pager) Stats() (reads, writes int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.reads, p.writes
+	return p.reads.Load(), p.writes.Load()
 }
 
 // Close syncs and closes the underlying file.

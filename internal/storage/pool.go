@@ -1,74 +1,226 @@
 package storage
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
-// Pool is an LRU buffer pool over a Pager. Pages are pinned while in use
-// and written back when evicted dirty or on FlushAll. Pool is safe for
-// concurrent use, with a single latch protecting the frame table — the
-// engine above serializes page mutation per table, so finer latching is
-// unnecessary here.
+// Pool is a buffer pool over a Pager, built for a concurrent read path.
+//
+// The frame table is lock-striped: pages hash to one of a power-of-two
+// number of shards by the low bits of their PageID, and each shard owns
+// its own latch, frame map, and clock ring. A cache hit takes only the
+// shard's read latch plus two atomic stores (pin count, reference bit),
+// so concurrent readers — including the parallel scan executor's
+// workers, whose round-robin page ranges stripe across shards — never
+// serialize on a global mutex and never splice a shared LRU list.
+// Replacement is clock/second-chance per shard: eviction sweeps the
+// shard's ring under the write latch, skipping pinned frames, demoting
+// referenced ones, and writing dirty victims back to the pager.
+//
+// Write-back consistency is a layering contract: page bytes are only
+// mutated while the mutator both pins the frame and holds the owning
+// table's exclusive lock (see internal/engine), and FlushAll/DirtyImages
+// callers hold at least that table's read lock, so a frame observed
+// dirty under the shard latch has stable bytes for the duration of the
+// write. Eviction needs no table lock because a dirty unpinned frame is
+// never concurrently mutated (mutation requires a pin), and the shard
+// write latch excludes re-pinning mid-sweep.
 type Pool struct {
-	mu       sync.Mutex
-	pager    *Pager
-	capacity int
-	frames   map[PageID]*list.Element
-	lru      *list.List // front = most recently used
-	hits     int64
-	misses   int64
-	evicts   int64
+	pager  *Pager
+	shards []poolShard
+	mask   uint32
+	hits   atomic.Int64
+	misses atomic.Int64
+	evicts atomic.Int64
 }
 
+// poolShard is one stripe of the frame table. cap is this shard's slice
+// of the pool capacity; clock is the ring the sweep hand walks.
+type poolShard struct {
+	mu     sync.RWMutex
+	cap    int
+	frames map[PageID]*frame
+	clock  []*frame
+	hand   int
+}
+
+// frame is one resident page. pins, ref, and dirty are atomics so the
+// hit path and Unpin can update them under the shard's shared latch.
+// ready is closed once the page contents are loaded: a miss inserts the
+// frame pinned-but-loading and reads from the pager with no latch held,
+// so a slow read (or its modeled 2004-era latency) never blocks hits on
+// other pages of the same shard. loadErr is set before ready closes.
 type frame struct {
-	id    PageID
-	page  *Page
-	pins  int
-	dirty bool
+	id      PageID
+	page    *Page
+	pins    atomic.Int32
+	ref     atomic.Bool
+	dirty   atomic.Bool
+	loaded  atomic.Bool // fast path for awaitLoaded; set before ready closes
+	ready   chan struct{}
+	loadErr error
 }
 
-// NewPool returns a buffer pool of the given frame capacity.
+// readyFrame returns a frame whose contents need no load.
+func readyFrame(id PageID, pg *Page) *frame {
+	f := &frame{id: id, page: pg, ready: closedReady}
+	f.loaded.Store(true)
+	return f
+}
+
+// closedReady is shared by all frames born loaded.
+var closedReady = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Shard sizing: stripes are only worth their capacity fragmentation once
+// each holds a useful number of frames, and beyond the machine's
+// parallelism extra stripes just spread the cache thinner.
+const (
+	maxPoolShards     = 16
+	minFramesPerShard = 8
+)
+
+// shardCount picks the largest power-of-two shard count (≤ maxPoolShards)
+// that still leaves every shard at least minFramesPerShard frames. Small
+// pools degenerate to a single shard, which preserves the exact global
+// capacity semantics the tests and the Table 5 cold-cache runs rely on.
+func shardCount(capacity int) int {
+	n := 1
+	for n*2 <= maxPoolShards && capacity/(n*2) >= minFramesPerShard {
+		n *= 2
+	}
+	return n
+}
+
+// NewPool returns a buffer pool of the given frame capacity, striped
+// across shardCount(capacity) shards.
 func NewPool(pager *Pager, capacity int) (*Pool, error) {
+	return NewPoolShards(pager, capacity, shardCount(capacity))
+}
+
+// NewPoolShards is NewPool with an explicit shard count (a power of two,
+// at most capacity). Benchmarks use it to pin striping independently of
+// capacity; most callers want NewPool.
+func NewPoolShards(pager *Pager, capacity, shards int) (*Pool, error) {
 	if pager == nil {
 		return nil, errors.New("storage: nil pager")
 	}
 	if capacity < 1 {
 		return nil, errors.New("storage: pool capacity < 1")
 	}
-	return &Pool{
-		pager:    pager,
-		capacity: capacity,
-		frames:   make(map[PageID]*list.Element),
-		lru:      list.New(),
-	}, nil
+	if shards < 1 || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("storage: pool shards %d not a power of two", shards)
+	}
+	if shards > capacity {
+		return nil, fmt.Errorf("storage: %d shards exceed capacity %d", shards, capacity)
+	}
+	b := &Pool{
+		pager:  pager,
+		shards: make([]poolShard, shards),
+		mask:   uint32(shards - 1),
+	}
+	for i := range b.shards {
+		sh := &b.shards[i]
+		// Distribute capacity so shard caps sum exactly to capacity.
+		sh.cap = capacity / shards
+		if i < capacity%shards {
+			sh.cap++
+		}
+		sh.frames = make(map[PageID]*frame, sh.cap)
+	}
+	return b, nil
 }
+
+func (b *Pool) shard(id PageID) *poolShard {
+	return &b.shards[uint32(id)&b.mask]
+}
+
+// Shards returns the stripe count (for tests and capacity planning).
+func (b *Pool) Shards() int { return len(b.shards) }
 
 // Fetch returns the page with the given id, pinned. Callers must Unpin.
 func (b *Pool) Fetch(id PageID) (*Page, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if el, ok := b.frames[id]; ok {
-		b.hits++
-		b.lru.MoveToFront(el)
-		f := el.Value.(*frame)
-		f.pins++
-		return f.page, nil
+	sh := b.shard(id)
+	sh.mu.RLock()
+	if f, ok := sh.frames[id]; ok {
+		f.pins.Add(1)
+		f.ref.Store(true)
+		sh.mu.RUnlock()
+		b.hits.Add(1)
+		return b.awaitLoaded(f)
 	}
-	b.misses++
-	if len(b.frames) >= b.capacity {
-		if err := b.evictLocked(); err != nil {
+	sh.mu.RUnlock()
+
+	sh.mu.Lock()
+	// Another goroutine may have loaded the page while we traded latches.
+	if f, ok := sh.frames[id]; ok {
+		f.pins.Add(1)
+		f.ref.Store(true)
+		sh.mu.Unlock()
+		b.hits.Add(1)
+		return b.awaitLoaded(f)
+	}
+	b.misses.Add(1)
+	if len(sh.frames) >= sh.cap {
+		if err := sh.evictOne(b); err != nil {
+			sh.mu.Unlock()
 			return nil, err
 		}
 	}
-	pg := NewPage()
-	if err := b.pager.Read(id, pg); err != nil {
-		return nil, err
+	// Insert the frame pinned but still loading, then read with no latch
+	// held: hits on the shard's other pages proceed during the I/O, and
+	// concurrent fetchers of this page pin the frame and wait on ready.
+	f := &frame{id: id, page: NewPage(), ready: make(chan struct{})}
+	f.pins.Store(1)
+	f.ref.Store(true)
+	sh.frames[id] = f
+	sh.clock = append(sh.clock, f)
+	sh.mu.Unlock()
+
+	f.loadErr = b.pager.Read(id, f.page)
+	if f.loadErr == nil {
+		f.loaded.Store(true)
 	}
-	f := &frame{id: id, page: pg, pins: 1}
-	b.frames[id] = b.lru.PushFront(f)
+	close(f.ready)
+	if f.loadErr != nil {
+		// Evict the stillborn frame so a later fetch retries the read.
+		// Waiters hold the frame pointer and observe loadErr directly.
+		sh.mu.Lock()
+		for i, cf := range sh.clock {
+			if cf == f {
+				last := len(sh.clock) - 1
+				sh.clock[i] = sh.clock[last]
+				sh.clock = sh.clock[:last]
+				break
+			}
+		}
+		delete(sh.frames, id)
+		sh.mu.Unlock()
+		return nil, f.loadErr
+	}
+	return f.page, nil
+}
+
+// awaitLoaded blocks until f's contents are loaded. The atomic fast path
+// keeps the common case — a long-resident frame — free of channel
+// operations. On load failure the pin taken by the caller is returned
+// directly to the frame: the loader already removed it from the shard,
+// so Unpin would not find it.
+func (b *Pool) awaitLoaded(f *frame) (*Page, error) {
+	if f.loaded.Load() {
+		return f.page, nil
+	}
+	<-f.ready
+	if f.loadErr != nil {
+		f.pins.Add(-1)
+		return nil, f.loadErr
+	}
 	return f.page, nil
 }
 
@@ -78,99 +230,141 @@ func (b *Pool) Allocate() (PageID, *Page, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if len(b.frames) >= b.capacity {
-		if err := b.evictLocked(); err != nil {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.frames) >= sh.cap {
+		if err := sh.evictOne(b); err != nil {
 			return 0, nil, err
 		}
 	}
-	f := &frame{id: id, page: NewPage(), pins: 1}
-	b.frames[id] = b.lru.PushFront(f)
+	f := readyFrame(id, NewPage())
+	f.pins.Store(1)
+	f.ref.Store(true)
+	sh.frames[id] = f
+	sh.clock = append(sh.clock, f)
 	return id, f.page, nil
 }
 
-// Unpin releases one pin on the page; dirty marks it modified.
+// Unpin releases one pin on the page; dirty marks it modified. The dirty
+// bit is set before the pin drops so a sweep that sees the frame
+// unpinned also sees it dirty.
 func (b *Pool) Unpin(id PageID, dirty bool) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	el, ok := b.frames[id]
+	sh := b.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f, ok := sh.frames[id]
 	if !ok {
 		return fmt.Errorf("storage: unpin of non-resident page %d", id)
 	}
-	f := el.Value.(*frame)
-	if f.pins <= 0 {
-		return fmt.Errorf("storage: unpin of unpinned page %d", id)
-	}
-	f.pins--
 	if dirty {
-		f.dirty = true
+		f.dirty.Store(true)
 	}
-	return nil
+	for {
+		p := f.pins.Load()
+		if p <= 0 {
+			return fmt.Errorf("storage: unpin of unpinned page %d", id)
+		}
+		if f.pins.CompareAndSwap(p, p-1) {
+			return nil
+		}
+	}
 }
 
-func (b *Pool) evictLocked() error {
-	for el := b.lru.Back(); el != nil; el = el.Prev() {
-		f := el.Value.(*frame)
-		if f.pins > 0 {
+// evictOne runs the clock sweep until a victim is evicted: pinned frames
+// are skipped, referenced frames lose their second chance, and the first
+// unpinned unreferenced frame is written back (if dirty) and dropped.
+// Callers hold the shard write latch, which freezes pin counts — hits
+// and Unpin both need the shared latch — so a frame observed unpinned
+// stays evictable for the whole sweep.
+func (sh *poolShard) evictOne(b *Pool) error {
+	// Each frame is visited at most twice (demote, then evict), so 2n+1
+	// steps without a victim means every frame is pinned.
+	n := len(sh.clock)
+	for step := 0; step < 2*n+1; step++ {
+		if sh.hand >= len(sh.clock) {
+			sh.hand = 0
+		}
+		f := sh.clock[sh.hand]
+		if f.pins.Load() > 0 {
+			sh.hand++
 			continue
 		}
-		if f.dirty {
-			if err := b.pager.Write(f.id, f.page); err != nil {
-				return err
-			}
+		if f.ref.CompareAndSwap(true, false) {
+			sh.hand++
+			continue
 		}
-		b.lru.Remove(el)
-		delete(b.frames, f.id)
-		b.evicts++
+		if err := sh.dropFrameAt(sh.hand, b); err != nil {
+			return err
+		}
+		b.evicts.Add(1)
 		return nil
 	}
 	return errors.New("storage: all frames pinned")
 }
 
-// FlushAll writes every dirty resident page back to the pager.
-func (b *Pool) FlushAll() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for el := b.lru.Front(); el != nil; el = el.Next() {
-		f := el.Value.(*frame)
-		if !f.dirty {
-			continue
-		}
+// dropFrameAt writes back the frame at clock index i if dirty and
+// removes it from the shard (swap-remove keeps the ring compact).
+func (sh *poolShard) dropFrameAt(i int, b *Pool) error {
+	f := sh.clock[i]
+	if f.dirty.Load() {
 		if err := b.pager.Write(f.id, f.page); err != nil {
 			return err
 		}
-		f.dirty = false
+	}
+	last := len(sh.clock) - 1
+	sh.clock[i] = sh.clock[last]
+	sh.clock = sh.clock[:last]
+	delete(sh.frames, f.id)
+	return nil
+}
+
+// FlushAll writes every dirty resident page back to the pager. Callers
+// must exclude page mutators (the engine holds at least the table read
+// lock, which writers take exclusively).
+func (b *Pool) FlushAll() error {
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.clock {
+			if !f.dirty.Load() {
+				continue
+			}
+			if err := b.pager.Write(f.id, f.page); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			f.dirty.Store(false)
+		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
 
-// Evictions, Hits, Misses report cache behaviour for Table 5 accounting.
+// Stats reports cache behaviour for Table 5 accounting.
 func (b *Pool) Stats() (hits, misses, evicts int64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.hits, b.misses, b.evicts
+	return b.hits.Load(), b.misses.Load(), b.evicts.Load()
 }
 
 // DropAll evicts every unpinned page (writing back dirty ones). It
 // simulates a cold cache for the Table 5 base-cost measurement.
 func (b *Pool) DropAll() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	var next *list.Element
-	for el := b.lru.Front(); el != nil; el = next {
-		next = el.Next()
-		f := el.Value.(*frame)
-		if f.pins > 0 {
-			continue
-		}
-		if f.dirty {
-			if err := b.pager.Write(f.id, f.page); err != nil {
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for j := 0; j < len(sh.clock); {
+			if sh.clock[j].pins.Load() > 0 {
+				j++
+				continue
+			}
+			if err := sh.dropFrameAt(j, b); err != nil {
+				sh.mu.Unlock()
 				return err
 			}
+			// Swap-remove moved a new frame into j; revisit it.
 		}
-		b.lru.Remove(el)
-		delete(b.frames, f.id)
+		sh.hand = 0
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -178,27 +372,62 @@ func (b *Pool) DropAll() error {
 // DirtyImages returns copies of every dirty resident page, for
 // write-ahead logging. The pages stay resident and dirty; re-logging a
 // page across consecutive batches is harmless because recovery applies
-// images in order.
+// images in order. Images are collected in ascending PageID order so a
+// WAL batch is deterministic for a given dirty set.
 func (b *Pool) DirtyImages() []PageImage {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	var out []PageImage
-	for el := b.lru.Front(); el != nil; el = el.Next() {
-		f := el.Value.(*frame)
-		if !f.dirty {
-			continue
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.clock {
+			if !f.dirty.Load() {
+				continue
+			}
+			out = append(out, PageImage{
+				ID:    f.id,
+				Image: append([]byte(nil), f.page.Bytes()...),
+			})
 		}
-		out = append(out, PageImage{
-			ID:    f.id,
-			Image: append([]byte(nil), f.page.Bytes()...),
-		})
+		sh.mu.Unlock()
 	}
+	sortPageImages(out)
 	return out
+}
+
+// sortPageImages orders images by PageID (insertion sort: dirty sets per
+// statement are small).
+func sortPageImages(ims []PageImage) {
+	for i := 1; i < len(ims); i++ {
+		for j := i; j > 0 && ims[j].ID < ims[j-1].ID; j-- {
+			ims[j], ims[j-1] = ims[j-1], ims[j]
+		}
+	}
 }
 
 // Resident returns the number of pages currently cached.
 func (b *Pool) Resident() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.frames)
+	n := 0
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		n += len(sh.frames)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Pinned returns the total pin count across resident frames. A correctly
+// balanced caller sees zero between statements; the engine's leak-check
+// tests assert exactly that.
+func (b *Pool) Pinned() int {
+	n := 0
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		for _, f := range sh.clock {
+			n += int(f.pins.Load())
+		}
+		sh.mu.RUnlock()
+	}
+	return n
 }

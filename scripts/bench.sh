@@ -1,21 +1,30 @@
 #!/bin/sh
-# Runs the shield front-door benchmarks and writes BENCH_shield.json,
-# a flat object mapping benchmark name to ns/op, for tracking the
-# batch/price-cache hot path across commits.
+# Runs the repo's benchmark suites and writes BENCH_<suite>.json, a flat
+# object mapping benchmark name to ns/op, for tracking hot paths across
+# commits.
 #
-#   BENCH_ARGS  go test bench flags (default: -benchtime=2s -count=1;
-#               CI smoke passes -benchtime=1x -count=1)
-#   BENCH_OUT   output path (default: BENCH_shield.json)
+# Suites:
+#   shield  front-door batch/price-cache path     -> BENCH_shield.json
+#   engine  buffer pool + parallel scan executor  -> BENCH_engine.json
+#   all     both
+#
+#   BENCH_SUITE  suite to run (default: shield)
+#   BENCH_ARGS   go test bench flags (default: -benchtime=2s -count=1;
+#                CI smoke passes -benchtime=1x -count=1)
+#   BENCH_OUT    output path override (single suite only)
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${BENCH_OUT:-BENCH_shield.json}"
+suite="${BENCH_SUITE:-shield}"
 args="${BENCH_ARGS:--benchtime=2s -count=1}"
 
-# shellcheck disable=SC2086  # $args is intentionally word-split
-go test -run '^$' -bench 'ShieldQuery|AdaptiveObserveBatch' $args . \
-  | tee /dev/stderr \
-  | awk '
+run_suite() {
+	# $1 = bench regexp, $2 = output file, remaining = packages
+	pattern="$1"; out="$2"; shift 2
+	# shellcheck disable=SC2086  # $args is intentionally word-split
+	go test -run '^$' -bench "$pattern" $args "$@" \
+	  | tee /dev/stderr \
+	  | awk '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)        # strip the GOMAXPROCS suffix
@@ -28,5 +37,26 @@ END {
 		printf "  \"%s\": %s%s\n", order[i], vals[order[i]], (i < n - 1 ? "," : "")
 	printf "}\n"
 }' > "$out"
+	echo "wrote $out"
+}
 
-echo "wrote $out"
+case "$suite" in
+shield)
+	run_suite 'ShieldQuery|AdaptiveObserveBatch' \
+		"${BENCH_OUT:-BENCH_shield.json}" .
+	;;
+engine)
+	run_suite 'PoolFetch|EnginePointQuery|EngineScan' \
+		"${BENCH_OUT:-BENCH_engine.json}" ./internal/storage ./internal/engine
+	;;
+all)
+	[ -z "${BENCH_OUT:-}" ] || { echo "BENCH_OUT needs a single suite" >&2; exit 1; }
+	run_suite 'ShieldQuery|AdaptiveObserveBatch' BENCH_shield.json .
+	run_suite 'PoolFetch|EnginePointQuery|EngineScan' \
+		BENCH_engine.json ./internal/storage ./internal/engine
+	;;
+*)
+	echo "bench.sh: unknown BENCH_SUITE '$suite' (shield|engine|all)" >&2
+	exit 1
+	;;
+esac
