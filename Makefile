@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench bench-shield bench-engine bench-smoke bench-detect repro repro-fast examples fuzz clean
+.PHONY: all check build vet test race cover bench bench-shield bench-engine bench-smoke bench-detect torture torture-full repro repro-fast examples fuzz clean
 
 all: build vet test
 
@@ -17,6 +17,7 @@ check:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/core/... ./internal/ratelimit/... ./internal/delay/... ./internal/detect/... ./internal/engine/... ./internal/storage/...
+	$(MAKE) torture
 
 build:
 	$(GO) build ./...
@@ -52,6 +53,19 @@ bench-engine:
 # for a measurement run. CI runs this.
 bench-smoke:
 	BENCH_SUITE=all BENCH_ARGS="-benchtime=1x -count=1" ./scripts/bench.sh
+
+# Crash-consistency torture, CI-sized: a bounded sample of crash points
+# (truncate-and-reopen at enumerated WAL offsets, count-snapshot
+# atomicity, and the live torn-append failpoint sweep) under -race.
+# TORTURE_POINTS caps the sample; 0 means enumerate everything.
+torture:
+	TORTURE_POINTS=400 $(GO) test -race -v -run 'TestCrashEnumeration|TestCountSnapshotAtomicity|TestFaultSweep' ./internal/torture/
+
+# The full enumeration — every byte of the first commit batch, all
+# header/commit bytes plus strided payload bytes of the rest. Minutes,
+# not seconds; run before storage-format changes.
+torture-full:
+	TORTURE_POINTS=0 $(GO) test -v -timeout 30m ./internal/torture/
 
 # Detection benchmarks: sketch/cluster microbenchmarks plus the shield
 # front door with detection off vs on (off must stay zero-overhead).

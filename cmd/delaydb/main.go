@@ -8,6 +8,7 @@
 //	        [-rate 0] [-burst 10] [-subnets] [-reginterval 0]
 //	        [-deadline 0] [-scanworkers 0] [-detect] [-detect-grace 0.08]
 //	        [-detect-cap 64] [-detect-jaccard 0.35]
+//	        [-readheadertimeout 5s] [-idletimeout 2m] [-drain 30s]
 //
 // Endpoints: POST /query {"sql": "..."} (identity from X-Identity header
 // or client address), POST /register {"identity": "..."}, GET /stats,
@@ -18,48 +19,104 @@
 // With -deadline set, a query whose policy delay outlives the budget is
 // cancelled and answered with HTTP 504; the delay is still charged, so
 // impatient clients cannot probe prices for free.
+//
+// On SIGTERM or SIGINT the server drains: the listener closes, in-flight
+// queries (policy delays included) get up to -drain to finish, then the
+// engine flushes and closes so the next start recovers nothing. A second
+// signal aborts the drain immediately.
+//
+// Fault injection (testing only): set DELAYDB_FAULTS to a failpoint spec
+// such as "pager.read=err@p0.001;wal.append=latency:2ms@every10" to arm
+// the storage failpoints at startup, and DELAYDB_FAULT_SEED to make
+// probabilistic rules deterministic. See internal/fault.Parse for the
+// grammar. Unset means zero overhead.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
 	"time"
 
 	delaydefense "repro"
+	"repro/internal/fault"
 )
 
 func main() {
-	var (
-		dir         = flag.String("dir", "./delaydb-data", "database directory")
-		addr        = flag.String("addr", ":8080", "listen address")
-		n           = flag.Int("n", 100_000, "dataset size used by the delay formulas")
-		alpha       = flag.Float64("alpha", 1.0, "assumed workload skew (Zipf parameter)")
-		beta        = flag.Float64("beta", 2.0, "extraction penalty exponent")
-		capDur      = flag.Duration("cap", 10*time.Second, "maximum delay per tuple (dmax)")
-		decay       = flag.Float64("decay", 1.0, "access-count decay rate (1 = keep full history)")
-		policy      = flag.String("policy", "popularity", "delay policy: popularity or updaterate")
-		c           = flag.Float64("c", 1.0, "update-rate policy constant (Eq 9)")
-		rate        = flag.Float64("rate", 0, "per-identity queries/second (0 = unlimited)")
-		burst       = flag.Float64("burst", 10, "per-identity burst")
-		subnets     = flag.Bool("subnets", false, "aggregate identities by /24 (IPv4) or /48 (IPv6)")
-		regInterval = flag.Duration("reginterval", 0, "minimum interval between new registrations (0 = off)")
-		deadline    = flag.Duration("deadline", 0, "per-request query deadline; exceeding it returns 504 with the delay still charged (0 = none)")
-		scanWorkers = flag.Int("scanworkers", 0, "max goroutines per full table scan (0 = number of CPUs, 1 = sequential)")
-		wal         = flag.Bool("wal", false, "enable write-ahead logging with crash recovery")
-		walSync     = flag.Bool("walsync", false, "fsync the WAL on every commit (implies -wal)")
-		initFile    = flag.String("init", "", "SQL script (semicolon-separated) executed on the admin path at startup")
-		priceCache  = flag.Int("pricecache", 0, "delay price cache capacity in entries (0 = disabled)")
-		priceLag    = flag.Uint64("pricecachelag", 0, "tracker mutations a cached price may trail by (0 = exact)")
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		log.Fatalf("delaydb: %v", err)
+	}
+}
 
-		detectOn      = flag.Bool("detect", false, "enable extraction detection (coverage sketches + escalating surcharges)")
-		detectGrace   = flag.Float64("detect-grace", 0.08, "coverage fraction below which no surcharge applies")
-		detectCap     = flag.Float64("detect-cap", 64, "maximum delay multiplier for detected extractors")
-		detectJaccard = flag.Float64("detect-jaccard", 0.35, "signature similarity threshold for coalition clustering")
+// run is main with its environment made explicit so the kill test can
+// drive a whole server lifecycle in-process: args are the command-line
+// flags, stdout receives the startup banner, and ready (when non-nil)
+// is sent the listener's concrete address once the server is accepting.
+func run(args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("delaydb", flag.ContinueOnError)
+	var (
+		dir         = fs.String("dir", "./delaydb-data", "database directory")
+		addr        = fs.String("addr", ":8080", "listen address")
+		n           = fs.Int("n", 100_000, "dataset size used by the delay formulas")
+		alpha       = fs.Float64("alpha", 1.0, "assumed workload skew (Zipf parameter)")
+		beta        = fs.Float64("beta", 2.0, "extraction penalty exponent")
+		capDur      = fs.Duration("cap", 10*time.Second, "maximum delay per tuple (dmax)")
+		decay       = fs.Float64("decay", 1.0, "access-count decay rate (1 = keep full history)")
+		policy      = fs.String("policy", "popularity", "delay policy: popularity or updaterate")
+		c           = fs.Float64("c", 1.0, "update-rate policy constant (Eq 9)")
+		rate        = fs.Float64("rate", 0, "per-identity queries/second (0 = unlimited)")
+		burst       = fs.Float64("burst", 10, "per-identity burst")
+		subnets     = fs.Bool("subnets", false, "aggregate identities by /24 (IPv4) or /48 (IPv6)")
+		regInterval = fs.Duration("reginterval", 0, "minimum interval between new registrations (0 = off)")
+		deadline    = fs.Duration("deadline", 0, "per-request query deadline; exceeding it returns 504 with the delay still charged (0 = none)")
+		scanWorkers = fs.Int("scanworkers", 0, "max goroutines per full table scan (0 = number of CPUs, 1 = sequential)")
+		wal         = fs.Bool("wal", false, "enable write-ahead logging with crash recovery")
+		walSync     = fs.Bool("walsync", false, "fsync the WAL on every commit (implies -wal)")
+		initFile    = fs.String("init", "", "SQL script (semicolon-separated) executed on the admin path at startup")
+		priceCache  = fs.Int("pricecache", 0, "delay price cache capacity in entries (0 = disabled)")
+		priceLag    = fs.Uint64("pricecachelag", 0, "tracker mutations a cached price may trail by (0 = exact)")
+
+		readHeaderTimeout = fs.Duration("readheadertimeout", 5*time.Second, "time limit for reading a request's headers (slowloris guard)")
+		idleTimeout       = fs.Duration("idletimeout", 2*time.Minute, "keep-alive connection idle limit")
+		drain             = fs.Duration("drain", 30*time.Second, "shutdown grace for in-flight queries after SIGTERM/SIGINT")
+
+		detectOn      = fs.Bool("detect", false, "enable extraction detection (coverage sketches + escalating surcharges)")
+		detectGrace   = fs.Float64("detect-grace", 0.08, "coverage fraction below which no surcharge applies")
+		detectCap     = fs.Float64("detect-cap", 64, "maximum delay multiplier for detected extractors")
+		detectJaccard = fs.Float64("detect-jaccard", 0.35, "signature similarity threshold for coalition clustering")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// The failpoint env knobs arm before any storage I/O so open-time
+	// recovery is injectable too.
+	if spec := os.Getenv("DELAYDB_FAULTS"); spec != "" {
+		var seed uint64 = 1
+		if s := os.Getenv("DELAYDB_FAULT_SEED"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				return fmt.Errorf("DELAYDB_FAULT_SEED: %w", err)
+			}
+			seed = v
+		}
+		reg, err := fault.Parse(spec, seed)
+		if err != nil {
+			return fmt.Errorf("DELAYDB_FAULTS: %w", err)
+		}
+		fault.Enable(reg)
+		defer fault.Disable()
+		fmt.Fprintf(stdout, "delaydb: fault injection armed: %s\n", spec)
+	}
 
 	cfg := delaydefense.Config{
 		N:                    *n,
@@ -87,7 +144,7 @@ func main() {
 	case "updaterate":
 		cfg.Kind = delaydefense.ByUpdateRate
 	default:
-		log.Fatalf("delaydb: unknown policy %q", *policy)
+		return fmt.Errorf("unknown policy %q", *policy)
 	}
 
 	var opts []delaydefense.EngineOption
@@ -99,28 +156,84 @@ func main() {
 	}
 	db, err := delaydefense.Open(*dir, cfg, opts...)
 	if err != nil {
-		log.Fatalf("delaydb: %v", err)
+		return err
 	}
-	defer db.Close()
 
 	if *initFile != "" {
 		script, err := os.ReadFile(*initFile)
 		if err != nil {
-			log.Fatalf("delaydb: reading init script: %v", err)
+			db.Close()
+			return fmt.Errorf("reading init script: %w", err)
 		}
 		results, err := db.ExecScript(string(script))
 		if err != nil {
-			log.Fatalf("delaydb: init script: %v", err)
+			db.Close()
+			return fmt.Errorf("init script: %w", err)
 		}
-		fmt.Printf("delaydb: init script ran %d statements\n", len(results))
+		fmt.Fprintf(stdout, "delaydb: init script ran %d statements\n", len(results))
 	}
 
 	h, err := db.HandlerWithDeadline(*deadline)
 	if err != nil {
-		log.Fatalf("delaydb: %v", err)
+		db.Close()
+		return err
 	}
-	fmt.Printf("delaydb: serving %s on %s (policy=%s, cap=%v, N=%d, deadline=%v)\n",
-		*dir, *addr, *policy, *capDur, *n, *deadline)
-	fmt.Printf("delaydb: instrument snapshot at GET /metrics\n")
-	log.Fatal(http.ListenAndServe(*addr, h))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		db.Close()
+		return err
+	}
+	srv := &http.Server{
+		Handler: h,
+		// ReadHeaderTimeout bounds header dribbling; the request *body*
+		// and response are governed by the query deadline instead, since
+		// a legitimate delayed query can stay open for the full policy
+		// delay. IdleTimeout reclaims parked keep-alive connections.
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	fmt.Fprintf(stdout, "delaydb: serving %s on %s (policy=%s, cap=%v, N=%d, deadline=%v)\n",
+		*dir, ln.Addr(), *policy, *capDur, *n, *deadline)
+	fmt.Fprintf(stdout, "delaydb: instrument snapshot at GET /metrics\n")
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	// Serve until the listener closes (shutdown) or the server dies.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	select {
+	case err := <-serveErr:
+		db.Close()
+		return err
+	case <-sigCtx.Done():
+		// Drain: stop accepting, let in-flight queries — policy delays
+		// included — finish within the grace period. stop() restores
+		// default signal handling, so a second SIGTERM kills immediately.
+		stop()
+		fmt.Fprintf(stdout, "delaydb: signal received, draining for up to %v\n", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(shutCtx)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(stdout, "delaydb: drain incomplete: %v\n", err)
+		}
+		<-serveErr // Serve has returned http.ErrServerClosed
+		// Flush and close the engine: dirty pages reach the data files and
+		// the logs truncate, so the next start recovers nothing.
+		if cerr := db.Close(); cerr != nil {
+			return fmt.Errorf("closing database: %w", cerr)
+		}
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fmt.Errorf("drain: %w", err)
+		}
+		fmt.Fprintf(stdout, "delaydb: drained and closed cleanly\n")
+		return nil
+	}
 }

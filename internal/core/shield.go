@@ -28,6 +28,7 @@ import (
 	"repro/internal/ratelimit"
 	"repro/internal/sqlmini"
 	"repro/internal/stats"
+	"repro/internal/storage"
 	"repro/internal/vclock"
 )
 
@@ -37,6 +38,14 @@ var ErrRateLimited = errors.New("core: rate limited")
 // ErrRegistrationThrottled is returned when a new identity cannot be
 // registered yet.
 var ErrRegistrationThrottled = errors.New("core: registration throttled")
+
+// ErrDegraded is returned for write statements while the shield is in
+// degraded mode: a storage-layer I/O failure has been observed, so
+// mutations are refused rather than risk divergence between the heap
+// and the log, while reads — priced entirely from the in-memory
+// counters — keep flowing, delays and all. The front door maps it to
+// HTTP 503.
+var ErrDegraded = errors.New("core: shield degraded: persistence is failing, writes are refused")
 
 // PolicyKind selects how delays are keyed.
 type PolicyKind int
@@ -181,6 +190,11 @@ type Shield struct {
 	// regression test pins this down so per-tuple locking cannot creep
 	// back into the hot path.
 	observeLocks atomic.Int64
+	// degraded latches when a storage I/O failure is observed; cause
+	// holds the first triggering error's message for /healthz. Cleared
+	// only by an explicit operator ClearDegraded.
+	degraded      atomic.Bool
+	degradedCause atomic.Pointer[string]
 }
 
 // shieldMetrics is the shield's operational instrumentation, exported as
@@ -362,6 +376,17 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 	// defense is off, so dashboards see a stable schema.
 	reg.Counter("shield_rate_limit_rejections_total")
 	reg.Counter("shield_registration_rejections_total")
+	// Degraded-mode instruments: the gauge is the alerting signal, the
+	// counters record how often persistence failed over and how many
+	// writes the failure turned away.
+	reg.Counter("shield_degraded_entries_total")
+	reg.Counter("shield_degraded_write_rejections_total")
+	reg.GaugeFunc("shield_degraded", func() float64 {
+		if s.degraded.Load() {
+			return 1
+		}
+		return 0
+	})
 	gate.Instrument(
 		reg.Gauge("shield_inflight_delays"),
 		reg.Histogram("shield_query_delay_seconds", metrics.DefaultDelayBuckets()),
@@ -580,6 +605,49 @@ func (s *Shield) Gate() *delay.Gate { return s.gate }
 // off. The server's suspects endpoint reads through it.
 func (s *Shield) Detector() *detect.Detector { return s.detector }
 
+// Degraded reports whether the shield is in degraded mode, and if so
+// the message of the I/O failure that put it there.
+func (s *Shield) Degraded() (bool, string) {
+	if !s.degraded.Load() {
+		return false, ""
+	}
+	if cause := s.degradedCause.Load(); cause != nil {
+		return true, *cause
+	}
+	return true, "unknown cause"
+}
+
+// enterDegraded latches degraded mode in response to a storage I/O
+// failure. The first cause wins; repeated failures while already
+// degraded change nothing. Reads keep flowing (the delay policy prices
+// from in-memory counters), writes are refused until ClearDegraded.
+func (s *Shield) enterDegraded(err error) {
+	cause := err.Error()
+	s.degradedCause.CompareAndSwap(nil, &cause)
+	if s.degraded.CompareAndSwap(false, true) {
+		s.met.registry.Counter("shield_degraded_entries_total").Inc()
+	}
+}
+
+// ClearDegraded re-admits writes after the operator has repaired the
+// storage fault (or verified it was transient). There is deliberately no
+// automatic probe: a shield that flaps between modes under a half-dead
+// disk is worse than one that stays down until a human looks.
+func (s *Shield) ClearDegraded() {
+	s.degraded.Store(false)
+	s.degradedCause.Store(nil)
+}
+
+// noteExecError inspects a statement-execution error and latches
+// degraded mode when it classifies as a storage I/O failure — injected
+// or real. Request-shaped errors (bad SQL, duplicate keys, unknown
+// tables) pass through untouched.
+func (s *Shield) noteExecError(err error) {
+	if errors.Is(err, storage.ErrIO) {
+		s.enterDegraded(err)
+	}
+}
+
 // principalKey maps an identity to its rate-limiting principal.
 func (s *Shield) principalKey(identity string) string {
 	if s.cfg.SubnetAggregation {
@@ -636,8 +704,19 @@ func (s *Shield) QueryCtx(ctx context.Context, identity, sql string) (*engine.Re
 	if sel, ok := stmt.(*sqlmini.Select); ok && sel.Explain {
 		return nil, QueryStats{}, ErrExplainBlocked
 	}
+	if _, isSelect := stmt.(*sqlmini.Select); !isSelect {
+		// Writes are refused while degraded: with persistence failing,
+		// accepting a mutation risks acknowledging state that will not
+		// survive a restart. Reads are still served (and still priced —
+		// the counters are in memory).
+		if on, cause := s.Degraded(); on {
+			s.met.registry.Counter("shield_degraded_write_rejections_total").Inc()
+			return nil, QueryStats{}, fmt.Errorf("%w (cause: %s)", ErrDegraded, cause)
+		}
+	}
 	res, err := s.db.ExecStmt(stmt)
 	if err != nil {
+		s.noteExecError(err)
 		return nil, QueryStats{}, err
 	}
 	if res.Columns != nil {
@@ -743,12 +822,14 @@ func (s *Shield) SaveCounts(store counters.Store) error {
 	s.withActiveTracker(func(tr *counters.Decayed) { ids, counts = tr.Export() })
 	if bs, ok := store.(counters.BatchStore); ok {
 		if err := bs.ReplaceAllCounts(ids, counts); err != nil {
+			s.noteExecError(err)
 			return fmt.Errorf("core: saving counts: %w", err)
 		}
 		return nil
 	}
 	for i, id := range ids {
 		if err := store.PutCount(id, counts[i]); err != nil {
+			s.noteExecError(err)
 			return fmt.Errorf("core: saving count for %d: %w", id, err)
 		}
 	}

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a registry from a fault spec string, the format behind
+// the DELAYDB_FAULTS environment knob. The spec is a semicolon-separated
+// list of rules:
+//
+//	site=kind[:arg][@mod[,mod...]]
+//
+// Kinds: "err", "latency:<duration>", "torn:<bytes>", "crash".
+// Modifiers: "p<float>" (fire probability), "after<n>" (skip the first n
+// hits), "every<n>" (then fire on every n-th hit), "count<n>" (fire at
+// most n times).
+//
+// Examples:
+//
+//	pager.read=err@p0.01                 1% of page reads fail
+//	wal.append=torn:13@after5,count1     6th WAL append tears at byte 13
+//	pager.sync=latency:2ms@every10       every 10th fsync takes +2ms
+//	wal.append=crash@after100            crash at the 101st commit
+//
+// Sites: pager.read, pager.write, pager.sync, wal.append, wal.replay,
+// pool.load.
+func Parse(spec string, seed uint64) (*Registry, error) {
+	reg := NewRegistry(seed)
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		rule, err := parseClause(clause)
+		if err != nil {
+			return nil, err
+		}
+		reg.Add(rule)
+	}
+	return reg, nil
+}
+
+func parseClause(clause string) (Rule, error) {
+	siteStr, rest, ok := strings.Cut(clause, "=")
+	if !ok {
+		return Rule{}, fmt.Errorf("fault: clause %q lacks site=kind", clause)
+	}
+	site, err := ParseSite(strings.TrimSpace(siteStr))
+	if err != nil {
+		return Rule{}, err
+	}
+	kindStr, mods, hasMods := strings.Cut(rest, "@")
+	rule := Rule{Site: site}
+
+	kindName, arg, hasArg := strings.Cut(strings.TrimSpace(kindStr), ":")
+	switch kindName {
+	case "err":
+		rule.Kind = Error
+	case "crash":
+		rule.Kind = Crash
+	case "latency":
+		rule.Kind = Latency
+		if !hasArg {
+			return Rule{}, fmt.Errorf("fault: latency rule %q needs a duration (latency:<dur>)", clause)
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return Rule{}, fmt.Errorf("fault: latency in %q: %w", clause, err)
+		}
+		rule.Latency = d
+	case "torn":
+		rule.Kind = Torn
+		if !hasArg {
+			return Rule{}, fmt.Errorf("fault: torn rule %q needs a byte count (torn:<bytes>)", clause)
+		}
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 {
+			return Rule{}, fmt.Errorf("fault: torn bytes in %q must be a non-negative int", clause)
+		}
+		rule.TornBytes = n
+	default:
+		return Rule{}, fmt.Errorf("fault: unknown kind %q in %q (err|latency|torn|crash)", kindName, clause)
+	}
+	if (rule.Kind == Error || rule.Kind == Crash) && hasArg {
+		return Rule{}, fmt.Errorf("fault: kind %q in %q takes no argument", kindName, clause)
+	}
+
+	if hasMods {
+		for _, mod := range strings.Split(mods, ",") {
+			mod = strings.TrimSpace(mod)
+			if err := applyMod(&rule, mod); err != nil {
+				return Rule{}, fmt.Errorf("fault: modifier %q in %q: %w", mod, clause, err)
+			}
+		}
+	}
+	return rule, nil
+}
+
+func applyMod(rule *Rule, mod string) error {
+	switch {
+	case strings.HasPrefix(mod, "p"):
+		p, err := strconv.ParseFloat(mod[1:], 64)
+		if err != nil || p <= 0 || p > 1 {
+			return fmt.Errorf("want p<float> in (0, 1]")
+		}
+		rule.P = p
+	case strings.HasPrefix(mod, "after"):
+		n, err := strconv.ParseUint(mod[len("after"):], 10, 64)
+		if err != nil {
+			return fmt.Errorf("want after<n>")
+		}
+		rule.After = n
+	case strings.HasPrefix(mod, "every"):
+		n, err := strconv.ParseUint(mod[len("every"):], 10, 64)
+		if err != nil || n == 0 {
+			return fmt.Errorf("want every<n> with n ≥ 1")
+		}
+		rule.Every = n
+	case strings.HasPrefix(mod, "count"):
+		n, err := strconv.ParseUint(mod[len("count"):], 10, 64)
+		if err != nil || n == 0 {
+			return fmt.Errorf("want count<n> with n ≥ 1")
+		}
+		rule.Count = n
+	default:
+		return fmt.Errorf("unknown modifier (p|after|every|count)")
+	}
+	return nil
+}

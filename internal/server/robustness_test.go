@@ -1,0 +1,258 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+)
+
+// TestPanicRecoveryMiddleware: a panicking handler yields a 500 and a
+// bumped server_panics_total, and the server keeps serving afterwards.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	mux.HandleFunc("/fine", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	reg := metrics.NewRegistry()
+	panics := reg.Counter("server_panics_total")
+	ts := httptest.NewServer(WithRecovery(mux, panics))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: HTTP %d, want 500", resp.StatusCode)
+	}
+	if got := panics.Value(); got != 1 {
+		t.Fatalf("server_panics_total = %d, want 1", got)
+	}
+	// The process survived; the next request is served normally.
+	resp, err = http.Get(ts.URL + "/fine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after panic: HTTP %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestDegradedModeEndToEnd walks the whole degradation path: an injected
+// storage write failure flips the shield degraded, writes come back 503,
+// reads (delays included) keep flowing, /healthz names the cause, and
+// ClearDegraded restores write service.
+func TestDegradedModeEndToEnd(t *testing.T) {
+	ts, shield := testServer(t, core.Config{Alpha: 1, Beta: 1, Cap: time.Millisecond})
+	c := NewClient(ts.URL, "alice")
+
+	// One-shot write failure at the pager: the INSERT's page allocation
+	// dies as if the disk did.
+	fault.Enable(fault.NewRegistry(1).Add(fault.Rule{
+		Site: fault.PagerWrite, Kind: fault.Error, Count: 1,
+	}))
+	defer fault.Disable()
+	// Fill the heap's current page so the next INSERT must allocate.
+	pad := strings.Repeat("x", 64)
+	var tripped bool
+	for i := 10; i < 200; i++ {
+		sql := "INSERT INTO items VALUES (" + strconv.Itoa(i) + ", '" + pad + "')"
+		if _, err := c.Query(sql); err != nil {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("injected pager fault never surfaced through INSERT")
+	}
+	if on, cause := shield.Degraded(); !on || cause == "" {
+		t.Fatalf("shield not degraded after storage failure (on=%v cause=%q)", on, cause)
+	}
+
+	// Writes refused with 503 + ErrDegraded in the body.
+	_, err := c.Query(`INSERT INTO items VALUES (9999, 'rejected')`)
+	if err == nil || !strings.Contains(err.Error(), "HTTP 503") {
+		t.Fatalf("write while degraded: err = %v, want HTTP 503", err)
+	}
+	if !strings.Contains(err.Error(), "degraded") {
+		t.Fatalf("503 body does not mention degraded mode: %v", err)
+	}
+
+	// Reads still served, still priced.
+	resp, err := c.Query(`SELECT * FROM items WHERE id = 1`)
+	if err != nil {
+		t.Fatalf("read while degraded: %v", err)
+	}
+	if len(resp.Rows) != 1 {
+		t.Fatalf("read while degraded returned %d rows", len(resp.Rows))
+	}
+
+	// /healthz reports degraded with the cause; the process stays 200.
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.Reason == "" {
+		t.Fatalf("healthz = %+v, want degraded with a reason", h)
+	}
+
+	// Metrics: gauge up, at least one rejection counted.
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := m["shield_degraded"].(float64); g != 1 {
+		t.Fatalf("shield_degraded gauge = %v, want 1", m["shield_degraded"])
+	}
+
+	// Operator clears; writes flow again and health returns to ok.
+	shield.ClearDegraded()
+	if _, err := c.Query(`INSERT INTO items VALUES (9999, 'accepted')`); err != nil {
+		t.Fatalf("write after ClearDegraded: %v", err)
+	}
+	h, err = c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("healthz after clear = %+v, want ok", h)
+	}
+}
+
+// TestDegradedNotTrippedByRequestErrors: user-shaped failures (bad SQL,
+// duplicate key) must not flip the shield into degraded mode.
+func TestDegradedNotTrippedByRequestErrors(t *testing.T) {
+	ts, shield := testServer(t, core.Config{Alpha: 1, Beta: 1, Cap: time.Millisecond})
+	c := NewClient(ts.URL, "alice")
+	if _, err := c.Query(`SELECT * FROM nonexistent`); err == nil {
+		t.Fatal("query of missing table succeeded")
+	}
+	if _, err := c.Query(`INSERT INTO items VALUES (1, 'dup')`); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if on, _ := shield.Degraded(); on {
+		t.Fatal("request errors flipped the shield degraded")
+	}
+}
+
+// flakyServer fails the first n GETs with 503 (or kills the connection),
+// then serves normally.
+func flakyServer(t *testing.T, failures int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= failures {
+			http.Error(w, `{"error":"transient"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// TestClientRetryFlaky: a GET against a server that 5xxes twice succeeds
+// on the third attempt, with exponentially growing jittered pauses.
+func TestClientRetryFlaky(t *testing.T) {
+	ts, calls := flakyServer(t, 2)
+	var pauses []time.Duration
+	c := NewClient(ts.URL, "alice",
+		WithRetry(3, 10*time.Millisecond),
+		withSleeper(func(d time.Duration) { pauses = append(pauses, d) }, func() float64 { return 0.5 }))
+	h, err := c.Health()
+	if err != nil {
+		t.Fatalf("retried GET failed: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health = %+v", h)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	// jitter pinned to 1.0x: pauses are exactly base, 2*base.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(pauses) != len(want) {
+		t.Fatalf("pauses = %v, want %v", pauses, want)
+	}
+	for i := range want {
+		if pauses[i] != want[i] {
+			t.Fatalf("pause %d = %v, want %v", i, pauses[i], want[i])
+		}
+	}
+}
+
+// TestClientRetryBudgetExhausted: the retry budget bounds attempts, and
+// the final error is surfaced.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	ts, calls := flakyServer(t, 100)
+	c := NewClient(ts.URL, "alice",
+		WithRetry(2, time.Millisecond),
+		withSleeper(func(time.Duration) {}, func() float64 { return 0.5 }))
+	_, err := c.Health()
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	if !strings.Contains(err.Error(), "503") {
+		t.Fatalf("final error does not carry the status: %v", err)
+	}
+	if got := calls.Load(); got != 3 { // 1 try + 2 retries
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestClientNeverRetriesQuery: POST /query is a charged, delay-priced
+// statement; a connection error or 5xx must NOT trigger a resend.
+func TestClientNeverRetriesQuery(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"transient"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	slept := false
+	c := NewClient(ts.URL, "alice",
+		WithRetry(5, time.Millisecond),
+		withSleeper(func(time.Duration) { slept = true }, func() float64 { return 0.5 }))
+	if _, err := c.Query(`SELECT * FROM items`); err == nil {
+		t.Fatal("query against failing server succeeded")
+	}
+	if err := c.Register(); err == nil {
+		t.Fatal("register against failing server succeeded")
+	}
+	if got := calls.Load(); got != 2 { // one per POST, zero retries
+		t.Fatalf("server saw %d calls, want exactly 2 (no POST retries)", got)
+	}
+	if slept {
+		t.Fatal("client slept for backoff on a POST")
+	}
+}
+
+// TestBackoffCap: the exponential pause is clamped at 10x base even for
+// large attempt numbers, including shift overflow territory.
+func TestBackoffCap(t *testing.T) {
+	c := NewClient("http://unused", "alice",
+		WithRetry(100, time.Millisecond),
+		withSleeper(func(time.Duration) {}, func() float64 { return 0.999 }))
+	for _, attempt := range []int{0, 5, 40, 63, 64, 70} {
+		if d := c.backoff(attempt); d > 10*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, above the cap", attempt, d)
+		} else if d <= 0 {
+			t.Fatalf("backoff(%d) = %v, not positive", attempt, d)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -25,6 +26,7 @@ import (
 type Server struct {
 	shield   *core.Shield
 	mux      *http.ServeMux
+	handler  http.Handler  // mux wrapped in the recovery middleware
 	deadline time.Duration // 0 = no per-request deadline
 }
 
@@ -64,11 +66,42 @@ func New(shield *core.Shield, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /admin/topk", s.handleTopK)
 	s.mux.HandleFunc("POST /admin/quote", s.handleQuote)
 	s.mux.HandleFunc("GET /admin/suspects", s.handleSuspects)
+	s.handler = WithRecovery(s.mux, shield.Metrics().Counter("server_panics_total"))
 	return s, nil
 }
 
-// Handler returns the HTTP handler for mounting.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler for mounting. Every route is wrapped
+// in the panic-recovery middleware: a handler bug costs that request a
+// 500, never the process.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// WithRecovery wraps h so that a panicking handler produces a 500 (when
+// nothing has been written yet) and bumps panics, instead of unwinding
+// into net/http and killing the connection — or, for a panic on a
+// goroutine the handler spawned, the whole process. http.ErrAbortHandler
+// keeps its conventional meaning and is re-raised for net/http to
+// swallow.
+func WithRecovery(h http.Handler, panics interface{ Inc() }) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel by identity
+				panic(rec)
+			}
+			if panics != nil {
+				panics.Inc()
+			}
+			// Best effort: if the handler already wrote a status this is a
+			// no-op superfluous-WriteHeader, and the request dies mid-body.
+			writeErr(w, http.StatusInternalServerError,
+				fmt.Errorf("internal error: %v", rec))
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
 
 // QueryRequest is the /query request body.
 type QueryRequest struct {
@@ -131,6 +164,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, core.ErrRateLimited):
 		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, core.ErrDegraded):
+		// Persistence is failing: the shield refuses writes so nothing
+		// unrecoverable is acknowledged. 503 tells well-behaved clients
+		// to back off; reads are unaffected.
+		writeErr(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, context.DeadlineExceeded):
 		writeErr(w, http.StatusGatewayTimeout, fmt.Errorf("query exceeded the per-request deadline (the delay was still charged): %w", err))
@@ -215,8 +254,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// HealthResponse is the /healthz body. Status is "ok" or "degraded";
+// degraded still answers 200 — the process is alive and serving reads —
+// with the triggering I/O failure in Reason so probes and operators can
+// see why writes are being refused.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if on, cause := s.shield.Degraded(); on {
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "degraded", Reason: cause})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
 }
 
 // TopKEntry is one row of the /admin/topk response.
@@ -331,12 +383,98 @@ type Client struct {
 	base     string
 	identity string
 	http     *http.Client
+	// Retry policy (WithRetry). Retries apply ONLY to idempotent GETs:
+	// POST /query may carry a charged, delay-priced statement, and
+	// resending one on a connection error could execute — and charge —
+	// it twice.
+	retries     int
+	backoffBase time.Duration
+	backoffCap  time.Duration
+	sleep       func(time.Duration)
+	jitter      func() float64 // in [0, 1)
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetry enables retries of idempotent GET requests on connection
+// errors and 5xx responses: up to retries extra attempts, pausing
+// base·2^attempt scaled by a uniform ±50% jitter between attempts,
+// capped at 10·base. Writes (POST /query, /register) are never retried.
+func WithRetry(retries int, base time.Duration) ClientOption {
+	return func(c *Client) {
+		c.retries = retries
+		c.backoffBase = base
+		c.backoffCap = 10 * base
+	}
+}
+
+// withSleeper replaces the backoff sleeper and jitter source — test
+// instrumentation, deliberately unexported.
+func withSleeper(sleep func(time.Duration), jitter func() float64) ClientOption {
+	return func(c *Client) {
+		c.sleep = sleep
+		c.jitter = jitter
+	}
 }
 
 // NewClient returns a client for the server at base (e.g.
 // "http://localhost:8080") acting as the given identity.
-func NewClient(base, identity string) *Client {
-	return &Client{base: base, identity: identity, http: &http.Client{Timeout: 5 * time.Minute}}
+func NewClient(base, identity string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:     base,
+		identity: identity,
+		http:     &http.Client{Timeout: 5 * time.Minute},
+		sleep:    time.Sleep,
+		jitter:   rand.Float64,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// backoff returns the pause before retry attempt (0-based): exponential
+// in attempt, scaled by a uniform factor in [0.5, 1.5), capped.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.backoffBase << attempt
+	if d > c.backoffCap || d <= 0 {
+		d = c.backoffCap
+	}
+	d = time.Duration(float64(d) * (0.5 + c.jitter()))
+	if d > c.backoffCap {
+		d = c.backoffCap
+	}
+	return d
+}
+
+// getJSON fetches base+path and decodes the body into out, retrying
+// connection errors and 5xx statuses per the retry policy. GET only —
+// see the Client doc for why writes never come through here.
+func (c *Client) getJSON(path string, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http.Get(c.base + path)
+		if err != nil {
+			lastErr = err
+		} else if resp.StatusCode >= 500 {
+			var e ErrorResponse
+			json.NewDecoder(resp.Body).Decode(&e)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		} else {
+			err := json.NewDecoder(resp.Body).Decode(out)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("server: decoding %s response: %w", path, err)
+			}
+			return nil
+		}
+		if attempt >= c.retries {
+			return lastErr
+		}
+		c.sleep(c.backoff(attempt))
+	}
 }
 
 // Query runs sql through the front door.
@@ -384,32 +522,33 @@ func (c *Client) Register() error {
 	return nil
 }
 
-// Stats fetches shield statistics.
+// Stats fetches shield statistics. Idempotent; retried per the retry
+// policy.
 func (c *Client) Stats() (*StatsResponse, error) {
-	resp, err := c.http.Get(c.base + "/stats")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
 	var out StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.getJSON("/stats", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Metrics fetches the shield's instrument snapshot from /metrics.
+// Idempotent; retried per the retry policy.
 func (c *Client) Metrics() (map[string]any, error) {
-	resp, err := c.http.Get(c.base + "/metrics")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
 	var out map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.getJSON("/metrics", &out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// Health fetches /healthz. Idempotent; retried per the retry policy.
+func (c *Client) Health() (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.getJSON("/healthz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // RowStrings converts catalog rows for display; the CLI tool reuses it.

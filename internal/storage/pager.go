@@ -6,6 +6,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // PageID identifies a page within one file.
@@ -84,9 +86,12 @@ func (p *Pager) Allocate() (PageID, error) {
 		return 0, errors.New("storage: pager closed")
 	}
 	id := PageID(p.npages.Load())
+	if err := fault.Check(fault.PagerWrite); err != nil {
+		return 0, fmt.Errorf("storage: allocating page %d: %w", id, wrapIO(err))
+	}
 	pg := NewPage()
 	if _, err := p.f.WriteAt(pg.Bytes(), int64(id)*PageSize); err != nil {
-		return 0, fmt.Errorf("storage: allocating page %d: %w", id, err)
+		return 0, fmt.Errorf("storage: allocating page %d: %w", id, wrapIO(err))
 	}
 	p.npages.Add(1)
 	p.writes.Add(1)
@@ -100,8 +105,11 @@ func (p *Pager) Read(id PageID, dst *Page) error {
 	if uint32(id) >= p.npages.Load() {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
+	if err := fault.Check(fault.PagerRead); err != nil {
+		return fmt.Errorf("storage: reading page %d: %w", id, wrapIO(err))
+	}
 	if _, err := p.f.ReadAt(dst.Bytes(), int64(id)*PageSize); err != nil {
-		return fmt.Errorf("storage: reading page %d: %w", id, err)
+		return fmt.Errorf("storage: reading page %d: %w", id, wrapIO(err))
 	}
 	p.reads.Add(1)
 	p.payIOCost()
@@ -113,8 +121,16 @@ func (p *Pager) Write(id PageID, src *Page) error {
 	if uint32(id) >= p.npages.Load() {
 		return fmt.Errorf("storage: write of unallocated page %d", id)
 	}
+	// A torn rule lets only a prefix of the page reach the file — the
+	// partial flush a crash mid-write leaves behind.
+	if n, err := fault.CheckWrite(fault.PagerWrite, PageSize); err != nil {
+		if n > 0 {
+			p.f.WriteAt(src.Bytes()[:n], int64(id)*PageSize)
+		}
+		return fmt.Errorf("storage: writing page %d: %w", id, wrapIO(err))
+	}
 	if _, err := p.f.WriteAt(src.Bytes(), int64(id)*PageSize); err != nil {
-		return fmt.Errorf("storage: writing page %d: %w", id, err)
+		return fmt.Errorf("storage: writing page %d: %w", id, wrapIO(err))
 	}
 	p.writes.Add(1)
 	p.payIOCost()
@@ -135,15 +151,24 @@ func (p *Pager) WriteImage(id PageID, image []byte) error {
 	}
 	for PageID(p.npages.Load()) <= id {
 		n := PageID(p.npages.Load())
+		if err := fault.Check(fault.PagerWrite); err != nil {
+			return fmt.Errorf("storage: extending to page %d: %w", n, wrapIO(err))
+		}
 		pg := NewPage()
 		if _, err := p.f.WriteAt(pg.Bytes(), int64(n)*PageSize); err != nil {
-			return fmt.Errorf("storage: extending to page %d: %w", n, err)
+			return fmt.Errorf("storage: extending to page %d: %w", n, wrapIO(err))
 		}
 		p.npages.Add(1)
 		p.writes.Add(1)
 	}
+	if n, err := fault.CheckWrite(fault.PagerWrite, PageSize); err != nil {
+		if n > 0 {
+			p.f.WriteAt(image[:n], int64(id)*PageSize)
+		}
+		return fmt.Errorf("storage: writing image %d: %w", id, wrapIO(err))
+	}
 	if _, err := p.f.WriteAt(image, int64(id)*PageSize); err != nil {
-		return fmt.Errorf("storage: writing image %d: %w", id, err)
+		return fmt.Errorf("storage: writing image %d: %w", id, wrapIO(err))
 	}
 	p.writes.Add(1)
 	p.payIOCost()
@@ -157,8 +182,11 @@ func (p *Pager) Sync() error {
 	if p.f == nil {
 		return errors.New("storage: pager closed")
 	}
+	if err := fault.Check(fault.PagerSync); err != nil {
+		return fmt.Errorf("storage: sync: %w", wrapIO(err))
+	}
 	if err := p.f.Sync(); err != nil {
-		return fmt.Errorf("storage: sync: %w", err)
+		return fmt.Errorf("storage: sync: %w", wrapIO(err))
 	}
 	return nil
 }

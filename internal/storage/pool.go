@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // Pool is a buffer pool over a Pager, built for a concurrent read path.
@@ -183,7 +185,13 @@ func (b *Pool) Fetch(id PageID) (*Page, error) {
 	sh.clock = append(sh.clock, f)
 	sh.mu.Unlock()
 
-	f.loadErr = b.pager.Read(id, f.page)
+	// The loading-frame fill is its own failpoint, upstream of the pager
+	// read: a fault here exercises the stillborn-frame unwind below.
+	if err := fault.Check(fault.PoolLoad); err != nil {
+		f.loadErr = fmt.Errorf("storage: loading page %d: %w", id, wrapIO(err))
+	} else {
+		f.loadErr = b.pager.Read(id, f.page)
+	}
 	if f.loadErr == nil {
 		f.loaded.Store(true)
 	}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 // WAL is a physical page-image write-ahead log. Mutating statements
@@ -86,13 +88,22 @@ func (w *WAL) AppendBatch(images []PageImage) error {
 		buf = append(buf, im.Image...)
 	}
 	buf = append(buf, walKindCommit)
+	// A torn rule writes only a prefix of the batch and does NOT advance
+	// w.size — bytes past the logical end, exactly what a crash mid-append
+	// leaves for recovery to discard.
+	if n, err := fault.CheckWrite(fault.WALAppend, len(buf)); err != nil {
+		if n > 0 {
+			w.f.WriteAt(buf[:n], w.size)
+		}
+		return fmt.Errorf("storage: appending wal batch: %w", wrapIO(err))
+	}
 	if _, err := w.f.WriteAt(buf, w.size); err != nil {
-		return fmt.Errorf("storage: appending wal batch: %w", err)
+		return fmt.Errorf("storage: appending wal batch: %w", wrapIO(err))
 	}
 	w.size += int64(len(buf))
 	if w.synced {
 		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("storage: syncing wal: %w", err)
+			return fmt.Errorf("storage: syncing wal: %w", wrapIO(err))
 		}
 	}
 	return nil
@@ -106,6 +117,9 @@ func (w *WAL) Replay(apply func(PageImage) error) (int, error) {
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return 0, errors.New("storage: wal closed")
+	}
+	if err := fault.Check(fault.WALReplay); err != nil {
+		return 0, fmt.Errorf("storage: replaying wal: %w", wrapIO(err))
 	}
 	var (
 		off     int64
