@@ -6,7 +6,7 @@
 //	delaydb -dir ./data -addr :8080 -n 100000 [-alpha 1.0] [-beta 2.0]
 //	        [-cap 10s] [-decay 1.0] [-policy popularity|updaterate]
 //	        [-rate 0] [-burst 10] [-subnets] [-reginterval 0]
-//	        [-deadline 0] [-scanworkers 0] [-detect] [-detect-grace 0.08]
+//	        [-deadline 0] [-scanworkers 0] [-plancache -1] [-detect] [-detect-grace 0.08]
 //	        [-detect-cap 64] [-detect-jaccard 0.35]
 //	        [-readheadertimeout 5s] [-idletimeout 2m] [-drain 30s]
 //
@@ -84,6 +84,7 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		initFile    = fs.String("init", "", "SQL script (semicolon-separated) executed on the admin path at startup")
 		priceCache  = fs.Int("pricecache", 0, "delay price cache capacity in entries (0 = disabled)")
 		priceLag    = fs.Uint64("pricecachelag", 0, "tracker mutations a cached price may trail by (0 = exact)")
+		planCache   = fs.Int("plancache", -1, "prepared-statement plan cache capacity in entries (-1 = default, 0 = disabled)")
 
 		readHeaderTimeout = fs.Duration("readheadertimeout", 5*time.Second, "time limit for reading a request's headers (slowloris guard)")
 		idleTimeout       = fs.Duration("idletimeout", 2*time.Minute, "keep-alive connection idle limit")
@@ -153,6 +154,9 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	}
 	if *scanWorkers > 0 {
 		opts = append(opts, delaydefense.WithScanWorkers(*scanWorkers))
+	}
+	if *planCache >= 0 {
+		opts = append(opts, delaydefense.WithPlanCache(*planCache))
 	}
 	db, err := delaydefense.Open(*dir, cfg, opts...)
 	if err != nil {

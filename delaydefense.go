@@ -110,6 +110,10 @@ func WithPoolPages(n int) EngineOption { return engine.WithPoolPages(n) }
 // synced additionally fsyncs the log on every commit.
 func WithWAL(synced bool) EngineOption { return engine.WithWAL(synced) }
 
+// WithPlanCache sets the engine's prepared-statement cache capacity in
+// entries; 0 disables it. The default is engine.DefaultPlanCacheEntries.
+func WithPlanCache(n int) EngineOption { return engine.WithPlanCache(n) }
+
 // WithScanWorkers caps the goroutines a full table scan may fan out to.
 // Zero or negative restores the default (GOMAXPROCS); 1 forces sequential
 // scans.

@@ -125,9 +125,23 @@ func EncodeRow(s Schema, r Row) ([]byte, error) {
 
 // DecodeRow deserializes a row encoded by EncodeRow.
 func DecodeRow(s Schema, data []byte) (Row, error) {
-	row := make(Row, 0, len(s.Columns))
+	return DecodeRowInto(s, data, nil, nil)
+}
+
+// DecodeRowInto is DecodeRow appending into row's storage (pass row[:0]
+// to reuse a scratch slice across records). need, when non-nil, marks
+// the columns whose values the caller will actually read: TEXT columns
+// outside the mask are length-skipped and left as empty strings instead
+// of being copied out of the page, which keeps hot point lookups and
+// filtered scans from allocating a string per row for columns nobody
+// projects or filters on. Fixed-width columns decode regardless (the
+// skip would cost more than the read).
+func DecodeRowInto(s Schema, data []byte, row Row, need []bool) (Row, error) {
+	if row == nil {
+		row = make(Row, 0, len(s.Columns))
+	}
 	off := 0
-	for _, col := range s.Columns {
+	for i, col := range s.Columns {
 		switch col.Type {
 		case Int:
 			if off+8 > len(data) {
@@ -150,7 +164,11 @@ func DecodeRow(s Schema, data []byte) (Row, error) {
 			if off+int(l) > len(data) {
 				return nil, fmt.Errorf("catalog: truncated TEXT column %q", col.Name)
 			}
-			row = append(row, TextValue(string(data[off:off+int(l)])))
+			if need == nil || need[i] {
+				row = append(row, TextValue(string(data[off:off+int(l)])))
+			} else {
+				row = append(row, Value{Type: Text})
+			}
 			off += int(l)
 		default:
 			return nil, fmt.Errorf("catalog: invalid type in schema column %q", col.Name)

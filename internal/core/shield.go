@@ -26,7 +26,6 @@ import (
 	"repro/internal/freshness"
 	"repro/internal/metrics"
 	"repro/internal/ratelimit"
-	"repro/internal/sqlmini"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/vclock"
@@ -492,6 +491,23 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 	reg.GaugeFunc("engine_pool_hits", func() float64 { h, _, _ := s.db.PoolStats(); return float64(h) })
 	reg.GaugeFunc("engine_pool_misses", func() float64 { _, m, _ := s.db.PoolStats(); return float64(m) })
 	reg.GaugeFunc("engine_pool_evicts", func() float64 { _, _, e := s.db.PoolStats(); return float64(e) })
+	// Plan cache instruments: all zeros when the cache is disabled.
+	reg.GaugeFunc("engine_plan_cache_hits", func() float64 {
+		h, _, _, _ := s.db.PlanCacheStats()
+		return float64(h)
+	})
+	reg.GaugeFunc("engine_plan_cache_misses", func() float64 {
+		_, m, _, _ := s.db.PlanCacheStats()
+		return float64(m)
+	})
+	reg.GaugeFunc("engine_plan_cache_invalidations", func() float64 {
+		_, _, inv, _ := s.db.PlanCacheStats()
+		return float64(inv)
+	})
+	reg.GaugeFunc("engine_plan_cache_entries", func() float64 {
+		_, _, _, n := s.db.PlanCacheStats()
+		return float64(n)
+	})
 	s.SyncEngineMetrics()
 	return s, nil
 }
@@ -697,14 +713,19 @@ func (s *Shield) QueryCtx(ctx context.Context, identity, sql string) (*engine.Re
 	if s.limiter != nil && !s.limiter.Allow(s.principalKey(identity)) {
 		return nil, QueryStats{}, fmt.Errorf("%w: principal %q", ErrRateLimited, s.principalKey(identity))
 	}
-	stmt, err := sqlmini.Parse(sql)
+	// Prepare instead of Parse: a repeated SELECT shape hits the
+	// engine's plan cache and skips the parser entirely; the statement
+	// kind is available either way for the gate checks below.
+	prep, err := s.db.Prepare(sql)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	if sel, ok := stmt.(*sqlmini.Select); ok && sel.Explain {
+	defer prep.Release()
+	kind := prep.Kind()
+	if kind == engine.KindExplain {
 		return nil, QueryStats{}, ErrExplainBlocked
 	}
-	if _, isSelect := stmt.(*sqlmini.Select); !isSelect {
+	if kind != engine.KindSelect {
 		// Writes are refused while degraded: with persistence failing,
 		// accepting a mutation risks acknowledging state that will not
 		// survive a restart. Reads are still served (and still priced —
@@ -714,7 +735,7 @@ func (s *Shield) QueryCtx(ctx context.Context, identity, sql string) (*engine.Re
 			return nil, QueryStats{}, fmt.Errorf("%w (cause: %s)", ErrDegraded, cause)
 		}
 	}
-	res, err := s.db.ExecStmt(stmt)
+	res, err := prep.Exec()
 	if err != nil {
 		s.noteExecError(err)
 		return nil, QueryStats{}, err
@@ -746,7 +767,7 @@ func (s *Shield) QueryCtx(ctx context.Context, identity, sql string) (*engine.Re
 	// popularity tracking.
 	s.met.writes.Inc()
 	now := s.cfg.Clock.Now()
-	if _, isDelete := stmt.(*sqlmini.Delete); isDelete {
+	if kind == engine.KindDelete {
 		for _, key := range res.Keys {
 			// A deleted tuple is the most stale a tuple can be: bump its
 			// version (a tombstone) so an adversary's extracted copy of

@@ -89,20 +89,21 @@ func (p *Popularity) DelayBatch(ids []uint64) time.Duration {
 		return p.delayBatchUncached(ids)
 	}
 	epoch := p.tracker.Epoch()
-	perTuple := make([]time.Duration, len(ids))
-	if miss := p.cache.LookupBatch(ids, epoch, perTuple); len(miss) > 0 {
-		missIDs := make([]uint64, len(miss))
-		for j, i := range miss {
-			missIDs[j] = ids[i]
-		}
+	q := batchQuotePool.Get().(*batchQuote)
+	defer batchQuotePool.Put(q)
+	perTuple := q.grow(len(ids))
+	if miss := p.cache.LookupBatch(ids, epoch, perTuple, q.miss[:0]); len(miss) > 0 {
+		q.miss = miss
+		missIDs := q.fillMissIDs(ids, miss)
 		fmax := p.fmax()
 		ranks := p.tracker.RankBatch(missIDs)
-		prices := make([]time.Duration, len(miss))
+		prices := q.prices[:0]
 		for j, r := range ranks {
 			d := p.delayAt(p.clampRank(r), fmax)
-			prices[j] = d
+			prices = append(prices, d)
 			perTuple[miss[j]] = d
 		}
+		q.prices = prices
 		// The unlearned state (fmax ≤ 0) prices everything at the cap
 		// regardless of rank; caching it would pin the start-up transient
 		// for up to lag mutations after the first real observation.

@@ -3,6 +3,7 @@ package delay
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -29,11 +30,29 @@ type PriceCache struct {
 	mask   uint64
 	lag    uint64
 
+	// locks counts shard-lock acquisitions; the batch paths promise at
+	// most one per touched shard per batch, and the skew tests hold them
+	// to it.
+	locks atomic.Int64
+
+	// groups pools the counting-sort scratch the batch paths group ids
+	// with, so a steady stream of k-tuple quotes does not allocate four
+	// slices per batch.
+	groups sync.Pool
+
 	// Optional instrumentation, set via Instrument before first use.
 	hits       *metrics.Counter
 	misses     *metrics.Counter
 	stale      *metrics.Counter
 	contention *metrics.Gauge
+}
+
+// shardGroups is the reusable scratch for one groupByShard call.
+type shardGroups struct {
+	shardOf []uint32
+	bounds  []int
+	order   []int
+	next    []int
 }
 
 type priceShard struct {
@@ -114,6 +133,7 @@ func (c *PriceCache) shard(id uint64) *priceShard {
 }
 
 func (c *PriceCache) lock(s *priceShard) {
+	c.locks.Add(1)
 	if s.mu.TryLock() {
 		return
 	}
@@ -122,6 +142,11 @@ func (c *PriceCache) lock(s *priceShard) {
 	}
 	s.mu.Lock()
 }
+
+// LockAcquisitions returns the cumulative number of shard-lock
+// acquisitions across all operations. Tests diff it around a batch call
+// to assert the one-lock-per-shard-per-batch contract.
+func (c *PriceCache) LockAcquisitions() int64 { return c.locks.Load() }
 
 // Lookup returns the cached price for id if one exists and is no more
 // than the configured lag behind epoch (the caller's snapshot of the
@@ -171,41 +196,91 @@ func (s *priceShard) store(id uint64, d time.Duration, epoch uint64) {
 	s.entries[id] = priceEntry{delay: d, epoch: epoch}
 }
 
+// batchQuote is the per-call scratch a policy's DelayBatch prices a
+// batch with: the per-tuple prices, the cache-miss indices, and the
+// compacted miss ids/prices handed to the tracker and StoreBatch. One
+// pool serves every policy, so steady-state quoting allocates nothing.
+type batchQuote struct {
+	perTuple []time.Duration
+	miss     []int
+	missIDs  []uint64
+	prices   []time.Duration
+}
+
+var batchQuotePool = sync.Pool{New: func() any { return new(batchQuote) }}
+
+// grow returns q.perTuple sized for n ids. Slots are not zeroed: the
+// callers' fill discipline writes each index exactly once, by the hit
+// path or the miss path.
+func (q *batchQuote) grow(n int) []time.Duration {
+	if cap(q.perTuple) < n {
+		q.perTuple = make([]time.Duration, n)
+	}
+	q.perTuple = q.perTuple[:n]
+	return q.perTuple
+}
+
+// fillMissIDs compacts the missed ids into q's reusable buffer.
+func (q *batchQuote) fillMissIDs(ids []uint64, miss []int) []uint64 {
+	missIDs := q.missIDs[:0]
+	for _, i := range miss {
+		missIDs = append(missIDs, ids[i])
+	}
+	q.missIDs = missIDs
+	return missIDs
+}
+
 // batchGroupThreshold is the batch size below which grouping ids by shard
 // costs more than just taking the per-id locks.
 const batchGroupThreshold = 8
 
-// groupByShard counting-sorts indices of ids by shard. bounds[s] and
-// bounds[s+1] delimit, in order, the positions into ids owned by shard s.
-func (c *PriceCache) groupByShard(ids []uint64) (order []int, bounds []int) {
+// groupByShard counting-sorts indices of ids by shard into pooled
+// scratch. bounds[s] and bounds[s+1] delimit, in order, the positions
+// into ids owned by shard s. Callers must return g via putGroups once
+// done with order/bounds.
+func (c *PriceCache) groupByShard(ids []uint64) (g *shardGroups, order []int, bounds []int) {
 	n := len(c.shards)
-	shardOf := make([]uint32, len(ids))
-	bounds = make([]int, n+1)
-	for i, id := range ids {
+	if v := c.groups.Get(); v != nil {
+		g = v.(*shardGroups)
+	} else {
+		g = &shardGroups{}
+	}
+	shardOf := g.shardOf[:0]
+	bounds = g.bounds[:0]
+	for s := 0; s <= n; s++ {
+		bounds = append(bounds, 0)
+	}
+	for _, id := range ids {
 		s := uint32((id * 0x9E3779B97F4A7C15) >> 33 & c.mask)
-		shardOf[i] = s
+		shardOf = append(shardOf, s)
 		bounds[s+1]++
 	}
 	for s := 1; s <= n; s++ {
 		bounds[s] += bounds[s-1]
 	}
-	order = make([]int, len(ids))
-	next := make([]int, n)
-	copy(next, bounds[:n])
+	order = g.order[:0]
+	for range ids {
+		order = append(order, 0)
+	}
+	next := append(g.next[:0], bounds[:n]...)
 	for i := range ids {
 		s := shardOf[i]
 		order[next[s]] = i
 		next[s]++
 	}
-	return order, bounds
+	g.shardOf, g.bounds, g.order, g.next = shardOf, bounds, order, next
+	return g, order, bounds
 }
+
+func (c *PriceCache) putGroups(g *shardGroups) { c.groups.Put(g) }
 
 // LookupBatch resolves a whole batch of ids against the cache at the
 // caller's epoch snapshot, writing valid prices into prices (parallel to
-// ids) and returning the indices it could not serve. Ids are grouped by
-// shard so a k-tuple quote takes at most one lock round-trip per shard
-// instead of one per tuple.
-func (c *PriceCache) LookupBatch(ids []uint64, epoch uint64, prices []time.Duration) (miss []int) {
+// ids) and appending the indices it could not serve to miss (pass a
+// scratch slice sliced to zero length to reuse its storage; nil works
+// too). Ids are grouped by shard so a k-tuple quote takes at most one
+// lock round-trip per shard instead of one per tuple.
+func (c *PriceCache) LookupBatch(ids []uint64, epoch uint64, prices []time.Duration, miss []int) []int {
 	if len(ids) < batchGroupThreshold {
 		for i, id := range ids {
 			if d, ok := c.Lookup(id, epoch); ok {
@@ -216,7 +291,8 @@ func (c *PriceCache) LookupBatch(ids []uint64, epoch uint64, prices []time.Durat
 		}
 		return miss
 	}
-	order, bounds := c.groupByShard(ids)
+	g, order, bounds := c.groupByShard(ids)
+	defer c.putGroups(g)
 	var hits, misses, stale int64
 	for s := range c.shards {
 		lo, hi := bounds[s], bounds[s+1]
@@ -262,7 +338,8 @@ func (c *PriceCache) StoreBatch(ids []uint64, prices []time.Duration, epoch uint
 		}
 		return
 	}
-	order, bounds := c.groupByShard(ids)
+	g, order, bounds := c.groupByShard(ids)
+	defer c.putGroups(g)
 	for s := range c.shards {
 		lo, hi := bounds[s], bounds[s+1]
 		if lo == hi {

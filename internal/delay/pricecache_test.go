@@ -235,3 +235,77 @@ func TestPriceCacheDoesNotPinStartupTransient(t *testing.T) {
 		t.Fatalf("post-observation quote = %v: the startup cap was cached", d)
 	}
 }
+
+// TestPriceCacheBatchLocksOncePerShard holds the batch paths to their
+// contract — one shard-lock acquisition per touched shard per batch —
+// under adversarial skew: every id in the batch hashes to the same
+// shard, so the whole batch must cost exactly one lock round-trip.
+func TestPriceCacheBatchLocksOncePerShard(t *testing.T) {
+	pc, err := NewPriceCache(256, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nShards := int(pc.mask) + 1
+	if nShards != 16 {
+		t.Fatalf("shard count = %d, want 16", nShards)
+	}
+	shardOf := func(id uint64) uint64 { return (id * 0x9E3779B97F4A7C15) >> 33 & pc.mask }
+
+	// Collect 2*batchGroupThreshold ids that all land on shard 0 — the
+	// worst case for any per-shard batching scheme.
+	var skewed []uint64
+	for id := uint64(1); len(skewed) < 2*batchGroupThreshold; id++ {
+		if shardOf(id) == 0 {
+			skewed = append(skewed, id)
+		}
+	}
+
+	prices := make([]time.Duration, len(skewed))
+	before := pc.LockAcquisitions()
+	miss := pc.LookupBatch(skewed, 0, prices, nil)
+	if got := pc.LockAcquisitions() - before; got != 1 {
+		t.Errorf("skewed LookupBatch (all misses): %d lock acquisitions, want 1", got)
+	}
+	if len(miss) != len(skewed) {
+		t.Fatalf("cold lookup: %d misses, want %d", len(miss), len(skewed))
+	}
+
+	for i := range prices {
+		prices[i] = time.Duration(i+1) * time.Millisecond
+	}
+	before = pc.LockAcquisitions()
+	pc.StoreBatch(skewed, prices, 0)
+	if got := pc.LockAcquisitions() - before; got != 1 {
+		t.Errorf("skewed StoreBatch: %d lock acquisitions, want 1", got)
+	}
+
+	got := make([]time.Duration, len(skewed))
+	before = pc.LockAcquisitions()
+	miss = pc.LookupBatch(skewed, 0, got, nil)
+	if n := pc.LockAcquisitions() - before; n != 1 {
+		t.Errorf("skewed LookupBatch (all hits): %d lock acquisitions, want 1", n)
+	}
+	if len(miss) != 0 {
+		t.Fatalf("warm lookup: %d misses, want 0", len(miss))
+	}
+	for i := range got {
+		if got[i] != prices[i] {
+			t.Fatalf("id %d: cached %v, stored %v", skewed[i], got[i], prices[i])
+		}
+	}
+
+	// A batch spanning two shards costs exactly two acquisitions.
+	var other []uint64
+	for id := uint64(1); len(other) < batchGroupThreshold; id++ {
+		if shardOf(id) == 1 {
+			other = append(other, id)
+		}
+	}
+	mixed := append(append([]uint64(nil), skewed[:batchGroupThreshold]...), other...)
+	mixedPrices := make([]time.Duration, len(mixed))
+	before = pc.LockAcquisitions()
+	pc.LookupBatch(mixed, 0, mixedPrices, nil)
+	if got := pc.LockAcquisitions() - before; got != 2 {
+		t.Errorf("two-shard LookupBatch: %d lock acquisitions, want 2", got)
+	}
+}

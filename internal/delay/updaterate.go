@@ -139,20 +139,21 @@ func (u *UpdateRate) DelayBatch(ids []uint64) time.Duration {
 		return u.delayBatchUncached(ids)
 	}
 	epoch := u.epoch()
-	perTuple := make([]time.Duration, len(ids))
-	if miss := u.cache.LookupBatch(ids, epoch, perTuple); len(miss) > 0 {
-		missIDs := make([]uint64, len(miss))
-		for j, i := range miss {
-			missIDs[j] = ids[i]
-		}
+	q := batchQuotePool.Get().(*batchQuote)
+	defer batchQuotePool.Put(q)
+	perTuple := q.grow(len(ids))
+	if miss := u.cache.LookupBatch(ids, epoch, perTuple, q.miss[:0]); len(miss) > 0 {
+		q.miss = miss
+		missIDs := q.fillMissIDs(ids, miss)
 		rmax := u.rmax()
 		ranks := u.tracker.RankBatch(missIDs)
-		prices := make([]time.Duration, len(miss))
+		prices := q.prices[:0]
 		for j, r := range ranks {
 			d := u.delayAtRmax(u.clampRank(r), rmax)
-			prices[j] = d
+			prices = append(prices, d)
 			perTuple[miss[j]] = d
 		}
+		q.prices = prices
 		// Unlearned rmax prices at the cap; don't pin that transient.
 		if rmax > 0 {
 			u.cache.StoreBatch(missIDs, prices, epoch)

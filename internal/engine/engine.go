@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/index"
@@ -24,6 +25,12 @@ import (
 // DefaultPoolPages is the per-table buffer pool capacity when none is
 // configured.
 const DefaultPoolPages = 256
+
+// DefaultPlanCacheEntries is the prepared-statement cache capacity when
+// none is configured. The cache keys on normalized SQL text, so the
+// working set is the number of distinct query shapes, not distinct
+// queries; 1024 shapes covers any workload this engine serves.
+const DefaultPlanCacheEntries = 1024
 
 // Option configures a Database.
 type Option func(*Database)
@@ -59,6 +66,12 @@ func WithWAL(synced bool) Option {
 	}
 }
 
+// WithPlanCache sets the prepared-statement cache capacity in entries;
+// 0 disables the cache (every statement parses and plans from scratch).
+func WithPlanCache(n int) Option {
+	return func(db *Database) { db.planCacheCap = n }
+}
+
 // walCheckpointBytes is the log size past which a mutation triggers a
 // checkpoint (flush data pages, sync, truncate the log).
 const walCheckpointBytes = 8 << 20
@@ -67,13 +80,21 @@ const walCheckpointBytes = 8 << 20
 // page file per table plus a JSON catalog. It is safe for concurrent use;
 // statements execute atomically with respect to each other per table.
 type Database struct {
-	dir         string
-	cat         *catalog.Catalog
-	poolPages   int
-	scanWorkers int
-	ioCost      func()
-	useWAL      bool
-	walSynced   bool
+	dir          string
+	cat          *catalog.Catalog
+	poolPages    int
+	scanWorkers  int
+	planCacheCap int
+	ioCost       func()
+	useWAL       bool
+	walSynced    bool
+
+	// schemaEpoch counts DDL statements (table and index create/drop).
+	// Cached plans are stamped with the epoch they were built under and
+	// are only executed while it still matches; every DDL bumps the
+	// epoch inside its exclusive section and purges the plan cache.
+	schemaEpoch atomic.Uint64
+	planCache   *planCache // nil when WithPlanCache(0)
 
 	mu     sync.RWMutex
 	tables map[string]*table
@@ -109,11 +130,12 @@ func Open(dir string, opts ...Option) (*Database, error) {
 		return nil, err
 	}
 	db := &Database{
-		dir:         dir,
-		cat:         cat,
-		poolPages:   DefaultPoolPages,
-		scanWorkers: runtime.GOMAXPROCS(0),
-		tables:      make(map[string]*table),
+		dir:          dir,
+		cat:          cat,
+		poolPages:    DefaultPoolPages,
+		scanWorkers:  runtime.GOMAXPROCS(0),
+		planCacheCap: DefaultPlanCacheEntries,
+		tables:       make(map[string]*table),
 	}
 	for _, opt := range opts {
 		opt(db)
@@ -123,6 +145,12 @@ func Open(dir string, opts ...Option) (*Database, error) {
 	}
 	if db.scanWorkers < 1 {
 		return nil, errors.New("engine: scan workers < 1")
+	}
+	if db.planCacheCap < 0 {
+		return nil, errors.New("engine: plan cache entries < 0")
+	}
+	if db.planCacheCap > 0 {
+		db.planCache = newPlanCache(db.planCacheCap)
 	}
 	for _, name := range cat.Tables() {
 		schema, err := cat.Get(name)
@@ -282,6 +310,7 @@ func (db *Database) CreateTable(schema catalog.Schema) error {
 		db.cat.Drop(schema.Table)
 		return err
 	}
+	db.bumpSchemaEpoch()
 	return nil
 }
 
@@ -297,6 +326,7 @@ func (db *Database) DropTable(name string) error {
 	db.mu.Lock()
 	delete(db.tables, strings.ToLower(name))
 	db.mu.Unlock()
+	db.bumpSchemaEpoch()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.wal != nil {
@@ -462,13 +492,38 @@ type Result struct {
 	Affected int
 }
 
-// Exec parses and executes one SQL statement.
+// Exec executes one SQL statement through the prepared-statement path:
+// a repeated SELECT shape hits the plan cache and skips parse and plan
+// entirely.
 func (db *Database) Exec(sql string) (*Result, error) {
-	stmt, err := sqlmini.Parse(sql)
+	p, err := db.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStmt(stmt)
+	res, err := p.Exec()
+	p.Release()
+	return res, err
+}
+
+// bumpSchemaEpoch records a DDL statement: stamped plans become stale
+// and the cache is purged. Callers hold the exclusive lock the DDL runs
+// under, so the bump is ordered against every plan build and execution
+// of the affected table.
+func (db *Database) bumpSchemaEpoch() {
+	db.schemaEpoch.Add(1)
+	if db.planCache != nil {
+		db.planCache.purge()
+	}
+}
+
+// PlanCacheStats reports the plan cache's counters for the
+// engine_plan_cache_* instruments at GET /metrics. All zeros when the
+// cache is disabled.
+func (db *Database) PlanCacheStats() (hits, misses, invalidations int64, entries int) {
+	if db.planCache == nil {
+		return 0, 0, 0, 0
+	}
+	return db.planCache.stats()
 }
 
 // ExecScript executes a semicolon-separated statement sequence (e.g. a

@@ -103,6 +103,44 @@ func (db *Database) execInsert(s *sqlmini.Insert) (*Result, error) {
 	return &Result{Affected: inserted}, nil
 }
 
+// selSpec is a fully resolved non-aggregate SELECT: conjuncts and
+// projection bound to schema indices, the decode mask, and the
+// ordering/limit parameters. execSelect builds one from the AST; the
+// plan cache rebinds one from a cached template without re-parsing.
+type selSpec struct {
+	conj      []boundConj
+	proj      []int
+	cols      []string
+	need      []bool
+	orderCol  int // -1 when no ORDER BY
+	orderDesc bool
+	limit     int // -1 when absent
+}
+
+// needMask returns the decode mask covering the projection, the
+// conjunct columns, the primary key, and extra (an ORDER BY column, or
+// -1). It returns nil when every column is needed, which lets the
+// decoder skip the mask check entirely.
+func needMask(schema catalog.Schema, proj []int, conj []boundConj, extra int) []bool {
+	need := make([]bool, len(schema.Columns))
+	for _, ci := range proj {
+		need[ci] = true
+	}
+	for _, c := range conj {
+		need[c.col] = true
+	}
+	need[schema.Key] = true
+	if extra >= 0 {
+		need[extra] = true
+	}
+	for _, b := range need {
+		if !b {
+			return need
+		}
+	}
+	return nil
+}
+
 func (db *Database) execSelect(s *sqlmini.Select) (*Result, error) {
 	t, err := db.getTable(s.Table)
 	if err != nil {
@@ -112,40 +150,91 @@ func (db *Database) execSelect(s *sqlmini.Select) (*Result, error) {
 	// together; writers (which mutate page bytes in place) are excluded.
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	conj, err := resolveWhere(t.schema, s.Where, nil)
+	if err != nil {
+		return nil, err
+	}
 	if s.Explain {
-		p, err := db.choosePlan(t, s.Where)
-		if err != nil {
-			return nil, err
-		}
+		p := choosePlanBound(t, conj)
 		return &Result{
 			Columns: []string{"plan"},
 			Rows:    []catalog.Row{{catalog.TextValue(p.Describe(t))}},
 		}, nil
 	}
 	if len(s.Aggregates) > 0 {
-		return db.execAggregate(t, s)
+		return db.execAggregate(t, s, conj)
 	}
 	proj, err := projection(t.schema, s.Columns)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Columns: projColumns(t.schema, proj)}
-	project := func(row catalog.Row) catalog.Row {
-		out := make(catalog.Row, len(proj))
-		for i, ci := range proj {
-			out[i] = row[ci]
-		}
-		return out
+	spec := selSpec{
+		conj:     conj,
+		proj:     proj,
+		cols:     projColumns(t.schema, proj),
+		orderCol: -1,
+		limit:    s.Limit,
 	}
-
 	if s.Order != nil {
 		oi := t.schema.ColumnIndex(s.Order.Column)
 		if oi < 0 {
 			return nil, fmt.Errorf("engine: unknown column %q in ORDER BY", s.Order.Column)
 		}
+		spec.orderCol = oi
+		spec.orderDesc = s.Order.Desc
+	}
+	spec.need = needMask(t.schema, proj, conj, spec.orderCol)
+	return db.execSelectSpec(t, &spec)
+}
+
+// execSelectSpec runs a resolved non-aggregate SELECT. Callers hold the
+// table read lock.
+// resultBuf serves a small SELECT — the point-query hot path — from one
+// allocation: the Result header, the first few row and key slots, and
+// the first rows' projected values share a block, so a single-row answer
+// costs one object instead of four. Larger results spill to ordinary
+// appends; the inline arrays then ride along as slack in an allocation
+// the caller holds anyway. The buffer cannot be pooled: the Result and
+// everything it points into are handed to the caller for keeps.
+type resultBuf struct {
+	res  Result
+	rows [2]catalog.Row
+	keys [2]uint64
+	vals [2]catalog.Value
+	used int // vals slots consumed by earlier rows
+}
+
+// project copies the projected columns of row into fresh storage, carved
+// from the inline value array while it lasts.
+func (rb *resultBuf) project(proj []int, row catalog.Row) catalog.Row {
+	var out catalog.Row
+	if n := len(proj); len(rb.vals)-rb.used >= n {
+		out = rb.vals[rb.used : rb.used+n : rb.used+n]
+		rb.used += n
+	} else {
+		out = make(catalog.Row, n)
+	}
+	for i, ci := range proj {
+		out[i] = row[ci]
+	}
+	return out
+}
+
+func (db *Database) execSelectSpec(t *table, spec *selSpec) (*Result, error) {
+	rb := &resultBuf{}
+	res := &rb.res
+	res.Columns = spec.cols
+	res.Rows = rb.rows[:0]
+	res.Keys = rb.keys[:0]
+	project := func(row catalog.Row) catalog.Row {
+		return rb.project(spec.proj, row)
+	}
+
+	if spec.orderCol >= 0 {
+		oi := spec.orderCol
 		// Materialize, sort, then project and apply the limit.
 		var rows []catalog.Row
-		err = db.planAndScan(t, s.Where, func(_ storage.RID, row catalog.Row) (bool, error) {
+		err := db.planAndScanBound(t, spec.conj, spec.need, func(_ storage.RID, row catalog.Row) (bool, error) {
 			rows = append(rows, append(catalog.Row(nil), row...))
 			return true, nil
 		})
@@ -154,13 +243,13 @@ func (db *Database) execSelect(s *sqlmini.Select) (*Result, error) {
 		}
 		sort.SliceStable(rows, func(a, b int) bool {
 			c, _ := rows[a][oi].Compare(rows[b][oi])
-			if s.Order.Desc {
+			if spec.orderDesc {
 				return c > 0
 			}
 			return c < 0
 		})
 		for _, row := range rows {
-			if s.Limit >= 0 && len(res.Rows) >= s.Limit {
+			if spec.limit >= 0 && len(res.Rows) >= spec.limit {
 				break
 			}
 			res.Rows = append(res.Rows, project(row))
@@ -169,8 +258,8 @@ func (db *Database) execSelect(s *sqlmini.Select) (*Result, error) {
 		return res, nil
 	}
 
-	limit := s.Limit
-	err = db.planAndScan(t, s.Where, func(rid storage.RID, row catalog.Row) (bool, error) {
+	limit := spec.limit
+	err := db.planAndScanBound(t, spec.conj, spec.need, func(rid storage.RID, row catalog.Row) (bool, error) {
 		res.Rows = append(res.Rows, project(row))
 		res.Keys = append(res.Keys, uint64(row[t.schema.Key].Int))
 		if limit >= 0 && len(res.Rows) >= limit {
@@ -273,21 +362,38 @@ func newAggAccums(t *table, aggs []sqlmini.Aggregate) ([]aggAccum, []string, err
 // the database through SUMs. Full scans fan out across the parallel
 // executor, each worker folding rows into private accumulators that are
 // merged in page order. Callers hold the table read lock.
-func (db *Database) execAggregate(t *table, s *sqlmini.Select) (*Result, error) {
+func (db *Database) execAggregate(t *table, s *sqlmini.Select, conj []boundConj) (*Result, error) {
 	accs, cols, err := newAggAccums(t, s.Aggregates)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Columns: cols}
 
-	p, err := db.choosePlan(t, s.Where)
-	if err != nil {
-		return nil, err
+	// Decode mask: the key, the filter columns, and the aggregated
+	// columns; COUNT(*) aggregates contribute nothing.
+	need := make([]bool, len(t.schema.Columns))
+	need[t.schema.Key] = true
+	for _, c := range conj {
+		need[c.col] = true
 	}
+	for i := range accs {
+		if accs[i].col >= 0 {
+			need[accs[i].col] = true
+		}
+	}
+	full := true
+	for _, b := range need {
+		full = full && b
+	}
+	if full {
+		need = nil
+	}
+
+	p := choosePlanBound(t, conj)
 	if w := db.scanWorkersFor(t); p.kind == planFullScan && w > 1 {
-		err = db.parallelAggregate(t, s.Where, w, accs, res)
+		err = db.parallelAggregate(t, conj, need, w, accs, res)
 	} else {
-		err = db.planAndScan(t, s.Where, func(_ storage.RID, row catalog.Row) (bool, error) {
+		err = db.planAndScanBound(t, conj, need, func(_ storage.RID, row catalog.Row) (bool, error) {
 			res.Keys = append(res.Keys, uint64(row[t.schema.Key].Int))
 			for i := range accs {
 				accs[i].observe(row)
@@ -366,7 +472,8 @@ func (db *Database) execUpdate(s *sqlmini.Update) (*Result, error) {
 	}
 	var matches []match
 	err = db.planAndScan(t, s.Where, func(rid storage.RID, row catalog.Row) (bool, error) {
-		matches = append(matches, match{rid, row})
+		// The scan reuses its decode buffer; retained rows must be copies.
+		matches = append(matches, match{rid, append(catalog.Row(nil), row...)})
 		return true, nil
 	})
 	if err != nil {
@@ -425,7 +532,8 @@ func (db *Database) execDelete(s *sqlmini.Delete) (*Result, error) {
 	}
 	var matches []match
 	err = db.planAndScan(t, s.Where, func(rid storage.RID, row catalog.Row) (bool, error) {
-		matches = append(matches, match{rid, row[t.schema.Key].Int, row})
+		// The scan reuses its decode buffer; retained rows must be copies.
+		matches = append(matches, match{rid, row[t.schema.Key].Int, append(catalog.Row(nil), row...)})
 		return true, nil
 	})
 	if err != nil {

@@ -19,7 +19,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/catalog"
-	"repro/internal/sqlmini"
 	"repro/internal/storage"
 )
 
@@ -140,9 +139,11 @@ type scannedRows struct {
 }
 
 // scanChunk scans heap pages [lo, hi), decoding every live record and
-// keeping the rows that match where. Decoded rows own their memory
-// (DecodeRow copies out of the pinned page), so they outlive the pin.
-func scanChunk(t *table, where *sqlmini.Where, lo, hi storage.PageID, stop *atomic.Bool) (scannedRows, error) {
+// keeping the rows that match the conjuncts. Kept rows own their memory
+// (freshly allocated, strings copied out of the pinned page), so they
+// outlive the pin and survive hand-off to the reducer. need is the
+// decode mask (must cover the conjunct columns).
+func scanChunk(t *table, conj []boundConj, need []bool, lo, hi storage.PageID, stop *atomic.Bool) (scannedRows, error) {
 	var out scannedRows
 	for id := lo; id < hi; id++ {
 		if stop.Load() {
@@ -150,12 +151,12 @@ func scanChunk(t *table, where *sqlmini.Where, lo, hi storage.PageID, stop *atom
 		}
 		var innerErr error
 		_, err := t.heap.ScanPage(id, func(rid storage.RID, rec []byte) bool {
-			row, derr := catalog.DecodeRow(t.schema, rec)
+			row, derr := catalog.DecodeRowInto(t.schema, rec, nil, need)
 			if derr != nil {
 				innerErr = derr
 				return false
 			}
-			ok, merr := matches(t.schema, row, where)
+			ok, merr := matchesBound(row, conj)
 			if merr != nil {
 				innerErr = merr
 				return false
@@ -180,10 +181,10 @@ func scanChunk(t *table, where *sqlmini.Where, lo, hi storage.PageID, stop *atom
 // chunked executor. fn runs on the calling goroutine only; fn returning
 // false cancels outstanding workers (LIMIT early-cancel). Callers hold
 // at least the table read lock.
-func (db *Database) parallelFullScan(t *table, where *sqlmini.Where, workers int, fn func(storage.RID, catalog.Row) (bool, error)) error {
+func (db *Database) parallelFullScan(t *table, conj []boundConj, need []bool, workers int, fn func(storage.RID, catalog.Row) (bool, error)) error {
 	return runChunkedScan(t.heap.NumPages(), workers,
 		func(lo, hi storage.PageID, stop *atomic.Bool) (scannedRows, error) {
-			return scanChunk(t, where, lo, hi, stop)
+			return scanChunk(t, conj, need, lo, hi, stop)
 		},
 		func(c scannedRows) (bool, error) {
 			for i := range c.rows {
@@ -208,25 +209,30 @@ type chunkAgg struct {
 // accumulators, and the reducer merges the partials in page order —
 // deterministic for a given heap layout, bitwise-identical to the
 // sequential fold. Callers hold at least the table read lock.
-func (db *Database) parallelAggregate(t *table, where *sqlmini.Where, workers int, accs []aggAccum, res *Result) error {
+func (db *Database) parallelAggregate(t *table, conj []boundConj, need []bool, workers int, accs []aggAccum, res *Result) error {
 	return runChunkedScan(t.heap.NumPages(), workers,
 		func(lo, hi storage.PageID, stop *atomic.Bool) (chunkAgg, error) {
 			part := chunkAgg{accs: make([]aggAccum, len(accs))}
 			for i := range accs {
 				part.accs[i].col = accs[i].col
 			}
+			// Rows are folded into the accumulators and dropped, so the
+			// whole chunk decodes through one scratch row. (observe copies
+			// the values it keeps; decoded strings own their memory.)
+			var scratch catalog.Row
 			for id := lo; id < hi; id++ {
 				if stop.Load() {
 					return part, nil
 				}
 				var innerErr error
 				_, err := t.heap.ScanPage(id, func(_ storage.RID, rec []byte) bool {
-					row, derr := catalog.DecodeRow(t.schema, rec)
+					row, derr := catalog.DecodeRowInto(t.schema, rec, scratch[:0], need)
 					if derr != nil {
 						innerErr = derr
 						return false
 					}
-					ok, merr := matches(t.schema, row, where)
+					scratch = row
+					ok, merr := matchesBound(row, conj)
 					if merr != nil {
 						innerErr = merr
 						return false

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/sqlmini"
@@ -20,11 +21,42 @@ const (
 	planFullScan
 )
 
-// queryPlan is the chosen access path for a WHERE clause.
+// boundConj is one WHERE conjunct with its column resolved to a schema
+// index, so per-row evaluation compares by position instead of doing a
+// string lookup per conjunct per row.
+type boundConj struct {
+	col int
+	op  sqlmini.CmpOp
+	val sqlmini.Literal
+}
+
+// resolveWhere validates the WHERE clause's column references against
+// the schema once and appends the conjuncts in bound form to buf
+// (pass nil, or a scratch slice to reuse its storage).
+func resolveWhere(schema catalog.Schema, where *sqlmini.Where, buf []boundConj) ([]boundConj, error) {
+	buf = buf[:0]
+	if where == nil {
+		return buf, nil
+	}
+	for _, c := range where.Conjuncts {
+		ci := schema.ColumnIndex(c.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q in WHERE", c.Column)
+		}
+		buf = append(buf, boundConj{col: ci, op: c.Op, val: c.Value})
+	}
+	return buf, nil
+}
+
+// queryPlan is the chosen access path for a WHERE clause. Bounds are
+// held by value (with presence flags) rather than as pointers so
+// choosing a plan allocates nothing on the point-lookup hot path.
 type queryPlan struct {
 	kind    planKind
-	eq      *int64
-	lo, hi  *int64
+	eq      int64
+	lo, hi  int64
+	hasLo   bool
+	hasHi   bool
 	sec     *secondary
 	secRIDs []storage.RID
 }
@@ -36,14 +68,14 @@ func (p queryPlan) Describe(t *table) string {
 	case planImpossible:
 		return "no-op (contradictory equality predicates)"
 	case planPKPoint:
-		return fmt.Sprintf("primary key point lookup on %q = %d", keyCol, *p.eq)
+		return fmt.Sprintf("primary key point lookup on %q = %d", keyCol, p.eq)
 	case planPKRange:
 		lo, hi := "-inf", "+inf"
-		if p.lo != nil {
-			lo = fmt.Sprintf("%d", *p.lo)
+		if p.hasLo {
+			lo = fmt.Sprintf("%d", p.lo)
 		}
-		if p.hi != nil {
-			hi = fmt.Sprintf("%d", *p.hi)
+		if p.hasHi {
+			hi = fmt.Sprintf("%d", p.hi)
 		}
 		return fmt.Sprintf("primary key range scan on %q in [%s, %s]", keyCol, lo, hi)
 	case planSecondaryEq:
@@ -54,113 +86,154 @@ func (p queryPlan) Describe(t *table) string {
 	}
 }
 
-// choosePlan picks an access path for the WHERE clause. Paths, in
-// preference order: primary key point lookup, secondary index equality,
-// primary key range scan, full scan.
-func (db *Database) choosePlan(t *table, where *sqlmini.Where) (queryPlan, error) {
-	keyCol := t.schema.Columns[t.schema.Key].Name
-
-	// Validate referenced columns up front so malformed queries fail even
-	// when no row would be visited.
-	if where != nil {
-		for _, c := range where.Conjuncts {
-			if t.schema.ColumnIndex(c.Column) < 0 {
-				return queryPlan{}, fmt.Errorf("engine: unknown column %q in WHERE", c.Column)
-			}
-		}
-	}
+// choosePlanBound picks an access path for resolved conjuncts. Paths,
+// in preference order: primary key point lookup, secondary index
+// equality, primary key range scan, full scan. The choice is
+// value-dependent (contradiction detection, index probes), so cached
+// plans re-run it per execution with the freshly bound parameters.
+func choosePlanBound(t *table, conj []boundConj) queryPlan {
+	key := t.schema.Key
 
 	var p queryPlan
+	hasEq := false
 	impossible := false
-	if where != nil {
-		for _, c := range where.Conjuncts {
-			if !strings.EqualFold(c.Column, keyCol) || c.Value.Kind != sqlmini.IntLit {
-				continue
+	for _, c := range conj {
+		if c.col != key || c.val.Kind != sqlmini.IntLit {
+			continue
+		}
+		v := c.val.Int
+		switch c.op {
+		case sqlmini.OpEq:
+			if hasEq && p.eq != v {
+				impossible = true
 			}
-			v := c.Value.Int
-			switch c.Op {
-			case sqlmini.OpEq:
-				if p.eq != nil && *p.eq != v {
-					impossible = true
-				}
-				p.eq = &v
-			case sqlmini.OpGe:
-				if p.lo == nil || v > *p.lo {
-					p.lo = &v
-				}
-			case sqlmini.OpGt:
-				w := v + 1
-				if p.lo == nil || w > *p.lo {
-					p.lo = &w
-				}
-			case sqlmini.OpLe:
-				if p.hi == nil || v < *p.hi {
-					p.hi = &v
-				}
-			case sqlmini.OpLt:
-				w := v - 1
-				if p.hi == nil || w < *p.hi {
-					p.hi = &w
-				}
+			p.eq = v
+			hasEq = true
+		case sqlmini.OpGe:
+			if !p.hasLo || v > p.lo {
+				p.lo, p.hasLo = v, true
+			}
+		case sqlmini.OpGt:
+			if w := v + 1; !p.hasLo || w > p.lo {
+				p.lo, p.hasLo = w, true
+			}
+		case sqlmini.OpLe:
+			if !p.hasHi || v < p.hi {
+				p.hi, p.hasHi = v, true
+			}
+		case sqlmini.OpLt:
+			if w := v - 1; !p.hasHi || w < p.hi {
+				p.hi, p.hasHi = w, true
 			}
 		}
 	}
 	switch {
 	case impossible:
 		p.kind = planImpossible
-		return p, nil
-	case p.eq != nil:
+		return p
+	case hasEq:
 		p.kind = planPKPoint
-		return p, nil
+		return p
 	}
 
 	// Secondary index path: an equality conjunct on an indexed non-key
 	// column, considered only when the primary key gives no point handle.
-	if where != nil {
-		for _, c := range where.Conjuncts {
-			if c.Op != sqlmini.OpEq || strings.EqualFold(c.Column, keyCol) {
-				continue
-			}
-			sec := t.findSecondary(c.Column)
-			if sec == nil {
-				continue
-			}
-			if rids, ok := sec.lookupLiteral(c.Value); ok {
-				p.kind = planSecondaryEq
-				p.sec = sec
-				p.secRIDs = rids
-				return p, nil
-			}
+	for _, c := range conj {
+		if c.op != sqlmini.OpEq || c.col == key {
+			continue
+		}
+		sec := t.findSecondaryByCol(c.col)
+		if sec == nil {
+			continue
+		}
+		if rids, ok := sec.lookupLiteral(c.val); ok {
+			p.kind = planSecondaryEq
+			p.sec = sec
+			p.secRIDs = rids
+			return p
 		}
 	}
 
-	if p.lo != nil || p.hi != nil {
+	if p.hasLo || p.hasHi {
 		p.kind = planPKRange
-		return p, nil
+		return p
 	}
 	p.kind = planFullScan
-	return p, nil
+	return p
 }
 
-// planAndScan picks an access path for the WHERE clause and streams
-// matching rows to fn. fn returns (continue, error); scanning stops on
-// either signal.
-func (db *Database) planAndScan(t *table, where *sqlmini.Where, fn func(storage.RID, catalog.Row) (bool, error)) error {
-	p, err := db.choosePlan(t, where)
-	if err != nil {
-		return err
+// rowScratch is a pooled decode buffer for the index-driven scan paths
+// (point, range, secondary), which decode one row at a time on the
+// calling goroutine.
+type rowScratch struct{ row catalog.Row }
+
+var rowScratchPool = sync.Pool{New: func() any { return new(rowScratch) }}
+
+// planAndScanBound picks an access path for the resolved conjuncts and
+// streams matching rows to fn. fn returns (continue, error); scanning
+// stops on either signal. need, when non-nil, is the decode mask (see
+// catalog.DecodeRowInto) and must cover every conjunct column.
+//
+// Rows passed to fn are only valid for the duration of the call: the
+// scan paths decode into reused scratch buffers. Callers that retain
+// rows must copy them.
+func (db *Database) planAndScanBound(t *table, conj []boundConj, need []bool, fn func(storage.RID, catalog.Row) (bool, error)) error {
+	p := choosePlanBound(t, conj)
+
+	if p.kind == planImpossible {
+		return nil
+	}
+	if p.kind == planFullScan {
+		// Full scan: fan out across the parallel executor when the heap
+		// is large enough; fn still sees rows in page order.
+		if w := db.scanWorkersFor(t); w > 1 {
+			return db.parallelFullScan(t, conj, need, w, fn)
+		}
+		sc := rowScratchPool.Get().(*rowScratch)
+		defer rowScratchPool.Put(sc)
+		var scanErr error
+		err := t.heap.Scan(func(rid storage.RID, rec []byte) bool {
+			row, derr := catalog.DecodeRowInto(t.schema, rec, sc.row[:0], need)
+			if derr != nil {
+				scanErr = derr
+				return false
+			}
+			sc.row = row
+			ok, merr := matchesBound(row, conj)
+			if merr != nil {
+				scanErr = merr
+				return false
+			}
+			if !ok {
+				return true
+			}
+			cont, ferr := fn(rid, row)
+			if ferr != nil {
+				scanErr = ferr
+				return false
+			}
+			return cont
+		})
+		if err != nil {
+			return err
+		}
+		return scanErr
 	}
 
+	sc := rowScratchPool.Get().(*rowScratch)
+	defer rowScratchPool.Put(sc)
 	emit := func(rid storage.RID) (bool, error) {
-		rec, err := t.heap.Get(rid)
+		var row catalog.Row
+		err := t.heap.View(rid, func(rec []byte) error {
+			var derr error
+			row, derr = catalog.DecodeRowInto(t.schema, rec, sc.row[:0], need)
+			return derr
+		})
 		if err != nil {
 			return false, err
 		}
-		row, err := catalog.DecodeRow(t.schema, rec)
-		if err != nil {
-			return false, err
-		}
-		ok, err := matches(t.schema, row, where)
+		sc.row = row
+		ok, err := matchesBound(row, conj)
 		if err != nil {
 			return false, err
 		}
@@ -171,10 +244,8 @@ func (db *Database) planAndScan(t *table, where *sqlmini.Where, fn func(storage.
 	}
 
 	switch p.kind {
-	case planImpossible:
-		return nil
 	case planPKPoint:
-		rid, found := t.pk.Get(*p.eq)
+		rid, found := t.pk.Get(p.eq)
 		if !found {
 			return nil
 		}
@@ -191,9 +262,16 @@ func (db *Database) planAndScan(t *table, where *sqlmini.Where, fn func(storage.
 			}
 		}
 		return nil
-	case planPKRange:
+	default: // planPKRange
+		var lop, hip *int64
+		if p.hasLo {
+			lop = &p.lo
+		}
+		if p.hasHi {
+			hip = &p.hi
+		}
 		var scanErr error
-		t.pk.AscendRange(p.lo, p.hi, func(key int64, rid storage.RID) bool {
+		t.pk.AscendRange(lop, hip, func(key int64, rid storage.RID) bool {
 			cont, err := emit(rid)
 			if err != nil {
 				scanErr = err
@@ -202,57 +280,29 @@ func (db *Database) planAndScan(t *table, where *sqlmini.Where, fn func(storage.
 			return cont
 		})
 		return scanErr
-	default:
-		// Full scan: fan out across the parallel executor when the heap
-		// is large enough; fn still sees rows in page order.
-		if w := db.scanWorkersFor(t); w > 1 {
-			return db.parallelFullScan(t, where, w, fn)
-		}
-		var scanErr error
-		err := t.heap.Scan(func(rid storage.RID, rec []byte) bool {
-			row, derr := catalog.DecodeRow(t.schema, rec)
-			if derr != nil {
-				scanErr = derr
-				return false
-			}
-			ok, merr := matches(t.schema, row, where)
-			if merr != nil {
-				scanErr = merr
-				return false
-			}
-			if !ok {
-				return true
-			}
-			cont, ferr := fn(rid, append(catalog.Row(nil), row...))
-			if ferr != nil {
-				scanErr = ferr
-				return false
-			}
-			return cont
-		})
-		if err != nil {
-			return err
-		}
-		return scanErr
 	}
 }
 
-// matches evaluates a conjunction against a row.
-func matches(schema catalog.Schema, row catalog.Row, where *sqlmini.Where) (bool, error) {
-	if where == nil {
-		return true, nil
+// planAndScan resolves the WHERE clause and streams matching rows to fn
+// with no decode mask (every column materialized). Rows are only valid
+// during fn, as with planAndScanBound.
+func (db *Database) planAndScan(t *table, where *sqlmini.Where, fn func(storage.RID, catalog.Row) (bool, error)) error {
+	conj, err := resolveWhere(t.schema, where, nil)
+	if err != nil {
+		return err
 	}
-	for _, c := range where.Conjuncts {
-		ci := schema.ColumnIndex(c.Column)
-		if ci < 0 {
-			return false, fmt.Errorf("engine: unknown column %q in WHERE", c.Column)
-		}
-		cmp, err := compareValueLiteral(row[ci], c.Value)
+	return db.planAndScanBound(t, conj, nil, fn)
+}
+
+// matchesBound evaluates resolved conjuncts against a row.
+func matchesBound(row catalog.Row, conj []boundConj) (bool, error) {
+	for _, c := range conj {
+		cmp, err := compareValueLiteral(row[c.col], c.val)
 		if err != nil {
 			return false, err
 		}
 		var ok bool
-		switch c.Op {
+		switch c.op {
 		case sqlmini.OpEq:
 			ok = cmp == 0
 		case sqlmini.OpNe:
@@ -266,7 +316,7 @@ func matches(schema catalog.Schema, row catalog.Row, where *sqlmini.Where) (bool
 		case sqlmini.OpGe:
 			ok = cmp >= 0
 		default:
-			return false, fmt.Errorf("engine: invalid operator %v", c.Op)
+			return false, fmt.Errorf("engine: invalid operator %v", c.op)
 		}
 		if !ok {
 			return false, nil

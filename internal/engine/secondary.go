@@ -122,11 +122,12 @@ func (s *secondary) lookupLiteral(lit sqlmini.Literal) (rids []storage.RID, ok b
 	return nil, false
 }
 
-// findSecondary returns the table's secondary index matching an equality
-// conjunct, if any.
-func (t *table) findSecondary(col string) *secondary {
+// findSecondaryByCol returns the table's secondary index over the given
+// schema column, if any. The planner resolves columns to indices before
+// plan choice, so the lookup is an integer compare per index.
+func (t *table) findSecondaryByCol(col int) *secondary {
 	for _, s := range t.secondaries {
-		if strings.EqualFold(s.def.Column, col) {
+		if s.col == col {
 			return s
 		}
 	}
@@ -175,6 +176,9 @@ func (db *Database) execCreateIndex(s *sqlmini.CreateIndex) (*Result, error) {
 	}
 	t.schema = newSchema
 	t.secondaries = append(t.secondaries, sec)
+	// The index changes plan choice; invalidate cached plans before the
+	// exclusive lock drops so no stale template survives the DDL.
+	db.bumpSchemaEpoch()
 	return &Result{}, nil
 }
 
@@ -205,5 +209,6 @@ func (db *Database) execDropIndex(s *sqlmini.DropIndex) (*Result, error) {
 	}
 	t.schema = newSchema
 	t.secondaries = append(t.secondaries[:pos], t.secondaries[pos+1:]...)
+	db.bumpSchemaEpoch()
 	return &Result{}, nil
 }

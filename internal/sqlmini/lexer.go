@@ -53,8 +53,13 @@ type lexer struct {
 
 // lex tokenizes src fully, returning an error with position on invalid
 // input.
-func lex(src string) ([]token, error) {
-	l := &lexer{src: src}
+func lex(src string) ([]token, error) { return lexInto(src, nil) }
+
+// lexInto is lex with a reusable token buffer: toks is truncated and
+// appended to, so a hot caller (the plan cache's normalizer) can lex
+// without growing a fresh slice per statement.
+func lexInto(src string, toks []token) ([]token, error) {
+	l := &lexer{src: src, toks: toks[:0]}
 	for {
 		l.skipSpace()
 		if l.pos >= len(l.src) {

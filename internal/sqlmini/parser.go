@@ -487,18 +487,7 @@ func (p *parser) parseLiteral() (Literal, error) {
 	switch t.kind {
 	case tokNumber:
 		p.pos++
-		if strings.Contains(t.text, ".") {
-			f, err := strconv.ParseFloat(t.text, 64)
-			if err != nil {
-				return Literal{}, fmt.Errorf("sqlmini: bad float %q: %w", t.text, err)
-			}
-			return Literal{Kind: FloatLit, Float: f}, nil
-		}
-		n, err := strconv.ParseInt(t.text, 10, 64)
-		if err != nil {
-			return Literal{}, fmt.Errorf("sqlmini: bad integer %q: %w", t.text, err)
-		}
-		return Literal{Kind: IntLit, Int: n}, nil
+		return numberLiteral(t.text)
 	case tokString:
 		p.pos++
 		return Literal{Kind: StringLit, Str: t.text}, nil

@@ -103,6 +103,28 @@ func (h *HeapFile) Get(rid RID) ([]byte, error) {
 	return out, nil
 }
 
+// View calls fn with the record bytes at rid while the page stays
+// pinned; the slice aliases the page and is valid only during fn. It is
+// Get without the defensive copy, for callers that decode in place.
+func (h *HeapFile) View(rid RID, fn func(rec []byte) error) error {
+	pg, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	rec, rerr := pg.Record(rid.Slot)
+	var ferr error
+	if rerr == nil {
+		ferr = fn(rec)
+	}
+	if err := h.pool.Unpin(rid.Page, false); err != nil {
+		return err
+	}
+	if rerr != nil {
+		return fmt.Errorf("storage: get %v: %w", rid, rerr)
+	}
+	return ferr
+}
+
 // Delete removes the record at rid.
 func (h *HeapFile) Delete(rid RID) error {
 	h.mu.Lock()

@@ -11,50 +11,62 @@ import (
 
 // Pool is a buffer pool over a Pager, built for a concurrent read path.
 //
-// The frame table is lock-striped: pages hash to one of a power-of-two
-// number of shards by the low bits of their PageID, and each shard owns
-// its own latch, frame map, and clock ring. A cache hit takes only the
-// shard's read latch plus two atomic stores (pin count, reference bit),
-// so concurrent readers — including the parallel scan executor's
-// workers, whose round-robin page ranges stripe across shards — never
-// serialize on a global mutex and never splice a shared LRU list.
-// Replacement is clock/second-chance per shard: eviction sweeps the
-// shard's ring under the write latch, skipping pinned frames, demoting
-// referenced ones, and writing dirty victims back to the pager.
+// The frame table is striped: pages hash to one of a power-of-two number
+// of shards by the low bits of their PageID. Each shard's frame map is
+// immutable and published through an atomic pointer (copy-on-write), so
+// a cache hit takes no latch at all — one atomic map load, one pin
+// compare-and-swap, and a reference-bit store only when the bit is not
+// already set. Misses, evictions, and the maintenance scans serialize on
+// the shard mutex and publish a fresh map copy; the hot path never waits
+// on them.
+//
+// Eviction safety without a read latch is by condemnation: the clock
+// sweep claims a victim by CAS-ing its pin count from 0 to -1. A frame
+// so condemned can never be pinned again — tryPin refuses negative
+// counts — so the sweep owns it outright and can write it back and drop
+// it. A reader that raced the sweep and lost falls to the slow path,
+// misses, and reloads the page.
 //
 // Write-back consistency is a layering contract: page bytes are only
 // mutated while the mutator both pins the frame and holds the owning
 // table's exclusive lock (see internal/engine), and FlushAll/DirtyImages
 // callers hold at least that table's read lock, so a frame observed
-// dirty under the shard latch has stable bytes for the duration of the
-// write. Eviction needs no table lock because a dirty unpinned frame is
-// never concurrently mutated (mutation requires a pin), and the shard
-// write latch excludes re-pinning mid-sweep.
+// dirty under the shard mutex has stable bytes for the duration of the
+// write. A condemned frame is unpinnable, hence equally stable.
 type Pool struct {
 	pager  *Pager
 	shards []poolShard
 	mask   uint32
+}
+
+// poolShard is one stripe of the frame table. frames is the published
+// immutable map; mu serializes the writers that replace it (miss insert,
+// eviction, the flush/scan paths) and guards clock and hand. cap is this
+// shard's slice of the pool capacity; clock is the ring the sweep hand
+// walks. The hit/miss/evict counters are per shard — a global counter
+// trio would put every shard's hit path on the same contended cache
+// line — and the struct is padded so adjacent shards in the Pool's shard
+// array never false-share a line.
+type poolShard struct {
+	mu     sync.Mutex
+	frames atomic.Pointer[map[PageID]*frame]
+	cap    int
+	clock  []*frame
+	hand   int
 	hits   atomic.Int64
 	misses atomic.Int64
 	evicts atomic.Int64
-}
-
-// poolShard is one stripe of the frame table. cap is this shard's slice
-// of the pool capacity; clock is the ring the sweep hand walks.
-type poolShard struct {
-	mu     sync.RWMutex
-	cap    int
-	frames map[PageID]*frame
-	clock  []*frame
-	hand   int
+	_      [24]byte
 }
 
 // frame is one resident page. pins, ref, and dirty are atomics so the
-// hit path and Unpin can update them under the shard's shared latch.
-// ready is closed once the page contents are loaded: a miss inserts the
-// frame pinned-but-loading and reads from the pager with no latch held,
-// so a slow read (or its modeled 2004-era latency) never blocks hits on
-// other pages of the same shard. loadErr is set before ready closes.
+// latch-free hit path and Unpin can update them concurrently. A pin
+// count of condemnedPins marks a frame claimed by eviction; it never
+// becomes pinnable again. ready is closed once the page contents are
+// loaded: a miss inserts the frame pinned-but-loading and reads from the
+// pager with no lock held, so a slow read (or its modeled 2004-era
+// latency) never blocks hits on other pages of the same shard. loadErr
+// is set before ready closes.
 type frame struct {
 	id      PageID
 	page    *Page
@@ -64,6 +76,28 @@ type frame struct {
 	loaded  atomic.Bool // fast path for awaitLoaded; set before ready closes
 	ready   chan struct{}
 	loadErr error
+}
+
+// condemnedPins is the pin-count tombstone the clock sweep installs when
+// it claims a victim.
+const condemnedPins = -1
+
+// tryPin takes one pin unless the frame has been condemned by eviction.
+// It also refreshes the clock reference bit — with a read-before-write
+// so steady-state hits on hot frames stay write-free.
+func (f *frame) tryPin() bool {
+	for {
+		p := f.pins.Load()
+		if p < 0 {
+			return false
+		}
+		if f.pins.CompareAndSwap(p, p+1) {
+			if !f.ref.Load() {
+				f.ref.Store(true)
+			}
+			return true
+		}
+	}
 }
 
 // readyFrame returns a frame whose contents need no load.
@@ -134,7 +168,8 @@ func NewPoolShards(pager *Pager, capacity, shards int) (*Pool, error) {
 		if i < capacity%shards {
 			sh.cap++
 		}
-		sh.frames = make(map[PageID]*frame, sh.cap)
+		m := make(map[PageID]*frame, sh.cap)
+		sh.frames.Store(&m)
 	}
 	return b, nil
 }
@@ -146,42 +181,71 @@ func (b *Pool) shard(id PageID) *poolShard {
 // Shards returns the stripe count (for tests and capacity planning).
 func (b *Pool) Shards() int { return len(b.shards) }
 
+// publishWith replaces the shard's map with a copy that includes f.
+// Callers hold sh.mu.
+func (sh *poolShard) publishWith(f *frame) {
+	old := *sh.frames.Load()
+	next := make(map[PageID]*frame, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[f.id] = f
+	sh.frames.Store(&next)
+}
+
+// publishWithout replaces the shard's map with a copy lacking id.
+// Callers hold sh.mu.
+func (sh *poolShard) publishWithout(id PageID) {
+	old := *sh.frames.Load()
+	next := make(map[PageID]*frame, len(old))
+	for k, v := range old {
+		if k != id {
+			next[k] = v
+		}
+	}
+	sh.frames.Store(&next)
+}
+
 // Fetch returns the page with the given id, pinned. Callers must Unpin.
+// The hit path is latch-free: an atomic load of the shard's published
+// frame map, a pin CAS, and the per-shard hit counter.
 func (b *Pool) Fetch(id PageID) (*Page, error) {
 	sh := b.shard(id)
-	sh.mu.RLock()
-	if f, ok := sh.frames[id]; ok {
-		f.pins.Add(1)
-		f.ref.Store(true)
-		sh.mu.RUnlock()
-		b.hits.Add(1)
+	if f, ok := (*sh.frames.Load())[id]; ok && f.tryPin() {
+		sh.hits.Add(1)
 		return b.awaitLoaded(f)
 	}
-	sh.mu.RUnlock()
+	return b.fetchSlow(sh, id)
+}
 
+// fetchSlow is the miss path (also taken in the vanishingly rare case of
+// losing a race with eviction): re-probe under the shard mutex, then
+// load the page with no lock held.
+func (b *Pool) fetchSlow(sh *poolShard, id PageID) (*Page, error) {
 	sh.mu.Lock()
-	// Another goroutine may have loaded the page while we traded latches.
-	if f, ok := sh.frames[id]; ok {
-		f.pins.Add(1)
-		f.ref.Store(true)
+	// Another goroutine may have loaded the page while we took the mutex.
+	// Under sh.mu a mapped frame is never condemned — the sweep removes
+	// its victim from the map before releasing the mutex — so the pin
+	// must succeed.
+	if f, ok := (*sh.frames.Load())[id]; ok && f.tryPin() {
 		sh.mu.Unlock()
-		b.hits.Add(1)
+		sh.hits.Add(1)
 		return b.awaitLoaded(f)
 	}
-	b.misses.Add(1)
-	if len(sh.frames) >= sh.cap {
+	sh.misses.Add(1)
+	if len(*sh.frames.Load()) >= sh.cap {
 		if err := sh.evictOne(b); err != nil {
 			sh.mu.Unlock()
 			return nil, err
 		}
 	}
-	// Insert the frame pinned but still loading, then read with no latch
+	// Insert the frame pinned but still loading, then read with no lock
 	// held: hits on the shard's other pages proceed during the I/O, and
 	// concurrent fetchers of this page pin the frame and wait on ready.
 	f := &frame{id: id, page: NewPage(), ready: make(chan struct{})}
 	f.pins.Store(1)
 	f.ref.Store(true)
-	sh.frames[id] = f
+	sh.publishWith(f)
 	sh.clock = append(sh.clock, f)
 	sh.mu.Unlock()
 
@@ -208,7 +272,7 @@ func (b *Pool) Fetch(id PageID) (*Page, error) {
 				break
 			}
 		}
-		delete(sh.frames, id)
+		sh.publishWithout(id)
 		sh.mu.Unlock()
 		return nil, f.loadErr
 	}
@@ -241,7 +305,7 @@ func (b *Pool) Allocate() (PageID, *Page, error) {
 	sh := b.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if len(sh.frames) >= sh.cap {
+	if len(*sh.frames.Load()) >= sh.cap {
 		if err := sh.evictOne(b); err != nil {
 			return 0, nil, err
 		}
@@ -249,19 +313,19 @@ func (b *Pool) Allocate() (PageID, *Page, error) {
 	f := readyFrame(id, NewPage())
 	f.pins.Store(1)
 	f.ref.Store(true)
-	sh.frames[id] = f
+	sh.publishWith(f)
 	sh.clock = append(sh.clock, f)
 	return id, f.page, nil
 }
 
-// Unpin releases one pin on the page; dirty marks it modified. The dirty
-// bit is set before the pin drops so a sweep that sees the frame
-// unpinned also sees it dirty.
+// Unpin releases one pin on the page; dirty marks it modified. Like the
+// hit path it is latch-free: a pinned frame is always in the published
+// map (eviction only claims unpinned frames), and the dirty bit is set
+// before the pin drops so a sweep that sees the frame unpinned also sees
+// it dirty.
 func (b *Pool) Unpin(id PageID, dirty bool) error {
 	sh := b.shard(id)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	f, ok := sh.frames[id]
+	f, ok := (*sh.frames.Load())[id]
 	if !ok {
 		return fmt.Errorf("storage: unpin of non-resident page %d", id)
 	}
@@ -281,10 +345,11 @@ func (b *Pool) Unpin(id PageID, dirty bool) error {
 
 // evictOne runs the clock sweep until a victim is evicted: pinned frames
 // are skipped, referenced frames lose their second chance, and the first
-// unpinned unreferenced frame is written back (if dirty) and dropped.
-// Callers hold the shard write latch, which freezes pin counts — hits
-// and Unpin both need the shared latch — so a frame observed unpinned
-// stays evictable for the whole sweep.
+// frame whose pin count CASes from 0 to the condemned tombstone is
+// written back (if dirty) and dropped. The CAS is what makes the
+// latch-free hit path safe: a frame is either pinned before the sweep
+// claims it (the sweep skips it) or condemned first (tryPin refuses it
+// and the reader reloads). Callers hold the shard mutex.
 func (sh *poolShard) evictOne(b *Pool) error {
 	// Each frame is visited at most twice (demote, then evict), so 2n+1
 	// steps without a victim means every frame is pinned.
@@ -302,28 +367,42 @@ func (sh *poolShard) evictOne(b *Pool) error {
 			sh.hand++
 			continue
 		}
+		if !f.pins.CompareAndSwap(0, condemnedPins) {
+			// A reader pinned the frame between the checks; spare it.
+			sh.hand++
+			continue
+		}
 		if err := sh.dropFrameAt(sh.hand, b); err != nil {
 			return err
 		}
-		b.evicts.Add(1)
+		sh.evicts.Add(1)
 		return nil
 	}
 	return errors.New("storage: all frames pinned")
 }
 
 // dropFrameAt writes back the frame at clock index i if dirty and
-// removes it from the shard (swap-remove keeps the ring compact).
+// removes it from the shard (swap-remove keeps the ring compact). The
+// frame must already be condemned (or otherwise unreachable), so its
+// bytes are stable for the write-back. If the write-back fails, the
+// frame is un-condemned and stays resident: its in-memory bytes are the
+// only copy of the dirty data, so it must remain pinnable (serving
+// reads in degraded mode) until a later write-back succeeds.
 func (sh *poolShard) dropFrameAt(i int, b *Pool) error {
 	f := sh.clock[i]
 	if f.dirty.Load() {
 		if err := b.pager.Write(f.id, f.page); err != nil {
+			// Nobody can race this CAS: condemned frames refuse pins, and
+			// the sweep owns the condemnation under sh.mu.
+			f.pins.CompareAndSwap(condemnedPins, 0)
+			f.ref.Store(true) // second chance; retry other victims first
 			return err
 		}
 	}
 	last := len(sh.clock) - 1
 	sh.clock[i] = sh.clock[last]
 	sh.clock = sh.clock[:last]
-	delete(sh.frames, f.id)
+	sh.publishWithout(f.id)
 	return nil
 }
 
@@ -349,9 +428,16 @@ func (b *Pool) FlushAll() error {
 	return nil
 }
 
-// Stats reports cache behaviour for Table 5 accounting.
+// Stats reports cache behaviour for Table 5 accounting, summed across
+// shards (counters are sharded to keep hit paths off a shared line).
 func (b *Pool) Stats() (hits, misses, evicts int64) {
-	return b.hits.Load(), b.misses.Load(), b.evicts.Load()
+	for i := range b.shards {
+		sh := &b.shards[i]
+		hits += sh.hits.Load()
+		misses += sh.misses.Load()
+		evicts += sh.evicts.Load()
+	}
+	return hits, misses, evicts
 }
 
 // DropAll evicts every unpinned page (writing back dirty ones). It
@@ -361,8 +447,8 @@ func (b *Pool) DropAll() error {
 		sh := &b.shards[i]
 		sh.mu.Lock()
 		for j := 0; j < len(sh.clock); {
-			if sh.clock[j].pins.Load() > 0 {
-				j++
+			if !sh.clock[j].pins.CompareAndSwap(0, condemnedPins) {
+				j++ // pinned (or raced with a pinner): keep it
 				continue
 			}
 			if err := sh.dropFrameAt(j, b); err != nil {
@@ -416,10 +502,7 @@ func sortPageImages(ims []PageImage) {
 func (b *Pool) Resident() int {
 	n := 0
 	for i := range b.shards {
-		sh := &b.shards[i]
-		sh.mu.RLock()
-		n += len(sh.frames)
-		sh.mu.RUnlock()
+		n += len(*b.shards[i].frames.Load())
 	}
 	return n
 }
@@ -431,11 +514,13 @@ func (b *Pool) Pinned() int {
 	n := 0
 	for i := range b.shards {
 		sh := &b.shards[i]
-		sh.mu.RLock()
+		sh.mu.Lock()
 		for _, f := range sh.clock {
-			n += int(f.pins.Load())
+			if p := f.pins.Load(); p > 0 {
+				n += int(p)
+			}
 		}
-		sh.mu.RUnlock()
+		sh.mu.Unlock()
 	}
 	return n
 }

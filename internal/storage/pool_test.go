@@ -1,11 +1,14 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"repro/internal/fault"
 )
 
 func osCreate(path string) (*os.File, error) { return os.Create(path) }
@@ -228,4 +231,82 @@ func TestPoolConcurrentFetch(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// A failed eviction write-back must not lose the dirty frame: the
+// in-memory bytes are the only copy of the data, so the frame has to be
+// un-condemned, stay resident and pinnable, and the write-back must be
+// retryable once I/O recovers. (Regression: the sweep used to leave the
+// victim condemned in the published map, so the dirty page could never
+// be pinned again and a later fetch served stale disk bytes from a
+// duplicate frame.)
+func TestPoolEvictionWriteBackFailureKeepsDirtyFrame(t *testing.T) {
+	pool := tempPool(t, 2)
+	var ids []PageID
+	for i := 0; i < 2; i++ {
+		id, pg, err := pool.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Insert([]byte(fmt.Sprintf("dirty-%d", i)))
+		if err := pool.Unpin(id, true); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	// After:1 lets Allocate's own file-extension write through so the
+	// injected error lands on the eviction write-back itself.
+	fault.Enable(fault.NewRegistry(1).Add(fault.Rule{
+		Site: fault.PagerWrite, Kind: fault.Error, After: 1, Count: 1,
+	}))
+	defer fault.Disable()
+	if _, _, err := pool.Allocate(); !errors.Is(err, ErrIO) {
+		t.Fatalf("eviction with failing write-back: err = %v, want ErrIO", err)
+	}
+	fault.Disable()
+
+	// Both dirty frames are still resident, pinnable, and serve their
+	// in-memory (never persisted) contents.
+	if got := pool.Resident(); got != 2 {
+		t.Fatalf("Resident = %d after failed eviction, want 2", got)
+	}
+	for i, id := range ids {
+		pg, err := pool.Fetch(id)
+		if err != nil {
+			t.Fatalf("fetch %d after failed eviction: %v", id, err)
+		}
+		if r, _ := pg.Record(0); string(r) != fmt.Sprintf("dirty-%d", i) {
+			t.Fatalf("page %d content %q after failed eviction", id, r)
+		}
+		if err := pool.Unpin(id, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pool.Pinned(); got != 0 {
+		t.Fatalf("Pinned = %d, want 0", got)
+	}
+
+	// With I/O healthy again the retried eviction writes the victim back.
+	id3, pg, err := pool.Allocate()
+	if err != nil {
+		t.Fatalf("retried eviction: %v", err)
+	}
+	pg.Insert([]byte("dirty-2"))
+	if err := pool.Unpin(id3, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range append(ids, id3) {
+		pg, err := pool.Fetch(id)
+		if err != nil {
+			t.Fatalf("fetch %d from disk: %v", id, err)
+		}
+		if r, _ := pg.Record(0); string(r) != fmt.Sprintf("dirty-%d", i) {
+			t.Fatalf("page %d persisted content %q", id, r)
+		}
+		pool.Unpin(id, false)
+	}
 }

@@ -9,18 +9,48 @@
 #   all     both
 #
 #   BENCH_SUITE  suite to run (default: shield)
-#   BENCH_ARGS   go test bench flags (default: -benchtime=2s -count=1;
-#                CI smoke passes -benchtime=1x -count=1)
+#   BENCH_ARGS   go test bench flags (default: -benchtime=2s -count=3;
+#                with -count>1 each key records the MINIMUM ns/op across
+#                repetitions — min-of-N is far less noisy than any single
+#                run on a shared host, so both the committed baselines
+#                and check-mode runs use it)
 #   BENCH_OUT    output path override (single suite only)
+#   BENCH_CHECK  1 = do not overwrite the committed BENCH_*.json; instead
+#                compare the fresh run against it with scripts/benchcmp
+#                and exit nonzero on a >BENCH_TOL% per-key regression or
+#                a broken shape invariant (point queries must scale to
+#                g=16, scan with the price cache on must beat cache off).
+#   BENCH_TOL    allowed per-key regression percent in check mode
+#                (default: 20)
+#   BENCH_NORM   1 (default) = benchcmp -norm: calibrate per-key checks
+#                by the median new/baseline ratio (floored at 1), so a
+#                CI runner uniformly slower than the host that recorded
+#                the baseline does not trip every key; the gate then
+#                measures relative per-key regressions, and a faster
+#                runner falls back to the absolute comparison. Uniform
+#                whole-suite slowdowns are covered by the within-run
+#                shape invariants, which need no calibration. 0 =
+#                absolute ns/op comparison (use when baseline and check
+#                run on the same pinned machine).
 set -eu
 
 cd "$(dirname "$0")/.."
 suite="${BENCH_SUITE:-shield}"
-args="${BENCH_ARGS:--benchtime=2s -count=1}"
+args="${BENCH_ARGS:--benchtime=2s -count=3}"
+check="${BENCH_CHECK:-0}"
+tol="${BENCH_TOL:-20}"
+normflag=""
+[ "${BENCH_NORM:-1}" = 1 ] && normflag="-norm"
 
 run_suite() {
-	# $1 = bench regexp, $2 = output file, remaining = packages
-	pattern="$1"; out="$2"; shift 2
+	# $1 = bench regexp, $2 = output file, $3 = space-separated benchcmp
+	# invariant specs (may be empty), remaining = packages
+	pattern="$1"; out="$2"; invariants="$3"; shift 3
+	dest="$out"
+	if [ "$check" = 1 ]; then
+		dest="$(mktemp)"
+		trap 'rm -f "$dest"' EXIT
+	fi
 	# shellcheck disable=SC2086  # $args is intentionally word-split
 	go test -run '^$' -bench "$pattern" $args "$@" \
 	  | tee /dev/stderr \
@@ -29,31 +59,54 @@ run_suite() {
 	name = $1
 	sub(/-[0-9]+$/, "", name)        # strip the GOMAXPROCS suffix
 	if (!(name in vals)) order[n++] = name
-	vals[name] = $3                  # with -count>1 the last run wins
+	if (!(name in vals) || $3 + 0 < vals[name] + 0)
+		vals[name] = $3          # with -count>1 keep the minimum
 }
 END {
 	printf "{\n"
 	for (i = 0; i < n; i++)
 		printf "  \"%s\": %s%s\n", order[i], vals[order[i]], (i < n - 1 ? "," : "")
 	printf "}\n"
-}' > "$out"
-	echo "wrote $out"
+}' > "$dest"
+	if [ "$check" = 1 ]; then
+		set -- -tol "$tol"
+		[ -n "$normflag" ] && set -- "$@" "$normflag"
+		for iv in $invariants; do
+			set -- "$@" -le "$iv"
+		done
+		echo "checking $dest against committed $out (tol ${tol}%)"
+		go run ./scripts/benchcmp "$@" "$out" "$dest"
+		rm -f "$dest"
+		trap - EXIT
+	else
+		echo "wrote $out"
+	fi
 }
+
+# Shape invariants enforced in check mode, on the fresh run itself so
+# they hold on any machine: scanning 1000 tuples with the price cache on
+# must not lose to cache off, and a point query at 16 goroutines must not
+# be slower than single-threaded (1.05 allows scheduler noise on small
+# hosts).
+shield_inv='BenchmarkShieldQueryParallelScan/tuples=1000/cache=on,BenchmarkShieldQueryParallelScan/tuples=1000/cache=off,1.0'
+engine_inv='BenchmarkEnginePointQuery/g=16,BenchmarkEnginePointQuery/g=1,1.05'
 
 case "$suite" in
 shield)
 	run_suite 'ShieldQuery|AdaptiveObserveBatch' \
-		"${BENCH_OUT:-BENCH_shield.json}" .
+		"${BENCH_OUT:-BENCH_shield.json}" "$shield_inv" .
 	;;
 engine)
 	run_suite 'PoolFetch|EnginePointQuery|EngineScan' \
-		"${BENCH_OUT:-BENCH_engine.json}" ./internal/storage ./internal/engine
+		"${BENCH_OUT:-BENCH_engine.json}" "$engine_inv" \
+		./internal/storage ./internal/engine
 	;;
 all)
 	[ -z "${BENCH_OUT:-}" ] || { echo "BENCH_OUT needs a single suite" >&2; exit 1; }
-	run_suite 'ShieldQuery|AdaptiveObserveBatch' BENCH_shield.json .
+	run_suite 'ShieldQuery|AdaptiveObserveBatch' BENCH_shield.json "$shield_inv" .
 	run_suite 'PoolFetch|EnginePointQuery|EngineScan' \
-		BENCH_engine.json ./internal/storage ./internal/engine
+		BENCH_engine.json "$engine_inv" \
+		./internal/storage ./internal/engine
 	;;
 *)
 	echo "bench.sh: unknown BENCH_SUITE '$suite' (shield|engine|all)" >&2

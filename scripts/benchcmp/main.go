@@ -1,0 +1,206 @@
+// Command benchcmp compares a fresh benchmark run against a committed
+// baseline and fails when a key regressed beyond tolerance, so CI can
+// gate merges on the recorded BENCH_*.json files instead of eyeballs.
+//
+// Both files are the flat JSON objects scripts/bench.sh writes
+// (benchmark name -> ns/op). Two kinds of checks run:
+//
+//   - Regression: every key present in both files must satisfy
+//     new <= baseline * scale * (1 + tol/100). Keys present in only one
+//     file are reported but do not fail the run (benchmarks come and
+//     go). scale is 1 by default; with -norm it is the median
+//     new/baseline ratio across shared keys (floored at 1), which
+//     calibrates away a CI runner that is overall slower than the host
+//     that recorded the baseline, so the gate measures *relative*
+//     per-key regressions instead of absolute ns/op. The floor keeps
+//     calibration one-directional: a faster run never tightens the
+//     gate below the absolute comparison. (The trade: a perfectly
+//     uniform slowdown across every key is invisible under -norm —
+//     that class is covered by the within-run invariants below.)
+//
+//   - Invariants (-le "keyA,keyB,factor", repeatable): within the NEW
+//     run alone, new[keyA] <= new[keyB] * factor. This is how the
+//     shape constraints are enforced — e.g. point queries at g=16 must
+//     not be slower than g=1, and scan with the price cache on must
+//     beat cache off — independent of machine speed.
+//
+// Usage:
+//
+//	benchcmp [-tol 20] [-norm] [-le a,b,f]... baseline.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// invariant is one -le constraint: new[a] <= new[b] * factor.
+type invariant struct {
+	a, b   string
+	factor float64
+}
+
+type invariantList []invariant
+
+func (l *invariantList) String() string { return fmt.Sprint(*l) }
+
+func (l *invariantList) Set(s string) error {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("want keyA,keyB,factor, got %q", s)
+	}
+	f, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || f <= 0 {
+		return fmt.Errorf("bad factor in %q", s)
+	}
+	*l = append(*l, invariant{a: parts[0], b: parts[1], factor: f})
+	return nil
+}
+
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(strings.TrimSpace(string(data))) == 0 {
+		return nil, fmt.Errorf(
+			"%s is empty — regenerate the baseline with scripts/bench.sh (make bench-shield / make bench-engine) and commit it",
+			path)
+	}
+	m := make(map[string]float64)
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s has no benchmark keys — regenerate it with scripts/bench.sh", path)
+	}
+	return m, nil
+}
+
+// hostScale returns the median new/baseline ratio across keys shared by
+// both runs — an estimate of how much slower this host is than the one
+// that recorded the baseline. Below three shared keys the median is
+// meaningless and the scale stays 1. The scale is also floored at 1:
+// calibration exists to stop a slower runner from failing every key, so
+// it only ever *relaxes* the gate — on a faster run (shorter benchtime,
+// quieter machine) keys shift non-uniformly, and scaling the baseline
+// down would flag keys that are fine in absolute terms.
+func hostScale(base, cur map[string]float64) float64 {
+	var ratios []float64
+	for name, b := range base {
+		if n, ok := cur[name]; ok && b > 0 && n > 0 {
+			ratios = append(ratios, n/b)
+		}
+	}
+	if len(ratios) < 3 {
+		return 1
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	m := ratios[mid]
+	if len(ratios)%2 == 0 {
+		m = (ratios[mid-1] + ratios[mid]) / 2
+	}
+	if m < 1 {
+		return 1
+	}
+	return m
+}
+
+func main() {
+	tol := flag.Float64("tol", 20, "allowed regression per key, percent")
+	norm := flag.Bool("norm", false,
+		"calibrate per-key comparisons by the median new/baseline ratio (host-speed normalization)")
+	var invs invariantList
+	flag.Var(&invs, "le", "invariant newKeyA,newKeyB,factor: require new[A] <= new[B]*factor (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-tol pct] [-le a,b,f]... baseline.json new.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	limit := 1 + *tol/100
+	scale := 1.0
+	if *norm {
+		if scale = hostScale(base, cur); scale != 1 {
+			fmt.Printf("note: host calibration x%.3f (median new/baseline ratio; regressions measured relative to it)\n", scale)
+		} else {
+			fmt.Println("note: -norm inactive (host not slower than baseline, or fewer than 3 shared keys)")
+		}
+	}
+	for _, name := range sortedKeys(base) {
+		b := base[name]
+		n, ok := cur[name]
+		if !ok {
+			fmt.Printf("note: %s in baseline only (skipped)\n", name)
+			continue
+		}
+		ref := b * scale
+		switch {
+		case b <= 0:
+			fmt.Printf("note: %s baseline %.4g not positive (skipped)\n", name, b)
+		case n > ref*limit:
+			failed = true
+			fmt.Printf("FAIL %s: %.4g ns/op vs baseline %.4g (+%.1f%% > %.0f%%)\n",
+				name, n, ref, (n/ref-1)*100, *tol)
+		default:
+			fmt.Printf("ok   %s: %.4g ns/op vs baseline %.4g (%+.1f%%)\n",
+				name, n, ref, (n/ref-1)*100)
+		}
+	}
+	for _, name := range sortedKeys(cur) {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("note: %s new only, no baseline (skipped)\n", name)
+		}
+	}
+
+	for _, iv := range invs {
+		a, okA := cur[iv.a]
+		b, okB := cur[iv.b]
+		if !okA || !okB {
+			fmt.Printf("note: invariant %s <= %s*%.3g skipped (key missing from new run)\n",
+				iv.a, iv.b, iv.factor)
+			continue
+		}
+		if a > b*iv.factor {
+			failed = true
+			fmt.Printf("FAIL invariant: %s (%.4g) > %s (%.4g) * %.3g\n",
+				iv.a, a, iv.b, b, iv.factor)
+		} else {
+			fmt.Printf("ok   invariant: %s (%.4g) <= %s (%.4g) * %.3g\n",
+				iv.a, a, iv.b, b, iv.factor)
+		}
+	}
+
+	if failed {
+		fmt.Println("benchcmp: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: ok")
+}
+
+// sortedKeys returns the map's keys in order so output is stable.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
