@@ -42,15 +42,19 @@ bench:
 bench-shield:
 	./scripts/bench.sh
 
-# Storage-layer benchmark run: striped pool vs the single-latch baseline
-# plus point-query and scan throughput at 1/4/16 goroutines; writes
-# BENCH_engine.json (benchmark name -> ns/op).
+# Storage-layer benchmark run: striped pool vs the single-latch baseline,
+# point-query and scan throughput at 1/4/16 goroutines, the mixed
+# read/write suite on the concurrent write path (plus its legacy
+# exclusive-lock baseline), and the WAL commit path with the group-commit
+# window off vs on; writes BENCH_engine.json (benchmark name -> ns/op).
 bench-engine:
 	BENCH_SUITE=engine ./scripts/bench.sh
 
 # Short measured run of both suites compared against the committed
 # BENCH_*.json baselines: fails on a >20% per-key regression or a broken
-# shape invariant (point-query scaling, price-cache scan win). The short
+# shape invariant (point-query scaling, price-cache scan win, grouped
+# WAL commit beating per-commit fsyncs, concurrent write path keeping
+# its >=3x lead over the legacy exclusive lock). The short
 # benchtime keeps it CI-sized; -count=3 with min-of-N extraction (see
 # bench.sh) keeps single-run scheduler noise from tripping the gate; the
 # committed baselines stay untouched. CI runs this.
@@ -59,10 +63,11 @@ bench-smoke:
 
 # Crash-consistency torture, CI-sized: a bounded sample of crash points
 # (truncate-and-reopen at enumerated WAL offsets, count-snapshot
-# atomicity, and the live torn-append failpoint sweep) under -race.
+# atomicity, crash points inside coalesced group-commit flushes, and the
+# live torn-append + group-flush failpoint sweeps) under -race.
 # TORTURE_POINTS caps the sample; 0 means enumerate everything.
 torture:
-	TORTURE_POINTS=400 $(GO) test -race -v -run 'TestCrashEnumeration|TestCountSnapshotAtomicity|TestFaultSweep' ./internal/torture/
+	TORTURE_POINTS=400 $(GO) test -race -v -run 'TestCrashEnumeration|TestCountSnapshotAtomicity|TestFaultSweep|TestGroupCommitCrashEnumeration|TestGroupFlushFaultSweep' ./internal/torture/
 
 # The full enumeration — every byte of the first commit batch, all
 # header/commit bytes plus strided payload bytes of the rest. Minutes,

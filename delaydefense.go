@@ -110,6 +110,21 @@ func WithPoolPages(n int) EngineOption { return engine.WithPoolPages(n) }
 // synced additionally fsyncs the log on every commit.
 func WithWAL(synced bool) EngineOption { return engine.WithWAL(synced) }
 
+// DefaultWALGroupWindow is the default group-commit accumulation window.
+const DefaultWALGroupWindow = engine.DefaultWALGroupWindow
+
+// WithWALGroupWindow sets the WAL group-commit accumulation window: with
+// d > 0 concurrent commits coalesce into shared writes and fsyncs; 0
+// makes every commit write and sync alone. The default is
+// engine.DefaultWALGroupWindow. No effect unless WithWAL is also set.
+func WithWALGroupWindow(d time.Duration) EngineOption { return engine.WithWALGroupWindow(d) }
+
+// WithExclusiveWrites restores the legacy table-exclusive write path —
+// each mutating statement holds the table lock for its whole duration —
+// instead of per-page latches with snapshot reads. An escape hatch for
+// A/B measurement, not a recommended mode.
+func WithExclusiveWrites() EngineOption { return engine.WithExclusiveWrites() }
+
 // WithPlanCache sets the engine's prepared-statement cache capacity in
 // entries; 0 disables it. The default is engine.DefaultPlanCacheEntries.
 func WithPlanCache(n int) EngineOption { return engine.WithPlanCache(n) }

@@ -508,6 +508,44 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 		_, _, _, n := s.db.PlanCacheStats()
 		return float64(n)
 	})
+	// Concurrent write-path instruments: per-page latch traffic (waits
+	// climbing against acquisitions means page-level contention), the
+	// group-commit pipeline (fsyncs well below commits is the batching
+	// win; window_waits_seconds is the latency spent earning it), and the
+	// snapshot version chains (live versions held for in-flight scans,
+	// retired ones reclaimed behind them).
+	reg.GaugeFunc("engine_write_latch_acquisitions", func() float64 {
+		a, _, _, _ := s.db.WriteStats()
+		return float64(a)
+	})
+	reg.GaugeFunc("engine_write_latch_waits", func() float64 {
+		_, w, _, _ := s.db.WriteStats()
+		return float64(w)
+	})
+	reg.GaugeFunc("engine_snapshot_versions_live", func() float64 {
+		_, _, live, _ := s.db.WriteStats()
+		return float64(live)
+	})
+	reg.GaugeFunc("engine_snapshot_retired_total", func() float64 {
+		_, _, _, ret := s.db.WriteStats()
+		return float64(ret)
+	})
+	reg.GaugeFunc("wal_group_commits", func() float64 {
+		c, _, _, _ := s.db.WALGroupStats()
+		return float64(c)
+	})
+	reg.GaugeFunc("wal_group_batched_records", func() float64 {
+		_, r, _, _ := s.db.WALGroupStats()
+		return float64(r)
+	})
+	reg.GaugeFunc("wal_group_fsyncs", func() float64 {
+		_, _, f, _ := s.db.WALGroupStats()
+		return float64(f)
+	})
+	reg.GaugeFunc("wal_group_window_waits_seconds", func() float64 {
+		_, _, _, wait := s.db.WALGroupStats()
+		return wait
+	})
 	s.SyncEngineMetrics()
 	return s, nil
 }

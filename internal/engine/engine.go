@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/index"
@@ -72,6 +73,30 @@ func WithPlanCache(n int) Option {
 	return func(db *Database) { db.planCacheCap = n }
 }
 
+// DefaultWALGroupWindow is the group-commit accumulation window when
+// none is configured: long enough to coalesce a burst of concurrent
+// commits into one fsync, short enough to be invisible next to the
+// fsync it saves. Sequential committers never wait it (a solo leader
+// flushes immediately), so it costs single-writer workloads nothing.
+const DefaultWALGroupWindow = 200 * time.Microsecond
+
+// WithWALGroupWindow sets the WAL group-commit accumulation window.
+// 0 disables grouping: every commit writes and fsyncs alone, exactly
+// the pre-group-commit behavior.
+func WithWALGroupWindow(d time.Duration) Option {
+	return func(db *Database) { db.walGroupWindow = d }
+}
+
+// WithExclusiveWrites keeps mutating statements on the legacy
+// table-exclusive write path: one writer at a time per table, in-place
+// page mutation, whole-pool dirty-image logging. The default is the
+// concurrent write path (per-page latches, private page copies,
+// epoch-stamped snapshot publication). The option exists for A/B
+// benchmarking and as an escape hatch.
+func WithExclusiveWrites() Option {
+	return func(db *Database) { db.exclusiveWrites = true }
+}
+
 // walCheckpointBytes is the log size past which a mutation triggers a
 // checkpoint (flush data pages, sync, truncate the log).
 const walCheckpointBytes = 8 << 20
@@ -88,6 +113,11 @@ type Database struct {
 	ioCost       func()
 	useWAL       bool
 	walSynced    bool
+	// walGroupWindow is the group-commit accumulation window (0 = every
+	// commit flushes alone); exclusiveWrites selects the legacy
+	// table-exclusive mutation path over the concurrent one.
+	walGroupWindow  time.Duration
+	exclusiveWrites bool
 
 	// schemaEpoch counts DDL statements (table and index create/drop).
 	// Cached plans are stamped with the epoch they were built under and
@@ -101,13 +131,29 @@ type Database struct {
 	closed bool
 }
 
-// table couples one heap file with its indexes under a reader/writer
-// lock: statements that only read (SELECT, aggregates, EXPLAIN, count
-// reads) hold mu shared and proceed concurrently — including the
-// parallel scan executor's workers — while INSERT/UPDATE/DELETE and
-// index DDL hold it exclusively. Page bytes are mutated only under the
-// exclusive lock while the frame is pinned, which is the contract the
-// buffer pool's write-back paths rely on (see storage.Pool).
+// table couples one heap file with its indexes.
+//
+// mu is the table lifecycle lock. On the concurrent write path every
+// statement — reads AND writes — holds it shared; the exclusive takers
+// are the operations that need the table quiescent: index DDL,
+// checkpoints, Flush/DropCaches, Close/DropTable, and the CountStore's
+// legacy in-place mutations. Writers therefore never block readers at
+// table granularity; their mutual isolation comes from per-page write
+// latches (storage.WriteSet) plus the structures below. Under
+// WithExclusiveWrites, mutating statements take mu exclusively instead
+// and the pre-latch invariants hold: page bytes are mutated in place
+// only under the exclusive lock while the frame is pinned.
+//
+// idxMu guards the primary key B+tree and the secondary indexes on the
+// concurrent path. Commits apply index changes under idxMu exclusive
+// immediately after publishing their page versions, so a reader that
+// captures (index state, snapshot epoch) under idxMu shared always gets
+// a mutually consistent pair.
+//
+// keyMu/inflight is the insert key-claim map: concurrent INSERTs claim
+// their primary keys before probing the index, converting a racing
+// duplicate insert into a clean duplicate-key error for exactly one of
+// the two statements.
 type table struct {
 	mu     sync.RWMutex
 	schema catalog.Schema
@@ -118,6 +164,78 @@ type table struct {
 	wal    *storage.WAL // nil unless WithWAL
 	// secondaries parallel schema.Indexes, same order.
 	secondaries []*secondary
+
+	idxMu    sync.RWMutex
+	keyMu    sync.Mutex
+	inflight map[int64]struct{}
+}
+
+// claimKeys atomically claims every key for an in-flight insert, or
+// claims none and reports the first key already claimed by a concurrent
+// statement.
+func (t *table) claimKeys(keys []int64) (int64, bool) {
+	t.keyMu.Lock()
+	defer t.keyMu.Unlock()
+	if t.inflight == nil {
+		t.inflight = make(map[int64]struct{})
+	}
+	for i, k := range keys {
+		if _, busy := t.inflight[k]; busy {
+			for _, u := range keys[:i] {
+				delete(t.inflight, u)
+			}
+			return k, false
+		}
+		t.inflight[k] = struct{}{}
+	}
+	return 0, true
+}
+
+func (t *table) releaseKeys(keys []int64) {
+	t.keyMu.Lock()
+	for _, k := range keys {
+		delete(t.inflight, k)
+	}
+	t.keyMu.Unlock()
+}
+
+// commitWrite is the concurrent-path commit point: it logs the write
+// set's page images, then — under the index lock — publishes the page
+// versions and applies the index changes, so snapshot readers observe
+// the whole statement or none of it. On a WAL error nothing publishes:
+// the caller releases the write set and the statement has rolled back.
+// It reports whether the log has grown past the checkpoint threshold;
+// the caller runs t.checkpoint() after dropping its table read lock.
+func (t *table) commitWrite(ws *storage.WriteSet, apply func()) (checkpoint bool, err error) {
+	if t.wal != nil {
+		if err := t.wal.AppendBatch(ws.Images()); err != nil {
+			return false, err
+		}
+	}
+	t.idxMu.Lock()
+	ws.Publish()
+	apply()
+	t.idxMu.Unlock()
+	return t.wal != nil && t.wal.Size() >= walCheckpointBytes, nil
+}
+
+// checkpoint flushes data pages and truncates the log once it outgrows
+// the threshold. It takes the table lock exclusively — no statement may
+// be in flight — and rechecks the size, so concurrent committers that
+// all observed the threshold run one checkpoint, not several.
+func (t *table) checkpoint() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wal == nil || t.wal.Size() < walCheckpointBytes {
+		return nil
+	}
+	if err := t.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := t.pager.Sync(); err != nil {
+		return err
+	}
+	return t.wal.Truncate()
 }
 
 // Open opens (creating if needed) the database in dir.
@@ -130,12 +248,13 @@ func Open(dir string, opts ...Option) (*Database, error) {
 		return nil, err
 	}
 	db := &Database{
-		dir:          dir,
-		cat:          cat,
-		poolPages:    DefaultPoolPages,
-		scanWorkers:  runtime.GOMAXPROCS(0),
-		planCacheCap: DefaultPlanCacheEntries,
-		tables:       make(map[string]*table),
+		dir:            dir,
+		cat:            cat,
+		poolPages:      DefaultPoolPages,
+		scanWorkers:    runtime.GOMAXPROCS(0),
+		planCacheCap:   DefaultPlanCacheEntries,
+		walGroupWindow: DefaultWALGroupWindow,
+		tables:         make(map[string]*table),
 	}
 	for _, opt := range opts {
 		opt(db)
@@ -184,6 +303,9 @@ func (db *Database) loadTable(schema catalog.Schema) (*table, error) {
 		if err != nil {
 			pager.Close()
 			return nil, err
+		}
+		if db.walGroupWindow > 0 {
+			wal.SetGroupWindow(db.walGroupWindow)
 		}
 		// Recover: reapply committed batches, then checkpoint so the log
 		// starts empty.
@@ -286,7 +408,9 @@ func (db *Database) HasTuple(key uint64) bool {
 	db.mu.RUnlock()
 	for _, t := range tables {
 		t.mu.RLock()
+		t.idxMu.RLock()
 		_, ok := t.pk.Get(int64(key))
+		t.idxMu.RUnlock()
 		t.mu.RUnlock()
 		if ok {
 			return true
@@ -346,18 +470,19 @@ func (db *Database) DropTable(name string) error {
 	return nil
 }
 
-// Flush writes all dirty pages of all tables to disk. The table read
-// lock excludes in-flight mutators so no torn page image reaches disk.
+// Flush writes all dirty pages of all tables to disk. The exclusive
+// table lock excludes in-flight mutators (concurrent-path writers hold
+// it shared for the whole statement) so no torn page image reaches disk.
 func (db *Database) Flush() error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	for name, t := range db.tables {
-		t.mu.RLock()
+		t.mu.Lock()
 		err := t.pool.FlushAll()
 		if err == nil {
 			err = t.pager.Sync()
 		}
-		t.mu.RUnlock()
+		t.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("engine: flushing %q: %w", name, err)
 		}
@@ -371,9 +496,9 @@ func (db *Database) DropCaches() error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	for name, t := range db.tables {
-		t.mu.RLock()
+		t.mu.Lock()
 		err := t.pool.DropAll()
-		t.mu.RUnlock()
+		t.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("engine: dropping caches of %q: %w", name, err)
 		}
@@ -392,6 +517,42 @@ func (db *Database) PoolStats() (hits, misses, evicts int64) {
 		evicts += e
 	}
 	return hits, misses, evicts
+}
+
+// WriteStats aggregates concurrent-write-path counters across tables:
+// page write-latch acquisitions and contended waits, and snapshot page
+// versions currently retained / retired in total — the
+// engine_write_latch_* and engine_snapshot_* instruments.
+func (db *Database) WriteStats() (latchAcq, latchWaits, versLive, versRetired int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, t := range db.tables {
+		a, w, l, r := t.pool.WriteStats()
+		latchAcq += a
+		latchWaits += w
+		versLive += l
+		versRetired += r
+	}
+	return latchAcq, latchWaits, versLive, versRetired
+}
+
+// WALGroupStats aggregates group-commit pipeline counters across table
+// WALs: committed batches, page records, fsyncs issued, and leader time
+// spent in the accumulation window — the wal_group_* instruments.
+func (db *Database) WALGroupStats() (commits, records, fsyncs int64, windowWaitSeconds float64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, t := range db.tables {
+		if t.wal == nil {
+			continue
+		}
+		c, r, f, w := t.wal.GroupStats()
+		commits += c
+		records += r
+		fsyncs += f
+		windowWaitSeconds += w.Seconds()
+	}
+	return commits, records, fsyncs, windowWaitSeconds
 }
 
 // TablePoolStats reports one table's buffer pool counters, for the

@@ -63,9 +63,10 @@ func (db *Database) execInsert(s *sqlmini.Insert) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	inserted := 0
+	// Validate and encode every row before taking any lock.
+	rows := make([]catalog.Row, 0, len(s.Rows))
+	recs := make([][]byte, 0, len(s.Rows))
+	keys := make([]int64, 0, len(s.Rows))
 	for _, litRow := range s.Rows {
 		if len(litRow) != len(t.schema.Columns) {
 			return nil, fmt.Errorf("engine: INSERT has %d values, table %q has %d columns",
@@ -79,13 +80,78 @@ func (db *Database) execInsert(s *sqlmini.Insert) (*Result, error) {
 			}
 			row[i] = v
 		}
-		key := row[t.schema.Key].Int
-		if _, exists := t.pk.Get(key); exists {
-			return nil, fmt.Errorf("engine: duplicate primary key %d in table %q", key, s.Table)
-		}
 		rec, err := catalog.EncodeRow(t.schema, row)
 		if err != nil {
 			return nil, err
+		}
+		rows = append(rows, row)
+		recs = append(recs, rec)
+		keys = append(keys, row[t.schema.Key].Int)
+	}
+	if db.exclusiveWrites {
+		return db.execInsertExclusive(t, rows, recs, keys)
+	}
+
+	run := func() (bool, error) {
+		t.mu.RLock()
+		defer t.mu.RUnlock()
+		// Claim the keys so two statements inserting the same key cannot
+		// both pass the index probe below; the claim also rejects a
+		// duplicate within the statement itself.
+		if busy, ok := t.claimKeys(keys); !ok {
+			return false, fmt.Errorf("engine: duplicate primary key %d in table %q", busy, s.Table)
+		}
+		defer t.releaseKeys(keys)
+		t.idxMu.RLock()
+		for _, key := range keys {
+			if _, exists := t.pk.Get(key); exists {
+				t.idxMu.RUnlock()
+				return false, fmt.Errorf("engine: duplicate primary key %d in table %q", key, s.Table)
+			}
+		}
+		t.idxMu.RUnlock()
+
+		ws := storage.NewWriteSet(t.pool)
+		defer ws.Release()
+		rids := make([]storage.RID, len(recs))
+		for i, rec := range recs {
+			rid, err := t.heap.InsertW(ws, rec)
+			if err != nil {
+				return false, err
+			}
+			rids[i] = rid
+		}
+		return t.commitWrite(ws, func() {
+			for i, key := range keys {
+				t.pk.Put(key, rids[i])
+				for _, sec := range t.secondaries {
+					sec.insert(rows[i], rids[i])
+				}
+			}
+		})
+	}
+	cp, err := run()
+	if err != nil {
+		return nil, err
+	}
+	if cp {
+		if err := t.checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(recs)}, nil
+}
+
+// execInsertExclusive is the WithExclusiveWrites insert path: the table
+// lock excludes everything, pages mutate in place, and the WAL batch is
+// rendered from the pool's dirty pages.
+func (db *Database) execInsertExclusive(t *table, rows []catalog.Row, recs [][]byte, keys []int64) (*Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, rec := range recs {
+		key := keys[i]
+		if _, exists := t.pk.Get(key); exists {
+			return nil, fmt.Errorf("engine: duplicate primary key %d in table %q", key, t.schema.Table)
 		}
 		rid, err := t.heap.Insert(rec)
 		if err != nil {
@@ -93,14 +159,13 @@ func (db *Database) execInsert(s *sqlmini.Insert) (*Result, error) {
 		}
 		t.pk.Put(key, rid)
 		for _, sec := range t.secondaries {
-			sec.insert(row, rid)
+			sec.insert(rows[i], rid)
 		}
-		inserted++
 	}
 	if err := t.logMutation(); err != nil {
 		return nil, err
 	}
-	return &Result{Affected: inserted}, nil
+	return &Result{Affected: len(recs)}, nil
 }
 
 // selSpec is a fully resolved non-aggregate SELECT: conjuncts and
@@ -146,8 +211,9 @@ func (db *Database) execSelect(s *sqlmini.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Shared lock for the whole statement: concurrent readers proceed
-	// together; writers (which mutate page bytes in place) are excluded.
+	// Shared lifecycle lock for the whole statement: concurrent readers
+	// and (on the concurrent write path) writers proceed together; only
+	// DDL, checkpoints, and cache teardown exclude it.
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	conj, err := resolveWhere(t.schema, s.Where, nil)
@@ -155,7 +221,9 @@ func (db *Database) execSelect(s *sqlmini.Select) (*Result, error) {
 		return nil, err
 	}
 	if s.Explain {
+		t.idxMu.RLock()
 		p := choosePlanBound(t, conj)
+		t.idxMu.RUnlock()
 		return &Result{
 			Columns: []string{"plan"},
 			Rows:    []catalog.Row{{catalog.TextValue(p.Describe(t))}},
@@ -389,9 +457,13 @@ func (db *Database) execAggregate(t *table, s *sqlmini.Select, conj []boundConj)
 		need = nil
 	}
 
+	t.idxMu.RLock()
 	p := choosePlanBound(t, conj)
+	t.idxMu.RUnlock()
 	if w := db.scanWorkersFor(t); p.kind == planFullScan && w > 1 {
-		err = db.parallelAggregate(t, conj, need, w, accs, res)
+		snap := t.pool.BeginSnapshot()
+		err = db.parallelAggregate(t, conj, need, w, snap, accs, res)
+		t.pool.EndSnapshot(snap)
 	} else {
 		err = db.planAndScanBound(t, conj, need, func(_ storage.RID, row catalog.Row) (bool, error) {
 			res.Keys = append(res.Keys, uint64(row[t.schema.Key].Int))
@@ -439,16 +511,83 @@ func (db *Database) execAggregate(t *table, s *sqlmini.Select, conj []boundConj)
 	return res, nil
 }
 
+// setOp is one resolved SET assignment of an UPDATE.
+type setOp struct {
+	col int
+	val catalog.Value
+}
+
+// ridMatch is a row a mutation's scan phase matched: where it was and
+// the key it had when the snapshot saw it.
+type ridMatch struct {
+	rid storage.RID
+	key int64
+}
+
+// sortMatches orders matched rows by (page, slot). The write path may
+// only block on a latch while acquiring in ascending PageID order (see
+// WriteSet), so mutations latch their matches sorted.
+func sortMatches(matches []ridMatch) {
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].rid.Page != matches[j].rid.Page {
+			return matches[i].rid.Page < matches[j].rid.Page
+		}
+		return matches[i].rid.Slot < matches[j].rid.Slot
+	})
+}
+
+// lockRow latches the page of a matched row and revalidates the match
+// against the latched (committed, now immutable to others) state: the
+// snapshot that produced the match is in the past, so the row may have
+// been updated, moved, or deleted since. Returns the row's current RID
+// and decoded image, with ok=false when the row vanished, no longer
+// matches the conjuncts, or relocated onto a page whose latch is
+// contended (the statement then skips it — read-committed semantics).
+// If the slot no longer holds the key, the primary key is chased once:
+// an in-place update relocating the row (page overflow) is the one
+// mover that leaves the key live elsewhere.
+func (t *table) lockRow(ws *storage.WriteSet, rid storage.RID, key int64, conj []boundConj) (storage.RID, catalog.Row, bool, error) {
+	pg, err := ws.Acquire(rid.Page)
+	if err != nil {
+		return rid, nil, false, err
+	}
+	for chased := false; ; chased = true {
+		if rec, rerr := pg.Record(rid.Slot); rerr == nil {
+			row, derr := catalog.DecodeRow(t.schema, rec)
+			if derr != nil {
+				return rid, nil, false, derr
+			}
+			if row[t.schema.Key].Int == key {
+				ok, merr := matchesBound(row, conj)
+				return rid, row, ok, merr
+			}
+		}
+		if chased {
+			return rid, nil, false, nil
+		}
+		t.idxMu.RLock()
+		nrid, found := t.pk.Get(key)
+		t.idxMu.RUnlock()
+		if !found || nrid == rid {
+			return rid, nil, false, nil
+		}
+		// The chase may not block: the pages latched so far are not in
+		// ascending order relative to nrid.Page, so a blocking acquire
+		// could deadlock. Contended → skip the row.
+		npg, ok, err := ws.TryAcquire(nrid.Page)
+		if err != nil || !ok {
+			return rid, nil, false, err
+		}
+		rid, pg = nrid, npg
+	}
+}
+
 func (db *Database) execUpdate(s *sqlmini.Update) (*Result, error) {
 	t, err := db.getTable(s.Table)
 	if err != nil {
 		return nil, err
 	}
 	// Resolve SET columns up front.
-	type setOp struct {
-		col int
-		val catalog.Value
-	}
 	var sets []setOp
 	for _, a := range s.Set {
 		ci := t.schema.ColumnIndex(a.Column)
@@ -461,7 +600,113 @@ func (db *Database) execUpdate(s *sqlmini.Update) (*Result, error) {
 		}
 		sets = append(sets, setOp{col: ci, val: v})
 	}
+	if db.exclusiveWrites {
+		return db.execUpdateExclusive(t, s, sets)
+	}
 
+	conj, err := resolveWhere(t.schema, s.Where, nil)
+	if err != nil {
+		return nil, err
+	}
+	type updOp struct {
+		oldRow, newRow catalog.Row
+		oldRID, newRID storage.RID
+		oldKey, newKey int64
+	}
+	run := func() (*Result, bool, error) {
+		t.mu.RLock()
+		defer t.mu.RUnlock()
+		// Collect matches from a snapshot scan, then latch and revalidate
+		// each: mutating the heap during its own scan would risk visiting
+		// relocated rows twice, and the snapshot rows are stale the moment
+		// another statement commits.
+		var matches []ridMatch
+		err := db.planAndScanBound(t, conj, nil, func(rid storage.RID, row catalog.Row) (bool, error) {
+			matches = append(matches, ridMatch{rid, row[t.schema.Key].Int})
+			return true, nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		sortMatches(matches)
+		ws := storage.NewWriteSet(t.pool)
+		defer ws.Release()
+		var claimed []int64
+		defer func() { t.releaseKeys(claimed) }()
+		var pend []updOp
+		for _, m := range matches {
+			rid, row, ok, err := t.lockRow(ws, m.rid, m.key, conj)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue
+			}
+			newRow := append(catalog.Row(nil), row...)
+			for _, so := range sets {
+				newRow[so.col] = so.val
+			}
+			newKey := newRow[t.schema.Key].Int
+			if newKey != m.key {
+				// Key change: claim the new key against concurrent inserts
+				// (and against this statement funneling two rows onto one
+				// key), then probe the committed index.
+				if _, ok := t.claimKeys([]int64{newKey}); !ok {
+					return nil, false, fmt.Errorf("engine: UPDATE would duplicate primary key %d", newKey)
+				}
+				claimed = append(claimed, newKey)
+				t.idxMu.RLock()
+				_, exists := t.pk.Get(newKey)
+				t.idxMu.RUnlock()
+				if exists {
+					return nil, false, fmt.Errorf("engine: UPDATE would duplicate primary key %d", newKey)
+				}
+			}
+			rec, err := catalog.EncodeRow(t.schema, newRow)
+			if err != nil {
+				return nil, false, err
+			}
+			nrid, err := t.heap.UpdateW(ws, rid, rec)
+			if err != nil {
+				return nil, false, err
+			}
+			pend = append(pend, updOp{row, newRow, rid, nrid, m.key, newKey})
+		}
+		cp, err := t.commitWrite(ws, func() {
+			for _, op := range pend {
+				if op.newKey != op.oldKey {
+					t.pk.Delete(op.oldKey)
+				}
+				t.pk.Put(op.newKey, op.newRID)
+				for _, sec := range t.secondaries {
+					sec.remove(op.oldRow, op.oldRID)
+					sec.insert(op.newRow, op.newRID)
+				}
+			}
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		res := &Result{Affected: len(pend)}
+		for _, op := range pend {
+			res.Keys = append(res.Keys, uint64(op.oldKey))
+		}
+		return res, cp, nil
+	}
+	res, cp, err := run()
+	if err != nil {
+		return nil, err
+	}
+	if cp {
+		if err := t.checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// execUpdateExclusive is the WithExclusiveWrites update path.
+func (db *Database) execUpdateExclusive(t *table, s *sqlmini.Update, sets []setOp) (*Result, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	// Collect matches first: mutating the heap during its own scan would
@@ -471,7 +716,7 @@ func (db *Database) execUpdate(s *sqlmini.Update) (*Result, error) {
 		row catalog.Row
 	}
 	var matches []match
-	err = db.planAndScan(t, s.Where, func(rid storage.RID, row catalog.Row) (bool, error) {
+	err := db.planAndScan(t, s.Where, func(rid storage.RID, row catalog.Row) (bool, error) {
 		// The scan reuses its decode buffer; retained rows must be copies.
 		matches = append(matches, match{rid, append(catalog.Row(nil), row...)})
 		return true, nil
@@ -523,6 +768,77 @@ func (db *Database) execDelete(s *sqlmini.Delete) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if db.exclusiveWrites {
+		return db.execDeleteExclusive(t, s)
+	}
+	conj, err := resolveWhere(t.schema, s.Where, nil)
+	if err != nil {
+		return nil, err
+	}
+	type delOp struct {
+		row catalog.Row
+		rid storage.RID
+		key int64
+	}
+	run := func() (*Result, bool, error) {
+		t.mu.RLock()
+		defer t.mu.RUnlock()
+		var matches []ridMatch
+		err := db.planAndScanBound(t, conj, nil, func(rid storage.RID, row catalog.Row) (bool, error) {
+			matches = append(matches, ridMatch{rid, row[t.schema.Key].Int})
+			return true, nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		sortMatches(matches)
+		ws := storage.NewWriteSet(t.pool)
+		defer ws.Release()
+		var pend []delOp
+		for _, m := range matches {
+			rid, row, ok, err := t.lockRow(ws, m.rid, m.key, conj)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue
+			}
+			if err := t.heap.DeleteW(ws, rid); err != nil {
+				return nil, false, err
+			}
+			pend = append(pend, delOp{row, rid, m.key})
+		}
+		cp, err := t.commitWrite(ws, func() {
+			for _, op := range pend {
+				t.pk.Delete(op.key)
+				for _, sec := range t.secondaries {
+					sec.remove(op.row, op.rid)
+				}
+			}
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		res := &Result{Affected: len(pend)}
+		for _, op := range pend {
+			res.Keys = append(res.Keys, uint64(op.key))
+		}
+		return res, cp, nil
+	}
+	res, cp, err := run()
+	if err != nil {
+		return nil, err
+	}
+	if cp {
+		if err := t.checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// execDeleteExclusive is the WithExclusiveWrites delete path.
+func (db *Database) execDeleteExclusive(t *table, s *sqlmini.Delete) (*Result, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	type match struct {
@@ -531,7 +847,7 @@ func (db *Database) execDelete(s *sqlmini.Delete) (*Result, error) {
 		row catalog.Row
 	}
 	var matches []match
-	err = db.planAndScan(t, s.Where, func(rid storage.RID, row catalog.Row) (bool, error) {
+	err := db.planAndScan(t, s.Where, func(rid storage.RID, row catalog.Row) (bool, error) {
 		// The scan reuses its decode buffer; retained rows must be copies.
 		matches = append(matches, match{rid, row[t.schema.Key].Int, append(catalog.Row(nil), row...)})
 		return true, nil

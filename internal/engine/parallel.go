@@ -143,14 +143,14 @@ type scannedRows struct {
 // (freshly allocated, strings copied out of the pinned page), so they
 // outlive the pin and survive hand-off to the reducer. need is the
 // decode mask (must cover the conjunct columns).
-func scanChunk(t *table, conj []boundConj, need []bool, lo, hi storage.PageID, stop *atomic.Bool) (scannedRows, error) {
+func scanChunk(t *table, conj []boundConj, need []bool, snap uint64, lo, hi storage.PageID, stop *atomic.Bool) (scannedRows, error) {
 	var out scannedRows
 	for id := lo; id < hi; id++ {
 		if stop.Load() {
 			return out, nil
 		}
 		var innerErr error
-		_, err := t.heap.ScanPage(id, func(rid storage.RID, rec []byte) bool {
+		_, err := t.heap.ScanPageAt(id, snap, func(rid storage.RID, rec []byte) bool {
 			row, derr := catalog.DecodeRowInto(t.schema, rec, nil, need)
 			if derr != nil {
 				innerErr = derr
@@ -178,13 +178,14 @@ func scanChunk(t *table, conj []boundConj, need []bool, lo, hi storage.PageID, s
 }
 
 // parallelFullScan streams matching rows to fn in page order through the
-// chunked executor. fn runs on the calling goroutine only; fn returning
+// chunked executor, reading every page at the snapshot epoch the caller
+// registered. fn runs on the calling goroutine only; fn returning
 // false cancels outstanding workers (LIMIT early-cancel). Callers hold
 // at least the table read lock.
-func (db *Database) parallelFullScan(t *table, conj []boundConj, need []bool, workers int, fn func(storage.RID, catalog.Row) (bool, error)) error {
+func (db *Database) parallelFullScan(t *table, conj []boundConj, need []bool, workers int, snap uint64, fn func(storage.RID, catalog.Row) (bool, error)) error {
 	return runChunkedScan(t.heap.NumPages(), workers,
 		func(lo, hi storage.PageID, stop *atomic.Bool) (scannedRows, error) {
-			return scanChunk(t, conj, need, lo, hi, stop)
+			return scanChunk(t, conj, need, snap, lo, hi, stop)
 		},
 		func(c scannedRows) (bool, error) {
 			for i := range c.rows {
@@ -208,8 +209,9 @@ type chunkAgg struct {
 // a full scan: every worker folds its chunk's rows into private
 // accumulators, and the reducer merges the partials in page order —
 // deterministic for a given heap layout, bitwise-identical to the
-// sequential fold. Callers hold at least the table read lock.
-func (db *Database) parallelAggregate(t *table, conj []boundConj, need []bool, workers int, accs []aggAccum, res *Result) error {
+// sequential fold. Callers hold at least the table read lock and a
+// registered snapshot at snap.
+func (db *Database) parallelAggregate(t *table, conj []boundConj, need []bool, workers int, snap uint64, accs []aggAccum, res *Result) error {
 	return runChunkedScan(t.heap.NumPages(), workers,
 		func(lo, hi storage.PageID, stop *atomic.Bool) (chunkAgg, error) {
 			part := chunkAgg{accs: make([]aggAccum, len(accs))}
@@ -225,7 +227,7 @@ func (db *Database) parallelAggregate(t *table, conj []boundConj, need []bool, w
 					return part, nil
 				}
 				var innerErr error
-				_, err := t.heap.ScanPage(id, func(_ storage.RID, rec []byte) bool {
+				_, err := t.heap.ScanPageAt(id, snap, func(_ storage.RID, rec []byte) bool {
 					row, derr := catalog.DecodeRowInto(t.schema, rec, scratch[:0], need)
 					if derr != nil {
 						innerErr = derr

@@ -174,25 +174,39 @@ var rowScratchPool = sync.Pool{New: func() any { return new(rowScratch) }}
 // stops on either signal. need, when non-nil, is the decode mask (see
 // catalog.DecodeRowInto) and must cover every conjunct column.
 //
+// Every path reads through a page snapshot consistent with the index
+// state it was planned against: the plan (and any RIDs it captured) is
+// taken under the index read lock together with the snapshot epoch, and
+// commits publish their page versions and index changes atomically
+// under the index write lock, so a scan never sees half a statement.
+// Point lookups read optimistically at the current epoch without
+// registering (no shared mutable state on the hot path) and retry once
+// with a registered snapshot if version pruning got there first.
+//
 // Rows passed to fn are only valid for the duration of the call: the
 // scan paths decode into reused scratch buffers. Callers that retain
 // rows must copy them.
 func (db *Database) planAndScanBound(t *table, conj []boundConj, need []bool, fn func(storage.RID, catalog.Row) (bool, error)) error {
+	t.idxMu.RLock()
 	p := choosePlanBound(t, conj)
 
 	if p.kind == planImpossible {
+		t.idxMu.RUnlock()
 		return nil
 	}
 	if p.kind == planFullScan {
+		t.idxMu.RUnlock()
 		// Full scan: fan out across the parallel executor when the heap
 		// is large enough; fn still sees rows in page order.
+		snap := t.pool.BeginSnapshot()
+		defer t.pool.EndSnapshot(snap)
 		if w := db.scanWorkersFor(t); w > 1 {
-			return db.parallelFullScan(t, conj, need, w, fn)
+			return db.parallelFullScan(t, conj, need, w, snap, fn)
 		}
 		sc := rowScratchPool.Get().(*rowScratch)
 		defer rowScratchPool.Put(sc)
 		var scanErr error
-		err := t.heap.Scan(func(rid storage.RID, rec []byte) bool {
+		err := t.heap.ScanAt(snap, func(rid storage.RID, rec []byte) bool {
 			row, derr := catalog.DecodeRowInto(t.schema, rec, sc.row[:0], need)
 			if derr != nil {
 				scanErr = derr
@@ -222,38 +236,62 @@ func (db *Database) planAndScanBound(t *table, conj []boundConj, need []bool, fn
 
 	sc := rowScratchPool.Get().(*rowScratch)
 	defer rowScratchPool.Put(sc)
-	emit := func(rid storage.RID) (bool, error) {
+	emitAt := func(rid storage.RID, snap uint64) (vis, cont bool, err error) {
 		var row catalog.Row
-		err := t.heap.View(rid, func(rec []byte) error {
+		vis, err = t.heap.ViewAt(rid, snap, func(rec []byte) error {
 			var derr error
 			row, derr = catalog.DecodeRowInto(t.schema, rec, sc.row[:0], need)
 			return derr
 		})
-		if err != nil {
-			return false, err
+		if err != nil || !vis {
+			return vis, true, err
 		}
 		sc.row = row
 		ok, err := matchesBound(row, conj)
-		if err != nil {
-			return false, err
+		if err != nil || !ok {
+			return true, true, err
 		}
-		if !ok {
-			return true, nil
-		}
-		return fn(rid, row)
+		cont, err = fn(rid, row)
+		return true, cont, err
 	}
 
 	switch p.kind {
 	case planPKPoint:
+		// Optimistic: (rid, epoch) captured together under idxMu are
+		// mutually consistent, and the row a committed index entry points
+		// at is live at that epoch. The only way the read comes back
+		// invisible is the unregistered version having been pruned —
+		// retry once with a registered snapshot, re-reading the index.
 		rid, found := t.pk.Get(p.eq)
+		snap := t.pool.Epoch()
+		t.idxMu.RUnlock()
 		if !found {
 			return nil
 		}
-		_, err := emit(rid)
+		vis, _, err := emitAt(rid, snap)
+		if err != nil || vis {
+			return err
+		}
+		t.idxMu.RLock()
+		rid, found = t.pk.Get(p.eq)
+		snap = t.pool.BeginSnapshot()
+		t.idxMu.RUnlock()
+		defer t.pool.EndSnapshot(snap)
+		if !found {
+			return nil
+		}
+		_, _, err = emitAt(rid, snap)
 		return err
 	case planSecondaryEq:
+		// The RID slice is immutable once published (index maintenance
+		// replaces slices wholesale), so it outlives the lock; the
+		// snapshot is registered before the lock drops so the versions
+		// the RIDs point at stay reachable.
+		snap := t.pool.BeginSnapshot()
+		t.idxMu.RUnlock()
+		defer t.pool.EndSnapshot(snap)
 		for _, rid := range p.secRIDs {
-			cont, err := emit(rid)
+			_, cont, err := emitAt(rid, snap)
 			if err != nil {
 				return err
 			}
@@ -263,6 +301,12 @@ func (db *Database) planAndScanBound(t *table, conj []boundConj, need []bool, fn
 		}
 		return nil
 	default: // planPKRange
+		// The B+tree traversal itself needs the index lock, so the range
+		// path holds it shared for the duration of the scan; commits
+		// queue behind it only for their (short) index-apply section.
+		snap := t.pool.BeginSnapshot()
+		defer t.pool.EndSnapshot(snap)
+		defer t.idxMu.RUnlock()
 		var lop, hip *int64
 		if p.hasLo {
 			lop = &p.lo
@@ -272,7 +316,7 @@ func (db *Database) planAndScanBound(t *table, conj []boundConj, need []bool, fn
 		}
 		var scanErr error
 		t.pk.AscendRange(lop, hip, func(key int64, rid storage.RID) bool {
-			cont, err := emit(rid)
+			_, cont, err := emitAt(rid, snap)
 			if err != nil {
 				scanErr = err
 				return false

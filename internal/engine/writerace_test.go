@@ -1,0 +1,285 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The concurrent write path's correctness tests: writers no longer hold
+// the table lock exclusively, so these hammer parallel mutations against
+// snapshot scans and assert statement atomicity — a reader must see all
+// of a multi-row statement or none of it, never a torn prefix.
+
+// loadGroupTable creates table g(id INT PRIMARY KEY, grp INT, v INT)
+// with groups*span rows: group g holds ids [g*span, (g+1)*span), all
+// with v = 0, plus a secondary index on grp.
+func loadGroupTable(t *testing.T, db *Database, groups, span int) {
+	t.Helper()
+	mustExec(t, db, `CREATE TABLE g (id INT PRIMARY KEY, grp INT, v INT)`)
+	mustExec(t, db, `CREATE INDEX g_grp ON g (grp)`)
+	for g := 0; g < groups; g++ {
+		stmt := `INSERT INTO g VALUES `
+		for i := 0; i < span; i++ {
+			if i > 0 {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(%d, %d, 0)", g*span+i, g)
+		}
+		mustExec(t, db, stmt)
+	}
+}
+
+// checkUniform asserts that a (grp, v) result set has one v per group
+// and, when span > 0, exactly span rows per group.
+func checkUniform(t *testing.T, res *Result, span int, what string) {
+	t.Helper()
+	vals := make(map[int64]int64)
+	counts := make(map[int64]int)
+	for _, row := range res.Rows {
+		g, v := row[0].Int, row[1].Int
+		if prev, ok := vals[g]; ok && prev != v {
+			t.Errorf("%s: group %d torn: saw v=%d and v=%d", what, g, prev, v)
+			return
+		}
+		vals[g] = v
+		counts[g]++
+	}
+	if span > 0 {
+		for g, n := range counts {
+			if n != span {
+				t.Errorf("%s: group %d has %d rows, want %d", what, g, n, span)
+				return
+			}
+		}
+	}
+}
+
+// TestConcurrentWritersSnapshotAtomicity races multi-row UPDATE
+// statements — disjoint groups and deliberately overlapping ones —
+// against full scans, secondary-index lookups, and point queries. A
+// group's rows span several pages, so a torn statement (some rows at
+// the new v, some at the old) is exactly what a non-atomic publish or a
+// non-snapshot scan would expose. Must run clean under -race.
+func TestConcurrentWritersSnapshotAtomicity(t *testing.T) {
+	const (
+		groups = 8
+		span   = 64 // ~several pages per group
+		iters  = 60
+	)
+	db := testDB(t, WithScanWorkers(4))
+	markConcurrent(t, db)
+	loadGroupTable(t, db, groups, span)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var once sync.Once
+	done := func() { once.Do(func() { close(stop) }) }
+
+	// Disjoint writers: each owns two groups. Overlapping writers: all
+	// hammer group 0 — strict two-phase latching still serializes them,
+	// so uniformity per group must hold throughout.
+	writer := func(w int, grps []int) {
+		defer wg.Done()
+		defer done()
+		for i := 1; i <= iters; i++ {
+			g := grps[i%len(grps)]
+			q := fmt.Sprintf(`UPDATE g SET v = %d WHERE grp = %d`, w*1_000_000+i, g)
+			if _, err := db.Exec(q); err != nil {
+				t.Errorf("writer %d: %v", w, err)
+				return
+			}
+		}
+	}
+	wg.Add(4)
+	go writer(1, []int{1, 2})
+	go writer(2, []int{3, 4})
+	go writer(3, []int{0, 5})
+	go writer(4, []int{0, 6})
+
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch (i + r) % 3 {
+				case 0: // snapshot full scan
+					res, err := db.Exec(`SELECT grp, v FROM g`)
+					if err != nil {
+						t.Errorf("scan: %v", err)
+						return
+					}
+					checkUniform(t, res, span, "full scan")
+				case 1: // secondary-index lookup
+					g := i % groups
+					res, err := db.Exec(fmt.Sprintf(`SELECT grp, v FROM g WHERE grp = %d`, g))
+					if err != nil {
+						t.Errorf("index lookup: %v", err)
+						return
+					}
+					checkUniform(t, res, span, "index lookup")
+				default: // point query + aggregate over one group
+					id := i % (groups * span)
+					if _, err := db.Exec(fmt.Sprintf(`SELECT v FROM g WHERE id = %d`, id)); err != nil {
+						t.Errorf("point: %v", err)
+						return
+					}
+					res, err := db.Exec(fmt.Sprintf(`SELECT MIN(v), MAX(v) FROM g WHERE grp = %d`, i%groups))
+					if err != nil {
+						t.Errorf("agg: %v", err)
+						return
+					}
+					if mn, mx := res.Rows[0][0].Int, res.Rows[0][1].Int; mn != mx {
+						t.Errorf("agg: group %d torn: min v=%d max v=%d", i%groups, mn, mx)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentInsertDeleteAtomicity races multi-row INSERT and DELETE
+// statements (each a batch of rows in its own group) against scans that
+// assert every batch is fully present or fully absent. Concurrent
+// inserters also contend on the heap's last-page hint and on page
+// allocation, exercising the TryAcquire-or-allocate insert path.
+func TestConcurrentInsertDeleteAtomicity(t *testing.T) {
+	const (
+		writers = 4
+		batch   = 16
+		rounds  = 40
+	)
+	db := testDB(t)
+	markConcurrent(t, db)
+	mustExec(t, db, `CREATE TABLE b (id INT PRIMARY KEY, grp INT, v INT)`)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var once sync.Once
+	done := func() { once.Do(func() { close(stop) }) }
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer done()
+			for r := 0; r < rounds; r++ {
+				grp := w*rounds + r
+				stmt := `INSERT INTO b VALUES `
+				for i := 0; i < batch; i++ {
+					if i > 0 {
+						stmt += ", "
+					}
+					stmt += fmt.Sprintf("(%d, %d, %d)", grp*batch+i, grp, w)
+				}
+				if _, err := db.Exec(stmt); err != nil {
+					t.Errorf("insert writer %d: %v", w, err)
+					return
+				}
+				if r%2 == 1 { // delete the previous round's batch whole
+					q := fmt.Sprintf(`DELETE FROM b WHERE grp = %d`, grp-1)
+					if _, err := db.Exec(q); err != nil {
+						t.Errorf("delete writer %d: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := db.Exec(`SELECT grp, id FROM b`)
+				if err != nil {
+					t.Errorf("scan: %v", err)
+					return
+				}
+				counts := make(map[int64]int)
+				for _, row := range res.Rows {
+					counts[row[0].Int]++
+				}
+				for g, n := range counts {
+					if n != batch {
+						t.Errorf("scan: batch %d has %d rows, want %d (torn statement)", g, n, batch)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Quiesced: every surviving batch must be complete and the index
+	// consistent with the heap.
+	res := mustExec(t, db, `SELECT grp, id FROM b`)
+	counts := make(map[int64]int)
+	for _, row := range res.Rows {
+		counts[row[0].Int]++
+		id := row[1].Int
+		one := mustExec(t, db, fmt.Sprintf(`SELECT id FROM b WHERE id = %d`, id))
+		if len(one.Rows) != 1 {
+			t.Fatalf("point lookup of id %d: %d rows", id, len(one.Rows))
+		}
+	}
+	for g, n := range counts {
+		if n != batch {
+			t.Fatalf("final: batch %d has %d rows, want %d", g, n, batch)
+		}
+	}
+}
+
+// TestConcurrentKeyChangeUpdates races UPDATE statements that move rows
+// between primary keys against inserts of those same keys: exactly one
+// owner of a key may win, and no key may ever appear twice.
+func TestConcurrentKeyChangeUpdates(t *testing.T) {
+	db := testDB(t)
+	markConcurrent(t, db)
+	mustExec(t, db, `CREATE TABLE k (id INT PRIMARY KEY, v INT)`)
+	for i := 0; i < 50; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO k VALUES (%d, 0)`, i))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				src := (w*13 + i) % 50
+				// Move src to 1000+src and back; collisions between the
+				// movers and the re-inserters are expected errors.
+				db.Exec(fmt.Sprintf(`UPDATE k SET id = %d WHERE id = %d`, 1000+src, src))
+				db.Exec(fmt.Sprintf(`UPDATE k SET id = %d WHERE id = %d`, src, 1000+src))
+				db.Exec(fmt.Sprintf(`INSERT INTO k VALUES (%d, %d)`, src, w))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := mustExec(t, db, `SELECT id FROM k`)
+	seen := make(map[int64]bool)
+	for _, row := range res.Rows {
+		if seen[row[0].Int] {
+			t.Fatalf("duplicate primary key %d visible after quiesce", row[0].Int)
+		}
+		seen[row[0].Int] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("expected 50 distinct keys, got %d", len(seen))
+	}
+}

@@ -42,6 +42,10 @@ const (
 	// PoolLoad guards buffer-pool loading-frame fills (the miss path of
 	// Pool.Fetch), upstream of the pager read itself.
 	PoolLoad
+	// WALGroupFlush guards the group-commit leader's flush, after the
+	// coalesced batch hit the file but before the fsync — a leader crash
+	// mid-group. Error rules here fail every committer in the group.
+	WALGroupFlush
 
 	numSites
 )
@@ -53,6 +57,7 @@ var siteNames = [numSites]string{
 	"wal.append",
 	"wal.replay",
 	"pool.load",
+	"wal.groupflush",
 }
 
 // String returns the site's spec name (as used in DELAYDB_FAULTS).

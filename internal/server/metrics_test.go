@@ -123,6 +123,40 @@ func TestMetricsEnginePoolGauges(t *testing.T) {
 	}
 }
 
+// TestMetricsWritePathGauges checks the concurrent write-path
+// instruments at /metrics: per-page latch traffic, the group-commit WAL
+// pipeline, and the snapshot version-chain gauges. The server's engine
+// runs without a WAL here, so the wal_group_* gauges must be present but
+// zero, while the latch counters reflect the writes the loader and this
+// test issued.
+func TestMetricsWritePathGauges(t *testing.T) {
+	ts, shield := testServer(t, core.Config{Alpha: 1, Beta: 1, Cap: time.Millisecond})
+	c := NewClient(ts.URL, "writes")
+	if _, err := shield.DB().Exec(`UPDATE items SET v = 'uno' WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"engine_write_latch_acquisitions", "engine_write_latch_waits",
+		"engine_snapshot_versions_live", "engine_snapshot_retired_total",
+		"wal_group_commits", "wal_group_batched_records",
+		"wal_group_fsyncs", "wal_group_window_waits_seconds",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("%s missing from /metrics: %v", key, m)
+		}
+	}
+	if got := m["engine_write_latch_acquisitions"].(float64); got <= 0 {
+		t.Fatalf("engine_write_latch_acquisitions = %v after writes", got)
+	}
+	if got := m["wal_group_commits"].(float64); got != 0 {
+		t.Fatalf("wal_group_commits = %v with the WAL disabled", got)
+	}
+}
+
 // TestQueryDeadlineReturns504 wires a per-request deadline on a real
 // clock: the cold query's multi-second quote blows the 30ms budget, the
 // handler answers 504 promptly, and the attempt stays charged.

@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/vclock"
 )
 
 // TestPanicRecoveryMiddleware: a panicking handler yields a 500 and a
@@ -254,5 +256,57 @@ func TestBackoffCap(t *testing.T) {
 		} else if d <= 0 {
 			t.Fatalf("backoff(%d) = %v, not positive", attempt, d)
 		}
+	}
+}
+
+// TestDegradedModeGroupFlushFault: an injected I/O failure in the WAL
+// group leader's flush — after the coalesced batch hits the file, before
+// the fsync — must surface through the write statement wrapping
+// storage.ErrIO and latch the shield degraded, exactly like any other
+// storage failure. Reads keep flowing; ClearDegraded restores writes.
+func TestDegradedModeGroupFlushFault(t *testing.T) {
+	db, err := engine.Open(t.TempDir(), engine.WithWAL(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(`CREATE TABLE items (id INT PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO items VALUES (1, 'one')`); err != nil {
+		t.Fatal(err)
+	}
+	shield, err := core.New(db, core.Config{
+		Alpha: 1, Beta: 1, Cap: time.Millisecond, N: 3,
+		Clock: vclock.NewSimulated(time.Date(2004, 8, 1, 0, 0, 0, 0, time.UTC)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(shield)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, "alice")
+
+	fault.Enable(fault.NewRegistry(7).Add(fault.Rule{
+		Site: fault.WALGroupFlush, Kind: fault.Error, Count: 1,
+	}))
+	defer fault.Disable()
+
+	if _, err := c.Query(`INSERT INTO items VALUES (2, 'two')`); err == nil {
+		t.Fatal("INSERT succeeded despite injected group-flush fault")
+	}
+	if on, cause := shield.Degraded(); !on || cause == "" {
+		t.Fatalf("shield not degraded after group-flush failure (on=%v cause=%q)", on, cause)
+	}
+	if _, err := c.Query(`SELECT * FROM items WHERE id = 1`); err != nil {
+		t.Fatalf("read while degraded: %v", err)
+	}
+	shield.ClearDegraded()
+	if _, err := c.Query(`INSERT INTO items VALUES (3, 'three')`); err != nil {
+		t.Fatalf("write after ClearDegraded: %v", err)
 	}
 }

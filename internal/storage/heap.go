@@ -180,6 +180,134 @@ func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
 	return h.Insert(rec)
 }
 
+// InsertW stores rec through ws, the write-set insert path of the
+// concurrent write pipeline. The last-page hint is probed with
+// TryAcquire only — h.mu serializes hint updates and page allocation,
+// and a blocking latch acquisition under it could deadlock against a
+// statement that latched the hinted page and now waits to allocate — so
+// a contended hint falls through to a fresh page.
+func (h *HeapFile) InsertW(ws *WriteSet, rec []byte) (RID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.hasPages {
+		pg, ok, err := ws.TryAcquire(h.lastWithSpace)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
+			slot, ierr := pg.Insert(rec)
+			if ierr == nil {
+				ws.MarkDirty(h.lastWithSpace)
+				return RID{Page: h.lastWithSpace, Slot: slot}, nil
+			}
+			if !errors.Is(ierr, ErrPageFull) {
+				return RID{}, ierr
+			}
+		}
+	}
+	id, pg, err := ws.Allocate()
+	if err != nil {
+		return RID{}, err
+	}
+	slot, err := pg.Insert(rec)
+	if err != nil {
+		return RID{}, err
+	}
+	h.hasPages = true
+	h.lastWithSpace = id
+	return RID{Page: id, Slot: slot}, nil
+}
+
+// UpdateW replaces the record at rid within ws's private copies. The
+// caller must already hold rid's page in ws (revalidation latches it).
+// When the page cannot hold the new version the record relocates via
+// InsertW and the new RID is returned.
+func (h *HeapFile) UpdateW(ws *WriteSet, rid RID, rec []byte) (RID, error) {
+	pg := ws.Page(rid.Page)
+	if pg == nil {
+		return RID{}, fmt.Errorf("storage: update %v: page not latched", rid)
+	}
+	uerr := pg.Update(rid.Slot, rec)
+	if uerr == nil {
+		ws.MarkDirty(rid.Page)
+		return rid, nil
+	}
+	if !errors.Is(uerr, ErrPageFull) {
+		return RID{}, fmt.Errorf("storage: update %v: %w", rid, uerr)
+	}
+	if err := pg.Delete(rid.Slot); err != nil {
+		return RID{}, fmt.Errorf("storage: relocating %v: %w", rid, err)
+	}
+	ws.MarkDirty(rid.Page)
+	return h.InsertW(ws, rec)
+}
+
+// DeleteW removes the record at rid within ws's private copies. The
+// caller must already hold rid's page in ws.
+func (h *HeapFile) DeleteW(ws *WriteSet, rid RID) error {
+	pg := ws.Page(rid.Page)
+	if pg == nil {
+		return fmt.Errorf("storage: delete %v: page not latched", rid)
+	}
+	if err := pg.Delete(rid.Slot); err != nil {
+		return fmt.Errorf("storage: delete %v: %w", rid, err)
+	}
+	ws.MarkDirty(rid.Page)
+	return nil
+}
+
+// ViewAt is View against a snapshot epoch: fn sees the record as of
+// snap. ok=false (fn not called) means the page has no version visible
+// at the snapshot. The slice passed to fn aliases an immutable
+// published page version, valid while the snapshot is registered.
+func (h *HeapFile) ViewAt(rid RID, snap uint64, fn func(rec []byte) error) (ok bool, err error) {
+	pg, vis, err := h.pool.FetchAt(rid.Page, snap)
+	if err != nil || !vis {
+		return false, err
+	}
+	rec, rerr := pg.Record(rid.Slot)
+	if rerr != nil {
+		return false, fmt.Errorf("storage: get %v: %w", rid, rerr)
+	}
+	return true, fn(rec)
+}
+
+// ScanPageAt is ScanPage against a snapshot epoch. Pages invisible at
+// the snapshot scan as empty.
+func (h *HeapFile) ScanPageAt(id PageID, snap uint64, fn func(rid RID, rec []byte) bool) (cont bool, err error) {
+	pg, vis, err := h.pool.FetchAt(id, snap)
+	if err != nil {
+		return false, err
+	}
+	if !vis {
+		return true, nil
+	}
+	cont = true
+	pg.Records(func(slot int, rec []byte) bool {
+		if !fn(RID{Page: id, Slot: slot}, rec) {
+			cont = false
+			return false
+		}
+		return true
+	})
+	return cont, nil
+}
+
+// ScanAt is Scan against a snapshot epoch.
+func (h *HeapFile) ScanAt(snap uint64, fn func(rid RID, rec []byte) bool) error {
+	n := h.NumPages()
+	for id := PageID(0); id < n; id++ {
+		cont, err := h.ScanPageAt(id, snap, fn)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
 // NumPages returns the heap's page count — the range a scan covers. The
 // parallel scan executor partitions [0, NumPages()) across its workers.
 func (h *HeapFile) NumPages() PageID { return h.pool.pager.NumPages() }

@@ -27,16 +27,40 @@ import (
 // it. A reader that raced the sweep and lost falls to the slow path,
 // misses, and reloads the page.
 //
-// Write-back consistency is a layering contract: page bytes are only
-// mutated while the mutator both pins the frame and holds the owning
-// table's exclusive lock (see internal/engine), and FlushAll/DirtyImages
-// callers hold at least that table's read lock, so a frame observed
-// dirty under the shard mutex has stable bytes for the duration of the
-// write. A condemned frame is unpinnable, hence equally stable.
+// Write-back consistency is a layering contract. On the legacy exclusive
+// write path page bytes are only mutated while the mutator both pins the
+// frame and holds the owning table's exclusive lock (see
+// internal/engine); on the concurrent write path published page versions
+// are immutable — writers mutate private copies under the per-frame
+// write latch and publish whole new versions (see WriteSet) — so a frame
+// observed dirty under the shard mutex has stable current bytes for the
+// duration of a write-back either way. A condemned frame is unpinnable,
+// hence equally stable.
+//
+// Snapshot versioning: every publish stamps the new current version with
+// the next pool epoch; the displaced version is retired onto the frame's
+// version chain until no registered snapshot (BeginSnapshot/EndSnapshot)
+// can still read it. FetchAt resolves a page as of a snapshot epoch
+// without pinning: published versions never change, and the chain only
+// drops versions no live snapshot can see.
 type Pool struct {
 	pager  *Pager
 	shards []poolShard
 	mask   uint32
+
+	// epoch is the publish clock: bumped (under verMu) once per committed
+	// write set. verMu also guards scans, the registry of active snapshot
+	// epochs, and serializes version publish/retire against snapshot
+	// registration so a snapshot's epoch is always consistent with the
+	// versions it can reach.
+	epoch atomic.Uint64
+	verMu sync.Mutex
+	scans map[uint64]int // snapshot epoch -> active scan count
+
+	latchAcq    atomic.Int64 // page write-latch acquisitions
+	latchWaits  atomic.Int64 // ... that had to block on a held latch
+	versLive    atomic.Int64 // retired versions currently retained
+	versRetired atomic.Int64 // retired versions dropped (total)
 }
 
 // poolShard is one stripe of the frame table. frames is the published
@@ -53,6 +77,12 @@ type poolShard struct {
 	cap    int
 	clock  []*frame
 	hand   int
+	// gone records, for evicted pages, the epoch of the version the
+	// write-back persisted, so a reload is stamped with it and snapshot
+	// visibility survives evict+reload (a page born at epoch 9 must not
+	// become visible to a snapshot at 5 just because it round-tripped
+	// through disk). Guarded by mu; lazily allocated.
+	gone   map[PageID]uint64
 	hits   atomic.Int64
 	misses atomic.Int64
 	evicts atomic.Int64
@@ -68,14 +98,54 @@ type poolShard struct {
 // latency) never blocks hits on other pages of the same shard. loadErr
 // is set before ready closes.
 type frame struct {
-	id      PageID
-	page    *Page
+	id  PageID
+	// cur is the current published version; old is the newest-first chain
+	// of retired versions still visible to some registered snapshot. Both
+	// are copy-on-write: a publish pushes the displaced version onto a
+	// fresh chain slice before storing the new cur, so an unsynchronized
+	// reader walking cur→old always sees a complete history.
+	cur     atomic.Pointer[pageVersion]
+	old     atomic.Pointer[[]pageVersion]
+	wmu     sync.Mutex // per-page write latch (held by one WriteSet at a time)
 	pins    atomic.Int32
 	ref     atomic.Bool
 	dirty   atomic.Bool
 	loaded  atomic.Bool // fast path for awaitLoaded; set before ready closes
 	ready   chan struct{}
 	loadErr error
+}
+
+// pageVersion is one epoch-stamped immutable page image. Versions with
+// epoch invisibleEpoch are unpublished allocations no snapshot can see.
+type pageVersion struct {
+	epoch uint64
+	page  *Page
+}
+
+// invisibleEpoch stamps a freshly allocated, not-yet-committed page.
+const invisibleEpoch = ^uint64(0)
+
+// curPage returns the current version's page (the legacy accessor for
+// paths that run under table-level exclusion).
+func (f *frame) curPage() *Page { return f.cur.Load().page }
+
+// versionAt returns the newest version visible at snapshot epoch snap,
+// or ok=false when the page has no version visible there (it was
+// created after the snapshot). Safe without pin or latch: cur and old
+// are copy-on-write and publish pushes to old before replacing cur.
+func (f *frame) versionAt(snap uint64) (*Page, bool) {
+	cv := f.cur.Load()
+	if cv.epoch <= snap {
+		return cv.page, true
+	}
+	if chain := f.old.Load(); chain != nil {
+		for _, v := range *chain {
+			if v.epoch <= snap {
+				return v.page, true
+			}
+		}
+	}
+	return nil, false
 }
 
 // condemnedPins is the pin-count tombstone the clock sweep installs when
@@ -100,9 +170,11 @@ func (f *frame) tryPin() bool {
 	}
 }
 
-// readyFrame returns a frame whose contents need no load.
-func readyFrame(id PageID, pg *Page) *frame {
-	f := &frame{id: id, page: pg, ready: closedReady}
+// readyFrame returns a frame whose contents need no load, with its
+// current version stamped at epoch.
+func readyFrame(id PageID, pg *Page, epoch uint64) *frame {
+	f := &frame{id: id, ready: closedReady}
+	f.cur.Store(&pageVersion{epoch: epoch, page: pg})
 	f.loaded.Store(true)
 	return f
 }
@@ -171,6 +243,7 @@ func NewPoolShards(pager *Pager, capacity, shards int) (*Pool, error) {
 		m := make(map[PageID]*frame, sh.cap)
 		sh.frames.Store(&m)
 	}
+	b.scans = make(map[uint64]int)
 	return b, nil
 }
 
@@ -210,6 +283,17 @@ func (sh *poolShard) publishWithout(id PageID) {
 // The hit path is latch-free: an atomic load of the shard's published
 // frame map, a pin CAS, and the per-shard hit counter.
 func (b *Pool) Fetch(id PageID) (*Page, error) {
+	f, err := b.pinFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	return f.curPage(), nil
+}
+
+// pinFrame returns the page's frame, pinned and loaded. Callers must
+// release the pin (Unpin, or f.pins.Add(-1) when no dirty marking is
+// needed).
+func (b *Pool) pinFrame(id PageID) (*frame, error) {
 	sh := b.shard(id)
 	if f, ok := (*sh.frames.Load())[id]; ok && f.tryPin() {
 		sh.hits.Add(1)
@@ -218,10 +302,144 @@ func (b *Pool) Fetch(id PageID) (*Page, error) {
 	return b.fetchSlow(sh, id)
 }
 
+// FetchAt resolves the page as of snapshot epoch snap: the newest
+// version with epoch ≤ snap. ok=false (with a nil page) means the page
+// has no version visible at snap — it was created by a write that
+// committed after the snapshot — and the caller should treat it as
+// absent. The returned page is NOT pinned: published versions are
+// immutable and chain pruning only drops versions no registered
+// snapshot can read, so holding the pointer is enough.
+func (b *Pool) FetchAt(id PageID, snap uint64) (*Page, bool, error) {
+	sh := b.shard(id)
+	if f, ok := (*sh.frames.Load())[id]; ok && f.loaded.Load() {
+		sh.hits.Add(1)
+		pg, vis := f.versionAt(snap)
+		return pg, vis, nil
+	}
+	f, err := b.pinFrame(id)
+	if err != nil {
+		return nil, false, err
+	}
+	pg, vis := f.versionAt(snap)
+	f.pins.Add(-1)
+	return pg, vis, nil
+}
+
+// Epoch returns the current publish epoch. A reader that uses it as an
+// unregistered snapshot must be prepared to retry with a registered one
+// (BeginSnapshot) if the version it needs is pruned underneath it.
+func (b *Pool) Epoch() uint64 { return b.epoch.Load() }
+
+// BeginSnapshot registers a snapshot at the current epoch. Until the
+// matching EndSnapshot, every page version visible at the returned
+// epoch stays reachable through FetchAt.
+func (b *Pool) BeginSnapshot() uint64 {
+	b.verMu.Lock()
+	e := b.epoch.Load()
+	b.scans[e]++
+	b.verMu.Unlock()
+	return e
+}
+
+// EndSnapshot retires a registration made by BeginSnapshot.
+func (b *Pool) EndSnapshot(e uint64) {
+	b.verMu.Lock()
+	if n := b.scans[e]; n <= 1 {
+		delete(b.scans, e)
+	} else {
+		b.scans[e] = n - 1
+	}
+	b.verMu.Unlock()
+}
+
+// minScanLocked returns the oldest registered snapshot epoch, or the
+// maximum epoch when none is registered. Callers hold verMu.
+func (b *Pool) minScanLocked() uint64 {
+	min := ^uint64(0)
+	for e := range b.scans {
+		if e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// retireLocked pushes pv — the version a publish at newEpoch just
+// displaced — onto f's chain, then drops every chain version no
+// registered snapshot can still read. A version whose next-newer epoch
+// is ≤ the oldest registered snapshot is dead: every snapshot sees the
+// newer one. Callers hold verMu.
+func (b *Pool) retireLocked(f *frame, pv pageVersion, newEpoch uint64) {
+	min := b.minScanLocked()
+	var prev []pageVersion
+	if c := f.old.Load(); c != nil {
+		prev = *c
+	}
+	var next []pageVersion
+	if newEpoch > min {
+		next = append(make([]pageVersion, 0, len(prev)+1), pv)
+		b.versLive.Add(1)
+	} else {
+		b.versRetired.Add(1)
+	}
+	nextNewer := pv.epoch
+	for _, v := range prev {
+		if nextNewer > min {
+			next = append(next, v)
+		} else {
+			b.versLive.Add(-1)
+			b.versRetired.Add(1)
+		}
+		nextNewer = v.epoch
+	}
+	if len(next) == 0 {
+		f.old.Store(nil)
+	} else {
+		f.old.Store(&next)
+	}
+}
+
+// pruneChainLocked re-evaluates f's chain against the registered
+// snapshots (as retireLocked does at publish time, but without a new
+// version) and reports whether the chain emptied. Eviction uses it: a
+// frame whose chain still feeds a live snapshot must stay resident.
+// Callers hold verMu.
+func (b *Pool) pruneChainLocked(f *frame) bool {
+	c := f.old.Load()
+	if c == nil {
+		return true
+	}
+	min := b.minScanLocked()
+	var next []pageVersion
+	nextNewer := f.cur.Load().epoch
+	for _, v := range *c {
+		if nextNewer > min {
+			next = append(next, v)
+		} else {
+			b.versLive.Add(-1)
+			b.versRetired.Add(1)
+		}
+		nextNewer = v.epoch
+	}
+	if len(next) == 0 {
+		f.old.Store(nil)
+		return true
+	}
+	f.old.Store(&next)
+	return false
+}
+
+// WriteStats reports concurrent-write-path counters: page write-latch
+// acquisitions and contended waits, and snapshot versions currently
+// retained / retired in total.
+func (b *Pool) WriteStats() (latchAcq, latchWaits, versLive, versRetired int64) {
+	return b.latchAcq.Load(), b.latchWaits.Load(), b.versLive.Load(), b.versRetired.Load()
+}
+
 // fetchSlow is the miss path (also taken in the vanishingly rare case of
 // losing a race with eviction): re-probe under the shard mutex, then
 // load the page with no lock held.
-func (b *Pool) fetchSlow(sh *poolShard, id PageID) (*Page, error) {
+func (b *Pool) fetchSlow(sh *poolShard, id PageID) (*frame, error) {
 	sh.mu.Lock()
 	// Another goroutine may have loaded the page while we took the mutex.
 	// Under sh.mu a mapped frame is never condemned — the sweep removes
@@ -242,7 +460,10 @@ func (b *Pool) fetchSlow(sh *poolShard, id PageID) (*Page, error) {
 	// Insert the frame pinned but still loading, then read with no lock
 	// held: hits on the shard's other pages proceed during the I/O, and
 	// concurrent fetchers of this page pin the frame and wait on ready.
-	f := &frame{id: id, page: NewPage(), ready: make(chan struct{})}
+	// The reload is stamped with the epoch recorded at eviction so
+	// snapshot visibility is unchanged by the disk round-trip.
+	f := &frame{id: id, ready: make(chan struct{})}
+	f.cur.Store(&pageVersion{epoch: sh.gone[id], page: NewPage()})
 	f.pins.Store(1)
 	f.ref.Store(true)
 	sh.publishWith(f)
@@ -254,7 +475,7 @@ func (b *Pool) fetchSlow(sh *poolShard, id PageID) (*Page, error) {
 	if err := fault.Check(fault.PoolLoad); err != nil {
 		f.loadErr = fmt.Errorf("storage: loading page %d: %w", id, wrapIO(err))
 	} else {
-		f.loadErr = b.pager.Read(id, f.page)
+		f.loadErr = b.pager.Read(id, f.curPage())
 	}
 	if f.loadErr == nil {
 		f.loaded.Store(true)
@@ -276,7 +497,7 @@ func (b *Pool) fetchSlow(sh *poolShard, id PageID) (*Page, error) {
 		sh.mu.Unlock()
 		return nil, f.loadErr
 	}
-	return f.page, nil
+	return f, nil
 }
 
 // awaitLoaded blocks until f's contents are loaded. The atomic fast path
@@ -284,38 +505,50 @@ func (b *Pool) fetchSlow(sh *poolShard, id PageID) (*Page, error) {
 // operations. On load failure the pin taken by the caller is returned
 // directly to the frame: the loader already removed it from the shard,
 // so Unpin would not find it.
-func (b *Pool) awaitLoaded(f *frame) (*Page, error) {
+func (b *Pool) awaitLoaded(f *frame) (*frame, error) {
 	if f.loaded.Load() {
-		return f.page, nil
+		return f, nil
 	}
 	<-f.ready
 	if f.loadErr != nil {
 		f.pins.Add(-1)
 		return nil, f.loadErr
 	}
-	return f.page, nil
+	return f, nil
 }
 
-// Allocate creates a new page via the pager and returns it pinned.
-func (b *Pool) Allocate() (PageID, *Page, error) {
+// Allocate creates a new page via the pager and returns it pinned. The
+// page is published at epoch — callers under table-level exclusion pass
+// 0 (always visible); the concurrent write path allocates invisible
+// frames and publishes them at commit (see WriteSet.Allocate).
+func (b *Pool) allocateFrame(epoch uint64) (*frame, error) {
 	id, err := b.pager.Allocate()
 	if err != nil {
-		return 0, nil, err
+		return nil, err
 	}
 	sh := b.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if len(*sh.frames.Load()) >= sh.cap {
 		if err := sh.evictOne(b); err != nil {
-			return 0, nil, err
+			return nil, err
 		}
 	}
-	f := readyFrame(id, NewPage())
+	f := readyFrame(id, NewPage(), epoch)
 	f.pins.Store(1)
 	f.ref.Store(true)
 	sh.publishWith(f)
 	sh.clock = append(sh.clock, f)
-	return id, f.page, nil
+	return f, nil
+}
+
+// Allocate creates a new page via the pager and returns it pinned.
+func (b *Pool) Allocate() (PageID, *Page, error) {
+	f, err := b.allocateFrame(0)
+	if err != nil {
+		return 0, nil, err
+	}
+	return f.id, f.curPage(), nil
 }
 
 // Unpin releases one pin on the page; dirty marks it modified. Like the
@@ -367,6 +600,20 @@ func (sh *poolShard) evictOne(b *Pool) error {
 			sh.hand++
 			continue
 		}
+		// A frame whose version chain still feeds a registered snapshot
+		// must stay resident: disk holds only the current version, so
+		// evicting it would lose the older images. Prune first — the
+		// chain usually empties as soon as the old scans retire.
+		// (verMu nests inside sh.mu; the publish path takes verMu alone.)
+		if f.old.Load() != nil {
+			b.verMu.Lock()
+			empty := b.pruneChainLocked(f)
+			b.verMu.Unlock()
+			if !empty {
+				sh.hand++
+				continue
+			}
+		}
 		if !f.pins.CompareAndSwap(0, condemnedPins) {
 			// A reader pinned the frame between the checks; spare it.
 			sh.hand++
@@ -391,13 +638,24 @@ func (sh *poolShard) evictOne(b *Pool) error {
 func (sh *poolShard) dropFrameAt(i int, b *Pool) error {
 	f := sh.clock[i]
 	if f.dirty.Load() {
-		if err := b.pager.Write(f.id, f.page); err != nil {
+		if err := b.pager.Write(f.id, f.curPage()); err != nil {
 			// Nobody can race this CAS: condemned frames refuse pins, and
 			// the sweep owns the condemnation under sh.mu.
 			f.pins.CompareAndSwap(condemnedPins, 0)
 			f.ref.Store(true) // second chance; retry other victims first
 			return err
 		}
+	}
+	// Remember the persisted version's epoch so a reload is stamped with
+	// it. Epoch 0 (never republished) and unpublished invisible frames
+	// need no entry: the zero default is right for both.
+	if e := f.cur.Load().epoch; e != 0 && e != invisibleEpoch {
+		if sh.gone == nil {
+			sh.gone = make(map[PageID]uint64)
+		}
+		sh.gone[f.id] = e
+	} else {
+		delete(sh.gone, f.id)
 	}
 	last := len(sh.clock) - 1
 	sh.clock[i] = sh.clock[last]
@@ -417,7 +675,7 @@ func (b *Pool) FlushAll() error {
 			if !f.dirty.Load() {
 				continue
 			}
-			if err := b.pager.Write(f.id, f.page); err != nil {
+			if err := b.pager.Write(f.id, f.curPage()); err != nil {
 				sh.mu.Unlock()
 				return err
 			}
@@ -479,7 +737,7 @@ func (b *Pool) DirtyImages() []PageImage {
 			}
 			out = append(out, PageImage{
 				ID:    f.id,
-				Image: append([]byte(nil), f.page.Bytes()...),
+				Image: append([]byte(nil), f.curPage().Bytes()...),
 			})
 		}
 		sh.mu.Unlock()

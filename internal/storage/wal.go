@@ -7,7 +7,10 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/fault"
 )
@@ -30,6 +33,32 @@ type WAL struct {
 	path   string
 	size   int64
 	synced bool // fsync on every commit
+
+	// Group commit. With window > 0, concurrent committers enqueue their
+	// encoded batches and a leader coalesces everything queued into one
+	// buffered write + one fsync. A coalesced group is a concatenation of
+	// whole per-committer batches, so the on-disk format — and recovery —
+	// is unchanged.
+	window  time.Duration // accumulation window; 0 = direct per-commit path
+	gmu     sync.Mutex    // guards queue and leading
+	queue   []*walCommit
+	leading bool
+
+	stCommits      atomic.Int64 // committed batches (group members or direct)
+	stRecords      atomic.Int64 // page records across committed batches
+	stFsyncs       atomic.Int64 // fsyncs issued (synced mode only)
+	stWindowWaitNs atomic.Int64 // leader time spent in the accumulation window
+}
+
+// walCommit is one committer's encoded batch waiting in the group-commit
+// queue. done (cap 1) delivers the group outcome to a follower; promote
+// (cap 1) hands leadership to the queue head when the previous leader
+// retires with work still queued.
+type walCommit struct {
+	buf     []byte
+	records int
+	done    chan error
+	promote chan struct{}
 }
 
 // Record kinds.
@@ -64,21 +93,28 @@ type PageImage struct {
 	Image []byte // exactly PageSize bytes
 }
 
-// AppendBatch logs the images followed by a commit record. The batch is
-// atomic for recovery: either all images replay or none do.
-func (w *WAL) AppendBatch(images []PageImage) error {
-	if len(images) == 0 {
-		return nil
-	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.f == nil {
-		return errors.New("storage: wal closed")
-	}
+// SetGroupWindow sets the group-commit accumulation window. 0 disables
+// grouping (every commit writes and syncs alone). Call it right after
+// open, before the log sees concurrent committers; the field is read
+// without synchronization on the append path.
+func (w *WAL) SetGroupWindow(d time.Duration) { w.window = d }
+
+// GroupStats reports commit-pipeline counters: committed batches, page
+// records across them, fsyncs issued, and total leader time spent in the
+// accumulation window. fsyncs/commits is the group-commit win: 1.0 when
+// every commit syncs alone, well below it once batching kicks in.
+func (w *WAL) GroupStats() (commits, records, fsyncs int64, windowWait time.Duration) {
+	return w.stCommits.Load(), w.stRecords.Load(), w.stFsyncs.Load(),
+		time.Duration(w.stWindowWaitNs.Load())
+}
+
+// encodeBatch validates the images and renders the on-disk batch bytes:
+// page records followed by one commit marker.
+func encodeBatch(images []PageImage) ([]byte, error) {
 	buf := make([]byte, 0, len(images)*walPageRecordSize+1)
 	for _, im := range images {
 		if len(im.Image) != PageSize {
-			return fmt.Errorf("storage: wal image of %d bytes", len(im.Image))
+			return nil, fmt.Errorf("storage: wal image of %d bytes", len(im.Image))
 		}
 		var hdr [9]byte
 		hdr[0] = walKindPage
@@ -88,6 +124,145 @@ func (w *WAL) AppendBatch(images []PageImage) error {
 		buf = append(buf, im.Image...)
 	}
 	buf = append(buf, walKindCommit)
+	return buf, nil
+}
+
+// AppendBatch logs the images followed by a commit record. The batch is
+// atomic for recovery: either all images replay or none do. It returns
+// only after the batch is written (and, in synced mode, fsynced) — with
+// grouping enabled the write and sync may be shared with other commits
+// that arrived in the same window, but durability is per-commit.
+func (w *WAL) AppendBatch(images []PageImage) error {
+	if len(images) == 0 {
+		return nil
+	}
+	buf, err := encodeBatch(images)
+	if err != nil {
+		return err
+	}
+	if w.window <= 0 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return w.flushLocked(buf, 1, len(images))
+	}
+	req := &walCommit{
+		buf:     buf,
+		records: len(images),
+		done:    make(chan error, 1),
+		promote: make(chan struct{}, 1),
+	}
+	w.gmu.Lock()
+	w.queue = append(w.queue, req)
+	fresh := !w.leading
+	if fresh {
+		w.leading = true
+	}
+	w.gmu.Unlock()
+	if fresh {
+		return w.lead(req, true)
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-req.promote:
+		return w.lead(req, false)
+	}
+}
+
+// lead runs one committer as the group leader: optionally waits the
+// accumulation window, drains the queue, flushes the coalesced group,
+// delivers the outcome to every follower, and hands leadership to the
+// next queued committer (if any).
+//
+// A fresh leader that finds itself alone skips the window entirely, so
+// sequential workloads pay nothing for grouping; batching comes from
+// commits that pile up behind an in-flight flush and from the
+// accumulation loop when a burst is already queued.
+func (w *WAL) lead(own *walCommit, fresh bool) error {
+	if fresh && w.window > 0 {
+		qlen := func() int {
+			w.gmu.Lock()
+			n := len(w.queue)
+			w.gmu.Unlock()
+			return n
+		}
+		if qlen() <= 1 {
+			// A burst's sibling committers may be runnable but not yet
+			// scheduled (few-core hosts); yield once so they can enqueue
+			// before the solo decision. A truly lone committer loses only
+			// the yield and still skips the window.
+			runtime.Gosched()
+		}
+		if last := qlen(); last > 1 {
+			// Accumulate by yielding rather than sleeping: time.Sleep at
+			// microsecond scale overshoots badly on coarse-timer hosts,
+			// turning the window into milliseconds of added latency. Stop
+			// as soon as arrivals quiesce (queue stable across a few
+			// yields); the window only caps a pathological wait.
+			start := time.Now()
+			deadline := start.Add(w.window)
+			for stable := 0; stable < 3 && time.Now().Before(deadline); {
+				runtime.Gosched()
+				if n := qlen(); n == last {
+					stable++
+				} else {
+					stable, last = 0, n
+				}
+			}
+			w.stWindowWaitNs.Add(time.Since(start).Nanoseconds())
+		}
+	}
+	w.gmu.Lock()
+	batch := w.queue
+	w.queue = nil
+	w.gmu.Unlock()
+
+	err := w.flushGroup(batch)
+	for _, m := range batch {
+		if m != own {
+			m.done <- err
+		}
+	}
+	w.gmu.Lock()
+	if len(w.queue) > 0 {
+		w.queue[0].promote <- struct{}{}
+	} else {
+		w.leading = false
+	}
+	w.gmu.Unlock()
+	return err
+}
+
+// flushGroup writes the concatenation of the members' batches and syncs
+// once. All members share the outcome: a torn or failed write fails the
+// whole group (none of it is past the logical end, so recovery drops it
+// all — see DESIGN.md §14 for the torn-group caveat).
+func (w *WAL) flushGroup(batch []*walCommit) error {
+	total, records := 0, 0
+	for _, m := range batch {
+		total += len(m.buf)
+		records += m.records
+	}
+	var buf []byte
+	if len(batch) == 1 {
+		buf = batch[0].buf
+	} else {
+		buf = make([]byte, 0, total)
+		for _, m := range batch {
+			buf = append(buf, m.buf...)
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked(buf, len(batch), records)
+}
+
+// flushLocked performs the write/sync of an encoded run of commits under
+// w.mu and maintains the pipeline counters. Callers hold w.mu.
+func (w *WAL) flushLocked(buf []byte, commits, records int) error {
+	if w.f == nil {
+		return errors.New("storage: wal closed")
+	}
 	// A torn rule writes only a prefix of the batch and does NOT advance
 	// w.size — bytes past the logical end, exactly what a crash mid-append
 	// leaves for recovery to discard.
@@ -101,10 +276,19 @@ func (w *WAL) AppendBatch(images []PageImage) error {
 		return fmt.Errorf("storage: appending wal batch: %w", wrapIO(err))
 	}
 	w.size += int64(len(buf))
+	w.stCommits.Add(int64(commits))
+	w.stRecords.Add(int64(records))
+	if w.window > 0 {
+		// Leader crash between the group write and its sync.
+		if err := fault.Check(fault.WALGroupFlush); err != nil {
+			return fmt.Errorf("storage: group-commit flush: %w", wrapIO(err))
+		}
+	}
 	if w.synced {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("storage: syncing wal: %w", wrapIO(err))
 		}
+		w.stFsyncs.Add(1)
 	}
 	return nil
 }

@@ -1,0 +1,177 @@
+package storage
+
+// WriteSet is one statement's private view of the pages it mutates, the
+// unit of the concurrent write path. Acquiring a page pins its frame,
+// takes the per-frame write latch, and snapshots the current version
+// into a private copy; the statement mutates only these copies. Commit
+// is three steps with distinct owners:
+//
+//  1. Images() renders exactly the dirtied private copies for the WAL —
+//     never another statement's uncommitted pages (the legacy
+//     Pool.DirtyImages would).
+//  2. Publish() installs the copies as the frames' current versions,
+//     all stamped with one fresh pool epoch, under the pool's version
+//     mutex — so snapshot readers see the whole statement or none of it.
+//  3. Release() drops latches and pins.
+//
+// On a WAL error the caller skips Publish: the private copies are
+// discarded, published state never changed, and the statement rolled
+// back by construction.
+//
+// Deadlock discipline (DESIGN.md §14): a statement may block on Acquire
+// only while latching pages in ascending PageID order; everywhere else
+// (the insert path probing a last-page hint) it must use TryAcquire and
+// fall back to allocating a fresh page.
+type WriteSet struct {
+	pool    *Pool
+	entries map[PageID]*wsEntry
+}
+
+type wsEntry struct {
+	f       *frame
+	page    *Page // private copy; becomes the published version on commit
+	dirtied bool
+}
+
+// NewWriteSet returns an empty write set over the pool.
+func NewWriteSet(pool *Pool) *WriteSet {
+	return &WriteSet{pool: pool, entries: make(map[PageID]*wsEntry)}
+}
+
+// Page returns the private copy of an acquired page, or nil.
+func (ws *WriteSet) Page(id PageID) *Page {
+	if en, ok := ws.entries[id]; ok {
+		return en.page
+	}
+	return nil
+}
+
+// Held reports whether the write set holds the page's latch.
+func (ws *WriteSet) Held(id PageID) bool {
+	_, ok := ws.entries[id]
+	return ok
+}
+
+// MarkDirty records that the page's private copy was mutated and must
+// be logged and published.
+func (ws *WriteSet) MarkDirty(id PageID) {
+	if en, ok := ws.entries[id]; ok {
+		en.dirtied = true
+	}
+}
+
+// Acquire latches the page, blocking if another statement holds it, and
+// returns the private copy. Idempotent for pages already held.
+func (ws *WriteSet) Acquire(id PageID) (*Page, error) {
+	if en, ok := ws.entries[id]; ok {
+		return en.page, nil
+	}
+	f, err := ws.pool.pinFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	ws.pool.latchAcq.Add(1)
+	if !f.wmu.TryLock() {
+		ws.pool.latchWaits.Add(1)
+		f.wmu.Lock()
+	}
+	return ws.adopt(f), nil
+}
+
+// TryAcquire latches the page only if the latch is free, returning
+// (nil, false, nil) on contention. The insert path uses it under the
+// heap's allocation mutex, where blocking could deadlock.
+func (ws *WriteSet) TryAcquire(id PageID) (*Page, bool, error) {
+	if en, ok := ws.entries[id]; ok {
+		return en.page, true, nil
+	}
+	f, err := ws.pool.pinFrame(id)
+	if err != nil {
+		return nil, false, err
+	}
+	if !f.wmu.TryLock() {
+		f.pins.Add(-1)
+		return nil, false, nil
+	}
+	ws.pool.latchAcq.Add(1)
+	return ws.adopt(f), true, nil
+}
+
+// adopt records a freshly latched frame and snapshots its current
+// version into the private copy.
+func (ws *WriteSet) adopt(f *frame) *Page {
+	np := NewPage()
+	*np = *f.curPage()
+	ws.entries[f.id] = &wsEntry{f: f, page: np}
+	return np
+}
+
+// Allocate creates a new page, latched and private to this write set.
+// The frame is published in the pool at the invisible epoch: no
+// snapshot can see it until Publish commits it.
+func (ws *WriteSet) Allocate() (PageID, *Page, error) {
+	f, err := ws.pool.allocateFrame(invisibleEpoch)
+	if err != nil {
+		return 0, nil, err
+	}
+	ws.pool.latchAcq.Add(1)
+	f.wmu.Lock() // uncontended: the frame is not yet visible to writers
+	np := NewPage()
+	ws.entries[f.id] = &wsEntry{f: f, page: np, dirtied: true}
+	return f.id, np, nil
+}
+
+// Images renders the dirtied private copies as WAL page images in
+// ascending PageID order.
+func (ws *WriteSet) Images() []PageImage {
+	var out []PageImage
+	for id, en := range ws.entries {
+		if !en.dirtied {
+			continue
+		}
+		out = append(out, PageImage{
+			ID:    id,
+			Image: append([]byte(nil), en.page.Bytes()...),
+		})
+	}
+	sortPageImages(out)
+	return out
+}
+
+// Publish installs every dirtied private copy as its frame's current
+// version, all stamped with one freshly bumped epoch, retiring the
+// displaced versions onto the frames' chains. Callers serialize Publish
+// with index maintenance (the engine holds its index mutex across both)
+// so a snapshot's epoch and the index state it pairs with stay
+// mutually consistent.
+func (ws *WriteSet) Publish() {
+	b := ws.pool
+	b.verMu.Lock()
+	e := b.epoch.Load() + 1
+	for _, en := range ws.entries {
+		if !en.dirtied {
+			continue
+		}
+		pv := en.f.cur.Load()
+		if pv.epoch != invisibleEpoch {
+			b.retireLocked(en.f, *pv, e)
+		}
+		en.f.cur.Store(&pageVersion{epoch: e, page: en.page})
+		en.f.dirty.Store(true)
+	}
+	b.epoch.Store(e)
+	b.verMu.Unlock()
+}
+
+// Release drops every latch and pin. Safe to call exactly once, with or
+// without a preceding Publish.
+func (ws *WriteSet) Release() {
+	for _, en := range ws.entries {
+		en.f.wmu.Unlock()
+		en.f.pins.Add(-1)
+	}
+	ws.entries = nil
+}
+
+// Len reports how many pages the write set holds.
+func (ws *WriteSet) Len() int { return len(ws.entries) }

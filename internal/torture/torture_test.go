@@ -80,3 +80,36 @@ func TestFaultSweep(t *testing.T) {
 		t.Errorf("swept %d of %d commits", res.Points, res.Statements)
 	}
 }
+
+// TestGroupCommitCrashEnumeration tortures crash points inside coalesced
+// group-commit flushes: concurrent committers share one write + fsync,
+// and a crash anywhere in the group must recover a committed prefix per
+// participating commit — whole statements only, counted exactly by the
+// complete commit batches before the crash point.
+func TestGroupCommitCrashEnumeration(t *testing.T) {
+	res, err := RunGroupCommit(t.TempDir(), Config{MaxPoints: maxPoints(t, 600), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, res)
+	if res.Points < 50 {
+		t.Errorf("only %d crash points enumerated", res.Points)
+	}
+}
+
+// TestGroupFlushFaultSweep injects an I/O error in the group leader's
+// flush (after the write, before the fsync) at every commit of the
+// workload: the statement fails wrapping storage.ErrIO — the signal the
+// shield latches degraded mode on — and recovery lands on the prior
+// commit or, since the bytes did reach the file, the ambiguous commit
+// itself; never a torn state.
+func TestGroupFlushFaultSweep(t *testing.T) {
+	res, err := RunGroupFlushFault(t.TempDir(), Config{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, res)
+	if res.Points != res.Statements {
+		t.Errorf("swept %d of %d commits", res.Points, res.Statements)
+	}
+}

@@ -85,11 +85,16 @@ END {
 
 # Shape invariants enforced in check mode, on the fresh run itself so
 # they hold on any machine: scanning 1000 tuples with the price cache on
-# must not lose to cache off, and a point query at 16 goroutines must not
-# be slower than single-threaded (1.05 allows scheduler noise on small
-# hosts).
+# must not lose to cache off; a point query at 4 or 16 goroutines must
+# not be slower than single-threaded (1.05 allows scheduler noise on
+# small hosts); grouped WAL commit at 8 clients must not lose to
+# per-commit fsyncs; and the concurrent write path on the mixed 50%
+# workload must keep a >=3x lead over the legacy table-exclusive lock.
 shield_inv='BenchmarkShieldQueryParallelScan/tuples=1000/cache=on,BenchmarkShieldQueryParallelScan/tuples=1000/cache=off,1.0'
-engine_inv='BenchmarkEnginePointQuery/g=16,BenchmarkEnginePointQuery/g=1,1.05'
+engine_inv='BenchmarkEnginePointQuery/g=16,BenchmarkEnginePointQuery/g=1,1.05
+BenchmarkEnginePointQuery/g=4,BenchmarkEnginePointQuery/g=1,1.05
+BenchmarkWALCommit/group=on/g=8,BenchmarkWALCommit/group=off/g=8,1.0
+BenchmarkEngineMixed/w50/g=16,BenchmarkEngineMixedLegacy/w50/g=16,0.333'
 
 case "$suite" in
 shield)
@@ -97,14 +102,14 @@ shield)
 		"${BENCH_OUT:-BENCH_shield.json}" "$shield_inv" .
 	;;
 engine)
-	run_suite 'PoolFetch|EnginePointQuery|EngineScan' \
+	run_suite 'PoolFetch|EnginePointQuery|EngineScan|EngineMixed|WALCommit' \
 		"${BENCH_OUT:-BENCH_engine.json}" "$engine_inv" \
 		./internal/storage ./internal/engine
 	;;
 all)
 	[ -z "${BENCH_OUT:-}" ] || { echo "BENCH_OUT needs a single suite" >&2; exit 1; }
 	run_suite 'ShieldQuery|AdaptiveObserveBatch' BENCH_shield.json "$shield_inv" .
-	run_suite 'PoolFetch|EnginePointQuery|EngineScan' \
+	run_suite 'PoolFetch|EnginePointQuery|EngineScan|EngineMixed|WALCommit' \
 		BENCH_engine.json "$engine_inv" \
 		./internal/storage ./internal/engine
 	;;
