@@ -546,6 +546,12 @@ func New(db *engine.Database, cfg Config) (*Shield, error) {
 		_, _, _, wait := s.db.WALGroupStats()
 		return wait
 	})
+	// Post-commit checkpoint failures: the triggering statements
+	// succeeded (they were already WAL-durable), but the log cleaner is
+	// failing — the same I/O signal that latches degraded mode.
+	reg.GaugeFunc("engine_checkpoint_failures_total", func() float64 {
+		return float64(s.db.CheckpointFailures())
+	})
 	s.SyncEngineMetrics()
 	return s, nil
 }
@@ -777,6 +783,15 @@ func (s *Shield) QueryCtx(ctx context.Context, identity, sql string) (*engine.Re
 	if err != nil {
 		s.noteExecError(err)
 		return nil, QueryStats{}, err
+	}
+	if kind != engine.KindSelect {
+		// A post-commit checkpoint failure does not fail its statement —
+		// the mutation committed and is WAL-durable — but it is a storage
+		// I/O failure all the same: latch degraded mode so later writes
+		// are refused rather than accepted against a failing disk.
+		if cperr := s.db.TakeCheckpointErr(); cperr != nil {
+			s.noteExecError(cperr)
+		}
 	}
 	if res.Columns != nil {
 		// SELECT: charge delay for every returned tuple. ChargeCtx

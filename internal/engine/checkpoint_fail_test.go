@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/storage"
+)
+
+// TestCheckpointFailureDoesNotFailStatement pins the post-commit error
+// contract: a checkpoint runs after its triggering statement committed,
+// published, and became WAL-durable, so a checkpoint failure must not be
+// reported as the statement failing. The statement's Result reaches the
+// caller; the failure is recorded on the Database for health machinery
+// (the shield latches degraded mode from TakeCheckpointErr).
+func TestCheckpointFailureDoesNotFailStatement(t *testing.T) {
+	db := testDB(t, WithWAL(false), WithPoolPages(64))
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, pad TEXT)`)
+
+	// Fail every data-file fsync: FlushAll succeeds, pager.Sync dies, so
+	// each checkpoint attempt fails after its statement committed.
+	fault.Enable(fault.NewRegistry(1).Add(fault.Rule{
+		Site: fault.PagerSync, Kind: fault.Error, Every: 1,
+	}))
+	defer fault.Disable()
+
+	// Multi-row statements with fat pads push the WAL past the 8 MiB
+	// checkpoint threshold quickly (~16 dirty pages ≈ 64 KiB logged per
+	// statement).
+	pad := strings.Repeat("x", 1000)
+	const rowsPer = 64
+	id := 0
+	for stmt := 0; stmt < 160; stmt++ {
+		var sb strings.Builder
+		sb.WriteString(`INSERT INTO t VALUES `)
+		for i := 0; i < rowsPer; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, '%s')", id, pad)
+			id++
+		}
+		res, err := db.Exec(sb.String())
+		if err != nil {
+			t.Fatalf("statement %d failed despite committing: %v", stmt, err)
+		}
+		if res.Affected != rowsPer {
+			t.Fatalf("statement %d affected %d rows", stmt, res.Affected)
+		}
+	}
+	if n := db.CheckpointFailures(); n == 0 {
+		t.Fatal("no checkpoint failure recorded despite failing fsyncs past the threshold")
+	}
+	cperr := db.TakeCheckpointErr()
+	if cperr == nil {
+		t.Fatal("TakeCheckpointErr returned nil")
+	}
+	if !errors.Is(cperr, storage.ErrIO) {
+		t.Fatalf("checkpoint error not classified ErrIO: %v", cperr)
+	}
+	if db.TakeCheckpointErr() != nil {
+		t.Fatal("TakeCheckpointErr did not clear the recorded error")
+	}
+
+	// Disk repaired: the next triggering mutation checkpoints cleanly and
+	// the data survived the whole episode.
+	fault.Disable()
+	mustExec(t, db, fmt.Sprintf(`INSERT INTO t VALUES (%d, 'last')`, id))
+	if r := mustExec(t, db, fmt.Sprintf(`SELECT pad FROM t WHERE id = %d`, id)); len(r.Rows) != 1 {
+		t.Fatal("row lost after checkpoint failures")
+	}
+	if r := mustExec(t, db, `SELECT pad FROM t WHERE id = 0`); len(r.Rows) != 1 {
+		t.Fatal("first row lost after checkpoint failures")
+	}
+}

@@ -119,6 +119,11 @@ type Database struct {
 	walGroupWindow  time.Duration
 	exclusiveWrites bool
 
+	// cpFailures/cpErr record post-commit checkpoint failures; see
+	// noteCheckpointErr.
+	cpFailures atomic.Int64
+	cpErr      atomic.Pointer[error]
+
 	// schemaEpoch counts DDL statements (table and index create/drop).
 	// Cached plans are stamped with the epoch they were built under and
 	// are only executed while it still matches; every DDL bumps the
@@ -534,6 +539,35 @@ func (db *Database) WriteStats() (latchAcq, latchWaits, versLive, versRetired in
 		versRetired += r
 	}
 	return latchAcq, latchWaits, versLive, versRetired
+}
+
+// noteCheckpointErr records a checkpoint failure. A checkpoint runs
+// after its triggering statement has committed, published, and become
+// WAL-durable, so the failure must not be reported as the statement
+// failing — the mutation's Result still reaches the caller, and the
+// failure is surfaced here for health machinery (the shield latches
+// degraded mode from TakeCheckpointErr after each write).
+func (db *Database) noteCheckpointErr(err error) {
+	if err == nil {
+		return
+	}
+	db.cpFailures.Add(1)
+	db.cpErr.Store(&err)
+}
+
+// CheckpointFailures counts post-commit checkpoint failures since open —
+// the engine_checkpoint_failures_total instrument.
+func (db *Database) CheckpointFailures() int64 { return db.cpFailures.Load() }
+
+// TakeCheckpointErr returns and clears the most recent post-commit
+// checkpoint failure, or nil. The statement that triggered the failed
+// checkpoint succeeded; callers use the error only to judge storage
+// health (errors.Is(err, storage.ErrIO)), never to fail a request.
+func (db *Database) TakeCheckpointErr() error {
+	if p := db.cpErr.Swap(nil); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // WALGroupStats aggregates group-commit pipeline counters across table

@@ -135,9 +135,7 @@ func (db *Database) execInsert(s *sqlmini.Insert) (*Result, error) {
 		return nil, err
 	}
 	if cp {
-		if err := t.checkpoint(); err != nil {
-			return nil, err
-		}
+		db.noteCheckpointErr(t.checkpoint())
 	}
 	return &Result{Affected: len(recs)}, nil
 }
@@ -524,9 +522,10 @@ type ridMatch struct {
 	key int64
 }
 
-// sortMatches orders matched rows by (page, slot). The write path may
-// only block on a latch while acquiring in ascending PageID order (see
-// WriteSet), so mutations latch their matches sorted.
+// sortMatches orders matched rows by (page, slot). A write set blocks
+// on a latch only above its held high-water mark (see WriteSet), so
+// latching matches in ascending order lets the common, uncontended
+// statement wait for every row instead of skipping.
 func sortMatches(matches []ridMatch) {
 	sort.Slice(matches, func(i, j int) bool {
 		if matches[i].rid.Page != matches[j].rid.Page {
@@ -541,14 +540,18 @@ func sortMatches(matches []ridMatch) {
 // snapshot that produced the match is in the past, so the row may have
 // been updated, moved, or deleted since. Returns the row's current RID
 // and decoded image, with ok=false when the row vanished, no longer
-// matches the conjuncts, or relocated onto a page whose latch is
-// contended (the statement then skips it — read-committed semantics).
+// matches the conjuncts, or sits on a page whose latch is contended and
+// too low-numbered to block on (the statement then skips it —
+// read-committed semantics).
 // If the slot no longer holds the key, the primary key is chased once:
 // an in-place update relocating the row (page overflow) is the one
 // mover that leaves the key live elsewhere.
 func (t *table) lockRow(ws *storage.WriteSet, rid storage.RID, key int64, conj []boundConj) (storage.RID, catalog.Row, bool, error) {
-	pg, err := ws.Acquire(rid.Page)
-	if err != nil {
+	// Acquire blocks only when rid.Page is above every page already
+	// held; after a chase parked the set on a high page, lower-numbered
+	// matches degrade to try-and-skip rather than risk a latch cycle.
+	pg, ok, err := ws.Acquire(rid.Page)
+	if err != nil || !ok {
 		return rid, nil, false, err
 	}
 	for chased := false; ; chased = true {
@@ -571,10 +574,10 @@ func (t *table) lockRow(ws *storage.WriteSet, rid storage.RID, key int64, conj [
 		if !found || nrid == rid {
 			return rid, nil, false, nil
 		}
-		// The chase may not block: the pages latched so far are not in
-		// ascending order relative to nrid.Page, so a blocking acquire
-		// could deadlock. Contended → skip the row.
-		npg, ok, err := ws.TryAcquire(nrid.Page)
+		// The chase target is an arbitrary page; Acquire itself decides
+		// whether blocking is safe (only above the held high-water mark)
+		// and otherwise tries. Contended → skip the row.
+		npg, ok, err := ws.Acquire(nrid.Page)
 		if err != nil || !ok {
 			return rid, nil, false, err
 		}
@@ -698,9 +701,7 @@ func (db *Database) execUpdate(s *sqlmini.Update) (*Result, error) {
 		return nil, err
 	}
 	if cp {
-		if err := t.checkpoint(); err != nil {
-			return nil, err
-		}
+		db.noteCheckpointErr(t.checkpoint())
 	}
 	return res, nil
 }
@@ -830,9 +831,7 @@ func (db *Database) execDelete(s *sqlmini.Delete) (*Result, error) {
 		return nil, err
 	}
 	if cp {
-		if err := t.checkpoint(); err != nil {
-			return nil, err
-		}
+		db.noteCheckpointErr(t.checkpoint())
 	}
 	return res, nil
 }

@@ -646,6 +646,15 @@ func (sh *poolShard) dropFrameAt(i int, b *Pool) error {
 			return err
 		}
 	}
+	// The eviction sweep only condemns frames whose chains pruned empty,
+	// but DropAll condemns regardless: account any version chain going
+	// down with the frame so engine_snapshot_versions_live cannot drift.
+	if c := f.old.Load(); c != nil {
+		n := int64(len(*c))
+		b.versLive.Add(-n)
+		b.versRetired.Add(n)
+		f.old.Store(nil)
+	}
 	// Remember the persisted version's epoch so a reload is stamped with
 	// it. Epoch 0 (never republished) and unpublished invisible frames
 	// need no entry: the zero default is right for both.

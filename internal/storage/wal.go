@@ -33,6 +33,11 @@ type WAL struct {
 	path   string
 	size   int64
 	synced bool // fsync on every commit
+	// poisoned is set when a failed flush could not be rolled back off
+	// the file: rejected bytes would otherwise sit below the logical end
+	// and turn durable under a later commit's fsync. While set, every
+	// append fails; Truncate (the checkpoint) clears it.
+	poisoned error
 
 	// Group commit. With window > 0, concurrent committers enqueue their
 	// encoded batches and a leader coalesces everything queued into one
@@ -263,6 +268,9 @@ func (w *WAL) flushLocked(buf []byte, commits, records int) error {
 	if w.f == nil {
 		return errors.New("storage: wal closed")
 	}
+	if w.poisoned != nil {
+		return fmt.Errorf("storage: wal poisoned by earlier flush failure: %w", wrapIO(w.poisoned))
+	}
 	// A torn rule writes only a prefix of the batch and does NOT advance
 	// w.size — bytes past the logical end, exactly what a crash mid-append
 	// leaves for recovery to discard.
@@ -272,25 +280,44 @@ func (w *WAL) flushLocked(buf []byte, commits, records int) error {
 		}
 		return fmt.Errorf("storage: appending wal batch: %w", wrapIO(err))
 	}
+	pre := w.size
 	if _, err := w.f.WriteAt(buf, w.size); err != nil {
 		return fmt.Errorf("storage: appending wal batch: %w", wrapIO(err))
 	}
 	w.size += int64(len(buf))
-	w.stCommits.Add(int64(commits))
-	w.stRecords.Add(int64(records))
 	if w.window > 0 {
 		// Leader crash between the group write and its sync.
 		if err := fault.Check(fault.WALGroupFlush); err != nil {
+			w.rollbackLocked(pre)
 			return fmt.Errorf("storage: group-commit flush: %w", wrapIO(err))
 		}
 	}
 	if w.synced {
 		if err := w.f.Sync(); err != nil {
+			w.rollbackLocked(pre)
 			return fmt.Errorf("storage: syncing wal: %w", wrapIO(err))
 		}
 		w.stFsyncs.Add(1)
 	}
+	w.stCommits.Add(int64(commits))
+	w.stRecords.Add(int64(records))
 	return nil
+}
+
+// rollbackLocked undoes a flush whose batch reached the file but failed
+// before its durability point: every member of the batch was told its
+// commit failed, so the bytes must not remain below the logical end
+// where the next successful commit's fsync would silently make them a
+// durable committed prefix — a rejected statement resurrecting after a
+// crash. The size reverts and the file is truncated back; if even the
+// truncate fails the WAL is poisoned (appends fail until the checkpoint
+// truncation) so the rejected bytes can never ride a later fsync.
+// Callers hold w.mu.
+func (w *WAL) rollbackLocked(pre int64) {
+	w.size = pre
+	if err := w.f.Truncate(pre); err != nil {
+		w.poisoned = fmt.Errorf("unrolled rejected batch at offset %d: %w", pre, err)
+	}
 }
 
 // Replay streams every committed batch, in order, to apply. Incomplete
@@ -353,7 +380,8 @@ func (w *WAL) Replay(apply func(PageImage) error) (int, error) {
 }
 
 // Truncate discards the log, typically after a checkpoint has flushed
-// all data pages.
+// all data pages. An empty log holds no rejected bytes, so a successful
+// truncation also clears flush-failure poisoning.
 func (w *WAL) Truncate() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -364,6 +392,7 @@ func (w *WAL) Truncate() error {
 		return fmt.Errorf("storage: truncating wal: %w", err)
 	}
 	w.size = 0
+	w.poisoned = nil
 	if w.synced {
 		return w.f.Sync()
 	}

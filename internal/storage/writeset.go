@@ -18,13 +18,21 @@ package storage
 // discarded, published state never changed, and the statement rolled
 // back by construction.
 //
-// Deadlock discipline (DESIGN.md §14): a statement may block on Acquire
-// only while latching pages in ascending PageID order; everywhere else
-// (the insert path probing a last-page hint) it must use TryAcquire and
-// fall back to allocating a fresh page.
+// Deadlock discipline (DESIGN.md §14): a statement may block waiting
+// for a latch only when the requested page is numbered strictly above
+// every page it already holds. Acquire enforces this itself — a request
+// at or below the high-water mark degrades to a try, reporting
+// contention instead of blocking — so any wait chain is strictly
+// ascending in PageID and cycles are impossible. The insert path's
+// last-page-hint probe additionally must use TryAcquire because it runs
+// under the heap allocation mutex.
 type WriteSet struct {
 	pool    *Pool
 	entries map[PageID]*wsEntry
+	// maxHeld is the highest PageID latched so far (meaningful only when
+	// entries is non-empty). Blocking above it keeps waits-for chains
+	// strictly ascending.
+	maxHeld PageID
 }
 
 type wsEntry struct {
@@ -60,22 +68,30 @@ func (ws *WriteSet) MarkDirty(id PageID) {
 	}
 }
 
-// Acquire latches the page, blocking if another statement holds it, and
-// returns the private copy. Idempotent for pages already held.
-func (ws *WriteSet) Acquire(id PageID) (*Page, error) {
+// Acquire latches the page and returns the private copy, idempotent
+// for pages already held. It blocks on a held latch only when id is
+// strictly above every page this set holds — the discipline that keeps
+// waits-for chains ascending and therefore acyclic. At or below the
+// high-water mark it degrades to TryAcquire: ok=false then means the
+// latch is contended and the caller must skip or restart rather than
+// wait.
+func (ws *WriteSet) Acquire(id PageID) (*Page, bool, error) {
 	if en, ok := ws.entries[id]; ok {
-		return en.page, nil
+		return en.page, true, nil
+	}
+	if len(ws.entries) > 0 && id <= ws.maxHeld {
+		return ws.TryAcquire(id)
 	}
 	f, err := ws.pool.pinFrame(id)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	ws.pool.latchAcq.Add(1)
 	if !f.wmu.TryLock() {
 		ws.pool.latchWaits.Add(1)
 		f.wmu.Lock()
 	}
-	return ws.adopt(f), nil
+	return ws.adopt(f), true, nil
 }
 
 // TryAcquire latches the page only if the latch is free, returning
@@ -103,6 +119,9 @@ func (ws *WriteSet) adopt(f *frame) *Page {
 	np := NewPage()
 	*np = *f.curPage()
 	ws.entries[f.id] = &wsEntry{f: f, page: np}
+	if f.id > ws.maxHeld {
+		ws.maxHeld = f.id
+	}
 	return np
 }
 
@@ -118,6 +137,9 @@ func (ws *WriteSet) Allocate() (PageID, *Page, error) {
 	f.wmu.Lock() // uncontended: the frame is not yet visible to writers
 	np := NewPage()
 	ws.entries[f.id] = &wsEntry{f: f, page: np, dirtied: true}
+	if f.id > ws.maxHeld {
+		ws.maxHeld = f.id
+	}
 	return f.id, np, nil
 }
 
