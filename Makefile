@@ -3,20 +3,21 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench bench-shield bench-engine bench-smoke bench-detect torture torture-full repro repro-fast examples fuzz clean
+.PHONY: all check build vet test race cover bench bench-shield bench-engine bench-cluster bench-smoke bench-detect torture torture-full repro repro-fast examples fuzz clean
 
 all: build vet test
 
 # What CI runs: everything that must pass before a merge. The targeted
 # -race pass covers the packages with real concurrency (the shield's
 # cancellable query path, the rate limiter, the delay gate + price cache,
-# the extraction detector, and the striped buffer pool + parallel scan
-# executor) without the cost of racing the whole tree.
+# the extraction detector, the striped buffer pool + parallel scan
+# executor, and the cluster router's write fan-out + anti-entropy loop)
+# without the cost of racing the whole tree.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/ratelimit/... ./internal/delay/... ./internal/detect/... ./internal/engine/... ./internal/storage/...
+	$(GO) test -race ./internal/core/... ./internal/ratelimit/... ./internal/delay/... ./internal/detect/... ./internal/engine/... ./internal/storage/... ./internal/cluster/...
 	$(MAKE) torture
 
 build:
@@ -50,11 +51,18 @@ bench-shield:
 bench-engine:
 	BENCH_SUITE=engine ./scripts/bench.sh
 
-# Short measured run of both suites compared against the committed
+# Cluster front-door benchmark: the same point query against a shard
+# directly vs through the router (admission, policy pick, dispatch).
+# Writes BENCH_cluster.json; check mode enforces router <= 1.15x direct.
+bench-cluster:
+	BENCH_SUITE=cluster ./scripts/bench.sh
+
+# Short measured run of all suites compared against the committed
 # BENCH_*.json baselines: fails on a >20% per-key regression or a broken
 # shape invariant (point-query scaling, price-cache scan win, grouped
 # WAL commit beating per-commit fsyncs, concurrent write path keeping
-# its >=3x lead over the legacy exclusive lock). The short
+# its >=3x lead over the legacy exclusive lock, cluster router staying
+# within 15% of direct shard access). The short
 # benchtime keeps it CI-sized; -count=3 with min-of-N extraction (see
 # bench.sh) keeps single-run scheduler noise from tripping the gate; the
 # committed baselines stay untouched. CI runs this.

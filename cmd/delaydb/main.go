@@ -17,6 +17,24 @@
 // histogram, rejection counters, and detection gauges), GET /healthz,
 // GET /admin/suspects (ranked extraction suspects when -detect is on).
 //
+// Cluster modes:
+//
+//	delaydb -cluster 4 [-route hash|rr|least] [-antientropy 5s]
+//	        [-antientropy-floor 0.01] [-admit-rate 100] [-admit-burst 200]
+//	        [-maxinflight 1024] ...
+//	delaydb -router -peers http://10.0.0.1:8080,http://10.0.0.2:8080 ...
+//
+// -cluster N opens N full-replica shards under -dir (shard-0 … shard-N-1,
+// each running the -init script) and serves the consistent-hash cluster
+// router in front of them: reads route by policy with failover, writes
+// fan out to every healthy shard, and a periodic anti-entropy round
+// merges per-principal detection sketches across shards so identity
+// rotation across the cluster still prices like extraction. -router
+// instead fronts already-running delaydb shards over HTTP; data flags
+// are ignored. The router serves the same /query, /register, /healthz,
+// /metrics surface plus GET /stats?node=<name> pinning and
+// POST /admin/peer-up.
+//
 // With -deadline set, a query whose policy delay outlives the budget is
 // cancelled and answered with HTTP 504; the delay is still charged, so
 // impatient clients cannot probe prices for free.
@@ -44,11 +62,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	delaydefense "repro"
+	"repro/internal/cluster"
 	"repro/internal/fault"
 )
 
@@ -97,6 +118,16 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		detectGrace   = fs.Float64("detect-grace", 0.08, "coverage fraction below which no surcharge applies")
 		detectCap     = fs.Float64("detect-cap", 64, "maximum delay multiplier for detected extractors")
 		detectJaccard = fs.Float64("detect-jaccard", 0.35, "signature similarity threshold for coalition clustering")
+
+		clusterN    = fs.Int("cluster", 0, "serve N full-replica shards in this process behind the cluster router (0 = single node)")
+		routerOnly  = fs.Bool("router", false, "serve a data-less cluster router fronting the -peers shards")
+		peers       = fs.String("peers", "", "comma-separated shard base URLs for -router mode (e.g. http://10.0.0.1:8080,http://10.0.0.2:8080)")
+		route       = fs.String("route", "hash", "cluster read-routing policy: hash, rr, or least")
+		aeEvery     = fs.Duration("antientropy", cluster.DefaultExchangeEvery, "interval between anti-entropy sketch-exchange rounds in cluster/router mode (0 = off)")
+		aeFloor     = fs.Float64("antientropy-floor", cluster.DefaultExportFloor, "minimum local coverage fraction before a principal's sketches are gossiped")
+		admitRate   = fs.Float64("admit-rate", cluster.DefaultAdmitRate, "router edge admission: per-principal queries/second")
+		admitBurst  = fs.Float64("admit-burst", cluster.DefaultAdmitBurst, "router edge admission: per-principal burst")
+		maxInFlight = fs.Int("maxinflight", cluster.DefaultMaxInFlight, "router edge admission: max queries in flight across the cluster")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -166,86 +197,174 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	if *planCache >= 0 {
 		opts = append(opts, delaydefense.WithPlanCache(*planCache))
 	}
-	db, err := delaydefense.Open(*dir, cfg, opts...)
-	if err != nil {
-		return err
+	// serveAndDrain owns the listener lifecycle every mode shares: serve
+	// h until SIGTERM/SIGINT, drain in-flight queries (policy delays
+	// included) for up to -drain, then run closeAll so engines flush and
+	// the next start recovers nothing. A second signal aborts the drain.
+	serveAndDrain := func(h http.Handler, banner func(net.Addr), closeAll func() error) error {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			closeAll()
+			return err
+		}
+		srv := &http.Server{
+			Handler: h,
+			// ReadHeaderTimeout bounds header dribbling; the request *body*
+			// and response are governed by the query deadline instead, since
+			// a legitimate delayed query can stay open for the full policy
+			// delay. IdleTimeout reclaims parked keep-alive connections.
+			ReadHeaderTimeout: *readHeaderTimeout,
+			IdleTimeout:       *idleTimeout,
+		}
+
+		banner(ln.Addr())
+		fmt.Fprintf(stdout, "delaydb: instrument snapshot at GET /metrics\n")
+		if ready != nil {
+			ready <- ln.Addr().String()
+		}
+
+		// Serve until the listener closes (shutdown) or the server dies.
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.Serve(ln) }()
+
+		sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+		defer stop()
+
+		select {
+		case err := <-serveErr:
+			closeAll()
+			return err
+		case <-sigCtx.Done():
+			// stop() restores default signal handling, so a second
+			// SIGTERM kills immediately.
+			stop()
+			fmt.Fprintf(stdout, "delaydb: signal received, draining for up to %v\n", *drain)
+			shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+			err := srv.Shutdown(shutCtx)
+			cancel()
+			if err != nil {
+				fmt.Fprintf(stdout, "delaydb: drain incomplete: %v\n", err)
+			}
+			<-serveErr // Serve has returned http.ErrServerClosed
+			if cerr := closeAll(); cerr != nil {
+				return fmt.Errorf("closing database: %w", cerr)
+			}
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return fmt.Errorf("drain: %w", err)
+			}
+			fmt.Fprintf(stdout, "delaydb: drained and closed cleanly\n")
+			return nil
+		}
 	}
 
-	if *initFile != "" {
-		script, err := os.ReadFile(*initFile)
+	// openNode opens one data directory with the shared config and runs
+	// the init script against it; used once for single-node mode and per
+	// shard for -cluster.
+	openNode := func(dataDir string) (*delaydefense.DB, http.Handler, error) {
+		db, err := delaydefense.Open(dataDir, cfg, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		if *initFile != "" {
+			script, err := os.ReadFile(*initFile)
+			if err != nil {
+				db.Close()
+				return nil, nil, fmt.Errorf("reading init script: %w", err)
+			}
+			results, err := db.ExecScript(string(script))
+			if err != nil {
+				db.Close()
+				return nil, nil, fmt.Errorf("init script (%s): %w", dataDir, err)
+			}
+			fmt.Fprintf(stdout, "delaydb: init script ran %d statements in %s\n", len(results), dataDir)
+		}
+		h, err := db.HandlerWithDeadline(*deadline)
 		if err != nil {
 			db.Close()
-			return fmt.Errorf("reading init script: %w", err)
+			return nil, nil, err
 		}
-		results, err := db.ExecScript(string(script))
+		return db, h, nil
+	}
+
+	if *routerOnly && *clusterN > 0 {
+		return errors.New("-router and -cluster are mutually exclusive")
+	}
+	if *routerOnly || *clusterN > 0 {
+		pol, err := cluster.ParsePolicy(*route)
 		if err != nil {
-			db.Close()
-			return fmt.Errorf("init script: %w", err)
+			return err
 		}
-		fmt.Fprintf(stdout, "delaydb: init script ran %d statements\n", len(results))
-	}
-
-	h, err := db.HandlerWithDeadline(*deadline)
-	if err != nil {
-		db.Close()
-		return err
-	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		db.Close()
-		return err
-	}
-	srv := &http.Server{
-		Handler: h,
-		// ReadHeaderTimeout bounds header dribbling; the request *body*
-		// and response are governed by the query deadline instead, since
-		// a legitimate delayed query can stay open for the full policy
-		// delay. IdleTimeout reclaims parked keep-alive connections.
-		ReadHeaderTimeout: *readHeaderTimeout,
-		IdleTimeout:       *idleTimeout,
-	}
-
-	fmt.Fprintf(stdout, "delaydb: serving %s on %s (policy=%s, cap=%v, N=%d, deadline=%v)\n",
-		*dir, ln.Addr(), *policy, *capDur, *n, *deadline)
-	fmt.Fprintf(stdout, "delaydb: instrument snapshot at GET /metrics\n")
-	if ready != nil {
-		ready <- ln.Addr().String()
-	}
-
-	// Serve until the listener closes (shutdown) or the server dies.
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
-
-	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
-	defer stop()
-
-	select {
-	case err := <-serveErr:
-		db.Close()
-		return err
-	case <-sigCtx.Done():
-		// Drain: stop accepting, let in-flight queries — policy delays
-		// included — finish within the grace period. stop() restores
-		// default signal handling, so a second SIGTERM kills immediately.
-		stop()
-		fmt.Fprintf(stdout, "delaydb: signal received, draining for up to %v\n", *drain)
-		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
-		err := srv.Shutdown(shutCtx)
-		cancel()
+		var (
+			nodes   []*cluster.Node
+			closers []func() error
+		)
+		closeAll := func() error {
+			var first error
+			for _, c := range closers {
+				if err := c(); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		}
+		if *routerOnly {
+			if *peers == "" {
+				return errors.New("-router requires -peers")
+			}
+			for i, raw := range strings.Split(*peers, ",") {
+				base := strings.TrimRight(strings.TrimSpace(raw), "/")
+				if base == "" {
+					continue
+				}
+				nodes = append(nodes, cluster.NewHTTPNode(fmt.Sprintf("shard-%d", i), base))
+			}
+			if len(nodes) == 0 {
+				return errors.New("-peers lists no shard URLs")
+			}
+		} else {
+			for i := 0; i < *clusterN; i++ {
+				db, h, err := openNode(filepath.Join(*dir, fmt.Sprintf("shard-%d", i)))
+				if err != nil {
+					closeAll()
+					return err
+				}
+				closers = append(closers, db.Close)
+				nodes = append(nodes, cluster.NewLocalNode(fmt.Sprintf("shard-%d", i), h))
+			}
+		}
+		rt, err := cluster.NewRouter(nodes, cluster.Config{
+			Policy:      pol,
+			AdmitRate:   *admitRate,
+			AdmitBurst:  *admitBurst,
+			MaxInFlight: *maxInFlight,
+		})
 		if err != nil {
-			fmt.Fprintf(stdout, "delaydb: drain incomplete: %v\n", err)
+			closeAll()
+			return err
 		}
-		<-serveErr // Serve has returned http.ErrServerClosed
-		// Flush and close the engine: dirty pages reach the data files and
-		// the logs truncate, so the next start recovers nothing.
-		if cerr := db.Close(); cerr != nil {
-			return fmt.Errorf("closing database: %w", cerr)
+		if *aeEvery > 0 {
+			rt.StartAntiEntropy(*aeEvery, *aeFloor)
+			// Stop the exchange loop before the shards close under it.
+			closers = append([]func() error{func() error { rt.StopAntiEntropy(); return nil }}, closers...)
 		}
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			return fmt.Errorf("drain: %w", err)
+		mode := "cluster"
+		if *routerOnly {
+			mode = "router"
 		}
-		fmt.Fprintf(stdout, "delaydb: drained and closed cleanly\n")
-		return nil
+		banner := func(a net.Addr) {
+			fmt.Fprintf(stdout, "delaydb: %s of %d shards on %s (route=%s, antientropy=%v, admit=%g qps)\n",
+				mode, len(nodes), a, pol, *aeEvery, *admitRate)
+		}
+		return serveAndDrain(rt.Handler(), banner, closeAll)
 	}
+
+	db, h, err := openNode(*dir)
+	if err != nil {
+		return err
+	}
+	banner := func(a net.Addr) {
+		fmt.Fprintf(stdout, "delaydb: serving %s on %s (policy=%s, cap=%v, N=%d, deadline=%v)\n",
+			*dir, a, *policy, *capDur, *n, *deadline)
+	}
+	return serveAndDrain(h, banner, db.Close)
 }

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/server"
 )
@@ -44,6 +48,139 @@ func TestFaultEnvRejected(t *testing.T) {
 	err = run([]string{"-dir", t.TempDir()}, &out, nil)
 	if err == nil || !strings.Contains(err.Error(), "DELAYDB_FAULT_SEED") {
 		t.Fatalf("bad fault seed: err = %v", err)
+	}
+}
+
+// TestClusterModeServesAndDrains boots -cluster 2 as a real process
+// would: writes must replicate to both shard directories, reads must
+// flow through the router, /healthz must list both peers, the
+// anti-entropy loop must complete rounds, and SIGTERM must drain and
+// close every shard cleanly.
+func TestClusterModeServesAndDrains(t *testing.T) {
+	dir := t.TempDir()
+	schema := dir + "/init.sql"
+	if err := os.WriteFile(schema,
+		[]byte("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run([]string{
+			"-dir", dir,
+			"-addr", "127.0.0.1:0",
+			"-init", schema,
+			"-cluster", "2",
+			"-detect",
+			"-n", "1000",
+			"-cap", "1ms",
+			"-antientropy", "50ms",
+			"-drain", "10s",
+		}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("cluster exited before ready: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("cluster never became ready")
+	}
+
+	c := server.NewClient("http://"+addr, "cluster-client")
+	if _, err := c.Query("INSERT INTO t VALUES (1, 'one')"); err != nil {
+		t.Fatalf("write through router: %v", err)
+	}
+	res, err := c.Query("SELECT * FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatalf("read through router: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("read through router: %d rows, want 1", len(res.Rows))
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health cluster.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || len(health.Peers) != 2 {
+		t.Fatalf("healthz = %+v, want ok with 2 peers", health)
+	}
+
+	// Give the 50ms anti-entropy ticker time to complete rounds.
+	time.Sleep(200 * time.Millisecond)
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if metrics["cluster_routed_total"] < 2 {
+		t.Fatalf("cluster_routed_total = %v, want >= 2", metrics["cluster_routed_total"])
+	}
+	if metrics["cluster_antientropy_rounds_total"] < 1 {
+		t.Fatalf("cluster_antientropy_rounds_total = %v, want >= 1",
+			metrics["cluster_antientropy_rounds_total"])
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var runErr error
+	select {
+	case runErr = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run() did not return after SIGTERM")
+	}
+	if runErr != nil {
+		t.Fatalf("run() after SIGTERM = %v\n%s", runErr, out.String())
+	}
+	if !strings.Contains(out.String(), "drained and closed cleanly") {
+		t.Fatalf("missing drain banner in output:\n%s", out.String())
+	}
+
+	// The write must have fanned out: each shard directory holds the row.
+	for i := 0; i < 2; i++ {
+		db, err := engine.Open(filepath.Join(dir, fmt.Sprintf("shard-%d", i)))
+		if err != nil {
+			t.Fatalf("reopening shard %d: %v", i, err)
+		}
+		res, err := db.Exec("SELECT * FROM t WHERE id = 1")
+		db.Close()
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("shard %d has %d rows for id=1, want 1 (write did not replicate)", i, len(res.Rows))
+		}
+	}
+}
+
+// TestClusterFlagErrors: contradictory or incomplete cluster flags are
+// startup errors.
+func TestClusterFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dir", t.TempDir(), "-cluster", "2", "-router"}, &out, nil); err == nil {
+		t.Fatal("-cluster with -router accepted")
+	}
+	if err := run([]string{"-router"}, &out, nil); err == nil {
+		t.Fatal("-router without -peers accepted")
+	}
+	if err := run([]string{"-router", "-peers", " , "}, &out, nil); err == nil {
+		t.Fatal("empty -peers list accepted")
+	}
+	if err := run([]string{"-dir", t.TempDir(), "-cluster", "2", "-route", "zigzag"}, &out, nil); err == nil {
+		t.Fatal("unknown -route accepted")
 	}
 }
 

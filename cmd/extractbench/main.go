@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (all, fig1..fig6, table1..table5, model, ablation, sybil, detect, storefront, metrics)")
+		exp       = flag.String("exp", "all", "experiment to run (all, fig1..fig6, table1..table5, model, ablation, sybil, detect, detect-cluster, storefront, metrics)")
 		scale     = flag.Int("scale", 1, "divide Calgary-shaped workload sizes by this factor")
 		seed      = flag.Int64("seed", 2004, "random seed for synthetic workloads")
 		traceFile = flag.String("tracefile", "", "replay this trace file (cmd/tracegen format) for fig1/table3 instead of the synthetic Calgary workload")
@@ -186,6 +186,17 @@ func run(exp string, scale int, seed int64, traceFile string) error {
 		dp.Scale = scale
 		dp.Seed = seed
 		res, err := experiments.SybilDetection(dp)
+		if err != nil {
+			return err
+		}
+		res.Table.Print(os.Stdout)
+		ran = true
+	}
+	if exp == "detect-cluster" {
+		dp := experiments.DefaultShardedSybilParams()
+		dp.Scale = scale
+		dp.Seed = seed
+		res, err := experiments.ShardedSybilDetection(dp)
 		if err != nil {
 			return err
 		}

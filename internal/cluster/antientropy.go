@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/server"
+)
+
+// Anti-entropy: the router periodically pulls each shard's sketch
+// delta (principals observed locally since the last round whose
+// coverage clears the export floor) and pushes the union to every
+// other shard. Sketches are CRDTs — HLL unions by register max,
+// MinHash by slot min — so hub-spoke exchange through the router
+// converges every shard on the global per-principal view in ONE round,
+// and re-delivery is harmless. Staleness is therefore bounded by one
+// exchange period: a Sybil spreading identities (or one identity's
+// queries) across shards under-prices for at most that long.
+//
+// The exchange rides the same GET/POST /admin/sketches endpoints and
+// node transports queries use, so local and HTTP clusters serialize
+// identically and a dead peer latches down here exactly as it would on
+// the query path.
+
+// ExchangeNow runs one synchronous anti-entropy round and returns the
+// first error encountered (the round still visits every peer).
+// Tests and the experiments drive rounds directly; deployments use
+// StartAntiEntropy.
+func (r *Router) ExchangeNow() error {
+	r.ae.mu.Lock()
+	defer r.ae.mu.Unlock()
+	return r.exchangeLocked(DefaultExportFloor)
+}
+
+// ExchangeNowFloor is ExchangeNow with an explicit export floor.
+func (r *Router) ExchangeNowFloor(floor float64) error {
+	r.ae.mu.Lock()
+	defer r.ae.mu.Unlock()
+	return r.exchangeLocked(floor)
+}
+
+func (r *Router) exchangeLocked(floor float64) error {
+	var firstErr error
+	// Probe phase: each down peer gets a cheap /healthz check. A
+	// revived peer missed whole rounds (and may have restarted and
+	// lost its table), so revival resets EVERY source watermark — the
+	// pulls below then re-export full history and the straggler
+	// converges within this round. Merges are idempotent, so the
+	// re-delivery to up-to-date peers costs bandwidth, not
+	// correctness.
+	revived := false
+	for _, n := range r.nodes {
+		if n.down.Load() && r.probePeer(n) {
+			revived = true
+		}
+	}
+	if revived {
+		for j := range r.ae.marks {
+			r.ae.marks[j] = 0
+		}
+		r.syncPeerDown()
+	}
+
+	// Pull phase: collect each live shard's delta.
+	pages := make([]*server.SketchPage, len(r.nodes))
+	for i, n := range r.nodes {
+		if n.down.Load() {
+			continue
+		}
+		page, err := r.pullSketches(n, r.ae.marks[i], floor)
+		if err != nil {
+			r.aeErrors.Inc()
+			r.syncPeerDown()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !page.Enabled {
+			continue // shard runs without a detector; nothing to exchange
+		}
+		pages[i] = page
+		r.ae.marks[i] = page.Since
+		for _, sn := range page.Sketches {
+			r.aeBytes.Add(int64(sn.WireBytes()))
+		}
+		r.aePrincipals.Add(int64(len(page.Sketches)))
+	}
+
+	// Push phase: every shard absorbs every *other* shard's delta.
+	// Advancing the pull watermark past pushed state is what keeps the
+	// hub from echoing: Absorb does not mark sketches locally-seen.
+	for j, n := range r.nodes {
+		if n.down.Load() {
+			continue
+		}
+		var batch []detect.SketchSnapshot
+		for i, page := range pages {
+			if i == j || page == nil {
+				continue
+			}
+			batch = append(batch, page.Sketches...)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		rejected, err := r.pushSketches(n, batch)
+		if err != nil {
+			r.aeErrors.Inc()
+			r.syncPeerDown()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		r.aeRejected.Add(int64(rejected))
+	}
+	r.aeRounds.Inc()
+	r.ae.lastRound = r.cfg.Clock.Now()
+	return firstErr
+}
+
+// mergeLag is the live staleness gauge: seconds since the last
+// completed exchange round (0 before the first round — nothing has
+// diverged yet if nothing has exchanged).
+func (r *Router) mergeLag() float64 {
+	r.ae.mu.Lock()
+	last := r.ae.lastRound
+	r.ae.mu.Unlock()
+	if last.IsZero() {
+		return 0
+	}
+	return r.cfg.Clock.Now().Sub(last).Seconds()
+}
+
+// probePeer checks a down peer's /healthz; any answer clears the
+// latch (a degraded-but-alive shard still serves reads).
+func (r *Router) probePeer(n *Node) bool {
+	req, err := http.NewRequest(http.MethodGet, n.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := n.http.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	n.down.Store(false)
+	return true
+}
+
+func (r *Router) pullSketches(n *Node, since uint64, floor float64) (*server.SketchPage, error) {
+	url := fmt.Sprintf("%s/admin/sketches?since=%d&floor=%g", n.base, since, floor)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: pulling sketches from %s: %w", n.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s sketch export returned HTTP %d", n.name, resp.StatusCode)
+	}
+	var page server.SketchPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return nil, fmt.Errorf("cluster: decoding %s sketch page: %w", n.name, err)
+	}
+	return &page, nil
+}
+
+func (r *Router) pushSketches(n *Node, batch []detect.SketchSnapshot) (rejected int, err error) {
+	// Respect the shard's per-request batch ceiling; sketches are a
+	// few KiB each, so chunks stay well-bounded.
+	const chunk = 1000
+	for len(batch) > 0 {
+		part := batch
+		if len(part) > chunk {
+			part = batch[:chunk]
+		}
+		batch = batch[len(part):]
+		body, err := json.Marshal(server.SketchAbsorbRequest{Sketches: part})
+		if err != nil {
+			return rejected, err
+		}
+		req, err := http.NewRequest(http.MethodPost, n.base+"/admin/sketches", bytes.NewReader(body))
+		if err != nil {
+			return rejected, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := n.do(req)
+		if err != nil {
+			return rejected, fmt.Errorf("cluster: pushing sketches to %s: %w", n.name, err)
+		}
+		var out server.SketchAbsorbResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return rejected, fmt.Errorf("cluster: %s sketch absorb returned HTTP %d", n.name, resp.StatusCode)
+		}
+		if decErr != nil {
+			return rejected, fmt.Errorf("cluster: decoding %s absorb response: %w", n.name, decErr)
+		}
+		rejected += out.Rejected
+	}
+	return rejected, nil
+}
+
+// StartAntiEntropy launches the periodic exchange loop. interval ≤ 0
+// means DefaultExchangeEvery; floor < 0 means DefaultExportFloor.
+// Call StopAntiEntropy to halt it; starting twice stops the first
+// loop.
+func (r *Router) StartAntiEntropy(interval time.Duration, floor float64) {
+	if interval <= 0 {
+		interval = DefaultExchangeEvery
+	}
+	if floor < 0 {
+		floor = DefaultExportFloor
+	}
+	r.StopAntiEntropy()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	r.ae.mu.Lock()
+	r.ae.stop, r.ae.done = stop, done
+	r.ae.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				r.ae.mu.Lock()
+				r.exchangeLocked(floor)
+				r.ae.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// StopAntiEntropy halts the exchange loop and waits for the in-flight
+// round, if any, to finish. Safe to call when no loop is running.
+func (r *Router) StopAntiEntropy() {
+	r.ae.mu.Lock()
+	stop, done := r.ae.stop, r.ae.done
+	r.ae.stop, r.ae.done = nil, nil
+	r.ae.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/detect"
+)
+
+// detectCfg is the detection policy the anti-entropy tests run: 60%
+// grace, so any single shard's slice of a spread-out scan (½ of the
+// catalog at 2 shards, ⅓ at 3) stays under it while the union view
+// does not; ×8 cap.
+func detectCfg() *detect.Config {
+	return &detect.Config{
+		Policy: detect.EscalationPolicy{Grace: 0.60, Cap: 8, RampWidth: 0.20, Hysteresis: 0.10},
+	}
+}
+
+// TestAntiEntropyRestoresGlobalCoverage is the subsystem's core
+// property: a principal whose scan is split across shards stays under
+// every local coverage threshold until an exchange round unions the
+// sketches — after which every shard prices it like a single node that
+// saw the whole stream.
+func TestAntiEntropyRestoresGlobalCoverage(t *testing.T) {
+	// Round-robin routing so one identity's queries genuinely spread.
+	r, shields := testCluster(t, 2, 200, detectCfg(), Config{Policy: PolicyRoundRobin})
+	h := r.Handler()
+
+	// Two queries alternate shards: each shard sees half the catalog
+	// (25% < the 30% grace), the union is the full catalog.
+	for _, sql := range []string{
+		`SELECT * FROM items WHERE id <= 100`,
+		`SELECT * FROM items WHERE id > 100`,
+	} {
+		if resp, body := query(t, h, "splitter", sql); resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+		}
+	}
+	for i, sh := range shields {
+		if m := sh.Detector().Multiplier("splitter"); m != 1 {
+			t.Fatalf("shard %d multiplier %v before exchange, want 1 (local view under grace)", i, m)
+		}
+	}
+
+	if err := r.ExchangeNowFloor(0.05); err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+	for i, sh := range shields {
+		if m := sh.Detector().Multiplier("splitter"); m <= 1 {
+			t.Fatalf("shard %d multiplier %v after exchange, want > 1 (union is a full scan)", i, m)
+		}
+	}
+
+	// Metrics: one round, sketches moved, nothing rejected.
+	resp, body := do(t, h, http.MethodGet, "/metrics", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("metrics unavailable")
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if v := m["cluster_antientropy_rounds_total"].(float64); v != 1 {
+		t.Errorf("rounds = %v, want 1", v)
+	}
+	if v := m["cluster_antientropy_sketch_bytes_total"].(float64); v <= 0 {
+		t.Errorf("sketch bytes = %v, want > 0", v)
+	}
+	if v := m["cluster_antientropy_principals_total"].(float64); v != 2 {
+		t.Errorf("principals exchanged = %v, want 2 (one delta per shard)", v)
+	}
+	if v := m["cluster_antientropy_rejected_total"].(float64); v != 0 {
+		t.Errorf("rejected = %v, want 0", v)
+	}
+
+	// Idempotence / no echo: a second round with no new observations
+	// moves nothing — absorbed sketches are not re-exported.
+	if err := r.ExchangeNowFloor(0.05); err != nil {
+		t.Fatalf("second exchange: %v", err)
+	}
+	_, body = do(t, h, http.MethodGet, "/metrics", "", "")
+	json.Unmarshal(body, &m)
+	if v := m["cluster_antientropy_principals_total"].(float64); v != 2 {
+		t.Errorf("principals after idle round = %v, want still 2 (echo)", v)
+	}
+}
+
+// TestAntiEntropyExportFloor keeps low-coverage principals local: only
+// sketches above the floor gossip, so millions of legitimate users
+// never cost exchange bandwidth.
+func TestAntiEntropyExportFloor(t *testing.T) {
+	r, shields := testCluster(t, 2, 200, detectCfg(), Config{Policy: PolicyRoundRobin})
+	h := r.Handler()
+
+	// A heavy splitter (its two queries round-robin over both shards),
+	// then a tiny reader whose single query lands on one shard only.
+	for _, sql := range []string{
+		`SELECT * FROM items WHERE id <= 100`,
+		`SELECT * FROM items WHERE id > 100`,
+	} {
+		query(t, h, "splitter", sql)
+	}
+	query(t, h, "casual", `SELECT * FROM items WHERE id <= 5`)
+
+	if err := r.ExchangeNowFloor(0.10); err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+	// The splitter's union reached both shards; the casual reader's
+	// sketch crossed nowhere.
+	casualTracked := 0
+	for _, sh := range shields {
+		if m := sh.Detector().Multiplier("splitter"); m <= 1 {
+			t.Errorf("splitter multiplier %v, want > 1", m)
+		}
+		for _, s := range sh.Detector().Suspects(0) {
+			if s.Principal == "casual" {
+				casualTracked++
+			}
+		}
+	}
+	if casualTracked != 1 {
+		t.Errorf("casual reader tracked on %d shards, want 1 (below the export floor)", casualTracked)
+	}
+}
+
+// TestAntiEntropyRoutesAroundDeadPeer: a dead shard neither stalls the
+// round nor poisons it; the survivors still converge, and the round
+// latches the peer down.
+func TestAntiEntropyRoutesAroundDeadPeer(t *testing.T) {
+	const shards = 3
+	nodes := make([]*Node, shards)
+	kills := make([]*killableTransport, shards)
+	shieldAt := make([]interface{ Detector() *detect.Detector }, shards)
+	for i := range nodes {
+		h, sh := newShard(t, 200, detectCfg())
+		nodes[i], kills[i] = newKillableNode(fmt.Sprintf("shard-%d", i), h)
+		shieldAt[i] = sh
+	}
+	r, err := NewRouter(nodes, Config{Policy: PolicyRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Handler()
+
+	// Spread a scan over the three shards round-robin.
+	for _, sql := range []string{
+		`SELECT * FROM items WHERE id <= 70`,
+		`SELECT * FROM items WHERE id > 70 AND id <= 140`,
+		`SELECT * FROM items WHERE id > 140`,
+	} {
+		if resp, body := query(t, h, "splitter", sql); resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	kills[2].dead.Store(true)
+	if err := r.ExchangeNowFloor(0.05); err == nil {
+		t.Fatal("exchange reported success with a dead peer")
+	}
+	// The survivors exchanged: both hold the union of shards 0+1
+	// (~2/3 of the catalog > 30% grace → escalated).
+	for i := 0; i < 2; i++ {
+		if m := shieldAt[i].Detector().Multiplier("splitter"); m <= 1 {
+			t.Errorf("surviving shard %d multiplier %v, want > 1", i, m)
+		}
+	}
+	if !nodes[2].Down() {
+		t.Error("dead peer not latched down by the exchange")
+	}
+
+	// Revive: the next round's health probe clears the latch and the
+	// straggler catches up to the full union.
+	kills[2].dead.Store(false)
+	if err := r.ExchangeNowFloor(0.05); err != nil {
+		t.Fatalf("post-revival exchange: %v", err)
+	}
+	if nodes[2].Down() {
+		t.Error("revived peer still latched down after a successful probe")
+	}
+	if m := shieldAt[2].Detector().Multiplier("splitter"); m <= 1 {
+		t.Errorf("revived shard multiplier %v, want > 1 after catch-up", m)
+	}
+}

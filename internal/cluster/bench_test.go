@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// BenchmarkClusterPointQuery measures the router's tax on the hot
+// path: the same point query against a shard directly vs through the
+// front door (body re-read, admission, policy pick, second transport
+// hop). bench.sh enforces via=router ≤ 1.15 × via=direct.
+func BenchmarkClusterPointQuery(b *testing.B) {
+	shard, _ := newShard(b, 100, nil)
+	node := NewLocalNode("shard-0", shard)
+	// Admission is opened wide: the bench measures routing overhead,
+	// not the edge limiter's (correct) rejection of 100k qps clients.
+	r, err := NewRouter([]*Node{node}, Config{
+		Policy:    PolicyHash,
+		AdmitRate: 1e9, AdmitBurst: 1e9, MaxInFlight: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, _ := json.Marshal(server.QueryRequest{SQL: `SELECT * FROM items WHERE id = 42`})
+
+	run := func(b *testing.B, h http.Handler) {
+		client := &http.Client{Transport: handlerTransport{h: h}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req, err := http.NewRequest(http.MethodPost, "http://bench/query", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Identity", "bench")
+			resp, err := client.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("HTTP %d", resp.StatusCode)
+			}
+		}
+	}
+
+	b.Run("via=direct", func(b *testing.B) { run(b, shard) })
+	b.Run("via=router", func(b *testing.B) { run(b, r.Handler()) })
+}

@@ -1,0 +1,408 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/vclock"
+)
+
+// newShard builds one delaydb shard: a real engine + shield + HTTP
+// front door over tuples rows, delays running on a non-blocking
+// simulated clock so tests never sleep.
+func newShard(t testing.TB, tuples int, det *detect.Config) (http.Handler, *core.Shield) {
+	t.Helper()
+	db, err := engine.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(`CREATE TABLE items (id INT PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO items VALUES ")
+	for i := 1; i <= tuples; i++ {
+		if i > 1 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'v%d')", i, i)
+	}
+	if _, err := db.Exec(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	shield, err := core.New(db, core.Config{
+		N: tuples, Alpha: 1, Beta: 1, Cap: time.Millisecond,
+		Clock:                vclock.NewSimulated(time.Date(2004, 8, 1, 0, 0, 0, 0, time.UTC)),
+		Detect:               det,
+		RegistrationInterval: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(shield)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv.Handler(), shield
+}
+
+// killableTransport fronts a local handler and simulates the shard
+// process dying: once killed, every request fails at the transport
+// level like a refused connection.
+type killableTransport struct {
+	inner http.RoundTripper
+	dead  atomic.Bool
+}
+
+func (k *killableTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if k.dead.Load() {
+		return nil, errors.New("dial tcp: connection refused")
+	}
+	return k.inner.RoundTrip(req)
+}
+
+// newKillableNode is NewLocalNode with a kill switch.
+func newKillableNode(name string, h http.Handler) (*Node, *killableTransport) {
+	kt := &killableTransport{inner: handlerTransport{h: h}}
+	return &Node{
+		name:  name,
+		base:  "http://" + name,
+		http:  &http.Client{Transport: kt},
+		local: kt,
+	}, kt
+}
+
+// testCluster builds n shards behind a router.
+func testCluster(t testing.TB, n, tuples int, det *detect.Config, cfg Config) (*Router, []*core.Shield) {
+	t.Helper()
+	nodes := make([]*Node, n)
+	shields := make([]*core.Shield, n)
+	for i := range nodes {
+		h, sh := newShard(t, tuples, det)
+		nodes[i] = NewLocalNode(fmt.Sprintf("shard-%d", i), h)
+		shields[i] = sh
+	}
+	r, err := NewRouter(nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, shields
+}
+
+// do sends one request through a handler via the same client plumbing
+// the router uses against its nodes.
+func do(t testing.TB, h http.Handler, method, path, identity, body string) (*http.Response, []byte) {
+	t.Helper()
+	client := &http.Client{Transport: handlerTransport{h: h}}
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, "http://router"+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if identity != "" {
+		req.Header.Set("X-Identity", identity)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func query(t testing.TB, h http.Handler, identity, sql string) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(server.QueryRequest{SQL: sql})
+	return do(t, h, http.MethodPost, "/query", identity, string(body))
+}
+
+func TestRingDistributionAndSequence(t *testing.T) {
+	r := newRing(4, 0)
+	counts := make([]int, 4)
+	for i := 0; i < 10000; i++ {
+		counts[r.owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for n, c := range counts {
+		// Perfectly even would be 2500; vnodes should keep every node
+		// within a factor of ~2 of its fair share.
+		if c < 1250 || c > 5000 {
+			t.Errorf("node %d owns %d of 10000 keys; want a roughly even split %v", n, c, counts)
+		}
+	}
+	seq := r.sequence("some-key")
+	if len(seq) != 4 {
+		t.Fatalf("sequence length %d, want 4", len(seq))
+	}
+	if seq[0] != r.owner("some-key") {
+		t.Errorf("sequence starts at %d, owner is %d", seq[0], r.owner("some-key"))
+	}
+	seen := make(map[int]bool)
+	for _, n := range seq {
+		if seen[n] {
+			t.Fatalf("sequence repeats node %d: %v", n, seq)
+		}
+		seen[n] = true
+	}
+	// Determinism: same key, same order.
+	for i := 0; i < 3; i++ {
+		again := r.sequence("some-key")
+		for j := range seq {
+			if again[j] != seq[j] {
+				t.Fatalf("sequence not deterministic: %v vs %v", seq, again)
+			}
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{
+		"": PolicyHash, "hash": PolicyHash,
+		"rr": PolicyRoundRobin, "round-robin": PolicyRoundRobin,
+		"least": PolicyLeastLoaded, "leastloaded": PolicyLeastLoaded,
+	} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("random"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+}
+
+func TestHashAffinityRoutesOnePrincipalToOneShard(t *testing.T) {
+	r, shields := testCluster(t, 4, 50, nil, Config{Policy: PolicyHash})
+	for q := 0; q < 8; q++ {
+		resp, body := query(t, r.Handler(), "alice", `SELECT * FROM items WHERE id = 7`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: HTTP %d: %s", q, resp.StatusCode, body)
+		}
+	}
+	served := 0
+	for _, sh := range shields {
+		if n := sh.QueriesServed(); n > 0 {
+			served++
+			if n != 8 {
+				t.Errorf("affinity shard served %d queries, want all 8", n)
+			}
+		}
+	}
+	if served != 1 {
+		t.Errorf("%d shards served alice, want exactly 1 (hash affinity)", served)
+	}
+}
+
+func TestRoundRobinSpreadsReads(t *testing.T) {
+	r, shields := testCluster(t, 4, 50, nil, Config{Policy: PolicyRoundRobin})
+	for q := 0; q < 8; q++ {
+		resp, body := query(t, r.Handler(), "alice", `SELECT * FROM items WHERE id = 7`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: HTTP %d: %s", q, resp.StatusCode, body)
+		}
+	}
+	for i, sh := range shields {
+		if n := sh.QueriesServed(); n != 2 {
+			t.Errorf("shard %d served %d queries, want 2 under round-robin", i, n)
+		}
+	}
+}
+
+func TestLeastLoadedPrefersIdleShard(t *testing.T) {
+	r, _ := testCluster(t, 3, 10, nil, Config{Policy: PolicyLeastLoaded})
+	r.nodes[0].inflight.Store(5)
+	r.nodes[2].inflight.Store(2)
+	order := r.readOrder("anyone")
+	if order[0] != 1 {
+		t.Fatalf("least-loaded picked shard %d first, want the idle shard 1 (loads 5,0,2)", order[0])
+	}
+}
+
+func TestWriteFanoutReplicatesToAllShards(t *testing.T) {
+	r, shields := testCluster(t, 3, 10, nil, Config{})
+	resp, body := query(t, r.Handler(), "writer", `INSERT INTO items VALUES (999, 'replicated')`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("write: HTTP %d: %s", resp.StatusCode, body)
+	}
+	for i, sh := range shields {
+		res, err := sh.DB().Exec(`SELECT v FROM items WHERE id = 999`)
+		if err != nil || len(res.Rows) != 1 {
+			t.Errorf("shard %d: replicated row missing (rows=%d err=%v)", i, len(res.Rows), err)
+		}
+	}
+}
+
+func TestRegisterBroadcasts(t *testing.T) {
+	r, shields := testCluster(t, 2, 10, nil, Config{})
+	resp, body := do(t, r.Handler(), http.MethodPost, "/register", "", `{"identity":"acct-1"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: HTTP %d: %s", resp.StatusCode, body)
+	}
+	for i, sh := range shields {
+		if v := sh.Metrics().Export()["shield_registrations_granted"].(float64); v != 1 {
+			t.Errorf("shard %d registered %v identities, want 1", i, v)
+		}
+	}
+}
+
+func TestAdmissionRejectsBeforeAnyShard(t *testing.T) {
+	clock := vclock.NewSimulated(time.Date(2004, 8, 1, 0, 0, 0, 0, time.UTC))
+	r, shields := testCluster(t, 2, 10, nil, Config{
+		AdmitRate: 0.001, AdmitBurst: 1, Clock: clock,
+	})
+	// First query spends the only token; the second must be rejected at
+	// the edge with no shard work.
+	resp, _ := query(t, r.Handler(), "greedy", `SELECT * FROM items WHERE id = 1`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first query: HTTP %d", resp.StatusCode)
+	}
+	resp, body := query(t, r.Handler(), "greedy", `SELECT * FROM items WHERE id = 1`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second query: HTTP %d (%s), want 429", resp.StatusCode, body)
+	}
+	var total int64
+	for _, sh := range shields {
+		total += sh.QueriesServed()
+	}
+	if total != 1 {
+		t.Errorf("shards served %d queries, want 1 — the rejected query touched a shard", total)
+	}
+	if v := r.admitRej.Value(); v != 1 {
+		t.Errorf("cluster_admission_rejected_total = %d, want 1", v)
+	}
+
+	// Global in-flight cap: with the gauge pinned at the cap, the next
+	// query bounces with 429 before identity limiting.
+	r.inflight.Set(int64(r.cfg.MaxInFlight))
+	resp, _ = query(t, r.Handler(), "someone-else", `SELECT * FROM items WHERE id = 1`)
+	r.inflight.Set(0)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("at-capacity query: HTTP %d, want 429", resp.StatusCode)
+	}
+	if v := r.inflightRej.Value(); v != 1 {
+		t.Errorf("cluster_inflight_rejected_total = %d, want 1", v)
+	}
+}
+
+func TestRouterEdgeHardening(t *testing.T) {
+	r, _ := testCluster(t, 2, 10, nil, Config{})
+	h := r.Handler()
+
+	// Wrong content type → 415.
+	client := &http.Client{Transport: handlerTransport{h: h}}
+	req, _ := http.NewRequest(http.MethodPost, "http://router/query", strings.NewReader(`{"sql":"SELECT * FROM items"}`))
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("content-type status = %d, want 415", resp.StatusCode)
+	}
+	// Malformed JSON → 400.
+	if resp, body := do(t, h, http.MethodPost, "/query", "", `{`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d (%s), want 400", resp.StatusCode, body)
+	}
+	// Empty sql → 400.
+	if resp, _ := do(t, h, http.MethodPost, "/query", "", `{"sql":""}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty sql status = %d, want 400", resp.StatusCode)
+	}
+	// Method mismatch → 405.
+	if resp, _ := do(t, h, http.MethodGet, "/query", "", ""); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status = %d, want 405", resp.StatusCode)
+	}
+	// Unknown peer-up → 404; malformed → 400; wrong type → 415.
+	if resp, _ := do(t, h, http.MethodPost, "/admin/peer-up", "", `{"name":"nope"}`); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown peer-up status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := do(t, h, http.MethodPost, "/admin/peer-up", "", `{`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed peer-up status = %d, want 400", resp.StatusCode)
+	}
+	// Quote proxy is hardened like the shard endpoint.
+	if resp, _ := do(t, h, http.MethodPost, "/admin/quote", "", `garbage`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed quote status = %d, want 400", resp.StatusCode)
+	}
+	// Unknown node pin on a GET proxy → 404.
+	if resp, _ := do(t, h, http.MethodGet, "/stats?node=ghost", "", ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown node pin status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestProxyGetAndQuote(t *testing.T) {
+	r, _ := testCluster(t, 2, 10, nil, Config{})
+	h := r.Handler()
+	resp, body := do(t, h, http.MethodGet, "/stats?node=shard-1", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var stats server.StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if len(stats.Tables) != 1 || stats.Tables[0] != "items" {
+		t.Errorf("proxied stats tables = %v, want [items]", stats.Tables)
+	}
+	resp, body = do(t, h, http.MethodPost, "/admin/quote", "q", `{"ids":[1,2,3]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("quote: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var quote server.QuoteResponse
+	if err := json.Unmarshal(body, &quote); err != nil {
+		t.Fatal(err)
+	}
+	if quote.Tuples != 3 {
+		t.Errorf("quote tuples = %d, want 3", quote.Tuples)
+	}
+}
+
+func TestRouterMetricsExported(t *testing.T) {
+	r, _ := testCluster(t, 2, 10, nil, Config{})
+	query(t, r.Handler(), "m", `SELECT * FROM items WHERE id = 1`)
+	resp, body := do(t, r.Handler(), http.MethodGet, "/metrics", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", resp.StatusCode)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"cluster_routed_total", "cluster_routed_hash_total",
+		"cluster_admission_rejected_total", "cluster_inflight_rejected_total",
+		"cluster_peer_down", "cluster_peer_errors_total",
+		"cluster_antientropy_rounds_total", "cluster_antientropy_sketch_bytes_total",
+		"cluster_antientropy_merge_lag_seconds", "cluster_nodes",
+	} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("%s missing from /metrics", name)
+		}
+	}
+	if v := m["cluster_routed_total"].(float64); v != 1 {
+		t.Errorf("cluster_routed_total = %v, want 1", v)
+	}
+	if v := m["cluster_nodes"].(float64); v != 2 {
+		t.Errorf("cluster_nodes = %v, want 2", v)
+	}
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestShardFailover kills one shard mid-workload and checks the
+// ISSUE's failover contract: reads keep flowing via re-routing, no
+// acked write is lost, and the router's /healthz names the degraded
+// peer.
+func TestShardFailover(t *testing.T) {
+	const shards = 3
+	nodes := make([]*Node, shards)
+	kills := make([]*killableTransport, shards)
+	for i := range nodes {
+		h, _ := newShard(t, 20, nil)
+		nodes[i], kills[i] = newKillableNode(fmt.Sprintf("shard-%d", i), h)
+	}
+	r, err := NewRouter(nodes, Config{Policy: PolicyHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Handler()
+
+	// Warm-up workload: writes replicate everywhere, reads succeed.
+	resp, body := query(t, h, "w", `INSERT INTO items VALUES (100, 'pre-kill')`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-kill write: HTTP %d: %s", resp.StatusCode, body)
+	}
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("reader-%d", i)
+		if resp, body := query(t, h, id, `SELECT * FROM items WHERE id = 100`); resp.StatusCode != http.StatusOK {
+			t.Fatalf("pre-kill read %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	// Kill shard 1 mid-workload.
+	kills[1].dead.Store(true)
+
+	// Every read — including those whose hash owner is the dead shard —
+	// keeps flowing, and the acked pre-kill write is still readable.
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("reader-%d", i)
+		resp, body := query(t, h, id, `SELECT v FROM items WHERE id = 100`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-kill read %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+		var q struct {
+			Rows [][]string `json:"rows"`
+		}
+		if err := json.Unmarshal(body, &q); err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Rows) != 1 || q.Rows[0][0] != "pre-kill" {
+			t.Fatalf("post-kill read %d lost the acked write: %s", i, body)
+		}
+	}
+
+	// Writes during the outage ack against the survivors and stay
+	// readable through the router.
+	resp, body = query(t, h, "w", `INSERT INTO items VALUES (200, 'during-outage')`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("outage write: HTTP %d: %s", resp.StatusCode, body)
+	}
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("outage-reader-%d", i)
+		resp, body := query(t, h, id, `SELECT v FROM items WHERE id = 200`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("outage read: HTTP %d: %s", resp.StatusCode, body)
+		}
+		var q struct {
+			Rows [][]string `json:"rows"`
+		}
+		json.Unmarshal(body, &q)
+		if len(q.Rows) != 1 || q.Rows[0][0] != "during-outage" {
+			t.Fatalf("outage write unreadable via router: %s", body)
+		}
+	}
+
+	// /healthz reports the degraded peer by name.
+	resp, body = do(t, h, http.MethodGet, "/healthz", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+	var health HealthResponse
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" {
+		t.Fatalf("health status = %q, want degraded: %s", health.Status, body)
+	}
+	downNamed := false
+	for _, p := range health.Peers {
+		if p.Name == "shard-1" && p.Status == "down" {
+			downNamed = true
+		}
+		if p.Name != "shard-1" && p.Status != "ok" {
+			t.Errorf("healthy peer %s reported %q", p.Name, p.Status)
+		}
+	}
+	if !downNamed {
+		t.Fatalf("healthz does not name shard-1 down: %s", body)
+	}
+	if v := r.peerDown.Value(); v != 1 {
+		t.Errorf("cluster_peer_down = %d, want 1", v)
+	}
+	if r.readFailover.Value() == 0 {
+		t.Error("cluster_read_failovers_total = 0; hash-owned reads never failed over")
+	}
+
+	// Revive the shard; the operator latch-clear restores full health.
+	kills[1].dead.Store(false)
+	resp, _ = do(t, h, http.MethodPost, "/admin/peer-up", "", `{"name":"shard-1"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer-up: HTTP %d", resp.StatusCode)
+	}
+	resp, body = do(t, h, http.MethodGet, "/healthz", "", "")
+	json.Unmarshal(body, &health)
+	if health.Status != "ok" {
+		t.Fatalf("post-revival health = %q, want ok: %s", health.Status, body)
+	}
+	if v := r.peerDown.Value(); v != 0 {
+		t.Errorf("post-revival cluster_peer_down = %d, want 0", v)
+	}
+}
+
+// TestAllShardsDown checks the router's terminal degradation: with no
+// healthy peer, reads and writes answer 503 instead of hanging.
+func TestAllShardsDown(t *testing.T) {
+	h0, _ := newShard(t, 10, nil)
+	node, kill := newKillableNode("only", h0)
+	r, err := NewRouter([]*Node{node}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kill.dead.Store(true)
+	// First query latches the peer down (transport error on the walk).
+	resp, _ := query(t, r.Handler(), "x", `SELECT * FROM items WHERE id = 1`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("read with dead shard: HTTP %d, want 503", resp.StatusCode)
+	}
+	// Now latched: both paths answer 503 cleanly.
+	resp, _ = query(t, r.Handler(), "x", `SELECT * FROM items WHERE id = 1`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("latched read: HTTP %d, want 503", resp.StatusCode)
+	}
+	resp, _ = query(t, r.Handler(), "x", `INSERT INTO items VALUES (5, 'x')`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("latched write: HTTP %d, want 503", resp.StatusCode)
+	}
+}

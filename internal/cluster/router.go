@@ -1,0 +1,862 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/ratelimit"
+	"repro/internal/server"
+	"repro/internal/vclock"
+)
+
+// Policy selects which healthy shard serves a read.
+type Policy int
+
+const (
+	// PolicyHash routes by consistent hash of the principal, so one
+	// principal's queries land on one shard — its detector sees the
+	// whole local stream, and anti-entropy only has to repair the
+	// adversary who deliberately rotates identities or headers.
+	PolicyHash Policy = iota
+	// PolicyRoundRobin spreads reads evenly regardless of principal.
+	PolicyRoundRobin
+	// PolicyLeastLoaded routes to the shard with the fewest live
+	// requests — delay-priced queries can pin a shard for seconds, so
+	// live in-flight counts beat any static spread.
+	PolicyLeastLoaded
+)
+
+// ParsePolicy maps the -route flag values to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "", "hash":
+		return PolicyHash, nil
+	case "rr", "roundrobin", "round-robin":
+		return PolicyRoundRobin, nil
+	case "least", "leastloaded", "least-loaded":
+		return PolicyLeastLoaded, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown routing policy %q (want hash, rr, or least)", s)
+}
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyRoundRobin:
+		return "rr"
+	case PolicyLeastLoaded:
+		return "least"
+	default:
+		return "hash"
+	}
+}
+
+// Defaults for the admission-control knobs. The per-principal rate is
+// deliberately loose — fine-grained fairness lives in each shard's
+// limiter and delay gate; the edge only stops the traffic no shard
+// should ever see.
+const (
+	DefaultAdmitRate     = 100.0
+	DefaultAdmitBurst    = 200.0
+	DefaultAdmitMax      = 65536
+	DefaultMaxInFlight   = 1024
+	DefaultExchangeEvery = 5 * time.Second
+	DefaultExportFloor   = 0.01
+)
+
+// Config parameterizes a Router. The zero value is usable.
+type Config struct {
+	// Policy is the read-routing policy.
+	Policy Policy
+	// AdmitRate and AdmitBurst shape the per-principal edge token
+	// bucket (queries/second). 0 means the defaults.
+	AdmitRate  float64
+	AdmitBurst float64
+	// AdmitMaxPrincipals bounds the edge limiter's memory.
+	AdmitMaxPrincipals int
+	// MaxInFlight caps queries in flight across the whole cluster; at
+	// the cap the router answers 429 without touching any shard.
+	MaxInFlight int
+	// VNodes is the consistent-hash virtual node count per shard.
+	VNodes int
+	// Clock drives the limiter and the anti-entropy staleness gauge.
+	// nil means the real clock.
+	Clock vclock.Clock
+	// Metrics receives the cluster_* instruments. nil means a fresh
+	// registry (served at the router's /metrics either way).
+	Metrics *metrics.Registry
+}
+
+// Router is the cluster front door. Create with NewRouter, mount via
+// Handler.
+type Router struct {
+	nodes []*Node
+	ring  *ring
+	cfg   Config
+	mux   *http.ServeMux
+	h     http.Handler
+	limit *ratelimit.IdentityLimiter
+	// allLocal is true when every node serves from this process, which
+	// makes the whole request lifecycle synchronous inside the handler
+	// — the precondition for pooling per-request scratch buffers.
+	allLocal bool
+
+	rr       counterRR
+	inflight *metrics.Gauge
+
+	routed       *metrics.Counter
+	routedPolicy *metrics.Counter
+	readFailover *metrics.Counter
+	writeFanout  *metrics.Counter
+	writeFanErr  *metrics.Counter
+	admitRej     *metrics.Counter
+	inflightRej  *metrics.Counter
+	peerErrors   *metrics.Counter
+	peerDown     *metrics.Gauge
+
+	ae struct {
+		mu        sync.Mutex
+		marks     []uint64
+		lastRound time.Time
+		stop      chan struct{}
+		done      chan struct{}
+	}
+	aeRounds     *metrics.Counter
+	aeBytes      *metrics.Counter
+	aePrincipals *metrics.Counter
+	aeRejected   *metrics.Counter
+	aeErrors     *metrics.Counter
+}
+
+// counterRR is the round-robin cursor, a mutex instead of an atomic so
+// the skip-down-peers walk stays race-simple.
+type counterRR struct {
+	mu sync.Mutex
+	n  int
+}
+
+// NewRouter fronts the given shard nodes.
+func NewRouter(nodes []*Node, cfg Config) (*Router, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	names := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == nil || n.name == "" {
+			return nil, errors.New("cluster: nil or unnamed node")
+		}
+		if names[n.name] {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.name)
+		}
+		names[n.name] = true
+	}
+	if cfg.AdmitRate <= 0 {
+		cfg.AdmitRate = DefaultAdmitRate
+	}
+	if cfg.AdmitBurst <= 0 {
+		cfg.AdmitBurst = DefaultAdmitBurst
+	}
+	if cfg.AdmitMaxPrincipals <= 0 {
+		cfg.AdmitMaxPrincipals = DefaultAdmitMax
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	limit, err := ratelimit.NewIdentityLimiter(cfg.AdmitRate, cfg.AdmitBurst, cfg.AdmitMaxPrincipals, cfg.Clock)
+	if err != nil {
+		return nil, err
+	}
+
+	allLocal := true
+	for _, n := range nodes {
+		if n.local == nil {
+			allLocal = false
+			break
+		}
+	}
+	r := &Router{
+		nodes:    nodes,
+		ring:     newRing(len(nodes), cfg.VNodes),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		limit:    limit,
+		allLocal: allLocal,
+	}
+	m := cfg.Metrics
+	r.inflight = m.Gauge("cluster_inflight")
+	r.routed = m.Counter("cluster_routed_total")
+	r.routedPolicy = m.Counter("cluster_routed_" + cfg.Policy.String() + "_total")
+	r.readFailover = m.Counter("cluster_read_failovers_total")
+	r.writeFanout = m.Counter("cluster_write_fanouts_total")
+	r.writeFanErr = m.Counter("cluster_write_fanout_errors_total")
+	r.admitRej = m.Counter("cluster_admission_rejected_total")
+	r.inflightRej = m.Counter("cluster_inflight_rejected_total")
+	r.peerErrors = m.Counter("cluster_peer_errors_total")
+	r.peerDown = m.Gauge("cluster_peer_down")
+	r.aeRounds = m.Counter("cluster_antientropy_rounds_total")
+	r.aeBytes = m.Counter("cluster_antientropy_sketch_bytes_total")
+	r.aePrincipals = m.Counter("cluster_antientropy_principals_total")
+	r.aeRejected = m.Counter("cluster_antientropy_rejected_total")
+	r.aeErrors = m.Counter("cluster_antientropy_errors_total")
+	m.GaugeFunc("cluster_nodes", func() float64 { return float64(len(nodes)) })
+	m.GaugeFunc("cluster_antientropy_merge_lag_seconds", r.mergeLag)
+	r.ae.marks = make([]uint64, len(nodes))
+
+	r.mux.HandleFunc("POST /query", r.handleQuery)
+	r.mux.HandleFunc("POST /register", r.handleRegister)
+	r.mux.HandleFunc("GET /healthz", r.handleHealth)
+	r.mux.HandleFunc("GET /metrics", m.Handler().ServeHTTP)
+	r.mux.HandleFunc("GET /stats", r.proxyGet("/stats"))
+	r.mux.HandleFunc("GET /admin/topk", r.proxyGet("/admin/topk"))
+	r.mux.HandleFunc("GET /admin/suspects", r.proxyGet("/admin/suspects"))
+	r.mux.HandleFunc("POST /admin/quote", r.handleQuoteProxy)
+	r.mux.HandleFunc("POST /admin/peer-up", r.handlePeerUp)
+	r.h = server.WithRecovery(http.HandlerFunc(r.dispatch), m.Counter("cluster_panics_total"))
+	return r, nil
+}
+
+// dispatch short-circuits the mux for POST /query — the hot path every
+// point query takes — and defers everything else (including the 405
+// for wrong-method /query) to the full route table.
+func (r *Router) dispatch(w http.ResponseWriter, req *http.Request) {
+	if req.Method == http.MethodPost && req.URL.Path == "/query" {
+		r.handleQuery(w, req)
+		return
+	}
+	r.mux.ServeHTTP(w, req)
+}
+
+// Handler returns the router's HTTP handler, panic-recovery wrapped
+// like a single node's front door.
+func (r *Router) Handler() http.Handler { return r.h }
+
+// Nodes returns the routed shard set.
+func (r *Router) Nodes() []*Node { return r.nodes }
+
+func identity(req *http.Request) string {
+	if id := req.Header.Get("X-Identity"); id != "" {
+		return id
+	}
+	return req.RemoteAddr
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, server.ErrorResponse{Error: err.Error()})
+}
+
+// healthy returns the indices of peers not latched down.
+func (r *Router) healthy() []int {
+	out := make([]int, 0, len(r.nodes))
+	for i, n := range r.nodes {
+		if !n.down.Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// syncPeerDown recounts the down-latch gauge after any latch change.
+func (r *Router) syncPeerDown() {
+	var down int64
+	for _, n := range r.nodes {
+		if n.down.Load() {
+			down++
+		}
+	}
+	r.peerDown.Set(down)
+}
+
+// isSelect reports whether sql's first keyword is SELECT — the only
+// read-only statement the engine's grammar has. Everything else
+// (INSERT, UPDATE, DELETE, CREATE, and garbage the shard will 400)
+// takes the write fan-out path.
+func isSelect(sql string) bool {
+	s := strings.TrimLeft(sql, " \t\r\n(")
+	return len(s) >= 6 && strings.EqualFold(s[:6], "SELECT")
+}
+
+// bodyScratch pools the per-query forwarding state the hot path would
+// otherwise allocate fresh: the read buffer and the re-readable reader
+// the shard consumes the body through. Only safe when the router and
+// every shard share a process (Router.allLocal) — then the request is
+// fully served before handleQuery returns and the scratch cannot
+// outlive its pool turn.
+type bodyScratch struct {
+	bytes.Reader
+	buf [2048]byte
+}
+
+func (s *bodyScratch) Close() error { return nil }
+
+var scratchPool = sync.Pool{New: func() any { return new(bodyScratch) }}
+
+// readBody drains r into the scratch buffer, spilling to a heap slice
+// only for oversized bodies (bulk writes — off the hot path anyway).
+func readBody(r io.Reader, s *bodyScratch) ([]byte, error) {
+	n := 0
+	for {
+		m, err := r.Read(s.buf[n:])
+		n += m
+		if err == io.EOF {
+			return s.buf[:n], nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n == len(s.buf) {
+			rest, err := io.ReadAll(r)
+			if err != nil {
+				return nil, err
+			}
+			return append(append(make([]byte, 0, n+len(rest)), s.buf[:n]...), rest...), nil
+		}
+	}
+}
+
+var sqlKeyToken = []byte(`"sql"`)
+
+// sniffSelect classifies a raw /query body without a full JSON decode.
+// certain is false whenever the body's shape leaves ANY doubt — a key
+// before "sql", duplicate "sql" keys (encoding/json keeps the last,
+// the sniffer sees the first), escape sequences or a closing quote in
+// the statement's first keyword — and the caller must fall back to
+// json.Unmarshal. The asymmetric stakes set the bar: misrouting a read
+// to the write fan-out just burns replica CPU, but misrouting a write
+// to a single shard diverges the replicas, so the fast path only
+// answers when the full decode could not possibly disagree.
+func sniffSelect(body []byte) (isSel, certain bool) {
+	if bytes.Count(body, sqlKeyToken) != 1 {
+		return false, false
+	}
+	skip := func(i int) int {
+		for i < len(body) {
+			switch body[i] {
+			case ' ', '\t', '\r', '\n':
+				i++
+			default:
+				return i
+			}
+		}
+		return i
+	}
+	i := skip(0)
+	if i >= len(body) || body[i] != '{' {
+		return false, false
+	}
+	i = skip(i + 1)
+	if !bytes.HasPrefix(body[i:], sqlKeyToken) {
+		return false, false
+	}
+	i = skip(i + len(sqlKeyToken))
+	if i >= len(body) || body[i] != ':' {
+		return false, false
+	}
+	i = skip(i + 1)
+	if i >= len(body) || body[i] != '"' {
+		return false, false
+	}
+	i++
+	// Raw spaces and parens before the keyword mirror isSelect's trim;
+	// escaped whitespace (\t, \n,  ) has a backslash the keyword
+	// check below rejects, and raw control bytes are invalid JSON the
+	// shard will 400 on either path.
+	for i < len(body) && (body[i] == ' ' || body[i] == '(') {
+		i++
+	}
+	if i+6 > len(body) {
+		return false, false
+	}
+	const want = "select"
+	for j := 0; j < 6; j++ {
+		c := body[i+j]
+		if c == '\\' || c == '"' {
+			return false, false
+		}
+		if c|0x20 != want[j] {
+			return false, true // a plain first keyword that is not SELECT
+		}
+	}
+	return true, true
+}
+
+// readOrder returns the node indices to try for a read, preferred
+// shard first, per the configured policy. Down peers are excluded;
+// later entries are the failover sequence.
+func (r *Router) readOrder(principal string) []int {
+	switch r.cfg.Policy {
+	case PolicyRoundRobin:
+		h := r.healthy()
+		if len(h) == 0 {
+			return nil
+		}
+		r.rr.mu.Lock()
+		start := r.rr.n % len(h)
+		r.rr.n++
+		r.rr.mu.Unlock()
+		out := make([]int, 0, len(h))
+		out = append(out, h[start:]...)
+		return append(out, h[:start]...)
+	case PolicyLeastLoaded:
+		h := r.healthy()
+		if len(h) == 0 {
+			return nil
+		}
+		best := 0
+		for i := 1; i < len(h); i++ {
+			if r.nodes[h[i]].inflight.Load() < r.nodes[h[best]].inflight.Load() {
+				best = i
+			}
+		}
+		h[0], h[best] = h[best], h[0]
+		return h
+	default: // PolicyHash
+		seq := r.ring.sequence(principal)
+		out := seq[:0]
+		for _, i := range seq {
+			if !r.nodes[i].down.Load() {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+// forward sends body to one node as a POST, preserving the identity
+// header. The caller owns the response body.
+//
+// reuse=true redirects the *inbound* request at the node in place,
+// reverse-proxy style — no second request allocation, headers pass
+// through untouched. Only legal when the caller holds the request
+// exclusively (single-target reads, not concurrent fan-out) and the
+// node is local (client transports reject server-form requests); the
+// downstream handler runs synchronously inside this call, so the
+// mutation cannot race the client connection.
+func (r *Router) forward(req *http.Request, n *Node, path string, body []byte, reuse bool) (*http.Response, error) {
+	var out *http.Request
+	if reuse && n.local != nil {
+		u, err := n.urlFor(path)
+		if err != nil {
+			return nil, err
+		}
+		uc := *u
+		out = req
+		out.URL = &uc
+		out.Host = uc.Host
+		out.RequestURI = ""
+		out.Body = io.NopCloser(bytes.NewReader(body))
+		out.ContentLength = int64(len(body))
+		// Preserve the client address for shards falling back to
+		// RemoteAddr identities.
+		out.Header.Set("X-Forwarded-For", req.RemoteAddr)
+	} else {
+		nr, err := http.NewRequestWithContext(req.Context(), http.MethodPost, n.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		nr.Header.Set("Content-Type", "application/json")
+		if id := req.Header.Get("X-Identity"); id != "" {
+			nr.Header.Set("X-Identity", id)
+		}
+		nr.Header.Set("X-Forwarded-For", req.RemoteAddr)
+		out = nr
+	}
+	resp, err := n.do(out)
+	if err != nil {
+		r.peerErrors.Inc()
+		r.syncPeerDown()
+		return nil, err
+	}
+	return resp, nil
+}
+
+// relay copies a shard response to the client verbatim.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	if ct := req.Header.Get("Content-Type"); ct != "" && ct != "application/json" {
+		writeErr(w, http.StatusUnsupportedMediaType, fmt.Errorf("content type %q; want application/json", ct))
+		return
+	}
+	var scratch *bodyScratch
+	var body []byte
+	var err error
+	if r.allLocal {
+		scratch = scratchPool.Get().(*bodyScratch)
+		defer scratchPool.Put(scratch)
+		body, err = readBody(req.Body, scratch)
+	} else {
+		body, err = io.ReadAll(req.Body)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	isSel, certain := sniffSelect(body)
+	if !certain {
+		var q server.QueryRequest
+		if err := json.Unmarshal(body, &q); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		if q.SQL == "" {
+			writeErr(w, http.StatusBadRequest, errors.New("empty sql"))
+			return
+		}
+		isSel = isSelect(q.SQL)
+	}
+
+	// Admission: the global in-flight cap, then the per-principal
+	// bucket — both answered at the edge, before any shard is touched.
+	if cur := r.inflight.Value(); cur >= int64(r.cfg.MaxInFlight) {
+		r.inflightRej.Inc()
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Errorf("cluster at capacity (%d queries in flight)", cur))
+		return
+	}
+	principal := identity(req)
+	if !r.limit.Allow(principal) {
+		r.admitRej.Inc()
+		writeErr(w, http.StatusTooManyRequests,
+			errors.New("edge rate limit exceeded; retry later"))
+		return
+	}
+	r.inflight.Inc()
+	defer r.inflight.Dec()
+	r.routed.Inc()
+	r.routedPolicy.Inc()
+
+	if isSel {
+		r.routeRead(w, req, principal, body, scratch)
+		return
+	}
+	r.fanoutWrite(w, req, "/query", body)
+}
+
+// routeRead tries the policy's preference sequence until a shard
+// answers. An unreachable shard latches down and the read fails over;
+// a shard that answers — any status — ends the walk.
+func (r *Router) routeRead(w http.ResponseWriter, req *http.Request, principal string, body []byte, scratch *bodyScratch) {
+	// Hash-affinity fast path: healthy owner, no preference-sequence
+	// allocation, inbound request reused. This is the shape virtually
+	// every point query takes.
+	tried := -1
+	if r.cfg.Policy == PolicyHash {
+		if i := r.ring.owner(principal); !r.nodes[i].down.Load() {
+			if r.nodes[i].direct != nil {
+				r.serveDirect(w, req, r.nodes[i], "/query", body, scratch)
+				return
+			}
+			resp, err := r.forward(req, r.nodes[i], "/query", body, true)
+			if err == nil {
+				relay(w, resp)
+				return
+			}
+			tried = i
+		}
+	}
+	first := true
+	for _, i := range r.readOrder(principal) {
+		if i == tried {
+			continue // already failed above; latched down since
+		}
+		if !first || tried >= 0 {
+			r.readFailover.Inc()
+		}
+		first = false
+		if r.nodes[i].direct != nil {
+			r.serveDirect(w, req, r.nodes[i], "/query", body, scratch)
+			return
+		}
+		resp, err := r.forward(req, r.nodes[i], "/query", body, true)
+		if err != nil {
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	writeErr(w, http.StatusServiceUnavailable, errors.New("no healthy shards"))
+}
+
+// serveDirect serves a single-target read by invoking a local shard's
+// handler on the client's own ResponseWriter — no recorder, no
+// response copy, no relay. Only nodes with a direct handler qualify: a
+// shard living in the router's process cannot die independently of the
+// router, so skipping the transport layer forfeits no failover.
+func (r *Router) serveDirect(w http.ResponseWriter, req *http.Request, n *Node, path string, body []byte, scratch *bodyScratch) {
+	u, err := n.urlFor(path)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	// The cached URL is handed out by pointer: handlers treat req.URL
+	// as read-only (the shard mux only matches on it), so sharing one
+	// parsed value across requests is safe and saves the per-query
+	// copy.
+	req.URL = u
+	req.Host = u.Host
+	req.RequestURI = ""
+	if scratch != nil {
+		scratch.Reset(body)
+		req.Body = scratch
+	} else {
+		req.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	req.ContentLength = int64(len(body))
+	if req.RemoteAddr != "" {
+		req.Header.Set("X-Forwarded-For", req.RemoteAddr)
+	}
+	n.inflight.Add(1)
+	n.direct.ServeHTTP(w, req)
+	n.inflight.Add(-1)
+}
+
+// fanoutWrite broadcasts a write to every healthy shard concurrently:
+// each shard holds a full replica, so reads can fail over without
+// resync. The write acks once every reachable shard has answered and
+// at least one accepted it; shards that died mid-write latch down and
+// are excluded from routing, so an acked write stays readable on the
+// survivors that hold it.
+func (r *Router) fanoutWrite(w http.ResponseWriter, req *http.Request, path string, body []byte) {
+	targets := r.healthy()
+	if len(targets) == 0 {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("no healthy shards"))
+		return
+	}
+	r.writeFanout.Inc()
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	results := make([]result, len(targets))
+	var wg sync.WaitGroup
+	for slot, i := range targets {
+		wg.Add(1)
+		go func(slot, i int) {
+			defer wg.Done()
+			resp, err := r.forward(req, r.nodes[i], path, body, false)
+			results[slot] = result{resp: resp, err: err}
+		}(slot, i)
+	}
+	wg.Wait()
+
+	// Prefer relaying a success; otherwise relay the first shard
+	// answer (they agree on deterministic rejections like a parse
+	// error); all-transport-failure is a 503.
+	var first *http.Response
+	var ok *http.Response
+	for _, res := range results {
+		if res.err != nil {
+			r.writeFanErr.Inc()
+			continue
+		}
+		if res.resp.StatusCode == http.StatusOK && ok == nil {
+			ok = res.resp
+		} else if first == nil && res.resp != ok {
+			first = res.resp
+		}
+	}
+	if ok == nil && first == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("write reached no shard"))
+		return
+	}
+	chosen := ok
+	if chosen == nil {
+		chosen = first
+	}
+	for _, res := range results {
+		if res.resp != nil && res.resp != chosen {
+			res.resp.Body.Close()
+		}
+	}
+	relay(w, chosen)
+}
+
+// handleRegister broadcasts a registration to every healthy shard so
+// the principal exists wherever its queries may route.
+func (r *Router) handleRegister(w http.ResponseWriter, req *http.Request) {
+	if ct := req.Header.Get("Content-Type"); ct != "" && ct != "application/json" {
+		writeErr(w, http.StatusUnsupportedMediaType, fmt.Errorf("content type %q; want application/json", ct))
+		return
+	}
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	var reg server.RegisterRequest
+	if err := json.Unmarshal(body, &reg); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if reg.Identity == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("empty identity"))
+		return
+	}
+	r.fanoutWrite(w, req, "/register", body)
+}
+
+// PeerHealth is one peer's entry in the router's /healthz body.
+type PeerHealth struct {
+	Name     string `json:"name"`
+	Status   string `json:"status"`
+	InFlight int64  `json:"in_flight"`
+}
+
+// HealthResponse is the router's /healthz body: "ok" with every peer
+// up, "degraded" while any peer is latched down (the cluster still
+// serves — reads route around the hole, writes go to the survivors).
+type HealthResponse struct {
+	Status string       `json:"status"`
+	Policy string       `json:"policy"`
+	Peers  []PeerHealth `json:"peers"`
+}
+
+func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	out := HealthResponse{Status: "ok", Policy: r.cfg.Policy.String()}
+	for _, n := range r.nodes {
+		st := "ok"
+		if n.down.Load() {
+			st = "down"
+			out.Status = "degraded"
+		}
+		out.Peers = append(out.Peers, PeerHealth{Name: n.name, Status: st, InFlight: n.inflight.Load()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// proxyGet forwards a GET (with its query string) to the first healthy
+// shard — ?node=<name> pins a specific one. Shard-local diagnostics
+// like /stats are per-replica; the pin lets operators walk the fleet.
+func (r *Router) proxyGet(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		var n *Node
+		if want := req.URL.Query().Get("node"); want != "" {
+			for _, cand := range r.nodes {
+				if cand.name == want {
+					n = cand
+					break
+				}
+			}
+			if n == nil {
+				writeErr(w, http.StatusNotFound, fmt.Errorf("unknown node %q", want))
+				return
+			}
+		} else {
+			h := r.healthy()
+			if len(h) == 0 {
+				writeErr(w, http.StatusServiceUnavailable, errors.New("no healthy shards"))
+				return
+			}
+			n = r.nodes[h[0]]
+		}
+		url := n.base + path
+		if raw := req.URL.Query(); len(raw) > 0 {
+			raw.Del("node")
+			if enc := raw.Encode(); enc != "" {
+				url += "?" + enc
+			}
+		}
+		out, err := http.NewRequestWithContext(req.Context(), http.MethodGet, url, nil)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp, err := n.do(out)
+		if err != nil {
+			r.peerErrors.Inc()
+			r.syncPeerDown()
+			writeErr(w, http.StatusBadGateway, fmt.Errorf("shard %s unreachable: %w", n.name, err))
+			return
+		}
+		relay(w, resp)
+	}
+}
+
+// handleQuoteProxy forwards an extraction quote to the principal's
+// hash-owner shard, with the same edge hardening a shard applies.
+func (r *Router) handleQuoteProxy(w http.ResponseWriter, req *http.Request) {
+	if ct := req.Header.Get("Content-Type"); ct != "" && ct != "application/json" {
+		writeErr(w, http.StatusUnsupportedMediaType, fmt.Errorf("content type %q; want application/json", ct))
+		return
+	}
+	body, err := io.ReadAll(req.Body)
+	if err != nil || !json.Valid(body) {
+		writeErr(w, http.StatusBadRequest, errors.New("malformed request body"))
+		return
+	}
+	for _, i := range r.readOrder(identity(req)) {
+		resp, err := r.forward(req, r.nodes[i], "/admin/quote", body, true)
+		if err != nil {
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	writeErr(w, http.StatusServiceUnavailable, errors.New("no healthy shards"))
+}
+
+// PeerUpRequest is the POST /admin/peer-up body: an operator's
+// assertion that the named peer is reachable again (e.g. after a
+// restart plus resync), clearing its down latch.
+type PeerUpRequest struct {
+	Name string `json:"name"`
+}
+
+func (r *Router) handlePeerUp(w http.ResponseWriter, req *http.Request) {
+	if ct := req.Header.Get("Content-Type"); ct != "" && ct != "application/json" {
+		writeErr(w, http.StatusUnsupportedMediaType, fmt.Errorf("content type %q; want application/json", ct))
+		return
+	}
+	var pr PeerUpRequest
+	if err := json.NewDecoder(req.Body).Decode(&pr); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if pr.Name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("empty peer name"))
+		return
+	}
+	for _, n := range r.nodes {
+		if n.name == pr.Name {
+			n.down.Store(false)
+			// Reset every source watermark: the revived peer missed
+			// rounds (and may have restarted), so the next exchange
+			// re-pulls full history and re-converges it.
+			r.ae.mu.Lock()
+			for j := range r.ae.marks {
+				r.ae.marks[j] = 0
+			}
+			r.ae.mu.Unlock()
+			r.syncPeerDown()
+			writeJSON(w, http.StatusOK, map[string]string{"status": "up", "name": pr.Name})
+			return
+		}
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("unknown peer %q", pr.Name))
+}

@@ -120,8 +120,13 @@ type principalState struct {
 	hll *HLL
 	sig *Signature
 	// lastSeen is the detector-wide batch sequence at the principal's
-	// most recent observation; eviction removes the minimum.
+	// most recent observation; eviction removes the minimum. Absorb
+	// bumps it too, so remote-hot principals survive eviction.
 	lastSeen uint64
+	// localSeen is the sequence of the most recent *local* observation.
+	// ExportSince filters on it, so sketches absorbed from peers are
+	// never re-exported — anti-entropy cannot echo.
+	localSeen uint64
 	// ownCov is the cached own coverage estimate, refreshed per batch.
 	ownCov float64
 	// Coalition attribution from the last clustering sweep. coalition
@@ -163,6 +168,9 @@ type Detector struct {
 	escalations *metrics.Counter
 
 	perPrincipalBytes int
+	// sigWidth is the filled signature slot count, the width Absorb
+	// requires of incoming snapshots.
+	sigWidth int
 }
 
 // NewDetector builds a detector from cfg (zero fields filled with
@@ -188,6 +196,7 @@ func NewDetector(cfg Config) (*Detector, error) {
 	}
 	probe := newState(cfg)
 	d.perPrincipalBytes = probe.hll.SizeBytes() + probe.sig.SizeBytes()
+	d.sigWidth = len(probe.sig.slots)
 	return d, nil
 }
 
@@ -230,6 +239,7 @@ func (d *Detector) ObserveBatch(principal string, ids []uint64) float64 {
 		s.entries[principal] = st
 	}
 	st.lastSeen = seq
+	st.localSeen = seq
 	for _, id := range ids {
 		h := mix64(id)
 		st.hll.Add(h)

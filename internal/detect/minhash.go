@@ -71,6 +71,25 @@ func (s *Signature) Jaccard(other *Signature) float64 {
 	return float64(match) / float64(used)
 }
 
+// Merge folds other into s (element-wise minimum), so the merged
+// signature is exactly the signature of the unioned tuple stream: each
+// slot holds the minimum hash that landed in it across both streams,
+// which is the same value a single signature fed both streams would
+// hold. This is the property the cluster's anti-entropy exchange leans
+// on — per-shard partial signatures of one principal union losslessly
+// into the principal's global signature, in any order, any number of
+// times. Panics if the widths differ, mirroring HLL.Merge.
+func (s *Signature) Merge(other *Signature) {
+	if len(s.slots) != len(other.slots) {
+		panic("detect: merging signatures of different width")
+	}
+	for i, v := range other.slots {
+		if v < s.slots[i] {
+			s.slots[i] = v
+		}
+	}
+}
+
 // Clone returns an independent copy for lock-free clustering snapshots.
 func (s *Signature) Clone() *Signature {
 	c := &Signature{slots: make([]uint64, len(s.slots)), mask: s.mask}

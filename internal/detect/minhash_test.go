@@ -108,3 +108,72 @@ func TestSignatureWidthRounding(t *testing.T) {
 		t.Errorf("k=1 floored to %d, want 16", got)
 	}
 }
+
+// TestMinHashMergeEqualsUnion is the property the anti-entropy exchange
+// relies on, mirroring TestHLLMergeEqualsUnion: merging the signatures
+// of two tuple streams yields slot-for-slot the signature of the
+// concatenated stream, for overlapping, disjoint, and nested streams.
+func TestMinHashMergeEqualsUnion(t *testing.T) {
+	cases := []struct {
+		name     string
+		aLo, aHi int
+		bLo, bHi int
+	}{
+		{"overlapping", 0, 3000, 2000, 6000},
+		{"disjoint", 0, 2500, 2500, 5000},
+		{"nested", 0, 5000, 1000, 2000},
+		{"one-empty", 0, 3000, 3000, 3000},
+	}
+	for _, c := range cases {
+		a, b, u := NewSignature(256), NewSignature(256), NewSignature(256)
+		addRange(a, c.aLo, c.aHi)
+		addRange(b, c.bLo, c.bHi)
+		addRange(u, c.aLo, c.aHi)
+		addRange(u, c.bLo, c.bHi)
+		a.Merge(b)
+		for i, v := range a.slots {
+			if v != u.slots[i] {
+				t.Fatalf("%s: slot %d: merged %d != union %d", c.name, i, v, u.slots[i])
+			}
+		}
+		if j := a.Jaccard(u); j != 1 {
+			t.Errorf("%s: merged vs union Jaccard %v, want 1", c.name, j)
+		}
+	}
+}
+
+// TestMinHashMergeIdempotentCommutative: absorb order and repetition must
+// not matter — gossip delivers the same snapshot many times, from many
+// peers, in arbitrary order.
+func TestMinHashMergeIdempotentCommutative(t *testing.T) {
+	a, b := NewSignature(128), NewSignature(128)
+	addRange(a, 0, 1000)
+	addRange(b, 500, 1500)
+
+	ab := a.Clone()
+	ab.Merge(b)
+	ba := b.Clone()
+	ba.Merge(a)
+	for i := range ab.slots {
+		if ab.slots[i] != ba.slots[i] {
+			t.Fatalf("slot %d: a∪b %d != b∪a %d", i, ab.slots[i], ba.slots[i])
+		}
+	}
+	again := ab.Clone()
+	again.Merge(b)
+	again.Merge(ab)
+	for i := range again.slots {
+		if again.slots[i] != ab.slots[i] {
+			t.Fatalf("slot %d: re-merge changed %d -> %d", i, ab.slots[i], again.slots[i])
+		}
+	}
+}
+
+func TestMinHashMergeWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched widths did not panic")
+		}
+	}()
+	NewSignature(256).Merge(NewSignature(64))
+}

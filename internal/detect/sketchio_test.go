@@ -1,0 +1,223 @@
+package detect
+
+import (
+	"testing"
+)
+
+func TestHLLMarshalRoundtrip(t *testing.T) {
+	h := NewHLL(10)
+	for i := uint64(0); i < 5000; i++ {
+		h.Add(mix64(i))
+	}
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalHLL(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.p != h.p {
+		t.Fatalf("precision %d, want %d", got.p, h.p)
+	}
+	for i := range h.reg {
+		if got.reg[i] != h.reg[i] {
+			t.Fatalf("register %d: %d, want %d", i, got.reg[i], h.reg[i])
+		}
+	}
+	if got.Estimate() != h.Estimate() {
+		t.Fatalf("estimate %v, want %v (accumulators not rebuilt)", got.Estimate(), h.Estimate())
+	}
+	if got.sum != h.sum || got.zeros != h.zeros {
+		t.Fatalf("accumulators sum=%v zeros=%d, want sum=%v zeros=%d", got.sum, got.zeros, h.sum, h.zeros)
+	}
+}
+
+func TestSignatureMarshalRoundtrip(t *testing.T) {
+	s := NewSignature(256)
+	for i := uint64(0); i < 5000; i++ {
+		s.Add(mix64(i))
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalSignature(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(got.slots) != len(s.slots) || got.mask != s.mask {
+		t.Fatalf("width %d mask %d, want %d %d", len(got.slots), got.mask, len(s.slots), s.mask)
+	}
+	if j := got.Jaccard(s); j != 1 {
+		t.Fatalf("roundtripped Jaccard = %v, want 1", j)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	goodHLL, _ := NewHLL(10).MarshalBinary()
+	goodSig, _ := NewSignature(256).MarshalBinary()
+
+	hllCases := map[string][]byte{
+		"empty":           nil,
+		"short":           {hllWireVersion},
+		"bad version":     append([]byte{99}, goodHLL[1:]...),
+		"bad precision":   append([]byte{hllWireVersion, 3}, goodHLL[2:]...),
+		"truncated":       goodHLL[:len(goodHLL)-1],
+		"impossible rank": func() []byte { b := append([]byte(nil), goodHLL...); b[2] = 200; return b }(),
+	}
+	for name, data := range hllCases {
+		if _, err := UnmarshalHLL(data); err == nil {
+			t.Errorf("UnmarshalHLL accepted %s payload", name)
+		}
+	}
+
+	sigCases := map[string][]byte{
+		"empty":       nil,
+		"short":       {sigWireVersion},
+		"bad version": append([]byte{99}, goodSig[1:]...),
+		"huge width":  {sigWireVersion, 40, 0, 0},
+		"tiny width":  {sigWireVersion, 2, 0, 0},
+		"truncated":   goodSig[:len(goodSig)-3],
+	}
+	for name, data := range sigCases {
+		if _, err := UnmarshalSignature(data); err == nil {
+			t.Errorf("UnmarshalSignature accepted %s payload", name)
+		}
+	}
+}
+
+func observe(t *testing.T, d *Detector, principal string, lo, hi uint64) {
+	t.Helper()
+	ids := make([]uint64, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		ids = append(ids, i)
+	}
+	d.ObserveBatch(principal, ids)
+}
+
+func TestExportSinceWatermarkAndFloor(t *testing.T) {
+	d, err := NewDetector(Config{CatalogSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observe(t, d, "heavy", 0, 600)  // coverage ~0.6
+	observe(t, d, "light", 0, 5)    // coverage ~0.005
+
+	snaps, mark := d.ExportSince(0, 0.1)
+	if len(snaps) != 1 || snaps[0].Principal != "heavy" {
+		t.Fatalf("floor export = %v, want only heavy", snaps)
+	}
+	if snaps[0].WireBytes() == 0 {
+		t.Fatal("snapshot reports zero wire bytes")
+	}
+
+	// Nothing observed since the watermark → nothing to export.
+	if again, _ := d.ExportSince(mark, 0); len(again) != 0 {
+		t.Fatalf("export past watermark returned %d snapshots", len(again))
+	}
+
+	// A fresh observation moves heavy past the watermark again.
+	observe(t, d, "heavy", 600, 650)
+	fresh, _ := d.ExportSince(mark, 0.1)
+	if len(fresh) != 1 || fresh[0].Principal != "heavy" {
+		t.Fatalf("post-observation export = %v, want heavy", fresh)
+	}
+
+	// No floor exports everyone.
+	all, _ := d.ExportSince(0, 0)
+	if len(all) != 2 {
+		t.Fatalf("floorless export returned %d principals, want 2", len(all))
+	}
+}
+
+func TestAbsorbUnionEqualsLocal(t *testing.T) {
+	// Split one principal's stream across two detectors, exchange
+	// snapshots, and check the absorbed union matches a single detector
+	// that saw the whole stream.
+	cfg := Config{CatalogSize: 1000}
+	a, _ := NewDetector(cfg)
+	b, _ := NewDetector(cfg)
+	whole, _ := NewDetector(cfg)
+
+	observe(t, a, "p", 0, 400)
+	observe(t, b, "p", 300, 800)
+	observe(t, whole, "p", 0, 400)
+	observe(t, whole, "p", 300, 800)
+
+	snaps, _ := b.ExportSince(0, 0)
+	merged, rejected := a.Absorb(snaps)
+	if merged != 1 || rejected != 0 {
+		t.Fatalf("absorb = (%d merged, %d rejected), want (1, 0)", merged, rejected)
+	}
+
+	st := a.shard("p").entries["p"]
+	want := whole.shard("p").entries["p"]
+	if st.hll.Estimate() != want.hll.Estimate() {
+		t.Fatalf("merged estimate %v, want %v", st.hll.Estimate(), want.hll.Estimate())
+	}
+	if j := st.sig.Jaccard(want.sig); j != 1 {
+		t.Fatalf("merged signature Jaccard vs whole-stream = %v, want 1", j)
+	}
+
+	// Absorb is idempotent: re-absorbing the same snapshots changes nothing.
+	before := st.hll.Estimate()
+	if m, r := a.Absorb(snaps); m != 1 || r != 0 {
+		t.Fatalf("re-absorb = (%d, %d), want (1, 0)", m, r)
+	}
+	if got := st.hll.Estimate(); got != before {
+		t.Fatalf("re-absorb moved estimate %v → %v", before, got)
+	}
+}
+
+func TestAbsorbEscalatesMultiplier(t *testing.T) {
+	cfg := Config{CatalogSize: 1000}
+	a, _ := NewDetector(cfg)
+	b, _ := NewDetector(cfg)
+
+	// Locally quiet on a, catalog-scale on b.
+	observe(t, a, "p", 0, 10)
+	observe(t, b, "p", 0, 900)
+
+	if m := a.Multiplier("p"); m != 1 {
+		t.Fatalf("pre-absorb multiplier %v, want 1", m)
+	}
+	snaps, _ := b.ExportSince(0, 0)
+	a.Absorb(snaps)
+	if m := a.Multiplier("p"); m <= 1 {
+		t.Fatalf("post-absorb multiplier %v, want > 1", m)
+	}
+}
+
+func TestAbsorbDoesNotMarkForExport(t *testing.T) {
+	cfg := Config{CatalogSize: 1000}
+	a, _ := NewDetector(cfg)
+	b, _ := NewDetector(cfg)
+	observe(t, b, "p", 0, 500)
+
+	_, mark := a.ExportSince(0, 0)
+	snaps, _ := b.ExportSince(0, 0)
+	a.Absorb(snaps)
+	if echo, _ := a.ExportSince(mark, 0); len(echo) != 0 {
+		t.Fatalf("absorbed sketch re-exported: %v", echo)
+	}
+}
+
+func TestAbsorbRejectsMismatchedDimensions(t *testing.T) {
+	a, _ := NewDetector(Config{CatalogSize: 1000})
+	otherP, _ := NewDetector(Config{CatalogSize: 1000, HLLPrecision: 12})
+	otherW, _ := NewDetector(Config{CatalogSize: 1000, SignatureSlots: 64})
+	observe(t, otherP, "p", 0, 100)
+	observe(t, otherW, "q", 0, 100)
+
+	snapsP, _ := otherP.ExportSince(0, 0)
+	snapsW, _ := otherW.ExportSince(0, 0)
+	bad := append(append([]SketchSnapshot{{Principal: "", HLL: nil, Sig: nil}}, snapsP...), snapsW...)
+	merged, rejected := a.Absorb(bad)
+	if merged != 0 || rejected != 3 {
+		t.Fatalf("absorb = (%d merged, %d rejected), want (0, 3)", merged, rejected)
+	}
+	if n := a.TrackedPrincipals(); n != 0 {
+		t.Fatalf("rejected snapshots created %d principals", n)
+	}
+}

@@ -66,6 +66,10 @@ func New(shield *core.Shield, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /admin/topk", s.handleTopK)
 	s.mux.HandleFunc("POST /admin/quote", s.handleQuote)
 	s.mux.HandleFunc("GET /admin/suspects", s.handleSuspects)
+	// Anti-entropy surface for cluster mode: peers (or the router's
+	// exchanger) pull sketch deltas with GET and push merges with POST.
+	s.mux.HandleFunc("GET /admin/sketches", s.handleSketchExport)
+	s.mux.HandleFunc("POST /admin/sketches", s.handleSketchAbsorb)
 	s.handler = WithRecovery(s.mux, shield.Metrics().Counter("server_panics_total"))
 	return s, nil
 }
@@ -376,6 +380,92 @@ func (s *Server) handleSuspects(w http.ResponseWriter, r *http.Request) {
 		suspects = []detect.Suspect{}
 	}
 	writeJSON(w, http.StatusOK, SuspectsResponse{Enabled: true, Suspects: suspects})
+}
+
+// SketchPage is the GET /admin/sketches response: the per-principal
+// sketch snapshots observed locally since the requested watermark, plus
+// the sequence to pass as ?since= on the next pull. Enabled is false
+// when the shield runs without a detector (the page is then empty and
+// Since is 0 — there is nothing to exchange).
+type SketchPage struct {
+	Enabled  bool                    `json:"enabled"`
+	Since    uint64                  `json:"since"`
+	Sketches []detect.SketchSnapshot `json:"sketches"`
+}
+
+// SketchAbsorbRequest is the POST /admin/sketches request body.
+type SketchAbsorbRequest struct {
+	Sketches []detect.SketchSnapshot `json:"sketches"`
+}
+
+// SketchAbsorbResponse reports the merge outcome. Rejected counts
+// snapshots that failed to decode or whose sketch dimensions disagree
+// with this node's detector configuration.
+type SketchAbsorbResponse struct {
+	Enabled  bool `json:"enabled"`
+	Merged   int  `json:"merged"`
+	Rejected int  `json:"rejected"`
+}
+
+// maxSketchBatch bounds one absorb request, mirroring maxQuoteIDs: a
+// batch of full sketches is ~3 KiB each, so 10k caps a request at tens
+// of megabytes rather than letting a peer stream unbounded state.
+const maxSketchBatch = 10000
+
+func (s *Server) handleSketchExport(w http.ResponseWriter, r *http.Request) {
+	det := s.shield.Detector()
+	if det == nil {
+		writeJSON(w, http.StatusOK, SketchPage{Enabled: false, Sketches: []detect.SketchSnapshot{}})
+		return
+	}
+	var since uint64
+	if q := r.URL.Query().Get("since"); q != "" {
+		n, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, errors.New("since must be a non-negative integer"))
+			return
+		}
+		since = n
+	}
+	var floor float64
+	if q := r.URL.Query().Get("floor"); q != "" {
+		f, err := strconv.ParseFloat(q, 64)
+		if err != nil || f < 0 || f > 1 {
+			writeErr(w, http.StatusBadRequest, errors.New("floor must be in [0, 1]"))
+			return
+		}
+		floor = f
+	}
+	snaps, mark := det.ExportSince(since, floor)
+	if snaps == nil {
+		snaps = []detect.SketchSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, SketchPage{Enabled: true, Since: mark, Sketches: snaps})
+}
+
+func (s *Server) handleSketchAbsorb(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); ct != "" && ct != "application/json" {
+		writeErr(w, http.StatusUnsupportedMediaType, fmt.Errorf("content type %q; want application/json", ct))
+		return
+	}
+	var req SketchAbsorbRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Sketches) > maxSketchBatch {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("%d sketches exceed the %d per-request limit", len(req.Sketches), maxSketchBatch))
+		return
+	}
+	det := s.shield.Detector()
+	if det == nil {
+		// Nothing to merge into; report so the exchanger can skip this
+		// peer instead of re-sending forever.
+		writeJSON(w, http.StatusOK, SketchAbsorbResponse{Enabled: false})
+		return
+	}
+	merged, rejected := det.Absorb(req.Sketches)
+	writeJSON(w, http.StatusOK, SketchAbsorbResponse{Enabled: true, Merged: merged, Rejected: rejected})
 }
 
 // Client is a minimal client for the server, used by examples and tests.

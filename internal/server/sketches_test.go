@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestAdminSketchesExchange(t *testing.T) {
+	// Two independent shards; the Sybil splits its scan between them.
+	tsA, shieldA := detectServer(t)
+	tsB, _ := detectServer(t)
+
+	if _, err := NewClient(tsA.URL, "sybil").Query(`SELECT * FROM items WHERE id <= 100`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClient(tsB.URL, "sybil").Query(`SELECT * FROM items WHERE id > 100`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pull B's delta.
+	resp, err := http.Get(tsB.URL + "/admin/sketches?since=0&floor=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page SketchPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !page.Enabled || len(page.Sketches) != 1 || page.Sketches[0].Principal != "sybil" {
+		t.Fatalf("export page = %+v, want one sybil snapshot", page)
+	}
+	if page.Since == 0 {
+		t.Fatal("export watermark = 0, want the current sequence")
+	}
+
+	// Push it into A and check the merged coverage prices like a full scan.
+	body, _ := json.Marshal(SketchAbsorbRequest{Sketches: page.Sketches})
+	resp, err = http.Post(tsA.URL+"/admin/sketches", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SketchAbsorbResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !out.Enabled || out.Merged != 1 || out.Rejected != 0 {
+		t.Fatalf("absorb = %+v, want 1 merged", out)
+	}
+	if m := shieldA.Detector().Multiplier("sybil"); m <= 1 {
+		t.Fatalf("post-merge multiplier on A = %v, want > 1 (union is a full scan)", m)
+	}
+
+	// Re-pulling past the watermark is empty: absorbed sketches do not
+	// re-export, so a hub exchange cannot echo.
+	resp, err = http.Get(tsB.URL + "/admin/sketches?since=" + jsonUint(page.Since))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again SketchPage
+	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(again.Sketches) != 0 {
+		t.Fatalf("post-watermark export = %+v, want empty", again.Sketches)
+	}
+}
+
+func jsonUint(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func TestAdminSketchesErrorPaths(t *testing.T) {
+	ts, _ := detectServer(t)
+
+	// Bad query params.
+	for _, q := range []string{"?since=-1", "?since=abc", "?floor=2", "?floor=x"} {
+		resp, err := http.Get(ts.URL + "/admin/sketches" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+	// Content-type mismatch.
+	resp, err := http.Post(ts.URL+"/admin/sketches", "text/plain", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("content-type status = %d, want 415", resp.StatusCode)
+	}
+	// Malformed body.
+	resp, err = http.Post(ts.URL+"/admin/sketches", "application/json", strings.NewReader(`{`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d, want 400", resp.StatusCode)
+	}
+	// Method mismatch.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/admin/sketches", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestAdminSketchesDetectionOff(t *testing.T) {
+	ts, _ := testServer(t, core.Config{Alpha: 1, Beta: 1, Cap: time.Millisecond})
+	resp, err := http.Get(ts.URL + "/admin/sketches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page SketchPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Enabled || len(page.Sketches) != 0 {
+		t.Fatalf("detection-off page = %+v", page)
+	}
+	resp2, err := http.Post(ts.URL+"/admin/sketches", "application/json", strings.NewReader(`{"sketches":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out SketchAbsorbResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Enabled {
+		t.Fatalf("detection-off absorb = %+v", out)
+	}
+}

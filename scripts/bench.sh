@@ -4,9 +4,10 @@
 # commits.
 #
 # Suites:
-#   shield  front-door batch/price-cache path     -> BENCH_shield.json
-#   engine  buffer pool + parallel scan executor  -> BENCH_engine.json
-#   all     both
+#   shield   front-door batch/price-cache path     -> BENCH_shield.json
+#   engine   buffer pool + parallel scan executor  -> BENCH_engine.json
+#   cluster  router tax over direct shard access   -> BENCH_cluster.json
+#   all      all of the above
 #
 #   BENCH_SUITE  suite to run (default: shield)
 #   BENCH_ARGS   go test bench flags (default: -benchtime=2s -count=3;
@@ -95,6 +96,10 @@ engine_inv='BenchmarkEnginePointQuery/g=16,BenchmarkEnginePointQuery/g=1,1.05
 BenchmarkEnginePointQuery/g=4,BenchmarkEnginePointQuery/g=1,1.05
 BenchmarkWALCommit/group=on/g=8,BenchmarkWALCommit/group=off/g=8,1.0
 BenchmarkEngineMixed/w50/g=16,BenchmarkEngineMixedLegacy/w50/g=16,0.333'
+# The cluster front door may add at most 15% to a point query over
+# hitting the shard directly — the router's whole value proposition is
+# being cheap enough to leave on.
+cluster_inv='BenchmarkClusterPointQuery/via=router,BenchmarkClusterPointQuery/via=direct,1.15'
 
 case "$suite" in
 shield)
@@ -106,15 +111,21 @@ engine)
 		"${BENCH_OUT:-BENCH_engine.json}" "$engine_inv" \
 		./internal/storage ./internal/engine
 	;;
+cluster)
+	run_suite 'ClusterPointQuery' \
+		"${BENCH_OUT:-BENCH_cluster.json}" "$cluster_inv" ./internal/cluster
+	;;
 all)
 	[ -z "${BENCH_OUT:-}" ] || { echo "BENCH_OUT needs a single suite" >&2; exit 1; }
 	run_suite 'ShieldQuery|AdaptiveObserveBatch' BENCH_shield.json "$shield_inv" .
 	run_suite 'PoolFetch|EnginePointQuery|EngineScan|EngineMixed|WALCommit' \
 		BENCH_engine.json "$engine_inv" \
 		./internal/storage ./internal/engine
+	run_suite 'ClusterPointQuery' BENCH_cluster.json "$cluster_inv" \
+		./internal/cluster
 	;;
 *)
-	echo "bench.sh: unknown BENCH_SUITE '$suite' (shield|engine|all)" >&2
+	echo "bench.sh: unknown BENCH_SUITE '$suite' (shield|engine|cluster|all)" >&2
 	exit 1
 	;;
 esac
