@@ -27,13 +27,16 @@
 // -cluster N opens N full-replica shards under -dir (shard-0 … shard-N-1,
 // each running the -init script) and serves the consistent-hash cluster
 // router in front of them: reads route by policy with failover, writes
-// fan out to every healthy shard, and a periodic anti-entropy round
-// merges per-principal detection sketches across shards so identity
-// rotation across the cluster still prices like extraction. -router
-// instead fronts already-running delaydb shards over HTTP; data flags
-// are ignored. The router serves the same /query, /register, /healthz,
-// /metrics surface plus GET /stats?node=<name> pinning and
-// POST /admin/peer-up.
+// fan out to every reachable shard in one router-serialized order, and
+// a periodic anti-entropy round merges per-principal detection sketches
+// across shards so identity rotation across the cluster still prices
+// like extraction. A peer back from an outage rejoins writes-only
+// ("resync" in /healthz) until an operator restores its data and
+// confirms POST /admin/peer-up, which alone returns it to the read
+// rotation. -router instead fronts already-running delaydb shards over
+// HTTP; data flags are ignored. The router serves the same /query,
+// /register, /healthz, /metrics surface plus GET /stats?node=<name>
+// pinning and POST /admin/peer-up.
 //
 // With -deadline set, a query whose policy delay outlives the budget is
 // cancelled and answered with HTTP 504; the delay is still charged, so

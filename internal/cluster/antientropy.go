@@ -46,13 +46,17 @@ func (r *Router) ExchangeNowFloor(floor float64) error {
 
 func (r *Router) exchangeLocked(floor float64) error {
 	var firstErr error
-	// Probe phase: each down peer gets a cheap /healthz check. A
-	// revived peer missed whole rounds (and may have restarted and
-	// lost its table), so revival resets EVERY source watermark — the
-	// pulls below then re-export full history and the straggler
-	// converges within this round. Merges are idempotent, so the
-	// re-delivery to up-to-date peers costs bandwidth, not
-	// correctness.
+	// Probe phase: each down peer gets a cheap /healthz check. A peer
+	// that answers rejoins the write plane and the exchange in the
+	// writes-only resync state — it missed fan-out writes while down,
+	// so reachability alone must NOT put it back on the read path
+	// (see Node.resync; only an operator's /admin/peer-up does that).
+	// The revived peer also missed whole exchange rounds (and may have
+	// restarted and lost its table), so revival resets EVERY source
+	// watermark — the pulls below then re-export full history and the
+	// straggler's *sketches* converge within this round. Merges are
+	// idempotent, so the re-delivery to up-to-date peers costs
+	// bandwidth, not correctness.
 	revived := false
 	for _, n := range r.nodes {
 		if n.down.Load() && r.probePeer(n) {
@@ -66,8 +70,13 @@ func (r *Router) exchangeLocked(floor float64) error {
 		r.syncPeerDown()
 	}
 
-	// Pull phase: collect each live shard's delta.
+	// Pull phase: collect each reachable shard's delta (resync peers
+	// included — the exchange is exactly their sketch repair channel).
+	// New watermarks stay tentative until the push phase lands: a
+	// delta is only "delivered" once every push of the round succeeds.
 	pages := make([]*server.SketchPage, len(r.nodes))
+	marks := make([]uint64, len(r.nodes))
+	copy(marks, r.ae.marks)
 	for i, n := range r.nodes {
 		if n.down.Load() {
 			continue
@@ -85,7 +94,7 @@ func (r *Router) exchangeLocked(floor float64) error {
 			continue // shard runs without a detector; nothing to exchange
 		}
 		pages[i] = page
-		r.ae.marks[i] = page.Since
+		marks[i] = page.Since
 		for _, sn := range page.Sketches {
 			r.aeBytes.Add(int64(sn.WireBytes()))
 		}
@@ -95,6 +104,7 @@ func (r *Router) exchangeLocked(floor float64) error {
 	// Push phase: every shard absorbs every *other* shard's delta.
 	// Advancing the pull watermark past pushed state is what keeps the
 	// hub from echoing: Absorb does not mark sketches locally-seen.
+	pushFailed := false
 	for j, n := range r.nodes {
 		if n.down.Load() {
 			continue
@@ -113,12 +123,24 @@ func (r *Router) exchangeLocked(floor float64) error {
 		if err != nil {
 			r.aeErrors.Inc()
 			r.syncPeerDown()
+			pushFailed = true
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
 		r.aeRejected.Add(int64(rejected))
+	}
+	// Commit the watermarks only if every push landed. A failed push —
+	// even an HTTP error from a shard that stays up — leaves the marks
+	// where they were, so the next round re-pulls the same deltas and
+	// re-pushes them; idempotent merges make the re-delivery to the
+	// peers that DID succeed free of everything but bandwidth. Without
+	// this, a one-round push failure would permanently withhold those
+	// sketches from the failed peer, breaking the one-period staleness
+	// bound.
+	if !pushFailed {
+		copy(r.ae.marks, marks)
 	}
 	r.aeRounds.Inc()
 	r.ae.lastRound = r.cfg.Clock.Now()
@@ -138,8 +160,12 @@ func (r *Router) mergeLag() float64 {
 	return r.cfg.Clock.Now().Sub(last).Seconds()
 }
 
-// probePeer checks a down peer's /healthz; any answer clears the
-// latch (a degraded-but-alive shard still serves reads).
+// probePeer checks a down peer's /healthz. An answer clears the down
+// latch but latches resync in its place: the peer is reachable again
+// and rejoins the write fan-out and the sketch exchange, but it missed
+// acked writes while down and this router has no data-resync channel
+// (only sketches re-converge), so it must not serve reads until an
+// operator replays/copies the data and confirms POST /admin/peer-up.
 func (r *Router) probePeer(n *Node) bool {
 	req, err := http.NewRequest(http.MethodGet, n.base+"/healthz", nil)
 	if err != nil {
@@ -154,6 +180,7 @@ func (r *Router) probePeer(n *Node) bool {
 	if resp.StatusCode != http.StatusOK {
 		return false
 	}
+	n.resync.Store(true)
 	n.down.Store(false)
 	return true
 }

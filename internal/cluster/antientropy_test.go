@@ -3,7 +3,10 @@ package cluster
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/detect"
@@ -171,8 +174,10 @@ func TestAntiEntropyRoutesAroundDeadPeer(t *testing.T) {
 		t.Error("dead peer not latched down by the exchange")
 	}
 
-	// Revive: the next round's health probe clears the latch and the
-	// straggler catches up to the full union.
+	// Revive: the next round's health probe clears the down latch into
+	// writes-only resync — reachability proves nothing about the
+	// fan-out writes the peer missed — and the straggler's sketches
+	// catch up to the full union through the exchange.
 	kills[2].dead.Store(false)
 	if err := r.ExchangeNowFloor(0.05); err != nil {
 		t.Fatalf("post-revival exchange: %v", err)
@@ -180,7 +185,91 @@ func TestAntiEntropyRoutesAroundDeadPeer(t *testing.T) {
 	if nodes[2].Down() {
 		t.Error("revived peer still latched down after a successful probe")
 	}
+	if !nodes[2].Resync() {
+		t.Error("probe revival landed the peer back in full rotation; want writes-only resync until an operator peer-up")
+	}
 	if m := shieldAt[2].Detector().Multiplier("splitter"); m <= 1 {
 		t.Errorf("revived shard multiplier %v, want > 1 after catch-up", m)
+	}
+}
+
+// sketchPushFailTransport passes everything through except POST
+// /admin/sketches, which answers HTTP 500 while fail is set — a shard
+// that is alive (no down latch) but whose absorb endpoint errors.
+type sketchPushFailTransport struct {
+	inner http.RoundTripper
+	fail  atomic.Bool
+}
+
+func (f *sketchPushFailTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.fail.Load() && req.Method == http.MethodPost && req.URL.Path == "/admin/sketches" {
+		return &http.Response{
+			Status:     http.StatusText(http.StatusInternalServerError),
+			StatusCode: http.StatusInternalServerError,
+			Header:     make(http.Header),
+			Body:       io.NopCloser(strings.NewReader(`{"error":"absorb failed"}`)),
+			Request:    req,
+		}, nil
+	}
+	return f.inner.RoundTrip(req)
+}
+
+// TestPushFailureRetainsWatermarks: a push that fails with an HTTP
+// error (the shard answered, so nothing latches down and no revival
+// reset will ever rescue it) must not advance the source watermarks —
+// the next round re-pulls the same deltas and re-delivers them, so the
+// failed peer misses the sketches for one round, not forever.
+func TestPushFailureRetainsWatermarks(t *testing.T) {
+	const shards = 2
+	nodes := make([]*Node, shards)
+	fails := make([]*sketchPushFailTransport, shards)
+	shieldAt := make([]interface{ Detector() *detect.Detector }, shards)
+	for i := range nodes {
+		h, sh := newShard(t, 200, detectCfg())
+		ft := &sketchPushFailTransport{inner: handlerTransport{h: h}}
+		name := fmt.Sprintf("shard-%d", i)
+		nodes[i] = &Node{name: name, base: "http://" + name, http: &http.Client{Transport: ft}, local: ft}
+		fails[i] = ft
+		shieldAt[i] = sh
+	}
+	r, err := NewRouter(nodes, Config{Policy: PolicyRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Handler()
+
+	// Spread one principal's scan over both shards: each local half is
+	// under grace, the union is not.
+	for _, sql := range []string{
+		`SELECT * FROM items WHERE id <= 100`,
+		`SELECT * FROM items WHERE id > 100`,
+	} {
+		if resp, body := query(t, h, "splitter", sql); resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	fails[1].fail.Store(true)
+	if err := r.ExchangeNowFloor(0.05); err == nil {
+		t.Fatal("exchange reported success despite a failed push")
+	}
+	if nodes[1].Down() {
+		t.Fatal("HTTP-error push latched the peer down; it answered, it is alive")
+	}
+	if m := shieldAt[0].Detector().Multiplier("splitter"); m <= 1 {
+		t.Errorf("shard 0 multiplier %v, want > 1 (its push succeeded)", m)
+	}
+	if m := shieldAt[1].Detector().Multiplier("splitter"); m > 1 {
+		t.Fatalf("shard 1 multiplier %v before any successful push", m)
+	}
+
+	// Next round, endpoint healed: the same deltas are re-pulled and
+	// re-delivered; the bound is one round of staleness, not forever.
+	fails[1].fail.Store(false)
+	if err := r.ExchangeNowFloor(0.05); err != nil {
+		t.Fatalf("post-heal exchange: %v", err)
+	}
+	if m := shieldAt[1].Detector().Multiplier("splitter"); m <= 1 {
+		t.Errorf("shard 1 multiplier %v after the push retried, want > 1 — the delta was dropped by an advanced watermark", m)
 	}
 }

@@ -391,7 +391,8 @@ func TestRouterMetricsExported(t *testing.T) {
 	for _, name := range []string{
 		"cluster_routed_total", "cluster_routed_hash_total",
 		"cluster_admission_rejected_total", "cluster_inflight_rejected_total",
-		"cluster_peer_down", "cluster_peer_errors_total",
+		"cluster_peer_down", "cluster_peer_resync", "cluster_peer_errors_total",
+		"cluster_write_diverged_total",
 		"cluster_antientropy_rounds_total", "cluster_antientropy_sketch_bytes_total",
 		"cluster_antientropy_merge_lag_seconds", "cluster_nodes",
 	} {

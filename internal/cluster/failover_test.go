@@ -1,10 +1,17 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // TestShardFailover kills one shard mid-workload and checks the
@@ -124,6 +131,269 @@ func TestShardFailover(t *testing.T) {
 	}
 	if v := r.peerDown.Value(); v != 0 {
 		t.Errorf("post-revival cluster_peer_down = %d, want 0", v)
+	}
+}
+
+// TestProbeRevivalIsWritesOnly: the anti-entropy health probe may
+// discover a down peer answering again, but reachability says nothing
+// about the fan-out writes it missed while down — there is no data
+// resync channel, only sketches re-converge. So probe revival lands
+// the peer in writes-only resync: it receives new writes (so it stops
+// falling behind) but serves no reads until an operator resyncs it and
+// confirms POST /admin/peer-up.
+func TestProbeRevivalIsWritesOnly(t *testing.T) {
+	const shards = 3
+	nodes := make([]*Node, shards)
+	kills := make([]*killableTransport, shards)
+	shields := make([]*core.Shield, shards)
+	for i := range nodes {
+		h, sh := newShard(t, 20, nil)
+		nodes[i], kills[i] = newKillableNode(fmt.Sprintf("shard-%d", i), h)
+		shields[i] = sh
+	}
+	r, err := NewRouter(nodes, Config{Policy: PolicyRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Handler()
+
+	// Kill shard 1; a write latches it down and acks on the survivors.
+	kills[1].dead.Store(true)
+	if resp, body := query(t, h, "w", `INSERT INTO items VALUES (300, 'missed')`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("outage write: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if !nodes[1].Down() {
+		t.Fatal("dead shard not latched down by the write")
+	}
+
+	// Transport heals; the next exchange round's probe revives the
+	// peer — onto the write plane only.
+	kills[1].dead.Store(false)
+	if err := r.ExchangeNow(); err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+	if nodes[1].Down() {
+		t.Fatal("revived peer still latched down")
+	}
+	if !nodes[1].Resync() {
+		t.Fatal("probe revival cleared the peer into full rotation; want writes-only resync")
+	}
+	if v := r.peerResync.Value(); v != 1 {
+		t.Errorf("cluster_peer_resync = %d, want 1", v)
+	}
+
+	// Reads — even under round-robin — must avoid the resync peer, and
+	// every one of them must see the write it missed.
+	preReads := shields[1].QueriesServed()
+	for i := 0; i < 12; i++ {
+		resp, body := query(t, h, fmt.Sprintf("rdr-%d", i), `SELECT v FROM items WHERE id = 300`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("read %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+		var q struct {
+			Rows [][]string `json:"rows"`
+		}
+		json.Unmarshal(body, &q)
+		if len(q.Rows) != 1 || q.Rows[0][0] != "missed" {
+			t.Fatalf("read %d lost the acked write (served by an un-resynced replica?): %s", i, body)
+		}
+	}
+	if got := shields[1].QueriesServed(); got != preReads {
+		t.Fatalf("resync peer served %d reads; it is missing acked writes", got-preReads)
+	}
+
+	// New writes keep reaching the resync peer.
+	if resp, body := query(t, h, "w", `INSERT INTO items VALUES (301, 'post-revival')`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-revival write: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if res, err := shields[1].DB().Exec(`SELECT v FROM items WHERE id = 301`); err != nil || len(res.Rows) != 1 {
+		t.Errorf("resync peer missed a post-revival write (rows=%v err=%v)", res, err)
+	}
+
+	// /healthz names the resync peer and stays degraded.
+	_, body := do(t, h, http.MethodGet, "/healthz", "", "")
+	var health HealthResponse
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" {
+		t.Fatalf("health status = %q with a resync peer, want degraded: %s", health.Status, body)
+	}
+	named := false
+	for _, p := range health.Peers {
+		if p.Name == "shard-1" && p.Status == "resync" {
+			named = true
+		}
+	}
+	if !named {
+		t.Fatalf("healthz does not name shard-1 resync: %s", body)
+	}
+
+	// Operator peer-up is the only way back into the read rotation.
+	if resp, _ := do(t, h, http.MethodPost, "/admin/peer-up", "", `{"name":"shard-1"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer-up: HTTP %d", resp.StatusCode)
+	}
+	if nodes[1].Resync() || nodes[1].Down() {
+		t.Fatal("peer-up did not clear the latches")
+	}
+	_, body = do(t, h, http.MethodGet, "/healthz", "", "")
+	json.Unmarshal(body, &health)
+	if health.Status != "ok" {
+		t.Fatalf("post-peer-up health = %q, want ok", health.Status)
+	}
+}
+
+// writeFailTransport simulates a replica whose durable write path is
+// broken: INSERTs on /query answer HTTP 500 (the process is alive and
+// answering — no transport failure, no down latch) while everything
+// else passes through.
+type writeFailTransport struct {
+	inner http.RoundTripper
+	fail  atomic.Bool
+}
+
+func (f *writeFailTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.fail.Load() && req.Method == http.MethodPost && req.URL.Path == "/query" {
+		body, err := io.ReadAll(req.Body)
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Contains(body, []byte("INSERT")) {
+			return &http.Response{
+				Status:     http.StatusText(http.StatusInternalServerError),
+				StatusCode: http.StatusInternalServerError,
+				Header:     make(http.Header),
+				Body:       io.NopCloser(strings.NewReader(`{"error":"wal: disk failure"}`)),
+				Request:    req,
+			}, nil
+		}
+		req.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	return f.inner.RoundTrip(req)
+}
+
+// TestWriteDivergenceQuarantinesShard: when the router acks a write,
+// a reachable shard that answered the same statement with an error has
+// diverged from the replica set — it must leave the read path
+// (writes-only resync) instead of staying in rotation serving reads
+// that are missing acked writes.
+func TestWriteDivergenceQuarantinesShard(t *testing.T) {
+	const shards = 3
+	nodes := make([]*Node, shards)
+	fails := make([]*writeFailTransport, shards)
+	shields := make([]*core.Shield, shards)
+	for i := range nodes {
+		h, sh := newShard(t, 20, nil)
+		ft := &writeFailTransport{inner: handlerTransport{h: h}}
+		name := fmt.Sprintf("shard-%d", i)
+		nodes[i] = &Node{name: name, base: "http://" + name, http: &http.Client{Transport: ft}, local: ft}
+		fails[i] = ft
+		shields[i] = sh
+	}
+	r, err := NewRouter(nodes, Config{Policy: PolicyRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Handler()
+
+	fails[1].fail.Store(true)
+	resp, body := query(t, h, "w", `INSERT INTO items VALUES (400, 'diverged')`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("write: HTTP %d: %s — two healthy replicas accepted it", resp.StatusCode, body)
+	}
+	if !nodes[1].Resync() {
+		t.Fatal("diverged shard still in full rotation")
+	}
+	if nodes[1].Down() {
+		t.Fatal("diverged shard latched down; it is alive, just diverged")
+	}
+	if v := r.writeDiverged.Value(); v != 1 {
+		t.Errorf("cluster_write_diverged_total = %d, want 1", v)
+	}
+
+	// Every read sees the acked write; none is served by the diverged
+	// replica that rejected it.
+	preReads := shields[1].QueriesServed()
+	for i := 0; i < 12; i++ {
+		resp, body := query(t, h, fmt.Sprintf("rdr-%d", i), `SELECT v FROM items WHERE id = 400`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("read %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+		var q struct {
+			Rows [][]string `json:"rows"`
+		}
+		json.Unmarshal(body, &q)
+		if len(q.Rows) != 1 || q.Rows[0][0] != "diverged" {
+			t.Fatalf("read %d missed the acked write: %s", i, body)
+		}
+	}
+	if got := shields[1].QueriesServed(); got != preReads {
+		t.Fatalf("diverged shard served %d reads while quarantined", got-preReads)
+	}
+}
+
+// TestConcurrentWritesConvergeReplicas: non-commutative writes from
+// concurrent clients must leave every replica in the same final state
+// — the router serializes fan-outs so all shards apply one order.
+func TestConcurrentWritesConvergeReplicas(t *testing.T) {
+	r, shields := testCluster(t, 3, 10, nil, Config{})
+	h := r.Handler()
+	const writers = 4
+	const iters = 8
+	var wg sync.WaitGroup
+	for wid := 0; wid < writers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				sql := fmt.Sprintf(`UPDATE items SET v = 'w%d-%d' WHERE id = 5`, wid, k)
+				resp, body := query(t, h, fmt.Sprintf("writer-%d", wid), sql)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("writer %d iter %d: HTTP %d: %s", wid, k, resp.StatusCode, body)
+					return
+				}
+			}
+		}(wid)
+	}
+	wg.Wait()
+	vals := make([]string, len(shields))
+	for i, sh := range shields {
+		res, err := sh.DB().Exec(`SELECT v FROM items WHERE id = 5`)
+		if err != nil || len(res.Rows) != 1 {
+			t.Fatalf("shard %d: rows=%v err=%v", i, res, err)
+		}
+		vals[i] = res.Rows[0][0].String()
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] != vals[0] {
+			t.Fatalf("replicas diverged after concurrent UPDATEs: %v", vals)
+		}
+	}
+}
+
+// TestDirectShardPanicDoesNotLeakInflight: a panic inside a local
+// shard handler unwinds through serveDirect up to the router's
+// recovery middleware; both the per-node and the router-wide in-flight
+// counts must be restored or the least-loaded policy and /healthz skew
+// forever.
+func TestDirectShardPanicDoesNotLeakInflight(t *testing.T) {
+	panicky := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		panic("shard bug")
+	})
+	n := NewLocalNode("boom", panicky)
+	r, err := NewRouter([]*Node{n}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := query(t, r.Handler(), "x", `SELECT * FROM items WHERE id = 1`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking shard: HTTP %d, want 500 from recovery", resp.StatusCode)
+	}
+	if v := n.InFlight(); v != 0 {
+		t.Errorf("node in-flight leaked after panic: %d", v)
+	}
+	if v := r.inflight.Value(); v != 0 {
+		t.Errorf("router in-flight leaked after panic: %d", v)
 	}
 }
 

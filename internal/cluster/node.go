@@ -43,9 +43,20 @@ type Node struct {
 	// signal and the per-peer gauge.
 	inflight atomic.Int64
 	// down latches when a request to the peer fails at the transport
-	// level. Routing skips down peers; the anti-entropy loop's health
-	// probe (or POST /admin/peer-up) clears the latch.
+	// level. Routing and the exchange skip down peers entirely. The
+	// anti-entropy loop's health probe moves a down peer to resync;
+	// only POST /admin/peer-up clears both latches.
 	down atomic.Bool
+	// resync latches when a peer rejoins after missing writes: a probe
+	// revival (the peer was down, so fan-out writes skipped it) or a
+	// write divergence (the peer answered a write with a different
+	// outcome than the one the router acked). A resync peer is back on
+	// the write plane — fan-out writes and anti-entropy keep it from
+	// falling further behind — but serves NO reads: it is missing
+	// acked writes, and an acked write must stay readable. Only an
+	// operator's POST /admin/peer-up (asserting the replica has been
+	// resynced from a healthy peer) restores it to the read path.
+	resync atomic.Bool
 }
 
 // NewHTTPNode returns a shard reached over the network at base
@@ -78,6 +89,14 @@ func (n *Node) Name() string { return n.name }
 
 // Down reports whether the peer is latched down.
 func (n *Node) Down() bool { return n.down.Load() }
+
+// Resync reports whether the peer is latched writes-only pending an
+// operator resync.
+func (n *Node) Resync() bool { return n.resync.Load() }
+
+// readable reports whether the peer may serve reads: reachable and not
+// missing acked writes.
+func (n *Node) readable() bool { return !n.down.Load() && !n.resync.Load() }
 
 // InFlight returns the live request count against this node.
 func (n *Node) InFlight() int64 { return n.inflight.Load() }

@@ -111,15 +111,25 @@ type Router struct {
 	rr       counterRR
 	inflight *metrics.Gauge
 
-	routed       *metrics.Counter
-	routedPolicy *metrics.Counter
-	readFailover *metrics.Counter
-	writeFanout  *metrics.Counter
-	writeFanErr  *metrics.Counter
-	admitRej     *metrics.Counter
-	inflightRej  *metrics.Counter
-	peerErrors   *metrics.Counter
-	peerDown     *metrics.Gauge
+	// writeMu serializes write fan-outs. Every fan-out completes on
+	// all reachable shards before the next begins, so all replicas
+	// apply non-commutative writes in one (the router's) order —
+	// without it two concurrent UPDATEs to the same row could commit
+	// in opposite orders on different replicas and silently diverge
+	// them. Reads never take this lock.
+	writeMu sync.Mutex
+
+	routed        *metrics.Counter
+	routedPolicy  *metrics.Counter
+	readFailover  *metrics.Counter
+	writeFanout   *metrics.Counter
+	writeFanErr   *metrics.Counter
+	writeDiverged *metrics.Counter
+	admitRej      *metrics.Counter
+	inflightRej   *metrics.Counter
+	peerErrors    *metrics.Counter
+	peerDown      *metrics.Gauge
+	peerResync    *metrics.Gauge
 
 	ae struct {
 		mu        sync.Mutex
@@ -202,10 +212,12 @@ func NewRouter(nodes []*Node, cfg Config) (*Router, error) {
 	r.readFailover = m.Counter("cluster_read_failovers_total")
 	r.writeFanout = m.Counter("cluster_write_fanouts_total")
 	r.writeFanErr = m.Counter("cluster_write_fanout_errors_total")
+	r.writeDiverged = m.Counter("cluster_write_diverged_total")
 	r.admitRej = m.Counter("cluster_admission_rejected_total")
 	r.inflightRej = m.Counter("cluster_inflight_rejected_total")
 	r.peerErrors = m.Counter("cluster_peer_errors_total")
 	r.peerDown = m.Gauge("cluster_peer_down")
+	r.peerResync = m.Gauge("cluster_peer_resync")
 	r.aeRounds = m.Counter("cluster_antientropy_rounds_total")
 	r.aeBytes = m.Counter("cluster_antientropy_sketch_bytes_total")
 	r.aePrincipals = m.Counter("cluster_antientropy_principals_total")
@@ -263,8 +275,22 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, server.ErrorResponse{Error: err.Error()})
 }
 
-// healthy returns the indices of peers not latched down.
+// healthy returns the indices of peers eligible to serve reads: not
+// latched down and not in writes-only resync.
 func (r *Router) healthy() []int {
+	out := make([]int, 0, len(r.nodes))
+	for i, n := range r.nodes {
+		if n.readable() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// reachable returns the indices of peers on the write plane: everything
+// not latched down, including resync peers — fan-out writes must keep
+// reaching them or they fall further behind while awaiting resync.
+func (r *Router) reachable() []int {
 	out := make([]int, 0, len(r.nodes))
 	for i, n := range r.nodes {
 		if !n.down.Load() {
@@ -274,15 +300,19 @@ func (r *Router) healthy() []int {
 	return out
 }
 
-// syncPeerDown recounts the down-latch gauge after any latch change.
+// syncPeerDown recounts the down/resync latch gauges after any latch
+// change.
 func (r *Router) syncPeerDown() {
-	var down int64
+	var down, resync int64
 	for _, n := range r.nodes {
 		if n.down.Load() {
 			down++
+		} else if n.resync.Load() {
+			resync++
 		}
 	}
 	r.peerDown.Set(down)
+	r.peerResync.Set(resync)
 }
 
 // isSelect reports whether sql's first keyword is SELECT — the only
@@ -432,7 +462,7 @@ func (r *Router) readOrder(principal string) []int {
 		seq := r.ring.sequence(principal)
 		out := seq[:0]
 		for _, i := range seq {
-			if !r.nodes[i].down.Load() {
+			if r.nodes[i].readable() {
 				out = append(out, i)
 			}
 		}
@@ -533,12 +563,17 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 
 	// Admission: the global in-flight cap, then the per-principal
 	// bucket — both answered at the edge, before any shard is touched.
-	if cur := r.inflight.Value(); cur >= int64(r.cfg.MaxInFlight) {
+	// The cap is a reserve-then-check on the gauge itself (not a read
+	// followed by a separate increment), so concurrent arrivals cannot
+	// overshoot MaxInFlight.
+	if cur := r.inflight.AddGet(1); cur > int64(r.cfg.MaxInFlight) {
+		r.inflight.Dec()
 		r.inflightRej.Inc()
 		writeErr(w, http.StatusTooManyRequests,
-			fmt.Errorf("cluster at capacity (%d queries in flight)", cur))
+			fmt.Errorf("cluster at capacity (%d queries in flight)", cur-1))
 		return
 	}
+	defer r.inflight.Dec()
 	principal := identity(req)
 	if !r.limit.Allow(principal) {
 		r.admitRej.Inc()
@@ -546,8 +581,6 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 			errors.New("edge rate limit exceeded; retry later"))
 		return
 	}
-	r.inflight.Inc()
-	defer r.inflight.Dec()
 	r.routed.Inc()
 	r.routedPolicy.Inc()
 
@@ -567,7 +600,7 @@ func (r *Router) routeRead(w http.ResponseWriter, req *http.Request, principal s
 	// every point query takes.
 	tried := -1
 	if r.cfg.Policy == PolicyHash {
-		if i := r.ring.owner(principal); !r.nodes[i].down.Load() {
+		if i := r.ring.owner(principal); r.nodes[i].readable() {
 			if r.nodes[i].direct != nil {
 				r.serveDirect(w, req, r.nodes[i], "/query", body, scratch)
 				return
@@ -632,18 +665,28 @@ func (r *Router) serveDirect(w http.ResponseWriter, req *http.Request, n *Node, 
 		req.Header.Set("X-Forwarded-For", req.RemoteAddr)
 	}
 	n.inflight.Add(1)
+	defer n.inflight.Add(-1)
 	n.direct.ServeHTTP(w, req)
-	n.inflight.Add(-1)
 }
 
-// fanoutWrite broadcasts a write to every healthy shard concurrently:
-// each shard holds a full replica, so reads can fail over without
-// resync. The write acks once every reachable shard has answered and
-// at least one accepted it; shards that died mid-write latch down and
-// are excluded from routing, so an acked write stays readable on the
-// survivors that hold it.
+// fanoutWrite broadcasts a write to every reachable shard (including
+// writes-only resync peers — they must keep receiving new writes or
+// they fall further behind) concurrently, under the router's write
+// lock: each fan-out finishes on every shard before the next begins,
+// so all replicas apply non-commutative writes in one total order.
+// The write acks only when a *read-serving* shard accepted it — a
+// success visible to no read route is not an acked write. A reachable
+// shard whose outcome differs from the acked success (it answered, but
+// with an error — a local disk/WAL failure the others did not share)
+// has diverged from the replica set: it is latched into resync, out of
+// the read path, until an operator repairs and confirms it; shards
+// that died mid-write latch down as usual. Either way an acked write
+// stays readable on every shard a read can route to.
 func (r *Router) fanoutWrite(w http.ResponseWriter, req *http.Request, path string, body []byte) {
-	targets := r.healthy()
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+
+	targets := r.reachable()
 	if len(targets) == 0 {
 		writeErr(w, http.StatusServiceUnavailable, errors.New("no healthy shards"))
 		return
@@ -665,25 +708,47 @@ func (r *Router) fanoutWrite(w http.ResponseWriter, req *http.Request, path stri
 	}
 	wg.Wait()
 
-	// Prefer relaying a success; otherwise relay the first shard
-	// answer (they agree on deterministic rejections like a parse
-	// error); all-transport-failure is a 503.
+	// Prefer relaying a success from a read-serving shard; otherwise
+	// relay the first shard error answer (replicas agree on
+	// deterministic rejections like a parse error); a success only on
+	// resync replicas is NOT an ack — no read can route to it — and
+	// all-transport-failure is a 503.
 	var first *http.Response
 	var ok *http.Response
-	for _, res := range results {
+	resyncOnlyOK := false
+	for slot, res := range results {
 		if res.err != nil {
 			r.writeFanErr.Inc()
 			continue
 		}
-		if res.resp.StatusCode == http.StatusOK && ok == nil {
-			ok = res.resp
-		} else if first == nil && res.resp != ok {
+		if res.resp.StatusCode == http.StatusOK {
+			if ok == nil && r.nodes[targets[slot]].readable() {
+				ok = res.resp
+			} else if !r.nodes[targets[slot]].readable() {
+				resyncOnlyOK = true
+			}
+			continue
+		}
+		if first == nil {
 			first = res.resp
 		}
 	}
-	if ok == nil && first == nil {
-		writeErr(w, http.StatusServiceUnavailable, errors.New("write reached no shard"))
-		return
+	if ok != nil {
+		// The write is acked. Any reachable shard that answered the
+		// same statement with a different outcome no longer matches
+		// the replica set the client was told about — quarantine it
+		// writes-only until an operator resyncs it.
+		for slot, res := range results {
+			if res.err != nil || res.resp.StatusCode == http.StatusOK {
+				continue
+			}
+			n := r.nodes[targets[slot]]
+			if !n.resync.Load() {
+				n.resync.Store(true)
+				r.writeDiverged.Inc()
+			}
+		}
+		r.syncPeerDown()
 	}
 	chosen := ok
 	if chosen == nil {
@@ -693,6 +758,15 @@ func (r *Router) fanoutWrite(w http.ResponseWriter, req *http.Request, path stri
 		if res.resp != nil && res.resp != chosen {
 			res.resp.Body.Close()
 		}
+	}
+	if chosen == nil {
+		if resyncOnlyOK {
+			writeErr(w, http.StatusServiceUnavailable,
+				errors.New("write applied to no read-serving replica; retry when the cluster recovers"))
+			return
+		}
+		writeErr(w, http.StatusServiceUnavailable, errors.New("write reached no shard"))
+		return
 	}
 	relay(w, chosen)
 }
@@ -729,8 +803,11 @@ type PeerHealth struct {
 }
 
 // HealthResponse is the router's /healthz body: "ok" with every peer
-// up, "degraded" while any peer is latched down (the cluster still
-// serves — reads route around the hole, writes go to the survivors).
+// up, "degraded" while any peer is latched down (unreachable) or
+// resync (reachable, receiving writes, but out of the read path until
+// an operator confirms POST /admin/peer-up). The cluster still serves
+// either way — reads route around the hole, writes go to everything
+// reachable.
 type HealthResponse struct {
 	Status string       `json:"status"`
 	Policy string       `json:"policy"`
@@ -741,8 +818,12 @@ func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
 	out := HealthResponse{Status: "ok", Policy: r.cfg.Policy.String()}
 	for _, n := range r.nodes {
 		st := "ok"
-		if n.down.Load() {
+		switch {
+		case n.down.Load():
 			st = "down"
+			out.Status = "degraded"
+		case n.resync.Load():
+			st = "resync"
 			out.Status = "degraded"
 		}
 		out.Peers = append(out.Peers, PeerHealth{Name: n.name, Status: st, InFlight: n.inflight.Load()})
@@ -822,8 +903,11 @@ func (r *Router) handleQuoteProxy(w http.ResponseWriter, req *http.Request) {
 }
 
 // PeerUpRequest is the POST /admin/peer-up body: an operator's
-// assertion that the named peer is reachable again (e.g. after a
-// restart plus resync), clearing its down latch.
+// assertion that the named peer holds the replica data again (restart
+// plus resync from a healthy peer), clearing both the down latch and
+// the writes-only resync latch. This is the ONLY path back into the
+// read rotation — the automatic health probe stops at resync, because
+// reachability proves nothing about the writes the peer missed.
 type PeerUpRequest struct {
 	Name string `json:"name"`
 }
@@ -845,6 +929,7 @@ func (r *Router) handlePeerUp(w http.ResponseWriter, req *http.Request) {
 	for _, n := range r.nodes {
 		if n.name == pr.Name {
 			n.down.Store(false)
+			n.resync.Store(false)
 			// Reset every source watermark: the revived peer missed
 			// rounds (and may have restarted), so the next exchange
 			// re-pulls full history and re-converges it.

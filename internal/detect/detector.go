@@ -227,9 +227,18 @@ func (d *Detector) shard(principal string) *detectShard {
 // The caller passes ids before sleeping the delay; like the gate's
 // learner observations, detection must not be skippable by cancelling.
 func (d *Detector) ObserveBatch(principal string, ids []uint64) float64 {
-	seq := d.seq.Add(1)
 	s := d.shard(principal)
 	s.mu.Lock()
+	// The sequence is acquired INSIDE the shard critical section, so
+	// seq-acquire and the localSeen stamp below are atomic with respect
+	// to ExportSince's scan of this shard. That is what makes the
+	// export watermark sound: ExportSince loads seq=S before scanning,
+	// and any batch holding seq ≤ S still holds this lock until its
+	// stamp is written — the scan cannot pass the shard between the two
+	// and then skip the stamp forever as "≤ since". A batch that gets
+	// its seq after the scan's load necessarily gets seq > S and is
+	// picked up by the next export.
+	seq := d.seq.Add(1)
 	st, ok := s.entries[principal]
 	if !ok {
 		if len(s.entries) >= s.cap {

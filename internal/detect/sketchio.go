@@ -132,6 +132,13 @@ func (s SketchSnapshot) WireBytes() int { return len(s.HLL) + len(s.Sig) }
 // already suspicious do. Pass 0 to export unconditionally. Locally-
 // observed means Absorb does not re-mark a principal for export, so
 // gossip does not echo through a hub exchange.
+//
+// The returned watermark is sound against concurrent observations
+// because ObserveBatch acquires its sequence inside the shard critical
+// section: every batch with seq ≤ the value loaded here has its
+// localSeen stamp visible by the time the scan takes that shard's
+// lock, so nothing at or below the watermark can slip between the load
+// and the scan and then be filtered out forever.
 func (d *Detector) ExportSince(since uint64, floor float64) ([]SketchSnapshot, uint64) {
 	seq := d.seq.Load()
 	var out []SketchSnapshot

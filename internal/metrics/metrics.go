@@ -53,6 +53,11 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Add adds n (which may be negative).
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
+// AddGet adds n and returns the new level, atomically — the primitive
+// for reserve-then-check admission caps that must not overshoot under
+// concurrent callers.
+func (g *Gauge) AddGet(n int64) int64 { return g.v.Add(n) }
+
 // Set overwrites the level.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
