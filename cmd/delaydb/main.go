@@ -19,9 +19,9 @@
 //
 // Cluster modes:
 //
-//	delaydb -cluster 4 [-route hash|rr|least] [-antientropy 5s]
-//	        [-antientropy-floor 0.01] [-admit-rate 100] [-admit-burst 200]
-//	        [-maxinflight 1024] ...
+//	delaydb -cluster 4 [-partitions 64] [-route hash|rr|least]
+//	        [-antientropy 5s] [-antientropy-floor 0.01] [-admit-rate 100]
+//	        [-admit-burst 200] [-maxinflight 1024] ...
 //	delaydb -router -peers http://10.0.0.1:8080,http://10.0.0.2:8080 ...
 //
 // -cluster N opens N full-replica shards under -dir (shard-0 … shard-N-1,
@@ -37,6 +37,19 @@
 // HTTP; data flags are ignored. The router serves the same /query,
 // /register, /healthz, /metrics surface plus GET /stats?node=<name>
 // pinning and POST /admin/peer-up.
+//
+// -partitions P switches both cluster modes from full replication to
+// hash partitioning: tuples map (by INT primary key, via a versioned
+// partition map) to exactly one owner shard. Point queries and
+// single-key writes route to the owner alone, multi-row INSERTs split
+// into per-owner slices, and scans/aggregates scatter to every owner
+// and merge at the front door (order-preserving merge for ORDER BY,
+// partial-aggregate combination, LIMIT early-cancel). The -init script
+// then runs through the router so every row loads onto its owner. The
+// live map is served at GET /admin/partition-map; POST with
+// {"version": v+1, "owners": [...]} installs a rebalanced assignment
+// (the operator moves the data). Requests may pin X-Partition-Version
+// and are rejected retryably (409) when the map has moved on.
 //
 // With -deadline set, a query whose policy delay outlives the budget is
 // cancelled and answered with HTTP 504; the delay is still charged, so
@@ -131,6 +144,7 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		admitRate   = fs.Float64("admit-rate", cluster.DefaultAdmitRate, "router edge admission: per-principal queries/second")
 		admitBurst  = fs.Float64("admit-burst", cluster.DefaultAdmitBurst, "router edge admission: per-principal burst")
 		maxInFlight = fs.Int("maxinflight", cluster.DefaultMaxInFlight, "router edge admission: max queries in flight across the cluster")
+		partitions  = fs.Int("partitions", 0, "hash-partition tuples across shards into this many partitions (0 = full replication); point queries route to the owner shard, scans scatter-gather")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -262,13 +276,15 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 
 	// openNode opens one data directory with the shared config and runs
 	// the init script against it; used once for single-node mode and per
-	// shard for -cluster.
-	openNode := func(dataDir string) (*delaydefense.DB, http.Handler, error) {
+	// shard for -cluster. runInit is false in partitioned cluster mode,
+	// where the script must flow through the router instead so each
+	// INSERT row lands only on its owner shard.
+	openNode := func(dataDir string, runInit bool) (*delaydefense.DB, http.Handler, error) {
 		db, err := delaydefense.Open(dataDir, cfg, opts...)
 		if err != nil {
 			return nil, nil, err
 		}
-		if *initFile != "" {
+		if runInit && *initFile != "" {
 			script, err := os.ReadFile(*initFile)
 			if err != nil {
 				db.Close()
@@ -326,7 +342,7 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 			}
 		} else {
 			for i := 0; i < *clusterN; i++ {
-				db, h, err := openNode(filepath.Join(*dir, fmt.Sprintf("shard-%d", i)))
+				db, h, err := openNode(filepath.Join(*dir, fmt.Sprintf("shard-%d", i)), *partitions == 0)
 				if err != nil {
 					closeAll()
 					return err
@@ -340,10 +356,23 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 			AdmitRate:   *admitRate,
 			AdmitBurst:  *admitBurst,
 			MaxInFlight: *maxInFlight,
+			Partitions:  *partitions,
 		})
 		if err != nil {
 			closeAll()
 			return err
+		}
+		if *partitions > 0 && *clusterN > 0 && *initFile != "" {
+			script, err := os.ReadFile(*initFile)
+			if err != nil {
+				closeAll()
+				return fmt.Errorf("reading init script: %w", err)
+			}
+			if err := rt.ExecScript(string(script)); err != nil {
+				closeAll()
+				return fmt.Errorf("init script (via router): %w", err)
+			}
+			fmt.Fprintf(stdout, "delaydb: init script partitioned across %d shards\n", len(nodes))
 		}
 		if *aeEvery > 0 {
 			rt.StartAntiEntropy(*aeEvery, *aeFloor)
@@ -355,13 +384,17 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 			mode = "router"
 		}
 		banner := func(a net.Addr) {
-			fmt.Fprintf(stdout, "delaydb: %s of %d shards on %s (route=%s, antientropy=%v, admit=%g qps)\n",
-				mode, len(nodes), a, pol, *aeEvery, *admitRate)
+			layout := "replicated"
+			if *partitions > 0 {
+				layout = fmt.Sprintf("%d partitions", *partitions)
+			}
+			fmt.Fprintf(stdout, "delaydb: %s of %d shards on %s (%s, route=%s, antientropy=%v, admit=%g qps)\n",
+				mode, len(nodes), a, layout, pol, *aeEvery, *admitRate)
 		}
 		return serveAndDrain(rt.Handler(), banner, closeAll)
 	}
 
-	db, h, err := openNode(*dir)
+	db, h, err := openNode(*dir, true)
 	if err != nil {
 		return err
 	}

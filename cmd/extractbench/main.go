@@ -201,6 +201,15 @@ func run(exp string, scale int, seed int64, traceFile string) error {
 			return err
 		}
 		res.Table.Print(os.Stdout)
+		pp := experiments.DefaultPartitionedSybilParams()
+		pp.Scale = scale
+		pp.Seed = seed
+		pres, err := experiments.PartitionedSybilDetection(pp)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		pres.Table.Print(os.Stdout)
 		ran = true
 	}
 	if exp == "storefront" {

@@ -31,16 +31,18 @@ func newShard(t testing.TB, tuples int, det *detect.Config) (http.Handler, *core
 	if _, err := db.Exec(`CREATE TABLE items (id INT PRIMARY KEY, v TEXT)`); err != nil {
 		t.Fatal(err)
 	}
-	var sb strings.Builder
-	sb.WriteString("INSERT INTO items VALUES ")
-	for i := 1; i <= tuples; i++ {
-		if i > 1 {
-			sb.WriteString(", ")
+	if tuples > 0 {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO items VALUES ")
+		for i := 1; i <= tuples; i++ {
+			if i > 1 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 'v%d')", i, i)
 		}
-		fmt.Fprintf(&sb, "(%d, 'v%d')", i, i)
-	}
-	if _, err := db.Exec(sb.String()); err != nil {
-		t.Fatal(err)
+		if _, err := db.Exec(sb.String()); err != nil {
+			t.Fatal(err)
+		}
 	}
 	shield, err := core.New(db, core.Config{
 		N: tuples, Alpha: 1, Beta: 1, Cap: time.Millisecond,

@@ -1,0 +1,522 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/server"
+	"repro/internal/sqlmini"
+)
+
+// This file is the front-door merge executor: a multi-partition scan or
+// aggregate fans to every owner shard concurrently — each scanning its
+// ~1/P slice with its own parallel scan executor — and the partial
+// results recombine here into exactly the response one shard holding
+// everything would have produced. Three merge shapes:
+//
+//   - ORDER BY: each shard returns its slice already sorted (with the
+//     sort column injected into the projection when the client did not
+//     select it), and the executor k-way merges the sorted streams,
+//     stripping the injected column before relay.
+//   - Aggregates: the statement is rewritten into mergeable partials
+//     (sqlmini.PartialAggregates) and the partials combine — counts and
+//     sums add, AVG divides summed sums by summed counts, MIN/MAX take
+//     the extreme over shards whose slice matched at least one row.
+//   - LIMIT without ORDER BY: the fan-out stops as soon as enough rows
+//     arrived — the shared context cancels outstanding shard RPCs, so a
+//     LIMIT 10 against four shards costs roughly the fastest shard, not
+//     the slowest.
+//
+// Error paths cancel the same way: the first shard error (or transport
+// failure) aborts the remaining RPCs and is relayed (or 503s) at once.
+
+// shardReply is one shard's answer to a fanned statement.
+type shardReply struct {
+	node   int
+	status int
+	ct     string
+	resp   server.QueryResponse
+	raw    []byte // body of a non-200 answer, relayed verbatim
+	err    error  // transport failure (status 0) or 200-body decode failure
+}
+
+// fanStatements sends sqlFor(node) to each target concurrently,
+// returning a channel carrying exactly one reply per target. Identity
+// and client address are captured as strings before the goroutines
+// start: with LIMIT early-cancel the handler can return while laggard
+// RPCs still run, after which req belongs to the http server again.
+func (r *Router) fanStatements(ctx context.Context, req *http.Request, targets []int, sqlFor func(int) string) <-chan shardReply {
+	id := req.Header.Get("X-Identity")
+	addr := req.RemoteAddr
+	ch := make(chan shardReply, len(targets))
+	for _, i := range targets {
+		go func(i int) {
+			body, err := json.Marshal(server.QueryRequest{SQL: sqlFor(i)})
+			if err != nil {
+				ch <- shardReply{node: i, err: err}
+				return
+			}
+			ch <- r.shardQuery(ctx, i, body, id, addr)
+		}(i)
+	}
+	return ch
+}
+
+// shardQuery runs one fanned RPC. It bypasses Node.do for one reason:
+// do latches a node down on any transport error, but a scatter that
+// cancelled its laggards on purpose (LIMIT satisfied, or another shard
+// already errored) must not mark healthy shards dead for obeying the
+// cancellation.
+func (r *Router) shardQuery(ctx context.Context, node int, body []byte, id, addr string) shardReply {
+	n := r.nodes[node]
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return shardReply{node: node, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if id != "" {
+		req.Header.Set("X-Identity", id)
+	}
+	if addr != "" {
+		req.Header.Set("X-Forwarded-For", addr)
+	}
+	n.inflight.Add(1)
+	var resp *http.Response
+	if n.local != nil {
+		resp, err = n.local.RoundTrip(req)
+	} else {
+		resp, err = n.http.Do(req)
+	}
+	n.inflight.Add(-1)
+	if err != nil {
+		if ctx.Err() == nil {
+			n.down.Store(true)
+			r.peerErrors.Inc()
+			r.syncPeerDown()
+		}
+		return shardReply{node: node, err: err}
+	}
+	defer resp.Body.Close()
+	out := shardReply{node: node, status: resp.StatusCode, ct: resp.Header.Get("Content-Type")}
+	if resp.StatusCode == http.StatusOK {
+		if derr := json.NewDecoder(resp.Body).Decode(&out.resp); derr != nil && ctx.Err() == nil {
+			out.err = fmt.Errorf("shard %s: decoding response: %v", n.name, derr)
+		}
+	} else {
+		out.raw, _ = io.ReadAll(resp.Body)
+	}
+	return out
+}
+
+// relayRaw copies a shard's non-200 answer to the client verbatim.
+func relayRaw(w http.ResponseWriter, rep shardReply) {
+	if rep.ct != "" {
+		w.Header().Set("Content-Type", rep.ct)
+	}
+	w.WriteHeader(rep.status)
+	w.Write(rep.raw)
+}
+
+// mergeSpec is the merge plan derived from the statement shape.
+type mergeSpec struct {
+	// aggs/src: original aggregate list and, per aggregate, the indices
+	// of its partials in the rewritten shard statement.
+	aggs []sqlmini.Aggregate
+	src  [][]int
+	// order + orderIdx: merge column. orderIdx -1 means resolve by name
+	// against the shard response columns (SELECT *).
+	order    *sqlmini.OrderBy
+	orderIdx int
+	// strip: the order column was injected into the shard projection
+	// and must come back off before relay.
+	strip bool
+	limit int
+	// earlyCancel: plain LIMIT scan — stop collecting (and cancel the
+	// laggards) the moment enough rows arrived.
+	earlyCancel bool
+}
+
+// scatterRead fans a multi-partition SELECT to every owner shard and
+// merges the partials.
+func (r *Router) scatterRead(w http.ResponseWriter, req *http.Request, pm *PartitionMap, sel *sqlmini.Select, sql string) {
+	targets := pm.ownerSet()
+	for _, i := range targets {
+		if !r.nodes[i].readable() {
+			// Owners hold the only copy of their slice: no shard can
+			// stand in, so a missing owner is a missing partition.
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Errorf("partition owner %s unavailable", r.nodes[i].name))
+			return
+		}
+	}
+
+	spec := mergeSpec{limit: sel.Limit, orderIdx: -1}
+	shardSQL := sql
+	switch {
+	case len(sel.Aggregates) > 0:
+		partials, src := sqlmini.PartialAggregates(sel.Aggregates)
+		spec.aggs, spec.src = sel.Aggregates, src
+		shardSQL = sqlmini.Render(&sqlmini.Select{
+			Table:      sel.Table,
+			Aggregates: partials,
+			Where:      sel.Where,
+			Order:      sel.Order,
+			Limit:      sel.Limit,
+		})
+	case sel.Order != nil:
+		spec.order = sel.Order
+		if len(sel.Columns) > 0 {
+			idx := -1
+			for i, c := range sel.Columns {
+				if strings.EqualFold(c, sel.Order.Column) {
+					idx = i
+					break
+				}
+			}
+			if idx >= 0 {
+				spec.orderIdx = idx
+			} else {
+				// Inject the sort column so the merge can see it; the
+				// shard sorts on the full row either way.
+				cols := append(append([]string(nil), sel.Columns...), sel.Order.Column)
+				spec.orderIdx = len(sel.Columns)
+				spec.strip = true
+				shardSQL = sqlmini.Render(&sqlmini.Select{
+					Table:   sel.Table,
+					Columns: cols,
+					Where:   sel.Where,
+					Order:   sel.Order,
+					Limit:   sel.Limit,
+				})
+			}
+		}
+	default:
+		spec.earlyCancel = sel.Limit >= 0
+	}
+
+	ctx, cancel := context.WithCancel(req.Context())
+	defer cancel()
+	ch := r.fanStatements(ctx, req, targets, func(int) string { return shardSQL })
+
+	replies := make([]shardReply, 0, len(targets))
+	rows := 0
+	for range targets {
+		rep := <-ch
+		if rep.err != nil {
+			cancel()
+			if rep.status == http.StatusOK {
+				writeErr(w, http.StatusBadGateway, rep.err)
+			} else {
+				writeErr(w, http.StatusServiceUnavailable,
+					fmt.Errorf("partition owner %s unreachable: %v", r.nodes[rep.node].name, rep.err))
+			}
+			return
+		}
+		if rep.status != http.StatusOK {
+			cancel()
+			relayRaw(w, rep)
+			return
+		}
+		replies = append(replies, rep)
+		if spec.earlyCancel {
+			rows += len(rep.resp.Rows)
+			if rows >= spec.limit {
+				cancel()
+				break
+			}
+		}
+	}
+	if r.pmap.Load() != pm {
+		r.writePartitionStale(w)
+		return
+	}
+	out, err := mergeReplies(replies, &spec)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// mergeReplies recombines per-shard partial results per the spec.
+func mergeReplies(replies []shardReply, spec *mergeSpec) (*server.QueryResponse, error) {
+	// Stable order: merge in node order, not arrival order.
+	sortRepliesByNode(replies)
+	out := &server.QueryResponse{Rows: [][]string{}}
+	for _, rep := range replies {
+		if rep.resp.DelayMillis > out.DelayMillis {
+			out.DelayMillis = rep.resp.DelayMillis
+		}
+	}
+	if len(spec.aggs) > 0 {
+		return mergeAggregates(replies, spec, out)
+	}
+	if len(replies) == 0 {
+		return out, nil
+	}
+	out.Columns = replies[0].resp.Columns
+	if spec.order != nil {
+		idx := spec.orderIdx
+		if idx < 0 {
+			for i, c := range out.Columns {
+				if strings.EqualFold(c, spec.order.Column) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("order column %q missing from shard response", spec.order.Column)
+			}
+		}
+		out.Rows = mergeOrdered(replies, idx, spec.order.Desc, spec.limit)
+	} else {
+		for _, rep := range replies {
+			out.Rows = append(out.Rows, rep.resp.Rows...)
+		}
+		if spec.limit >= 0 && len(out.Rows) > spec.limit {
+			out.Rows = out.Rows[:spec.limit]
+		}
+	}
+	if spec.strip {
+		out.Columns = out.Columns[:len(out.Columns)-1]
+		for i, row := range out.Rows {
+			out.Rows[i] = row[:len(row)-1]
+		}
+	}
+	return out, nil
+}
+
+func sortRepliesByNode(replies []shardReply) {
+	for i := 1; i < len(replies); i++ {
+		for j := i; j > 0 && replies[j].node < replies[j-1].node; j-- {
+			replies[j], replies[j-1] = replies[j-1], replies[j]
+		}
+	}
+}
+
+// mergeOrdered k-way merges per-shard streams that are each already
+// sorted on column idx. Ties break toward the lower node index, so the
+// merged order is deterministic.
+func mergeOrdered(replies []shardReply, idx int, desc bool, limit int) [][]string {
+	total := 0
+	for _, rep := range replies {
+		total += len(rep.resp.Rows)
+	}
+	if limit >= 0 && limit < total {
+		total = limit
+	}
+	out := make([][]string, 0, total)
+	cursors := make([]int, len(replies))
+	for len(out) < total || limit < 0 {
+		best := -1
+		for j := range replies {
+			if cursors[j] >= len(replies[j].resp.Rows) {
+				continue
+			}
+			if best < 0 {
+				best = j
+				continue
+			}
+			c := compareCell(replies[j].resp.Rows[cursors[j]][idx], replies[best].resp.Rows[cursors[best]][idx])
+			if desc {
+				c = -c
+			}
+			if c < 0 {
+				best = j
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, replies[best].resp.Rows[cursors[best]])
+		cursors[best]++
+		if limit >= 0 && len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+// compareCell orders two stringified cells the way the engine orders
+// the values behind them: as integers when both parse exactly (int64
+// beyond float53 must not misorder), as floats when both are numeric,
+// and as strings otherwise.
+func compareCell(a, b string) int {
+	if ai, aerr := strconv.ParseInt(a, 10, 64); aerr == nil {
+		if bi, berr := strconv.ParseInt(b, 10, 64); berr == nil {
+			switch {
+			case ai < bi:
+				return -1
+			case ai > bi:
+				return 1
+			}
+			return 0
+		}
+	}
+	if af, aerr := strconv.ParseFloat(a, 64); aerr == nil {
+		if bf, berr := strconv.ParseFloat(b, 64); berr == nil {
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			}
+			return 0
+		}
+	}
+	return strings.Compare(a, b)
+}
+
+// mergeAggregates combines shard-local partials into the final
+// aggregate row, labeled exactly as a single node would label it.
+func mergeAggregates(replies []shardReply, spec *mergeSpec, out *server.QueryResponse) (*server.QueryResponse, error) {
+	out.Columns = make([]string, len(spec.aggs))
+	for i, a := range spec.aggs {
+		out.Columns[i] = sqlmini.AggregateName(a)
+	}
+	for _, rep := range replies {
+		if len(rep.resp.Rows) == 0 {
+			// LIMIT 0 on an aggregate yields no row; every shard ran
+			// the same statement, so mirror it.
+			return out, nil
+		}
+		if len(rep.resp.Rows) != 1 {
+			return nil, fmt.Errorf("aggregate partial with %d rows from node %d", len(rep.resp.Rows), rep.node)
+		}
+	}
+	cell := func(rep shardReply, part int) string {
+		return rep.resp.Rows[0][part]
+	}
+	row := make([]string, len(spec.aggs))
+	for i, a := range spec.aggs {
+		parts := spec.src[i]
+		switch a.Func {
+		case sqlmini.AggCount:
+			var total int64
+			for _, rep := range replies {
+				v, err := strconv.ParseInt(cell(rep, parts[0]), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad COUNT partial %q from node %d", cell(rep, parts[0]), rep.node)
+				}
+				total += v
+			}
+			row[i] = strconv.FormatInt(total, 10)
+		case sqlmini.AggSum, sqlmini.AggAvg:
+			var sum float64
+			var count int64
+			for _, rep := range replies {
+				s, err := strconv.ParseFloat(cell(rep, parts[0]), 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad %s partial %q from node %d", a.Func, cell(rep, parts[0]), rep.node)
+				}
+				sum += s
+				if a.Func == sqlmini.AggAvg {
+					c, err := strconv.ParseInt(cell(rep, parts[1]), 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("bad COUNT partial %q from node %d", cell(rep, parts[1]), rep.node)
+					}
+					count += c
+				}
+			}
+			if a.Func == sqlmini.AggAvg {
+				if count == 0 {
+					row[i] = "0"
+				} else {
+					row[i] = strconv.FormatFloat(sum/float64(count), 'g', -1, 64)
+				}
+			} else {
+				row[i] = strconv.FormatFloat(sum, 'g', -1, 64)
+			}
+		case sqlmini.AggMin, sqlmini.AggMax:
+			// A shard whose slice matched no rows reports the engine's
+			// empty-aggregate zero; the paired COUNT partial filters it
+			// out of the global extreme.
+			best := ""
+			seen := false
+			for _, rep := range replies {
+				c, err := strconv.ParseInt(cell(rep, parts[1]), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad COUNT partial %q from node %d", cell(rep, parts[1]), rep.node)
+				}
+				if c == 0 {
+					continue
+				}
+				v := cell(rep, parts[0])
+				if !seen {
+					best, seen = v, true
+					continue
+				}
+				cmp := compareCell(v, best)
+				if (a.Func == sqlmini.AggMin && cmp < 0) || (a.Func == sqlmini.AggMax && cmp > 0) {
+					best = v
+				}
+			}
+			if !seen {
+				best = "0" // the engine's empty-aggregate answer
+			}
+			row[i] = best
+		default:
+			return nil, fmt.Errorf("unmergeable aggregate %v", a.Func)
+		}
+	}
+	out.Rows = [][]string{row}
+	return out, nil
+}
+
+// scatterWrite applies a predicate write (or a split INSERT's slices)
+// on every target owner concurrently and acks the sum of the per-shard
+// effects. No router-wide ordering lock: partitioned shards hold
+// disjoint rows, so cross-shard apply order cannot diverge a row —
+// every interleaving of two scatter writes is some serial order per
+// row. Unlike reads, an error does not cancel the laggards: a write
+// already in flight on another shard will land regardless, so the
+// honest answer reports after every shard has spoken. A transport
+// failure (or a shard error alongside other shards' successes) leaves
+// the statement partially applied; the 503/relayed error tells the
+// client the write did not fully commit, and re-issuing it is safe for
+// the idempotent statements the grammar has (INSERT re-apply errors on
+// the duplicate key; UPDATE/DELETE re-apply is a no-op).
+func (r *Router) scatterWrite(w http.ResponseWriter, req *http.Request, pm *PartitionMap, targets []int, sqlFor func(int) string) {
+	for _, i := range targets {
+		// down excludes; resync does not — writes-only is exactly what
+		// the resync latch means, and the owner has the only copy.
+		if r.nodes[i].down.Load() {
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Errorf("partition owner %s unavailable", r.nodes[i].name))
+			return
+		}
+	}
+	if r.pmap.Load() != pm {
+		r.writePartitionStale(w)
+		return
+	}
+	ch := r.fanStatements(req.Context(), req, targets, sqlFor)
+	replies := make([]shardReply, 0, len(targets))
+	for range targets {
+		replies = append(replies, <-ch)
+	}
+	sortRepliesByNode(replies)
+	out := server.QueryResponse{}
+	for _, rep := range replies {
+		if rep.err != nil {
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Errorf("partition owner %s unreachable; write may be partially applied", r.nodes[rep.node].name))
+			return
+		}
+		if rep.status != http.StatusOK {
+			relayRaw(w, rep)
+			return
+		}
+		out.Affected += rep.resp.Affected
+		if rep.resp.DelayMillis > out.DelayMillis {
+			out.DelayMillis = rep.resp.DelayMillis
+		}
+	}
+	writeJSON(w, http.StatusOK, &out)
+}

@@ -60,12 +60,24 @@ type Node struct {
 }
 
 // NewHTTPNode returns a shard reached over the network at base
-// (e.g. "http://10.0.0.3:8080").
+// (e.g. "http://10.0.0.3:8080"). The transport is tuned for the
+// router's traffic shape — a small set of peers, each carrying many
+// concurrent point queries: the default MaxIdleConnsPerHost of 2 would
+// discard all but two keep-alive connections per shard after every
+// burst, re-paying connection setup on the hot path, so idle pooling
+// is sized to the fan-out a busy router actually sustains.
 func NewHTTPNode(name, base string) *Node {
 	return &Node{
 		name: name,
 		base: base,
-		http: &http.Client{Timeout: 5 * time.Minute},
+		http: &http.Client{
+			Timeout: 5 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
 	}
 }
 
@@ -143,6 +155,11 @@ type handlerTransport struct {
 func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	rec := &recordedResponse{header: make(http.Header), code: http.StatusOK}
 	t.h.ServeHTTP(rec, req)
+	// Real transports guarantee exactly one Close of the request body;
+	// pooled scratch bodies rely on that to return to their pool.
+	if req.Body != nil {
+		req.Body.Close()
+	}
 	return &http.Response{
 		Status:        http.StatusText(rec.code),
 		StatusCode:    rec.code,

@@ -1,0 +1,562 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/server"
+	"repro/internal/sqlmini"
+)
+
+// This file is the tuple-partitioning layer: a versioned partition map
+// assigning each tuple (by primary key) to exactly one owner shard, and
+// the per-statement planner the router consults to route point queries
+// and single-key writes to that one owner while scans scatter to every
+// owner. Replication made every shard a full copy — writes fanned out
+// N ways and a scan ran on one shard, so shards bought availability but
+// zero capacity. Under partitioning each shard holds ~1/P of the tuples:
+// single-key writes touch one shard (amplification N× → 1×, and no
+// router-wide write ordering lock — rows on different shards are
+// different rows, so cross-shard write order cannot diverge anything),
+// and scatter scans run on all shards concurrently over 1/P-sized
+// slices. Detection stays globally coherent without any new machinery:
+// each shard's detector observes only its partition's tuple IDs, and the
+// existing anti-entropy sketch exchange merges those per-slice sketches
+// into the union view, so a coalition splitting its key range across
+// partitions prices exactly as if one node saw the whole stream.
+
+// DefaultPartitions is the partition count cmd/delaydb uses when
+// -partitions is set without a value; plenty of headroom to rebalance
+// onto more shards without re-hashing tuples.
+const DefaultPartitions = 64
+
+// PartitionMap is an immutable, versioned assignment of partitions to
+// owner shards. Tuples hash (by INT primary key) to one of P partitions;
+// each partition has exactly one owner node. Rebalancing installs a new
+// map with the next version — requests pinned to the old version are
+// rejected retryably, never answered from a shard that may no longer
+// own the tuple.
+type PartitionMap struct {
+	Version uint64
+	// Owners maps partition index → node index.
+	Owners []int
+}
+
+// NewPartitionMap assigns partitions to owner shards via the same
+// consistent-hash ring the router uses for principals, so partition
+// placement inherits the ring's balance properties. The partition index
+// is pre-mixed through splitmix64 before it becomes a ring key: FNV-1a
+// barely avalanches a trailing-byte change, so the naive keys
+// "partition-0".."partition-63" would hash into one narrow arc of the
+// ring and hand every partition to the same owner. vnodes <= 0 means
+// the ring default.
+func NewPartitionMap(version uint64, partitions, nodes, vnodes int) (*PartitionMap, error) {
+	if partitions < 1 {
+		return nil, errors.New("cluster: partitions must be >= 1")
+	}
+	if nodes < 1 {
+		return nil, errors.New("cluster: no nodes to own partitions")
+	}
+	rg := newRing(nodes, vnodes)
+	owners := make([]int, partitions)
+	for p := range owners {
+		owners[p] = rg.owner("partition-" + strconv.FormatUint(mix64(uint64(p)), 16))
+	}
+	return &PartitionMap{Version: version, Owners: owners}, nil
+}
+
+// mix64 is the splitmix64 finalizer: primary keys are often dense
+// sequences, and P typically divides small powers of two, so raw
+// key%P would stripe adjacent tuples pathologically. Mirrors the
+// detector's tuple hash.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// PartitionOf returns the partition a primary key hashes to.
+func (m *PartitionMap) PartitionOf(key int64) int {
+	return int(mix64(uint64(key)) % uint64(len(m.Owners)))
+}
+
+// OwnerOf returns the node index owning the tuple with the given
+// primary key.
+func (m *PartitionMap) OwnerOf(key int64) int {
+	return m.Owners[m.PartitionOf(key)]
+}
+
+// ownerSet returns the distinct owner node indices in ascending order —
+// the scatter target set. Nodes owning no partition hold no tuples and
+// are skipped.
+func (m *PartitionMap) ownerSet() []int {
+	seen := make(map[int]bool, len(m.Owners))
+	out := make([]int, 0, len(m.Owners))
+	for _, n := range m.Owners {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Partitioned reports whether the router routes by tuple partition.
+func (r *Router) Partitioned() bool { return r.pmap.Load() != nil }
+
+// CurrentPartitionMap returns the live map (nil when partitioning is
+// off). The map is immutable; callers must not mutate it.
+func (r *Router) CurrentPartitionMap() *PartitionMap { return r.pmap.Load() }
+
+// InstallPartitionMap swaps in a rebalanced map. The new map must keep
+// the partition count (tuples never re-hash; only ownership moves),
+// carry exactly the next version, and name only known shards. Data
+// migration is the operator's affair — delaydb moves no tuples; the
+// version fence just guarantees no request straddles two maps.
+func (r *Router) InstallPartitionMap(m *PartitionMap) error {
+	if m == nil {
+		return errors.New("cluster: nil partition map")
+	}
+	r.pmapMu.Lock()
+	defer r.pmapMu.Unlock()
+	cur := r.pmap.Load()
+	if cur == nil {
+		return errors.New("cluster: partitioning is not enabled")
+	}
+	if len(m.Owners) != len(cur.Owners) {
+		return fmt.Errorf("cluster: partition count is fixed at %d (got %d)", len(cur.Owners), len(m.Owners))
+	}
+	if m.Version != cur.Version+1 {
+		return fmt.Errorf("cluster: partition map version must be %d (got %d)", cur.Version+1, m.Version)
+	}
+	for p, o := range m.Owners {
+		if o < 0 || o >= len(r.nodes) {
+			return fmt.Errorf("cluster: partition %d owned by unknown node index %d", p, o)
+		}
+	}
+	r.pmap.Store(m)
+	return nil
+}
+
+// writePartitionStale answers a request caught on the wrong side of a
+// partition map swap: 409 with the current version and Retry-After: 0 —
+// the client refreshes its pin and retries immediately; nothing was
+// served from a shard that may no longer own the tuple.
+func (r *Router) writePartitionStale(w http.ResponseWriter) {
+	cur := r.pmap.Load()
+	r.partVerRej.Inc()
+	w.Header().Set("X-Partition-Version", strconv.FormatUint(cur.Version, 10))
+	w.Header().Set("Retry-After", "0")
+	writeErr(w, http.StatusConflict,
+		fmt.Errorf("partition map changed (current version %d); refresh and retry", cur.Version))
+}
+
+// tableKey is the routing-relevant slice of a table's schema: which
+// column is the INT primary key (by name, for WHERE matching) and where
+// it sits (by position, for splitting positional INSERT rows).
+type tableKey struct {
+	name string
+	idx  int
+}
+
+// keyFor resolves a table's primary-key column, first from the snoop
+// cache (CREATE TABLE statements pass through the router), then by
+// pulling /admin/schema from a healthy shard — the cold path for
+// routers fronting shards whose tables predate them.
+func (r *Router) keyFor(table string) (tableKey, bool) {
+	lc := strings.ToLower(table)
+	if v, ok := r.schemas.Load(lc); ok {
+		return v.(tableKey), true
+	}
+	r.fetchSchemas()
+	if v, ok := r.schemas.Load(lc); ok {
+		return v.(tableKey), true
+	}
+	return tableKey{}, false
+}
+
+func (r *Router) fetchSchemas() {
+	r.schemaMu.Lock()
+	defer r.schemaMu.Unlock()
+	h := r.healthy()
+	if len(h) == 0 {
+		return
+	}
+	n := r.nodes[h[0]]
+	req, err := http.NewRequest(http.MethodGet, n.base+"/admin/schema", nil)
+	if err != nil {
+		return
+	}
+	resp, err := n.do(req)
+	if err != nil {
+		r.peerErrors.Inc()
+		r.syncPeerDown()
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var sr server.SchemaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return
+	}
+	for _, t := range sr.Tables {
+		r.schemas.Store(strings.ToLower(t.Name), tableKey{name: t.Key, idx: t.KeyIndex})
+	}
+}
+
+// planKind enumerates the shapes a statement routes as.
+type planKind int
+
+const (
+	// planBroadcast: DDL — every reachable shard must agree on the
+	// catalog, so it rides the replicated fan-out (and its ordering
+	// lock).
+	planBroadcast planKind = iota
+	// planSingleRead: a point query pinned to one tuple's owner.
+	planSingleRead
+	// planSingleWrite: a write pinned to one tuple's owner.
+	planSingleWrite
+	// planScatterRead: a scan or aggregate over every owner's slice,
+	// recombined by the merge executor.
+	planScatterRead
+	// planScatterWrite: a predicate write (UPDATE/DELETE without a key
+	// pin) applied on every owner's slice.
+	planScatterWrite
+	// planSplitInsert: a multi-row INSERT sliced into one per-owner
+	// INSERT over just the rows that owner holds.
+	planSplitInsert
+)
+
+// queryPlan is the planner's verdict for one statement.
+type queryPlan struct {
+	kind planKind
+	// node is the single target (planSingleRead/planSingleWrite); -1
+	// means any healthy shard (EXPLAIN — plans are identical modulo
+	// slice statistics).
+	node int
+	// sel is the parsed statement for planScatterRead, which the merge
+	// executor rewrites (partial aggregates, order-column injection).
+	sel *sqlmini.Select
+	// perNode carries the re-rendered INSERT slice per owner node for
+	// planSplitInsert.
+	perNode map[int]string
+}
+
+// planStatement classifies sql against the partition map. A parse
+// failure is answered at the edge — no shard burns work on garbage.
+func (r *Router) planStatement(pm *PartitionMap, sql string) (queryPlan, error) {
+	stmt, err := sqlmini.Parse(sql)
+	if err != nil {
+		return queryPlan{}, err
+	}
+	switch s := stmt.(type) {
+	case *sqlmini.Select:
+		if s.Explain {
+			return queryPlan{kind: planSingleRead, node: -1}, nil
+		}
+		if k, ok := r.keyFor(s.Table); ok {
+			if key, ok := sqlmini.PKEqual(s.Where, k.name); ok {
+				return queryPlan{kind: planSingleRead, node: pm.OwnerOf(key)}, nil
+			}
+		}
+		return queryPlan{kind: planScatterRead, sel: s}, nil
+	case *sqlmini.Insert:
+		return r.planInsert(pm, s)
+	case *sqlmini.Update:
+		if k, ok := r.keyFor(s.Table); ok {
+			if key, ok := sqlmini.PKEqual(s.Where, k.name); ok {
+				return queryPlan{kind: planSingleWrite, node: pm.OwnerOf(key)}, nil
+			}
+		}
+		return queryPlan{kind: planScatterWrite}, nil
+	case *sqlmini.Delete:
+		if k, ok := r.keyFor(s.Table); ok {
+			if key, ok := sqlmini.PKEqual(s.Where, k.name); ok {
+				return queryPlan{kind: planSingleWrite, node: pm.OwnerOf(key)}, nil
+			}
+		}
+		return queryPlan{kind: planScatterWrite}, nil
+	case *sqlmini.CreateTable:
+		// Snoop the key column so the tuples this table will hold route
+		// without a schema fetch.
+		for i, col := range s.Columns {
+			if col.PrimaryKey {
+				r.schemas.Store(strings.ToLower(s.Table), tableKey{name: col.Name, idx: i})
+				break
+			}
+		}
+		return queryPlan{kind: planBroadcast}, nil
+	case *sqlmini.DropTable:
+		r.schemas.Delete(strings.ToLower(s.Table))
+		return queryPlan{kind: planBroadcast}, nil
+	default: // CREATE INDEX / DROP INDEX
+		return queryPlan{kind: planBroadcast}, nil
+	}
+}
+
+// planInsert routes an INSERT by the primary key of each row. All rows
+// on one owner ship as-is; rows spanning owners split into per-owner
+// INSERT slices. A row whose key cannot be read positionally (unknown
+// table, short row, non-INT key) routes the whole statement to one
+// shard whose engine rejects it — a deterministic error with no tuple
+// applied anywhere.
+func (r *Router) planInsert(pm *PartitionMap, s *sqlmini.Insert) (queryPlan, error) {
+	k, ok := r.keyFor(s.Table)
+	if !ok {
+		return r.anyWritePlan()
+	}
+	byOwner := make(map[int][][]sqlmini.Literal)
+	order := make([]int, 0, 4) // owners in first-row order, for determinism
+	for _, row := range s.Rows {
+		if k.idx >= len(row) || row[k.idx].Kind != sqlmini.IntLit {
+			return r.anyWritePlan()
+		}
+		o := pm.OwnerOf(row[k.idx].Int)
+		if _, seen := byOwner[o]; !seen {
+			order = append(order, o)
+		}
+		byOwner[o] = append(byOwner[o], row)
+	}
+	if len(byOwner) == 1 {
+		return queryPlan{kind: planSingleWrite, node: order[0]}, nil
+	}
+	perNode := make(map[int]string, len(byOwner))
+	for o, rows := range byOwner {
+		perNode[o] = sqlmini.Render(&sqlmini.Insert{Table: s.Table, Rows: rows})
+	}
+	return queryPlan{kind: planSplitInsert, perNode: perNode}, nil
+}
+
+// anyWritePlan targets the first readable shard: used when a statement
+// cannot be routed by key but will be rejected identically by any
+// engine, so one shard's deterministic error stands for the cluster's.
+func (r *Router) anyWritePlan() (queryPlan, error) {
+	h := r.healthy()
+	if len(h) == 0 {
+		return queryPlan{}, errors.New("no healthy shards")
+	}
+	return queryPlan{kind: planSingleWrite, node: h[0]}, nil
+}
+
+// servePartitioned plans and dispatches one statement under the map the
+// caller loaded. Admission has already run; the caller's pm pins the
+// map version every routing decision and the final relay are checked
+// against.
+func (r *Router) servePartitioned(w http.ResponseWriter, req *http.Request, pm *PartitionMap, sql string, body []byte, scratch *bodyScratch) {
+	plan, err := r.planStatement(pm, sql)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	switch plan.kind {
+	case planBroadcast:
+		r.fanoutWrite(w, req, "/query", body, scratch)
+	case planSingleRead:
+		node := plan.node
+		if node < 0 {
+			h := r.healthy()
+			if len(h) == 0 {
+				writeErr(w, http.StatusServiceUnavailable, errors.New("no healthy shards"))
+				return
+			}
+			node = h[0]
+		}
+		r.partSingleRead.Inc()
+		r.serveOwner(w, req, pm, node, body, scratch, true)
+	case planSingleWrite:
+		r.partSingleWrite.Inc()
+		r.serveOwner(w, req, pm, plan.node, body, scratch, false)
+	case planScatterRead:
+		r.partScatter.Inc()
+		r.scatterRead(w, req, pm, plan.sel, sql)
+	case planScatterWrite:
+		r.partScatter.Inc()
+		r.scatterWrite(w, req, pm, pm.ownerSet(), func(int) string { return sql })
+	case planSplitInsert:
+		r.partSplit.Inc()
+		targets := make([]int, 0, len(plan.perNode))
+		for o := range plan.perNode {
+			targets = append(targets, o)
+		}
+		sortInts(targets)
+		r.scatterWrite(w, req, pm, targets, func(n int) string { return plan.perNode[n] })
+	}
+}
+
+// serveOwner forwards a single-owner statement to its one shard. There
+// is no failover: the owner holds the only copy of the tuple, so an
+// unavailable owner is an unavailable partition, answered 503 (reads
+// also exclude resync shards — a shard missing acked writes must not
+// serve the only copy of a row). The response relays only after
+// re-checking that the map did not change mid-flight — the reason this
+// path uses forward+relay rather than serving the shard handler
+// directly on the client's ResponseWriter, which could not retract an
+// answer written under a stale map.
+func (r *Router) serveOwner(w http.ResponseWriter, req *http.Request, pm *PartitionMap, node int, body []byte, scratch *bodyScratch, read bool) {
+	n := r.nodes[node]
+	if read && !n.readable() || !read && n.down.Load() {
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("partition owner %s unavailable", n.name))
+		return
+	}
+	resp, err := r.forwardScratch(req, n, "/query", body, n.local != nil, scratch)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("partition owner %s unreachable: %v", n.name, err))
+		return
+	}
+	if r.pmap.Load() != pm {
+		resp.Body.Close()
+		r.writePartitionStale(w)
+		return
+	}
+	relay(w, resp)
+}
+
+// PartitionMapResponse is the GET /admin/partition-map body.
+type PartitionMapResponse struct {
+	Enabled    bool   `json:"enabled"`
+	Version    uint64 `json:"version,omitempty"`
+	Partitions int    `json:"partitions,omitempty"`
+	// Owners names the owner shard per partition.
+	Owners []string `json:"owners,omitempty"`
+}
+
+func (r *Router) handlePartitionMapGet(w http.ResponseWriter, req *http.Request) {
+	pm := r.pmap.Load()
+	if pm == nil {
+		writeJSON(w, http.StatusOK, PartitionMapResponse{Enabled: false})
+		return
+	}
+	out := PartitionMapResponse{
+		Enabled:    true,
+		Version:    pm.Version,
+		Partitions: len(pm.Owners),
+		Owners:     make([]string, len(pm.Owners)),
+	}
+	for p, o := range pm.Owners {
+		out.Owners[p] = r.nodes[o].name
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// PartitionMapUpdate is the POST /admin/partition-map body: an
+// operator's rebalance, naming the new owner shard per partition at
+// exactly the next version.
+type PartitionMapUpdate struct {
+	Version uint64   `json:"version"`
+	Owners  []string `json:"owners"`
+}
+
+func (r *Router) handlePartitionMapPost(w http.ResponseWriter, req *http.Request) {
+	if ct := req.Header.Get("Content-Type"); ct != "" && ct != "application/json" {
+		writeErr(w, http.StatusUnsupportedMediaType, fmt.Errorf("content type %q; want application/json", ct))
+		return
+	}
+	var up PartitionMapUpdate
+	if err := json.NewDecoder(req.Body).Decode(&up); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	idx := make(map[string]int, len(r.nodes))
+	for i, n := range r.nodes {
+		idx[n.name] = i
+	}
+	owners := make([]int, len(up.Owners))
+	for p, name := range up.Owners {
+		i, ok := idx[name]
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("partition %d: unknown node %q", p, name))
+			return
+		}
+		owners[p] = i
+	}
+	m := &PartitionMap{Version: up.Version, Owners: owners}
+	if err := r.InstallPartitionMap(m); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "installed", "version": m.Version})
+}
+
+// ExecScript runs a semicolon-separated statement script through the
+// router's own planner — cmd/delaydb's -init path in partitioned mode,
+// where loading every shard with the full dataset (the replicated
+// habit) would defeat the partitioning. Statements bypass admission
+// (it is the operator's own front door) but take the exact routing and
+// merge paths client queries take.
+func (r *Router) ExecScript(src string) error {
+	for _, stmt := range splitStatements(src) {
+		body, err := json.Marshal(server.QueryRequest{SQL: stmt})
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequest(http.MethodPost, "http://router/query", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Identity", "cluster-init")
+		rec := &recordedResponse{header: make(http.Header), code: http.StatusOK}
+		if pm := r.pmap.Load(); pm != nil {
+			r.servePartitioned(rec, req, pm, stmt, body, nil)
+		} else {
+			r.fanoutWrite(rec, req, "/query", body, nil)
+		}
+		if rec.code != http.StatusOK {
+			return fmt.Errorf("cluster: statement %q: %s: %s",
+				stmt, http.StatusText(rec.code), bytes.TrimSpace(rec.body.Bytes()))
+		}
+	}
+	return nil
+}
+
+// splitStatements splits a script on semicolons outside string
+// literals, dropping -- line comments and blank statements. The ''
+// escape is two quotes, so toggling in-string per quote handles it.
+func splitStatements(src string) []string {
+	var out []string
+	var sb strings.Builder
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case c == '\'':
+			inStr = !inStr
+			sb.WriteByte(c)
+		case !inStr && c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			sb.WriteByte('\n')
+		case !inStr && c == ';':
+			if s := strings.TrimSpace(sb.String()); s != "" {
+				out = append(out, s)
+			}
+			sb.Reset()
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(sb.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,730 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/vclock"
+)
+
+// newEmptyShard is newShard with no rows and an explicit catalog size:
+// partitioned shards hold ~1/P of the data but price coverage against
+// the global catalog, and the data arrives through the router so the
+// split-insert path places each tuple on its owner.
+func newEmptyShard(t testing.TB, catalogN int, det *detect.Config) (http.Handler, *core.Shield) {
+	t.Helper()
+	db, err := engine.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(`CREATE TABLE items (id INT PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	shield, err := core.New(db, core.Config{
+		N: catalogN, Alpha: 1, Beta: 1, Cap: time.Millisecond,
+		Clock:                vclock.NewSimulated(time.Date(2004, 8, 1, 0, 0, 0, 0, time.UTC)),
+		Detect:               det,
+		RegistrationInterval: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(shield)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv.Handler(), shield
+}
+
+// testPartitionedCluster builds n empty shards behind a partitioned
+// router and loads tuples 1..tuples through the router itself.
+func testPartitionedCluster(t testing.TB, n, partitions, tuples int, det *detect.Config, cfg Config) (*Router, []*core.Shield, []*Node) {
+	t.Helper()
+	catalog := tuples
+	if catalog == 0 {
+		catalog = 100 // empty to start; tuples arrive through the router
+	}
+	nodes := make([]*Node, n)
+	shields := make([]*core.Shield, n)
+	for i := range nodes {
+		h, sh := newEmptyShard(t, catalog, det)
+		nodes[i] = NewLocalNode(fmt.Sprintf("shard-%d", i), h)
+		shields[i] = sh
+	}
+	cfg.Partitions = partitions
+	r, err := NewRouter(nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuples > 0 {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO items VALUES ")
+		for i := 1; i <= tuples; i++ {
+			if i > 1 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 'v%d')", i, i)
+		}
+		if err := r.ExecScript(sb.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, shields, nodes
+}
+
+func decodeQuery(t testing.TB, body []byte) server.QueryResponse {
+	t.Helper()
+	var qr server.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	return qr
+}
+
+// shardCount asks one shard directly how many tuples it holds.
+func shardCount(t testing.TB, n *Node) int {
+	t.Helper()
+	resp, body := query(t, n.direct, "probe-"+n.name, `SELECT COUNT(*) FROM items`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard count: HTTP %d: %s", resp.StatusCode, body)
+	}
+	qr := decodeQuery(t, body)
+	var c int
+	fmt.Sscanf(qr.Rows[0][0], "%d", &c)
+	return c
+}
+
+func TestPartitionMapPlacement(t *testing.T) {
+	pm, err := NewPartitionMap(1, 64, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Version != 1 || len(pm.Owners) != 64 {
+		t.Fatalf("map = v%d/%d partitions, want v1/64", pm.Version, len(pm.Owners))
+	}
+	counts := make(map[int]int)
+	for i := int64(0); i < 10000; i++ {
+		o := pm.OwnerOf(i)
+		if o != pm.OwnerOf(i) {
+			t.Fatal("OwnerOf not deterministic")
+		}
+		counts[o]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 nodes own tuples: %v", len(counts), counts)
+	}
+	for n, c := range counts {
+		// Fair share 2500; the ring plus splitmix should keep every
+		// node within a factor of ~2.
+		if c < 1000 || c > 5500 {
+			t.Errorf("node %d owns %d of 10000 keys: %v", n, c, counts)
+		}
+	}
+	if _, err := NewPartitionMap(1, 0, 4, 0); err == nil {
+		t.Error("accepted 0 partitions")
+	}
+	if _, err := NewPartitionMap(1, 8, 0, 0); err == nil {
+		t.Error("accepted 0 nodes")
+	}
+}
+
+// TestPartitionedDataPlacementAndPointReads is the capacity claim in
+// miniature: tuples loaded through the router land exactly once, on
+// their owner, and point queries come back whole.
+func TestPartitionedDataPlacementAndPointReads(t *testing.T) {
+	const tuples = 60
+	r, _, nodes := testPartitionedCluster(t, 4, 64, tuples, nil, Config{})
+	h := r.Handler()
+
+	total := 0
+	for _, n := range nodes {
+		c := shardCount(t, n)
+		if c == tuples {
+			t.Errorf("node %s holds the full dataset (%d tuples); partitioning did not split", n.name, c)
+		}
+		total += c
+	}
+	if total != tuples {
+		t.Fatalf("shards hold %d tuples total, want exactly %d (each tuple once)", total, tuples)
+	}
+
+	pm := r.CurrentPartitionMap()
+	for id := 1; id <= tuples; id++ {
+		resp, body := query(t, h, "reader", fmt.Sprintf(`SELECT v FROM items WHERE id = %d`, id))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("id %d: HTTP %d: %s", id, resp.StatusCode, body)
+		}
+		qr := decodeQuery(t, body)
+		if len(qr.Rows) != 1 || qr.Rows[0][0] != fmt.Sprintf("v%d", id) {
+			t.Fatalf("id %d: rows %v", id, qr.Rows)
+		}
+		if got := resp.Header.Get("X-Partition-Version"); got != "1" {
+			t.Fatalf("id %d: X-Partition-Version %q, want 1", id, got)
+		}
+		// The tuple must live on (and only on) the owner the map names.
+		owner := pm.OwnerOf(int64(id))
+		for i, n := range nodes {
+			_, direct := query(t, n.direct, "probe", fmt.Sprintf(`SELECT v FROM items WHERE id = %d`, id))
+			found := len(decodeQuery(t, direct).Rows) == 1
+			if found != (i == owner) {
+				t.Fatalf("id %d: on node %d (found=%v), owner is %d", id, i, found, owner)
+			}
+		}
+	}
+}
+
+func TestPartitionedSingleKeyWrites(t *testing.T) {
+	r, _, nodes := testPartitionedCluster(t, 4, 64, 40, nil, Config{})
+	h := r.Handler()
+	pm := r.CurrentPartitionMap()
+
+	// UPDATE pinned by key: affects exactly one row, on the owner.
+	resp, body := query(t, h, "writer", `UPDATE items SET v = 'patched' WHERE id = 7`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if qr := decodeQuery(t, body); qr.Affected != 1 {
+		t.Fatalf("update affected %d, want 1", qr.Affected)
+	}
+	_, direct := query(t, nodes[pm.OwnerOf(7)].direct, "probe", `SELECT v FROM items WHERE id = 7`)
+	if rows := decodeQuery(t, direct).Rows; len(rows) != 1 || rows[0][0] != "patched" {
+		t.Fatalf("owner rows after update: %v", rows)
+	}
+
+	// INSERT of one row lands on its owner alone.
+	resp, body = query(t, h, "writer", `INSERT INTO items VALUES (1000, 'new')`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: HTTP %d: %s", resp.StatusCode, body)
+	}
+	owner := pm.OwnerOf(1000)
+	for i, n := range nodes {
+		_, direct := query(t, n.direct, "probe", `SELECT v FROM items WHERE id = 1000`)
+		found := len(decodeQuery(t, direct).Rows) == 1
+		if found != (i == owner) {
+			t.Fatalf("inserted tuple on node %d (found=%v), owner is %d", i, found, owner)
+		}
+	}
+
+	// DELETE pinned by key.
+	resp, body = query(t, h, "writer", `DELETE FROM items WHERE id = 1000`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if qr := decodeQuery(t, body); qr.Affected != 1 {
+		t.Fatalf("delete affected %d, want 1", qr.Affected)
+	}
+
+	// Predicate write without a key pin scatters and sums effects.
+	resp, body = query(t, h, "writer", `UPDATE items SET v = 'all' WHERE id <= 10`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scatter update: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if qr := decodeQuery(t, body); qr.Affected != 10 {
+		t.Fatalf("scatter update affected %d, want 10", qr.Affected)
+	}
+}
+
+func TestScatterAggregates(t *testing.T) {
+	r, _, _ := testPartitionedCluster(t, 4, 64, 30, nil, Config{})
+	h := r.Handler()
+
+	resp, body := query(t, h, "analyst",
+		`SELECT COUNT(*), SUM(id), AVG(id), MIN(id), MAX(id) FROM items`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	qr := decodeQuery(t, body)
+	wantCols := []string{"count(*)", "sum(id)", "avg(id)", "min(id)", "max(id)"}
+	for i, c := range wantCols {
+		if qr.Columns[i] != c {
+			t.Fatalf("columns %v, want %v", qr.Columns, wantCols)
+		}
+	}
+	if len(qr.Rows) != 1 {
+		t.Fatalf("rows %v, want one", qr.Rows)
+	}
+	want := []string{"30", "465", "15.5", "1", "30"}
+	for i, w := range want {
+		if qr.Rows[i%1][i] != w {
+			t.Fatalf("aggregate row %v, want %v", qr.Rows[0], want)
+		}
+	}
+
+	// A predicate matching one tuple: shards whose slice matches
+	// nothing report the empty-aggregate zero, which must not pollute
+	// the global MIN (the count partial filters it).
+	resp, body = query(t, h, "analyst",
+		`SELECT MIN(id), MAX(id), COUNT(*) FROM items WHERE id >= 17 AND id <= 17`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	qr = decodeQuery(t, body)
+	if qr.Rows[0][0] != "17" || qr.Rows[0][1] != "17" || qr.Rows[0][2] != "1" {
+		t.Fatalf("sparse aggregate row %v, want [17 17 1]", qr.Rows[0])
+	}
+}
+
+func TestScatterOrderByMergesAndStrips(t *testing.T) {
+	r, _, _ := testPartitionedCluster(t, 4, 64, 40, nil, Config{})
+	h := r.Handler()
+
+	// The sort column is not projected: the router injects it for the
+	// merge and strips it before relay.
+	resp, body := query(t, h, "analyst", `SELECT v FROM items ORDER BY id DESC LIMIT 10`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	qr := decodeQuery(t, body)
+	if len(qr.Columns) != 1 || qr.Columns[0] != "v" {
+		t.Fatalf("columns %v, want [v] (injected sort column must be stripped)", qr.Columns)
+	}
+	if len(qr.Rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(qr.Rows))
+	}
+	for i, row := range qr.Rows {
+		if want := fmt.Sprintf("v%d", 40-i); row[0] != want {
+			t.Fatalf("row %d = %v, want %s", i, row, want)
+		}
+	}
+
+	// Ascending over everything, sort column projected.
+	resp, body = query(t, h, "analyst", `SELECT id, v FROM items ORDER BY id`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	qr = decodeQuery(t, body)
+	if len(qr.Rows) != 40 {
+		t.Fatalf("%d rows, want 40", len(qr.Rows))
+	}
+	for i, row := range qr.Rows {
+		if want := fmt.Sprintf("%d", i+1); row[0] != want {
+			t.Fatalf("row %d = %v, want id %s", i, row, want)
+		}
+	}
+}
+
+func TestScatterLimitWithoutOrder(t *testing.T) {
+	r, _, _ := testPartitionedCluster(t, 4, 64, 40, nil, Config{})
+	resp, body := query(t, r.Handler(), "analyst", `SELECT v FROM items LIMIT 5`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	if qr := decodeQuery(t, body); len(qr.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(qr.Rows))
+	}
+}
+
+func TestPartitionMapVersionBump(t *testing.T) {
+	r, _, _ := testPartitionedCluster(t, 4, 16, 40, nil, Config{})
+	h := r.Handler()
+
+	// The admin surface reports the live map.
+	resp, body := do(t, h, http.MethodGet, "/admin/partition-map", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET map: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var pmr PartitionMapResponse
+	if err := json.Unmarshal(body, &pmr); err != nil {
+		t.Fatal(err)
+	}
+	if !pmr.Enabled || pmr.Version != 1 || pmr.Partitions != 16 || len(pmr.Owners) != 16 {
+		t.Fatalf("map response %+v", pmr)
+	}
+
+	// Pick a key and verify a version-1 pin works.
+	req := func(pin string, id int) (*http.Response, []byte) {
+		b, _ := json.Marshal(server.QueryRequest{SQL: fmt.Sprintf(`SELECT v FROM items WHERE id = %d`, id)})
+		client := &http.Client{Transport: handlerTransport{h: h}}
+		rq, _ := http.NewRequest(http.MethodPost, "http://router/query", bytes.NewReader(b))
+		rq.Header.Set("Content-Type", "application/json")
+		rq.Header.Set("X-Identity", "pinned")
+		if pin != "" {
+			rq.Header.Set("X-Partition-Version", pin)
+		}
+		resp, err := client.Do(rq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+	if resp, body := req("1", 7); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pinned v1 before bump: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	// Rotate every partition to the next node — data is now misplaced
+	// (migration is the operator's affair); the router must follow the
+	// new map, not the data.
+	rot := make([]string, len(pmr.Owners))
+	idx := map[string]int{}
+	for i, n := range r.Nodes() {
+		idx[n.Name()] = i
+	}
+	for p, name := range pmr.Owners {
+		rot[p] = r.Nodes()[(idx[name]+1)%len(r.Nodes())].Name()
+	}
+
+	// Wrong next version is refused.
+	up, _ := json.Marshal(PartitionMapUpdate{Version: 3, Owners: rot})
+	if resp, body := do(t, h, http.MethodPost, "/admin/partition-map", "", string(up)); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("skip-version install: HTTP %d: %s", resp.StatusCode, body)
+	}
+	// Unknown node is refused.
+	bad := append([]string(nil), rot...)
+	bad[0] = "shard-99"
+	up, _ = json.Marshal(PartitionMapUpdate{Version: 2, Owners: bad})
+	if resp, body := do(t, h, http.MethodPost, "/admin/partition-map", "", string(up)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown-node install: HTTP %d: %s", resp.StatusCode, body)
+	}
+	// The legal bump installs.
+	up, _ = json.Marshal(PartitionMapUpdate{Version: 2, Owners: rot})
+	if resp, body := do(t, h, http.MethodPost, "/admin/partition-map", "", string(up)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("install: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	// Old-version pins are rejected retryably, with the new version in
+	// the headers, before any shard is touched.
+	resp2, body2 := req("1", 7)
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("pinned v1 after bump: HTTP %d: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Partition-Version"); got != "2" {
+		t.Fatalf("stale reject advertises version %q, want 2", got)
+	}
+	if got := resp2.Header.Get("Retry-After"); got != "0" {
+		t.Fatalf("stale reject Retry-After %q, want 0", got)
+	}
+
+	// An unpinned read consults the NEW map: key 7's rotated owner does
+	// not hold the tuple, so the router must return empty — the old
+	// owner (which still physically has it) must not be asked.
+	resp3, body3 := req("", 7)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("post-bump read: HTTP %d: %s", resp3.StatusCode, body3)
+	}
+	if qr := decodeQuery(t, body3); len(qr.Rows) != 0 {
+		t.Fatalf("post-bump read returned %v; served from a non-owner", qr.Rows)
+	}
+}
+
+// blockingNode parks every request until its context is cancelled —
+// the laggard shard the early-cancel paths must abort.
+type blockingNode struct {
+	cancelled chan struct{}
+	once      sync.Once
+}
+
+func (b *blockingNode) RoundTrip(req *http.Request) (*http.Response, error) {
+	<-req.Context().Done()
+	b.once.Do(func() { close(b.cancelled) })
+	return nil, req.Context().Err()
+}
+
+func newBlockingNode(name string) (*Node, *blockingNode) {
+	bt := &blockingNode{cancelled: make(chan struct{})}
+	return &Node{
+		name:  name,
+		base:  "http://" + name,
+		http:  &http.Client{Transport: bt},
+		local: bt,
+	}, bt
+}
+
+// buildMixedPartitioned builds a 2-node partitioned cluster where node
+// 0 is a real shard holding tuples and node 1 blocks forever; the
+// partition count is chosen so both nodes own partitions.
+func buildMixedPartitioned(t *testing.T, tuples int) (*Router, *blockingNode) {
+	t.Helper()
+	h, _ := newShard(t, tuples, nil)
+	real := NewLocalNode("shard-0", h)
+	blocked, bt := newBlockingNode("shard-1")
+	r, err := NewRouter([]*Node{real, blocked}, Config{Partitions: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owners := r.CurrentPartitionMap().ownerSet(); len(owners) != 2 {
+		t.Fatalf("partition map uses %v of 2 nodes; test needs both", owners)
+	}
+	return r, bt
+}
+
+func awaitCancel(t *testing.T, bt *blockingNode, what string) {
+	t.Helper()
+	select {
+	case <-bt.cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s did not cancel the outstanding shard RPC", what)
+	}
+}
+
+func TestScatterLimitEarlyCancelsLaggards(t *testing.T) {
+	r, bt := buildMixedPartitioned(t, 200)
+	resp, body := query(t, r.Handler(), "analyst", `SELECT v FROM items LIMIT 5`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	if qr := decodeQuery(t, body); len(qr.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(qr.Rows))
+	}
+	awaitCancel(t, bt, "LIMIT early-cancel")
+	if r.Nodes()[1].Down() {
+		t.Fatal("cancelled laggard was latched down; cancellation is not a peer failure")
+	}
+}
+
+func TestScatterErrorEarlyCancelsLaggards(t *testing.T) {
+	r, bt := buildMixedPartitioned(t, 50)
+	// The real shard rejects the unknown table immediately; the
+	// blocked shard must be cancelled rather than awaited.
+	resp, body := query(t, r.Handler(), "analyst", `SELECT * FROM missing`)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("scatter over a missing table succeeded: %s", body)
+	}
+	awaitCancel(t, bt, "error early-cancel")
+	if r.Nodes()[1].Down() {
+		t.Fatal("cancelled laggard was latched down")
+	}
+}
+
+func TestScatterOrderByEarlyCancelOnError(t *testing.T) {
+	r, bt := buildMixedPartitioned(t, 50)
+	resp, _ := query(t, r.Handler(), "analyst", `SELECT v FROM missing ORDER BY id LIMIT 3`)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("ORDER BY scatter over a missing table succeeded")
+	}
+	awaitCancel(t, bt, "ORDER BY error early-cancel")
+}
+
+func TestSplitInsertGroupsRowsByOwner(t *testing.T) {
+	r, _, nodes := testPartitionedCluster(t, 4, 64, 0, nil, Config{})
+	pm := r.CurrentPartitionMap()
+
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO items VALUES ")
+	want := make(map[int]int)
+	for i := 1; i <= 20; i++ {
+		if i > 1 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'v%d')", i, i)
+		want[pm.OwnerOf(int64(i))]++
+	}
+	if len(want) < 2 {
+		t.Fatal("test keys all hash to one owner; pick more keys")
+	}
+	resp, body := query(t, r.Handler(), "loader", sb.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("split insert: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if qr := decodeQuery(t, body); qr.Affected != 20 {
+		t.Fatalf("split insert affected %d, want 20", qr.Affected)
+	}
+	for i, n := range nodes {
+		if c := shardCount(t, n); c != want[i] {
+			t.Errorf("node %d holds %d tuples, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestSuspectsAggregatedAcrossShards(t *testing.T) {
+	// Replicated 2-shard cluster; each shard's detector sees a
+	// different principal's full scan directly.
+	r, _ := testCluster(t, 2, 100, detectCfg(), Config{})
+	nodes := r.Nodes()
+	for q := 0; q < 2; q++ {
+		if resp, body := query(t, nodes[0].direct, "eve", `SELECT * FROM items`); resp.StatusCode != http.StatusOK {
+			t.Fatalf("eve scan: HTTP %d: %s", resp.StatusCode, body)
+		}
+		if resp, body := query(t, nodes[1].direct, "mallory", `SELECT * FROM items`); resp.StatusCode != http.StatusOK {
+			t.Fatalf("mallory scan: HTTP %d: %s", resp.StatusCode, body)
+		}
+	}
+	resp, body := do(t, r.Handler(), http.MethodGet, "/admin/suspects?k=10", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("suspects: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var sr server.SuspectsResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Enabled {
+		t.Fatal("aggregated suspects not enabled")
+	}
+	seen := map[string]detect.Suspect{}
+	for _, s := range sr.Suspects {
+		seen[s.Principal] = s
+	}
+	if _, ok := seen["eve"]; !ok {
+		t.Fatalf("eve (shard-0 only) missing from aggregate: %s", body)
+	}
+	if _, ok := seen["mallory"]; !ok {
+		t.Fatalf("mallory (shard-1 only) missing from aggregate: %s", body)
+	}
+	if cov := seen["eve"].Coverage; cov < 0.5 {
+		t.Errorf("eve aggregate coverage %v, want the full-scan shard's view", cov)
+	}
+
+	// The per-shard pin still works and shows only that shard's view.
+	resp, body = do(t, r.Handler(), http.MethodGet, "/admin/suspects?node=shard-1&k=10", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pinned suspects: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var pinned server.SuspectsResponse
+	if err := json.Unmarshal(body, &pinned); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range pinned.Suspects {
+		if s.Principal == "eve" && s.Coverage > 0.1 {
+			t.Errorf("shard-1 reports eve coverage %v; eve never queried shard-1", s.Coverage)
+		}
+	}
+}
+
+func TestRetryAfterTracksBucketRefill(t *testing.T) {
+	clk := vclock.NewSimulated(time.Date(2004, 8, 1, 0, 0, 0, 0, time.UTC))
+	r, _ := testCluster(t, 1, 10, nil, Config{AdmitRate: 0.25, AdmitBurst: 1, Clock: clk})
+	h := r.Handler()
+
+	if resp, body := query(t, h, "patient", `SELECT v FROM items WHERE id = 1`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first query: HTTP %d: %s", resp.StatusCode, body)
+	}
+	resp, _ := query(t, h, "patient", `SELECT v FROM items WHERE id = 1`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second query: HTTP %d, want 429", resp.StatusCode)
+	}
+	// Empty bucket at 0.25 tokens/s: one token in 4 seconds.
+	if got := resp.Header.Get("Retry-After"); got != "4" {
+		t.Fatalf("Retry-After %q, want 4 (refill time, not a static guess)", got)
+	}
+	clk.Sleep(2 * time.Second)
+	resp, _ = query(t, h, "patient", `SELECT v FROM items WHERE id = 1`)
+	if got := resp.Header.Get("Retry-After"); resp.StatusCode != http.StatusTooManyRequests || got != "2" {
+		t.Fatalf("after 2s: HTTP %d Retry-After %q, want 429/2", resp.StatusCode, got)
+	}
+	clk.Sleep(2 * time.Second)
+	if resp, body := query(t, h, "patient", `SELECT v FROM items WHERE id = 1`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("after refill: HTTP %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestReadBodyPooledScratchNoAllocs(t *testing.T) {
+	s := scratchPool.Get().(*bodyScratch)
+	defer scratchPool.Put(s)
+	payload := []byte(`{"sql":"SELECT v FROM items WHERE id = 1"}`)
+	rd := bytes.NewReader(nil)
+	allocs := testing.AllocsPerRun(200, func() {
+		rd.Reset(payload)
+		if _, err := readBody(rd, s); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("readBody allocates %.1f objects per pooled request, want 0", allocs)
+	}
+}
+
+func TestScratchBodyReleasesOnTransportClose(t *testing.T) {
+	s := scratchPool.Get().(*bodyScratch)
+	s.refs.Store(1)
+	sb := &scratchBody{s: s}
+	s.retain()
+	if got := s.refs.Load(); got != 2 {
+		t.Fatalf("refs %d after retain, want 2", got)
+	}
+	sb.Close()
+	sb.Close() // transports may double-close; the second must be a no-op
+	if got := s.refs.Load(); got != 1 {
+		t.Fatalf("refs %d after body close, want 1 (handler still owns it)", got)
+	}
+	s.release()
+	if got := s.refs.Load(); got != 0 {
+		t.Fatalf("refs %d after handler release, want 0 (returned to pool)", got)
+	}
+}
+
+// TestRemoteShapedCluster drives the full partitioned surface through
+// nodes that look remote to the router (no local fast path, no direct
+// handler) — the client/transport path real deployments take, where the
+// pooled scratch must survive until the transport closes the body.
+func TestRemoteShapedCluster(t *testing.T) {
+	mk := func(name string, h http.Handler) *Node {
+		return &Node{
+			name: name,
+			base: "http://" + name,
+			http: &http.Client{Transport: handlerTransport{h: h}},
+		}
+	}
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		h, _ := newEmptyShard(t, 30, nil)
+		nodes[i] = mk(fmt.Sprintf("shard-%d", i), h)
+	}
+	r, err := NewRouter(nodes, Config{Partitions: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO items VALUES ")
+	for i := 1; i <= 30; i++ {
+		if i > 1 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'v%d')", i, i)
+	}
+	if err := r.ExecScript(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	h := r.Handler()
+	for id := 1; id <= 30; id++ {
+		resp, body := query(t, h, "reader", fmt.Sprintf(`SELECT v FROM items WHERE id = %d`, id))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("id %d: HTTP %d: %s", id, resp.StatusCode, body)
+		}
+		if qr := decodeQuery(t, body); len(qr.Rows) != 1 || qr.Rows[0][0] != fmt.Sprintf("v%d", id) {
+			t.Fatalf("id %d: rows %v", id, qr.Rows)
+		}
+	}
+	resp, body := query(t, h, "analyst", `SELECT COUNT(*), SUM(id) FROM items`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("aggregate: HTTP %d: %s", resp.StatusCode, body)
+	}
+	qr := decodeQuery(t, body)
+	if qr.Rows[0][0] != "30" || qr.Rows[0][1] != "465" {
+		t.Fatalf("aggregate row %v, want [30 465]", qr.Rows[0])
+	}
+}
+
+func TestExecScriptSplitsStatements(t *testing.T) {
+	got := splitStatements("CREATE TABLE t (id INT PRIMARY KEY);\n-- a comment; with a semicolon\nINSERT INTO t VALUES (1);\nINSERT INTO t VALUES (2)")
+	want := []string{
+		"CREATE TABLE t (id INT PRIMARY KEY)",
+		"INSERT INTO t VALUES (1)",
+		"INSERT INTO t VALUES (2)",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("split %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("split[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Semicolons inside string literals do not split.
+	got = splitStatements(`INSERT INTO t VALUES (1, 'a;b''c;d');INSERT INTO t VALUES (2, 'x')`)
+	if len(got) != 2 || !strings.Contains(got[0], "a;b''c;d") {
+		t.Fatalf("quoted split = %q", got)
+	}
+}

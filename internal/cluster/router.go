@@ -6,11 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/detect"
 	"repro/internal/metrics"
 	"repro/internal/ratelimit"
 	"repro/internal/server"
@@ -86,6 +91,12 @@ type Config struct {
 	MaxInFlight int
 	// VNodes is the consistent-hash virtual node count per shard.
 	VNodes int
+	// Partitions, when > 0, hash-partitions tuples across the shards
+	// instead of replicating: each of the Partitions partitions gets
+	// one owner shard (assigned on the ring), point statements route
+	// to the tuple's owner alone, and scans scatter-gather across
+	// owners. 0 keeps full replication.
+	Partitions int
 	// Clock drives the limiter and the anti-entropy staleness gauge.
 	// nil means the real clock.
 	Clock vclock.Clock
@@ -103,10 +114,18 @@ type Router struct {
 	mux   *http.ServeMux
 	h     http.Handler
 	limit *ratelimit.IdentityLimiter
-	// allLocal is true when every node serves from this process, which
-	// makes the whole request lifecycle synchronous inside the handler
-	// — the precondition for pooling per-request scratch buffers.
-	allLocal bool
+
+	// pmap is the live partition map; nil means replicated mode. Swaps
+	// (operator rebalances) serialize on pmapMu; readers load the
+	// pointer once per request and every routing decision plus the
+	// final relay check against that one map.
+	pmap   atomic.Pointer[PartitionMap]
+	pmapMu sync.Mutex
+	// schemas caches each table's primary-key column (tableKey), fed by
+	// snooping CREATE TABLE and lazily by GET /admin/schema from a
+	// shard; schemaMu serializes the lazy fetch.
+	schemas  sync.Map
+	schemaMu sync.Mutex
 
 	rr       counterRR
 	inflight *metrics.Gauge
@@ -130,6 +149,12 @@ type Router struct {
 	peerErrors    *metrics.Counter
 	peerDown      *metrics.Gauge
 	peerResync    *metrics.Gauge
+
+	partSingleRead  *metrics.Counter
+	partSingleWrite *metrics.Counter
+	partScatter     *metrics.Counter
+	partSplit       *metrics.Counter
+	partVerRej      *metrics.Counter
 
 	ae struct {
 		mu        sync.Mutex
@@ -190,20 +215,19 @@ func NewRouter(nodes []*Node, cfg Config) (*Router, error) {
 		return nil, err
 	}
 
-	allLocal := true
-	for _, n := range nodes {
-		if n.local == nil {
-			allLocal = false
-			break
-		}
-	}
 	r := &Router{
-		nodes:    nodes,
-		ring:     newRing(len(nodes), cfg.VNodes),
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		limit:    limit,
-		allLocal: allLocal,
+		nodes: nodes,
+		ring:  newRing(len(nodes), cfg.VNodes),
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		limit: limit,
+	}
+	if cfg.Partitions > 0 {
+		pm, err := NewPartitionMap(1, cfg.Partitions, len(nodes), cfg.VNodes)
+		if err != nil {
+			return nil, err
+		}
+		r.pmap.Store(pm)
 	}
 	m := cfg.Metrics
 	r.inflight = m.Gauge("cluster_inflight")
@@ -218,6 +242,17 @@ func NewRouter(nodes []*Node, cfg Config) (*Router, error) {
 	r.peerErrors = m.Counter("cluster_peer_errors_total")
 	r.peerDown = m.Gauge("cluster_peer_down")
 	r.peerResync = m.Gauge("cluster_peer_resync")
+	r.partSingleRead = m.Counter("cluster_partition_single_reads_total")
+	r.partSingleWrite = m.Counter("cluster_partition_single_writes_total")
+	r.partScatter = m.Counter("cluster_partition_scatter_total")
+	r.partSplit = m.Counter("cluster_partition_split_inserts_total")
+	r.partVerRej = m.Counter("cluster_partition_version_rejects_total")
+	m.GaugeFunc("cluster_partitions", func() float64 {
+		if pm := r.pmap.Load(); pm != nil {
+			return float64(len(pm.Owners))
+		}
+		return 0
+	})
 	r.aeRounds = m.Counter("cluster_antientropy_rounds_total")
 	r.aeBytes = m.Counter("cluster_antientropy_sketch_bytes_total")
 	r.aePrincipals = m.Counter("cluster_antientropy_principals_total")
@@ -233,9 +268,11 @@ func NewRouter(nodes []*Node, cfg Config) (*Router, error) {
 	r.mux.HandleFunc("GET /metrics", m.Handler().ServeHTTP)
 	r.mux.HandleFunc("GET /stats", r.proxyGet("/stats"))
 	r.mux.HandleFunc("GET /admin/topk", r.proxyGet("/admin/topk"))
-	r.mux.HandleFunc("GET /admin/suspects", r.proxyGet("/admin/suspects"))
+	r.mux.HandleFunc("GET /admin/suspects", r.handleSuspectsAgg)
 	r.mux.HandleFunc("POST /admin/quote", r.handleQuoteProxy)
 	r.mux.HandleFunc("POST /admin/peer-up", r.handlePeerUp)
+	r.mux.HandleFunc("GET /admin/partition-map", r.handlePartitionMapGet)
+	r.mux.HandleFunc("POST /admin/partition-map", r.handlePartitionMapPost)
 	r.h = server.WithRecovery(http.HandlerFunc(r.dispatch), m.Counter("cluster_panics_total"))
 	return r, nil
 }
@@ -326,16 +363,44 @@ func isSelect(sql string) bool {
 
 // bodyScratch pools the per-query forwarding state the hot path would
 // otherwise allocate fresh: the read buffer and the re-readable reader
-// the shard consumes the body through. Only safe when the router and
-// every shard share a process (Router.allLocal) — then the request is
-// fully served before handleQuery returns and the scratch cannot
-// outlive its pool turn.
+// the shard consumes the body through. Local shards serve synchronously
+// inside the handler, so the handler's own reference bounds the
+// lifetime; remote forwards hand the transport its own counted
+// reference (scratchBody), because net/http may keep draining a
+// request body briefly after RoundTrip returns. The buffer goes back
+// to the pool when the last reference releases — never while any
+// transport could still read it.
 type bodyScratch struct {
 	bytes.Reader
-	buf [2048]byte
+	buf  [2048]byte
+	refs atomic.Int32
 }
 
 func (s *bodyScratch) Close() error { return nil }
+
+func (s *bodyScratch) retain() { s.refs.Add(1) }
+
+func (s *bodyScratch) release() {
+	if s.refs.Add(-1) == 0 {
+		scratchPool.Put(s)
+	}
+}
+
+// scratchBody is a remote forward's view of a pooled scratch: its own
+// read cursor over the shared buffer, returning the scratch's counted
+// reference on the Close the transport guarantees to make.
+type scratchBody struct {
+	bytes.Reader
+	s      *bodyScratch
+	closed atomic.Bool
+}
+
+func (b *scratchBody) Close() error {
+	if b.closed.CompareAndSwap(false, true) {
+		b.s.release()
+	}
+	return nil
+}
 
 var scratchPool = sync.Pool{New: func() any { return new(bodyScratch) }}
 
@@ -481,6 +546,14 @@ func (r *Router) readOrder(principal string) []int {
 // downstream handler runs synchronously inside this call, so the
 // mutation cannot race the client connection.
 func (r *Router) forward(req *http.Request, n *Node, path string, body []byte, reuse bool) (*http.Response, error) {
+	return r.forwardScratch(req, n, path, body, reuse, nil)
+}
+
+// forwardScratch is forward with the caller's pooled scratch: when body
+// lives in a scratch buffer and the target is a remote peer, the
+// request body carries its own counted reference so the buffer cannot
+// return to the pool while the transport might still drain it.
+func (r *Router) forwardScratch(req *http.Request, n *Node, path string, body []byte, reuse bool, scratch *bodyScratch) (*http.Response, error) {
 	var out *http.Request
 	if reuse && n.local != nil {
 		u, err := n.urlFor(path)
@@ -498,10 +571,19 @@ func (r *Router) forward(req *http.Request, n *Node, path string, body []byte, r
 		// RemoteAddr identities.
 		out.Header.Set("X-Forwarded-For", req.RemoteAddr)
 	} else {
-		nr, err := http.NewRequestWithContext(req.Context(), http.MethodPost, n.base+path, bytes.NewReader(body))
+		nr, err := http.NewRequestWithContext(req.Context(), http.MethodPost, n.base+path, nil)
 		if err != nil {
 			return nil, err
 		}
+		if scratch != nil && n.local == nil {
+			sb := &scratchBody{s: scratch}
+			sb.Reset(body)
+			scratch.retain()
+			nr.Body = sb
+		} else {
+			nr.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		nr.ContentLength = int64(len(body))
 		nr.Header.Set("Content-Type", "application/json")
 		if id := req.Header.Get("X-Identity"); id != "" {
 			nr.Header.Set("X-Identity", id)
@@ -533,22 +615,32 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusUnsupportedMediaType, fmt.Errorf("content type %q; want application/json", ct))
 		return
 	}
-	var scratch *bodyScratch
-	var body []byte
-	var err error
-	if r.allLocal {
-		scratch = scratchPool.Get().(*bodyScratch)
-		defer scratchPool.Put(scratch)
-		body, err = readBody(req.Body, scratch)
-	} else {
-		body, err = io.ReadAll(req.Body)
-	}
+	scratch := scratchPool.Get().(*bodyScratch)
+	scratch.refs.Store(1)
+	defer scratch.release()
+	body, err := readBody(req.Body, scratch)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
 		return
 	}
-	isSel, certain := sniffSelect(body)
-	if !certain {
+
+	// Classify before admission. Replicated mode only needs the
+	// read/write bit, which the sniffer answers without a JSON decode
+	// on the hot path; partitioned mode always decodes — the planner
+	// needs the statement itself — and fences the client's pinned map
+	// version first, so stale clients learn the new version without
+	// burning admission tokens.
+	pm := r.pmap.Load()
+	var sql string
+	var isSel bool
+	if pm != nil {
+		w.Header().Set("X-Partition-Version", strconv.FormatUint(pm.Version, 10))
+		if pin := req.Header.Get("X-Partition-Version"); pin != "" {
+			if v, perr := strconv.ParseUint(pin, 10, 64); perr != nil || v != pm.Version {
+				r.writePartitionStale(w)
+				return
+			}
+		}
 		var q server.QueryRequest
 		if err := json.Unmarshal(body, &q); err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -558,7 +650,22 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 			writeErr(w, http.StatusBadRequest, errors.New("empty sql"))
 			return
 		}
-		isSel = isSelect(q.SQL)
+		sql = q.SQL
+	} else {
+		var certain bool
+		isSel, certain = sniffSelect(body)
+		if !certain {
+			var q server.QueryRequest
+			if err := json.Unmarshal(body, &q); err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+				return
+			}
+			if q.SQL == "" {
+				writeErr(w, http.StatusBadRequest, errors.New("empty sql"))
+				return
+			}
+			isSel = isSelect(q.SQL)
+		}
 	}
 
 	// Admission: the global in-flight cap, then the per-principal
@@ -569,6 +676,7 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	if cur := r.inflight.AddGet(1); cur > int64(r.cfg.MaxInFlight) {
 		r.inflight.Dec()
 		r.inflightRej.Inc()
+		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests,
 			fmt.Errorf("cluster at capacity (%d queries in flight)", cur-1))
 		return
@@ -577,6 +685,10 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	principal := identity(req)
 	if !r.limit.Allow(principal) {
 		r.admitRej.Inc()
+		// Tell the backoff client exactly when its bucket refills —
+		// a static guess either hammers the edge early or idles past
+		// the token.
+		w.Header().Set("Retry-After", retryAfterSecs(r.limit.RetryAfter(principal)))
 		writeErr(w, http.StatusTooManyRequests,
 			errors.New("edge rate limit exceeded; retry later"))
 		return
@@ -584,11 +696,24 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	r.routed.Inc()
 	r.routedPolicy.Inc()
 
+	if pm != nil {
+		r.servePartitioned(w, req, pm, sql, body, scratch)
+		return
+	}
 	if isSel {
 		r.routeRead(w, req, principal, body, scratch)
 		return
 	}
-	r.fanoutWrite(w, req, "/query", body)
+	r.fanoutWrite(w, req, "/query", body, scratch)
+}
+
+// retryAfterSecs renders a refill wait as a Retry-After value, rounding
+// up so the retry lands after the token exists.
+func retryAfterSecs(d time.Duration) string {
+	if d <= 0 {
+		return "0"
+	}
+	return strconv.FormatInt(int64(math.Ceil(d.Seconds())), 10)
 }
 
 // routeRead tries the policy's preference sequence until a shard
@@ -605,7 +730,7 @@ func (r *Router) routeRead(w http.ResponseWriter, req *http.Request, principal s
 				r.serveDirect(w, req, r.nodes[i], "/query", body, scratch)
 				return
 			}
-			resp, err := r.forward(req, r.nodes[i], "/query", body, true)
+			resp, err := r.forwardScratch(req, r.nodes[i], "/query", body, true, scratch)
 			if err == nil {
 				relay(w, resp)
 				return
@@ -626,7 +751,7 @@ func (r *Router) routeRead(w http.ResponseWriter, req *http.Request, principal s
 			r.serveDirect(w, req, r.nodes[i], "/query", body, scratch)
 			return
 		}
-		resp, err := r.forward(req, r.nodes[i], "/query", body, true)
+		resp, err := r.forwardScratch(req, r.nodes[i], "/query", body, true, scratch)
 		if err != nil {
 			continue
 		}
@@ -682,7 +807,7 @@ func (r *Router) serveDirect(w http.ResponseWriter, req *http.Request, n *Node, 
 // the read path, until an operator repairs and confirms it; shards
 // that died mid-write latch down as usual. Either way an acked write
 // stays readable on every shard a read can route to.
-func (r *Router) fanoutWrite(w http.ResponseWriter, req *http.Request, path string, body []byte) {
+func (r *Router) fanoutWrite(w http.ResponseWriter, req *http.Request, path string, body []byte, scratch *bodyScratch) {
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
 
@@ -702,7 +827,7 @@ func (r *Router) fanoutWrite(w http.ResponseWriter, req *http.Request, path stri
 		wg.Add(1)
 		go func(slot, i int) {
 			defer wg.Done()
-			resp, err := r.forward(req, r.nodes[i], path, body, false)
+			resp, err := r.forwardScratch(req, r.nodes[i], path, body, false, scratch)
 			results[slot] = result{resp: resp, err: err}
 		}(slot, i)
 	}
@@ -792,7 +917,7 @@ func (r *Router) handleRegister(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("empty identity"))
 		return
 	}
-	r.fanoutWrite(w, req, "/register", body)
+	r.fanoutWrite(w, req, "/register", body, nil)
 }
 
 // PeerHealth is one peer's entry in the router's /healthz body.
@@ -877,6 +1002,93 @@ func (r *Router) proxyGet(path string) http.HandlerFunc {
 		}
 		relay(w, resp)
 	}
+}
+
+// handleSuspectsAgg answers GET /admin/suspects with the cluster-wide
+// coalition view: every reachable shard's suspect list merged by
+// principal, keeping each principal's maximum escalation. A single
+// shard's list only reflects the stream that shard saw — under
+// partitioning (or identity rotation) that is a fraction of a
+// coalition's activity, and an operator reading one shard would
+// under-count exactly the adversaries the anti-entropy exchange exists
+// to catch. ?node=<name> still pins one shard for per-replica
+// inspection.
+func (r *Router) handleSuspectsAgg(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("node") != "" {
+		r.proxyGet("/admin/suspects")(w, req)
+		return
+	}
+	k := 20
+	if q := req.URL.Query().Get("k"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 || n > 10000 {
+			writeErr(w, http.StatusBadRequest, errors.New("k must be in [1, 10000]"))
+			return
+		}
+		k = n
+	}
+	targets := r.reachable()
+	if len(targets) == 0 {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("no healthy shards"))
+		return
+	}
+	effective := func(s detect.Suspect) float64 {
+		if s.CoalitionCoverage > s.Coverage {
+			return s.CoalitionCoverage
+		}
+		return s.Coverage
+	}
+	merged := make(map[string]detect.Suspect)
+	enabled := false
+	answered := 0
+	for _, i := range targets {
+		n := r.nodes[i]
+		sreq, err := http.NewRequestWithContext(req.Context(), http.MethodGet,
+			n.base+"/admin/suspects?k="+strconv.Itoa(k), nil)
+		if err != nil {
+			continue
+		}
+		resp, err := n.do(sreq)
+		if err != nil {
+			r.peerErrors.Inc()
+			r.syncPeerDown()
+			continue
+		}
+		var sr server.SuspectsResponse
+		derr := json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || derr != nil {
+			continue
+		}
+		answered++
+		enabled = enabled || sr.Enabled
+		for _, s := range sr.Suspects {
+			cur, ok := merged[s.Principal]
+			if !ok || s.Multiplier > cur.Multiplier ||
+				(s.Multiplier == cur.Multiplier && effective(s) > effective(cur)) {
+				merged[s.Principal] = s
+			}
+		}
+	}
+	if answered == 0 {
+		writeErr(w, http.StatusBadGateway, errors.New("no shard answered"))
+		return
+	}
+	out := make([]detect.Suspect, 0, len(merged))
+	for _, s := range merged {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ea, eb := effective(out[a]), effective(out[b])
+		if ea != eb {
+			return ea > eb
+		}
+		return out[a].Principal < out[b].Principal
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	writeJSON(w, http.StatusOK, server.SuspectsResponse{Enabled: enabled, Suspects: out})
 }
 
 // handleQuoteProxy forwards an extraction quote to the principal's

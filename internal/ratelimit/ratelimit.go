@@ -146,6 +146,23 @@ func (l *IdentityLimiter) Allow(principal string) bool {
 	return ok
 }
 
+// RetryAfter reports how long the principal must wait until its bucket
+// holds one token again (0 if a query would be admitted now). It does
+// not consume and does not create state for unknown principals — a
+// principal with no bucket has never been throttled and waits nothing.
+// Edge limiters use it to stamp 429 responses with a Retry-After that
+// lands exactly when admission will succeed, instead of a static guess
+// that either hammers the edge early or idles past the refill.
+func (l *IdentityLimiter) RetryAfter(principal string) time.Duration {
+	l.mu.Lock()
+	b, ok := l.buckets[principal]
+	l.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return b.Wait()
+}
+
 // evictFullestLocked drops the bucket with the most tokens. Ties (e.g.
 // several full buckets) break arbitrarily; what matters is that a
 // throttled, near-empty bucket is never the victim while fuller ones

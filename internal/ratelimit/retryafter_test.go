@@ -1,0 +1,56 @@
+package ratelimit
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryAfterTracksRefill(t *testing.T) {
+	clk := simClock()
+	l, err := NewIdentityLimiter(0.5, 1, 16, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown principal: never throttled, waits nothing.
+	if d := l.RetryAfter("stranger"); d != 0 {
+		t.Fatalf("RetryAfter(unknown) = %v, want 0", d)
+	}
+
+	if !l.Allow("alice") {
+		t.Fatal("first request denied")
+	}
+	if l.Allow("alice") {
+		t.Fatal("second request admitted past burst 1")
+	}
+	// Empty bucket at 0.5 tokens/s: a token in 2 seconds.
+	if d := l.RetryAfter("alice"); d != 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want 2s", d)
+	}
+	clk.Sleep(1500 * time.Millisecond)
+	if d := l.RetryAfter("alice"); d != 500*time.Millisecond {
+		t.Fatalf("RetryAfter after 1.5s = %v, want 500ms", d)
+	}
+
+	// RetryAfter must not consume: after the refill lands the request
+	// is admitted even though RetryAfter was polled repeatedly.
+	clk.Sleep(500 * time.Millisecond)
+	if d := l.RetryAfter("alice"); d != 0 {
+		t.Fatalf("RetryAfter at refill = %v, want 0", d)
+	}
+	if !l.Allow("alice") {
+		t.Fatal("request denied after full refill")
+	}
+
+	// A throttled principal's wait is independent of other buckets.
+	if !l.Allow("bob") {
+		t.Fatal("bob's first request denied")
+	}
+	l.Allow("bob")
+	if d := l.RetryAfter("alice"); d != 2*time.Second {
+		t.Fatalf("alice RetryAfter = %v, want 2s", d)
+	}
+	if d := l.RetryAfter("bob"); d != 2*time.Second {
+		t.Fatalf("bob RetryAfter = %v, want 2s", d)
+	}
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestAdminSchema(t *testing.T) {
+	ts, shield := testServer(t, core.Config{Alpha: 1, Beta: 1, Cap: time.Millisecond})
+
+	fetch := func() SchemaResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/admin/schema")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d", resp.StatusCode)
+		}
+		var sr SchemaResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+
+	sr := fetch()
+	if len(sr.Tables) != 1 {
+		t.Fatalf("tables %+v, want the one items table", sr.Tables)
+	}
+	got := sr.Tables[0]
+	if got.Name != "items" || got.Key != "id" || got.KeyIndex != 0 {
+		t.Fatalf("schema %+v, want items/id/0", got)
+	}
+
+	// A table whose key is not the first column reports its position —
+	// the router needs it to locate keys in positional INSERT rows.
+	if _, err := shield.DB().Exec(`CREATE TABLE films (title TEXT, fid INT PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	sr = fetch()
+	byName := map[string]TableSchema{}
+	for _, tbl := range sr.Tables {
+		byName[tbl.Name] = tbl
+	}
+	f, ok := byName["films"]
+	if !ok {
+		t.Fatalf("films missing from %+v", sr.Tables)
+	}
+	if f.Key != "fid" || f.KeyIndex != 1 {
+		t.Fatalf("films schema %+v, want fid at index 1", f)
+	}
+}

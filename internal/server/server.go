@@ -70,6 +70,9 @@ func New(shield *core.Shield, opts ...Option) (*Server, error) {
 	// exchanger) pull sketch deltas with GET and push merges with POST.
 	s.mux.HandleFunc("GET /admin/sketches", s.handleSketchExport)
 	s.mux.HandleFunc("POST /admin/sketches", s.handleSketchAbsorb)
+	// Schema surface for the partitioned router: which column keys each
+	// table, so statements can be routed to the tuple's owner shard.
+	s.mux.HandleFunc("GET /admin/schema", s.handleSchema)
 	s.handler = WithRecovery(s.mux, shield.Metrics().Counter("server_panics_total"))
 	return s, nil
 }
@@ -380,6 +383,43 @@ func (s *Server) handleSuspects(w http.ResponseWriter, r *http.Request) {
 		suspects = []detect.Suspect{}
 	}
 	writeJSON(w, http.StatusOK, SuspectsResponse{Enabled: true, Suspects: suspects})
+}
+
+// TableSchema is one table's routing-relevant shape in the
+// /admin/schema response.
+type TableSchema struct {
+	Name string `json:"name"`
+	// Key is the primary-key column name; its INT value identifies the
+	// tuple to the delay defense and hashes to the tuple's partition.
+	Key string `json:"key"`
+	// KeyIndex is the key column's position, which locates the key in a
+	// positional INSERT row when the router splits a bulk insert across
+	// owner shards.
+	KeyIndex int `json:"key_index"`
+}
+
+// SchemaResponse is the GET /admin/schema response body. A partitioned
+// cluster router pulls it lazily to learn which WHERE conjunct pins a
+// statement to one tuple (and therefore one owner shard).
+type SchemaResponse struct {
+	Tables []TableSchema `json:"tables"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	db := s.shield.DB()
+	out := SchemaResponse{Tables: []TableSchema{}}
+	for _, name := range db.Tables() {
+		sch, err := db.Schema(name)
+		if err != nil {
+			continue // dropped between listing and lookup
+		}
+		out.Tables = append(out.Tables, TableSchema{
+			Name:     sch.Table,
+			Key:      sch.Columns[sch.Key].Name,
+			KeyIndex: sch.Key,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // SketchPage is the GET /admin/sketches response: the per-principal

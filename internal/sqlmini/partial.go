@@ -1,0 +1,197 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the statement-distribution layer the cluster router
+// builds on: extracting the partition key a statement pins (so point
+// queries and single-key writes route to exactly one owner shard),
+// rewriting aggregate lists into shard-local partials a front-door
+// merge executor can recombine, and rendering statements back to SQL so
+// rewritten shard queries and per-owner INSERT slices stay inside the
+// same grammar every shard already speaks.
+
+// PKEqual reports the primary-key value a WHERE clause pins, if any: the
+// first equality conjunct on key (case-insensitive) with an integer
+// literal. A statement carrying such a conjunct can touch at most the
+// one tuple with that key, so a partitioned cluster routes it to the
+// key's owner shard alone.
+func PKEqual(w *Where, key string) (int64, bool) {
+	if w == nil {
+		return 0, false
+	}
+	for _, c := range w.Conjuncts {
+		if c.Op == OpEq && c.Value.Kind == IntLit && strings.EqualFold(c.Column, key) {
+			return c.Value.Int, true
+		}
+	}
+	return 0, false
+}
+
+// AggregateName returns the result-column name the engine gives an
+// aggregate, so a merge executor recombining shard partials labels the
+// final row exactly as a single node would.
+func AggregateName(a Aggregate) string {
+	if a.Column == "" {
+		return "count(*)"
+	}
+	return fmt.Sprintf("%s(%s)", strings.ToLower(a.Func.String()), a.Column)
+}
+
+// PartialAggregates rewrites an aggregate list into the shard-local
+// partial list a scatter-gather executor sends to every owner shard,
+// plus, per original aggregate, the indices of its partials in that
+// list:
+//
+//	COUNT(*)          → COUNT(*)                  (combine: sum)
+//	SUM(c)            → SUM(c)                    (combine: sum)
+//	AVG(c)            → SUM(c), COUNT(*)          (combine: Σsum/Σcount)
+//	MIN(c) / MAX(c)   → MIN(c)/MAX(c), COUNT(*)   (combine: min/max over
+//	                                               shards with count>0)
+//
+// MIN and MAX carry a COUNT(*) partial because a shard whose slice
+// matches no rows reports the engine's empty-aggregate zero, which must
+// not pollute the global extreme. Duplicate partials are shared: the
+// engine's accumulators are mergeable per chunk, so each shard computes
+// each distinct partial once over its ~1/N slice.
+func PartialAggregates(aggs []Aggregate) (partials []Aggregate, src [][]int) {
+	index := make(map[Aggregate]int)
+	add := func(a Aggregate) int {
+		if i, ok := index[a]; ok {
+			return i
+		}
+		index[a] = len(partials)
+		partials = append(partials, a)
+		return len(partials) - 1
+	}
+	src = make([][]int, len(aggs))
+	countAll := Aggregate{Func: AggCount}
+	for i, a := range aggs {
+		switch a.Func {
+		case AggAvg:
+			src[i] = []int{add(Aggregate{Func: AggSum, Column: a.Column}), add(countAll)}
+		case AggMin, AggMax:
+			src[i] = []int{add(a), add(countAll)}
+		default: // COUNT, SUM
+			src[i] = []int{add(a)}
+		}
+	}
+	return partials, src
+}
+
+// QuoteLiteral renders a literal as a SQL token the lexer parses back to
+// the same value; string quotes escape by doubling, mirroring lexString.
+func QuoteLiteral(l Literal) string {
+	if l.Kind == StringLit {
+		return "'" + strings.ReplaceAll(l.Str, "'", "''") + "'"
+	}
+	return l.String()
+}
+
+// Render renders a parsed SELECT, INSERT, UPDATE, or DELETE back to SQL
+// the parser accepts — the inverse the router needs to ship rewritten
+// statements (partial aggregates, injected ORDER BY columns, per-owner
+// INSERT slices) to shards over the same /query surface clients use.
+// Other statement kinds (DDL) are never rewritten and panic.
+func Render(stmt Statement) string {
+	var sb strings.Builder
+	switch s := stmt.(type) {
+	case *Select:
+		renderSelect(&sb, s)
+	case *Insert:
+		sb.WriteString("INSERT INTO ")
+		sb.WriteString(s.Table)
+		sb.WriteString(" VALUES ")
+		for i, row := range s.Rows {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteByte('(')
+			for j, v := range row {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(QuoteLiteral(v))
+			}
+			sb.WriteByte(')')
+		}
+	case *Update:
+		sb.WriteString("UPDATE ")
+		sb.WriteString(s.Table)
+		sb.WriteString(" SET ")
+		for i, a := range s.Set {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.Column)
+			sb.WriteString(" = ")
+			sb.WriteString(QuoteLiteral(a.Value))
+		}
+		renderWhere(&sb, s.Where)
+	case *Delete:
+		sb.WriteString("DELETE FROM ")
+		sb.WriteString(s.Table)
+		renderWhere(&sb, s.Where)
+	default:
+		panic(fmt.Sprintf("sqlmini: Render does not support %T", stmt))
+	}
+	return sb.String()
+}
+
+func renderSelect(sb *strings.Builder, s *Select) {
+	sb.WriteString("SELECT ")
+	switch {
+	case len(s.Aggregates) > 0:
+		for i, a := range s.Aggregates {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			if a.Column == "" {
+				sb.WriteString("COUNT(*)")
+			} else {
+				sb.WriteString(a.Func.String())
+				sb.WriteByte('(')
+				sb.WriteString(a.Column)
+				sb.WriteByte(')')
+			}
+		}
+	case len(s.Columns) > 0:
+		sb.WriteString(strings.Join(s.Columns, ", "))
+	default:
+		sb.WriteByte('*')
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(s.Table)
+	renderWhere(sb, s.Where)
+	if s.Order != nil {
+		sb.WriteString(" ORDER BY ")
+		sb.WriteString(s.Order.Column)
+		if s.Order.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.Itoa(s.Limit))
+	}
+}
+
+func renderWhere(sb *strings.Builder, w *Where) {
+	if w == nil || len(w.Conjuncts) == 0 {
+		return
+	}
+	sb.WriteString(" WHERE ")
+	for i, c := range w.Conjuncts {
+		if i > 0 {
+			sb.WriteString(" AND ")
+		}
+		sb.WriteString(c.Column)
+		sb.WriteByte(' ')
+		sb.WriteString(c.Op.String())
+		sb.WriteByte(' ')
+		sb.WriteString(QuoteLiteral(c.Value))
+	}
+}

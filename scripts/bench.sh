@@ -98,8 +98,14 @@ BenchmarkWALCommit/group=on/g=8,BenchmarkWALCommit/group=off/g=8,1.0
 BenchmarkEngineMixed/w50/g=16,BenchmarkEngineMixedLegacy/w50/g=16,0.333'
 # The cluster front door may add at most 15% to a point query over
 # hitting the shard directly — the router's whole value proposition is
-# being cheap enough to leave on.
-cluster_inv='BenchmarkClusterPointQuery/via=router,BenchmarkClusterPointQuery/via=direct,1.15'
+# being cheap enough to leave on. Partitioning must buy real horizontal
+# scale: the same I/O-bound scan over 4 shards must finish in at most
+# half the single-shard time, and a partitioned single-row write (one
+# owner applies it) must not lose to the replicated one (all 4 apply
+# it).
+cluster_inv='BenchmarkClusterPointQuery/via=router,BenchmarkClusterPointQuery/via=direct,1.15
+BenchmarkClusterScan/partitions=4,BenchmarkClusterScan/partitions=1,0.5
+BenchmarkClusterWrite/mode=partitioned,BenchmarkClusterWrite/mode=replicated,1.0'
 
 case "$suite" in
 shield)
@@ -112,7 +118,7 @@ engine)
 		./internal/storage ./internal/engine
 	;;
 cluster)
-	run_suite 'ClusterPointQuery' \
+	run_suite 'ClusterPointQuery|ClusterScan|ClusterWrite' \
 		"${BENCH_OUT:-BENCH_cluster.json}" "$cluster_inv" ./internal/cluster
 	;;
 all)
@@ -121,7 +127,7 @@ all)
 	run_suite 'PoolFetch|EnginePointQuery|EngineScan|EngineMixed|WALCommit' \
 		BENCH_engine.json "$engine_inv" \
 		./internal/storage ./internal/engine
-	run_suite 'ClusterPointQuery' BENCH_cluster.json "$cluster_inv" \
+	run_suite 'ClusterPointQuery|ClusterScan|ClusterWrite' BENCH_cluster.json "$cluster_inv" \
 		./internal/cluster
 	;;
 *)
