@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race cover bench bench-shield bench-engine bench-cluster bench-smoke bench-detect torture torture-full repro repro-fast examples fuzz clean
+.PHONY: all check build vet test race cover bench bench-shield bench-engine bench-cluster bench-smoke bench-detect torture torture-cluster torture-full repro repro-fast examples fuzz clean
 
 all: build vet test
 
@@ -19,6 +19,7 @@ check:
 	$(GO) test ./...
 	$(GO) test -race ./internal/core/... ./internal/ratelimit/... ./internal/delay/... ./internal/detect/... ./internal/engine/... ./internal/storage/... ./internal/cluster/...
 	$(MAKE) torture
+	$(MAKE) torture-cluster
 
 build:
 	$(GO) build ./...
@@ -76,6 +77,15 @@ bench-smoke:
 # TORTURE_POINTS caps the sample; 0 means enumerate everything.
 torture:
 	TORTURE_POINTS=400 $(GO) test -race -v -run 'TestCrashEnumeration|TestCountSnapshotAtomicity|TestFaultSweep|TestGroupCommitCrashEnumeration|TestGroupFlushFaultSweep' ./internal/torture/
+
+# Shard-kill cluster torture, CI-sized: a scripted workload against a
+# partitioned R=2 cluster while shards are killed and revived, RPC
+# faults (latency/error/torn-response) are injected, and a rebalance is
+# raced against a kill — asserting no acked write is ever lost, resync
+# restores full health, and detection sketches reconverge after
+# revival. -short trims the op counts; drop it for the full run.
+torture-cluster:
+	$(GO) test -race -v -short -run TestClusterTorture ./internal/torture/
 
 # The full enumeration — every byte of the first commit batch, all
 # header/commit bytes plus strided payload bytes of the rest. Minutes,

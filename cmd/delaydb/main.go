@@ -45,10 +45,19 @@
 // into per-owner slices, and scans/aggregates scatter to every owner
 // and merge at the front door (order-preserving merge for ORDER BY,
 // partial-aggregate combination, LIMIT early-cancel). The -init script
-// then runs through the router so every row loads onto its owner. The
-// live map is served at GET /admin/partition-map; POST with
-// {"version": v+1, "owners": [...]} installs a rebalanced assignment
-// (the operator moves the data). Requests may pin X-Partition-Version
+// then runs through the router so every row loads onto its owner.
+// -replication R places each partition on R shards: a single-key write
+// applies to every replica in router order and acks once a read-serving
+// replica has it, point reads fail over inside the replica group, and
+// scans pick one live replica per partition. -shard-timeout bounds each
+// router→shard RPC; a shard slower than the deadline is treated as
+// failed and latched out of the read plane. The live map is served at
+// GET /admin/partition-map; POST /admin/rebalance with {"version": v+1,
+// "owners": [...]} (or "replicas") starts the background tuple
+// migrator, which streams the moved partitions owner→owner with
+// dual-write fencing and installs the new map only once every slice is
+// copied — GET /admin/rebalance reports its progress, and a failed
+// migration rolls the map back. Requests may pin X-Partition-Version
 // and are rejected retryably (409) when the map has moved on.
 //
 // With -deadline set, a query whose policy delay outlives the budget is
@@ -145,6 +154,8 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		admitBurst  = fs.Float64("admit-burst", cluster.DefaultAdmitBurst, "router edge admission: per-principal burst")
 		maxInFlight = fs.Int("maxinflight", cluster.DefaultMaxInFlight, "router edge admission: max queries in flight across the cluster")
 		partitions  = fs.Int("partitions", 0, "hash-partition tuples across shards into this many partitions (0 = full replication); point queries route to the owner shard, scans scatter-gather")
+		replication = fs.Int("replication", 1, "replica count per partition in partitioned cluster mode: writes apply to every replica, point reads fail over inside the group, scans pick one live replica per partition")
+		shardTO     = fs.Duration("shard-timeout", 0, "per-shard RPC deadline in cluster/router mode; an RPC exceeding it counts as a shard failure and latches the peer (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -352,11 +363,13 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 			}
 		}
 		rt, err := cluster.NewRouter(nodes, cluster.Config{
-			Policy:      pol,
-			AdmitRate:   *admitRate,
-			AdmitBurst:  *admitBurst,
-			MaxInFlight: *maxInFlight,
-			Partitions:  *partitions,
+			Policy:       pol,
+			AdmitRate:    *admitRate,
+			AdmitBurst:   *admitBurst,
+			MaxInFlight:  *maxInFlight,
+			Partitions:   *partitions,
+			Replication:  *replication,
+			ShardTimeout: *shardTO,
 		})
 		if err != nil {
 			closeAll()
@@ -387,6 +400,9 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 			layout := "replicated"
 			if *partitions > 0 {
 				layout = fmt.Sprintf("%d partitions", *partitions)
+				if *replication > 1 {
+					layout = fmt.Sprintf("%d partitions x %d replicas", *partitions, *replication)
+				}
 			}
 			fmt.Fprintf(stdout, "delaydb: %s of %d shards on %s (%s, route=%s, antientropy=%v, admit=%g qps)\n",
 				mode, len(nodes), a, layout, pol, *aeEvery, *admitRate)

@@ -210,6 +210,12 @@ func run(exp string, scale int, seed int64, traceFile string) error {
 		}
 		fmt.Println()
 		pres.Table.Print(os.Stdout)
+		kres, err := experiments.PartitionedShardKillSybil(pp)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		kres.Table.Print(os.Stdout)
 		ran = true
 	}
 	if exp == "storefront" {

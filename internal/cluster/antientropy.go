@@ -180,7 +180,7 @@ func (r *Router) probePeer(n *Node) bool {
 	if resp.StatusCode != http.StatusOK {
 		return false
 	}
-	n.resync.Store(true)
+	n.latchResync() // down→resync: same episode, original stamp kept
 	n.down.Store(false)
 	return true
 }

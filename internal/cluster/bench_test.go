@@ -213,3 +213,46 @@ func BenchmarkClusterWrite(b *testing.B) {
 	b.Run("mode=replicated", func(b *testing.B) { write(b, 0) })
 	b.Run("mode=partitioned", func(b *testing.B) { write(b, 64) })
 }
+
+// BenchmarkClusterReplicatedPoint prices replica groups on the read
+// hot path: the same point query through a 4-shard partitioned router
+// with R=1 vs R=2. With every replica healthy the group walk stops at
+// its first readable member, so R=2 should cost only the group lookup;
+// bench.sh enforces r=2 ≤ 1.3 × r=1.
+func BenchmarkClusterReplicatedPoint(b *testing.B) {
+	point := func(b *testing.B, replication int) {
+		nodes := make([]*Node, 4)
+		for i := range nodes {
+			h, _ := newEmptyShard(b, 100, nil)
+			nodes[i] = NewLocalNode(fmt.Sprintf("shard-%d", i), h)
+		}
+		r, err := NewRouter(nodes, Config{
+			Partitions:  64,
+			Replication: replication,
+			AdmitRate:   1e9, AdmitBurst: 1e9, MaxInFlight: 1 << 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO items VALUES ")
+		for i := 1; i <= 100; i++ {
+			if i > 1 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 'v%d')", i, i)
+		}
+		if err := r.ExecScript(sb.String()); err != nil {
+			b.Fatal(err)
+		}
+		body, _ := json.Marshal(server.QueryRequest{SQL: `SELECT * FROM items WHERE id = 42`})
+		h := r.Handler()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchQuery(b, h, body)
+		}
+	}
+	b.Run("r=1", func(b *testing.B) { point(b, 1) })
+	b.Run("r=2", func(b *testing.B) { point(b, 2) })
+}

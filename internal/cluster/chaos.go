@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Chaos is a kill switch on an in-process shard: while killed, every
+// RPC to the node fails at the transport level, exactly as a crashed
+// process fails — the router latches the peer down, reads fail over,
+// writes quarantine. Revive restores the transport (the shard's state
+// survives, as a restarted process's disk does); the router's probe
+// and resync machinery take it from there.
+type Chaos struct {
+	name string
+	dead atomic.Bool
+}
+
+// Kill severs the node's transport.
+func (c *Chaos) Kill() { c.dead.Store(true) }
+
+// Revive restores the node's transport.
+func (c *Chaos) Revive() { c.dead.Store(false) }
+
+// Dead reports whether the node is currently killed.
+func (c *Chaos) Dead() bool { return c.dead.Load() }
+
+// chaosTransport fails every round trip while the switch is dead.
+type chaosTransport struct {
+	inner http.RoundTripper
+	c     *Chaos
+}
+
+func (t chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.c.dead.Load() {
+		// Real transports guarantee exactly one Close of the request
+		// body even on failure; pooled scratch bodies rely on it.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("chaos: node %s is killed", t.c.name)
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// NewChaosNode returns an in-process shard node with a kill switch.
+// Unlike NewLocalNode it sets no direct handler: every request —
+// including the single-target fast paths — crosses the killable
+// transport, so a kill is indistinguishable from a crashed process on
+// every router path.
+func NewChaosNode(name string, h http.Handler) (*Node, *Chaos) {
+	c := &Chaos{name: name}
+	t := chaosTransport{inner: handlerTransport{h: h}, c: c}
+	return &Node{
+		name:  name,
+		base:  "http://" + name,
+		http:  &http.Client{Transport: t},
+		local: t,
+	}, c
+}

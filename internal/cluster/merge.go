@@ -4,21 +4,25 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/server"
 	"repro/internal/sqlmini"
 )
 
 // This file is the front-door merge executor: a multi-partition scan or
-// aggregate fans to every owner shard concurrently — each scanning its
-// ~1/P slice with its own parallel scan executor — and the partial
-// results recombine here into exactly the response one shard holding
-// everything would have produced. Three merge shapes:
+// aggregate fans to one live replica per partition — each leg carrying
+// a partition filter naming exactly the partitions it answers for, so
+// replicated copies and migration leftovers can never double into the
+// result — and the partial results recombine here into exactly the
+// response one shard holding everything would have produced. Three
+// merge shapes:
 //
 //   - ORDER BY: each shard returns its slice already sorted (with the
 //     sort column injected into the projection when the client did not
@@ -33,8 +37,10 @@ import (
 //     LIMIT 10 against four shards costs roughly the fastest shard, not
 //     the slowest.
 //
-// Error paths cancel the same way: the first shard error (or transport
-// failure) aborts the remaining RPCs and is relayed (or 503s) at once.
+// A failed leg (transport error, truncated body, shard 5xx) does not
+// fail the scan when R > 1: its partitions re-cover onto the surviving
+// replicas and retry with jittered backoff, bounded by readRetryRounds.
+// Deterministic shard rejections (4xx) relay immediately.
 
 // shardReply is one shard's answer to a fanned statement.
 type shardReply struct {
@@ -46,18 +52,18 @@ type shardReply struct {
 	err    error  // transport failure (status 0) or 200-body decode failure
 }
 
-// fanStatements sends sqlFor(node) to each target concurrently,
+// fanStatements sends reqFor(node) to each target concurrently,
 // returning a channel carrying exactly one reply per target. Identity
 // and client address are captured as strings before the goroutines
 // start: with LIMIT early-cancel the handler can return while laggard
 // RPCs still run, after which req belongs to the http server again.
-func (r *Router) fanStatements(ctx context.Context, req *http.Request, targets []int, sqlFor func(int) string) <-chan shardReply {
+func (r *Router) fanStatements(ctx context.Context, req *http.Request, targets []int, reqFor func(int) server.QueryRequest) <-chan shardReply {
 	id := req.Header.Get("X-Identity")
 	addr := req.RemoteAddr
 	ch := make(chan shardReply, len(targets))
 	for _, i := range targets {
 		go func(i int) {
-			body, err := json.Marshal(server.QueryRequest{SQL: sqlFor(i)})
+			body, err := json.Marshal(reqFor(i))
 			if err != nil {
 				ch <- shardReply{node: i, err: err}
 				return
@@ -72,10 +78,19 @@ func (r *Router) fanStatements(ctx context.Context, req *http.Request, targets [
 // do latches a node down on any transport error, but a scatter that
 // cancelled its laggards on purpose (LIMIT satisfied, or another shard
 // already errored) must not mark healthy shards dead for obeying the
-// cancellation.
+// cancellation. The RPC carries the configured per-shard deadline; a
+// shard that exceeds it counts as a peer failure (down latch plus the
+// timeout counter) — the scatter retries its partitions elsewhere
+// instead of pinning the router's in-flight slots.
 func (r *Router) shardQuery(ctx context.Context, node int, body []byte, id, addr string) shardReply {
 	n := r.nodes[node]
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+"/query", bytes.NewReader(body))
+	rctx := ctx
+	var cancel context.CancelFunc
+	if d := r.cfg.ShardTimeout; d > 0 {
+		rctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, n.base+"/query", bytes.NewReader(body))
 	if err != nil {
 		return shardReply{node: node, err: err}
 	}
@@ -86,21 +101,39 @@ func (r *Router) shardQuery(ctx context.Context, node int, body []byte, id, addr
 	if addr != "" {
 		req.Header.Set("X-Forwarded-For", addr)
 	}
+	truncate := -1
+	if fault.Enabled() {
+		if k, ferr := fault.CheckWrite(fault.ClusterRPC, rpcBodyCap); ferr != nil {
+			if k <= 0 {
+				err = ferr // dropped before the wire
+			} else {
+				truncate = k // delivered, response cut short
+			}
+		}
+	}
 	n.inflight.Add(1)
 	var resp *http.Response
-	if n.local != nil {
-		resp, err = n.local.RoundTrip(req)
-	} else {
-		resp, err = n.http.Do(req)
+	if err == nil {
+		if n.local != nil {
+			resp, err = n.local.RoundTrip(req)
+		} else {
+			resp, err = n.http.Do(req)
+		}
 	}
 	n.inflight.Add(-1)
 	if err != nil {
-		if ctx.Err() == nil {
-			n.down.Store(true)
+		if ctx.Err() == nil { // the scatter did not cancel this leg on purpose
+			if rctx.Err() != nil {
+				r.rpcTimeouts.Inc()
+			}
+			n.latchDown()
 			r.peerErrors.Inc()
 			r.syncPeerDown()
 		}
 		return shardReply{node: node, err: err}
+	}
+	if truncate >= 0 {
+		resp.Body = &truncatedBody{r: io.LimitReader(resp.Body, int64(truncate)), c: resp.Body}
 	}
 	defer resp.Body.Close()
 	out := shardReply{node: node, status: resp.StatusCode, ct: resp.Header.Get("Content-Type")}
@@ -142,20 +175,42 @@ type mergeSpec struct {
 	earlyCancel bool
 }
 
-// scatterRead fans a multi-partition SELECT to every owner shard and
-// merges the partials.
-func (r *Router) scatterRead(w http.ResponseWriter, req *http.Request, pm *PartitionMap, sel *sqlmini.Select, sql string) {
-	targets := pm.ownerSet()
-	for _, i := range targets {
-		if !r.nodes[i].readable() {
-			// Owners hold the only copy of their slice: no shard can
-			// stand in, so a missing owner is a missing partition.
-			writeErr(w, http.StatusServiceUnavailable,
-				fmt.Errorf("partition owner %s unavailable", r.nodes[i].name))
-			return
+// readCover assigns every partition in parts to one readable replica:
+// node index → the partitions that node answers for. avoid maps a
+// partition to a replica that just failed with a shard error — when the
+// group has an alternative, the retry goes elsewhere. A partition with
+// no readable replica at all fails the cover.
+func (r *Router) readCover(pm *PartitionMap, parts []int, avoid map[int]int) (map[int][]int, int, bool) {
+	cover := make(map[int][]int)
+	for _, p := range parts {
+		pick := -1
+		for _, i := range pm.groupOf(p) {
+			if !r.nodes[i].readable() {
+				continue
+			}
+			if a, bad := avoid[p]; bad && a == i {
+				continue
+			}
+			pick = i
+			break
 		}
+		if pick < 0 {
+			// Only the just-failed replica (if any) remains readable;
+			// better to retry it than to fail the partition.
+			if a, bad := avoid[p]; bad && r.nodes[a].readable() {
+				pick = a
+			} else {
+				return nil, p, false
+			}
+		}
+		cover[pick] = append(cover[pick], p)
 	}
+	return cover, 0, true
+}
 
+// scatterRead fans a multi-partition SELECT to one live replica per
+// partition and merges the partition-filtered partials.
+func (r *Router) scatterRead(w http.ResponseWriter, req *http.Request, pm *PartitionMap, sel *sqlmini.Select, sql string) {
 	spec := mergeSpec{limit: sel.Limit, orderIdx: -1}
 	shardSQL := sql
 	switch {
@@ -200,40 +255,93 @@ func (r *Router) scatterRead(w http.ResponseWriter, req *http.Request, pm *Parti
 		spec.earlyCancel = sel.Limit >= 0
 	}
 
+	P := len(pm.Owners)
+	need := make([]int, P)
+	for p := range need {
+		need[p] = p
+	}
+	avoid := make(map[int]int)
+
 	ctx, cancel := context.WithCancel(req.Context())
 	defer cancel()
-	ch := r.fanStatements(ctx, req, targets, func(int) string { return shardSQL })
 
-	replies := make([]shardReply, 0, len(targets))
-	rows := 0
-	for range targets {
-		rep := <-ch
-		if rep.err != nil {
-			cancel()
-			if rep.status == http.StatusOK {
-				writeErr(w, http.StatusBadGateway, rep.err)
-			} else {
-				writeErr(w, http.StatusServiceUnavailable,
-					fmt.Errorf("partition owner %s unreachable: %v", r.nodes[rep.node].name, rep.err))
+	var replies []shardReply
+	var last *shardReply // remembered retryable shard answer for final relay
+	rows, done := 0, false
+
+	for round := 0; round < readRetryRounds && len(need) > 0 && !done; round++ {
+		if round > 0 {
+			r.readRetries.Inc()
+			r.cfg.Clock.Sleep(rpcBackoff(round - 1))
+		}
+		cover, uncovered, ok := r.readCover(pm, need, avoid)
+		if !ok {
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Errorf("partition %d unavailable: no readable replica", uncovered))
+			return
+		}
+		targets := make([]int, 0, len(cover))
+		for i := range cover {
+			targets = append(targets, i)
+		}
+		sortInts(targets)
+		ch := r.fanStatements(ctx, req, targets, func(i int) server.QueryRequest {
+			return server.QueryRequest{
+				SQL:     shardSQL,
+				PFilter: &server.PartitionFilter{Count: P, Include: cover[i]},
 			}
-			return
-		}
-		if rep.status != http.StatusOK {
-			cancel()
-			relayRaw(w, rep)
-			return
-		}
-		replies = append(replies, rep)
-		if spec.earlyCancel {
-			rows += len(rep.resp.Rows)
-			if rows >= spec.limit {
+		})
+		var redo []int
+		for range targets {
+			rep := <-ch
+			switch {
+			case rep.err != nil, rep.status >= http.StatusInternalServerError:
+				// Transport failure, truncated body, or shard 5xx: this
+				// leg's partitions retry on the surviving replicas.
+				for _, p := range cover[rep.node] {
+					avoid[p] = rep.node
+				}
+				redo = append(redo, cover[rep.node]...)
+				keep := rep
+				last = &keep
+			case rep.status != http.StatusOK:
+				// Deterministic rejection — every replica would answer
+				// the same; relay it now.
 				cancel()
+				relayRaw(w, rep)
+				return
+			default:
+				replies = append(replies, rep)
+				if spec.earlyCancel {
+					rows += len(rep.resp.Rows)
+					if rows >= spec.limit {
+						done = true
+						cancel()
+					}
+				}
+			}
+			if done {
 				break
 			}
 		}
+		need = redo
 	}
+
 	if r.pmap.Load() != pm {
 		r.writePartitionStale(w)
+		return
+	}
+	if len(need) > 0 && !done {
+		if last != nil && last.err == nil && last.status >= http.StatusInternalServerError {
+			relayRaw(w, *last)
+			return
+		}
+		detail := ""
+		if last != nil && last.err != nil {
+			detail = ": " + last.err.Error()
+		}
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("scan incomplete: %d partitions unavailable after retries%s", len(need), detail))
 		return
 	}
 	out, err := mergeReplies(replies, &spec)
@@ -323,7 +431,7 @@ func mergeOrdered(replies []shardReply, idx int, desc bool, limit int) [][]strin
 				best = j
 				continue
 			}
-			c := compareCell(replies[j].resp.Rows[cursors[j]][idx], replies[best].resp.Rows[cursors[best]][idx])
+			c := sqlmini.CompareCells(replies[j].resp.Rows[cursors[j]][idx], replies[best].resp.Rows[cursors[best]][idx])
 			if desc {
 				c = -c
 			}
@@ -341,36 +449,6 @@ func mergeOrdered(replies []shardReply, idx int, desc bool, limit int) [][]strin
 		}
 	}
 	return out
-}
-
-// compareCell orders two stringified cells the way the engine orders
-// the values behind them: as integers when both parse exactly (int64
-// beyond float53 must not misorder), as floats when both are numeric,
-// and as strings otherwise.
-func compareCell(a, b string) int {
-	if ai, aerr := strconv.ParseInt(a, 10, 64); aerr == nil {
-		if bi, berr := strconv.ParseInt(b, 10, 64); berr == nil {
-			switch {
-			case ai < bi:
-				return -1
-			case ai > bi:
-				return 1
-			}
-			return 0
-		}
-	}
-	if af, aerr := strconv.ParseFloat(a, 64); aerr == nil {
-		if bf, berr := strconv.ParseFloat(b, 64); berr == nil {
-			switch {
-			case af < bf:
-				return -1
-			case af > bf:
-				return 1
-			}
-			return 0
-		}
-	}
-	return strings.Compare(a, b)
 }
 
 // mergeAggregates combines shard-local partials into the final
@@ -452,7 +530,7 @@ func mergeAggregates(replies []shardReply, spec *mergeSpec, out *server.QueryRes
 					best, seen = v, true
 					continue
 				}
-				cmp := compareCell(v, best)
+				cmp := sqlmini.CompareCells(v, best)
 				if (a.Func == sqlmini.AggMin && cmp < 0) || (a.Func == sqlmini.AggMax && cmp > 0) {
 					best = v
 				}
@@ -469,52 +547,238 @@ func mergeAggregates(replies []shardReply, spec *mergeSpec, out *server.QueryRes
 	return out, nil
 }
 
+// scatterStmt is a statement the scatter-write path applies across the
+// cluster: either a predicate write shipped verbatim, or a split
+// multi-partition INSERT whose per-node slices are rendered under the
+// scatter lock — with replication the target sets depend on migration
+// state that may move between planning and execution.
+type scatterStmt struct {
+	sql      string
+	ins      *sqlmini.Insert
+	insParts []int
+}
+
+// predicateTarget extracts the table and WHERE of a predicate write so
+// the scatter can pre-count the matching rows.
+func predicateTarget(sql string) (string, *sqlmini.Where, bool) {
+	stmt, err := sqlmini.Parse(sql)
+	if err != nil {
+		return "", nil, false
+	}
+	switch s := stmt.(type) {
+	case *sqlmini.Update:
+		return s.Table, s.Where, true
+	case *sqlmini.Delete:
+		return s.Table, s.Where, true
+	}
+	return "", nil, false
+}
+
 // scatterWrite applies a predicate write (or a split INSERT's slices)
-// on every target owner concurrently and acks the sum of the per-shard
-// effects. No router-wide ordering lock: partitioned shards hold
-// disjoint rows, so cross-shard apply order cannot diverge a row —
-// every interleaving of two scatter writes is some serial order per
-// row. Unlike reads, an error does not cancel the laggards: a write
-// already in flight on another shard will land regardless, so the
-// honest answer reports after every shard has spoken. A transport
-// failure (or a shard error alongside other shards' successes) leaves
-// the statement partially applied; the 503/relayed error tells the
-// client the write did not fully commit, and re-issuing it is safe for
+// on every replica of every involved partition, holding the scatter
+// lock — exclusive against all single-key group writes — so replicas
+// apply it at the same point in each partition's write order. The ack
+// rule is the group write's, per partition: the statement acks iff
+// every involved partition has a read-serving replica that accepted
+// it. An owning replica that failed while its partition still acked
+// has diverged and is latched writes-only; a failed migration
+// dual-write marks the partition dirty for re-copy, never failing the
+// client. With no readable acceptance anywhere the first deterministic
+// shard rejection relays (replicas agree on parse and constraint
+// errors); a half-landed write answers 503 — re-issuing is safe for
 // the idempotent statements the grammar has (INSERT re-apply errors on
 // the duplicate key; UPDATE/DELETE re-apply is a no-op).
-func (r *Router) scatterWrite(w http.ResponseWriter, req *http.Request, pm *PartitionMap, targets []int, sqlFor func(int) string) {
-	for _, i := range targets {
-		// down excludes; resync does not — writes-only is exactly what
-		// the resync latch means, and the owner has the only copy.
-		if r.nodes[i].down.Load() {
-			writeErr(w, http.StatusServiceUnavailable,
-				fmt.Errorf("partition owner %s unavailable", r.nodes[i].name))
-			return
-		}
-	}
+//
+// Affected counts logical rows, not replica applications: a split
+// INSERT acks its full row count, and a predicate write pre-counts the
+// matching rows through the partition-filtered maintenance channel —
+// summing per-shard counts would multiply by R and double-count
+// migration copies.
+func (r *Router) scatterWrite(w http.ResponseWriter, req *http.Request, pm *PartitionMap, stmt scatterStmt) {
+	r.partLocks.Lock()
+	defer r.partLocks.Unlock()
 	if r.pmap.Load() != pm {
 		r.writePartitionStale(w)
 		return
 	}
-	ch := r.fanStatements(req.Context(), req, targets, sqlFor)
-	replies := make([]shardReply, 0, len(targets))
-	for range targets {
-		replies = append(replies, <-ch)
+
+	P := len(pm.Owners)
+	involved := make([]int, 0, P)
+	if stmt.ins != nil {
+		hit := make([]bool, P)
+		for _, p := range stmt.insParts {
+			hit[p] = true
+		}
+		for p, h := range hit {
+			if h {
+				involved = append(involved, p)
+			}
+		}
+	} else {
+		for p := 0; p < P; p++ {
+			involved = append(involved, p)
+		}
 	}
-	sortRepliesByNode(replies)
-	out := server.QueryResponse{}
-	for _, rep := range replies {
-		if rep.err != nil {
+
+	// Per-node roles, fixed under the lock: the partitions a node owns
+	// (the write must land) and the partitions it is receiving as a
+	// migration gainer (dual-write).
+	owned := make(map[int][]int)
+	gaining := make(map[int][]int)
+	for _, p := range involved {
+		any := false
+		for _, i := range pm.groupOf(p) {
+			if r.nodes[i].down.Load() {
+				continue
+			}
+			owned[i] = append(owned[i], p)
+			any = true
+		}
+		if !any {
 			writeErr(w, http.StatusServiceUnavailable,
-				fmt.Errorf("partition owner %s unreachable; write may be partially applied", r.nodes[rep.node].name))
+				fmt.Errorf("partition %d unavailable: no reachable replica", p))
 			return
 		}
-		if rep.status != http.StatusOK {
-			relayRaw(w, rep)
+		for _, g := range r.migrationGainers(pm, p) {
+			if r.nodes[g].down.Load() {
+				r.migrationMarkDirty(pm, p) // the copy misses this write
+				continue
+			}
+			gaining[g] = append(gaining[g], p)
+		}
+	}
+	targets := make([]int, 0, len(owned)+len(gaining))
+	for i := range owned {
+		targets = append(targets, i)
+	}
+	for i := range gaining {
+		if _, dup := owned[i]; !dup {
+			targets = append(targets, i)
+		}
+	}
+	sortInts(targets)
+
+	var affected int64
+	if stmt.ins != nil {
+		affected = int64(len(stmt.ins.Rows))
+	} else if table, where, ok := predicateTarget(stmt.sql); ok {
+		if k, known := r.keyFor(table); known {
+			n, err := r.scatterCount(req.Context(), pm, table, k.name, where)
+			if err != nil {
+				writeErr(w, http.StatusServiceUnavailable,
+					fmt.Errorf("counting matched rows before scatter write: %v", err))
+				return
+			}
+			affected = n
+		}
+		// Unknown table: no pre-count — the shards will reject the
+		// statement deterministically and the rejection relays below.
+	}
+
+	r.writeFanout.Inc()
+	ch := r.fanStatements(req.Context(), req, targets, func(i int) server.QueryRequest {
+		if stmt.ins == nil {
+			return server.QueryRequest{SQL: stmt.sql}
+		}
+		member := make(map[int]bool, len(owned[i])+len(gaining[i]))
+		for _, p := range owned[i] {
+			member[p] = true
+		}
+		for _, p := range gaining[i] {
+			member[p] = true
+		}
+		rows := make([][]sqlmini.Literal, 0, len(stmt.ins.Rows))
+		for ri, row := range stmt.ins.Rows {
+			if member[stmt.insParts[ri]] {
+				rows = append(rows, row)
+			}
+		}
+		return server.QueryRequest{SQL: sqlmini.Render(&sqlmini.Insert{Table: stmt.ins.Table, Rows: rows})}
+	})
+	byNode := make(map[int]shardReply, len(targets))
+	for range targets {
+		rep := <-ch
+		byNode[rep.node] = rep
+	}
+	okNode := func(rep shardReply) bool { return rep.err == nil && rep.status == http.StatusOK }
+
+	// A partition is applied when a READABLE owner accepted the write;
+	// resync owners are write-plane only.
+	allApplied := true
+	for _, p := range involved {
+		applied := false
+		for _, i := range pm.groupOf(p) {
+			if rep, sent := byNode[i]; sent && okNode(rep) && r.nodes[i].readable() {
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			allApplied = false
+			break
+		}
+	}
+
+	// Dual-write outcomes first: a failed gainer leg re-queues the
+	// partition for the migrator regardless of how the client fares.
+	for i, parts := range gaining {
+		if rep := byNode[i]; !okNode(rep) {
+			for _, p := range parts {
+				r.migrationMarkDirty(pm, p)
+			}
+		}
+	}
+
+	if !allApplied {
+		anyOK := false
+		var firstErr *shardReply
+		for _, i := range targets {
+			if _, isOwner := owned[i]; !isOwner {
+				continue
+			}
+			rep := byNode[i]
+			if okNode(rep) {
+				anyOK = true
+			} else if rep.err == nil && rep.status != 0 && firstErr == nil {
+				keep := rep
+				firstErr = &keep
+			}
+		}
+		if !anyOK && firstErr != nil {
+			relayRaw(w, *firstErr)
 			return
 		}
-		out.Affected += rep.resp.Affected
-		if rep.resp.DelayMillis > out.DelayMillis {
+		writeErr(w, http.StatusServiceUnavailable,
+			errors.New("scatter write partially applied: a partition has no read-serving replica that accepted it; retry when the cluster recovers"))
+		return
+	}
+
+	// Acked. Owners whose leg failed while they stayed reachable have
+	// diverged from the replica set: quarantine them writes-only.
+	diverged := false
+	for i := range owned {
+		rep := byNode[i]
+		if okNode(rep) {
+			continue
+		}
+		r.writeFanErr.Inc()
+		n := r.nodes[i]
+		if n.down.Load() {
+			continue // died mid-write; the transport latched it
+		}
+		if !n.resync.Load() {
+			n.latchResync()
+			r.writeDiverged.Inc()
+			diverged = true
+		}
+	}
+	if diverged {
+		r.syncPeerDown()
+	}
+
+	out := server.QueryResponse{Affected: int(affected)}
+	for _, i := range targets {
+		if rep := byNode[i]; okNode(rep) && rep.resp.DelayMillis > out.DelayMillis {
 			out.DelayMillis = rep.resp.DelayMillis
 		}
 	}

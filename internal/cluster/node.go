@@ -8,7 +8,15 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
+
+// rpcBodyCap is the byte budget handed to the cluster.rpc torn-write
+// failpoint: effectively unbounded, so an uninjected call passes every
+// response through whole, while an injected one picks a cut point
+// below any real response size.
+const rpcBodyCap = 1 << 30
 
 // Node is one delaydb shard behind the router. Local nodes (handlers
 // in this process, the test and single-binary cluster mode) and HTTP
@@ -57,6 +65,41 @@ type Node struct {
 	// operator's POST /admin/peer-up (asserting the replica has been
 	// resynced from a healthy peer) restores it to the read path.
 	resync atomic.Bool
+	// latchSeq orders latch episodes: it is stamped from latchClock on
+	// every readable→latched transition (and untouched on down→resync,
+	// which continues the same episode). Because an acked write that
+	// fails on a readable replica quarantines that replica immediately,
+	// every readable replica holds every acked write — so when ALL
+	// replicas of a partition are latched, the one with the highest
+	// latchSeq left the read plane last and is the partition's one
+	// complete copy. CatchUpPeer uses this to refuse clearing a stale
+	// replica ahead of the authoritative one.
+	latchSeq atomic.Int64
+}
+
+// latchClock issues latchSeq stamps, ordered across all nodes of the
+// process (shared across routers; only relative order within one
+// replica group matters).
+var latchClock atomic.Int64
+
+// latchDown latches the node down, stamping the start of a new latch
+// episode if the node was readable.
+func (n *Node) latchDown() {
+	if n.readable() {
+		n.latchSeq.Store(latchClock.Add(1))
+	}
+	n.down.Store(true)
+}
+
+// latchResync latches the node writes-only, stamping the start of a new
+// latch episode if the node was readable. Called on a down node (probe
+// revival) it keeps the episode's original stamp: the missed-writes
+// window began at the down latch, not at revival.
+func (n *Node) latchResync() {
+	if n.readable() {
+		n.latchSeq.Store(latchClock.Add(1))
+	}
+	n.resync.Store(true)
 }
 
 // NewHTTPNode returns a shard reached over the network at base
@@ -117,6 +160,25 @@ func (n *Node) InFlight() int64 { return n.inflight.Load() }
 // failure latches the node down; HTTP error statuses do not (the peer
 // answered — it is alive, just unhappy).
 func (n *Node) do(req *http.Request) (*http.Response, error) {
+	truncate := -1
+	if fault.Enabled() {
+		if k, ferr := fault.CheckWrite(fault.ClusterRPC, rpcBodyCap); ferr != nil {
+			if k <= 0 {
+				// Dropped before the wire: indistinguishable from a
+				// refused connection, so it latches the peer like one.
+				if req.Body != nil {
+					req.Body.Close()
+				}
+				n.latchDown()
+				return nil, ferr
+			}
+			// Delivered, but the response comes back cut short: the
+			// status line survives, the body truncates mid-stream, and
+			// the caller's decoder hits unexpected EOF. No down latch —
+			// the peer did answer.
+			truncate = k
+		}
+	}
 	n.inflight.Add(1)
 	defer n.inflight.Add(-1)
 	var resp *http.Response
@@ -127,11 +189,25 @@ func (n *Node) do(req *http.Request) (*http.Response, error) {
 		resp, err = n.http.Do(req)
 	}
 	if err != nil {
-		n.down.Store(true)
+		n.latchDown()
 		return nil, err
+	}
+	if truncate >= 0 {
+		resp.Body = &truncatedBody{r: io.LimitReader(resp.Body, int64(truncate)), c: resp.Body}
+		resp.ContentLength = -1
 	}
 	return resp, nil
 }
+
+// truncatedBody delivers a prefix of the real body (the cluster.rpc
+// torn failure) while closing the whole underlying stream.
+type truncatedBody struct {
+	r io.Reader
+	c io.Closer
+}
+
+func (t *truncatedBody) Read(p []byte) (int, error) { return t.r.Read(p) }
+func (t *truncatedBody) Close() error               { return t.c.Close() }
 
 // urlFor returns the parsed URL for base+path, cached per path.
 func (n *Node) urlFor(path string) (*url.URL, error) {
@@ -153,6 +229,28 @@ type handlerTransport struct {
 }
 
 func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if _, hasDeadline := req.Context().Deadline(); hasDeadline {
+		// A deadline means the caller may abandon this call while the
+		// handler still runs (a real transport would sever the
+		// connection); serve it on a goroutine so the timeout can fire.
+		// The goroutine owns the request body — it closes it when the
+		// handler returns, whether or not anyone is still waiting.
+		done := make(chan *http.Response, 1)
+		go func() {
+			rec := &recordedResponse{header: make(http.Header), code: http.StatusOK}
+			t.h.ServeHTTP(rec, req)
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			done <- rec.response(req)
+		}()
+		select {
+		case resp := <-done:
+			return resp, nil
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
 	rec := &recordedResponse{header: make(http.Header), code: http.StatusOK}
 	t.h.ServeHTTP(rec, req)
 	// Real transports guarantee exactly one Close of the request body;
@@ -160,17 +258,21 @@ func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if req.Body != nil {
 		req.Body.Close()
 	}
+	return rec.response(req), nil
+}
+
+func (r *recordedResponse) response(req *http.Request) *http.Response {
 	return &http.Response{
-		Status:        http.StatusText(rec.code),
-		StatusCode:    rec.code,
+		Status:        http.StatusText(r.code),
+		StatusCode:    r.code,
 		Proto:         req.Proto,
 		ProtoMajor:    req.ProtoMajor,
 		ProtoMinor:    req.ProtoMinor,
-		Header:        rec.header,
-		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
-		ContentLength: int64(rec.body.Len()),
+		Header:        r.header,
+		Body:          io.NopCloser(bytes.NewReader(r.body.Bytes())),
+		ContentLength: int64(r.body.Len()),
 		Request:       req,
-	}, nil
+	}
 }
 
 // recordedResponse is a minimal ResponseWriter capturing status,

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/parthash"
 	"repro/internal/server"
 	"repro/internal/sqlmini"
 )
@@ -36,72 +37,149 @@ import (
 const DefaultPartitions = 64
 
 // PartitionMap is an immutable, versioned assignment of partitions to
-// owner shards. Tuples hash (by INT primary key) to one of P partitions;
-// each partition has exactly one owner node. Rebalancing installs a new
-// map with the next version — requests pinned to the old version are
-// rejected retryably, never answered from a shard that may no longer
-// own the tuple.
+// replica groups of owner shards. Tuples hash (by INT primary key) to
+// one of P partitions; each partition has R owner nodes, primary first.
+// Rebalancing installs a new map with the next version — requests
+// pinned to the old version are rejected retryably, never answered from
+// a shard that may no longer own the tuple.
 type PartitionMap struct {
 	Version uint64
-	// Owners maps partition index → node index.
+	// Owners maps partition index → primary node index. It always
+	// equals column 0 of Replicas; kept as its own slice because the
+	// single-replica hot paths index it constantly.
 	Owners []int
+	// Replicas maps partition index → its full replica group (primary
+	// first, then failover order off the ring). Every group has the
+	// same length: min(R, nodes).
+	Replicas [][]int
 }
 
-// NewPartitionMap assigns partitions to owner shards via the same
+// NewPartitionMap assigns partitions to replica groups via the same
 // consistent-hash ring the router uses for principals, so partition
-// placement inherits the ring's balance properties. The partition index
-// is pre-mixed through splitmix64 before it becomes a ring key: FNV-1a
-// barely avalanches a trailing-byte change, so the naive keys
-// "partition-0".."partition-63" would hash into one narrow arc of the
-// ring and hand every partition to the same owner. vnodes <= 0 means
-// the ring default.
-func NewPartitionMap(version uint64, partitions, nodes, vnodes int) (*PartitionMap, error) {
+// placement inherits the ring's balance properties. Each partition's
+// group is the first `replication` distinct nodes of the ring's
+// preference sequence, so replica choice is as stable as ownership.
+// The partition index is pre-mixed through splitmix64 before it becomes
+// a ring key: FNV-1a barely avalanches a trailing-byte change, so the
+// naive keys "partition-0".."partition-63" would hash into one narrow
+// arc of the ring and hand every partition to the same owner.
+// vnodes <= 0 means the ring default; replication < 1 means 1, and is
+// clamped to the node count.
+func NewPartitionMap(version uint64, partitions, nodes, vnodes, replication int) (*PartitionMap, error) {
 	if partitions < 1 {
 		return nil, errors.New("cluster: partitions must be >= 1")
 	}
 	if nodes < 1 {
 		return nil, errors.New("cluster: no nodes to own partitions")
 	}
-	rg := newRing(nodes, vnodes)
-	owners := make([]int, partitions)
-	for p := range owners {
-		owners[p] = rg.owner("partition-" + strconv.FormatUint(mix64(uint64(p)), 16))
+	if replication < 1 {
+		replication = 1
 	}
-	return &PartitionMap{Version: version, Owners: owners}, nil
+	if replication > nodes {
+		replication = nodes
+	}
+	rg := newRing(nodes, vnodes)
+	m := &PartitionMap{
+		Version:  version,
+		Owners:   make([]int, partitions),
+		Replicas: make([][]int, partitions),
+	}
+	for p := range m.Owners {
+		seq := rg.sequence("partition-" + strconv.FormatUint(parthash.Mix64(uint64(p)), 16))
+		group := append([]int(nil), seq[:replication]...)
+		m.Replicas[p] = group
+		m.Owners[p] = group[0]
+	}
+	return m, nil
 }
 
-// mix64 is the splitmix64 finalizer: primary keys are often dense
-// sequences, and P typically divides small powers of two, so raw
-// key%P would stripe adjacent tuples pathologically. Mirrors the
-// detector's tuple hash.
-func mix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
+// normalize fills the replica groups of a map built owners-only (hand
+// assembled by an operator or a test) and re-derives Owners from
+// Replicas otherwise, so both views always agree.
+func (m *PartitionMap) normalize() {
+	if len(m.Replicas) == 0 {
+		m.Replicas = make([][]int, len(m.Owners))
+		for p, o := range m.Owners {
+			m.Replicas[p] = []int{o}
+		}
+		return
+	}
+	if len(m.Owners) != len(m.Replicas) {
+		m.Owners = make([]int, len(m.Replicas))
+	}
+	for p, g := range m.Replicas {
+		if len(g) > 0 {
+			m.Owners[p] = g[0]
+		}
+	}
 }
 
-// PartitionOf returns the partition a primary key hashes to.
+// replication returns the replica-group size (1 for owners-only maps).
+func (m *PartitionMap) replication() int {
+	if len(m.Replicas) == 0 {
+		return 1
+	}
+	r := 1
+	for _, g := range m.Replicas {
+		if len(g) > r {
+			r = len(g)
+		}
+	}
+	return r
+}
+
+// PartitionOf returns the partition a primary key hashes to. The hash
+// is pinned in parthash so the shard-side partition filter agrees bit
+// for bit.
 func (m *PartitionMap) PartitionOf(key int64) int {
-	return int(mix64(uint64(key)) % uint64(len(m.Owners)))
+	return parthash.Index(key, len(m.Owners))
 }
 
-// OwnerOf returns the node index owning the tuple with the given
+// OwnerOf returns the primary node index for the tuple with the given
 // primary key.
 func (m *PartitionMap) OwnerOf(key int64) int {
 	return m.Owners[m.PartitionOf(key)]
 }
 
-// ownerSet returns the distinct owner node indices in ascending order —
-// the scatter target set. Nodes owning no partition hold no tuples and
-// are skipped.
+// replicasOf returns the full replica group for a key's partition.
+func (m *PartitionMap) replicasOf(key int64) []int {
+	p := m.PartitionOf(key)
+	if len(m.Replicas) == 0 {
+		return []int{m.Owners[p]}
+	}
+	return m.Replicas[p]
+}
+
+// GroupOf returns a copy of partition p's replica group, primary
+// first — the torture harness and external tooling derive rebalance
+// targets from it.
+func (m *PartitionMap) GroupOf(p int) []int {
+	g := m.groupOf(p)
+	out := make([]int, len(g))
+	copy(out, g)
+	return out
+}
+
+// groupOf returns partition p's replica group.
+func (m *PartitionMap) groupOf(p int) []int {
+	if len(m.Replicas) == 0 {
+		return []int{m.Owners[p]}
+	}
+	return m.Replicas[p]
+}
+
+// ownerSet returns the distinct node indices holding any replica, in
+// ascending order — the scatter-write target universe. Nodes owning no
+// partition hold no tuples and are skipped.
 func (m *PartitionMap) ownerSet() []int {
 	seen := make(map[int]bool, len(m.Owners))
 	out := make([]int, 0, len(m.Owners))
-	for _, n := range m.Owners {
-		if !seen[n] {
-			seen[n] = true
-			out = append(out, n)
+	for p := range m.Owners {
+		for _, n := range m.groupOf(p) {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
 		}
 	}
 	sortInts(out)
@@ -123,14 +201,16 @@ func (r *Router) Partitioned() bool { return r.pmap.Load() != nil }
 // off). The map is immutable; callers must not mutate it.
 func (r *Router) CurrentPartitionMap() *PartitionMap { return r.pmap.Load() }
 
-// InstallPartitionMap swaps in a rebalanced map. The new map must keep
-// the partition count (tuples never re-hash; only ownership moves),
-// carry exactly the next version, and name only known shards. Data
-// migration is the operator's affair — delaydb moves no tuples; the
-// version fence just guarantees no request straddles two maps.
+// InstallPartitionMap swaps in a rebalanced map without moving any
+// data — the raw fence-only install. The new map must keep the
+// partition count (tuples never re-hash; only ownership moves), carry
+// exactly the next version, and name only known shards. Callers that
+// want the tuples to follow the map use Rebalance, which copies first
+// and installs at cutover; a raw install is operator surgery, with the
+// version fence guaranteeing only that no request straddles two maps.
 func (r *Router) InstallPartitionMap(m *PartitionMap) error {
-	if m == nil {
-		return errors.New("cluster: nil partition map")
+	if err := r.validateNextMap(m); err != nil {
+		return err
 	}
 	r.pmapMu.Lock()
 	defer r.pmapMu.Unlock()
@@ -138,18 +218,45 @@ func (r *Router) InstallPartitionMap(m *PartitionMap) error {
 	if cur == nil {
 		return errors.New("cluster: partitioning is not enabled")
 	}
-	if len(m.Owners) != len(cur.Owners) {
-		return fmt.Errorf("cluster: partition count is fixed at %d (got %d)", len(cur.Owners), len(m.Owners))
-	}
 	if m.Version != cur.Version+1 {
 		return fmt.Errorf("cluster: partition map version must be %d (got %d)", cur.Version+1, m.Version)
 	}
-	for p, o := range m.Owners {
-		if o < 0 || o >= len(r.nodes) {
-			return fmt.Errorf("cluster: partition %d owned by unknown node index %d", p, o)
+	r.pmap.Store(m)
+	return nil
+}
+
+// validateNextMap checks everything about a proposed map except its
+// version: partition count preserved, every replica group non-empty,
+// duplicate-free, and naming only known shards. It normalizes the map
+// (filling Replicas from Owners or vice versa) as a side effect.
+func (r *Router) validateNextMap(m *PartitionMap) error {
+	if m == nil {
+		return errors.New("cluster: nil partition map")
+	}
+	cur := r.pmap.Load()
+	if cur == nil {
+		return errors.New("cluster: partitioning is not enabled")
+	}
+	m.normalize()
+	if len(m.Owners) != len(cur.Owners) {
+		return fmt.Errorf("cluster: partition count is fixed at %d (got %d)", len(cur.Owners), len(m.Owners))
+	}
+	for p := range m.Owners {
+		g := m.groupOf(p)
+		if len(g) == 0 {
+			return fmt.Errorf("cluster: partition %d has no replicas", p)
+		}
+		seen := make(map[int]bool, len(g))
+		for _, n := range g {
+			if n < 0 || n >= len(r.nodes) {
+				return fmt.Errorf("cluster: partition %d owned by unknown node index %d", p, n)
+			}
+			if seen[n] {
+				return fmt.Errorf("cluster: partition %d lists node %d twice", p, n)
+			}
+			seen[n] = true
 		}
 	}
-	r.pmap.Store(m)
 	return nil
 }
 
@@ -251,12 +358,20 @@ type queryPlan struct {
 	// means any healthy shard (EXPLAIN — plans are identical modulo
 	// slice statistics).
 	node int
+	// part is the partition a single read/write pins, or -1 when the
+	// statement is not tuple-routable (EXPLAIN, anyWritePlan). It keys
+	// the per-partition write lock and the replica group.
+	part int
 	// sel is the parsed statement for planScatterRead, which the merge
 	// executor rewrites (partial aggregates, order-column injection).
 	sel *sqlmini.Select
-	// perNode carries the re-rendered INSERT slice per owner node for
-	// planSplitInsert.
-	perNode map[int]string
+	// ins and insParts carry a multi-partition INSERT for
+	// planSplitInsert: the parsed statement plus each row's partition.
+	// The per-node slices are rendered inside the scatter-write lock,
+	// because with replication the target sets depend on migration
+	// state that may move between planning and execution.
+	ins      *sqlmini.Insert
+	insParts []int
 }
 
 // planStatement classifies sql against the partition map. A parse
@@ -269,11 +384,12 @@ func (r *Router) planStatement(pm *PartitionMap, sql string) (queryPlan, error) 
 	switch s := stmt.(type) {
 	case *sqlmini.Select:
 		if s.Explain {
-			return queryPlan{kind: planSingleRead, node: -1}, nil
+			return queryPlan{kind: planSingleRead, node: -1, part: -1}, nil
 		}
 		if k, ok := r.keyFor(s.Table); ok {
 			if key, ok := sqlmini.PKEqual(s.Where, k.name); ok {
-				return queryPlan{kind: planSingleRead, node: pm.OwnerOf(key)}, nil
+				p := pm.PartitionOf(key)
+				return queryPlan{kind: planSingleRead, node: pm.Owners[p], part: p}, nil
 			}
 		}
 		return queryPlan{kind: planScatterRead, sel: s}, nil
@@ -282,14 +398,16 @@ func (r *Router) planStatement(pm *PartitionMap, sql string) (queryPlan, error) 
 	case *sqlmini.Update:
 		if k, ok := r.keyFor(s.Table); ok {
 			if key, ok := sqlmini.PKEqual(s.Where, k.name); ok {
-				return queryPlan{kind: planSingleWrite, node: pm.OwnerOf(key)}, nil
+				p := pm.PartitionOf(key)
+				return queryPlan{kind: planSingleWrite, node: pm.Owners[p], part: p}, nil
 			}
 		}
 		return queryPlan{kind: planScatterWrite}, nil
 	case *sqlmini.Delete:
 		if k, ok := r.keyFor(s.Table); ok {
 			if key, ok := sqlmini.PKEqual(s.Where, k.name); ok {
-				return queryPlan{kind: planSingleWrite, node: pm.OwnerOf(key)}, nil
+				p := pm.PartitionOf(key)
+				return queryPlan{kind: planSingleWrite, node: pm.Owners[p], part: p}, nil
 			}
 		}
 		return queryPlan{kind: planScatterWrite}, nil
@@ -312,36 +430,37 @@ func (r *Router) planStatement(pm *PartitionMap, sql string) (queryPlan, error) 
 }
 
 // planInsert routes an INSERT by the primary key of each row. All rows
-// on one owner ship as-is; rows spanning owners split into per-owner
-// INSERT slices. A row whose key cannot be read positionally (unknown
-// table, short row, non-INT key) routes the whole statement to one
-// shard whose engine rejects it — a deterministic error with no tuple
-// applied anywhere.
+// in one partition ship as-is to that partition's replica group; rows
+// spanning partitions split into per-node INSERT slices, rendered
+// later under the scatter-write lock. A row whose key cannot be read
+// positionally (unknown table, short row, non-INT key) routes the
+// whole statement to one shard whose engine rejects it — a
+// deterministic error with no tuple applied anywhere.
 func (r *Router) planInsert(pm *PartitionMap, s *sqlmini.Insert) (queryPlan, error) {
 	k, ok := r.keyFor(s.Table)
 	if !ok {
 		return r.anyWritePlan()
 	}
-	byOwner := make(map[int][][]sqlmini.Literal)
-	order := make([]int, 0, 4) // owners in first-row order, for determinism
-	for _, row := range s.Rows {
+	parts := make([]int, len(s.Rows))
+	single := -1
+	multi := false
+	for i, row := range s.Rows {
 		if k.idx >= len(row) || row[k.idx].Kind != sqlmini.IntLit {
 			return r.anyWritePlan()
 		}
-		o := pm.OwnerOf(row[k.idx].Int)
-		if _, seen := byOwner[o]; !seen {
-			order = append(order, o)
+		parts[i] = pm.PartitionOf(row[k.idx].Int)
+		if i == 0 {
+			single = parts[i]
+		} else if parts[i] != single {
+			multi = true
 		}
-		byOwner[o] = append(byOwner[o], row)
 	}
-	if len(byOwner) == 1 {
-		return queryPlan{kind: planSingleWrite, node: order[0]}, nil
+	if !multi {
+		return queryPlan{kind: planSingleWrite, node: pm.Owners[single], part: single}, nil
 	}
-	perNode := make(map[int]string, len(byOwner))
-	for o, rows := range byOwner {
-		perNode[o] = sqlmini.Render(&sqlmini.Insert{Table: s.Table, Rows: rows})
-	}
-	return queryPlan{kind: planSplitInsert, perNode: perNode}, nil
+	// Rows on multiple partitions sharing one replica group still fan
+	// as a split insert; the slices per node are just identical.
+	return queryPlan{kind: planSplitInsert, ins: s, insParts: parts}, nil
 }
 
 // anyWritePlan targets the first readable shard: used when a statement
@@ -352,7 +471,7 @@ func (r *Router) anyWritePlan() (queryPlan, error) {
 	if len(h) == 0 {
 		return queryPlan{}, errors.New("no healthy shards")
 	}
-	return queryPlan{kind: planSingleWrite, node: h[0]}, nil
+	return queryPlan{kind: planSingleWrite, node: h[0], part: -1}, nil
 }
 
 // servePartitioned plans and dispatches one statement under the map the
@@ -369,34 +488,34 @@ func (r *Router) servePartitioned(w http.ResponseWriter, req *http.Request, pm *
 	case planBroadcast:
 		r.fanoutWrite(w, req, "/query", body, scratch)
 	case planSingleRead:
-		node := plan.node
-		if node < 0 {
+		if plan.part < 0 {
 			h := r.healthy()
 			if len(h) == 0 {
 				writeErr(w, http.StatusServiceUnavailable, errors.New("no healthy shards"))
 				return
 			}
-			node = h[0]
+			r.partSingleRead.Inc()
+			r.serveOwner(w, req, pm, h[0], body, scratch, true)
+			return
 		}
 		r.partSingleRead.Inc()
-		r.serveOwner(w, req, pm, node, body, scratch, true)
+		r.serveReplicaRead(w, req, pm, plan.part, body, scratch)
 	case planSingleWrite:
 		r.partSingleWrite.Inc()
-		r.serveOwner(w, req, pm, plan.node, body, scratch, false)
+		if plan.part < 0 {
+			r.serveOwner(w, req, pm, plan.node, body, scratch, false)
+			return
+		}
+		r.serveGroupWrite(w, req, pm, plan.part, body, scratch)
 	case planScatterRead:
 		r.partScatter.Inc()
 		r.scatterRead(w, req, pm, plan.sel, sql)
 	case planScatterWrite:
 		r.partScatter.Inc()
-		r.scatterWrite(w, req, pm, pm.ownerSet(), func(int) string { return sql })
+		r.scatterWrite(w, req, pm, scatterStmt{sql: sql})
 	case planSplitInsert:
 		r.partSplit.Inc()
-		targets := make([]int, 0, len(plan.perNode))
-		for o := range plan.perNode {
-			targets = append(targets, o)
-		}
-		sortInts(targets)
-		r.scatterWrite(w, req, pm, targets, func(n int) string { return plan.perNode[n] })
+		r.scatterWrite(w, req, pm, scatterStmt{ins: plan.ins, insParts: plan.insParts})
 	}
 }
 
@@ -432,11 +551,15 @@ func (r *Router) serveOwner(w http.ResponseWriter, req *http.Request, pm *Partit
 
 // PartitionMapResponse is the GET /admin/partition-map body.
 type PartitionMapResponse struct {
-	Enabled    bool   `json:"enabled"`
-	Version    uint64 `json:"version,omitempty"`
-	Partitions int    `json:"partitions,omitempty"`
-	// Owners names the owner shard per partition.
+	Enabled     bool   `json:"enabled"`
+	Version     uint64 `json:"version,omitempty"`
+	Partitions  int    `json:"partitions,omitempty"`
+	Replication int    `json:"replication,omitempty"`
+	// Owners names the primary shard per partition.
 	Owners []string `json:"owners,omitempty"`
+	// Replicas names each partition's full replica group, primary
+	// first. Omitted when every group is a lone primary.
+	Replicas [][]string `json:"replicas,omitempty"`
 }
 
 func (r *Router) handlePartitionMapGet(w http.ResponseWriter, req *http.Request) {
@@ -446,23 +569,89 @@ func (r *Router) handlePartitionMapGet(w http.ResponseWriter, req *http.Request)
 		return
 	}
 	out := PartitionMapResponse{
-		Enabled:    true,
-		Version:    pm.Version,
-		Partitions: len(pm.Owners),
-		Owners:     make([]string, len(pm.Owners)),
+		Enabled:     true,
+		Version:     pm.Version,
+		Partitions:  len(pm.Owners),
+		Replication: pm.replication(),
+		Owners:      make([]string, len(pm.Owners)),
 	}
 	for p, o := range pm.Owners {
 		out.Owners[p] = r.nodes[o].name
 	}
+	if out.Replication > 1 {
+		out.Replicas = make([][]string, len(pm.Owners))
+		for p := range pm.Owners {
+			g := pm.groupOf(p)
+			names := make([]string, len(g))
+			for i, n := range g {
+				names[i] = r.nodes[n].name
+			}
+			out.Replicas[p] = names
+		}
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// PartitionMapUpdate is the POST /admin/partition-map body: an
-// operator's rebalance, naming the new owner shard per partition at
-// exactly the next version.
+// PartitionMapUpdate is the POST /admin/partition-map and
+// POST /admin/rebalance body: a proposed map at exactly the next
+// version. Either Owners (one primary per partition, R=1) or Replicas
+// (the full group per partition, primary first) names the assignment;
+// or, rebalance-only, a bare Replication re-derives the groups from
+// the ring at the new size.
 type PartitionMapUpdate struct {
-	Version uint64   `json:"version"`
-	Owners  []string `json:"owners"`
+	Version     uint64     `json:"version"`
+	Owners      []string   `json:"owners,omitempty"`
+	Replicas    [][]string `json:"replicas,omitempty"`
+	Replication int        `json:"replication,omitempty"`
+	// Wait makes POST /admin/rebalance run the migration synchronously
+	// instead of answering 202 and migrating in the background.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// mapFromUpdate resolves an update body to a PartitionMap. allowDerive
+// permits the bare-Replication form (rebalance), which needs the
+// router's ring parameters.
+func (r *Router) mapFromUpdate(up *PartitionMapUpdate, allowDerive bool) (*PartitionMap, error) {
+	idx := make(map[string]int, len(r.nodes))
+	for i, n := range r.nodes {
+		idx[n.name] = i
+	}
+	switch {
+	case len(up.Replicas) > 0:
+		m := &PartitionMap{Version: up.Version, Replicas: make([][]int, len(up.Replicas))}
+		for p, names := range up.Replicas {
+			g := make([]int, len(names))
+			for i, name := range names {
+				ni, ok := idx[name]
+				if !ok {
+					return nil, fmt.Errorf("partition %d: unknown node %q", p, name)
+				}
+				g[i] = ni
+			}
+			m.Replicas[p] = g
+		}
+		m.normalize()
+		return m, nil
+	case len(up.Owners) > 0:
+		m := &PartitionMap{Version: up.Version, Owners: make([]int, len(up.Owners))}
+		for p, name := range up.Owners {
+			ni, ok := idx[name]
+			if !ok {
+				return nil, fmt.Errorf("partition %d: unknown node %q", p, name)
+			}
+			m.Owners[p] = ni
+		}
+		m.normalize()
+		return m, nil
+	case allowDerive && up.Replication > 0:
+		cur := r.pmap.Load()
+		if cur == nil {
+			return nil, errors.New("partitioning is not enabled")
+		}
+		return NewPartitionMap(up.Version, len(cur.Owners), len(r.nodes), r.vnodes, up.Replication)
+	default:
+		return nil, errors.New("update names no owners or replicas")
+	}
 }
 
 func (r *Router) handlePartitionMapPost(w http.ResponseWriter, req *http.Request) {
@@ -475,20 +664,11 @@ func (r *Router) handlePartitionMapPost(w http.ResponseWriter, req *http.Request
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	idx := make(map[string]int, len(r.nodes))
-	for i, n := range r.nodes {
-		idx[n.name] = i
+	m, err := r.mapFromUpdate(&up, false)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
 	}
-	owners := make([]int, len(up.Owners))
-	for p, name := range up.Owners {
-		i, ok := idx[name]
-		if !ok {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("partition %d: unknown node %q", p, name))
-			return
-		}
-		owners[p] = i
-	}
-	m := &PartitionMap{Version: up.Version, Owners: owners}
 	if err := r.InstallPartitionMap(m); err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return

@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// This file is the replica-group layer over the partition map: point
+// reads that fail over inside a partition's replica group (with
+// bounded, jittered retry), and single-key group writes that apply to
+// every replica in the router's order and ack on a readable-replica
+// success. The invariant both paths defend: an acked write is readable
+// on every shard a read can route to — a replica that missed or
+// rejected an acked write leaves the read path (down or resync latch)
+// before the ack is relayed.
+
+// rpcBackoffBase mirrors the shard client's retry policy at the router
+// layer (exponential with full ±50% jitter, capped at 10× base).
+const rpcBackoffBase = 25 * time.Millisecond
+
+// rpcBackoff returns the sleep before retry attempt (0-based).
+func rpcBackoff(attempt int) time.Duration {
+	d := rpcBackoffBase << attempt
+	if max := 10 * rpcBackoffBase; d > max {
+		d = max
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// readRetryRounds bounds how many full walks of a replica group (or
+// re-covers of a scatter) a read attempts before giving up: the first
+// walk plus two jittered-backoff retries. Only idempotent reads retry;
+// a charged write is never re-sent.
+const readRetryRounds = 3
+
+// serveReplicaRead answers a point read pinned to one partition: walk
+// the replica group in preference order, skipping unreadable replicas,
+// failing over past dead ones. A replica's transport failure latches it
+// down and the walk continues — this is how a primary kill stays
+// invisible to clients when R > 1. A 5xx answer is retryable too (on
+// another replica first, then after a jittered backoff), bounded by
+// readRetryRounds; the last shard answer is relayed when the budget
+// runs out. The response relays only after re-checking the map pointer,
+// so an answer computed under a superseded map is retracted as a 409.
+func (r *Router) serveReplicaRead(w http.ResponseWriter, req *http.Request, pm *PartitionMap, part int, body []byte, scratch *bodyScratch) {
+	group := pm.groupOf(part)
+	var last *http.Response
+	for round := 0; round < readRetryRounds; round++ {
+		if round > 0 {
+			any := false
+			for _, i := range group {
+				if r.nodes[i].readable() {
+					any = true
+					break
+				}
+			}
+			if !any {
+				break // nothing left to retry against
+			}
+			r.readRetries.Inc()
+			r.cfg.Clock.Sleep(rpcBackoff(round - 1))
+		}
+		for ri, i := range group {
+			n := r.nodes[i]
+			if !n.readable() {
+				continue
+			}
+			if ri > 0 || round > 0 {
+				r.readFailover.Inc()
+			}
+			resp, err := r.forwardScratch(req, n, "/query", body, n.local != nil, scratch)
+			if err != nil {
+				continue // latched down; next replica
+			}
+			if resp.StatusCode >= http.StatusInternalServerError {
+				if last != nil {
+					last.Body.Close()
+				}
+				last = resp
+				continue
+			}
+			if last != nil {
+				last.Body.Close()
+			}
+			if r.pmap.Load() != pm {
+				resp.Body.Close()
+				r.writePartitionStale(w)
+				return
+			}
+			relay(w, resp)
+			return
+		}
+	}
+	if last != nil {
+		if r.pmap.Load() != pm {
+			last.Body.Close()
+			r.writePartitionStale(w)
+			return
+		}
+		relay(w, last)
+		return
+	}
+	writeErr(w, http.StatusServiceUnavailable,
+		fmt.Errorf("partition %d unavailable: no readable replica", part))
+}
+
+// fanResult is one leg of a raw fan-out.
+type fanResult struct {
+	resp *http.Response
+	err  error
+}
+
+// fanRaw sends body to every target concurrently, through the
+// cluster.fanout failpoint, returning raw responses positionally.
+func (r *Router) fanRaw(req *http.Request, targets []int, body []byte, scratch *bodyScratch) []fanResult {
+	results := make([]fanResult, len(targets))
+	var wg sync.WaitGroup
+	for slot, i := range targets {
+		wg.Add(1)
+		go func(slot, i int) {
+			defer wg.Done()
+			if err := fault.Check(fault.ClusterFanout); err != nil {
+				results[slot] = fanResult{err: err}
+				return
+			}
+			resp, err := r.forwardScratch(req, r.nodes[i], "/query", body, false, scratch)
+			results[slot] = fanResult{resp: resp, err: err}
+		}(slot, i)
+	}
+	wg.Wait()
+	return results
+}
+
+// serveGroupWrite applies a single-key write to its partition's whole
+// replica group (plus any migration dual-write gainers), in the
+// router's order: the caller holds the partition's mutex for the full
+// fan, so two writes to one partition cannot interleave differently on
+// different replicas. The ack rule generalizes the replicated fan-out:
+// the write acks iff a readable replica of the OWNING group accepted
+// it; an owning replica that failed while its siblings acked has
+// diverged and is latched out of the read path (resync) before the ack
+// relays. A gainer's failure never fails the client — it marks the
+// partition dirty so the migrator re-copies it.
+func (r *Router) serveGroupWrite(w http.ResponseWriter, req *http.Request, pm *PartitionMap, part int, body []byte, scratch *bodyScratch) {
+	r.partLocks.RLock()
+	defer r.partLocks.RUnlock()
+	r.partMu[part].Lock()
+	defer r.partMu[part].Unlock()
+
+	// The map may have cut over while this write queued on the lock;
+	// its partition assignment (and dual-write set) would be stale.
+	if r.pmap.Load() != pm {
+		r.writePartitionStale(w)
+		return
+	}
+
+	group := pm.groupOf(part)
+	gainers := r.migrationGainers(pm, part)
+	targets := make([]int, 0, len(group)+len(gainers))
+	owners := 0
+	for _, i := range group {
+		if !r.nodes[i].down.Load() {
+			targets = append(targets, i)
+			owners++
+		}
+	}
+	if owners == 0 {
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("partition %d unavailable: no reachable replica", part))
+		return
+	}
+	for _, i := range gainers {
+		if r.nodes[i].down.Load() {
+			// The in-flight copy misses this write; re-queue the
+			// partition for the migrator rather than dropping it.
+			r.migrationMarkDirty(pm, part)
+			continue
+		}
+		targets = append(targets, i)
+	}
+
+	// Single-target fast path — the R=1 steady state: forward and relay
+	// raw, no fan bookkeeping. Requires the sole target to be readable,
+	// because a success confined to a writes-only resync replica is not
+	// an ack.
+	if len(targets) == 1 && r.nodes[targets[0]].readable() {
+		n := r.nodes[targets[0]]
+		resp, err := r.forwardScratch(req, n, "/query", body, n.local != nil, scratch)
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Errorf("partition owner %s unreachable: %v", n.name, err))
+			return
+		}
+		if r.pmap.Load() != pm {
+			resp.Body.Close()
+			r.writePartitionStale(w)
+			return
+		}
+		relay(w, resp)
+		return
+	}
+
+	r.writeFanout.Inc()
+	results := r.fanRaw(req, targets, body, scratch)
+
+	var ok, firstErr *http.Response
+	resyncOnlyOK := false
+	for slot, res := range results {
+		isOwner := slot < owners
+		if res.err != nil {
+			r.writeFanErr.Inc()
+			if !isOwner {
+				r.migrationMarkDirty(pm, part)
+			}
+			continue
+		}
+		if res.resp.StatusCode == http.StatusOK {
+			if isOwner && ok == nil && r.nodes[targets[slot]].readable() {
+				ok = res.resp
+			} else if isOwner && !r.nodes[targets[slot]].readable() {
+				resyncOnlyOK = true
+			}
+			continue
+		}
+		if !isOwner {
+			r.migrationMarkDirty(pm, part)
+			continue
+		}
+		if firstErr == nil {
+			firstErr = res.resp
+		}
+	}
+	if ok != nil {
+		// Acked: every owning replica that did not apply it must leave
+		// the read path. Shards that died mid-write latched down inside
+		// the transport; shards that answered an error — and shards
+		// whose fan leg was dropped before the wire (cluster.fanout) —
+		// are quarantined writes-only here.
+		for slot, res := range results {
+			if slot >= owners {
+				continue
+			}
+			n := r.nodes[targets[slot]]
+			applied := res.err == nil && res.resp.StatusCode == http.StatusOK
+			if applied || n.down.Load() {
+				continue
+			}
+			if !n.resync.Load() {
+				n.latchResync()
+				r.writeDiverged.Inc()
+			}
+		}
+		r.syncPeerDown()
+	}
+	chosen := ok
+	if chosen == nil {
+		chosen = firstErr
+	}
+	for _, res := range results {
+		if res.resp != nil && res.resp != chosen {
+			res.resp.Body.Close()
+		}
+	}
+	if chosen == nil {
+		if resyncOnlyOK {
+			writeErr(w, http.StatusServiceUnavailable,
+				errors.New("write applied to no read-serving replica; retry when the cluster recovers"))
+			return
+		}
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("write reached no replica of partition %d", part))
+		return
+	}
+	if r.pmap.Load() != pm {
+		chosen.Body.Close()
+		r.writePartitionStale(w)
+		return
+	}
+	relay(w, chosen)
+}

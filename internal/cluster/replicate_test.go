@@ -1,0 +1,460 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// testChaosCluster is testPartitionedCluster on killable transports:
+// every request crosses a Chaos switch, so a kill behaves like a
+// crashed process on every router path. The shard handlers are
+// returned for direct state inspection (bypassing the chaos switch).
+func testChaosCluster(t testing.TB, n, partitions, tuples int, cfg Config) (*Router, []http.Handler, []*Chaos) {
+	t.Helper()
+	catalog := tuples
+	if catalog == 0 {
+		catalog = 100
+	}
+	nodes := make([]*Node, n)
+	handlers := make([]http.Handler, n)
+	chaos := make([]*Chaos, n)
+	for i := range nodes {
+		h, _ := newEmptyShard(t, catalog, nil)
+		handlers[i] = h
+		nodes[i], chaos[i] = NewChaosNode(fmt.Sprintf("shard-%d", i), h)
+	}
+	cfg.Partitions = partitions
+	r, err := NewRouter(nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuples > 0 {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO items VALUES ")
+		for i := 1; i <= tuples; i++ {
+			if i > 1 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 'v%d')", i, i)
+		}
+		if err := r.ExecScript(sb.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, handlers, chaos
+}
+
+func healthOf(t testing.TB, h http.Handler) HealthResponse {
+	t.Helper()
+	resp, body := do(t, h, http.MethodGet, "/healthz", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatalf("healthz: %v: %s", err, body)
+	}
+	return hr
+}
+
+func peerStatus(hr HealthResponse, name string) string {
+	for _, p := range hr.Peers {
+		if p.Name == name {
+			return p.Status
+		}
+	}
+	return "absent"
+}
+
+func readValue(t testing.TB, h http.Handler, identity string, key int) (string, bool) {
+	t.Helper()
+	resp, body := query(t, h, identity, fmt.Sprintf(`SELECT v FROM items WHERE id = %d`, key))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read key %d: HTTP %d: %s", key, resp.StatusCode, body)
+	}
+	qr := decodeQuery(t, body)
+	if len(qr.Rows) == 0 {
+		return "", false
+	}
+	return qr.Rows[0][0], true
+}
+
+// TestReplicatedPointReadFailsOver: with R=2, killing a key's primary
+// replica keeps point reads of that key flowing — the group walk fails
+// over to the surviving replica, the dead peer latches down, and after
+// revive + resync the cluster returns to full health.
+func TestReplicatedPointReadFailsOver(t *testing.T) {
+	r, _, chaos := testChaosCluster(t, 4, 16, 32, Config{Replication: 2})
+	h := r.Handler()
+	pm := r.CurrentPartitionMap()
+
+	const key = 7
+	group := pm.GroupOf(pm.PartitionOf(key))
+	if len(group) != 2 {
+		t.Fatalf("replica group = %v, want 2 members", group)
+	}
+	primary := group[0]
+	chaos[primary].Kill()
+
+	for i := 0; i < 5; i++ {
+		v, ok := readValue(t, h, fmt.Sprintf("reader-%d", i), key)
+		if !ok || v != fmt.Sprintf("v%d", key) {
+			t.Fatalf("post-kill read %d: got (%q, %v), want (\"v%d\", true)", i, v, ok, key)
+		}
+	}
+	if r.readFailover.Value() == 0 && r.readRetries.Value() == 0 {
+		t.Error("no failover or retry recorded; the kill was never exercised")
+	}
+	if st := peerStatus(healthOf(t, h), r.nodes[primary].name); st != "down" {
+		t.Fatalf("killed primary status = %q, want down", st)
+	}
+
+	// Revive; the probe lands it writes-only, resync restores reads.
+	chaos[primary].Revive()
+	r.ExchangeNow()
+	if st := peerStatus(healthOf(t, h), r.nodes[primary].name); st != "resync" {
+		t.Fatalf("revived primary status = %q, want resync", st)
+	}
+	resp, body := do(t, h, http.MethodPost, "/admin/resync", "",
+		fmt.Sprintf(`{"name":%q}`, r.nodes[primary].name))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resync: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if hr := healthOf(t, h); hr.Status != "ok" {
+		t.Fatalf("post-resync health = %q, want ok", hr.Status)
+	}
+}
+
+// TestReplicatedWriteSurvivesDeadReplicaAndResync: a write acked while
+// one replica is dead must remain readable through the outage, and the
+// automated catch-up must deliver it to the revived replica — verified
+// by querying that shard's handler directly.
+func TestReplicatedWriteSurvivesDeadReplicaAndResync(t *testing.T) {
+	r, handlers, chaos := testChaosCluster(t, 4, 16, 32, Config{Replication: 2})
+	h := r.Handler()
+	pm := r.CurrentPartitionMap()
+
+	const key = 11
+	group := pm.GroupOf(pm.PartitionOf(key))
+	dead := group[1]
+	chaos[dead].Kill()
+
+	resp, body := query(t, h, "writer", fmt.Sprintf(`UPDATE items SET v = 'outage' WHERE id = %d`, key))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("outage write: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if v, ok := readValue(t, h, "reader", key); !ok || v != "outage" {
+		t.Fatalf("acked write unreadable during outage: (%q, %v)", v, ok)
+	}
+
+	chaos[dead].Revive()
+	r.ExchangeNow()
+	// Still resync: reads must keep coming from the caught-up replica.
+	if v, ok := readValue(t, h, "reader-2", key); !ok || v != "outage" {
+		t.Fatalf("acked write unreadable while peer resyncs: (%q, %v)", v, ok)
+	}
+	resp, body = do(t, h, http.MethodPost, "/admin/resync", "",
+		fmt.Sprintf(`{"name":%q}`, r.nodes[dead].name))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resync: HTTP %d: %s", resp.StatusCode, body)
+	}
+	// The revived shard itself — asked directly, off the router's read
+	// plane — must now hold the write it missed.
+	if v, ok := readValue(t, handlers[dead], "probe", key); !ok || v != "outage" {
+		t.Fatalf("catch-up did not deliver the missed write to %s: (%q, %v)", r.nodes[dead].name, v, ok)
+	}
+	if hr := healthOf(t, h); hr.Status != "ok" {
+		t.Fatalf("post-resync health = %q, want ok", hr.Status)
+	}
+}
+
+// TestRebalanceMovesTuplesAutomatically is the ISSUE's acceptance
+// test: POST /admin/rebalance with a map that reassigns a partition
+// triggers the background migrator, and after it reports done the
+// tuples have physically moved — the gainer answers for them directly,
+// the loser no longer holds them, and every key stays readable through
+// the router across the cutover.
+func TestRebalanceMovesTuplesAutomatically(t *testing.T) {
+	const tuples = 64
+	r, _, nodes := testPartitionedCluster(t, 4, 16, tuples, nil, Config{})
+	h := r.Handler()
+	pm := r.CurrentPartitionMap()
+
+	// Pick the partition owning key 1 and move it to the next node.
+	part := pm.PartitionOf(1)
+	loser := pm.Owners[part]
+	gainer := (loser + 1) % 4
+	moved := []int{}
+	for k := 1; k <= tuples; k++ {
+		if pm.PartitionOf(int64(k)) == part {
+			moved = append(moved, k)
+		}
+	}
+	if len(moved) == 0 {
+		t.Fatal("no keys in the chosen partition")
+	}
+
+	owners := make([]string, len(pm.Owners))
+	for p, o := range pm.Owners {
+		owners[p] = nodes[o].name
+	}
+	owners[part] = nodes[gainer].name
+	up, _ := json.Marshal(PartitionMapUpdate{Version: pm.Version + 1, Owners: owners, Wait: true})
+	resp, body := do(t, h, http.MethodPost, "/admin/rebalance", "", string(up))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	// Progress endpoint: terminal, successful, and it counted the move.
+	resp, body = do(t, h, http.MethodGet, "/admin/rebalance", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance progress: HTTP %d", resp.StatusCode)
+	}
+	var prog MigrationProgress
+	if err := json.Unmarshal(body, &prog); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Active || prog.State != "done" {
+		t.Fatalf("migration state = %+v, want done", prog)
+	}
+	if prog.TuplesCopied < int64(len(moved)) {
+		t.Errorf("tuples_copied = %d, want >= %d", prog.TuplesCopied, len(moved))
+	}
+	if v := r.CurrentPartitionMap().Version; v != pm.Version+1 {
+		t.Fatalf("map version = %d, want %d", v, pm.Version+1)
+	}
+
+	// Ownership proof by direct shard reads: the gainer holds every
+	// moved key, the loser none of them.
+	for _, k := range moved {
+		if v, ok := readValue(t, nodes[gainer].direct, "probe-gainer", k); !ok || v != fmt.Sprintf("v%d", k) {
+			t.Fatalf("gainer %s missing moved key %d: (%q, %v)", nodes[gainer].name, k, v, ok)
+		}
+		if _, ok := readValue(t, nodes[loser].direct, "probe-loser", k); ok {
+			t.Fatalf("loser %s still holds moved key %d after purge", nodes[loser].name, k)
+		}
+	}
+	// And the router still serves everything.
+	for k := 1; k <= tuples; k++ {
+		if v, ok := readValue(t, h, "after", k); !ok || v != fmt.Sprintf("v%d", k) {
+			t.Fatalf("key %d unreadable after rebalance: (%q, %v)", k, v, ok)
+		}
+	}
+
+	// /healthz aggregates the partition state and migration outcome.
+	hr := healthOf(t, h)
+	if hr.PartitionVersion != pm.Version+1 || hr.Partitions != 16 || hr.Replication != 1 {
+		t.Errorf("healthz partition state = v%d/%d/R%d, want v%d/16/R1",
+			hr.PartitionVersion, hr.Partitions, hr.Replication, pm.Version+1)
+	}
+	if hr.Migration == nil || hr.Migration.State != "done" {
+		t.Errorf("healthz migration = %+v, want done", hr.Migration)
+	}
+}
+
+// TestRebalanceRollsBackOnDeadGainer: a migration that cannot deliver
+// a slice to its gainer must roll back — old map intact, every key
+// still readable, terminal state reported.
+func TestRebalanceRollsBackOnDeadGainer(t *testing.T) {
+	const tuples = 32
+	r, _, chaos := testChaosCluster(t, 4, 16, tuples, Config{})
+	h := r.Handler()
+	pm := r.CurrentPartitionMap()
+
+	part := pm.PartitionOf(1)
+	loser := pm.Owners[part]
+	gainer := (loser + 1) % 4
+	chaos[gainer].Kill()
+
+	owners := make([]string, len(pm.Owners))
+	for p, o := range pm.Owners {
+		owners[p] = r.nodes[o].name
+	}
+	owners[part] = r.nodes[gainer].name
+	up, _ := json.Marshal(PartitionMapUpdate{Version: pm.Version + 1, Owners: owners, Wait: true})
+	resp, body := do(t, h, http.MethodPost, "/admin/rebalance", "", string(up))
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("rebalance with dead gainer: HTTP %d, want 502: %s", resp.StatusCode, body)
+	}
+	resp, body = do(t, h, http.MethodGet, "/admin/rebalance", "", "")
+	var prog MigrationProgress
+	json.Unmarshal(body, &prog)
+	if resp.StatusCode != http.StatusOK || prog.Active || prog.State != "rolled_back" {
+		t.Fatalf("migration state = %+v, want rolled_back", prog)
+	}
+	if v := r.CurrentPartitionMap().Version; v != pm.Version {
+		t.Fatalf("rollback left map at v%d, want v%d", v, pm.Version)
+	}
+	chaos[gainer].Revive()
+	r.ExchangeNow()
+	do(t, h, http.MethodPost, "/admin/resync", "", fmt.Sprintf(`{"name":%q}`, r.nodes[gainer].name))
+	for k := 1; k <= tuples; k++ {
+		if v, ok := readValue(t, h, "after", k); !ok || v != fmt.Sprintf("v%d", k) {
+			t.Fatalf("key %d unreadable after rollback: (%q, %v)", k, v, ok)
+		}
+	}
+}
+
+// TestCatchUpPeerRefusesStaleReplica pins the latch-order rule: when
+// every replica of a partition has left the read plane, only the
+// freshest copy (the last to latch — it witnessed every ack) may be
+// cleared without a source; a staler replica must be refused with the
+// blocker's name until the authoritative one is back. Clearing in the
+// wrong order would purge the complete copy from the stale one.
+func TestCatchUpPeerRefusesStaleReplica(t *testing.T) {
+	r, handlers, chaos := testChaosCluster(t, 2, 8, 8, Config{Replication: 2})
+	h := r.Handler()
+	pm := r.CurrentPartitionMap()
+
+	const key = 1
+	group := pm.GroupOf(pm.PartitionOf(key))
+	first, second := group[0], group[1]
+	firstName, secondName := r.nodes[first].name, r.nodes[second].name
+
+	// second dies; an acked write lands only on first.
+	chaos[second].Kill()
+	if resp, body := query(t, h, "w", fmt.Sprintf(`UPDATE items SET v = 'acked' WHERE id = %d`, key)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("write with one replica down: HTTP %d: %s", resp.StatusCode, body)
+	}
+	// second revives into writes-only resync (it missed the ack).
+	chaos[second].Revive()
+	r.ExchangeNow()
+	if st := peerStatus(healthOf(t, h), secondName); st != "resync" {
+		t.Fatalf("%s status = %q, want resync", secondName, st)
+	}
+
+	// Now first dies too. A write reaching only the resync replica is
+	// not an ack.
+	chaos[first].Kill()
+	resp, body := query(t, h, "w", fmt.Sprintf(`UPDATE items SET v = 'unacked' WHERE id = %d`, key))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("resync-only write: HTTP %d, want 503: %s", resp.StatusCode, body)
+	}
+
+	// Catch-up must refuse the stale replica and name the fresh one.
+	resp, body = do(t, h, http.MethodPost, "/admin/resync", "", fmt.Sprintf(`{"name":%q}`, secondName))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("resync of stale replica: HTTP %d, want 409: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), firstName) {
+		t.Fatalf("refusal does not name the authoritative replica %s: %s", firstName, body)
+	}
+
+	// Recover in the right order: the freshest clears sourceless, the
+	// stale one then copies from it.
+	chaos[first].Revive()
+	r.ExchangeNow()
+	for _, name := range []string{firstName, secondName} {
+		if resp, body := do(t, h, http.MethodPost, "/admin/resync", "", fmt.Sprintf(`{"name":%q}`, name)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("resync %s: HTTP %d: %s", name, resp.StatusCode, body)
+		}
+	}
+	if hr := healthOf(t, h); hr.Status != "ok" {
+		t.Fatalf("post-recovery health = %q, want ok", hr.Status)
+	}
+	// The acked value survived everywhere; the unacked overwrite that
+	// reached only the stale replica was purged by its catch-up copy.
+	if v, ok := readValue(t, h, "r", key); !ok || v != "acked" {
+		t.Fatalf("router read = (%q, %v), want acked", v, ok)
+	}
+	for i, hd := range handlers {
+		if v, ok := readValue(t, hd, fmt.Sprintf("probe-%d", i), key); !ok || v != "acked" {
+			t.Fatalf("shard %d holds (%q, %v), want acked", i, v, ok)
+		}
+	}
+}
+
+// TestClusterRPCFaultReadRetries: an injected cluster.rpc error on a
+// replicated point read latches the struck peer and the bounded retry
+// reroutes to the surviving replica — the client sees 200.
+func TestClusterRPCFaultReadRetries(t *testing.T) {
+	r, _, _ := testChaosCluster(t, 4, 16, 32, Config{Replication: 2})
+	h := r.Handler()
+	t.Cleanup(fault.Disable)
+	fault.Enable(fault.NewRegistry(1).
+		Add(fault.Rule{Site: fault.ClusterRPC, Kind: fault.Error, Count: 1}))
+
+	if v, ok := readValue(t, h, "reader", 3); !ok || v != "v3" {
+		t.Fatalf("read under rpc fault = (%q, %v), want v3", v, ok)
+	}
+	fault.Disable()
+	if r.readRetries.Value() == 0 && r.readFailover.Value() == 0 {
+		t.Error("injected rpc error produced no retry and no failover")
+	}
+	if hr := healthOf(t, h); hr.Status != "degraded" {
+		t.Errorf("struck peer not latched: health = %q", hr.Status)
+	}
+}
+
+// TestClusterFanoutFaultQuarantinesDivergentReplica: dropping one leg
+// of a replicated group write still acks the write (the sibling
+// answered) and quarantines the replica that missed it writes-only.
+func TestClusterFanoutFaultQuarantinesDivergentReplica(t *testing.T) {
+	r, _, _ := testChaosCluster(t, 4, 16, 32, Config{Replication: 2})
+	h := r.Handler()
+	t.Cleanup(fault.Disable)
+	fault.Enable(fault.NewRegistry(1).
+		Add(fault.Rule{Site: fault.ClusterFanout, Kind: fault.Error, Count: 1}))
+
+	resp, body := query(t, h, "w", `UPDATE items SET v = 'divergent' WHERE id = 5`)
+	fault.Disable()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("write with one dropped leg: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if r.writeDiverged.Value() == 0 {
+		t.Fatal("dropped fan leg did not quarantine the divergent replica")
+	}
+	hr := healthOf(t, h)
+	resyncs := 0
+	var name string
+	for _, p := range hr.Peers {
+		if p.Status == "resync" {
+			resyncs++
+			name = p.Name
+		}
+	}
+	if resyncs != 1 {
+		t.Fatalf("resync peers = %d, want exactly 1: %+v", resyncs, hr.Peers)
+	}
+	// The acked value stays readable, and catch-up repairs the hole.
+	if v, ok := readValue(t, h, "r", 5); !ok || v != "divergent" {
+		t.Fatalf("acked write = (%q, %v), want divergent", v, ok)
+	}
+	if resp, body := do(t, h, http.MethodPost, "/admin/resync", "", fmt.Sprintf(`{"name":%q}`, name)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("resync: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if hr := healthOf(t, h); hr.Status != "ok" {
+		t.Fatalf("post-resync health = %q, want ok", hr.Status)
+	}
+}
+
+// TestShardTimeoutLatchesSlowPeer: a peer slower than -shard-timeout
+// counts as down — the timeout latches it, the timeout counter ticks,
+// and the read fails over to the healthy replica.
+func TestShardTimeoutLatchesSlowPeer(t *testing.T) {
+	r, _, _ := testChaosCluster(t, 4, 16, 32, Config{
+		Replication:  2,
+		ShardTimeout: 5 * time.Millisecond,
+	})
+	h := r.Handler()
+	t.Cleanup(fault.Disable)
+	fault.Enable(fault.NewRegistry(1).
+		Add(fault.Rule{Site: fault.ClusterRPC, Kind: fault.Latency, Latency: 100 * time.Millisecond, Count: 1}))
+
+	if v, ok := readValue(t, h, "reader", 9); !ok || v != "v9" {
+		t.Fatalf("read past slow peer = (%q, %v), want v9", v, ok)
+	}
+	fault.Disable()
+	if r.rpcTimeouts.Value() == 0 {
+		t.Error("cluster_rpc_timeouts_total = 0; the slow RPC was not timed out")
+	}
+	if hr := healthOf(t, h); hr.Status != "degraded" {
+		t.Errorf("slow peer not latched: health = %q", hr.Status)
+	}
+}

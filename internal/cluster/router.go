@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -93,10 +94,21 @@ type Config struct {
 	VNodes int
 	// Partitions, when > 0, hash-partitions tuples across the shards
 	// instead of replicating: each of the Partitions partitions gets
-	// one owner shard (assigned on the ring), point statements route
-	// to the tuple's owner alone, and scans scatter-gather across
-	// owners. 0 keeps full replication.
+	// a replica group of owner shards (assigned on the ring), point
+	// statements route to the tuple's group alone, and scans
+	// scatter-gather across one live replica per partition. 0 keeps
+	// full replication.
 	Partitions int
+	// Replication is the replica-group size per partition (clamped to
+	// the node count); <= 1 means one owner per partition. With R > 1
+	// single-key writes apply to every replica in the router's order
+	// and ack when at least one readable replica confirms; point reads
+	// fail over inside the group.
+	Replication int
+	// ShardTimeout bounds each router→shard RPC; a shard that exceeds
+	// it counts as a peer error (down-latch) rather than pinning the
+	// router's in-flight slots. 0 disables the per-RPC deadline.
+	ShardTimeout time.Duration
 	// Clock drives the limiter and the anti-entropy staleness gauge.
 	// nil means the real clock.
 	Clock vclock.Clock
@@ -138,6 +150,24 @@ type Router struct {
 	// them. Reads never take this lock.
 	writeMu sync.Mutex
 
+	// Partitioned-mode write ordering: a single-key group write holds
+	// partLocks.RLock plus its partition's mutex — writes to different
+	// partitions run concurrently, writes inside one partition (and
+	// the migrator's fenced copy of it) serialize. A scatter write
+	// holds partLocks exclusively, serializing with every group write
+	// at once. vnodes is kept so a rebalance can re-derive ring
+	// placement at a new replication factor.
+	partLocks sync.RWMutex
+	partMu    []sync.Mutex
+	vnodes    int
+
+	// mig is the live migration (nil when none); migMu serializes
+	// Rebalance/CatchUpPeer admission, migLast keeps the last finished
+	// run's progress for /healthz and GET /admin/rebalance.
+	mig     atomic.Pointer[migration]
+	migMu   sync.Mutex
+	migLast atomic.Pointer[MigrationProgress]
+
 	routed        *metrics.Counter
 	routedPolicy  *metrics.Counter
 	readFailover  *metrics.Counter
@@ -155,6 +185,11 @@ type Router struct {
 	partScatter     *metrics.Counter
 	partSplit       *metrics.Counter
 	partVerRej      *metrics.Counter
+
+	rpcTimeouts  *metrics.Counter
+	readRetries  *metrics.Counter
+	migPartsDone *metrics.Counter
+	migTuples    *metrics.Counter
 
 	ae struct {
 		mu        sync.Mutex
@@ -216,18 +251,20 @@ func NewRouter(nodes []*Node, cfg Config) (*Router, error) {
 	}
 
 	r := &Router{
-		nodes: nodes,
-		ring:  newRing(len(nodes), cfg.VNodes),
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		limit: limit,
+		nodes:  nodes,
+		ring:   newRing(len(nodes), cfg.VNodes),
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		limit:  limit,
+		vnodes: cfg.VNodes,
 	}
 	if cfg.Partitions > 0 {
-		pm, err := NewPartitionMap(1, cfg.Partitions, len(nodes), cfg.VNodes)
+		pm, err := NewPartitionMap(1, cfg.Partitions, len(nodes), cfg.VNodes, cfg.Replication)
 		if err != nil {
 			return nil, err
 		}
 		r.pmap.Store(pm)
+		r.partMu = make([]sync.Mutex, cfg.Partitions)
 	}
 	m := cfg.Metrics
 	r.inflight = m.Gauge("cluster_inflight")
@@ -247,6 +284,10 @@ func NewRouter(nodes []*Node, cfg Config) (*Router, error) {
 	r.partScatter = m.Counter("cluster_partition_scatter_total")
 	r.partSplit = m.Counter("cluster_partition_split_inserts_total")
 	r.partVerRej = m.Counter("cluster_partition_version_rejects_total")
+	r.rpcTimeouts = m.Counter("cluster_rpc_timeouts_total")
+	r.readRetries = m.Counter("cluster_read_retries_total")
+	r.migPartsDone = m.Counter("cluster_migration_partitions_total")
+	r.migTuples = m.Counter("cluster_migration_tuples_total")
 	m.GaugeFunc("cluster_partitions", func() float64 {
 		if pm := r.pmap.Load(); pm != nil {
 			return float64(len(pm.Owners))
@@ -273,6 +314,9 @@ func NewRouter(nodes []*Node, cfg Config) (*Router, error) {
 	r.mux.HandleFunc("POST /admin/peer-up", r.handlePeerUp)
 	r.mux.HandleFunc("GET /admin/partition-map", r.handlePartitionMapGet)
 	r.mux.HandleFunc("POST /admin/partition-map", r.handlePartitionMapPost)
+	r.mux.HandleFunc("GET /admin/rebalance", r.handleRebalanceGet)
+	r.mux.HandleFunc("POST /admin/rebalance", r.handleRebalancePost)
+	r.mux.HandleFunc("POST /admin/resync", r.handleResync)
 	r.h = server.WithRecovery(http.HandlerFunc(r.dispatch), m.Counter("cluster_panics_total"))
 	return r, nil
 }
@@ -554,10 +598,26 @@ func (r *Router) forward(req *http.Request, n *Node, path string, body []byte, r
 // request body carries its own counted reference so the buffer cannot
 // return to the pool while the transport might still drain it.
 func (r *Router) forwardScratch(req *http.Request, n *Node, path string, body []byte, reuse bool, scratch *bodyScratch) (*http.Response, error) {
+	ctx := req.Context()
+	var cancel context.CancelFunc
+	timed := r.cfg.ShardTimeout > 0
+	if timed {
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.ShardTimeout)
+		// A timeout can abandon the shard handler mid-read, so the
+		// request body must outlive this call safely: no in-place reuse
+		// of the client's request, and pooled scratch always carries
+		// its counted reference — a local handler on its own goroutine
+		// may still be draining it after this scatter releases the
+		// scratch.
+		reuse = false
+	}
 	var out *http.Request
 	if reuse && n.local != nil {
 		u, err := n.urlFor(path)
 		if err != nil {
+			if cancel != nil {
+				cancel()
+			}
 			return nil, err
 		}
 		uc := *u
@@ -571,11 +631,14 @@ func (r *Router) forwardScratch(req *http.Request, n *Node, path string, body []
 		// RemoteAddr identities.
 		out.Header.Set("X-Forwarded-For", req.RemoteAddr)
 	} else {
-		nr, err := http.NewRequestWithContext(req.Context(), http.MethodPost, n.base+path, nil)
+		nr, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+path, nil)
 		if err != nil {
+			if cancel != nil {
+				cancel()
+			}
 			return nil, err
 		}
-		if scratch != nil && n.local == nil {
+		if scratch != nil && (n.local == nil || timed) {
 			sb := &scratchBody{s: scratch}
 			sb.Reset(body)
 			scratch.retain()
@@ -593,11 +656,36 @@ func (r *Router) forwardScratch(req *http.Request, n *Node, path string, body []
 	}
 	resp, err := n.do(out)
 	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		if timed && ctx.Err() != nil && req.Context().Err() == nil {
+			r.rpcTimeouts.Inc()
+		}
 		r.peerErrors.Inc()
 		r.syncPeerDown()
 		return nil, err
 	}
+	if cancel != nil {
+		// The sub-context must survive until the caller finishes the
+		// body; Close releases it.
+		resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	}
 	return resp, nil
+}
+
+// cancelBody ties a per-RPC timeout context to the response body's
+// lifetime: the context cancels (releasing its timer) when the body
+// closes.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelBody) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
 }
 
 // relay copies a shard response to the client verbatim.
@@ -869,7 +957,7 @@ func (r *Router) fanoutWrite(w http.ResponseWriter, req *http.Request, path stri
 			}
 			n := r.nodes[targets[slot]]
 			if !n.resync.Load() {
-				n.resync.Store(true)
+				n.latchResync()
 				r.writeDiverged.Inc()
 			}
 		}
@@ -930,13 +1018,23 @@ type PeerHealth struct {
 // HealthResponse is the router's /healthz body: "ok" with every peer
 // up, "degraded" while any peer is latched down (unreachable) or
 // resync (reachable, receiving writes, but out of the read path until
-// an operator confirms POST /admin/peer-up). The cluster still serves
-// either way — reads route around the hole, writes go to everything
-// reachable.
+// caught up and confirmed via POST /admin/peer-up). The cluster still
+// serves either way — reads route around the hole, writes go to
+// everything reachable. In partitioned mode it also carries the map
+// version, partition/replication shape, and the live (or last)
+// migration progress, so operators and the torture harness share one
+// readiness signal.
 type HealthResponse struct {
 	Status string       `json:"status"`
 	Policy string       `json:"policy"`
 	Peers  []PeerHealth `json:"peers"`
+
+	PartitionVersion uint64 `json:"partition_version,omitempty"`
+	Partitions       int    `json:"partitions,omitempty"`
+	Replication      int    `json:"replication,omitempty"`
+	// Migration reports the in-flight rebalance (or the last finished
+	// one); nil when no rebalance has ever run.
+	Migration *MigrationProgress `json:"migration,omitempty"`
 }
 
 func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
@@ -952,6 +1050,12 @@ func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
 			out.Status = "degraded"
 		}
 		out.Peers = append(out.Peers, PeerHealth{Name: n.name, Status: st, InFlight: n.inflight.Load()})
+	}
+	if pm := r.pmap.Load(); pm != nil {
+		out.PartitionVersion = pm.Version
+		out.Partitions = len(pm.Owners)
+		out.Replication = pm.replication()
+		out.Migration = r.migrationProgress()
 	}
 	writeJSON(w, http.StatusOK, out)
 }

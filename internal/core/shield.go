@@ -751,6 +751,22 @@ func (s *Shield) Query(identity, sql string) (*engine.Result, QueryStats, error)
 // arrive. QueryStats still carries the full quoted delay, but the caller
 // never sees the tuples.
 func (s *Shield) QueryCtx(ctx context.Context, identity, sql string) (*engine.Result, QueryStats, error) {
+	return s.QueryFilteredCtx(ctx, identity, sql, nil)
+}
+
+// QueryFilteredCtx is QueryCtx with a row filter applied between
+// execution and observation: rows whose primary key fails keep are
+// dropped from the result BEFORE the detector observes them and before
+// the delay gate prices them. The shard-side partition filter uses this
+// so a replica answering for a subset of its locally held partitions
+// charges (and exposes to detection) only the tuples it actually
+// returns — otherwise every replica of a scanned range would inflate the
+// caller's coverage sketch R-fold. keep is called in output-row order,
+// so a stateful closure can also enforce a post-filter LIMIT. A nil
+// keep keeps every row (identical to QueryCtx). Filtering applies only
+// to row-aligned SELECT results; passing a filter with an aggregate or
+// write statement is an error.
+func (s *Shield) QueryFilteredCtx(ctx context.Context, identity, sql string, keep func(key uint64) bool) (*engine.Result, QueryStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -792,6 +808,19 @@ func (s *Shield) QueryCtx(ctx context.Context, identity, sql string) (*engine.Re
 		if cperr := s.db.TakeCheckpointErr(); cperr != nil {
 			s.noteExecError(cperr)
 		}
+	}
+	if keep != nil {
+		if res.Columns == nil || len(res.Keys) != len(res.Rows) {
+			return nil, QueryStats{}, errors.New("core: row filter requires a row-aligned SELECT result")
+		}
+		rows, keys := res.Rows[:0], res.Keys[:0]
+		for i, k := range res.Keys {
+			if keep(k) {
+				rows = append(rows, res.Rows[i])
+				keys = append(keys, k)
+			}
+		}
+		res.Rows, res.Keys = rows, keys
 	}
 	if res.Columns != nil {
 		// SELECT: charge delay for every returned tuple. ChargeCtx

@@ -57,7 +57,7 @@ func PartitionedSybilDetection(p PartitionedSybilParams) (*ShardedSybilResult, e
 	if p.Partitions == 0 {
 		p.Partitions = cluster.DefaultPartitions
 	}
-	pm, err := cluster.NewPartitionMap(1, p.Partitions, p.Shards, 0)
+	pm, err := cluster.NewPartitionMap(1, p.Partitions, p.Shards, 0, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -114,11 +114,11 @@ func PartitionedSybilDetection(p PartitionedSybilParams) (*ShardedSybilResult, e
 
 	var lastOn []*detect.Detector
 	for _, k := range p.Ks {
-		offWall, offCov, _, err := p.runPartitionedCoalition(gate, dcfg, pm, ids, k, false)
+		offWall, offCov, _, err := p.runPartitionedCoalition(gate, dcfg, pm, ids, k, false, -1)
 		if err != nil {
 			return nil, err
 		}
-		onWall, onCov, dets, err := p.runPartitionedCoalition(gate, dcfg, pm, ids, k, true)
+		onWall, onCov, dets, err := p.runPartitionedCoalition(gate, dcfg, pm, ids, k, true, -1)
 		if err != nil {
 			return nil, err
 		}
@@ -167,14 +167,113 @@ func PartitionedSybilDetection(p PartitionedSybilParams) (*ShardedSybilResult, e
 	return res, nil
 }
 
+// PartitionedShardKillSybil reruns the k = max(Ks) key-splitting
+// coalition against the replicated layout (R = 2) with one of the
+// shards dead for the entire attack. Failover routes each query to the
+// surviving replica of its partition, whose detector observes it, and
+// the anti-entropy exchange runs among the survivors only — so the
+// coalition's union coverage still reassembles and the surcharge must
+// hold without the dead shard's evidence. This is the detection half of
+// the shard-kill contract: losing a replica loses no acked writes
+// (torture.RunCluster) and loses no extraction pricing (this table).
+func PartitionedShardKillSybil(p PartitionedSybilParams) (*ShardedSybilResult, error) {
+	if p.Shards < 2 {
+		return nil, errors.New("experiments: shard-kill Sybil needs at least 2 shards")
+	}
+	if p.Partitions == 0 {
+		p.Partitions = cluster.DefaultPartitions
+	}
+	pm, err := cluster.NewPartitionMap(1, p.Partitions, p.Shards, 0, 2)
+	if err != nil {
+		return nil, err
+	}
+	cal := CalgaryParams{Scale: p.Scale, Cap: p.Cap, CapFraction: p.CapFraction, Seed: p.Seed}
+	tr, err := calgaryTrace("sybil-detect-shardkill", cal)
+	if err != nil {
+		return nil, err
+	}
+	tracker, err := learnTracker(tr, 1)
+	if err != nil {
+		return nil, err
+	}
+	n := cal.objects()
+	beta, err := delay.TuneBeta(n, trace.CalgaryAlpha, tracker.MaxCount(), p.Cap, p.CapFraction)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := delay.NewPopularity(delay.PopularityConfig{
+		N: n, Alpha: trace.CalgaryAlpha, Beta: beta, Cap: p.Cap,
+	}, tracker)
+	if err != nil {
+		return nil, err
+	}
+	gate, err := delay.NewGate(pol, noSleepClock{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	dcfg := detect.Config{
+		CatalogSize: n,
+		Policy: detect.EscalationPolicy{
+			Grace: p.Grace, Cap: p.MultCap, RampWidth: p.RampWidth, Hysteresis: 0.10,
+		},
+		JaccardThreshold: p.Jaccard,
+	}
+	baseline, err := adversary.Sequential(gate, ids)
+	if err != nil {
+		return nil, err
+	}
+	res := &ShardedSybilResult{BaselineWall: baseline.WallTime}
+	t := &Table{
+		Title: fmt.Sprintf(
+			"Shard-kill Sybil extraction: %d shards × %d partitions × R=2, shard-0 dead for the whole attack",
+			p.Shards, p.Partitions),
+		Header: []string{
+			"Identities", "All shards up (h)", "Shard down (h)",
+			"Up/baseline", "Down/baseline", "Cov (down)",
+		},
+	}
+	for _, k := range p.Ks {
+		upWall, _, _, err := p.runPartitionedCoalition(gate, dcfg, pm, ids, k, true, -1)
+		if err != nil {
+			return nil, err
+		}
+		downWall, downCov, _, err := p.runPartitionedCoalition(gate, dcfg, pm, ids, k, true, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.OffWall = append(res.OffWall, upWall)
+		res.OnWall = append(res.OnWall, downWall)
+		res.OnUnionCoverage = append(res.OnUnionCoverage, downCov)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k),
+			Hours(upWall), Hours(downWall),
+			fmt.Sprintf("%.1fx", upWall.Seconds()/baseline.WallTime.Seconds()),
+			fmt.Sprintf("%.1fx", downWall.Seconds()/baseline.WallTime.Seconds()),
+			fmt.Sprintf("%.1f%%", 100*downCov),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("single-identity detection-off baseline: %s hours over %d tuples; failover serves each dead-shard partition from its surviving replica, whose detector observes the query",
+			Hours(baseline.WallTime), n))
+	res.Table = t
+	return res, nil
+}
+
 // runPartitionedCoalition drives one k-identity extraction where each
 // identity's batch is split by tuple ownership: the sub-batch owned by
 // shard s is observed by shard s's detector, and the identity — a
 // sequential client of the front door — pays the sum of the per-shard
 // quotes. Detectors gossip every ExchangeEvery rounds when exchange is
-// on. Returns the coalition wall time, shard 0's best coalition-coverage
-// estimate after a final exchange+recluster, and the detectors.
-func (p PartitionedSybilParams) runPartitionedCoalition(gate *delay.Gate, dcfg detect.Config, pm *cluster.PartitionMap, ids []uint64, k int, exchange bool) (time.Duration, float64, []*detect.Detector, error) {
+// on. dead (when >= 0) marks one shard down for the whole run: queries
+// fail over to the next live member of the tuple's replica group, and
+// the dead shard neither observes nor exchanges. Returns the coalition
+// wall time, a live shard's best coalition-coverage estimate after a
+// final exchange+recluster, and the detectors.
+func (p PartitionedSybilParams) runPartitionedCoalition(gate *delay.Gate, dcfg detect.Config, pm *cluster.PartitionMap, ids []uint64, k int, exchange bool, dead int) (time.Duration, float64, []*detect.Detector, error) {
 	dets := make([]*detect.Detector, p.Shards)
 	for s := range dets {
 		d, err := detect.NewDetector(dcfg)
@@ -204,6 +303,14 @@ func (p PartitionedSybilParams) runPartitionedCoalition(gate *delay.Gate, dcfg d
 			}
 			for _, id := range batch {
 				s := pm.OwnerOf(int64(id))
+				if s == dead {
+					for _, m := range pm.GroupOf(pm.PartitionOf(int64(id))) {
+						if m != dead {
+							s = m
+							break
+						}
+					}
+				}
 				sub[s] = append(sub[s], id)
 			}
 			name := fmt.Sprintf("sybil-%d", i)
@@ -220,11 +327,11 @@ func (p PartitionedSybilParams) runPartitionedCoalition(gate *delay.Gate, dcfg d
 		}
 		round++
 		if exchange && round%p.ExchangeEvery == 0 {
-			exchangeSketches(dets, marks, p.ExportFloor)
+			exchangeLiveSketches(dets, marks, p.ExportFloor, dead)
 		}
 	}
 	if exchange {
-		exchangeSketches(dets, marks, p.ExportFloor)
+		exchangeLiveSketches(dets, marks, p.ExportFloor, dead)
 	}
 	var wall time.Duration
 	for _, w := range walls {
@@ -235,8 +342,12 @@ func (p PartitionedSybilParams) runPartitionedCoalition(gate *delay.Gate, dcfg d
 	for _, d := range dets {
 		d.Recluster()
 	}
+	viewer := 0
+	if viewer == dead {
+		viewer = 1
+	}
 	var union float64
-	for _, s := range dets[0].Suspects(k) {
+	for _, s := range dets[viewer].Suspects(k) {
 		u := s.Coverage
 		if s.CoalitionCoverage > u {
 			u = s.CoalitionCoverage
@@ -246,4 +357,32 @@ func (p PartitionedSybilParams) runPartitionedCoalition(gate *delay.Gate, dcfg d
 		}
 	}
 	return wall, union, dets, nil
+}
+
+// exchangeLiveSketches is exchangeSketches restricted to the shards
+// that are up: a dead shard (index dead, -1 for none) neither exports
+// nor absorbs, exactly as the router's exchange skips latched peers.
+func exchangeLiveSketches(dets []*detect.Detector, marks []uint64, floor float64, dead int) {
+	if dead < 0 {
+		exchangeSketches(dets, marks, floor)
+		return
+	}
+	pages := make([][]detect.SketchSnapshot, len(dets))
+	for s, d := range dets {
+		if s == dead {
+			continue
+		}
+		pages[s], marks[s] = d.ExportSince(marks[s], floor)
+	}
+	for t, d := range dets {
+		if t == dead {
+			continue
+		}
+		for s, snaps := range pages {
+			if s == t || len(snaps) == 0 {
+				continue
+			}
+			d.Absorb(snaps)
+		}
+	}
 }

@@ -46,6 +46,15 @@ const (
 	// coalesced batch hit the file but before the fsync — a leader crash
 	// mid-group. Error rules here fail every committer in the group.
 	WALGroupFlush
+	// ClusterRPC guards every router→shard peer RPC. Error rules drop
+	// the request before it leaves (a refused connection), latency rules
+	// stall it in the network, and torn rules deliver the response but
+	// truncate its body to n bytes — a connection dying mid-reply.
+	ClusterRPC
+	// ClusterFanout guards each per-target dispatch inside a router
+	// fan-out (group writes, scatter reads/writes), letting one leg of a
+	// fan fail while its siblings proceed.
+	ClusterFanout
 
 	numSites
 )
@@ -58,6 +67,8 @@ var siteNames = [numSites]string{
 	"wal.replay",
 	"pool.load",
 	"wal.groupflush",
+	"cluster.rpc",
+	"cluster.fanout",
 }
 
 // String returns the site's spec name (as used in DELAYDB_FAULTS).

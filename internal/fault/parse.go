@@ -26,7 +26,7 @@ import (
 //	wal.append=crash@after100            crash at the 101st commit
 //
 // Sites: pager.read, pager.write, pager.sync, wal.append, wal.replay,
-// pool.load.
+// pool.load, wal.groupflush, cluster.rpc, cluster.fanout.
 func Parse(spec string, seed uint64) (*Registry, error) {
 	reg := NewRegistry(seed)
 	for _, clause := range strings.Split(spec, ";") {

@@ -1,0 +1,22 @@
+// Package parthash pins the tuple-placement hash shared by the cluster
+// router and the shard-side partition filter. The router uses it to pick
+// a tuple's replica group; a shard uses it to decide which locally held
+// rows belong to the partitions a scatter query asked it to answer for.
+// Both sides must agree bit for bit — this package is the single
+// definition.
+package parthash
+
+// Mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mix so adjacent primary keys land on unrelated partitions.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Index returns the partition a primary key hashes to under a
+// partitions-way split.
+func Index(key int64, partitions int) int {
+	return int(Mix64(uint64(key)) % uint64(partitions))
+}

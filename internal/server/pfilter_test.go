@@ -1,0 +1,126 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parthash"
+)
+
+func postFiltered(t *testing.T, url, identity, sql string, f *PartitionFilter) (*http.Response, QueryResponse, string) {
+	t.Helper()
+	body, err := json.Marshal(QueryRequest{SQL: sql, PFilter: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/query", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Identity", identity)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr QueryResponse
+	json.Unmarshal(raw, &qr)
+	return resp, qr, string(raw)
+}
+
+// TestPartitionFilterRestrictsRows: a pfilter keeps only rows whose
+// primary key hashes into the included partitions — exactly the slice
+// a scatter-gather router expects this shard to answer for.
+func TestPartitionFilterRestrictsRows(t *testing.T) {
+	ts, _ := testServer(t, core.Config{Alpha: 1, Beta: 1, Cap: time.Millisecond})
+	const parts = 8
+
+	// Partition the seed keys 1..3 by the same hash the router uses.
+	byPart := map[int][]int{}
+	for k := 1; k <= 3; k++ {
+		p := parthash.Index(int64(k), parts)
+		byPart[p] = append(byPart[p], k)
+	}
+	for p := 0; p < parts; p++ {
+		resp, qr, _ := postFiltered(t, ts.URL, "filter-reader",
+			`SELECT * FROM items`, &PartitionFilter{Count: parts, Include: []int{p}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("partition %d: HTTP %d", p, resp.StatusCode)
+		}
+		want := byPart[p]
+		if len(qr.Rows) != len(want) {
+			t.Fatalf("partition %d: %d rows, want %d (%v)", p, len(qr.Rows), len(want), qr.Rows)
+		}
+		for _, row := range qr.Rows {
+			k := 0
+			fmt.Sscanf(row[0], "%d", &k)
+			if parthash.Index(int64(k), parts) != p {
+				t.Fatalf("partition %d leaked key %d", p, k)
+			}
+		}
+	}
+
+	// Union of all partitions = the whole table.
+	resp, qr, _ := postFiltered(t, ts.URL, "filter-reader",
+		`SELECT * FROM items`, &PartitionFilter{Count: parts, Include: []int{0, 1, 2, 3, 4, 5, 6, 7}})
+	if resp.StatusCode != http.StatusOK || len(qr.Rows) != 3 {
+		t.Fatalf("full include: HTTP %d, %d rows", resp.StatusCode, len(qr.Rows))
+	}
+}
+
+// TestPartitionFilterAggregates: aggregate queries under a pfilter are
+// folded server-side over only the included rows, so a scatter-gather
+// COUNT sums to the true total with no double counting.
+func TestPartitionFilterAggregates(t *testing.T) {
+	ts, _ := testServer(t, core.Config{Alpha: 1, Beta: 1, Cap: time.Millisecond})
+	const parts = 4
+
+	total := 0
+	for p := 0; p < parts; p++ {
+		resp, qr, _ := postFiltered(t, ts.URL, "agg-reader",
+			`SELECT COUNT(*) FROM items`, &PartitionFilter{Count: parts, Include: []int{p}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("partition %d: HTTP %d", p, resp.StatusCode)
+		}
+		if len(qr.Rows) != 1 || len(qr.Rows[0]) != 1 {
+			t.Fatalf("partition %d: rows = %v", p, qr.Rows)
+		}
+		n := 0
+		fmt.Sscanf(qr.Rows[0][0], "%d", &n)
+		total += n
+	}
+	if total != 3 {
+		t.Fatalf("scatter COUNT summed to %d, want 3", total)
+	}
+}
+
+// TestPartitionFilterValidation: malformed filters are a client error,
+// not a silent full-table answer.
+func TestPartitionFilterValidation(t *testing.T) {
+	ts, _ := testServer(t, core.Config{Alpha: 1, Beta: 1, Cap: time.Millisecond})
+	bad := []*PartitionFilter{
+		{Count: 0, Include: []int{0}},    // no partition count
+		{Count: 4, Include: nil},         // empty include set
+		{Count: 4, Include: []int{4}},    // index out of range
+		{Count: 4, Include: []int{-1}},   // negative index
+		{Count: 4, Include: []int{0, 9}}, // one good, one out of range
+	}
+	for i, f := range bad {
+		resp, _, raw := postFiltered(t, ts.URL, "bad-filter",
+			`SELECT * FROM items`, f)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad filter %d: HTTP %d, want 400: %s", i, resp.StatusCode, raw)
+		}
+	}
+}

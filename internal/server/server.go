@@ -73,6 +73,8 @@ func New(shield *core.Shield, opts ...Option) (*Server, error) {
 	// Schema surface for the partitioned router: which column keys each
 	// table, so statements can be routed to the tuple's owner shard.
 	s.mux.HandleFunc("GET /admin/schema", s.handleSchema)
+	// Tuple-migration data plane for the partitioned router's rebalance.
+	s.mux.HandleFunc("POST /admin/migrate", s.handleMigrate)
 	s.handler = WithRecovery(s.mux, shield.Metrics().Counter("server_panics_total"))
 	return s, nil
 }
@@ -113,6 +115,12 @@ func WithRecovery(h http.Handler, panics interface{ Inc() }) http.Handler {
 // QueryRequest is the /query request body.
 type QueryRequest struct {
 	SQL string `json:"sql"`
+	// PFilter, when set, restricts a SELECT to rows whose primary key
+	// hashes into the named partitions. The cluster router attaches it
+	// to scatter legs so a shard holding replicas of several partition
+	// groups answers each scan leg for exactly the partitions it covers,
+	// and the migrator uses it to stream one partition's slice.
+	PFilter *PartitionFilter `json:"pfilter,omitempty"`
 }
 
 // QueryResponse is the /query response body.
@@ -167,25 +175,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.deadline)
 		defer cancel()
 	}
+	if req.PFilter != nil {
+		s.serveFiltered(ctx, w, identity(r), req)
+		return
+	}
 	res, stats, err := s.shield.QueryCtx(ctx, identity(r), req.SQL)
-	switch {
-	case errors.Is(err, core.ErrRateLimited):
-		writeErr(w, http.StatusTooManyRequests, err)
-		return
-	case errors.Is(err, core.ErrDegraded):
-		// Persistence is failing: the shield refuses writes so nothing
-		// unrecoverable is acknowledged. 503 tells well-behaved clients
-		// to back off; reads are unaffected.
-		writeErr(w, http.StatusServiceUnavailable, err)
-		return
-	case errors.Is(err, context.DeadlineExceeded):
-		writeErr(w, http.StatusGatewayTimeout, fmt.Errorf("query exceeded the per-request deadline (the delay was still charged): %w", err))
-		return
-	case errors.Is(err, context.Canceled):
-		// Client gone; nothing useful can be written.
-		return
-	case err != nil:
-		writeErr(w, http.StatusBadRequest, err)
+	// Notable mappings: ErrDegraded → 503 (persistence is failing, so
+	// writes are refused rather than acknowledged unrecoverably; reads
+	// are unaffected), DeadlineExceeded → 504 with the delay still
+	// charged, Canceled → no response (the client is gone).
+	if writeQueryErr(w, err) {
 		return
 	}
 	resp := QueryResponse{
@@ -396,6 +395,16 @@ type TableSchema struct {
 	// positional INSERT row when the router splits a bulk insert across
 	// owner shards.
 	KeyIndex int `json:"key_index"`
+	// Columns lists every column with its type name, in schema order,
+	// so the tuple migrator can re-render fetched rows as typed INSERT
+	// literals on the destination shard.
+	Columns []ColumnSchema `json:"columns,omitempty"`
+}
+
+// ColumnSchema is one column of a TableSchema.
+type ColumnSchema struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
 }
 
 // SchemaResponse is the GET /admin/schema response body. A partitioned
@@ -413,10 +422,15 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue // dropped between listing and lookup
 		}
+		cols := make([]ColumnSchema, len(sch.Columns))
+		for i, c := range sch.Columns {
+			cols[i] = ColumnSchema{Name: c.Name, Type: c.Type.String()}
+		}
 		out.Tables = append(out.Tables, TableSchema{
 			Name:     sch.Table,
 			Key:      sch.Columns[sch.Key].Name,
 			KeyIndex: sch.Key,
+			Columns:  cols,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -41,6 +41,38 @@ func AggregateName(a Aggregate) string {
 	return fmt.Sprintf("%s(%s)", strings.ToLower(a.Func.String()), a.Column)
 }
 
+// CompareCells orders two stringified result cells the way the engine
+// orders the underlying values: integers numerically, then floats, then
+// bytewise. Every consumer recombining shard results (the router's
+// ORDER BY merge, MIN/MAX partial folding, the shard-side partition
+// filter's aggregate pass) must sort cells identically, so they all
+// call this.
+func CompareCells(a, b string) int {
+	if ai, aerr := strconv.ParseInt(a, 10, 64); aerr == nil {
+		if bi, berr := strconv.ParseInt(b, 10, 64); berr == nil {
+			switch {
+			case ai < bi:
+				return -1
+			case ai > bi:
+				return 1
+			}
+			return 0
+		}
+	}
+	if af, aerr := strconv.ParseFloat(a, 64); aerr == nil {
+		if bf, berr := strconv.ParseFloat(b, 64); berr == nil {
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			}
+			return 0
+		}
+	}
+	return strings.Compare(a, b)
+}
+
 // PartialAggregates rewrites an aggregate list into the shard-local
 // partial list a scatter-gather executor sends to every owner shard,
 // plus, per original aggregate, the indices of its partials in that

@@ -1,0 +1,30 @@
+package torture
+
+import "testing"
+
+// TestClusterTorture drives the scripted shard-kill sequence: RPC
+// faults, a mid-workload kill with R=2 failover, a rebalance raced
+// against a kill, a clean rebalance, and the sketch-reconvergence
+// finale — asserting no acked write is ever lost across any of it.
+func TestClusterTorture(t *testing.T) {
+	cfg := ClusterConfig{Logf: t.Logf}
+	if testing.Short() {
+		cfg.SeedTuples = 48
+		cfg.Ops = 16
+	}
+	res, err := RunCluster(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.Acked == 0 {
+		t.Error("no write was ever acked; the harness exercised nothing")
+	}
+	if res.Kills != 2 || res.Rebalances != 2 {
+		t.Errorf("kills=%d rebalances=%d, want 2 and 2", res.Kills, res.Rebalances)
+	}
+	t.Logf("cluster torture: %d ops (%d reads, %d writes, %d acked), %d unavailable, %d violations",
+		res.Ops, res.Reads, res.Writes, res.Acked, res.Unavailable, len(res.Violations))
+}

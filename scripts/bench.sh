@@ -102,10 +102,13 @@ BenchmarkEngineMixed/w50/g=16,BenchmarkEngineMixedLegacy/w50/g=16,0.333'
 # scale: the same I/O-bound scan over 4 shards must finish in at most
 # half the single-shard time, and a partitioned single-row write (one
 # owner applies it) must not lose to the replicated one (all 4 apply
-# it).
+# it). Replica groups must stay cheap on the healthy read path: a point
+# query at R=2 may cost at most 30% over R=1 (the group walk stops at
+# the first readable member).
 cluster_inv='BenchmarkClusterPointQuery/via=router,BenchmarkClusterPointQuery/via=direct,1.15
 BenchmarkClusterScan/partitions=4,BenchmarkClusterScan/partitions=1,0.5
-BenchmarkClusterWrite/mode=partitioned,BenchmarkClusterWrite/mode=replicated,1.0'
+BenchmarkClusterWrite/mode=partitioned,BenchmarkClusterWrite/mode=replicated,1.0
+BenchmarkClusterReplicatedPoint/r=2,BenchmarkClusterReplicatedPoint/r=1,1.3'
 
 case "$suite" in
 shield)
@@ -118,7 +121,7 @@ engine)
 		./internal/storage ./internal/engine
 	;;
 cluster)
-	run_suite 'ClusterPointQuery|ClusterScan|ClusterWrite' \
+	run_suite 'ClusterPointQuery|ClusterScan|ClusterWrite|ClusterReplicatedPoint' \
 		"${BENCH_OUT:-BENCH_cluster.json}" "$cluster_inv" ./internal/cluster
 	;;
 all)
@@ -127,7 +130,7 @@ all)
 	run_suite 'PoolFetch|EnginePointQuery|EngineScan|EngineMixed|WALCommit' \
 		BENCH_engine.json "$engine_inv" \
 		./internal/storage ./internal/engine
-	run_suite 'ClusterPointQuery|ClusterScan|ClusterWrite' BENCH_cluster.json "$cluster_inv" \
+	run_suite 'ClusterPointQuery|ClusterScan|ClusterWrite|ClusterReplicatedPoint' BENCH_cluster.json "$cluster_inv" \
 		./internal/cluster
 	;;
 *)
